@@ -1,0 +1,12 @@
+"""Benchmark harness regenerating every figure in the paper's
+evaluation section (see DESIGN.md §4 for the experiment index).
+
+Run everything::
+
+    pytest benchmarks/ --benchmark-only
+
+Standalone full sweeps (paper-scale, slower)::
+
+    python -m benchmarks.fig8 --full
+    python -m benchmarks.fig9
+"""

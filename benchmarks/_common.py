@@ -1,0 +1,134 @@
+"""Shared helpers for the benchmark harness.
+
+The experiment sweeps (Figures 8 and 9) produce the same rows/series
+the paper reports; results are both echoed to the terminal (bypassing
+pytest capture, so they appear in ``bench_output.txt``) and written as
+CSV under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import compose
+from repro.core.options import ComposeOptions
+from repro.sbml.model import Model
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Lines accumulated during the run; flushed by the conftest's
+#: ``pytest_terminal_summary`` hook (which pytest does not capture) so
+#: the paper-style series appear in the terminal / bench_output.txt.
+EMITTED: List[str] = []
+
+
+def emit(text: str) -> None:
+    """Queue a report line for the end-of-run summary (and echo it
+    immediately when running outside pytest)."""
+    EMITTED.append(text)
+    if not _under_pytest():
+        sys.stdout.write(text + "\n")
+        sys.stdout.flush()
+
+
+def _under_pytest() -> bool:
+    import os
+
+    return "PYTEST_CURRENT_TEST" in os.environ
+
+
+def write_csv(name: str, header: Sequence[str], rows: Sequence[Sequence]) -> Path:
+    """Persist a result table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(",".join(header) + "\n")
+        for row in rows:
+            handle.write(",".join(str(cell) for cell in row) + "\n")
+    return path
+
+
+def log10_ms(seconds: float) -> float:
+    """The paper's y-axis: log10 of the composition time in ms.
+
+    Sub-0.01 ms timings are clamped so log10 stays finite.
+    """
+    return math.log10(max(seconds * 1000.0, 1e-2))
+
+
+def time_compose(
+    first: Model,
+    second: Model,
+    options: Optional[ComposeOptions] = None,
+) -> float:
+    """Wall-clock seconds for one composition."""
+    started = time.perf_counter()
+    compose(first, second, options)
+    return time.perf_counter() - started
+
+
+def all_pairs_in_size_order(
+    models: Sequence[Model],
+) -> List[Tuple[int, int]]:
+    """The paper's pairing order: "the smallest model was composed
+    with the smallest model, the smallest model was composed with the
+    second smallest model, ..., the largest model was composed with
+    the largest model" — every unordered pair (including self-pairs)
+    in ascending size order."""
+    pairs = []
+    for i in range(len(models)):
+        for j in range(i, len(models)):
+            pairs.append((i, j))
+    return pairs
+
+
+def fig8_sweep(
+    models: Sequence[Model],
+    options: Optional[ComposeOptions] = None,
+) -> List[Tuple[int, float]]:
+    """Run the Figure 8 sweep over ``models`` (assumed size-sorted).
+
+    Returns ``(combined size, seconds)`` per composition, in the
+    paper's pairing order.
+    """
+    results = []
+    for i, j in all_pairs_in_size_order(models):
+        seconds = time_compose(models[i], models[j], options)
+        size = models[i].network_size() + models[j].network_size()
+        results.append((size, seconds))
+    return results
+
+
+def summarize_series(
+    results: Sequence[Tuple[int, float]], buckets: int = 10
+) -> List[Tuple[str, int, float, float]]:
+    """Bucket (size, seconds) points by size for a compact printed
+    series: (size range, count, mean ms, mean log10 ms)."""
+    if not results:
+        return []
+    sizes = [size for size, _ in results]
+    low, high = min(sizes), max(sizes)
+    span = max(1, (high - low + buckets) // buckets)
+    table: Dict[int, List[float]] = {}
+    for size, seconds in results:
+        bucket = (size - low) // span
+        table.setdefault(bucket, []).append(seconds)
+    rows = []
+    for bucket in sorted(table):
+        lo = low + bucket * span
+        hi = lo + span - 1
+        values = table[bucket]
+        mean_s = sum(values) / len(values)
+        rows.append(
+            (
+                f"{lo}-{hi}",
+                len(values),
+                mean_s * 1000.0,
+                log10_ms(mean_s),
+            )
+        )
+    return rows

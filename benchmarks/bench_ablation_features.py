@@ -1,0 +1,192 @@
+"""Ablation — semantics features (paper §5 future-work comparison).
+
+The paper plans to compare heavy semantics (the shipped method),
+light semantics and no semantics "to determine how reliant composition
+is on semantics".  This ablation runs that comparison today, plus the
+baseline's database-reload toggle that isolates the paper's Figure 9
+explanation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import compose
+from repro.baselines import SemanticSBMLMerge
+from repro.core.options import ComposeOptions
+from repro.corpus import glycolysis_lower, glycolysis_upper
+from benchmarks._common import emit, write_csv
+
+
+@pytest.mark.parametrize("semantics", ["heavy", "light", "none"])
+def bench_semantics_mode_speed(benchmark, corpus, semantics):
+    """Compose a mid-size pair under each semantics mode."""
+    model = min(corpus, key=lambda m: abs(m.network_size() - 150))
+    options = ComposeOptions(semantics=semantics)
+    benchmark(lambda: compose(model, model, options))
+
+
+def bench_semantics_mode_quality(benchmark, suite):
+    """How much duplicate detection each mode achieves on the suite —
+    the quality side of the paper's semantics question."""
+
+    def sweep():
+        table = {}
+        for semantics in ("heavy", "light", "none"):
+            options = ComposeOptions(semantics=semantics)
+            united = 0
+            total_components = 0
+            for i in range(len(suite)):
+                for j in range(i + 1, len(suite), 4):
+                    merged, report = compose(suite[i], suite[j], options)
+                    united += len(report.duplicates)
+                    total_components += merged.component_count()
+            table[semantics] = (united, total_components)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("")
+    emit("Semantics ablation — duplicates united / result size")
+    for semantics, (united, size) in table.items():
+        emit(f"  {semantics:<6} united={united:>4}  total result size={size}")
+    write_csv(
+        "ablation_semantics.csv",
+        ["semantics", "duplicates_united", "result_components"],
+        [(s, u, c) for s, (u, c) in table.items()],
+    )
+    # Heavy semantics unites the most; none unites nothing.
+    assert table["heavy"][0] >= table["light"][0] > table["none"][0] == 0
+    # More uniting => smaller results.
+    assert table["heavy"][1] <= table["light"][1] <= table["none"][1]
+
+
+def bench_synonyms_matter(benchmark):
+    """Synonym tables are what unite differently-named shared species
+    (paper §3): without them the glycolysis halves still merge by id,
+    but cross-named models don't."""
+    from repro import ModelBuilder
+
+    a = (
+        ModelBuilder("a").compartment("cell", size=1.0)
+        .species("s1", 1.0, name="ATP").build()
+    )
+    b = (
+        ModelBuilder("b").compartment("cell", size=1.0)
+        .species("s2", 1.0, name="adenosine triphosphate").build()
+    )
+
+    def both():
+        heavy, _ = compose(a, b, ComposeOptions(semantics="heavy"))
+        light, _ = compose(a, b, ComposeOptions(semantics="light"))
+        return len(heavy.species), len(light.species)
+
+    heavy_count, light_count = benchmark(both)
+    assert heavy_count == 1  # synonyms unite
+    assert light_count == 2  # exact names don't
+
+
+def bench_math_pattern_cache(benchmark):
+    """Math-pattern equality is what unites reordered kinetic laws;
+    with it off, structurally-same reactions conflict instead."""
+    from repro import ModelBuilder
+
+    def build(rid, formula):
+        return (
+            ModelBuilder(rid).compartment("cell", size=1.0)
+            .species("A", 1.0).species("B", 1.0)
+            .parameter("k", 0.4)
+            .reaction("r_" + rid, ["A", "B"], [], formula=formula)
+            .build()
+        )
+
+    a = build("a", "k * A * B")
+    b = build("b", "B * k * A")
+
+    def both():
+        with_patterns, report_on = compose(
+            a, b, ComposeOptions(use_math_patterns=True)
+        )
+        without, report_off = compose(
+            a, b, ComposeOptions(use_math_patterns=False, convert_units=False)
+        )
+        return report_on.has_conflicts(), report_off.has_conflicts()
+
+    conflicts_on, conflicts_off = benchmark(both)
+    assert not conflicts_on
+    assert conflicts_off
+
+
+def bench_baseline_db_reload_toggle(benchmark, suite):
+    """Isolates the paper's Figure 9 explanation: with the database
+    load cached, the baseline's remaining cost collapses."""
+
+    def sweep():
+        reload_engine = SemanticSBMLMerge(reload_database=True)
+        cached_engine = SemanticSBMLMerge(reload_database=False)
+        cached_engine.merge(suite[0], suite[1])  # warm the cache
+
+        started = time.perf_counter()
+        reload_engine.merge(suite[0], suite[1])
+        with_reload = time.perf_counter() - started
+
+        started = time.perf_counter()
+        cached_engine.merge(suite[0], suite[1])
+        without_reload = time.perf_counter() - started
+        return with_reload, without_reload
+
+    with_reload, without_reload = benchmark.pedantic(
+        sweep, rounds=3, iterations=1
+    )
+    emit(
+        f"baseline merge: {with_reload * 1000:.0f} ms with per-run DB "
+        f"load, {without_reload * 1000:.1f} ms with cached DB"
+    )
+    assert with_reload > 5 * without_reload
+
+
+def bench_glycolysis_merge(benchmark):
+    """End-to-end curated merge as a stable macro-benchmark."""
+    upper = glycolysis_upper()
+    lower = glycolysis_lower()
+    benchmark(lambda: compose(upper, lower))
+
+
+def bench_pattern_memoization(benchmark, corpus):
+    """Ablation for §5 items 6-7: does memoising Figure 7 patterns
+    pay?  Measured finding (see EXPERIMENTS.md): no at BioModels
+    scale — kinetic-law expressions are too small, the cache
+    bookkeeping costs as much as it saves.  The benchmark records
+    both times and only asserts they are within 2x of each other
+    (i.e. the cache is at least not catastrophic) and that results
+    agree."""
+    from repro import Composer
+    from repro.eval import models_equivalent
+
+    models = [m for m in corpus if 100 <= m.network_size() <= 300][:6]
+
+    def sweep():
+        timings = {}
+        merges = {}
+        for memoize in (True, False):
+            engine = Composer(ComposeOptions(memoize_patterns=memoize))
+            started = time.perf_counter()
+            results = [
+                engine.compose(a, b)[0]
+                for a in models
+                for b in models
+            ]
+            timings[memoize] = time.perf_counter() - started
+            merges[memoize] = results
+        for cached, plain in zip(merges[True], merges[False]):
+            assert models_equivalent(cached, plain)
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        f"pattern memoisation: on={timings[True] * 1000:.0f} ms, "
+        f"off={timings[False] * 1000:.0f} ms over 36 mid-size merges"
+    )
+    ratio = timings[True] / timings[False]
+    assert 0.5 < ratio < 2.0

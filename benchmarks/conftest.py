@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SemanticSBMLMerge, generate_database
+from repro.corpus import corpus_by_size, generate_corpus, semantic_suite
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The 187-model synthetic corpus, size-sorted (Figure 8)."""
+    return corpus_by_size(generate_corpus())
+
+
+@pytest.fixture(scope="session")
+def corpus_sample(corpus):
+    """Every 8th model — the default (fast) Figure 8 sweep.
+
+    ``python -m benchmarks.fig8 --full`` runs all 187 models.
+    """
+    return corpus[::8]
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The 17-model semanticSBML suite (Figure 9)."""
+    return semantic_suite()
+
+
+@pytest.fixture(scope="session")
+def baseline_engine():
+    """semanticSBML-style engine with the full 54,929-entry database
+    (generated once; loaded on every merge, as the paper observed)."""
+    generate_database()
+    return SemanticSBMLMerge()
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print the paper-style experiment series after the test run
+    (terminal-summary output is not captured, so it lands in
+    bench_output.txt)."""
+    from benchmarks._common import EMITTED
+
+    if EMITTED:
+        terminalreporter.section("experiment series (paper-style)")
+        for line in EMITTED:
+            terminalreporter.write_line(line)

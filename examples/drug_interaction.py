@@ -1,0 +1,71 @@
+"""Drug-interaction analysis by network composition.
+
+The paper's opening motivation: "In drug development ... in order to
+understand possible drug interactions, one has to merge known networks
+and examine topological variants arising from such composition."
+
+This example merges a curated upper-glycolysis model with an inhibitor
+overlay (the drug sequesters glucose away from hexokinase), then
+simulates both the plain and the dosed pathway and quantifies the
+flux change.
+
+Run::
+
+    python examples/drug_interaction.py
+"""
+
+from repro import compose
+from repro.corpus import drug_inhibition, glycolysis_upper
+from repro.sim import simulate
+
+
+def main() -> None:
+    pathway = glycolysis_upper()
+    overlay = drug_inhibition()
+
+    print("pathway:", pathway.name, "—",
+          ", ".join(s.id for s in pathway.species))
+    print("overlay:", overlay.name, "—",
+          ", ".join(s.id for s in overlay.species))
+
+    dosed, report = compose(pathway, overlay)
+    united = [
+        f"{d.second_id}=>{d.first_id}"
+        for d in report.duplicates
+        if d.component_type == "species"
+    ]
+    print(f"\nshared entities united by composition: {', '.join(united)}")
+    print(f"new components from the overlay: {report.total_added}")
+
+    t_end, steps = 5.0, 500
+    plain_trace = simulate(pathway, t_end, steps)
+    dosed_trace = simulate(dosed, t_end, steps)
+
+    print(f"\nsimulation to t={t_end}:")
+    header = f"{'species':<10} {'plain':>10} {'dosed':>10} {'change':>9}"
+    print(header)
+    print("-" * len(header))
+    for species_id in ("glc", "g6p", "fbp", "g3p"):
+        before = plain_trace.final()[species_id]
+        after = dosed_trace.final()[species_id]
+        change = (after - before) / before if before else float("inf")
+        print(
+            f"{species_id:<10} {before:>10.4f} {after:>10.4f} "
+            f"{change:>8.1%}"
+        )
+    complex_formed = dosed_trace.final()["drug_glc"]
+    print(f"\ndrug-glucose complex formed: {complex_formed:.4f}")
+    print("\nglucose time course (plain vs dosed):")
+    print("  plain", plain_trace.sparkline("glc"))
+    print("  dosed", dosed_trace.sparkline("glc"))
+
+    # Topological variant examination: what did composition change?
+    print(
+        f"\ntopology: {pathway.num_edges()} edges before, "
+        f"{dosed.num_edges()} after "
+        f"(+{dosed.num_edges() - pathway.num_edges()} from the drug)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Structural analysis of a composed network.
+
+The paper motivates composition with downstream analysis ("models can
+be analysed to discover interesting behaviour(s) they exhibit") and
+its future work asks for "indexes to support zooming in and out of
+networks and their subparts".  This example composes the glycolysis
+halves and runs the analysis toolkit on the result:
+
+* stoichiometric conservation laws (exact, fraction arithmetic),
+* hub species and reachability,
+* merge-impact summary (what the composition changed),
+* semantic zoom levels of the composed network.
+
+Run::
+
+    python examples/network_analysis.py
+"""
+
+from repro import compose
+from repro.analysis import (
+    conservation_laws,
+    conserved_totals,
+    hub_species,
+    merge_impact,
+    paths_between,
+    reachable_species,
+)
+from repro.corpus import glycolysis_lower, glycolysis_upper
+from repro.graph import ZoomIndex
+from repro.sim import simulate
+
+
+def main() -> None:
+    upper, lower = glycolysis_upper(), glycolysis_lower()
+    merged, _ = compose(upper, lower)
+    print(
+        f"composed glycolysis: {merged.num_nodes()} species, "
+        f"{len(merged.reactions)} reactions"
+    )
+
+    impact = merge_impact(upper, lower, merged)
+    print(f"merge impact: {impact.summary()}")
+
+    print("\nconservation laws of the composed pathway:")
+    for law, total in conserved_totals(merged):
+        terms = " + ".join(
+            (f"{int(c)}·{sid}" if c != 1 else sid)
+            for sid, c in sorted(law.items())
+        )
+        print(f"  {terms} = {total:g}")
+
+    print("\nhub species (total degree):")
+    for species_id, degree in hub_species(merged, top=5):
+        print(f"  {species_id:<6} {degree}")
+
+    print("\nreachability: what can glucose become?")
+    downstream = reachable_species(merged, "glc")
+    print(f"  glc reaches {len(downstream)} species: "
+          f"{', '.join(sorted(downstream))}")
+
+    paths = paths_between(merged, "glc", "pyr", max_paths=3)
+    print(f"\nshortest glucose→pyruvate routes ({len(paths)} shown):")
+    for path in sorted(paths, key=len)[:3]:
+        print("  " + " → ".join(path))
+
+    print("\nsemantic zoom levels:")
+    index = ZoomIndex(
+        merged,
+        modules={
+            "preparatory": ["glc", "g6p", "f6p", "fbp", "dhap"],
+            "payoff": ["g3p", "bpg", "pg3", "pep", "pyr"],
+            "currency": ["atp", "adp", "nad", "nadh"],
+        },
+    )
+    for level in range(index.depth):
+        graph = index.graph_at(level)
+        print(
+            f"  level {level} ({index.levels[level].name}): "
+            f"{graph.number_of_nodes()} nodes, "
+            f"{graph.number_of_edges()} edges"
+        )
+    modules = index.graph_at(1)
+    print("\nmodule-level interactions (zoomed out):")
+    for source, target, data in modules.edges(data=True):
+        print(f"  {source} → {target} (weight {data['weight']})")
+
+    # Sanity: the discovered conservation laws hold in simulation.
+    import numpy as np
+
+    trace = simulate(merged, 5.0, 500)
+    laws = conservation_laws(merged)
+    stable = all(
+        float(np.ptp(sum(c * trace.column(sid) for sid, c in law.items())))
+        < 1e-9
+        for law in laws
+    )
+    print(f"\nconservation laws hold over a simulated trajectory: {stable}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — reproduction of *Biochemical Network Matching and
+Composition* (Goodfellow, Wilson & Hunt, EDBT 2010).
+
+The package implements SBMLCompose — unsupervised composition of SBML
+biochemical network models — together with every substrate the paper
+relies on: a MathML engine with commutative pattern matching, an SBML
+object model and XML layer, a unit system with mole/molecule
+conversions, local synonym tables, a semanticSBML-style baseline, ODE
+and Gillespie simulators, trace/model-checking evaluation tools, a
+synthetic BioModels-like corpus and a graph view of reaction networks.
+
+Quickstart
+----------
+
+>>> from repro import ModelBuilder, compose
+>>> a = (
+...     ModelBuilder("m1").compartment("cell")
+...     .species("A", 10.0).species("B", 0.0)
+...     .parameter("k1", 0.5).mass_action("r1", ["A"], ["B"], "k1")
+...     .build()
+... )
+>>> b = (
+...     ModelBuilder("m2").compartment("cell")
+...     .species("B", 0.0).species("C", 0.0)
+...     .parameter("k2", 0.3).mass_action("r2", ["B"], ["C"], "k2")
+...     .build()
+... )
+>>> merged, report = compose(a, b)
+>>> sorted(s.id for s in merged.species)
+['A', 'B', 'C']
+"""
+
+from repro.core import Composer, ComposeOptions, MergeReport, compose
+from repro.sbml import (
+    Model,
+    ModelBuilder,
+    read_sbml,
+    read_sbml_file,
+    validate_model,
+    write_sbml,
+    write_sbml_file,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compose",
+    "Composer",
+    "ComposeOptions",
+    "MergeReport",
+    "Model",
+    "ModelBuilder",
+    "read_sbml",
+    "read_sbml_file",
+    "write_sbml",
+    "write_sbml_file",
+    "validate_model",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Model analysis: stoichiometric structure and network topology.
+
+The paper motivates composition with downstream analysis ("models can
+be analysed to discover interesting behaviour(s)"); this package
+provides the structural analyses used by the examples and the
+composition-invariant tests: stoichiometric matrices, exact
+conservation laws, hubs, reachability and merge-impact summaries.
+"""
+
+from repro.analysis.stoichiometry import (
+    conservation_laws,
+    conserved_totals,
+    dead_species,
+    is_conserved,
+    stoichiometric_matrix,
+)
+from repro.analysis.structure import (
+    MergeImpact,
+    degree_table,
+    hub_species,
+    merge_impact,
+    paths_between,
+    reachable_species,
+)
+
+__all__ = [
+    "stoichiometric_matrix",
+    "conservation_laws",
+    "is_conserved",
+    "conserved_totals",
+    "dead_species",
+    "degree_table",
+    "hub_species",
+    "reachable_species",
+    "paths_between",
+    "merge_impact",
+    "MergeImpact",
+]

@@ -1,0 +1,214 @@
+"""Stoichiometric analysis: matrix, conservation laws, consistency.
+
+The paper's introduction motivates composition with analysis: "models
+can be analysed to discover interesting behaviour(s) they exhibit."
+The classic structural analyses need the stoichiometric matrix N
+(species × reactions); this module builds it and derives:
+
+* **conservation laws** — a basis of the left null space of N over
+  the rationals (every vector c with cᵀN = 0 means Σ cᵢ·Sᵢ is constant
+  under all fluxes, e.g. ATP + ADP = const),
+* **dead species / orphan reactions** — species untouched by any
+  reaction and reactions with no species,
+* **composition invariant checks** — conservation laws of the inputs
+  should survive composition when the merged sub-networks agree; the
+  tests assert this on the paper's Figure 1-3 scenarios.
+
+The null-space computation uses exact fraction arithmetic (no float
+rank decisions), so a law is a law, not a numerical accident.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sbml.model import Model
+
+__all__ = [
+    "stoichiometric_matrix",
+    "conservation_laws",
+    "conserved_totals",
+    "dead_species",
+]
+
+
+def stoichiometric_matrix(
+    model: Model,
+) -> Tuple[np.ndarray, List[str], List[str]]:
+    """``(N, species_ids, reaction_ids)`` with ``N[i, j]`` the net
+    stoichiometry of species i in reaction j.
+
+    Boundary-condition and constant species still appear as rows (their
+    *row* is meaningful for structure) but callers interested in
+    dynamics typically mask them.
+    """
+    species_ids = [s.id for s in model.species if s.id]
+    reaction_ids = [r.id for r in model.reactions if r.id]
+    row_of = {sid: i for i, sid in enumerate(species_ids)}
+    matrix = np.zeros((len(species_ids), len(reaction_ids)))
+    for j, reaction in enumerate(r for r in model.reactions if r.id):
+        for reference in reaction.reactants:
+            if reference.species in row_of:
+                matrix[row_of[reference.species], j] -= reference.stoichiometry
+        for reference in reaction.products:
+            if reference.species in row_of:
+                matrix[row_of[reference.species], j] += reference.stoichiometry
+    return matrix, species_ids, reaction_ids
+
+
+def _left_null_space_exact(matrix: np.ndarray) -> List[List[Fraction]]:
+    """Basis of {c : cᵀN = 0} via exact Gauss-Jordan on Nᵀ."""
+    transposed = [
+        [Fraction(value).limit_denominator(10**6) for value in row]
+        for row in matrix.T.tolist()
+    ]
+    n_rows = len(transposed)  # reactions
+    n_cols = matrix.shape[0]  # species
+    if n_cols == 0:
+        return []
+    if n_rows == 0:
+        # No reactions: every unit vector is conserved.
+        return [
+            [Fraction(1 if i == j else 0) for j in range(n_cols)]
+            for i in range(n_cols)
+        ]
+    # Row reduce Nᵀ; null space of Nᵀ (as a map on species-space
+    # vectors) gives the left null space of N.
+    pivots: List[int] = []
+    reduced = [row[:] for row in transposed]
+    pivot_row = 0
+    for col in range(n_cols):
+        chosen = None
+        for row in range(pivot_row, len(reduced)):
+            if reduced[row][col] != 0:
+                chosen = row
+                break
+        if chosen is None:
+            continue
+        reduced[pivot_row], reduced[chosen] = (
+            reduced[chosen],
+            reduced[pivot_row],
+        )
+        scale = reduced[pivot_row][col]
+        reduced[pivot_row] = [value / scale for value in reduced[pivot_row]]
+        for row in range(len(reduced)):
+            if row != pivot_row and reduced[row][col] != 0:
+                factor = reduced[row][col]
+                reduced[row] = [
+                    value - factor * pivot_value
+                    for value, pivot_value in zip(
+                        reduced[row], reduced[pivot_row]
+                    )
+                ]
+        pivots.append(col)
+        pivot_row += 1
+        if pivot_row == len(reduced):
+            break
+    free_columns = [col for col in range(n_cols) if col not in pivots]
+    basis: List[List[Fraction]] = []
+    for free in free_columns:
+        vector = [Fraction(0)] * n_cols
+        vector[free] = Fraction(1)
+        for row_index, pivot_col in enumerate(pivots):
+            vector[pivot_col] = -reduced[row_index][free]
+        basis.append(vector)
+    return basis
+
+
+def _normalise_law(vector: Sequence[Fraction]) -> List[Fraction]:
+    """Scale a law to integer coefficients with positive leading sign."""
+    denominators = [value.denominator for value in vector if value != 0]
+    if not denominators:
+        return list(vector)
+    from math import gcd, lcm
+
+    common = 1
+    for denominator in denominators:
+        common = lcm(common, denominator)
+    scaled = [value * common for value in vector]
+    numerators = [abs(int(value)) for value in scaled if value != 0]
+    divisor = 0
+    for numerator in numerators:
+        divisor = gcd(divisor, numerator)
+    if divisor > 1:
+        scaled = [value / divisor for value in scaled]
+    leading = next((value for value in scaled if value != 0), Fraction(1))
+    if leading < 0:
+        scaled = [-value for value in scaled]
+    return scaled
+
+
+def conservation_laws(model: Model) -> List[Dict[str, float]]:
+    """Conserved linear combinations of species.
+
+    Each law maps species id → integer coefficient; the weighted sum
+    of those species is invariant under the model's reactions.
+    Singleton laws for species untouched by any reaction are included
+    (they are trivially conserved).
+    """
+    matrix, species_ids, _ = stoichiometric_matrix(model)
+    basis = _left_null_space_exact(matrix)
+    laws: List[Dict[str, float]] = []
+    for vector in basis:
+        normalised = _normalise_law(vector)
+        law = {
+            species_ids[i]: float(value)
+            for i, value in enumerate(normalised)
+            if value != 0
+        }
+        if law:
+            laws.append(law)
+    laws.sort(key=lambda law: (len(law), sorted(law)))
+    return laws
+
+
+def conserved_totals(
+    model: Model, values: Optional[Dict[str, float]] = None
+) -> List[Tuple[Dict[str, float], float]]:
+    """Each conservation law with its numeric total at the initial
+    state (or at ``values``)."""
+    if values is None:
+        values = {
+            species.id: species.initial_value() or 0.0
+            for species in model.species
+            if species.id
+        }
+    totals = []
+    for law in conservation_laws(model):
+        total = sum(
+            coefficient * values.get(species_id, 0.0)
+            for species_id, coefficient in law.items()
+        )
+        totals.append((law, total))
+    return totals
+
+
+def is_conserved(model: Model, combination: Dict[str, float]) -> bool:
+    """Whether ``Σ coefficient·species`` is invariant under every
+    reaction (i.e. the vector lies in the left null space of N —
+    it need not be a basis element of :func:`conservation_laws`)."""
+    matrix, species_ids, _ = stoichiometric_matrix(model)
+    vector = np.zeros(len(species_ids))
+    row_of = {sid: i for i, sid in enumerate(species_ids)}
+    for species_id, coefficient in combination.items():
+        if species_id not in row_of:
+            return False
+        vector[row_of[species_id]] = coefficient
+    if matrix.shape[1] == 0:
+        return True
+    return bool(np.allclose(vector @ matrix, 0.0, atol=1e-12))
+
+
+def dead_species(model: Model) -> List[str]:
+    """Species that no reaction produces, consumes or modifies."""
+    touched = set()
+    for reaction in model.reactions:
+        touched.update(reaction.species_ids())
+    return sorted(
+        species.id
+        for species in model.species
+        if species.id and species.id not in touched
+    )

@@ -1,0 +1,135 @@
+"""Network-structure analysis of models and merges.
+
+Composition changes topology; these helpers quantify how (the paper's
+intro: "examine topological variants arising from such composition"):
+
+* degree statistics and hub species,
+* reachability between metabolites (which products are derivable from
+  which substrates — the "path matching" the paper's §5 cites as
+  related database work),
+* a merge-impact summary comparing the network before and after a
+  composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.graph.network import species_graph
+from repro.sbml.model import Model
+
+__all__ = [
+    "degree_table",
+    "hub_species",
+    "reachable_species",
+    "paths_between",
+    "MergeImpact",
+    "merge_impact",
+]
+
+
+def degree_table(model: Model) -> Dict[str, Tuple[int, int]]:
+    """species id → (in-degree, out-degree) in the species graph."""
+    graph = species_graph(model)
+    return {
+        node: (graph.in_degree(node), graph.out_degree(node))
+        for node in graph.nodes
+        if not str(node).startswith("∅:")
+    }
+
+
+def hub_species(model: Model, top: int = 5) -> List[Tuple[str, int]]:
+    """The most connected species (total degree), descending."""
+    table = degree_table(model)
+    ranked = sorted(
+        ((sid, sum(degrees)) for sid, degrees in table.items()),
+        key=lambda entry: (-entry[1], entry[0]),
+    )
+    return ranked[:top]
+
+
+def reachable_species(model: Model, source: str) -> Set[str]:
+    """Species derivable from ``source`` through reaction arrows."""
+    graph = species_graph(model)
+    if source not in graph:
+        return set()
+    return {
+        node
+        for node in nx.descendants(graph, source)
+        if not str(node).startswith("∅:")
+    }
+
+
+def paths_between(
+    model: Model, source: str, target: str, max_paths: int = 10
+) -> List[List[str]]:
+    """Simple reaction paths from ``source`` to ``target`` (bounded)."""
+    graph = species_graph(model)
+    if source not in graph or target not in graph:
+        return []
+    paths = []
+    for path in nx.all_simple_paths(graph, source, target):
+        paths.append(list(path))
+        if len(paths) >= max_paths:
+            break
+    return paths
+
+
+@dataclass(frozen=True)
+class MergeImpact:
+    """How a composition changed the network topology."""
+
+    nodes_before: Tuple[int, int]
+    nodes_after: int
+    edges_before: Tuple[int, int]
+    edges_after: int
+    new_connections: List[Tuple[str, str]]
+
+    @property
+    def nodes_shared(self) -> int:
+        """Species united by the merge."""
+        return sum(self.nodes_before) - self.nodes_after
+
+    @property
+    def edges_shared(self) -> int:
+        return sum(self.edges_before) - self.edges_after
+
+    def summary(self) -> str:
+        return (
+            f"{self.nodes_shared} species and {self.edges_shared} edges "
+            f"united; {len(self.new_connections)} cross-model "
+            f"connection(s) created"
+        )
+
+
+def merge_impact(first: Model, second: Model, merged: Model) -> MergeImpact:
+    """Quantify what a composition did to the topology.
+
+    ``new_connections`` are edges of the merged graph linking a
+    species only the first model had to one only the second model had
+    — the paths that exist *because of* the merge (the drug-interaction
+    effects the paper's intro is after).
+    """
+    merged_graph = species_graph(merged)
+    first_ids = {s.id for s in first.species if s.id}
+    second_ids = {s.id for s in second.species if s.id}
+    only_first = first_ids - second_ids
+    only_second = second_ids - first_ids
+    crossings: List[Tuple[str, str]] = []
+    for source, target in merged_graph.edges():
+        pair = (str(source), str(target))
+        if (pair[0] in only_first and pair[1] in only_second) or (
+            pair[0] in only_second and pair[1] in only_first
+        ):
+            if pair not in crossings:
+                crossings.append(pair)
+    return MergeImpact(
+        nodes_before=(first.num_nodes(), second.num_nodes()),
+        nodes_after=merged.num_nodes(),
+        edges_before=(first.num_edges(), second.num_edges()),
+        edges_after=merged.num_edges(),
+        new_connections=sorted(crossings),
+    )

@@ -1,0 +1,20 @@
+"""Baselines: the semanticSBML-style merger the paper benchmarks
+against (Figure 9), with its per-run annotation-database load and
+multi-pass O(n·m) merge pipeline."""
+
+from repro.baselines.annotation_db import (
+    DEFAULT_ENTRY_COUNT,
+    AnnotationDatabase,
+    default_database_path,
+    generate_database,
+)
+from repro.baselines.semantic_sbml import BaselineReport, SemanticSBMLMerge
+
+__all__ = [
+    "SemanticSBMLMerge",
+    "BaselineReport",
+    "AnnotationDatabase",
+    "generate_database",
+    "default_database_path",
+    "DEFAULT_ENTRY_COUNT",
+]

@@ -1,0 +1,55 @@
+"""Core composition engine — the paper's SBMLCompose.
+
+Public API:
+
+* :func:`~repro.core.compose.compose` — compose two models.
+* :class:`~repro.core.compose.Composer` — reusable engine.
+* :class:`~repro.core.options.ComposeOptions` — behaviour knobs.
+* :class:`~repro.core.report.MergeReport` — warnings/conflicts log.
+"""
+
+from repro.core.compose import Composer, compose
+from repro.core.index import (
+    ComponentIndex,
+    HashIndex,
+    LinearIndex,
+    SortedKeyIndex,
+    make_index,
+)
+from repro.core.mapping import IdMapping
+from repro.core.options import (
+    CONFLICTS_ERROR,
+    CONFLICTS_WARN,
+    INDEX_HASH,
+    INDEX_LINEAR,
+    INDEX_SORTED,
+    SEMANTICS_HEAVY,
+    SEMANTICS_LIGHT,
+    SEMANTICS_NONE,
+    ComposeOptions,
+)
+from repro.core.report import Conflict, Duplicate, MergeReport, MergeWarning
+
+__all__ = [
+    "compose",
+    "Composer",
+    "ComposeOptions",
+    "MergeReport",
+    "MergeWarning",
+    "Conflict",
+    "Duplicate",
+    "IdMapping",
+    "ComponentIndex",
+    "HashIndex",
+    "LinearIndex",
+    "SortedKeyIndex",
+    "make_index",
+    "SEMANTICS_HEAVY",
+    "SEMANTICS_LIGHT",
+    "SEMANTICS_NONE",
+    "INDEX_HASH",
+    "INDEX_LINEAR",
+    "INDEX_SORTED",
+    "CONFLICTS_WARN",
+    "CONFLICTS_ERROR",
+]

@@ -1,0 +1,1162 @@
+"""SBMLCompose — the unsupervised model-composition engine.
+
+This is the paper's primary contribution.  :func:`compose` takes two
+models and produces one composed model plus a :class:`MergeReport`:
+
+* Figure 4's phase order drives the merge: function definitions,
+  unit definitions, compartment types, species types, compartments,
+  species, parameters, (initial assignments,) rules, constraints,
+  reactions, events.
+* Figure 5's generic component merge runs inside every phase: look the
+  second model's component up in a per-type index of the first model's
+  components; duplicates are united (an id mapping is recorded and
+  conflicts checked); non-duplicates are renamed if their id collides
+  and then added.
+* Figure 7's commutative math patterns decide equality of kinetic
+  laws, rules, constraints, function definitions and triggers.
+* Figure 6's mole/molecule conversions reconcile initial values and
+  mass-action rate constants before a conflict is declared.
+* Initial values of all component attributes are collected *before*
+  composition begins (paper §3, last paragraph) and used during
+  conflict checking; initial assignments are evaluated so their
+  equality is decidable — the paper's improvement over semanticSBML.
+
+The composed model is always a fresh object; neither input is
+modified.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConflictError, MathError
+from repro.mathml.ast import Apply, Identifier, Lambda, MathNode, Number
+from repro.mathml.evaluator import Evaluator
+from repro.mathml.pattern import canonical_pattern
+from repro.core.conflicts import (
+    compare_species_initial,
+    compare_values,
+    reconcile_rate_constants,
+)
+from repro.core.index import make_index
+from repro.core.mapping import IdMapping
+from repro.core.options import CONFLICTS_ERROR, ComposeOptions
+from repro.core.pattern_cache import PatternCache
+from repro.core.report import MergeReport
+from repro.sbml.components import (
+    AssignmentRule,
+    Event,
+    KineticLaw,
+    RateRule,
+    Reaction,
+    Species,
+)
+from repro.sbml.model import Model
+from repro.units.definitions import UnitDefinition
+from repro.units.registry import UnitRegistry
+
+__all__ = ["compose", "Composer"]
+
+
+def compose(
+    first: Model,
+    second: Model,
+    options: Optional[ComposeOptions] = None,
+) -> Tuple[Model, MergeReport]:
+    """Compose two models (paper Figure 4).
+
+    Returns ``(composed_model, report)``.  The inputs are not
+    modified.  With default options this is the paper's SBMLCompose:
+    heavy semantics, hash indexes, warn-and-continue conflicts.
+    """
+    return Composer(options).compose(first, second)
+
+
+class Composer:
+    """Reusable composition engine bound to a set of options.
+
+    A Composer instance keeps a pattern cache across :meth:`compose`
+    calls: model copies share their (immutable) math nodes with the
+    originals, so sweeps that compose the same models repeatedly — the
+    paper's Figure 8 experiment is 187 appearances per model — reuse
+    canonical patterns instead of rebuilding them.
+    """
+
+    def __init__(self, options: Optional[ComposeOptions] = None):
+        self.options = options or ComposeOptions()
+        self._cache = (
+            PatternCache() if self.options.memoize_patterns else None
+        )
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def compose(self, first: Model, second: Model) -> Tuple[Model, MergeReport]:
+        report = MergeReport()
+        # Figure 5 lines 1-2: an empty model composes to the other.
+        if first.is_empty():
+            return second.copy(), report
+        if second.is_empty():
+            return first.copy(), report
+
+        target = first.copy()
+        # The source is never mutated: every phase copies a component
+        # before touching it, so reading `second` directly is safe and
+        # skips a full model copy.
+        source = second
+        mapping = IdMapping()
+        state = _MergeState(
+            target=target,
+            source=source,
+            mapping=mapping,
+            report=report,
+            options=self.options,
+            used_ids=set(target.global_ids())
+            | {ud.id for ud in target.unit_definitions if ud.id},
+            target_registry=target.unit_registry(),
+            source_registry=source.unit_registry(),
+            initial_values=(
+                _collect_initial_values(target),
+                _collect_initial_values(source),
+            ),
+            pattern_cache=self._cache,
+        )
+
+        # Figure 4 phase order.
+        _compose_function_definitions(state)
+        _compose_unit_definitions(state)
+        _compose_compartment_types(state)
+        _compose_species_types(state)
+        _compose_compartments(state)
+        _compose_species(state)
+        _compose_parameters(state)
+        _compose_initial_assignments(state)
+        _compose_rules(state)
+        _compose_constraints(state)
+        _compose_reactions(state)
+        _compose_events(state)
+
+        if target.name and source.name and target.name != source.name:
+            target.name = f"{target.name} + {source.name}"
+        return target, report
+
+
+class _MergeState:
+    """Mutable state shared by the per-phase mergers."""
+
+    def __init__(
+        self,
+        target: Model,
+        source: Model,
+        mapping: IdMapping,
+        report: MergeReport,
+        options: ComposeOptions,
+        used_ids: Set[str],
+        target_registry: UnitRegistry,
+        source_registry: UnitRegistry,
+        initial_values: Tuple[Dict[str, float], Dict[str, float]],
+        pattern_cache: Optional[PatternCache] = None,
+    ):
+        self.target = target
+        self.source = source
+        self.mapping = mapping
+        self.report = report
+        self.options = options
+        self.used_ids = used_ids
+        self.target_registry = target_registry
+        self.source_registry = source_registry
+        self.target_initial, self.source_initial = initial_values
+        self._pattern_cache = pattern_cache
+        self._flat_mapping_version = -1
+        self._flat_mapping: Dict[str, str] = {}
+
+    def _flat(self) -> Dict[str, str]:
+        """The chain-resolved mapping, recomputed only on change."""
+        if self.mapping.version != self._flat_mapping_version:
+            self._flat_mapping = self.mapping.as_dict()
+            self._flat_mapping_version = self.mapping.version
+        return self._flat_mapping
+
+    # -- id handling ---------------------------------------------------
+
+    def fresh_id(self, base: str) -> str:
+        """An id not yet used in the composed model."""
+        candidate = f"{base}_{self.options.rename_suffix}"
+        counter = 2
+        while candidate in self.used_ids:
+            candidate = f"{base}_{self.options.rename_suffix}{counter}"
+            counter += 1
+        return candidate
+
+    def claim_id(self, component, component_type: str) -> None:
+        """Rename ``component`` if its (mapped) id collides with an
+        existing id, and register the id as used."""
+        if component.id is None:
+            return
+        current = self.mapping.resolve(component.id)
+        if current in self.used_ids:
+            fresh = self.fresh_id(current)
+            self.report.rename(component.id, fresh)
+            self.mapping.add(component.id, fresh)
+            component.id = fresh
+        else:
+            if current != component.id:
+                component.id = current
+            self.used_ids.add(component.id)
+            return
+        self.used_ids.add(component.id)
+
+    def unite(self, component_type: str, first_id: str, second_id: str) -> None:
+        """Record that a source component was united with a target one."""
+        self.report.duplicate(component_type, first_id, second_id)
+        if first_id and second_id:
+            self.mapping.add(second_id, first_id)
+            self.report.map_id(second_id, first_id)
+
+    def conflict(
+        self,
+        component_type: str,
+        component_id: str,
+        attribute: str,
+        first_value,
+        second_value,
+        resolution: str = "kept first model's value",
+    ) -> None:
+        """Record a conflict, honouring the conflict policy."""
+        if self.options.conflicts == CONFLICTS_ERROR:
+            raise ConflictError(
+                f"{component_type} {component_id!r}: {attribute} "
+                f"{first_value!r} vs {second_value!r}"
+            )
+        self.report.conflict(
+            component_type,
+            component_id,
+            attribute,
+            first_value,
+            second_value,
+            resolution,
+        )
+
+    # -- name / synonym keys --------------------------------------------
+
+    def name_key(self, component) -> Optional[str]:
+        """Synonym-canonical key for a component's label, or None when
+        name matching is disabled or there is nothing to key on."""
+        label = component.name or component.id
+        if label is None:
+            return None
+        if self.options.match_synonyms:
+            return f"name:{self.options.synonyms.canonical(label)}"
+        if self.options.match_anything:
+            return f"name:{label}"
+        return None
+
+    def keys_for(self, component, extra: Sequence[str] = ()) -> List[str]:
+        """Index keys for a component: mapped id, name key, extras."""
+        keys: List[str] = []
+        if component.id is not None:
+            keys.append(f"id:{self.mapping.resolve(component.id)}")
+        name_key = self.name_key(component)
+        if name_key is not None:
+            keys.append(name_key)
+        keys.extend(extra)
+        return keys
+
+    # -- math handling ---------------------------------------------------
+
+    def math_key(self, math: MathNode) -> str:
+        """Hashable equality key for an expression under the live
+        mapping (heavy semantics: Figure 7 commutative pattern;
+        otherwise: structural form of the mapped expression)."""
+        if self.options.use_math_patterns:
+            if self._pattern_cache is not None:
+                return "math:" + self._pattern_cache.pattern(
+                    math, self._flat()
+                )
+            return "math:" + canonical_pattern(math, self._flat())
+        return "math:" + repr(self.mapping.rewrite_math(math))
+
+    def math_equal(self, first: Optional[MathNode], second: Optional[MathNode]) -> bool:
+        if first is None or second is None:
+            return first is second
+        return self.math_key(first) == self.math_key(second)
+
+    def rewrite(self, math: Optional[MathNode]) -> Optional[MathNode]:
+        """Apply the id mapping to an expression from the source model."""
+        return self.mapping.rewrite_math(math)
+
+    def resolve_ref(self, ref: Optional[str]) -> Optional[str]:
+        return self.mapping.resolve(ref)
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate_source_math(self, math: MathNode) -> Optional[float]:
+        """Numeric value of a source-model expression at time 0, or
+        None when it cannot be evaluated."""
+        return _try_evaluate(math, self.source, self.source_initial)
+
+    def evaluate_target_math(self, math: MathNode) -> Optional[float]:
+        return _try_evaluate(math, self.target, self.target_initial)
+
+
+# ---------------------------------------------------------------------------
+# Initial-value collection (paper §3, final paragraph)
+# ---------------------------------------------------------------------------
+
+
+def _collect_initial_values(model: Model) -> Dict[str, float]:
+    """Initial values of all component attributes, with initial
+    assignments evaluated and overriding declared values."""
+    env: Dict[str, float] = {"time": 0.0}
+    for compartment in model.compartments:
+        if compartment.id and compartment.size is not None:
+            env[compartment.id] = compartment.size
+    for species in model.species:
+        value = species.initial_value()
+        if species.id and value is not None:
+            env[species.id] = value
+    for parameter in model.parameters:
+        if parameter.id and parameter.value is not None:
+            env[parameter.id] = parameter.value
+    evaluator = Evaluator(model.function_table())
+    # Initial assignments may depend on one another; a few fixed-point
+    # sweeps resolve chains without needing a dependency sort.
+    pending = [ia for ia in model.initial_assignments if ia.math is not None]
+    for _ in range(max(1, len(pending))):
+        remaining = []
+        for ia in pending:
+            try:
+                env[ia.symbol] = evaluator.evaluate(ia.math, env)
+            except MathError:
+                remaining.append(ia)
+        if not remaining:
+            break
+        pending = remaining
+    return env
+
+
+def _try_evaluate(
+    math: MathNode, model: Model, env: Dict[str, float]
+) -> Optional[float]:
+    try:
+        return Evaluator(model.function_table()).evaluate(math, env)
+    except MathError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Phase: function definitions
+# ---------------------------------------------------------------------------
+
+
+def _compose_function_definitions(state: _MergeState) -> None:
+    index = make_index(state.options.index)
+    for fd in state.target.function_definitions:
+        keys = [f"id:{fd.id}"]
+        if fd.math is not None:
+            keys.append(state.math_key(fd.math))
+        index.add(keys, fd)
+    for fd in state.source.function_definitions:
+        keys = [f"id:{state.resolve_ref(fd.id)}"]
+        if fd.math is not None:
+            keys.append(state.math_key(fd.math))
+        match = index.find(keys) if state.options.match_anything else None
+        if match is not None and state.math_equal(match.math, fd.math):
+            state.unite("functionDefinition", match.id, fd.id)
+            continue
+        new_fd = fd.copy()
+        new_fd.math = _rewrite_lambda(state, new_fd.math)
+        state.claim_id(new_fd, "functionDefinition")
+        state.target.add_function_definition(new_fd)
+        state.report.count_added("functionDefinition")
+
+
+def _rewrite_lambda(state: _MergeState, math: Optional[Lambda]) -> Optional[Lambda]:
+    if math is None:
+        return None
+    rewritten = state.rewrite(math)
+    return rewritten if isinstance(rewritten, Lambda) else math
+
+
+# ---------------------------------------------------------------------------
+# Phase: unit definitions
+# ---------------------------------------------------------------------------
+
+
+def _unit_key(definition: UnitDefinition) -> str:
+    canonical = definition.canonical()
+    # Round the factor so float dust cannot split equal units.
+    return f"unit:{canonical.factor:.12e}:{canonical.dims}"
+
+
+def _compose_unit_definitions(state: _MergeState) -> None:
+    index = make_index(state.options.index)
+    for ud in state.target.unit_definitions:
+        index.add([f"id:{ud.id}", _unit_key(ud)], ud)
+    for ud in state.source.unit_definitions:
+        keys = [f"id:{state.resolve_ref(ud.id)}", _unit_key(ud)]
+        match = index.find(keys) if state.options.match_anything else None
+        if match is not None and match.same_unit(ud):
+            state.unite("unitDefinition", match.id, ud.id)
+            continue
+        new_ud = ud.copy()
+        _claim_unit_id(state, new_ud)
+        state.target.add_unit_definition(new_ud)
+        state.report.count_added("unitDefinition")
+    state.target_registry = state.target.unit_registry()
+
+
+def _claim_unit_id(state: _MergeState, definition: UnitDefinition) -> None:
+    if definition.id is None:
+        return
+    current = state.mapping.resolve(definition.id)
+    taken = current in state.used_ids or any(
+        ud.id == current for ud in state.target.unit_definitions
+    )
+    if taken:
+        fresh = state.fresh_id(current)
+        state.report.rename(definition.id, fresh)
+        state.mapping.add(definition.id, fresh)
+        definition.id = fresh
+    else:
+        definition.id = current
+    state.used_ids.add(definition.id)
+
+
+# ---------------------------------------------------------------------------
+# Phases: compartment types / species types
+# ---------------------------------------------------------------------------
+
+
+def _compose_simple_named(state: _MergeState, kind: str, target_list, source_list, adder):
+    index = make_index(state.options.index)
+    for component in target_list:
+        index.add(state.keys_for(component), component)
+    for component in source_list:
+        keys = state.keys_for(component)
+        match = index.find(keys) if state.options.match_anything else None
+        if match is not None:
+            state.unite(kind, match.id, component.id)
+            continue
+        duplicate = component.copy()
+        state.claim_id(duplicate, kind)
+        adder(duplicate)
+        state.report.count_added(kind)
+
+
+def _compose_compartment_types(state: _MergeState) -> None:
+    _compose_simple_named(
+        state,
+        "compartmentType",
+        state.target.compartment_types,
+        state.source.compartment_types,
+        state.target.add_compartment_type,
+    )
+
+
+def _compose_species_types(state: _MergeState) -> None:
+    _compose_simple_named(
+        state,
+        "speciesType",
+        state.target.species_types,
+        state.source.species_types,
+        state.target.add_species_type,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase: compartments
+# ---------------------------------------------------------------------------
+
+
+def _compose_compartments(state: _MergeState) -> None:
+    index = make_index(state.options.index)
+    for compartment in state.target.compartments:
+        index.add(state.keys_for(compartment), compartment)
+    for compartment in state.source.compartments:
+        keys = state.keys_for(compartment)
+        match = index.find(keys) if state.options.match_anything else None
+        if match is not None:
+            state.unite("compartment", match.id, compartment.id)
+            _check_compartment_conflicts(state, match, compartment)
+            continue
+        duplicate = compartment.copy()
+        duplicate.compartment_type = state.resolve_ref(duplicate.compartment_type)
+        duplicate.outside = state.resolve_ref(duplicate.outside)
+        duplicate.units = state.resolve_ref(duplicate.units)
+        state.claim_id(duplicate, "compartment")
+        state.target.add_compartment(duplicate)
+        state.report.count_added("compartment")
+
+
+def _check_compartment_conflicts(state: _MergeState, first, second) -> None:
+    comparison = compare_values(
+        first.size,
+        second.size,
+        first.units or "litre",
+        second.units or "litre",
+        state.target_registry if state.options.convert_units else None,
+        state.source_registry,
+        state.options.value_tolerance,
+    )
+    if not comparison.equal:
+        state.conflict(
+            "compartment", first.id, "size", first.size, second.size
+        )
+    elif comparison.note:
+        state.report.warn(
+            "unit-conversion", comparison.note, "compartment", first.id
+        )
+    if first.spatial_dimensions != second.spatial_dimensions:
+        state.conflict(
+            "compartment",
+            first.id,
+            "spatialDimensions",
+            first.spatial_dimensions,
+            second.spatial_dimensions,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Phase: species
+# ---------------------------------------------------------------------------
+
+
+def _compose_species(state: _MergeState) -> None:
+    index = make_index(state.options.index)
+    for species in state.target.species:
+        index.add(_species_keys(state, species, mapped=False), species)
+    for species in state.source.species:
+        keys = _species_keys(state, species, mapped=True)
+        match = index.find(keys) if state.options.match_anything else None
+        if match is not None and _species_equal(state, match, species):
+            state.unite("species", match.id, species.id)
+            _check_species_conflicts(state, match, species)
+            continue
+        duplicate = species.copy()
+        duplicate.compartment = state.resolve_ref(duplicate.compartment)
+        duplicate.species_type = state.resolve_ref(duplicate.species_type)
+        duplicate.substance_units = state.resolve_ref(duplicate.substance_units)
+        state.claim_id(duplicate, "species")
+        state.target.add_species(duplicate)
+        state.report.count_added("species")
+
+
+def _species_keys(state: _MergeState, species: Species, mapped: bool) -> List[str]:
+    compartment = (
+        state.resolve_ref(species.compartment) if mapped else species.compartment
+    )
+    keys: List[str] = []
+    species_id = (
+        state.resolve_ref(species.id) if mapped else species.id
+    )
+    if species_id is not None:
+        keys.append(f"id:{species_id}")
+    label = species.name or species.id
+    if label is not None and state.options.match_anything:
+        if state.options.match_synonyms:
+            canonical = state.options.synonyms.canonical(label)
+        else:
+            canonical = label
+        # Scope name keys by compartment: same name in different
+        # compartments is a different pool of molecules.
+        keys.append(f"name:{canonical}@{compartment}")
+    return keys
+
+
+def _species_equal(state: _MergeState, first: Species, second: Species) -> bool:
+    first_compartment = first.compartment
+    second_compartment = state.resolve_ref(second.compartment)
+    if first_compartment == second_compartment:
+        return True
+    if state.options.match_synonyms and first_compartment and second_compartment:
+        return state.options.synonyms.are_synonyms(
+            first_compartment, second_compartment
+        )
+    return False
+
+
+def _check_species_conflicts(state: _MergeState, first: Species, second: Species) -> None:
+    compartment = state.target.get_compartment(first.compartment or "")
+    volume = compartment.size if compartment is not None else None
+    comparison = compare_species_initial(
+        first.initial_value(),
+        second.initial_value(),
+        first.initial_amount is not None,
+        second.initial_amount is not None,
+        volume,
+        first.substance_units,
+        second.substance_units,
+        state.target_registry if state.options.convert_units else None,
+        state.source_registry,
+        max(state.options.value_tolerance, 1e-6),
+    )
+    if not comparison.equal:
+        state.conflict(
+            "species",
+            first.id,
+            "initial value",
+            first.initial_value(),
+            second.initial_value(),
+        )
+    elif comparison.note:
+        state.report.warn(
+            "unit-conversion", comparison.note, "species", first.id
+        )
+    if first.boundary_condition != second.boundary_condition:
+        state.conflict(
+            "species",
+            first.id,
+            "boundaryCondition",
+            first.boundary_condition,
+            second.boundary_condition,
+        )
+    if first.charge is not None and second.charge is not None and (
+        first.charge != second.charge
+    ):
+        state.conflict(
+            "species", first.id, "charge", first.charge, second.charge
+        )
+
+
+# ---------------------------------------------------------------------------
+# Phase: parameters
+# ---------------------------------------------------------------------------
+
+
+def _compose_parameters(state: _MergeState) -> None:
+    """Parameters are united only when provably equal.
+
+    Paper §3: "All parameters in the original models have to be
+    included in the composed model, as there is no way of confirming
+    whether they are intended to be equal or not.  However, if two
+    parameters have the same name, then one is renamed to avoid
+    conflicts."  We confirm equality when both declare values that
+    agree (after unit conversion); everything else is included under a
+    fresh id with a warning.
+    """
+    index = make_index(state.options.index)
+    for parameter in state.target.parameters:
+        index.add(state.keys_for(parameter), parameter)
+    for parameter in state.source.parameters:
+        keys = state.keys_for(parameter)
+        match = index.find(keys) if state.options.match_anything else None
+        if match is not None:
+            comparison = compare_values(
+                match.value,
+                parameter.value,
+                match.units,
+                parameter.units,
+                state.target_registry if state.options.convert_units else None,
+                state.source_registry,
+                state.options.value_tolerance,
+            )
+            # Constants unify only when both declare agreeing values
+            # ("no way of confirming whether they are intended to be
+            # equal" otherwise).  Non-constant parameters are state
+            # variables determined by rules/events: like species, name
+            # identity is their identity, with value disagreements
+            # logged as conflicts.
+            both_variable = not match.constant and not parameter.constant
+            provably_equal = (
+                comparison.equal
+                and match.value is not None
+                and parameter.value is not None
+                and match.constant == parameter.constant
+            )
+            if provably_equal or (both_variable and comparison.equal):
+                state.unite("parameter", match.id, parameter.id)
+                if comparison.note:
+                    state.report.warn(
+                        "unit-conversion",
+                        comparison.note,
+                        "parameter",
+                        match.id,
+                    )
+                continue
+            if both_variable:
+                state.unite("parameter", match.id, parameter.id)
+                state.conflict(
+                    "parameter",
+                    match.id or "?",
+                    "value",
+                    match.value,
+                    parameter.value,
+                )
+                continue
+            # Same name, unconfirmed equality: include both, rename.
+            duplicate = parameter.copy()
+            duplicate.units = state.resolve_ref(duplicate.units)
+            state.claim_id_for_parameter_clash(duplicate, match)
+            state.target.add_parameter(duplicate)
+            state.report.count_added("parameter")
+            continue
+        duplicate = parameter.copy()
+        duplicate.units = state.resolve_ref(duplicate.units)
+        state.claim_id(duplicate, "parameter")
+        state.target.add_parameter(duplicate)
+        state.report.count_added("parameter")
+
+
+def _claim_id_for_parameter_clash(state: _MergeState, parameter, match) -> None:
+    original = parameter.id
+    current = state.mapping.resolve(parameter.id) if parameter.id else None
+    fresh = state.fresh_id(current or "parameter")
+    if original is not None:
+        state.report.rename(original, fresh)
+        state.mapping.add(original, fresh)
+    parameter.id = fresh
+    state.used_ids.add(fresh)
+    state.report.warn(
+        "parameter-clash",
+        (
+            f"parameter {original!r} matches {match.id!r} by name but "
+            f"equality could not be confirmed "
+            f"({match.value!r} vs {parameter.value!r}); kept both"
+        ),
+        "parameter",
+        fresh,
+    )
+
+
+# Bind the clash helper onto the state class (keeps call sites tidy).
+_MergeState.claim_id_for_parameter_clash = (
+    lambda self, parameter, match: _claim_id_for_parameter_clash(
+        self, parameter, match
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Phase: initial assignments
+# ---------------------------------------------------------------------------
+
+
+def _compose_initial_assignments(state: _MergeState) -> None:
+    index = make_index(state.options.index)
+    for ia in state.target.initial_assignments:
+        index.add([f"symbol:{ia.symbol}"], ia)
+    for ia in state.source.initial_assignments:
+        symbol = state.resolve_ref(ia.symbol)
+        match = (
+            index.find([f"symbol:{symbol}"])
+            if state.options.match_anything
+            else None
+        )
+        if match is not None:
+            _merge_initial_assignment(state, match, ia)
+            continue
+        duplicate = ia.copy()
+        duplicate.symbol = symbol
+        duplicate.math = state.rewrite(duplicate.math)
+        state.target.add_initial_assignment(duplicate)
+        index.add([f"symbol:{duplicate.symbol}"], duplicate)
+        state.report.count_added("initialAssignment")
+
+
+def _merge_initial_assignment(state: _MergeState, first, second) -> None:
+    """Two initial assignments for one symbol: decide by math pattern,
+    then by evaluation (the paper's novel capability)."""
+    if state.math_equal(first.math, second.math):
+        state.unite("initialAssignment", first.symbol, second.symbol)
+        return
+    if state.options.evaluate_initial_assignments:
+        first_value = (
+            state.evaluate_target_math(first.math)
+            if first.math is not None
+            else None
+        )
+        second_value = (
+            state.evaluate_source_math(second.math)
+            if second.math is not None
+            else None
+        )
+        if (
+            first_value is not None
+            and second_value is not None
+            and state.options.values_equal(first_value, second_value)
+        ):
+            state.unite("initialAssignment", first.symbol, second.symbol)
+            state.report.warn(
+                "math-evaluated",
+                (
+                    f"initial assignments for {first.symbol!r} differ "
+                    f"syntactically but both evaluate to {first_value:g}"
+                ),
+                "initialAssignment",
+                first.symbol,
+            )
+            return
+    state.conflict(
+        "initialAssignment",
+        first.symbol or "?",
+        "math",
+        first.math,
+        second.math,
+        resolution="kept first model's initial assignment",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase: rules
+# ---------------------------------------------------------------------------
+
+
+def _rule_kind(rule) -> str:
+    if isinstance(rule, AssignmentRule):
+        return "assignmentRule"
+    if isinstance(rule, RateRule):
+        return "rateRule"
+    return "algebraicRule"
+
+
+def _compose_rules(state: _MergeState) -> None:
+    index = make_index(state.options.index)
+    for rule in state.target.rules:
+        index.add(_rule_keys(state, rule, mapped=False), rule)
+    for rule in state.source.rules:
+        keys = _rule_keys(state, rule, mapped=True)
+        match = index.find(keys) if state.options.match_anything else None
+        if match is not None and _rule_kind(match) == _rule_kind(rule):
+            if state.math_equal(match.math, rule.math):
+                state.unite(
+                    _rule_kind(rule),
+                    match.variable or "algebraic",
+                    rule.variable or "algebraic",
+                )
+                continue
+            # Same determined variable, different math: a model cannot
+            # contain both; keep the first and log the conflict.
+            state.conflict(
+                _rule_kind(rule),
+                match.variable or "algebraic",
+                "math",
+                match.math,
+                rule.math,
+                resolution="kept first model's rule",
+            )
+            continue
+        duplicate = rule.copy()
+        if duplicate.variable is not None:
+            duplicate.variable = state.resolve_ref(duplicate.variable)
+        duplicate.math = state.rewrite(duplicate.math)
+        state.target.add_rule(duplicate)
+        index.add(_rule_keys(state, duplicate, mapped=False), duplicate)
+        state.report.count_added(_rule_kind(rule))
+
+
+def _rule_keys(state: _MergeState, rule, mapped: bool) -> List[str]:
+    kind = _rule_kind(rule)
+    if rule.variable is not None:
+        variable = state.resolve_ref(rule.variable) if mapped else rule.variable
+        return [f"rule:{kind}:{variable}"]
+    if rule.math is None:
+        return [f"rule:{kind}:<empty>"]
+    return [f"rule:{kind}:{state.math_key(rule.math)}"]
+
+
+# ---------------------------------------------------------------------------
+# Phase: constraints
+# ---------------------------------------------------------------------------
+
+
+def _compose_constraints(state: _MergeState) -> None:
+    index = make_index(state.options.index)
+    for constraint in state.target.constraints:
+        if constraint.math is not None:
+            index.add([state.math_key(constraint.math)], constraint)
+    for constraint in state.source.constraints:
+        match = None
+        if constraint.math is not None and state.options.match_anything:
+            match = index.find([state.math_key(constraint.math)])
+        if match is not None:
+            state.unite(
+                "constraint",
+                match.message or "constraint",
+                constraint.message or "constraint",
+            )
+            continue
+        duplicate = constraint.copy()
+        duplicate.math = state.rewrite(duplicate.math)
+        state.target.add_constraint(duplicate)
+        state.report.count_added("constraint")
+
+
+# ---------------------------------------------------------------------------
+# Phase: reactions
+# ---------------------------------------------------------------------------
+
+
+def _reaction_signature(state: _MergeState, reaction: Reaction, mapped: bool) -> str:
+    """Structural identity of a reaction: its mapped participants.
+
+    The paper checks "the reactants, modifiers and products ... for
+    equality"; stoichiometry is part of the check.
+    """
+
+    def side(references) -> str:
+        entries = []
+        for reference in references:
+            species = (
+                state.resolve_ref(reference.species)
+                if mapped
+                else reference.species
+            )
+            entries.append(f"{species}*{reference.stoichiometry:g}")
+        return "+".join(sorted(entries))
+
+    modifiers = sorted(
+        state.resolve_ref(m.species) if mapped else m.species
+        for m in reaction.modifiers
+    )
+    return (
+        f"rxn:{side(reaction.reactants)}>{side(reaction.products)}"
+        f"|mod:{','.join(modifiers)}|rev:{int(reaction.reversible)}"
+    )
+
+
+def _law_comparison_math(
+    state: _MergeState, law: Optional[KineticLaw]
+) -> Optional[MathNode]:
+    """Kinetic-law math with local parameters inlined by value, so two
+    laws with identically-valued locals of different names compare
+    equal.  The substituted form is cached per (law math, local
+    values) so repeated compositions of the same models reuse it."""
+    if law is None or law.math is None:
+        return None
+    locals_items = tuple(
+        sorted(
+            (parameter.id, parameter.value)
+            for parameter in law.parameters
+            if parameter.id is not None and parameter.value is not None
+        )
+    )
+    if not locals_items:
+        return law.math
+    if state._pattern_cache is not None:
+        return state._pattern_cache.law_comparison_math(
+            law.math, locals_items
+        )
+    substitutions = {
+        name: Number(value) for name, value in locals_items
+    }
+    return law.math.substitute(substitutions)
+
+
+def _compose_reactions(state: _MergeState) -> None:
+    index = make_index(state.options.index)
+    for reaction in state.target.reactions:
+        index.add(
+            [
+                f"id:{reaction.id}",
+                _reaction_signature(state, reaction, mapped=False),
+            ],
+            reaction,
+        )
+    for reaction in state.source.reactions:
+        signature = _reaction_signature(state, reaction, mapped=True)
+        keys = [f"id:{state.resolve_ref(reaction.id)}", signature]
+        match = index.find(keys) if state.options.match_anything else None
+        if match is not None and _reactions_equal(state, match, reaction, signature):
+            state.unite("reaction", match.id, reaction.id)
+            continue
+        duplicate = _rewrite_reaction(state, reaction)
+        state.claim_id(duplicate, "reaction")
+        state.target.add_reaction(duplicate)
+        state.report.count_added("reaction")
+
+
+def _reactions_equal(
+    state: _MergeState, first: Reaction, second: Reaction, second_signature: str
+) -> bool:
+    first_signature = _reaction_signature(state, first, mapped=False)
+    if first_signature != second_signature:
+        return False
+    first_math = _law_comparison_math(state, first.kinetic_law)
+    second_math = _law_comparison_math(state, second.kinetic_law)
+    if state.math_equal(first_math, second_math):
+        return True
+    # Same structure, different law.  Try the Figure 6 rate-constant
+    # reconciliation before calling it a conflict.
+    if state.options.convert_units and _rate_constants_reconcile(
+        state, first, second
+    ):
+        return True
+    state.conflict(
+        "reaction",
+        first.id or "?",
+        "kineticLaw",
+        first.kinetic_law.math if first.kinetic_law else None,
+        second.kinetic_law.math if second.kinetic_law else None,
+        resolution="kept first model's kinetic law",
+    )
+    return True  # structurally the same reaction: unite, first law wins
+
+
+def _mass_action_constant(
+    state: _MergeState, reaction: Reaction, model: Model, env: Dict[str, float]
+) -> Optional[float]:
+    """Numeric rate constant if the reaction's law is mass action
+    (k · Π reactants), else None."""
+    law = reaction.kinetic_law
+    if law is None or law.math is None:
+        return None
+    math = _law_comparison_math(state, law)
+    expected_ids = sorted(
+        reference.species for reference in reaction.reactants
+    )
+    # Peel a product: exactly the reactant ids (with multiplicity by
+    # stoichiometry) times one remaining factor = the constant.
+    factors = (
+        list(math.args) if isinstance(math, Apply) and math.op == "times" else [math]
+    )
+    remaining: List[MathNode] = []
+    species_seen: List[str] = []
+    for factor in factors:
+        if isinstance(factor, Identifier) and factor.name in expected_ids:
+            species_seen.append(factor.name)
+        elif (
+            isinstance(factor, Apply)
+            and factor.op == "power"
+            and isinstance(factor.args[0], Identifier)
+            and factor.args[0].name in expected_ids
+            and isinstance(factor.args[1], Number)
+        ):
+            species_seen.extend(
+                [factor.args[0].name] * int(factor.args[1].value)
+            )
+        else:
+            remaining.append(factor)
+    expected_multiset = sorted(
+        reference.species
+        for reference in reaction.reactants
+        for _ in range(int(reference.stoichiometry))
+        if float(reference.stoichiometry).is_integer()
+    )
+    if sorted(species_seen) != expected_multiset or len(remaining) != 1:
+        return None
+    return _try_evaluate(remaining[0], model, env)
+
+
+def _rate_constants_reconcile(
+    state: _MergeState, first: Reaction, second: Reaction
+) -> bool:
+    try:
+        stoichiometries = [
+            reference.stoichiometry for reference in first.reactants
+        ]
+        order = int(sum(stoichiometries))
+        if any(
+            not float(s).is_integer() for s in stoichiometries
+        ) or order not in (0, 1, 2):
+            return False
+    except (TypeError, ValueError):
+        return False
+    first_k = _mass_action_constant(
+        state, first, state.target, state.target_initial
+    )
+    second_k = _mass_action_constant(
+        state, second, state.source, state.source_initial
+    )
+    if first_k is None or second_k is None:
+        return False
+    volume = None
+    if first.reactants:
+        species = state.target.get_species(
+            state.resolve_ref(first.reactants[0].species) or ""
+        )
+        if species is not None and species.compartment:
+            compartment = state.target.get_compartment(species.compartment)
+            if compartment is not None:
+                volume = compartment.size
+    elif state.target.compartments:
+        volume = state.target.compartments[0].size
+    comparison = reconcile_rate_constants(
+        first_k, second_k, order, volume, max(state.options.value_tolerance, 1e-6)
+    )
+    if comparison.equal and comparison.note:
+        state.report.warn(
+            "unit-conversion", comparison.note, "reaction", first.id
+        )
+    return comparison.equal
+
+
+def _rewrite_reaction(state: _MergeState, reaction: Reaction) -> Reaction:
+    duplicate = reaction.copy()
+    for reference in duplicate.reactants + duplicate.products:
+        reference.species = state.resolve_ref(reference.species)
+    for modifier in duplicate.modifiers:
+        modifier.species = state.resolve_ref(modifier.species)
+    law = duplicate.kinetic_law
+    if law is not None and law.math is not None:
+        # Local parameters shadow globals: do not rewrite their names.
+        local_ids = set(law.local_parameter_ids())
+        flat = {
+            old: new
+            for old, new in state._flat().items()
+            if old not in local_ids
+        }
+        law.math = law.math.rename(flat)
+        for parameter in law.parameters:
+            parameter.units = state.resolve_ref(parameter.units)
+    return duplicate
+
+
+# ---------------------------------------------------------------------------
+# Phase: events
+# ---------------------------------------------------------------------------
+
+
+def _event_key(state: _MergeState, event: Event, mapped: bool) -> str:
+    trigger = (
+        state.math_key(event.trigger.math)
+        if event.trigger is not None and event.trigger.math is not None
+        else "<none>"
+    )
+    delay = (
+        state.math_key(event.delay.math)
+        if event.delay is not None and event.delay.math is not None
+        else "<none>"
+    )
+    assignments = sorted(
+        (
+            state.resolve_ref(assignment.variable) if mapped else assignment.variable,
+            state.math_key(assignment.math)
+            if assignment.math is not None
+            else "<none>",
+        )
+        for assignment in event.assignments
+    )
+    return f"event:{trigger}|{delay}|{assignments}"
+
+
+def _compose_events(state: _MergeState) -> None:
+    index = make_index(state.options.index)
+    for event in state.target.events:
+        index.add(
+            [f"id:{event.id}", _event_key(state, event, mapped=False)], event
+        )
+    for event in state.source.events:
+        keys = [
+            f"id:{state.resolve_ref(event.id)}",
+            _event_key(state, event, mapped=True),
+        ]
+        match = index.find(keys) if state.options.match_anything else None
+        if match is not None and (
+            _event_key(state, match, mapped=False)
+            == _event_key(state, event, mapped=True)
+        ):
+            state.unite("event", match.id or "?", event.id or "?")
+            continue
+        duplicate = event.copy()
+        if duplicate.trigger is not None:
+            duplicate.trigger.math = state.rewrite(duplicate.trigger.math)
+        if duplicate.delay is not None:
+            duplicate.delay.math = state.rewrite(duplicate.delay.math)
+        for assignment in duplicate.assignments:
+            assignment.variable = state.resolve_ref(assignment.variable)
+            assignment.math = state.rewrite(assignment.math)
+        state.claim_id(duplicate, "event")
+        state.target.add_event(duplicate)
+        state.report.count_added("event")

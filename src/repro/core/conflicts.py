@@ -1,0 +1,198 @@
+"""Conflict detection helpers with unit-aware value comparison.
+
+"A significant problem encountered during conflict checking was that
+values in different models may be defined using different units"
+(paper §3).  Before declaring two attribute values conflicting, the
+composition engine tries to reconcile them:
+
+* plain numeric equality (within tolerance),
+* unit conversion when both sides carry convertible units
+  (mmol vs mol, ml vs l, ...),
+* the Figure 6 mole/molecule conversions for species initial values
+  (concentration vs molecule count needs compartment volume and
+  Avogadro's number) and for mass-action rate constants
+  (deterministic vs stochastic constants need reaction order too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import IncompatibleUnitsError, UnitError, UnknownUnitError
+from repro.units.convert import (
+    concentration_to_molecules,
+    deterministic_to_stochastic,
+)
+from repro.units.registry import UnitRegistry
+
+__all__ = [
+    "ValueComparison",
+    "compare_values",
+    "compare_species_initial",
+    "reconcile_rate_constants",
+]
+
+
+@dataclass(frozen=True)
+class ValueComparison:
+    """Outcome of a unit-aware value comparison."""
+
+    equal: bool
+    #: Human-readable note when a conversion made the values agree.
+    note: Optional[str] = None
+
+
+def _close(first: float, second: float, tolerance: float) -> bool:
+    if first == second:
+        return True
+    scale = max(abs(first), abs(second))
+    return abs(first - second) <= tolerance * scale
+
+
+def compare_values(
+    first: Optional[float],
+    second: Optional[float],
+    first_units: Optional[str] = None,
+    second_units: Optional[str] = None,
+    registry: Optional[UnitRegistry] = None,
+    second_registry: Optional[UnitRegistry] = None,
+    tolerance: float = 1e-9,
+) -> ValueComparison:
+    """Compare two attribute values, converting units when possible.
+
+    ``registry`` resolves ``first_units``; ``second_registry``
+    (defaulting to ``registry``) resolves ``second_units`` — the two
+    models may define the same unit id differently.
+    """
+    if first is None and second is None:
+        return ValueComparison(True)
+    if first is None or second is None:
+        return ValueComparison(False)
+    if _close(first, second, tolerance):
+        return ValueComparison(True)
+    if (
+        registry is None
+        or first_units is None
+        or second_units is None
+        or first_units == second_units
+    ):
+        return ValueComparison(False)
+    source_registry = second_registry or registry
+    try:
+        canonical_second = source_registry.resolve(second_units)
+        canonical_first = registry.resolve(first_units)
+        factor = canonical_second.conversion_factor(canonical_first)
+    except (UnknownUnitError, IncompatibleUnitsError):
+        return ValueComparison(False)
+    if _close(second * factor, first, tolerance):
+        return ValueComparison(
+            True,
+            note=(
+                f"values agree after converting {second_units} to "
+                f"{first_units} (factor {factor:g})"
+            ),
+        )
+    return ValueComparison(False)
+
+
+def compare_species_initial(
+    first_value: Optional[float],
+    second_value: Optional[float],
+    first_is_amount: bool,
+    second_is_amount: bool,
+    compartment_volume: Optional[float],
+    first_units: Optional[str] = None,
+    second_units: Optional[str] = None,
+    registry: Optional[UnitRegistry] = None,
+    second_registry: Optional[UnitRegistry] = None,
+    tolerance: float = 1e-6,
+) -> ValueComparison:
+    """Compare species initial values across conventions.
+
+    When one model declares an initial *concentration* and the other an
+    initial *amount* in molecules (``item`` substance units), Figure 6
+    applies: ``x = nA·[X]·V``.  For same-convention values, fall back
+    on plain unit-aware comparison.
+    """
+    if first_value is None and second_value is None:
+        return ValueComparison(True)
+    if first_value is None or second_value is None:
+        return ValueComparison(False)
+    if first_is_amount == second_is_amount:
+        return compare_values(
+            first_value,
+            second_value,
+            first_units,
+            second_units,
+            registry,
+            second_registry,
+            tolerance,
+        )
+    if compartment_volume is None or compartment_volume <= 0:
+        return ValueComparison(False)
+    # Mixed convention: convert the concentration side into molecules.
+    if first_is_amount:
+        amount, concentration = first_value, second_value
+    else:
+        amount, concentration = second_value, first_value
+    try:
+        converted = concentration_to_molecules(
+            concentration, compartment_volume
+        )
+    except UnitError:
+        return ValueComparison(False)
+    if _close(amount, converted, tolerance):
+        return ValueComparison(
+            True,
+            note=(
+                "initial amount and concentration agree after the "
+                f"Figure 6 conversion (volume {compartment_volume:g} l)"
+            ),
+        )
+    return ValueComparison(False)
+
+
+def reconcile_rate_constants(
+    first_k: float,
+    second_k: float,
+    order: int,
+    compartment_volume: Optional[float],
+    tolerance: float = 1e-6,
+) -> ValueComparison:
+    """Decide whether two mass-action rate constants describe the same
+    physics under the Figure 6 deterministic ↔ stochastic conversion.
+
+    Checks, in order: plain equality; ``second == det→stoch(first)``;
+    ``first == det→stoch(second)``.
+    """
+    if _close(first_k, second_k, tolerance):
+        return ValueComparison(True)
+    if compartment_volume is None or compartment_volume <= 0:
+        return ValueComparison(False)
+    try:
+        forward = deterministic_to_stochastic(
+            first_k, order, compartment_volume
+        )
+        backward = deterministic_to_stochastic(
+            second_k, order, compartment_volume
+        )
+    except UnitError:
+        return ValueComparison(False)
+    if _close(second_k, forward, tolerance):
+        return ValueComparison(
+            True,
+            note=(
+                f"rate constants agree after deterministic-to-stochastic "
+                f"conversion (order {order}, volume {compartment_volume:g} l)"
+            ),
+        )
+    if _close(first_k, backward, tolerance):
+        return ValueComparison(
+            True,
+            note=(
+                f"rate constants agree after stochastic-to-deterministic "
+                f"conversion (order {order}, volume {compartment_volume:g} l)"
+            ),
+        )
+    return ValueComparison(False)

@@ -1,0 +1,153 @@
+"""Component indexes — the lookup structure of Figure 5 line 5.
+
+The paper: "Currently the indexing structure mentioned in line 5 is a
+hash map.  A hash map exists for each component contained in an SBML
+model.  These indexes use a string as the key. ... This index
+structure will be the subject of future research."
+
+Three interchangeable strategies are provided so the future-research
+question (and the §5 item 7 complexity claim) can be measured:
+
+* :class:`HashIndex` — dict lookup, amortised O(1) per probe.  The
+  paper's implementation and our default.
+* :class:`SortedKeyIndex` — keys in a sorted array probed with
+  ``bisect``, O(log n) per probe; stands in for the suffix-tree /
+  sorted-index idea of future-work item 7.
+* :class:`LinearIndex` — list scan, O(n) per probe.  With it the
+  whole composition is O(n·m), the complexity the paper reports for
+  semanticSBML-era merging; used by the index ablation benchmark.
+
+Every component may be registered under *several* keys (its id, its
+normalised name, its synonym-canonical name, a math pattern ...);
+a lookup probes the caller's keys in order and returns the first hit.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ComponentIndex",
+    "HashIndex",
+    "LinearIndex",
+    "SortedKeyIndex",
+    "make_index",
+]
+
+
+class ComponentIndex:
+    """Interface: multi-key exact-match index over components."""
+
+    def add(self, keys: Sequence[str], component: object) -> None:
+        """Register ``component`` under every key in ``keys``."""
+        raise NotImplementedError
+
+    def find(self, keys: Sequence[str]) -> Optional[object]:
+        """Return the first component matching any key, else None."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class HashIndex(ComponentIndex):
+    """Dict-backed index (the paper's hash map)."""
+
+    def __init__(self):
+        self._table: Dict[str, object] = {}
+        self._count = 0
+
+    def add(self, keys: Sequence[str], component: object) -> None:
+        self._count += 1
+        for key in keys:
+            # First registration wins so lookups keep returning the
+            # earliest matching component (Figure 5 keeps S1).
+            self._table.setdefault(key, component)
+
+    def find(self, keys: Sequence[str]) -> Optional[object]:
+        for key in keys:
+            hit = self._table.get(key)
+            if hit is not None:
+                return hit
+        return None
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class LinearIndex(ComponentIndex):
+    """List-scan index: every probe walks all registered entries."""
+
+    def __init__(self):
+        self._entries: List[Tuple[List[str], object]] = []
+
+    def add(self, keys: Sequence[str], component: object) -> None:
+        self._entries.append((list(keys), component))
+
+    def find(self, keys: Sequence[str]) -> Optional[object]:
+        # Probe keys are tried in caller priority order (id before
+        # name), matching the other strategies.
+        for key in keys:
+            for entry_keys, component in self._entries:
+                if key in entry_keys:
+                    return component
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class SortedKeyIndex(ComponentIndex):
+    """Sorted-array index probed via binary search.
+
+    Keeps ``(key, insertion_order, component)`` tuples sorted by key;
+    lookup returns the earliest-inserted component among equal keys.
+    """
+
+    def __init__(self):
+        self._keys: List[str] = []
+        self._rows: List[Tuple[int, object]] = []
+        self._count = 0
+
+    def add(self, keys: Sequence[str], component: object) -> None:
+        order = self._count
+        self._count += 1
+        for key in keys:
+            position = bisect.bisect_left(self._keys, key)
+            # Insert before later-inserted duplicates of the same key.
+            while (
+                position < len(self._keys)
+                and self._keys[position] == key
+                and self._rows[position][0] < order
+            ):
+                position += 1
+            self._keys.insert(position, key)
+            self._rows.insert(position, (order, component))
+
+    def find(self, keys: Sequence[str]) -> Optional[object]:
+        # First probe key that hits wins (same contract as HashIndex);
+        # among equal keys the earliest-inserted component is returned.
+        for key in keys:
+            position = bisect.bisect_left(self._keys, key)
+            if position < len(self._keys) and self._keys[position] == key:
+                return self._rows[position][1]
+        return None
+
+    def __len__(self) -> int:
+        return self._count
+
+
+_STRATEGIES = {
+    "hash": HashIndex,
+    "linear": LinearIndex,
+    "sorted": SortedKeyIndex,
+}
+
+
+def make_index(strategy: str) -> ComponentIndex:
+    """Instantiate an index for an options-level strategy name."""
+    try:
+        return _STRATEGIES[strategy]()
+    except KeyError:
+        raise ValueError(f"unknown index strategy {strategy!r}") from None

@@ -1,0 +1,64 @@
+"""Id mappings maintained during composition.
+
+Figure 5's "add mapping" steps: when a second-model component is
+united with (or renamed relative to) a first-model component, every
+later reference to the old id — in species references, compartment
+attributes, rule variables and math — must resolve to the new id.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.mathml.ast import MathNode
+
+__all__ = ["IdMapping"]
+
+
+class IdMapping:
+    """old-id → new-id mapping with chain resolution."""
+
+    def __init__(self, initial: Optional[Mapping[str, str]] = None):
+        self._table: Dict[str, str] = dict(initial or {})
+        #: Bumped on every change; lets callers cache derived views.
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, old: str) -> bool:
+        return old in self._table
+
+    def add(self, old: str, new: str) -> None:
+        """Record a mapping (no-op when old == new)."""
+        if old != new:
+            self._table[old] = new
+            self.version += 1
+
+    def resolve(self, name: Optional[str]) -> Optional[str]:
+        """Follow the mapping chain from ``name`` to its final id.
+
+        Cycle-safe: a (malformed) cyclic chain terminates at the point
+        the cycle closes.
+        """
+        if name is None:
+            return None
+        seen = {name}
+        current = name
+        while current in self._table:
+            current = self._table[current]
+            if current in seen:
+                break
+            seen.add(current)
+        return current
+
+    def rewrite_math(self, math: Optional[MathNode]) -> Optional[MathNode]:
+        """Rewrite every identifier in ``math`` through the mapping."""
+        if math is None or not self._table:
+            return math
+        flat = {old: self.resolve(old) for old in self._table}
+        return math.rename(flat)
+
+    def as_dict(self) -> Dict[str, str]:
+        """Flat copy with every chain fully resolved."""
+        return {old: self.resolve(old) for old in self._table}

@@ -1,0 +1,114 @@
+"""Memoised canonical-pattern computation (paper §5, items 6-7).
+
+The index ablation (EXPERIMENTS.md) shows the Figure 5 lookup is not
+where composition time goes — rebuilding Figure 7 patterns is.  The
+paper's future work asks for "algorithmic optimisation of graph
+operations" and complexity reduction "down to O(m+n), as graph nodes
+can be indexed while being parsed"; the equivalent for math is to
+compute each expression's pattern once and reuse it.
+
+The subtlety is the live id mapping: a pattern depends on the mapping
+entries that touch the expression's identifiers.  The cache therefore
+keys every expression by the *restriction* of the mapping to the
+expression's own identifiers — expressions that reference no mapped
+ids (the overwhelming majority) hit a single cached entry no matter
+how the mapping grows.
+
+Expression nodes are immutable, so caching by object identity is safe
+while the owning models are alive; the cache belongs to a single
+composition run and dies with it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from repro.mathml.ast import Apply, Identifier, KNOWN_OPERATORS, MathNode
+from repro.mathml.pattern import canonical_pattern
+
+__all__ = ["PatternCache"]
+
+
+class PatternCache:
+    """Per-composition memo for canonical patterns.
+
+    ``pattern(math, mapping)`` returns exactly what
+    :func:`repro.mathml.pattern.canonical_pattern` would, but caches:
+
+    * the set of identifiers of each expression (including user
+      function names, which the mapping can also rewrite),
+    * the pattern under each distinct *relevant* mapping restriction.
+    """
+
+    def __init__(self):
+        self._identifiers: Dict[int, FrozenSet[str]] = {}
+        # (id(node), restricted-mapping-items) -> pattern
+        self._patterns: Dict[Tuple[int, Tuple[Tuple[str, str], ...]], str] = {}
+        # (id(law math), local-parameter values) -> substituted math
+        self._law_math: Dict[Tuple, MathNode] = {}
+        # Keep nodes alive so id() keys stay valid.
+        self._pinned: Dict[int, MathNode] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _identifier_set(self, math: MathNode) -> FrozenSet[str]:
+        key = id(math)
+        cached = self._identifiers.get(key)
+        if cached is not None:
+            return cached
+        names = set()
+        for node in math.walk():
+            if isinstance(node, Identifier):
+                names.add(node.name)
+            elif isinstance(node, Apply) and node.op not in KNOWN_OPERATORS:
+                names.add(node.op)
+        result = frozenset(names)
+        self._identifiers[key] = result
+        self._pinned[key] = math
+        return result
+
+    def pattern(self, math: MathNode, mapping: Mapping[str, str]) -> str:
+        """The canonical pattern of ``math`` under ``mapping``."""
+        identifiers = self._identifier_set(math)
+        relevant = tuple(
+            sorted(
+                (name, mapping[name])
+                for name in identifiers
+                if name in mapping
+            )
+        )
+        key = (id(math), relevant)
+        cached = self._patterns.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = canonical_pattern(math, dict(relevant))
+        self._patterns[key] = result
+        return result
+
+    def law_comparison_math(self, math: MathNode, locals_items) -> MathNode:
+        """Cache the local-parameter-substituted form of a kinetic law.
+
+        ``locals_items`` is a sorted tuple of ``(name, value)`` pairs.
+        Model copies share math node objects with their originals, so
+        the cache persists across every composition a model takes part
+        in — this is where the Figure 8 all-pairs sweep reuses work.
+        """
+        key = (id(math), locals_items)
+        cached = self._law_math.get(key)
+        if cached is not None:
+            return cached
+        self._pinned[id(math)] = math
+        from repro.mathml.ast import Number
+
+        substituted = math.substitute(
+            {name: Number(value) for name, value in locals_items}
+        )
+        self._law_math[key] = substituted
+        return substituted
+
+    def stats(self) -> str:
+        total = self.hits + self.misses
+        rate = self.hits / total if total else 0.0
+        return f"{self.hits}/{total} hits ({rate:.0%})"

@@ -1,0 +1,47 @@
+"""Corpus substrate: the models the experiments run on.
+
+* :mod:`repro.corpus.biomodels_like` — the 187-model synthetic corpus
+  standing in for BioModels (paper Figure 8; see DESIGN.md §3).
+* :mod:`repro.corpus.semantic_suite` — the 17 small annotated models
+  of the semanticSBML test suite (paper Figure 9).
+* :mod:`repro.corpus.curated` — hand-written pathway models for the
+  examples and integration tests.
+"""
+
+from repro.corpus.biomodels_like import (
+    CORPUS_SIZE,
+    MAX_EDGES,
+    MAX_NODES,
+    corpus_by_size,
+    generate_corpus,
+    generate_model,
+)
+from repro.corpus.curated import (
+    drug_inhibition,
+    gene_expression,
+    glycolysis_lower,
+    glycolysis_upper,
+    lotka_volterra,
+    mapk_cascade,
+)
+from repro.corpus.library import LibraryEntry, PartLibrary
+from repro.corpus.semantic_suite import SUITE_SIZE, semantic_suite
+
+__all__ = [
+    "generate_corpus",
+    "generate_model",
+    "corpus_by_size",
+    "CORPUS_SIZE",
+    "MAX_NODES",
+    "MAX_EDGES",
+    "semantic_suite",
+    "SUITE_SIZE",
+    "glycolysis_upper",
+    "glycolysis_lower",
+    "mapk_cascade",
+    "drug_inhibition",
+    "gene_expression",
+    "lotka_volterra",
+    "PartLibrary",
+    "LibraryEntry",
+]

@@ -1,0 +1,252 @@
+"""Synthetic BioModels-like corpus (substitute for the paper's data).
+
+The paper's Figure 8 experiment: "The models were sourced from the
+BioModels database — 187 models.  Model size ranged from 0 to 194
+nodes and 0 to 313 edges.  Each of the models was composed with every
+other model ... in order of size (size = nodes + edges)."
+
+BioModels content cannot be shipped offline, so this generator
+produces a corpus with the same *shape* (see DESIGN.md §3):
+
+* exactly 187 models,
+* node counts spanning 0..194 and edge counts 0..313, skewed small
+  like the real database (many small models, a long tail of large
+  ones),
+* species drawn from a shared systematic name pool, so models overlap
+  and composition genuinely unites components,
+* mass-action and Michaelis-Menten kinetics, reversible reactions,
+  occasional rules and events — the component mix SBMLCompose must
+  handle,
+* fully deterministic for a given seed and valid SBML.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sbml.builder import ModelBuilder
+from repro.sbml.model import Model
+
+__all__ = [
+    "CORPUS_SIZE",
+    "MAX_NODES",
+    "MAX_EDGES",
+    "generate_corpus",
+    "generate_model",
+    "corpus_by_size",
+]
+
+CORPUS_SIZE = 187
+MAX_NODES = 194
+MAX_EDGES = 313
+
+#: Size of the shared species-name pool; smaller pool => more overlap
+#: between models => more duplicate-matching work for the composer.
+_POOL_SIZE = 2_500
+
+_FAMILIES = ("species", "protein", "gene", "compound", "enzyme")
+
+
+def _pool_name(index: int) -> str:
+    family = _FAMILIES[index % len(_FAMILIES)]
+    return f"{family}_{index // len(_FAMILIES)}"
+
+
+def _node_count(position: int, count: int, rng: np.random.Generator) -> int:
+    """Node count for the model at ``position`` of ``count``.
+
+    A power curve reproduces the BioModels skew: most models are
+    small, the largest hits exactly MAX_NODES.  The first model is
+    empty (the paper's range starts at 0).
+    """
+    if position == 0:
+        return 0
+    if position == count - 1:
+        return MAX_NODES
+    fraction = position / (count - 1)
+    base = MAX_NODES * fraction**1.8
+    jitter = rng.integers(-3, 4)
+    return int(np.clip(round(base + jitter), 1, MAX_NODES - 1))
+
+
+def generate_model(
+    model_index: int,
+    n_nodes: int,
+    rng: np.random.Generator,
+    pool_offset: Optional[int] = None,
+) -> Model:
+    """One synthetic model with ``n_nodes`` species.
+
+    Species are taken from a window of the shared pool (so nearby
+    models overlap heavily) plus a few uniform picks (so distant
+    models still share entities).
+    """
+    builder = ModelBuilder(f"BIOMD{model_index:04d}")
+    builder.compartment("cell", size=1.0)
+    if n_nodes == 0:
+        return builder.build()
+
+    if pool_offset is None:
+        pool_offset = int(rng.integers(0, _POOL_SIZE))
+    picks: List[int] = []
+    seen = set()
+    window = max(n_nodes * 2, 10)
+    while len(picks) < n_nodes:
+        if rng.random() < 0.8:
+            candidate = (pool_offset + int(rng.integers(0, window))) % _POOL_SIZE
+        else:
+            candidate = int(rng.integers(0, _POOL_SIZE))
+        if candidate not in seen:
+            seen.add(candidate)
+            picks.append(candidate)
+    species_ids = []
+    for pool_index in picks:
+        name = _pool_name(pool_index)
+        species_id = name  # systematic ids keep overlap detectable
+        builder.species(
+            species_id,
+            float(np.round(rng.uniform(0.0, 10.0), 3)),
+            name=name,
+        )
+        species_ids.append(species_id)
+
+    # Edge budget: roughly 1.6 edges per node like the real corpus,
+    # capped at the paper's maximum.
+    target_edges = int(
+        np.clip(round(n_nodes * rng.uniform(1.1, 1.7)), 0, MAX_EDGES)
+    )
+    edges = 0
+    reaction_index = 0
+    guard = 0
+    while edges < target_edges and guard < target_edges * 10:
+        guard += 1
+        shape = rng.random()
+        rid = f"r{model_index:04d}_{reaction_index}"
+        k_value = float(np.round(rng.uniform(0.01, 2.0), 4))
+        if shape < 0.45 and n_nodes >= 2:
+            # Conversion A -> B (1 edge).
+            a, b = rng.choice(len(species_ids), size=2, replace=False)
+            builder.reaction(
+                rid,
+                [species_ids[a]],
+                [species_ids[b]],
+                formula=f"k_{rid} * {species_ids[a]}",
+                local_parameters={f"k_{rid}": k_value},
+            )
+            edges += 1
+        elif shape < 0.6 and n_nodes >= 3:
+            # Binding A + B -> C (2 edges).
+            if edges + 2 > target_edges:
+                continue
+            a, b, c = rng.choice(len(species_ids), size=3, replace=False)
+            builder.reaction(
+                rid,
+                [species_ids[a], species_ids[b]],
+                [species_ids[c]],
+                formula=f"k_{rid} * {species_ids[a]} * {species_ids[b]}",
+                local_parameters={f"k_{rid}": k_value},
+            )
+            edges += 2
+        elif shape < 0.72 and n_nodes >= 3:
+            # Dissociation C -> A + B (2 edges).
+            if edges + 2 > target_edges:
+                continue
+            a, b, c = rng.choice(len(species_ids), size=3, replace=False)
+            builder.reaction(
+                rid,
+                [species_ids[c]],
+                [species_ids[a], species_ids[b]],
+                formula=f"k_{rid} * {species_ids[c]}",
+                local_parameters={f"k_{rid}": k_value},
+            )
+            edges += 2
+        elif shape < 0.82 and n_nodes >= 2:
+            # Reversible conversion (1 edge, reversible flag).
+            a, b = rng.choice(len(species_ids), size=2, replace=False)
+            kb = float(np.round(rng.uniform(0.01, 2.0), 4))
+            builder.reaction(
+                rid,
+                [species_ids[a]],
+                [species_ids[b]],
+                formula=(
+                    f"kf_{rid} * {species_ids[a]} - kb_{rid} * {species_ids[b]}"
+                ),
+                local_parameters={f"kf_{rid}": k_value, f"kb_{rid}": kb},
+                reversible=True,
+            )
+            edges += 1
+        elif shape < 0.92 and n_nodes >= 3:
+            # Michaelis-Menten with enzyme modifier (1 edge).
+            s, p, e = rng.choice(len(species_ids), size=3, replace=False)
+            vmax = float(np.round(rng.uniform(0.1, 5.0), 4))
+            km = float(np.round(rng.uniform(0.1, 5.0), 4))
+            builder.reaction(
+                rid,
+                [species_ids[s]],
+                [species_ids[p]],
+                modifiers=[species_ids[e]],
+                formula=(
+                    f"V_{rid} * {species_ids[e]} * {species_ids[s]} / "
+                    f"(K_{rid} + {species_ids[s]})"
+                ),
+                local_parameters={f"V_{rid}": vmax, f"K_{rid}": km},
+            )
+            edges += 1
+        else:
+            # Synthesis 0 -> A or degradation A -> 0 (1 edge).
+            a = int(rng.integers(0, len(species_ids)))
+            if rng.random() < 0.5:
+                builder.reaction(
+                    rid,
+                    [],
+                    [species_ids[a]],
+                    formula=f"k_{rid}",
+                    local_parameters={f"k_{rid}": k_value},
+                )
+            else:
+                builder.reaction(
+                    rid,
+                    [species_ids[a]],
+                    [],
+                    formula=f"k_{rid} * {species_ids[a]}",
+                    local_parameters={f"k_{rid}": k_value},
+                )
+            edges += 1
+        reaction_index += 1
+
+    # Occasional extra structure: global parameters, rules, events.
+    if n_nodes >= 5 and rng.random() < 0.4:
+        builder.parameter(f"total_{model_index}", constant=False)
+        builder.assignment_rule(
+            f"total_{model_index}",
+            " + ".join(species_ids[:3]),
+        )
+    if n_nodes >= 5 and rng.random() < 0.25:
+        target = species_ids[int(rng.integers(0, len(species_ids)))]
+        threshold = float(np.round(rng.uniform(0.01, 0.5), 3))
+        builder.event(
+            f"ev{model_index:04d}",
+            f"{target} < {threshold}",
+            {target: f"{target} + 1"},
+        )
+    return builder.build()
+
+
+def generate_corpus(
+    count: int = CORPUS_SIZE, seed: int = 42
+) -> List[Model]:
+    """The full synthetic corpus, deterministic in ``seed``."""
+    rng = np.random.default_rng(seed)
+    models = []
+    for index in range(count):
+        n_nodes = _node_count(index, count, rng)
+        models.append(generate_model(index, n_nodes, rng))
+    return models
+
+
+def corpus_by_size(models: Sequence[Model]) -> List[Model]:
+    """Models in ascending ``network_size`` order (the paper composes
+    smallest-with-smallest first)."""
+    return sorted(models, key=lambda model: model.network_size())

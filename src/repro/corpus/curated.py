@@ -1,0 +1,247 @@
+"""Curated hand-written pathway models.
+
+Realistic, readable models for the examples and integration tests:
+the two halves of glycolysis (sharing their boundary metabolites — the
+paper's flagship merge scenario), a MAPK cascade, a drug-inhibition
+overlay (the paper's drug-interaction motivation), and a stochastic
+gene-expression model for the model-checking demos.
+"""
+
+from __future__ import annotations
+
+from repro.sbml.builder import ModelBuilder
+from repro.sbml.model import Model
+
+__all__ = [
+    "glycolysis_upper",
+    "glycolysis_lower",
+    "mapk_cascade",
+    "drug_inhibition",
+    "gene_expression",
+    "lotka_volterra",
+]
+
+
+def glycolysis_upper() -> Model:
+    """Upper (preparatory) glycolysis: glucose → G3P + DHAP.
+
+    Shares glucose/ATP currency and its product pool with
+    :func:`glycolysis_lower`; composing the two yields the full
+    pathway.
+    """
+    return (
+        ModelBuilder("glycolysis_upper", name="Upper glycolysis")
+        .compartment("cytosol", size=1.0)
+        .species("glc", 5.0, name="glucose")
+        .species("g6p", 0.0, name="glucose-6-phosphate")
+        .species("f6p", 0.0, name="fructose-6-phosphate")
+        .species("fbp", 0.0, name="fructose-1,6-bisphosphate")
+        .species("dhap", 0.0, name="dihydroxyacetone phosphate")
+        .species("g3p", 0.0, name="glyceraldehyde-3-phosphate")
+        .species("atp", 3.0, name="ATP")
+        .species("adp", 0.5, name="ADP")
+        .parameter("k_hk", 0.9)
+        .parameter("k_pgi", 1.4)
+        .parameter("k_pgi_r", 0.7)
+        .parameter("k_pfk", 1.1)
+        .parameter("k_ald", 0.8)
+        .parameter("k_tpi", 2.0)
+        .parameter("k_tpi_r", 1.0)
+        .reaction(
+            "hexokinase",
+            ["glc", "atp"],
+            ["g6p", "adp"],
+            formula="k_hk * glc * atp",
+        )
+        .reversible_mass_action("pgi", ["g6p"], ["f6p"], "k_pgi", "k_pgi_r")
+        .reaction(
+            "pfk",
+            ["f6p", "atp"],
+            ["fbp", "adp"],
+            formula="k_pfk * f6p * atp",
+        )
+        .reaction(
+            "aldolase",
+            ["fbp"],
+            ["dhap", "g3p"],
+            formula="k_ald * fbp",
+        )
+        .reversible_mass_action("tpi", ["dhap"], ["g3p"], "k_tpi", "k_tpi_r")
+        .build()
+    )
+
+
+def glycolysis_lower() -> Model:
+    """Lower (payoff) glycolysis: G3P → pyruvate.
+
+    Shares G3P, ATP/ADP and NAD/NADH with the upper half.
+    """
+    return (
+        ModelBuilder("glycolysis_lower", name="Lower glycolysis")
+        .compartment("cytosol", size=1.0)
+        .species("g3p", 0.0, name="glyceraldehyde-3-phosphate")
+        .species("bpg", 0.0, name="1,3-bisphosphoglycerate")
+        .species("pg3", 0.0, name="3-phosphoglycerate")
+        .species("pep", 0.0, name="phosphoenolpyruvate")
+        .species("pyr", 0.0, name="pyruvate")
+        .species("atp", 3.0, name="ATP")
+        .species("adp", 0.5, name="ADP")
+        .species("nad", 2.0, name="NAD")
+        .species("nadh", 0.1, name="NADH")
+        .parameter("k_gapdh", 1.0)
+        .parameter("k_pgk", 1.3)
+        .parameter("k_eno", 0.9)
+        .parameter("k_pk", 1.6)
+        .reaction(
+            "gapdh",
+            ["g3p", "nad"],
+            ["bpg", "nadh"],
+            formula="k_gapdh * g3p * nad",
+        )
+        .reaction(
+            "pgk",
+            ["bpg", "adp"],
+            ["pg3", "atp"],
+            formula="k_pgk * bpg * adp",
+        )
+        .reaction("enolase", ["pg3"], ["pep"], formula="k_eno * pg3")
+        .reaction(
+            "pyruvate_kinase",
+            ["pep", "adp"],
+            ["pyr", "atp"],
+            formula="k_pk * pep * adp",
+        )
+        .build()
+    )
+
+
+def mapk_cascade() -> Model:
+    """Three-tier MAPK signalling cascade with Michaelis-Menten
+    activation steps (Huang-Ferrell style, simplified)."""
+    return (
+        ModelBuilder("mapk_cascade", name="MAPK cascade")
+        .compartment("cytosol", size=1.0)
+        .species("signal", 0.3, name="input signal", boundary=True)
+        .species("mapkkk", 1.0, name="MAPKKK")
+        .species("mapkkk_p", 0.0, name="MAPKKK-P")
+        .species("mapkk", 1.2, name="MAPKK")
+        .species("mapkk_p", 0.0, name="MAPKK-P")
+        .species("mapk", 1.5, name="MAPK")
+        .species("mapk_p", 0.0, name="MAPK-P")
+        .parameter("v1", 2.5)
+        .parameter("km1", 0.4)
+        .parameter("v2", 0.25)
+        .parameter("km2", 0.5)
+        .reaction(
+            "mapkkk_activation",
+            ["mapkkk"],
+            ["mapkkk_p"],
+            modifiers=["signal"],
+            formula="v1 * signal * mapkkk / (km1 + mapkkk)",
+        )
+        .reaction(
+            "mapkkk_deactivation",
+            ["mapkkk_p"],
+            ["mapkkk"],
+            formula="v2 * mapkkk_p / (km2 + mapkkk_p)",
+        )
+        .reaction(
+            "mapkk_activation",
+            ["mapkk"],
+            ["mapkk_p"],
+            modifiers=["mapkkk_p"],
+            formula="v1 * mapkkk_p * mapkk / (km1 + mapkk)",
+        )
+        .reaction(
+            "mapkk_deactivation",
+            ["mapkk_p"],
+            ["mapkk"],
+            formula="v2 * mapkk_p / (km2 + mapkk_p)",
+        )
+        .reaction(
+            "mapk_activation",
+            ["mapk"],
+            ["mapk_p"],
+            modifiers=["mapkk_p"],
+            formula="v1 * mapkk_p * mapk / (km1 + mapk)",
+        )
+        .reaction(
+            "mapk_deactivation",
+            ["mapk_p"],
+            ["mapk"],
+            formula="v2 * mapk_p / (km2 + mapk_p)",
+        )
+        .build()
+    )
+
+
+def drug_inhibition() -> Model:
+    """A drug competitively inhibiting hexokinase.
+
+    Composing this overlay with :func:`glycolysis_upper` models the
+    drug-interaction scenario from the paper's introduction: "in order
+    to understand possible drug interactions, one has to merge known
+    networks and examine topological variants arising from such
+    composition."
+    """
+    return (
+        ModelBuilder("drug_inhibition", name="Hexokinase inhibitor")
+        .compartment("cytosol", size=1.0)
+        .species("drug", 1.0, name="inhibitor drug")
+        .species("glc", 5.0, name="glucose")
+        .species("drug_glc", 0.0, name="drug-glucose complex")
+        .parameter("k_bind", 0.6)
+        .parameter("k_release", 0.05)
+        .reversible_mass_action(
+            "sequestration", ["drug", "glc"], ["drug_glc"], "k_bind", "k_release"
+        )
+        .build()
+    )
+
+
+def gene_expression() -> Model:
+    """Stochastic gene expression (transcription/translation/decay),
+    in molecule counts — for Gillespie + MC2 demonstrations."""
+    return (
+        ModelBuilder("gene_expression", name="Gene expression")
+        .compartment("cell", size=1.0)
+        .species("mrna", 0.0, name="mRNA", amount=True)
+        .species("protein", 0.0, name="protein", amount=True)
+        .parameter("k_tx", 2.0)
+        .parameter("k_tl", 5.0)
+        .parameter("d_m", 0.5)
+        .parameter("d_p", 0.2)
+        .reaction("transcription", [], ["mrna"], formula="k_tx")
+        .reaction(
+            "translation",
+            [],
+            ["protein"],
+            modifiers=["mrna"],
+            formula="k_tl * mrna",
+        )
+        .mass_action("mrna_decay", ["mrna"], [], "d_m")
+        .mass_action("protein_decay", ["protein"], [], "d_p")
+        .build()
+    )
+
+
+def lotka_volterra() -> Model:
+    """Stochastic predator-prey oscillator (molecule counts)."""
+    return (
+        ModelBuilder("lotka_volterra", name="Lotka-Volterra")
+        .compartment("world", size=1.0)
+        .species("prey", 100.0, name="prey", amount=True)
+        .species("predator", 50.0, name="predator", amount=True)
+        .parameter("k_birth", 1.0)
+        .parameter("k_eat", 0.01)
+        .parameter("k_die", 0.6)
+        .mass_action("prey_birth", ["prey"], [("prey", 2)], "k_birth")
+        .reaction(
+            "predation",
+            ["prey", "predator"],
+            [("predator", 2)],
+            formula="k_eat * prey * predator",
+        )
+        .mass_action("predator_death", ["predator"], [], "k_die")
+        .build()
+    )

@@ -1,0 +1,114 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch one base class at API boundaries.  Subsystems raise the most
+specific subclass available; the composition engine additionally
+records non-fatal problems as :class:`~repro.core.report.MergeWarning`
+entries instead of raising.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Math engine
+# ---------------------------------------------------------------------------
+
+
+class MathError(ReproError):
+    """Base class for math-engine errors."""
+
+
+class MathParseError(MathError):
+    """Raised when MathML or an infix formula cannot be parsed."""
+
+
+class MathEvalError(MathError):
+    """Raised when an expression cannot be evaluated.
+
+    Typical causes: unbound identifier, wrong argument count for a
+    function definition, or a non-numeric operand.
+    """
+
+
+class MathDomainError(MathEvalError):
+    """Raised for evaluation outside an operator's domain (log of a
+    negative number, division by zero, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Units
+# ---------------------------------------------------------------------------
+
+
+class UnitError(ReproError):
+    """Base class for unit-system errors."""
+
+
+class UnknownUnitError(UnitError):
+    """Raised when a unit kind or unit-definition id is not known."""
+
+
+class IncompatibleUnitsError(UnitError):
+    """Raised when two quantities cannot be converted into each other
+    because their canonical dimensions differ."""
+
+
+# ---------------------------------------------------------------------------
+# SBML
+# ---------------------------------------------------------------------------
+
+
+class SBMLError(ReproError):
+    """Base class for SBML object-model and serialisation errors."""
+
+
+class SBMLParseError(SBMLError):
+    """Raised when an SBML document cannot be parsed."""
+
+
+class SBMLValidationError(SBMLError):
+    """Raised when a model violates SBML semantic rules.
+
+    Carries the full list of validation messages in :attr:`issues`.
+    """
+
+    def __init__(self, issues):
+        self.issues = list(issues)
+        summary = "; ".join(str(issue) for issue in self.issues[:5])
+        if len(self.issues) > 5:
+            summary += f" (+{len(self.issues) - 5} more)"
+        super().__init__(f"{len(self.issues)} validation issue(s): {summary}")
+
+
+# ---------------------------------------------------------------------------
+# Composition
+# ---------------------------------------------------------------------------
+
+
+class CompositionError(ReproError):
+    """Raised when composition cannot proceed at all (as opposed to a
+    recoverable conflict, which is logged as a warning)."""
+
+
+class ConflictError(CompositionError):
+    """Raised when a conflict is found and the conflict policy is
+    ``error`` (the default policy logs and continues)."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation / evaluation
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Raised when a model cannot be simulated (no kinetic laws,
+    unbound symbols, integration failure)."""
+
+
+class PropertyError(ReproError):
+    """Raised when a PLTL property string cannot be parsed or checked."""

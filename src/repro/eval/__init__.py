@@ -1,0 +1,43 @@
+"""Evaluation substrate — the paper's four §4.1 validation methods.
+
+* :mod:`repro.eval.sbml_diff` — SBML-aware structural comparison
+  (§4.1.1 textual comparison, with the right order-sensitivity).
+* :mod:`repro.eval.visual` — quantitative simulation comparison
+  (§4.1.2 visual comparison).
+* :mod:`repro.eval.rss` — residual sum of squares over traces
+  (§4.1.3).
+* :mod:`repro.eval.mc2` + :mod:`repro.eval.ltl` — Monte Carlo model
+  checking of PLTL properties (§4.1.4, MC2-style).
+"""
+
+from repro.eval.ltl import Formula, check_trace, parse_property
+from repro.eval.mc2 import (
+    MonteCarloModelChecker,
+    PropertyResult,
+    check_deterministic,
+)
+from repro.eval.rss import residual_sum_of_squares, rss_report, traces_equivalent
+from repro.eval.sbml_diff import DiffEntry, diff_models, models_equivalent
+from repro.eval.visual import (
+    SpeciesComparison,
+    VisualComparison,
+    compare_simulations,
+)
+
+__all__ = [
+    "diff_models",
+    "models_equivalent",
+    "DiffEntry",
+    "residual_sum_of_squares",
+    "traces_equivalent",
+    "rss_report",
+    "parse_property",
+    "check_trace",
+    "Formula",
+    "MonteCarloModelChecker",
+    "PropertyResult",
+    "check_deterministic",
+    "compare_simulations",
+    "VisualComparison",
+    "SpeciesComparison",
+]

@@ -1,0 +1,377 @@
+"""PLTL property language over finite simulation traces.
+
+The paper's §4.1.4 checks "specific model properties, expressed using
+temporal logic" with the Monte Carlo Model Checker MC2 (Donaldson &
+Gilbert).  MC2 judges probabilistic LTL formulae against sets of
+finite simulation traces; this module implements the formula language
+and its finite-trace semantics.
+
+Grammar (precedence low → high)::
+
+    formula   := implies
+    implies   := or ('->' or)*               (right associative)
+    or        := and ('|' and)*
+    and       := unary ('&' unary)*
+    unary     := '!' unary | temporal
+    temporal  := 'G' bound? unary | 'F' bound? unary | 'X' unary
+               | atom ('U' bound? unary)?
+    bound     := '[' number ',' number ']'   (time bounds, in trace time)
+    atom      := '(' formula ')' | 'true' | 'false'
+               | arithmetic comparison (parsed by repro.mathml.infix)
+
+Atoms are numeric comparisons over trace columns, e.g. ``[A] > 5`` or
+``A + B <= 10`` (square brackets around species names are accepted and
+stripped, matching the biochemical concentration notation MC2 uses).
+
+Finite-trace semantics: ``G`` requires the sub-formula at every
+remaining sample, ``F`` at some remaining sample, ``X`` at the next
+sample (false at the last sample), ``U`` is standard strong until.
+Time-bounded variants restrict attention to samples whose *time* lies
+in the bound relative to the evaluation point.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import PropertyError
+from repro.mathml.ast import MathNode
+from repro.mathml.evaluator import Evaluator
+from repro.mathml.infix import parse_infix
+from repro.errors import MathError
+from repro.sim.trace import Trace
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Globally",
+    "Finally",
+    "Next",
+    "Until",
+    "parse_property",
+    "check_trace",
+]
+
+
+class Formula:
+    """Base class for PLTL formula nodes."""
+
+    def holds(self, trace: Trace, position: int, evaluator: Evaluator) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A numeric comparison evaluated on one trace sample."""
+
+    expression: MathNode
+    source: str = ""
+
+    def holds(self, trace, position, evaluator) -> bool:
+        env = {
+            name: float(values[position])
+            for name, values in trace.columns.items()
+        }
+        env["time"] = float(trace.times[position])
+        try:
+            return evaluator.evaluate(self.expression, env) != 0.0
+        except MathError as exc:
+            raise PropertyError(
+                f"cannot evaluate atom {self.source or self.expression!r}: "
+                f"{exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def holds(self, trace, position, evaluator) -> bool:
+        return not self.operand.holds(trace, position, evaluator)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def holds(self, trace, position, evaluator) -> bool:
+        return self.left.holds(trace, position, evaluator) and (
+            self.right.holds(trace, position, evaluator)
+        )
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def holds(self, trace, position, evaluator) -> bool:
+        return self.left.holds(trace, position, evaluator) or (
+            self.right.holds(trace, position, evaluator)
+        )
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def holds(self, trace, position, evaluator) -> bool:
+        return (not self.left.holds(trace, position, evaluator)) or (
+            self.right.holds(trace, position, evaluator)
+        )
+
+
+def _positions_in_bound(
+    trace: Trace, position: int, bound: Optional[Tuple[float, float]]
+) -> List[int]:
+    if bound is None:
+        return list(range(position, len(trace)))
+    start = trace.times[position]
+    low, high = bound
+    return [
+        i
+        for i in range(position, len(trace))
+        if low <= trace.times[i] - start <= high
+    ]
+
+
+@dataclass(frozen=True)
+class Globally(Formula):
+    operand: Formula
+    bound: Optional[Tuple[float, float]] = None
+
+    def holds(self, trace, position, evaluator) -> bool:
+        return all(
+            self.operand.holds(trace, i, evaluator)
+            for i in _positions_in_bound(trace, position, self.bound)
+        )
+
+
+@dataclass(frozen=True)
+class Finally(Formula):
+    operand: Formula
+    bound: Optional[Tuple[float, float]] = None
+
+    def holds(self, trace, position, evaluator) -> bool:
+        return any(
+            self.operand.holds(trace, i, evaluator)
+            for i in _positions_in_bound(trace, position, self.bound)
+        )
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    operand: Formula
+
+    def holds(self, trace, position, evaluator) -> bool:
+        if position + 1 >= len(trace):
+            return False
+        return self.operand.holds(trace, position + 1, evaluator)
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    left: Formula
+    right: Formula
+    bound: Optional[Tuple[float, float]] = None
+
+    def holds(self, trace, position, evaluator) -> bool:
+        candidates = _positions_in_bound(trace, position, self.bound)
+        for target in candidates:
+            if self.right.holds(trace, target, evaluator):
+                return all(
+                    self.left.holds(trace, i, evaluator)
+                    for i in range(position, target)
+                )
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_TEMPORAL = {"G", "F", "X", "U"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<arrow>->)
+  | (?P<op>[()&|!])
+  | (?P<bound>\[\s*[-+0-9.eE]+\s*,\s*[-+0-9.eE]+\s*\])
+  | (?P<atomfrag>[^()&|!\s\[\]]+|\[[^\],]*\])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise PropertyError(
+                f"cannot tokenize property at position {pos}: {text!r}"
+            )
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append(match.group())
+        pos = match.end()
+    tokens.append("<end>")
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the grammar above.
+
+    Atom fragments are accumulated until a structural token appears,
+    then handed to the infix math parser, so arbitrary arithmetic
+    comparisons work inside formulae.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> str:
+        return self.tokens[self.index]
+
+    def advance(self) -> str:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def parse(self) -> Formula:
+        formula = self.implies()
+        if self.peek() != "<end>":
+            raise PropertyError(
+                f"unexpected trailing input {self.peek()!r} in {self.text!r}"
+            )
+        return formula
+
+    def implies(self) -> Formula:
+        left = self.or_()
+        if self.peek() == "->":
+            self.advance()
+            right = self.implies()  # right associative
+            return Implies(left, right)
+        return left
+
+    def or_(self) -> Formula:
+        left = self.and_()
+        while self.peek() == "|":
+            self.advance()
+            left = Or(left, self.and_())
+        return left
+
+    def and_(self) -> Formula:
+        left = self.unary()
+        while self.peek() == "&":
+            self.advance()
+            left = And(left, self.unary())
+        return left
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token == "!":
+            self.advance()
+            return Not(self.unary())
+        if token in ("G", "F"):
+            self.advance()
+            bound = self._maybe_bound()
+            operand = self.unary()
+            return (
+                Globally(operand, bound)
+                if token == "G"
+                else Finally(operand, bound)
+            )
+        if token == "X":
+            self.advance()
+            return Next(self.unary())
+        left = self.primary()
+        if self.peek() == "U":
+            self.advance()
+            bound = self._maybe_bound()
+            right = self.unary()
+            return Until(left, right, bound)
+        return left
+
+    def _maybe_bound(self) -> Optional[Tuple[float, float]]:
+        token = self.peek()
+        if token.startswith("[") and "," in token:
+            self.advance()
+            inner = token[1:-1]
+            low_text, high_text = inner.split(",", 1)
+            try:
+                low, high = float(low_text), float(high_text)
+            except ValueError as exc:
+                raise PropertyError(f"bad time bound {token!r}") from exc
+            if high < low:
+                raise PropertyError(f"empty time bound {token!r}")
+            return (low, high)
+        return None
+
+    def primary(self) -> Formula:
+        token = self.peek()
+        if token == "(":
+            self.advance()
+            inner = self.implies()
+            if self.advance() != ")":
+                raise PropertyError(f"missing ')' in {self.text!r}")
+            return inner
+        return self.atom()
+
+    def atom(self) -> Formula:
+        fragments: List[str] = []
+        while True:
+            token = self.peek()
+            if token in ("<end>", ")", "&", "|", "->", "U"):
+                break
+            if token in ("G", "F", "X", "!", "("):
+                break
+            fragments.append(self.advance())
+        if not fragments:
+            raise PropertyError(
+                f"expected an atom near token {self.peek()!r} in "
+                f"{self.text!r}"
+            )
+        source = " ".join(fragments)
+        # `[A]` concentration brackets are notation, not indexing.
+        cleaned = re.sub(r"\[([A-Za-z_][A-Za-z0-9_]*)\]", r"\1", source)
+        if cleaned.strip() in ("true", "false"):
+            expression = parse_infix(cleaned.strip())
+        else:
+            try:
+                expression = parse_infix(cleaned)
+            except MathError as exc:
+                raise PropertyError(
+                    f"cannot parse atom {source!r}: {exc}"
+                ) from exc
+        return Atom(expression, source)
+
+
+def parse_property(text: str) -> Formula:
+    """Parse a PLTL property string."""
+    if not text or not text.strip():
+        raise PropertyError("empty property")
+    return _Parser(text).parse()
+
+
+def check_trace(
+    formula, trace: Trace, evaluator: Optional[Evaluator] = None
+) -> bool:
+    """Whether a (parsed or string) property holds on a trace."""
+    if isinstance(formula, str):
+        formula = parse_property(formula)
+    if len(trace) == 0:
+        raise PropertyError("cannot check a property on an empty trace")
+    return formula.holds(trace, 0, evaluator or Evaluator())

@@ -1,0 +1,279 @@
+"""SBML-aware structural comparison (paper §4.1.1).
+
+The paper's textual comparison was manual because "available XML
+differencing utilities treated the order of XML components as either
+important or unimportant.  However for SBML the order of components is
+relevant in some cases but irrelevant in others."  This module encodes
+the right order sensitivity per construct:
+
+* order of components inside every ``listOf*`` — **irrelevant**
+  (matched by id, or by content where ids are absent),
+* order of reactants/products within a reaction — **irrelevant**
+  (multisets),
+* order of operands of non-commutative math — **relevant** (compared
+  via the commutative canonical patterns, which normalise exactly the
+  operand orders that chemistry says are interchangeable),
+* order of event assignments — **irrelevant** (simultaneous),
+* order of pieces in a piecewise — **relevant**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.mathml.ast import MathNode
+from repro.mathml.pattern import canonical_pattern
+from repro.sbml.components import AssignmentRule, RateRule
+from repro.sbml.model import Model
+
+__all__ = ["DiffEntry", "diff_models", "models_equivalent"]
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One difference between two models."""
+
+    kind: str  # "missing", "extra", "changed"
+    path: str  # e.g. "species[glc].initialConcentration"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind.upper()} {self.path}: {self.detail}"
+
+
+def models_equivalent(first: Model, second: Model) -> bool:
+    """Whether two models are structurally equivalent."""
+    return not diff_models(first, second)
+
+
+def diff_models(first: Model, second: Model) -> List[DiffEntry]:
+    """All differences between two models (empty list == equivalent)."""
+    entries: List[DiffEntry] = []
+    entries.extend(
+        _diff_by_id(
+            "functionDefinition",
+            first.function_definitions,
+            second.function_definitions,
+            _function_fields,
+        )
+    )
+    entries.extend(
+        _diff_by_id(
+            "unitDefinition",
+            first.unit_definitions,
+            second.unit_definitions,
+            _unit_fields,
+        )
+    )
+    entries.extend(
+        _diff_by_id(
+            "compartment", first.compartments, second.compartments, _compartment_fields
+        )
+    )
+    entries.extend(
+        _diff_by_id("species", first.species, second.species, _species_fields)
+    )
+    entries.extend(
+        _diff_by_id("parameter", first.parameters, second.parameters, _parameter_fields)
+    )
+    entries.extend(_diff_initial_assignments(first, second))
+    entries.extend(_diff_rules(first, second))
+    entries.extend(_diff_constraints(first, second))
+    entries.extend(
+        _diff_by_id("reaction", first.reactions, second.reactions, _reaction_fields)
+    )
+    entries.extend(_diff_by_id("event", first.events, second.events, _event_fields))
+    return entries
+
+
+def _math_repr(math: Optional[MathNode]) -> str:
+    if math is None:
+        return "<none>"
+    return canonical_pattern(math)
+
+
+def _diff_by_id(kind, first_list, second_list, field_fn) -> List[DiffEntry]:
+    entries: List[DiffEntry] = []
+    first_by_id = {c.id: c for c in first_list if c.id is not None}
+    second_by_id = {c.id: c for c in second_list if c.id is not None}
+    for component_id in sorted(first_by_id.keys() - second_by_id.keys()):
+        entries.append(
+            DiffEntry("missing", f"{kind}[{component_id}]", "absent from second model")
+        )
+    for component_id in sorted(second_by_id.keys() - first_by_id.keys()):
+        entries.append(
+            DiffEntry("extra", f"{kind}[{component_id}]", "absent from first model")
+        )
+    for component_id in sorted(first_by_id.keys() & second_by_id.keys()):
+        first_fields = field_fn(first_by_id[component_id])
+        second_fields = field_fn(second_by_id[component_id])
+        for name in first_fields:
+            if first_fields[name] != second_fields[name]:
+                entries.append(
+                    DiffEntry(
+                        "changed",
+                        f"{kind}[{component_id}].{name}",
+                        f"{first_fields[name]!r} vs {second_fields[name]!r}",
+                    )
+                )
+    return entries
+
+
+def _function_fields(fd) -> Dict[str, object]:
+    return {"math": _math_repr(fd.math)}
+
+
+def _unit_fields(ud) -> Dict[str, object]:
+    canonical = ud.canonical()
+    return {"canonical": (round(canonical.factor, 15), canonical.dims)}
+
+
+def _compartment_fields(compartment) -> Dict[str, object]:
+    return {
+        "size": compartment.size,
+        "units": compartment.units,
+        "spatialDimensions": compartment.spatial_dimensions,
+        "outside": compartment.outside,
+        "constant": compartment.constant,
+    }
+
+
+def _species_fields(species) -> Dict[str, object]:
+    return {
+        "compartment": species.compartment,
+        "initial": species.initial_value(),
+        "amountBased": species.initial_amount is not None,
+        "substanceUnits": species.substance_units,
+        "boundaryCondition": species.boundary_condition,
+        "constant": species.constant,
+    }
+
+
+def _parameter_fields(parameter) -> Dict[str, object]:
+    return {
+        "value": parameter.value,
+        "units": parameter.units,
+        "constant": parameter.constant,
+    }
+
+
+def _reaction_fields(reaction) -> Dict[str, object]:
+    law = reaction.kinetic_law
+    law_math = law.math if law is not None else None
+    local_values = (
+        sorted(
+            (p.id, p.value)
+            for p in law.parameters
+            if p.id is not None
+        )
+        if law is not None
+        else []
+    )
+    return {
+        # Sides are multisets: listOf order is irrelevant.
+        "reactants": sorted(
+            (r.species, r.stoichiometry) for r in reaction.reactants
+        ),
+        "products": sorted(
+            (r.species, r.stoichiometry) for r in reaction.products
+        ),
+        "modifiers": sorted(m.species for m in reaction.modifiers),
+        "reversible": reaction.reversible,
+        "kineticLaw": _math_repr(law_math),
+        "localParameters": local_values,
+    }
+
+
+def _event_fields(event) -> Dict[str, object]:
+    return {
+        "trigger": _math_repr(event.trigger.math if event.trigger else None),
+        "delay": _math_repr(event.delay.math if event.delay else None),
+        # Event assignments are simultaneous: order-insensitive.
+        "assignments": sorted(
+            (a.variable, _math_repr(a.math)) for a in event.assignments
+        ),
+    }
+
+
+def _diff_initial_assignments(first: Model, second: Model) -> List[DiffEntry]:
+    entries = []
+    first_by_symbol = {ia.symbol: ia for ia in first.initial_assignments}
+    second_by_symbol = {ia.symbol: ia for ia in second.initial_assignments}
+    for symbol in sorted(
+        set(first_by_symbol) - set(second_by_symbol), key=str
+    ):
+        entries.append(
+            DiffEntry(
+                "missing", f"initialAssignment[{symbol}]", "absent from second"
+            )
+        )
+    for symbol in sorted(
+        set(second_by_symbol) - set(first_by_symbol), key=str
+    ):
+        entries.append(
+            DiffEntry(
+                "extra", f"initialAssignment[{symbol}]", "absent from first"
+            )
+        )
+    for symbol in sorted(
+        set(first_by_symbol) & set(second_by_symbol), key=str
+    ):
+        a, b = first_by_symbol[symbol], second_by_symbol[symbol]
+        if _math_repr(a.math) != _math_repr(b.math):
+            entries.append(
+                DiffEntry(
+                    "changed",
+                    f"initialAssignment[{symbol}].math",
+                    f"{_math_repr(a.math)} vs {_math_repr(b.math)}",
+                )
+            )
+    return entries
+
+
+def _rule_key(rule) -> str:
+    if isinstance(rule, AssignmentRule):
+        return f"assignment:{rule.variable}"
+    if isinstance(rule, RateRule):
+        return f"rate:{rule.variable}"
+    return f"algebraic:{_math_repr(rule.math)}"
+
+
+def _diff_rules(first: Model, second: Model) -> List[DiffEntry]:
+    entries = []
+    first_by_key = {_rule_key(rule): rule for rule in first.rules}
+    second_by_key = {_rule_key(rule): rule for rule in second.rules}
+    for key in sorted(set(first_by_key) - set(second_by_key)):
+        entries.append(DiffEntry("missing", f"rule[{key}]", "absent from second"))
+    for key in sorted(set(second_by_key) - set(first_by_key)):
+        entries.append(DiffEntry("extra", f"rule[{key}]", "absent from first"))
+    for key in sorted(set(first_by_key) & set(second_by_key)):
+        a, b = first_by_key[key], second_by_key[key]
+        if _math_repr(a.math) != _math_repr(b.math):
+            entries.append(
+                DiffEntry(
+                    "changed",
+                    f"rule[{key}].math",
+                    f"{_math_repr(a.math)} vs {_math_repr(b.math)}",
+                )
+            )
+    return entries
+
+
+def _diff_constraints(first: Model, second: Model) -> List[DiffEntry]:
+    entries = []
+    first_keys = {
+        _math_repr(constraint.math) for constraint in first.constraints
+    }
+    second_keys = {
+        _math_repr(constraint.math) for constraint in second.constraints
+    }
+    for key in sorted(first_keys - second_keys):
+        entries.append(
+            DiffEntry("missing", f"constraint[{key}]", "absent from second")
+        )
+    for key in sorted(second_keys - first_keys):
+        entries.append(
+            DiffEntry("extra", f"constraint[{key}]", "absent from first")
+        )
+    return entries

@@ -1,0 +1,96 @@
+"""Programmatic simulation comparison (paper §4.1.2).
+
+The paper's "visual comparison of simulations" — simulate the expected
+and the actual model, eyeball the curves — is made quantitative here:
+both models are simulated on the same grid, per-species curves are
+summarised (max absolute deviation, relative deviation) and rendered
+as ASCII sparklines for a human glance.  The paper itself notes the
+visual method is "crude and inaccurate"; this keeps the workflow while
+removing the subjectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sbml.model import Model
+from repro.sim.odes import simulate
+
+__all__ = ["SpeciesComparison", "VisualComparison", "compare_simulations"]
+
+
+@dataclass(frozen=True)
+class SpeciesComparison:
+    """Deviation summary for one species."""
+
+    species: str
+    max_abs_difference: float
+    max_relative_difference: float
+    first_sparkline: str
+    second_sparkline: str
+
+
+@dataclass
+class VisualComparison:
+    """Result of comparing two models' simulations."""
+
+    species: List[SpeciesComparison]
+    t_end: float
+
+    def matching(self, rel_tolerance: float = 1e-3) -> bool:
+        """Whether every shared species stays within tolerance."""
+        return all(
+            entry.max_relative_difference <= rel_tolerance
+            for entry in self.species
+        )
+
+    def report(self) -> str:
+        """Side-by-side sparkline report."""
+        lines = [f"simulation comparison over [0, {self.t_end:g}]"]
+        for entry in self.species:
+            lines.append(
+                f"{entry.species}: max |Δ| = "
+                f"{entry.max_abs_difference:.4g} "
+                f"(rel {entry.max_relative_difference:.2%})"
+            )
+            lines.append(f"  expected {entry.first_sparkline}")
+            lines.append(f"  actual   {entry.second_sparkline}")
+        return "\n".join(lines)
+
+
+def compare_simulations(
+    first: Model,
+    second: Model,
+    t_end: float = 10.0,
+    steps: int = 500,
+    species: Optional[List[str]] = None,
+) -> VisualComparison:
+    """Simulate both models and compare their shared species."""
+    first_trace = simulate(first, t_end, steps)
+    second_trace = simulate(second, t_end, steps)
+    if species is None:
+        names = sorted(set(first_trace.columns) & set(second_trace.columns))
+    else:
+        names = species
+    if not names:
+        raise SimulationError("models share no species to compare")
+    entries = []
+    for name in names:
+        a = first_trace.column(name)
+        b = second_trace.column(name)
+        differences = np.abs(a - b)
+        scale = float(np.max(np.abs(a))) or 1.0
+        entries.append(
+            SpeciesComparison(
+                species=name,
+                max_abs_difference=float(np.max(differences)),
+                max_relative_difference=float(np.max(differences)) / scale,
+                first_sparkline=first_trace.sparkline(name),
+                second_sparkline=second_trace.sparkline(name),
+            )
+        )
+    return VisualComparison(entries, t_end)

@@ -1,0 +1,33 @@
+"""Graph layer: the paper's §2 formal view of biochemical networks.
+
+Provides species/bipartite graph conversions, graph-level composition
+(the abstract counterpart of the SBML engine) and model decomposition
+(the paper's future-work item 2).
+"""
+
+from repro.graph.decompose import (
+    connected_components,
+    extract_submodel,
+    split_by_species,
+)
+from repro.graph.merge import compose_graphs
+from repro.graph.network import (
+    bipartite_graph,
+    graph_size,
+    isomorphic_networks,
+    species_graph,
+)
+from repro.graph.zoom import ZoomIndex, ZoomLevel
+
+__all__ = [
+    "species_graph",
+    "bipartite_graph",
+    "graph_size",
+    "isomorphic_networks",
+    "compose_graphs",
+    "connected_components",
+    "extract_submodel",
+    "split_by_species",
+    "ZoomIndex",
+    "ZoomLevel",
+]

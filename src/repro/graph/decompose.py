@@ -1,0 +1,300 @@
+"""Graph decomposition / model splitting (paper §5, future-work 2).
+
+The paper's work plan includes "defining a method for XML graph
+decomposition or splitting".  This module implements it for SBML
+models:
+
+* :func:`connected_components` — split a model into its independent
+  sub-networks (species that never interact live in different parts).
+* :func:`extract_submodel` — cut out the sub-model spanned by a set of
+  species (with the reactions entirely inside the set, plus the
+  supporting parameters/units/functions).
+* :func:`split_by_species` — the inverse of composition: partition the
+  species and produce one model per part; composing the parts back
+  recovers a model equivalent to the original (up to the shared
+  boundary), which the round-trip tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+import networkx as nx
+
+from repro.graph.network import bipartite_graph
+from repro.mathml.ast import Apply, Identifier, KNOWN_OPERATORS
+from repro.sbml.model import Model
+
+__all__ = [
+    "connected_components",
+    "extract_submodel",
+    "split_by_species",
+]
+
+
+def connected_components(model: Model) -> List[Model]:
+    """Split a model into its connected sub-networks.
+
+    Components are computed on the undirected bipartite graph;
+    species that share no reaction path end up in different models.
+    Reaction-free species each form their own singleton component.
+    """
+    graph = bipartite_graph(model).to_undirected()
+    components = list(nx.connected_components(graph))
+    components.sort(key=lambda nodes: sorted(nodes)[0])
+    models = []
+    for index, nodes in enumerate(components):
+        species_ids = {
+            node
+            for node in nodes
+            if graph.nodes[node].get("kind") == "species"
+        }
+        part = extract_submodel(
+            model, species_ids, submodel_id=f"{model.id}_part{index}"
+        )
+        models.append(part)
+    return models
+
+
+def _math_identifiers(math) -> Set[str]:
+    if math is None:
+        return set()
+    names = set(
+        node.name for node in math.walk() if isinstance(node, Identifier)
+    )
+    names |= {
+        node.op
+        for node in math.walk()
+        if isinstance(node, Apply) and node.op not in KNOWN_OPERATORS
+    }
+    return names
+
+
+def extract_submodel(
+    model: Model, species_ids: Iterable[str], submodel_id: str
+) -> Model:
+    """The sub-model spanned by ``species_ids``.
+
+    Keeps: the chosen species; every reaction whose reactants,
+    products and modifiers all lie inside the set; the compartments
+    those species live in; every parameter, function definition and
+    unit definition referenced by what is kept; and the rules, initial
+    assignments, constraints and events that only touch kept symbols.
+    """
+    chosen = set(species_ids)
+    result = Model(id=submodel_id, name=model.name)
+
+    kept_species = [
+        species for species in model.species if species.id in chosen
+    ]
+    kept_compartments = {
+        species.compartment for species in kept_species if species.compartment
+    }
+    # Outside chains must stay resolvable.
+    changed = True
+    while changed:
+        changed = False
+        for compartment in model.compartments:
+            if (
+                compartment.id in kept_compartments
+                and compartment.outside is not None
+                and compartment.outside not in kept_compartments
+            ):
+                kept_compartments.add(compartment.outside)
+                changed = True
+
+    kept_reactions = [
+        reaction
+        for reaction in model.reactions
+        if reaction.species_ids()
+        and all(sid in chosen for sid in reaction.species_ids())
+    ]
+
+    # Symbols referenced by kept math decide which parameters and
+    # functions travel along.
+    referenced: Set[str] = set()
+    for reaction in kept_reactions:
+        if reaction.kinetic_law is not None:
+            local = set(reaction.kinetic_law.local_parameter_ids())
+            referenced |= (
+                _math_identifiers(reaction.kinetic_law.math) - local
+            )
+    relevant_symbols = (
+        chosen
+        | kept_compartments
+        | {parameter.id for parameter in model.parameters}
+    )
+
+    def math_stays(math, extra: Set[str] = frozenset()) -> bool:
+        identifiers = _math_identifiers(math) - {"time", "delay", "avogadro"}
+        function_ids = {fd.id for fd in model.function_definitions}
+        identifiers -= function_ids
+        allowed = (
+            chosen
+            | kept_compartments
+            | {p.id for p in model.parameters}
+            | set(extra)
+        )
+        return identifiers <= allowed and not (
+            identifiers
+            & {
+                s.id
+                for s in model.species
+                if s.id is not None and s.id not in chosen
+            }
+        )
+
+    kept_rules = []
+    for rule in model.rules:
+        variable = rule.variable
+        if variable is not None and variable in {
+            s.id for s in model.species
+        } and variable not in chosen:
+            continue
+        if not math_stays(rule.math):
+            continue
+        kept_rules.append(rule)
+        referenced |= _math_identifiers(rule.math)
+        if variable is not None:
+            referenced.add(variable)
+
+    kept_assignments = []
+    for ia in model.initial_assignments:
+        symbol_is_foreign_species = ia.symbol in {
+            s.id for s in model.species
+        } and ia.symbol not in chosen
+        if symbol_is_foreign_species or not math_stays(ia.math):
+            continue
+        kept_assignments.append(ia)
+        referenced |= _math_identifiers(ia.math)
+
+    kept_constraints = [
+        constraint
+        for constraint in model.constraints
+        if math_stays(constraint.math)
+    ]
+    for constraint in kept_constraints:
+        referenced |= _math_identifiers(constraint.math)
+
+    kept_events = []
+    for event in model.events:
+        trigger_math = event.trigger.math if event.trigger else None
+        assigns_foreign = any(
+            assignment.variable
+            in {s.id for s in model.species if s.id not in chosen}
+            for assignment in event.assignments
+        )
+        if assigns_foreign or not math_stays(trigger_math):
+            continue
+        if not all(
+            math_stays(assignment.math) for assignment in event.assignments
+        ):
+            continue
+        kept_events.append(event)
+        referenced |= _math_identifiers(trigger_math)
+        for assignment in event.assignments:
+            referenced |= _math_identifiers(assignment.math)
+            referenced.add(assignment.variable)
+
+    kept_parameters = [
+        parameter
+        for parameter in model.parameters
+        if parameter.id in referenced
+        or any(rule.variable == parameter.id for rule in kept_rules)
+    ]
+    function_ids = {fd.id for fd in model.function_definitions}
+    kept_functions = [
+        fd
+        for fd in model.function_definitions
+        if fd.id in referenced & function_ids
+    ]
+    unit_refs = {
+        species.substance_units for species in kept_species
+    } | {parameter.units for parameter in kept_parameters}
+    kept_units = [
+        ud for ud in model.unit_definitions if ud.id in unit_refs
+    ]
+
+    for fd in kept_functions:
+        result.add_function_definition(fd.copy())
+    for ud in kept_units:
+        result.add_unit_definition(ud.copy())
+    kept_type_ids = {
+        species.species_type
+        for species in kept_species
+        if species.species_type
+    }
+    for st in model.species_types:
+        if st.id in kept_type_ids:
+            result.add_species_type(st.copy())
+    kept_ct_ids = {
+        compartment.compartment_type
+        for compartment in model.compartments
+        if compartment.id in kept_compartments and compartment.compartment_type
+    }
+    for ct in model.compartment_types:
+        if ct.id in kept_ct_ids:
+            result.add_compartment_type(ct.copy())
+    for compartment in model.compartments:
+        if compartment.id in kept_compartments:
+            result.add_compartment(compartment.copy())
+    for species in kept_species:
+        result.add_species(species.copy())
+    for parameter in kept_parameters:
+        result.add_parameter(parameter.copy())
+    for ia in kept_assignments:
+        result.add_initial_assignment(ia.copy())
+    for rule in kept_rules:
+        result.add_rule(rule.copy())
+    for constraint in kept_constraints:
+        result.add_constraint(constraint.copy())
+    for reaction in kept_reactions:
+        result.add_reaction(reaction.copy())
+    for event in kept_events:
+        result.add_event(event.copy())
+    return result
+
+
+def split_by_species(
+    model: Model, partition: Sequence[Iterable[str]]
+) -> List[Model]:
+    """Split a model into one sub-model per species group.
+
+    Reactions are assigned to the group holding the majority of their
+    participants (ties: the earliest group); each part then contains
+    every species its reactions touch, so cross-boundary species (and
+    occasionally whole reactions) appear in more than one part — these
+    are exactly the shared entities that composition re-unites, making
+    ``compose(*split_by_species(m, p))`` reconstruct ``m``'s network.
+    """
+    groups = [set(group) for group in partition]
+    all_species = {s.id for s in model.species if s.id}
+    missing = all_species - set().union(*groups) if groups else all_species
+    if missing:
+        groups.append(set(missing))
+
+    # Reaction assignment by majority of participants.
+    reaction_group: List[List] = [[] for _ in groups]
+    for reaction in model.reactions:
+        participants = set(reaction.species_ids())
+        best_index = 0
+        best_score = -1
+        for index, group in enumerate(groups):
+            score = len(participants & group)
+            if score > best_score:
+                best_index, best_score = index, score
+        reaction_group[best_index].append(reaction)
+
+    parts = []
+    for index, group in enumerate(groups):
+        # The part must contain every species its reactions touch,
+        # so cross-boundary species appear in both parts — exactly the
+        # shared entities composition later re-unites.
+        needed = set(group)
+        for reaction in reaction_group[index]:
+            needed |= set(reaction.species_ids())
+        part = extract_submodel(
+            model, needed, submodel_id=f"{model.id}_split{index}"
+        )
+        parts.append(part)
+    return parts

@@ -1,0 +1,80 @@
+"""Graph-level composition (paper §2).
+
+"Graph composition is the union of the graphs, G1 ∪ G2 with
+(potentially) shared nodes or shared nodes and unitable edges.  Node
+and edge comparison is based on the comparison of labels.  Two nodes
+n1 ∈ G1 and n2 ∈ G2 are equal iff their labels are identical or
+synonymous."
+
+This module realises that definition directly on networkx graphs —
+the abstract counterpart of the SBML-level engine in
+:mod:`repro.core.compose`, useful for reasoning about merges without
+any SBML machinery (and for the paper's Figures 1–3, which are drawn
+at this level).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.synonyms.table import SynonymTable
+
+__all__ = ["compose_graphs"]
+
+
+def compose_graphs(
+    first: "nx.MultiDiGraph",
+    second: "nx.MultiDiGraph",
+    synonyms: Optional[SynonymTable] = None,
+) -> Tuple["nx.MultiDiGraph", Dict[str, str]]:
+    """Union of two labelled graphs with node identification.
+
+    Nodes are united when their ``label`` attributes are identical or
+    synonymous (φ(n1) ≈ φ(n2)); parallel edges with identical labels
+    are united, others are kept side by side ("unitable edges" at the
+    SBML level involve kinetic-law arithmetic, which lives in
+    :mod:`repro.core.compose`).
+
+    Returns ``(composed_graph, mapping)`` where ``mapping`` sends
+    second-graph node ids to the ids they took in the result.
+    """
+    table = synonyms or SynonymTable()
+    result: "nx.MultiDiGraph" = first.copy()
+    label_of_first = {
+        node: data.get("label", node) for node, data in first.nodes(data=True)
+    }
+    mapping: Dict[str, str] = {}
+
+    # Index first-graph nodes by canonical label (hash lookup, as in
+    # the SBML engine).
+    by_label: Dict[str, str] = {}
+    for node, label in label_of_first.items():
+        by_label.setdefault(table.canonical(str(label)), node)
+
+    for node, data in second.nodes(data=True):
+        label = str(data.get("label", node))
+        match = by_label.get(table.canonical(label))
+        if match is not None:
+            mapping[node] = match
+            continue
+        new_id = node
+        counter = 2
+        while new_id in result.nodes:
+            new_id = f"{node}_{counter}"
+            counter += 1
+        mapping[node] = new_id
+        result.add_node(new_id, **data)
+        by_label.setdefault(table.canonical(label), new_id)
+
+    for source, target, data in second.edges(data=True):
+        mapped_source = mapping[source]
+        mapped_target = mapping[target]
+        duplicate = False
+        if result.has_edge(mapped_source, mapped_target):
+            for _, existing in result[mapped_source][mapped_target].items():
+                if existing.get("label") == data.get("label"):
+                    duplicate = True
+                    break
+        if not duplicate:
+            result.add_edge(mapped_source, mapped_target, **data)
+    return result, mapping

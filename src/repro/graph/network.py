@@ -1,0 +1,133 @@
+"""Graph view of biochemical networks (paper §2 formalism).
+
+The paper defines a network as ``G = (V, E, L, φ, ψ)``: nodes are
+species, edges are reactant→product arrows labelled by the reaction
+(its rate constant in the figures), ``φ``/``ψ`` map nodes and edges to
+labels.  This module converts between SBML models and that graph view,
+built on :mod:`networkx` so the standard graph algorithms apply.
+
+Two graph flavours are provided:
+
+* :func:`species_graph` — the paper's figures: species nodes, one
+  directed edge per (reactant, product) pair per reaction.
+* :func:`bipartite_graph` — the species/reaction bipartite graph used
+  by the decomposition algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import networkx as nx
+
+from repro.sbml.model import Model
+
+__all__ = [
+    "species_graph",
+    "bipartite_graph",
+    "graph_size",
+    "isomorphic_networks",
+]
+
+
+def species_graph(model: Model) -> "nx.MultiDiGraph":
+    """The paper's network view: species nodes, reaction-labelled
+    edges, one edge per (reactant, product) pair.
+
+    Node attributes: ``label`` (φ — the species name or id).
+    Edge attributes: ``reaction`` (the reaction id), ``label`` (ψ —
+    the kinetic-law source when present), ``reversible``.
+    """
+    graph = nx.MultiDiGraph(model_id=model.id)
+    for species in model.species:
+        if species.id is not None:
+            graph.add_node(species.id, label=species.label())
+    for reaction in model.reactions:
+        law_label = ""
+        if reaction.kinetic_law is not None and reaction.kinetic_law.math is not None:
+            from repro.mathml.infix import to_infix
+
+            law_label = to_infix(reaction.kinetic_law.math)
+        for reactant in reaction.reactants:
+            for product in reaction.products:
+                graph.add_edge(
+                    reactant.species,
+                    product.species,
+                    reaction=reaction.id,
+                    label=law_label,
+                    reversible=reaction.reversible,
+                )
+        if not reaction.products:
+            for reactant in reaction.reactants:
+                graph.add_edge(
+                    reactant.species,
+                    f"∅:{reaction.id}",
+                    reaction=reaction.id,
+                    label=law_label,
+                    reversible=False,
+                )
+        if not reaction.reactants:
+            for product in reaction.products:
+                graph.add_edge(
+                    f"∅:{reaction.id}",
+                    product.species,
+                    reaction=reaction.id,
+                    label=law_label,
+                    reversible=False,
+                )
+    return graph
+
+
+def bipartite_graph(model: Model) -> "nx.DiGraph":
+    """Species/reaction bipartite graph.
+
+    Species nodes carry ``kind='species'``; reaction nodes carry
+    ``kind='reaction'``.  Edges: reactant → reaction → product, and
+    modifier → reaction with ``role='modifier'``.
+    """
+    graph = nx.DiGraph(model_id=model.id)
+    for species in model.species:
+        if species.id is not None:
+            graph.add_node(species.id, kind="species", label=species.label())
+    for reaction in model.reactions:
+        if reaction.id is None:
+            continue
+        graph.add_node(reaction.id, kind="reaction", label=reaction.label())
+        for reactant in reaction.reactants:
+            graph.add_edge(
+                reactant.species,
+                reaction.id,
+                role="reactant",
+                stoichiometry=reactant.stoichiometry,
+            )
+        for product in reaction.products:
+            graph.add_edge(
+                reaction.id,
+                product.species,
+                role="product",
+                stoichiometry=product.stoichiometry,
+            )
+        for modifier in reaction.modifiers:
+            graph.add_edge(
+                modifier.species, reaction.id, role="modifier", stoichiometry=0.0
+            )
+    return graph
+
+
+def graph_size(model: Model) -> Tuple[int, int]:
+    """``(nodes, edges)`` of the paper's network view."""
+    return model.num_nodes(), model.num_edges()
+
+
+def isomorphic_networks(first: Model, second: Model) -> bool:
+    """Whether two models have isomorphic species graphs with matching
+    node labels (φ) — the graph-theoretic reading of the paper's
+    network equality."""
+    first_graph = species_graph(first)
+    second_graph = species_graph(second)
+    matcher = nx.algorithms.isomorphism.MultiDiGraphMatcher(
+        first_graph,
+        second_graph,
+        node_match=lambda a, b: a.get("label") == b.get("label"),
+    )
+    return matcher.is_isomorphic()

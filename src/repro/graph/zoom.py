@@ -1,0 +1,198 @@
+"""Semantic graph zooming (paper §5, future-work item 4).
+
+"Development of indexes to support zooming in and out of networks and
+their subparts (indexing and algorithms for semantic graph zooming)."
+
+A :class:`ZoomIndex` precomputes a hierarchy of coarsenings of a
+model's species graph:
+
+* level 0 — the full species graph,
+* level 1 — *modules*: either a caller-supplied partition of the
+  species or (by default) the connected components,
+* level 2 — *compartments*: one super-node per compartment,
+* level 3 — the whole model as a single node.
+
+Each level's super-nodes remember their members, so the index answers
+both directions: ``graph_at(level)`` zooms out, ``expand(level,
+node)`` zooms back into a super-node, returning the induced subgraph
+one level below.  Aggregated edges carry a ``weight`` counting the
+collapsed parallel arrows — the "semantic" part: zoomed-out edges
+summarise how strongly two regions interact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import ReproError
+from repro.graph.network import species_graph
+from repro.sbml.model import Model
+
+__all__ = ["ZoomLevel", "ZoomIndex"]
+
+
+@dataclass
+class ZoomLevel:
+    """One level of the zoom hierarchy."""
+
+    name: str
+    graph: "nx.MultiDiGraph"
+    #: super-node -> member nodes of the level below.
+    members: Dict[str, Set[str]]
+
+
+def _coarsen(
+    graph: "nx.MultiDiGraph",
+    assignment: Dict[str, str],
+    level_name: str,
+) -> Tuple["nx.MultiDiGraph", Dict[str, Set[str]]]:
+    """Collapse ``graph`` along node → super-node ``assignment``."""
+    coarse = nx.MultiDiGraph(level=level_name)
+    members: Dict[str, Set[str]] = {}
+    for node, super_node in assignment.items():
+        members.setdefault(super_node, set()).add(node)
+    for super_node, group in members.items():
+        coarse.add_node(super_node, label=super_node, size=len(group))
+    weights: Dict[Tuple[str, str], int] = {}
+    for source, target in graph.edges():
+        source_super = assignment.get(str(source))
+        target_super = assignment.get(str(target))
+        if source_super is None or target_super is None:
+            continue
+        if source_super == target_super:
+            continue  # internal edges disappear when zoomed out
+        key = (source_super, target_super)
+        weights[key] = weights.get(key, 0) + 1
+    for (source_super, target_super), weight in sorted(weights.items()):
+        coarse.add_edge(source_super, target_super, weight=weight)
+    return coarse, members
+
+
+class ZoomIndex:
+    """Precomputed zoom hierarchy over a model's species graph."""
+
+    def __init__(
+        self,
+        model: Model,
+        modules: Optional[Dict[str, Sequence[str]]] = None,
+    ):
+        self.model = model
+        base = species_graph(model)
+        # Sink/source pseudo-nodes stay out of the hierarchy.
+        base = base.subgraph(
+            [n for n in base.nodes if not str(n).startswith("∅:")]
+        ).copy()
+        self.levels: List[ZoomLevel] = [
+            ZoomLevel(
+                "species",
+                base,
+                {str(node): {str(node)} for node in base.nodes},
+            )
+        ]
+
+        # Level 1: modules (explicit partition or connected components).
+        if modules is not None:
+            assignment: Dict[str, str] = {}
+            for module_name, species_ids in modules.items():
+                for species_id in species_ids:
+                    assignment[species_id] = module_name
+            missing = [
+                str(node) for node in base.nodes if str(node) not in assignment
+            ]
+            for node in missing:
+                assignment[node] = "unassigned"
+        else:
+            assignment = {}
+            for index, component in enumerate(
+                sorted(
+                    nx.weakly_connected_components(base),
+                    key=lambda group: sorted(group)[0],
+                )
+            ):
+                for node in component:
+                    assignment[str(node)] = f"module_{index}"
+        module_graph, module_members = _coarsen(base, assignment, "modules")
+        self.levels.append(ZoomLevel("modules", module_graph, module_members))
+
+        # Level 2: compartments.
+        compartment_of: Dict[str, str] = {}
+        for species in model.species:
+            if species.id is not None:
+                compartment_of[species.id] = (
+                    species.compartment or "<no compartment>"
+                )
+        module_to_compartment: Dict[str, str] = {}
+        for module_name, group in module_members.items():
+            compartments = {
+                compartment_of.get(node, "<no compartment>")
+                for node in group
+            }
+            module_to_compartment[module_name] = (
+                compartments.pop() if len(compartments) == 1 else "<mixed>"
+            )
+        compartment_graph, compartment_members = _coarsen(
+            module_graph, module_to_compartment, "compartments"
+        )
+        self.levels.append(
+            ZoomLevel("compartments", compartment_graph, compartment_members)
+        )
+
+        # Level 3: the whole model.
+        root_assignment = {
+            str(node): model.id or "model" for node in compartment_graph.nodes
+        }
+        root_graph, root_members = _coarsen(
+            compartment_graph, root_assignment, "model"
+        )
+        self.levels.append(ZoomLevel("model", root_graph, root_members))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def graph_at(self, level: int) -> "nx.MultiDiGraph":
+        """The coarsened graph at ``level`` (0 = full detail)."""
+        self._check_level(level)
+        return self.levels[level].graph
+
+    def members(self, level: int, node: str) -> Set[str]:
+        """Nodes of level ``level - 1`` inside super-node ``node``."""
+        self._check_level(level)
+        if level == 0:
+            return {node}
+        try:
+            return set(self.levels[level].members[node])
+        except KeyError:
+            raise ReproError(
+                f"level {level} has no node {node!r}"
+            ) from None
+
+    def expand(self, level: int, node: str) -> "nx.MultiDiGraph":
+        """Zoom into a super-node: the induced level-(level-1)
+        subgraph of its members."""
+        if level == 0:
+            raise ReproError("cannot expand below the species level")
+        group = self.members(level, node)
+        return self.levels[level - 1].graph.subgraph(group).copy()
+
+    def leaves(self, level: int, node: str) -> Set[str]:
+        """All species (level-0 nodes) ultimately inside ``node``."""
+        self._check_level(level)
+        frontier = {node}
+        for depth in range(level, 0, -1):
+            next_frontier: Set[str] = set()
+            for current in frontier:
+                next_frontier |= self.members(depth, current)
+            frontier = next_frontier
+        return frontier
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < len(self.levels):
+            raise ReproError(
+                f"zoom level {level} outside 0..{len(self.levels) - 1}"
+            )

@@ -1,0 +1,335 @@
+"""Expression AST used for all model mathematics.
+
+The paper stores every equation, kinetic law, rule and assignment as
+MathML.  This module defines the in-memory tree those documents parse
+into.  The tree is immutable: every node is a frozen dataclass, so
+nodes can be shared freely, used as dictionary keys and compared
+structurally with ``==``.
+
+Node types
+----------
+
+========================= ==========================================
+:class:`Number`           ``<cn>`` — a numeric literal, optionally
+                          carrying an SBML unit reference
+:class:`Identifier`       ``<ci>`` — a reference to a species,
+                          parameter, compartment or function argument
+:class:`Constant`         ``<pi>``, ``<exponentiale>``, ``<true>``,
+                          ``<false>``, ``<infinity>``, ``<notanumber>``
+:class:`Apply`            ``<apply>`` — operator or function call
+:class:`Lambda`           ``<lambda>`` — SBML function definitions
+:class:`Piecewise`        ``<piecewise>`` — conditional expressions
+========================= ==========================================
+
+The set of operators follows the MathML subset that SBML Level 2
+permits.  Commutativity and associativity flags drive the canonical
+pattern construction in :mod:`repro.mathml.pattern` (the paper's
+Figure 7 algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional, Tuple
+
+__all__ = [
+    "MathNode",
+    "Number",
+    "Identifier",
+    "Constant",
+    "Apply",
+    "Lambda",
+    "Piecewise",
+    "COMMUTATIVE_OPERATORS",
+    "ASSOCIATIVE_OPERATORS",
+    "RELATIONAL_OPERATORS",
+    "LOGICAL_OPERATORS",
+    "ARITHMETIC_OPERATORS",
+    "UNARY_FUNCTIONS",
+    "KNOWN_OPERATORS",
+    "CONSTANT_NAMES",
+]
+
+
+# Operators for which argument order is irrelevant.  ``plus`` and
+# ``times`` are n-ary in MathML; ``eq``/``neq`` are commutative as
+# relations; the paper's pattern algorithm (Fig 7) special-cases all of
+# these so that ``a*b`` matches ``b*a``.
+COMMUTATIVE_OPERATORS = frozenset(
+    {"plus", "times", "and", "or", "xor", "eq", "neq"}
+)
+
+# Operators that may be flattened: ``(a+b)+c == a+(b+c)``.
+ASSOCIATIVE_OPERATORS = frozenset({"plus", "times", "and", "or", "xor"})
+
+RELATIONAL_OPERATORS = frozenset({"eq", "neq", "gt", "lt", "geq", "leq"})
+
+LOGICAL_OPERATORS = frozenset({"and", "or", "xor", "not"})
+
+ARITHMETIC_OPERATORS = frozenset(
+    {"plus", "minus", "times", "divide", "power", "root"}
+)
+
+# Single-argument named functions in the SBML MathML subset.
+UNARY_FUNCTIONS = frozenset(
+    {
+        "exp",
+        "ln",
+        "log",
+        "abs",
+        "floor",
+        "ceiling",
+        "factorial",
+        "sin",
+        "cos",
+        "tan",
+        "sec",
+        "csc",
+        "cot",
+        "sinh",
+        "cosh",
+        "tanh",
+        "arcsin",
+        "arccos",
+        "arctan",
+        "arcsinh",
+        "arccosh",
+        "arctanh",
+    }
+)
+
+KNOWN_OPERATORS = (
+    ARITHMETIC_OPERATORS
+    | RELATIONAL_OPERATORS
+    | LOGICAL_OPERATORS
+    | UNARY_FUNCTIONS
+)
+
+CONSTANT_NAMES = frozenset(
+    {"pi", "exponentiale", "true", "false", "infinity", "notanumber"}
+)
+
+
+class MathNode:
+    """Abstract base class for all expression nodes.
+
+    Provides the traversal helpers shared by every node type; the
+    concrete classes below only add their payload fields.
+    """
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["MathNode", ...]:
+        """Return the direct sub-expressions of this node."""
+        return ()
+
+    def walk(self) -> Iterator["MathNode"]:
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def identifiers(self) -> frozenset:
+        """Return the set of identifier names referenced anywhere in
+        this expression (bound lambda parameters are *included*; use
+        :meth:`Lambda.free_identifiers` to exclude them)."""
+        return frozenset(
+            node.name for node in self.walk() if isinstance(node, Identifier)
+        )
+
+    def substitute(self, bindings: Mapping[str, "MathNode"]) -> "MathNode":
+        """Return a copy with identifiers replaced by expressions.
+
+        ``bindings`` maps identifier names to replacement nodes.
+        Identifiers not present in the mapping are left untouched.
+        """
+        return _substitute(self, bindings)
+
+    def rename(self, mapping: Mapping[str, str]) -> "MathNode":
+        """Return a copy with identifiers renamed via ``mapping``.
+
+        This is the operation the composition engine applies when a
+        component from the second model is united with one from the
+        first and every reference to it must follow ("add mapping" in
+        the paper's Figure 5).
+        """
+        bindings = {old: Identifier(new) for old, new in mapping.items()}
+        return _substitute(self, bindings)
+
+    def size(self) -> int:
+        """Return the number of nodes in the expression tree."""
+        return sum(1 for _ in self.walk())
+
+    def depth(self) -> int:
+        """Return the height of the expression tree (leaf == 1)."""
+        kids = self.children()
+        if not kids:
+            return 1
+        return 1 + max(child.depth() for child in kids)
+
+
+@dataclass(frozen=True, slots=True)
+class Number(MathNode):
+    """A numeric literal (``<cn>``), optionally annotated with the id
+    of an SBML unit definition (the ``sbml:units`` attribute)."""
+
+    value: float
+    units: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", float(self.value))
+
+    def is_integer(self) -> bool:
+        """Whether the literal is a whole number (affects rendering)."""
+        return float(self.value).is_integer()
+
+
+@dataclass(frozen=True, slots=True)
+class Identifier(MathNode):
+    """A symbol reference (``<ci>``)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Constant(MathNode):
+    """A named MathML constant such as ``pi`` or ``exponentiale``."""
+
+    name: str
+
+    def __post_init__(self):
+        if self.name not in CONSTANT_NAMES:
+            raise ValueError(f"unknown MathML constant: {self.name!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Apply(MathNode):
+    """An operator application (``<apply>``).
+
+    ``op`` is either a MathML operator name from
+    :data:`KNOWN_OPERATORS` or the id of a user function definition
+    (``<csymbol>``/``<ci>`` call in SBML).
+    """
+
+    op: str
+    args: Tuple[MathNode, ...]
+
+    def __init__(self, op: str, args):
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "args", tuple(args))
+
+    def children(self) -> Tuple[MathNode, ...]:
+        return self.args
+
+    @property
+    def is_commutative(self) -> bool:
+        """Whether operand order is irrelevant for this operator."""
+        return self.op in COMMUTATIVE_OPERATORS
+
+    @property
+    def is_builtin(self) -> bool:
+        """Whether ``op`` is a MathML operator rather than a call to a
+        user-defined function."""
+        return self.op in KNOWN_OPERATORS
+
+
+@dataclass(frozen=True, slots=True)
+class Lambda(MathNode):
+    """A function definition body (``<lambda>``)."""
+
+    params: Tuple[str, ...]
+    body: MathNode
+
+    def __init__(self, params, body: MathNode):
+        object.__setattr__(self, "params", tuple(params))
+        object.__setattr__(self, "body", body)
+
+    def children(self) -> Tuple[MathNode, ...]:
+        return (self.body,)
+
+    def free_identifiers(self) -> frozenset:
+        """Identifiers used in the body that are not parameters."""
+        return self.body.identifiers() - frozenset(self.params)
+
+    def apply_to(self, args: Tuple[MathNode, ...]) -> MathNode:
+        """Inline this definition for the given argument expressions.
+
+        Raises :class:`ValueError` on arity mismatch; the evaluator
+        converts that into :class:`~repro.errors.MathEvalError`.
+        """
+        if len(args) != len(self.params):
+            raise ValueError(
+                f"function expects {len(self.params)} argument(s), "
+                f"got {len(args)}"
+            )
+        return self.body.substitute(dict(zip(self.params, args)))
+
+
+@dataclass(frozen=True, slots=True)
+class Piecewise(MathNode):
+    """A conditional expression (``<piecewise>``).
+
+    ``pieces`` is a tuple of ``(value, condition)`` pairs evaluated in
+    order; ``otherwise`` (may be ``None``) is the fallback value.
+    """
+
+    pieces: Tuple[Tuple[MathNode, MathNode], ...]
+    otherwise: Optional[MathNode] = None
+
+    def __init__(self, pieces, otherwise: Optional[MathNode] = None):
+        object.__setattr__(
+            self, "pieces", tuple((value, cond) for value, cond in pieces)
+        )
+        object.__setattr__(self, "otherwise", otherwise)
+
+    def children(self) -> Tuple[MathNode, ...]:
+        kids = []
+        for value, cond in self.pieces:
+            kids.append(value)
+            kids.append(cond)
+        if self.otherwise is not None:
+            kids.append(self.otherwise)
+        return tuple(kids)
+
+
+def _substitute(node: MathNode, bindings: Mapping[str, MathNode]) -> MathNode:
+    """Structural substitution used by both ``substitute`` and
+    ``rename``; respects lambda parameter shadowing."""
+    if isinstance(node, Identifier):
+        return bindings.get(node.name, node)
+    if isinstance(node, Apply):
+        new_args = tuple(_substitute(arg, bindings) for arg in node.args)
+        # A call to a user function may itself be renamed when the
+        # function definition was united with one from the other model.
+        new_op = node.op
+        replacement = bindings.get(node.op)
+        if not node.is_builtin and isinstance(replacement, Identifier):
+            new_op = replacement.name
+        if new_op == node.op and new_args == node.args:
+            return node
+        return Apply(new_op, new_args)
+    if isinstance(node, Lambda):
+        # Parameters shadow outer bindings.
+        inner = {
+            name: repl
+            for name, repl in bindings.items()
+            if name not in node.params
+        }
+        new_body = _substitute(node.body, inner)
+        if new_body is node.body:
+            return node
+        return Lambda(node.params, new_body)
+    if isinstance(node, Piecewise):
+        new_pieces = tuple(
+            (_substitute(value, bindings), _substitute(cond, bindings))
+            for value, cond in node.pieces
+        )
+        new_otherwise = (
+            _substitute(node.otherwise, bindings)
+            if node.otherwise is not None
+            else None
+        )
+        if new_pieces == node.pieces and new_otherwise == node.otherwise:
+            return node
+        return Piecewise(new_pieces, new_otherwise)
+    return node

@@ -1,0 +1,232 @@
+"""Numeric evaluation of math ASTs.
+
+The paper embedded Beanshell to execute Java math strings as code when
+checking whether initial assignments were equal.  We evaluate the AST
+directly (see DESIGN.md, substitution table): same values, no string
+round trip.
+
+:func:`evaluate` takes an environment mapping identifier names to
+floats and a table of user function definitions (:class:`Lambda`
+bodies, as stored on SBML function-definition components).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.errors import MathDomainError, MathEvalError
+from repro.mathml.ast import (
+    Apply,
+    Constant,
+    Identifier,
+    Lambda,
+    MathNode,
+    Number,
+    Piecewise,
+)
+
+__all__ = ["evaluate", "Evaluator", "AVOGADRO"]
+
+#: Avogadro's constant as used by the paper's Figure 6 (molecules/mole).
+AVOGADRO = 6.022e23
+
+_CONSTANT_VALUES = {
+    "pi": math.pi,
+    "exponentiale": math.e,
+    "true": 1.0,
+    "false": 0.0,
+    "infinity": math.inf,
+    "notanumber": math.nan,
+}
+
+
+def _factorial(value: float) -> float:
+    if value < 0 or not float(value).is_integer():
+        raise MathDomainError(f"factorial of non-natural number {value}")
+    return float(math.factorial(int(value)))
+
+
+def _safe(fn: Callable[..., float], name: str) -> Callable[..., float]:
+    def wrapper(*args: float) -> float:
+        try:
+            return float(fn(*args))
+        except (ValueError, OverflowError) as exc:
+            raise MathDomainError(f"{name}({args}) out of domain: {exc}") from exc
+
+    return wrapper
+
+
+_UNARY_IMPL: Dict[str, Callable[[float], float]] = {
+    "exp": _safe(math.exp, "exp"),
+    "ln": _safe(math.log, "ln"),
+    "abs": abs,
+    "floor": math.floor,
+    "ceiling": math.ceil,
+    "factorial": _factorial,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "sec": lambda x: 1.0 / math.cos(x),
+    "csc": lambda x: 1.0 / math.sin(x),
+    "cot": lambda x: 1.0 / math.tan(x),
+    "sinh": math.sinh,
+    "cosh": math.cosh,
+    "tanh": math.tanh,
+    "arcsin": _safe(math.asin, "arcsin"),
+    "arccos": _safe(math.acos, "arccos"),
+    "arctan": math.atan,
+    "arcsinh": math.asinh,
+    "arccosh": _safe(math.acosh, "arccosh"),
+    "arctanh": _safe(math.atanh, "arctanh"),
+}
+
+_RELATIONAL_IMPL = {
+    "gt": lambda a, b: a > b,
+    "lt": lambda a, b: a < b,
+    "geq": lambda a, b: a >= b,
+    "leq": lambda a, b: a <= b,
+}
+
+
+class Evaluator:
+    """Reusable evaluator bound to a table of function definitions.
+
+    Parameters
+    ----------
+    functions:
+        Mapping from function-definition id to its :class:`Lambda`.
+    max_depth:
+        Recursion guard; SBML forbids recursive function definitions
+        but malformed input must fail cleanly rather than blow the
+        stack (failure-injection tests rely on this).
+    """
+
+    def __init__(
+        self,
+        functions: Optional[Mapping[str, Lambda]] = None,
+        max_depth: int = 200,
+    ):
+        self.functions: Dict[str, Lambda] = dict(functions or {})
+        self.max_depth = max_depth
+
+    def evaluate(self, node: MathNode, env: Mapping[str, float]) -> float:
+        """Evaluate ``node`` with identifier values from ``env``."""
+        return self._eval(node, env, 0)
+
+    def _eval(self, node: MathNode, env: Mapping[str, float], depth: int) -> float:
+        if depth > self.max_depth:
+            raise MathEvalError(
+                "evaluation exceeded maximum depth "
+                f"({self.max_depth}); recursive function definition?"
+            )
+        if isinstance(node, Number):
+            return node.value
+        if isinstance(node, Constant):
+            return _CONSTANT_VALUES[node.name]
+        if isinstance(node, Identifier):
+            try:
+                return float(env[node.name])
+            except KeyError:
+                raise MathEvalError(
+                    f"unbound identifier {node.name!r}"
+                ) from None
+        if isinstance(node, Piecewise):
+            return self._eval_piecewise(node, env, depth)
+        if isinstance(node, Apply):
+            return self._eval_apply(node, env, depth)
+        if isinstance(node, Lambda):
+            raise MathEvalError("cannot evaluate a bare lambda")
+        raise MathEvalError(f"cannot evaluate {type(node).__name__}")
+
+    def _eval_piecewise(
+        self, node: Piecewise, env: Mapping[str, float], depth: int
+    ) -> float:
+        for value, condition in node.pieces:
+            if self._eval(condition, env, depth + 1) != 0.0:
+                return self._eval(value, env, depth + 1)
+        if node.otherwise is not None:
+            return self._eval(node.otherwise, env, depth + 1)
+        raise MathEvalError("piecewise with no matching piece and no otherwise")
+
+    def _eval_apply(
+        self, node: Apply, env: Mapping[str, float], depth: int
+    ) -> float:
+        op = node.op
+        args = [self._eval(arg, env, depth + 1) for arg in node.args]
+        if op == "plus":
+            return float(sum(args))
+        if op == "times":
+            product = 1.0
+            for value in args:
+                product *= value
+            return product
+        if op == "minus":
+            if len(args) == 1:
+                return -args[0]
+            return args[0] - args[1]
+        if op == "divide":
+            if args[1] == 0.0:
+                raise MathDomainError("division by zero")
+            return args[0] / args[1]
+        if op == "power":
+            try:
+                result = args[0] ** args[1]
+            except (ValueError, OverflowError, ZeroDivisionError) as exc:
+                raise MathDomainError(
+                    f"power({args[0]}, {args[1]}): {exc}"
+                ) from exc
+            if isinstance(result, complex):
+                raise MathDomainError(
+                    f"power({args[0]}, {args[1]}) is complex"
+                )
+            return float(result)
+        if op == "root":
+            degree, operand = args
+            if degree == 0.0:
+                raise MathDomainError("root with degree 0")
+            if operand < 0.0:
+                raise MathDomainError(f"root of negative value {operand}")
+            return operand ** (1.0 / degree)
+        if op == "log":
+            base, operand = args
+            if operand <= 0.0 or base <= 0.0 or base == 1.0:
+                raise MathDomainError(f"log base {base} of {operand}")
+            return math.log(operand, base)
+        if op in _UNARY_IMPL:
+            return float(_UNARY_IMPL[op](args[0]))
+        if op == "eq":
+            return 1.0 if all(a == args[0] for a in args[1:]) else 0.0
+        if op == "neq":
+            return 1.0 if args[0] != args[1] else 0.0
+        if op in _RELATIONAL_IMPL:
+            ok = all(
+                _RELATIONAL_IMPL[op](args[i], args[i + 1])
+                for i in range(len(args) - 1)
+            )
+            return 1.0 if ok else 0.0
+        if op == "and":
+            return 1.0 if all(a != 0.0 for a in args) else 0.0
+        if op == "or":
+            return 1.0 if any(a != 0.0 for a in args) else 0.0
+        if op == "xor":
+            return 1.0 if sum(1 for a in args if a != 0.0) % 2 == 1 else 0.0
+        if op == "not":
+            return 1.0 if args[0] == 0.0 else 0.0
+        definition = self.functions.get(op)
+        if definition is None:
+            raise MathEvalError(f"call to unknown function {op!r}")
+        try:
+            inlined = definition.apply_to(node.args)
+        except ValueError as exc:
+            raise MathEvalError(str(exc)) from exc
+        return self._eval(inlined, env, depth + 1)
+
+
+def evaluate(
+    node: MathNode,
+    env: Optional[Mapping[str, float]] = None,
+    functions: Optional[Mapping[str, Lambda]] = None,
+) -> float:
+    """Evaluate ``node`` in one call (convenience wrapper)."""
+    return Evaluator(functions).evaluate(node, env or {})

@@ -1,0 +1,417 @@
+"""Infix formula parser and printer.
+
+SBML tooling conventionally exposes kinetic laws as infix strings
+(``k1 * S1 * S2``).  This module provides both directions:
+
+* :func:`parse_infix` — tokenizer + Pratt parser producing the same
+  AST the MathML parser yields, following the libSBML infix grammar
+  (``^`` for power, ``log`` = base-10, ``ln`` = natural,
+  ``piecewise(v1, c1, ..., otherwise)``).
+* :func:`to_infix` — precedence-aware printer emitting minimal
+  parentheses, so round trips are stable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import MathParseError
+from repro.mathml.ast import (
+    Apply,
+    Constant,
+    Identifier,
+    Lambda,
+    MathNode,
+    Number,
+    Piecewise,
+    UNARY_FUNCTIONS,
+)
+
+__all__ = ["parse_infix", "to_infix"]
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?
+              |\d+(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op> <=|>=|==|!=|&&|\|\||[-+*/^(),<>!])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "name" | "op" | "end"
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise MathParseError(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(_Token("end", "", pos))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Pratt parser
+# ---------------------------------------------------------------------------
+
+# Binding powers; higher binds tighter.
+_PREC_OR = 10
+_PREC_AND = 20
+_PREC_REL = 30
+_PREC_ADD = 40
+_PREC_MUL = 50
+_PREC_UNARY = 60
+_PREC_POW = 70
+
+_BINARY_OPS = {
+    "||": (_PREC_OR, "or"),
+    "&&": (_PREC_AND, "and"),
+    "==": (_PREC_REL, "eq"),
+    "!=": (_PREC_REL, "neq"),
+    ">": (_PREC_REL, "gt"),
+    "<": (_PREC_REL, "lt"),
+    ">=": (_PREC_REL, "geq"),
+    "<=": (_PREC_REL, "leq"),
+    "+": (_PREC_ADD, "plus"),
+    "-": (_PREC_ADD, "minus"),
+    "*": (_PREC_MUL, "times"),
+    "/": (_PREC_MUL, "divide"),
+    "^": (_PREC_POW, "power"),
+}
+
+_KEYWORD_OPS = {"and": "and", "or": "or", "xor": "xor", "not": "not"}
+
+# Infix constant spellings accepted on input.
+_CONSTANT_ALIASES = {
+    "pi": "pi",
+    "exponentiale": "exponentiale",
+    "true": "true",
+    "false": "false",
+    "infinity": "infinity",
+    "INF": "infinity",
+    "inf": "infinity",
+    "notanumber": "notanumber",
+    "NaN": "notanumber",
+    "nan": "notanumber",
+}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.advance()
+        if token.text != text:
+            raise MathParseError(
+                f"expected {text!r} at position {token.position}, "
+                f"got {token.text!r} in {self.text!r}"
+            )
+        return token
+
+    def parse(self) -> MathNode:
+        node = self.expression(0)
+        trailing = self.peek()
+        if trailing.kind != "end":
+            raise MathParseError(
+                f"unexpected trailing input {trailing.text!r} at "
+                f"position {trailing.position} in {self.text!r}"
+            )
+        return node
+
+    def expression(self, min_power: int) -> MathNode:
+        left = self.prefix()
+        while True:
+            token = self.peek()
+            op_info = None
+            if token.kind == "op":
+                op_info = _BINARY_OPS.get(token.text)
+            elif token.kind == "name" and token.text in _KEYWORD_OPS:
+                keyword = _KEYWORD_OPS[token.text]
+                if keyword != "not":
+                    power = _PREC_OR if keyword in ("or", "xor") else _PREC_AND
+                    op_info = (power, keyword)
+            if op_info is None:
+                return left
+            power, op = op_info
+            if power < min_power:
+                return left
+            self.advance()
+            # Power is right-associative; everything else left.
+            next_min = power if op == "power" else power + 1
+            right = self.expression(next_min)
+            left = self._combine(op, left, right)
+
+    def _combine(self, op: str, left: MathNode, right: MathNode) -> MathNode:
+        # Flatten n-ary commutative chains as the MathML parser would
+        # produce them from nested <apply> elements only when the child
+        # has the same operator; keeps `a+b+c` one Apply node.
+        if op in ("plus", "times", "and", "or", "xor"):
+            left_args = (
+                left.args
+                if isinstance(left, Apply) and left.op == op
+                else (left,)
+            )
+            return Apply(op, left_args + (right,))
+        return Apply(op, (left, right))
+
+    def prefix(self) -> MathNode:
+        token = self.advance()
+        if token.kind == "number":
+            return Number(float(token.text))
+        if token.kind == "op":
+            if token.text == "(":
+                inner = self.expression(0)
+                self.expect(")")
+                return inner
+            if token.text == "-":
+                operand = self.expression(_PREC_UNARY)
+                if isinstance(operand, Number) and operand.units is None:
+                    return Number(-operand.value)
+                return Apply("minus", (operand,))
+            if token.text == "+":
+                return self.expression(_PREC_UNARY)
+            if token.text == "!":
+                operand = self.expression(_PREC_UNARY)
+                return Apply("not", (operand,))
+            raise MathParseError(
+                f"unexpected operator {token.text!r} at position "
+                f"{token.position} in {self.text!r}"
+            )
+        if token.kind == "name":
+            if token.text == "not":
+                operand = self.expression(_PREC_UNARY)
+                return Apply("not", (operand,))
+            if self.peek().text == "(":
+                return self.call(token.text)
+            if token.text in _CONSTANT_ALIASES:
+                return Constant(_CONSTANT_ALIASES[token.text])
+            return Identifier(token.text)
+        raise MathParseError(
+            f"unexpected end of input in {self.text!r}"
+        )
+
+    def call(self, name: str) -> MathNode:
+        self.expect("(")
+        args: List[MathNode] = []
+        if self.peek().text != ")":
+            args.append(self.expression(0))
+            while self.peek().text == ",":
+                self.advance()
+                args.append(self.expression(0))
+        self.expect(")")
+        return _build_call(name, tuple(args))
+
+
+def _build_call(name: str, args: Tuple[MathNode, ...]) -> MathNode:
+    """Map an infix function call onto the AST operator vocabulary."""
+    if name == "piecewise":
+        if not args:
+            raise MathParseError("piecewise() needs arguments")
+        pieces = []
+        index = 0
+        while index + 1 < len(args):
+            pieces.append((args[index], args[index + 1]))
+            index += 2
+        otherwise = args[index] if index < len(args) else None
+        return Piecewise(tuple(pieces), otherwise)
+    if name == "log":
+        # libSBML convention: log(x) is base 10, log(base, x) explicit.
+        if len(args) == 1:
+            return Apply("log", (Number(10.0), args[0]))
+        if len(args) == 2:
+            return Apply("log", args)
+        raise MathParseError("log() takes one or two arguments")
+    if name == "log10":
+        if len(args) != 1:
+            raise MathParseError("log10() takes one argument")
+        return Apply("log", (Number(10.0), args[0]))
+    if name == "root":
+        if len(args) == 1:
+            return Apply("root", (Number(2.0), args[0]))
+        if len(args) == 2:
+            return Apply("root", args)
+        raise MathParseError("root() takes one or two arguments")
+    if name == "sqrt":
+        if len(args) != 1:
+            raise MathParseError("sqrt() takes one argument")
+        return Apply("root", (Number(2.0), args[0]))
+    if name == "pow" or name == "power":
+        if len(args) != 2:
+            raise MathParseError(f"{name}() takes two arguments")
+        return Apply("power", args)
+    if name in UNARY_FUNCTIONS:
+        if len(args) != 1:
+            raise MathParseError(f"{name}() takes one argument")
+        return Apply(name, args)
+    # Anything else is a user-defined function call.
+    return Apply(name, args)
+
+
+def parse_infix(text: str) -> MathNode:
+    """Parse an infix formula string into an AST node."""
+    if not text or not text.strip():
+        raise MathParseError("empty formula")
+    return _Parser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Printer
+# ---------------------------------------------------------------------------
+
+_OP_SYMBOLS = {
+    "plus": ("+", _PREC_ADD),
+    "minus": ("-", _PREC_ADD),
+    "times": ("*", _PREC_MUL),
+    "divide": ("/", _PREC_MUL),
+    "power": ("^", _PREC_POW),
+    "eq": ("==", _PREC_REL),
+    "neq": ("!=", _PREC_REL),
+    "gt": (">", _PREC_REL),
+    "lt": ("<", _PREC_REL),
+    "geq": (">=", _PREC_REL),
+    "leq": ("<=", _PREC_REL),
+    "and": ("&&", _PREC_AND),
+    "or": ("||", _PREC_OR),
+}
+
+_CONSTANT_SPELLING = {
+    "pi": "pi",
+    "exponentiale": "exponentiale",
+    "true": "true",
+    "false": "false",
+    "infinity": "INF",
+    "notanumber": "NaN",
+}
+
+
+def to_infix(node: MathNode) -> str:
+    """Render an AST node as an infix formula string."""
+    text, _ = _render(node)
+    return text
+
+
+def _render(node: MathNode) -> Tuple[str, int]:
+    """Return (text, precedence) so parents can decide on parens."""
+    atom = 100
+    if isinstance(node, Number):
+        if node.value < 0:
+            return _render_negative_number(node)
+        if node.is_integer() and abs(node.value) < 1e15:
+            return str(int(node.value)), atom
+        return repr(node.value), atom
+    if isinstance(node, Identifier):
+        return node.name, atom
+    if isinstance(node, Constant):
+        return _CONSTANT_SPELLING[node.name], atom
+    if isinstance(node, Piecewise):
+        parts = []
+        for value, cond in node.pieces:
+            parts.append(_render(value)[0])
+            parts.append(_render(cond)[0])
+        if node.otherwise is not None:
+            parts.append(_render(node.otherwise)[0])
+        return f"piecewise({', '.join(parts)})", atom
+    if isinstance(node, Lambda):
+        params = ", ".join(node.params)
+        return f"lambda({params}: {to_infix(node.body)})", atom
+    if isinstance(node, Apply):
+        return _render_apply(node)
+    raise TypeError(f"cannot render {type(node).__name__}")
+
+
+def _render_negative_number(node: Number) -> Tuple[str, int]:
+    if node.is_integer() and abs(node.value) < 1e15:
+        return f"-{int(-node.value)}", _PREC_UNARY
+    return f"-{repr(-node.value)}", _PREC_UNARY
+
+
+def _render_apply(node: Apply) -> Tuple[str, int]:
+    atom = 100
+    op = node.op
+    if op == "minus" and len(node.args) == 1:
+        inner, inner_prec = _render(node.args[0])
+        if inner_prec < _PREC_UNARY:
+            inner = f"({inner})"
+        return f"-{inner}", _PREC_UNARY
+    if op == "not":
+        inner, inner_prec = _render(node.args[0])
+        if inner_prec < _PREC_UNARY:
+            inner = f"({inner})"
+        return f"!{inner}", _PREC_UNARY
+    if op == "xor":
+        parts = [_paren(arg, _PREC_AND + 1) for arg in node.args]
+        return " xor ".join(parts), _PREC_OR
+    if op in _OP_SYMBOLS and len(node.args) >= 2:
+        symbol, prec = _OP_SYMBOLS[op]
+        right_assoc = op == "power"
+        non_assoc_tail = op in ("minus", "divide")
+        parts = []
+        for position, arg in enumerate(node.args):
+            if position == 0:
+                needed = prec + 1 if right_assoc else prec
+            else:
+                needed = prec if right_assoc else prec + (
+                    1 if non_assoc_tail or op in _OP_SYMBOLS else 1
+                )
+                # Commutative chains can reuse the same precedence but
+                # rendering with +1 is always safe and keeps the parser
+                # happy; the simplifier flattens chains anyway.
+                if op in ("plus", "times", "and", "or") and not isinstance(
+                    arg, Apply
+                ):
+                    needed = prec
+            parts.append(_paren(arg, needed))
+        return f" {symbol} ".join(parts), prec
+    if op == "log":
+        base, operand = node.args
+        if base == Number(10.0):
+            return f"log({_render(operand)[0]})", atom
+        return f"log({_render(base)[0]}, {_render(operand)[0]})", atom
+    if op == "root":
+        degree, operand = node.args
+        if degree == Number(2.0):
+            return f"sqrt({_render(operand)[0]})", atom
+        return f"root({_render(degree)[0]}, {_render(operand)[0]})", atom
+    # Named unary functions and user function calls.
+    rendered = ", ".join(_render(arg)[0] for arg in node.args)
+    return f"{op}({rendered})", atom
+
+
+def _paren(node: MathNode, min_prec: int) -> str:
+    text, prec = _render(node)
+    if prec < min_prec:
+        return f"({text})"
+    return text

@@ -1,0 +1,295 @@
+"""MathML 2.0 parser producing :mod:`repro.mathml.ast` trees.
+
+Supports the MathML subset defined by SBML Level 2: ``<apply>`` with
+the arithmetic / relational / logical / transcendental operator tags,
+``<ci>``, ``<cn>`` (``real``, ``integer``, ``e-notation`` and
+``rational`` types), the named constants, ``<piecewise>``,
+``<lambda>`` with ``<bvar>``, ``<degree>``/``<logbase>`` qualifiers
+and ``<csymbol>`` for the ``time`` and ``delay`` symbols.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Optional
+
+from repro.errors import MathParseError
+from repro.mathml.ast import (
+    Apply,
+    CONSTANT_NAMES,
+    Constant,
+    Identifier,
+    KNOWN_OPERATORS,
+    Lambda,
+    MathNode,
+    Number,
+    Piecewise,
+)
+
+__all__ = ["MATHML_NS", "parse_mathml", "parse_math_element"]
+
+MATHML_NS = "http://www.w3.org/1998/Math/MathML"
+
+# csymbol definitionURLs defined by the SBML specification.
+_CSYMBOL_URLS = {
+    "http://www.sbml.org/sbml/symbols/time": "time",
+    "http://www.sbml.org/sbml/symbols/delay": "delay",
+    "http://www.sbml.org/sbml/symbols/avogadro": "avogadro",
+}
+
+# Attribute SBML uses to attach units to <cn> literals.
+_SBML_UNITS_ATTRS = (
+    "{http://www.sbml.org/sbml/level2/version4}units",
+    "{http://www.sbml.org/sbml/level2}units",
+    "{http://www.sbml.org/sbml/level3/version1/core}units",
+    "units",
+)
+
+
+def _local(tag: str) -> str:
+    """Strip the XML namespace from an element tag."""
+    if "}" in tag:
+        return tag.split("}", 1)[1]
+    return tag
+
+
+def parse_mathml(text: str) -> MathNode:
+    """Parse a MathML document (a ``<math>`` element) from a string."""
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise MathParseError(f"malformed MathML XML: {exc}") from exc
+    return parse_math_element(element)
+
+
+def parse_math_element(element: ET.Element) -> MathNode:
+    """Parse a ``<math>`` element (or a bare content element)."""
+    if _local(element.tag) == "math":
+        children = list(element)
+        if len(children) != 1:
+            raise MathParseError(
+                f"<math> must contain exactly one child, "
+                f"found {len(children)}"
+            )
+        return _parse_node(children[0])
+    return _parse_node(element)
+
+
+def _parse_node(element: ET.Element) -> MathNode:
+    tag = _local(element.tag)
+    if tag == "apply":
+        return _parse_apply(element)
+    if tag == "ci":
+        return _parse_ci(element)
+    if tag == "cn":
+        return _parse_cn(element)
+    if tag == "csymbol":
+        return _parse_csymbol(element)
+    if tag in CONSTANT_NAMES:
+        return Constant(tag)
+    if tag == "piecewise":
+        return _parse_piecewise(element)
+    if tag == "lambda":
+        return _parse_lambda(element)
+    raise MathParseError(f"unsupported MathML element <{tag}>")
+
+
+def _parse_ci(element: ET.Element) -> Identifier:
+    name = (element.text or "").strip()
+    if not name:
+        raise MathParseError("<ci> with empty content")
+    return Identifier(name)
+
+
+def _parse_csymbol(element: ET.Element) -> Identifier:
+    url = element.get("definitionURL", "")
+    symbol = _CSYMBOL_URLS.get(url)
+    if symbol is None:
+        # Fall back on the visible text, which SBML tools commonly use.
+        symbol = (element.text or "").strip()
+    if not symbol:
+        raise MathParseError(f"<csymbol> with unknown definitionURL {url!r}")
+    return Identifier(symbol)
+
+
+def _parse_cn(element: ET.Element) -> Number:
+    cn_type = element.get("type", "real")
+    units = None
+    for attr in _SBML_UNITS_ATTRS:
+        if element.get(attr) is not None:
+            units = element.get(attr)
+            break
+    text = (element.text or "").strip()
+    if cn_type in ("real", "integer", "double"):
+        try:
+            return Number(float(text), units)
+        except ValueError as exc:
+            raise MathParseError(f"bad <cn> literal {text!r}") from exc
+    if cn_type in ("e-notation", "rational"):
+        parts = _sep_parts(element)
+        if len(parts) != 2:
+            raise MathParseError(
+                f"<cn type={cn_type!r}> needs two <sep>-separated parts"
+            )
+        try:
+            first, second = float(parts[0]), float(parts[1])
+        except ValueError as exc:
+            raise MathParseError(f"bad <cn> parts {parts!r}") from exc
+        if cn_type == "e-notation":
+            return Number(first * 10.0**second, units)
+        if second == 0:
+            raise MathParseError("rational <cn> with zero denominator")
+        return Number(first / second, units)
+    raise MathParseError(f"unsupported <cn> type {cn_type!r}")
+
+
+def _sep_parts(element: ET.Element) -> List[str]:
+    """Collect the text fragments around ``<sep/>`` children."""
+    parts = [(element.text or "").strip()]
+    for child in element:
+        if _local(child.tag) != "sep":
+            raise MathParseError(
+                f"unexpected <{_local(child.tag)}> inside <cn>"
+            )
+        parts.append((child.tail or "").strip())
+    return parts
+
+
+def _parse_apply(element: ET.Element) -> MathNode:
+    children = list(element)
+    if not children:
+        raise MathParseError("empty <apply>")
+    head, *rest = children
+    head_tag = _local(head.tag)
+
+    # Qualifier-taking operators: root with <degree>, log with <logbase>.
+    if head_tag == "root":
+        degree, operands = _split_qualifier(rest, "degree")
+        if len(operands) != 1:
+            raise MathParseError("<root> takes exactly one operand")
+        if degree is None:
+            degree = Number(2.0)
+        return Apply("root", (degree, operands[0]))
+    if head_tag == "log":
+        base, operands = _split_qualifier(rest, "logbase")
+        if len(operands) != 1:
+            raise MathParseError("<log> takes exactly one operand")
+        if base is None:
+            base = Number(10.0)
+        return Apply("log", (base, operands[0]))
+
+    args = tuple(_parse_node(child) for child in rest)
+    if head_tag in KNOWN_OPERATORS:
+        _check_arity(head_tag, len(args))
+        return Apply(head_tag, args)
+    if head_tag == "ci":
+        # Call of a user-defined function.
+        name = (head.text or "").strip()
+        if not name:
+            raise MathParseError("function call via empty <ci>")
+        return Apply(name, args)
+    if head_tag == "csymbol":
+        symbol = _parse_csymbol(head)
+        return Apply(symbol.name, args)
+    raise MathParseError(f"unsupported operator <{head_tag}>")
+
+
+def _split_qualifier(children, qualifier_tag):
+    """Separate a qualifier element (degree/logbase) from operands."""
+    qualifier: Optional[MathNode] = None
+    operands = []
+    for child in children:
+        if _local(child.tag) == qualifier_tag:
+            inner = list(child)
+            if len(inner) != 1:
+                raise MathParseError(
+                    f"<{qualifier_tag}> must wrap exactly one element"
+                )
+            qualifier = _parse_node(inner[0])
+        else:
+            operands.append(_parse_node(child))
+    return qualifier, operands
+
+
+_MIN_ARITY = {
+    "plus": 0,
+    "times": 0,
+    "and": 0,
+    "or": 0,
+    "xor": 0,
+    "minus": 1,
+    "divide": 2,
+    "power": 2,
+    "not": 1,
+    "eq": 2,
+    "neq": 2,
+    "gt": 2,
+    "lt": 2,
+    "geq": 2,
+    "leq": 2,
+}
+
+_MAX_ARITY = {
+    "minus": 2,
+    "divide": 2,
+    "power": 2,
+    "not": 1,
+    "neq": 2,
+}
+
+
+def _check_arity(op: str, count: int) -> None:
+    from repro.mathml.ast import UNARY_FUNCTIONS
+
+    if op in UNARY_FUNCTIONS and op != "log":
+        if count != 1:
+            raise MathParseError(f"<{op}> takes exactly one operand, got {count}")
+        return
+    minimum = _MIN_ARITY.get(op, 0)
+    if count < minimum:
+        raise MathParseError(
+            f"<{op}> needs at least {minimum} operand(s), got {count}"
+        )
+    maximum = _MAX_ARITY.get(op)
+    if maximum is not None and count > maximum:
+        raise MathParseError(
+            f"<{op}> takes at most {maximum} operand(s), got {count}"
+        )
+
+
+def _parse_piecewise(element: ET.Element) -> Piecewise:
+    pieces = []
+    otherwise = None
+    for child in element:
+        tag = _local(child.tag)
+        inner = list(child)
+        if tag == "piece":
+            if len(inner) != 2:
+                raise MathParseError("<piece> must have value and condition")
+            pieces.append((_parse_node(inner[0]), _parse_node(inner[1])))
+        elif tag == "otherwise":
+            if len(inner) != 1:
+                raise MathParseError("<otherwise> must wrap one element")
+            otherwise = _parse_node(inner[0])
+        else:
+            raise MathParseError(f"unexpected <{tag}> inside <piecewise>")
+    return Piecewise(tuple(pieces), otherwise)
+
+
+def _parse_lambda(element: ET.Element) -> Lambda:
+    params = []
+    body = None
+    for child in element:
+        tag = _local(child.tag)
+        if tag == "bvar":
+            inner = list(child)
+            if len(inner) != 1 or _local(inner[0].tag) != "ci":
+                raise MathParseError("<bvar> must wrap a single <ci>")
+            params.append((inner[0].text or "").strip())
+        else:
+            if body is not None:
+                raise MathParseError("<lambda> with more than one body")
+            body = _parse_node(child)
+    if body is None:
+        raise MathParseError("<lambda> without a body")
+    return Lambda(tuple(params), body)

@@ -1,0 +1,240 @@
+"""Commutative math patterns — the paper's Figure 7 algorithm.
+
+The hardest matching problem the paper solves is deciding whether two
+MathML expressions are *equivalent* rather than merely identical:
+``k1*[A]*[B]`` must match ``[B]*k1*[A]`` even though the operand order
+differs, and after two species have been united their (different)
+identifiers must compare equal.
+
+``getMaths`` in the paper walks the math tree building a string; for
+commutative operators the children are emitted without positional
+prefixes so operand order cannot influence the pattern, while
+non-commutative operators tag each child with its position.  Our
+:func:`canonical_pattern` realises the same idea deterministically:
+
+* identifier names are first rewritten through the composition id
+  mapping ("after applying mappings" in Fig 7),
+* associative operators are flattened (``(a+b)+c`` → ``a+b+c``),
+* children of commutative operators are emitted in sorted order of
+  their own canonical pattern,
+* children of non-commutative operators keep their position, encoded
+  with the ``child-number`` prefix exactly as Fig 7 line 11 does.
+
+Two expressions are equivalent iff their canonical patterns are equal,
+which gives the composition engine a *hashable* equality key — this is
+what lets kinetic laws and rules live in the same hash-map indexes as
+named components (paper §3: "mappings are stored to reduce comparison
+time").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.mathml.ast import (
+    ASSOCIATIVE_OPERATORS,
+    Apply,
+    Constant,
+    Identifier,
+    Lambda,
+    MathNode,
+    Number,
+    Piecewise,
+)
+
+__all__ = [
+    "canonical_pattern",
+    "math_equivalent",
+    "flatten",
+    "PatternIndex",
+]
+
+
+def _format_number(value: float) -> str:
+    """Canonical spelling for numeric literals (1 == 1.0 == 1e0)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "INF" if value > 0 else "-INF"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def flatten(node: MathNode) -> MathNode:
+    """Flatten nested associative applications.
+
+    ``plus(a, plus(b, c))`` becomes ``plus(a, b, c)`` so that operand
+    grouping cannot affect the pattern.  Non-associative structure is
+    preserved.
+    """
+    if isinstance(node, Apply):
+        args = tuple(flatten(arg) for arg in node.args)
+        if node.op in ASSOCIATIVE_OPERATORS:
+            merged: List[MathNode] = []
+            for arg in args:
+                if isinstance(arg, Apply) and arg.op == node.op:
+                    merged.extend(arg.args)
+                else:
+                    merged.append(arg)
+            return Apply(node.op, tuple(merged))
+        return Apply(node.op, args)
+    if isinstance(node, Lambda):
+        return Lambda(node.params, flatten(node.body))
+    if isinstance(node, Piecewise):
+        pieces = tuple(
+            (flatten(value), flatten(cond)) for value, cond in node.pieces
+        )
+        otherwise = (
+            flatten(node.otherwise) if node.otherwise is not None else None
+        )
+        return Piecewise(pieces, otherwise)
+    return node
+
+
+def canonical_pattern(
+    node: MathNode,
+    mapping: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Return the canonical pattern string for ``node``.
+
+    ``mapping`` is the composition id mapping: identifiers are
+    rewritten through it before the pattern is built, so expressions
+    over united-but-renamed components compare equal.  Mapping chains
+    (a→b, b→c) are followed to their end.
+    """
+    resolved = dict(mapping) if mapping else {}
+    return _pattern(flatten(node), resolved)
+
+
+def _resolve(name: str, mapping: Mapping[str, str]) -> str:
+    """Follow a mapping chain to its terminal name (cycle-safe)."""
+    seen = {name}
+    current = name
+    while current in mapping:
+        current = mapping[current]
+        if current in seen:
+            break
+        seen.add(current)
+    return current
+
+
+def _pattern(node: MathNode, mapping: Mapping[str, str]) -> str:
+    if isinstance(node, Number):
+        return f"#{_format_number(node.value)}"
+    if isinstance(node, Identifier):
+        return f"${_resolve(node.name, mapping)}"
+    if isinstance(node, Constant):
+        return f"!{node.name}"
+    if isinstance(node, Apply):
+        op = node.op
+        if not node.is_builtin:
+            op = _resolve(op, mapping)
+        child_patterns = [_pattern(arg, mapping) for arg in node.args]
+        if node.is_commutative:
+            # Order-insensitive: Fig 7 lines 4-7 emit commutative
+            # children without positional prefixes; sorting makes the
+            # insensitivity deterministic and hashable.
+            child_patterns.sort()
+            body = ",".join(child_patterns)
+        else:
+            # Fig 7 lines 9-12: position-tagged children.
+            body = ",".join(
+                f"{index}:{pattern}"
+                for index, pattern in enumerate(child_patterns)
+            )
+        return f"({op} {body})"
+    if isinstance(node, Lambda):
+        # Bound variables are alpha-renamed to positional names so two
+        # definitions differing only in parameter spelling unify.
+        alpha = {
+            param: f"%{index}" for index, param in enumerate(node.params)
+        }
+        combined = dict(mapping)
+        combined.update(alpha)
+        return (
+            f"(lambda/{len(node.params)} {_pattern(node.body, combined)})"
+        )
+    if isinstance(node, Piecewise):
+        parts = [
+            f"[{_pattern(value, mapping)}?{_pattern(cond, mapping)}]"
+            for value, cond in node.pieces
+        ]
+        if node.otherwise is not None:
+            parts.append(f"[else {_pattern(node.otherwise, mapping)}]")
+        return f"(piecewise {''.join(parts)})"
+    raise TypeError(f"cannot build pattern for {type(node).__name__}")
+
+
+def math_equivalent(
+    first: MathNode,
+    second: MathNode,
+    mapping: Optional[Mapping[str, str]] = None,
+) -> bool:
+    """Whether two expressions are equivalent under commutativity and
+    the given id mapping.
+
+    The mapping is applied to *both* sides: during composition the
+    second model's identifiers are mapped onto the first model's, so a
+    shared mapping table suffices (identifiers of the first model are
+    fixed points of the mapping).
+    """
+    return canonical_pattern(first, mapping) == canonical_pattern(
+        second, mapping
+    )
+
+
+class PatternIndex:
+    """Hash index from canonical pattern to an arbitrary payload.
+
+    This is the "indexing structure mentioned in line 5" of the
+    paper's Figure 5 for math-carrying components: kinetic laws, rules,
+    constraints, initial assignments and function definitions are
+    looked up by pattern instead of by name.
+
+    The index keeps the original math of every entry so it can re-key
+    itself when the composition id mapping grows (a mapping discovered
+    while merging species changes the pattern of every kinetic law
+    that references them).
+    """
+
+    def __init__(self, mapping: Optional[Mapping[str, str]] = None):
+        self._mapping: Dict[str, str] = dict(mapping) if mapping else {}
+        self._entries: List[Tuple[MathNode, object]] = []
+        self._by_pattern: Dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_pattern)
+
+    @property
+    def mapping(self) -> Dict[str, str]:
+        """The live id mapping (read-only view by convention)."""
+        return self._mapping
+
+    def key_for(self, math: MathNode) -> str:
+        """Return the pattern key of ``math`` under the live mapping."""
+        return canonical_pattern(math, self._mapping)
+
+    def add(self, math: MathNode, payload: object) -> str:
+        """Index ``payload`` under the pattern of ``math``; returns the
+        pattern key ("add pattern to the list of maths patterns",
+        Fig 7 line 18).  The first payload for a pattern wins."""
+        key = self.key_for(math)
+        self._entries.append((math, payload))
+        self._by_pattern.setdefault(key, payload)
+        return key
+
+    def find(self, math: MathNode) -> Optional[object]:
+        """Return the payload indexed under an equivalent expression,
+        or ``None`` when the expression is unique so far."""
+        return self._by_pattern.get(self.key_for(math))
+
+    def add_mapping(self, old: str, new: str) -> None:
+        """Record an id mapping discovered during composition and
+        re-key every entry whose pattern may have changed."""
+        if old == new or self._mapping.get(old) == new:
+            return
+        self._mapping[old] = new
+        self._by_pattern = {}
+        for math, payload in self._entries:
+            self._by_pattern.setdefault(self.key_for(math), payload)

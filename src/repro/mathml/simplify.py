@@ -1,0 +1,204 @@
+"""Algebraic simplification of math ASTs.
+
+The composition engine compares expressions via commutative patterns
+(:mod:`repro.mathml.pattern`); simplification is an *optional* extra
+normalisation pass (constant folding, identity elements, double
+negation) that widens the set of expressions recognised as equal,
+e.g. ``k*1*A`` vs ``k*A``.  It is also used by the simulator to cheapen
+rate expressions before the inner integration loop.
+
+The rewrite is conservative: it never changes the value of an
+expression on any input where the original was defined, and it leaves
+anything it does not understand untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mathml.ast import (
+    Apply,
+    Constant,
+    Lambda,
+    MathNode,
+    Number,
+    Piecewise,
+)
+from repro.mathml.evaluator import Evaluator
+from repro.errors import MathError
+from repro.mathml.pattern import flatten
+
+__all__ = ["simplify"]
+
+_FOLDABLE = Evaluator(functions={})
+
+
+def simplify(node: MathNode) -> MathNode:
+    """Return a simplified, value-preserving copy of ``node``."""
+    return _simplify(flatten(node))
+
+
+def _simplify(node: MathNode) -> MathNode:
+    if isinstance(node, Apply):
+        args = tuple(_simplify(arg) for arg in node.args)
+        node = Apply(node.op, args)
+        folded = _try_fold(node)
+        if folded is not None:
+            return folded
+        rewritten = _rewrite(node)
+        if rewritten != node:
+            return _simplify(rewritten)
+        return node
+    if isinstance(node, Lambda):
+        return Lambda(node.params, _simplify(node.body))
+    if isinstance(node, Piecewise):
+        return _simplify_piecewise(node)
+    return node
+
+
+def _is_number(node: MathNode, value: Optional[float] = None) -> bool:
+    if not isinstance(node, Number):
+        return False
+    return value is None or node.value == value
+
+
+def _try_fold(node: Apply) -> Optional[MathNode]:
+    """Fold an application whose operands are all literals."""
+    if not node.is_builtin:
+        return None
+    if not all(isinstance(arg, Number) for arg in node.args):
+        return None
+    try:
+        value = _FOLDABLE.evaluate(node, {})
+    except MathError:
+        return None
+    if value != value or value in (float("inf"), float("-inf")):
+        return None
+    return Number(value)
+
+
+def _rewrite(node: Apply) -> MathNode:
+    op = node.op
+    args = list(node.args)
+    if op == "plus":
+        return _rewrite_plus(args)
+    if op == "times":
+        return _rewrite_times(args)
+    if op == "minus" and len(args) == 1:
+        inner = args[0]
+        # --x -> x
+        if isinstance(inner, Apply) and inner.op == "minus" and len(inner.args) == 1:
+            return inner.args[0]
+        if isinstance(inner, Number):
+            return Number(-inner.value)
+        return node
+    if op == "minus" and len(args) == 2:
+        # x - 0 -> x
+        if _is_number(args[1], 0.0):
+            return args[0]
+        # 0 - x -> -x
+        if _is_number(args[0], 0.0):
+            return Apply("minus", (args[1],))
+        return node
+    if op == "divide":
+        # x / 1 -> x ; 0 / x -> 0 (x != 0 when original defined)
+        if _is_number(args[1], 1.0):
+            return args[0]
+        if _is_number(args[0], 0.0) and not _is_number(args[1], 0.0):
+            return Number(0.0)
+        return node
+    if op == "power":
+        # x^1 -> x ; x^0 -> 1 (x**0 == 1.0 in IEEE for every float x,
+        # including 0.0, so the rewrite is value-preserving)
+        if _is_number(args[1], 1.0):
+            return args[0]
+        if _is_number(args[1], 0.0):
+            return Number(1.0)
+        return node
+    if op == "and":
+        return _rewrite_logical(args, "and")
+    if op == "or":
+        return _rewrite_logical(args, "or")
+    if op == "not":
+        inner = args[0]
+        if isinstance(inner, Apply) and inner.op == "not":
+            return inner.args[0]
+        if isinstance(inner, Constant) and inner.name in ("true", "false"):
+            return Constant("false" if inner.name == "true" else "true")
+        return node
+    return node
+
+
+def _rewrite_plus(args: List[MathNode]) -> MathNode:
+    literal = 0.0
+    rest: List[MathNode] = []
+    for arg in args:
+        if isinstance(arg, Number) and arg.units is None:
+            literal += arg.value
+        else:
+            rest.append(arg)
+    if literal != 0.0:
+        rest.append(Number(literal))
+    if not rest:
+        return Number(0.0)
+    if len(rest) == 1:
+        return rest[0]
+    return Apply("plus", tuple(rest))
+
+
+def _rewrite_times(args: List[MathNode]) -> MathNode:
+    literal = 1.0
+    rest: List[MathNode] = []
+    for arg in args:
+        if isinstance(arg, Number) and arg.units is None:
+            literal *= arg.value
+        else:
+            rest.append(arg)
+    # `0 * expr -> 0` is NOT value-preserving when expr can be NaN or
+    # infinite, but kinetic laws are finite on the simulation domain;
+    # we keep the conservative contract and skip that rewrite.
+    if literal != 1.0:
+        rest.append(Number(literal))
+    if not rest:
+        return Number(1.0)
+    if len(rest) == 1:
+        return rest[0]
+    return Apply("times", tuple(rest))
+
+
+def _rewrite_logical(args: List[MathNode], op: str) -> MathNode:
+    neutral = "true" if op == "and" else "false"
+    absorbing = "false" if op == "and" else "true"
+    rest: List[MathNode] = []
+    for arg in args:
+        if isinstance(arg, Constant) and arg.name == neutral:
+            continue
+        if isinstance(arg, Constant) and arg.name == absorbing:
+            return Constant(absorbing)
+        rest.append(arg)
+    if not rest:
+        return Constant(neutral)
+    if len(rest) == 1:
+        return rest[0]
+    return Apply(op, tuple(rest))
+
+
+def _simplify_piecewise(node: Piecewise) -> MathNode:
+    pieces = []
+    for value, cond in node.pieces:
+        value = _simplify(value)
+        cond = _simplify(cond)
+        if isinstance(cond, Constant) and cond.name == "false":
+            continue
+        if isinstance(cond, Constant) and cond.name == "true":
+            # Everything after an always-true piece is dead.
+            if not pieces:
+                return value
+            return Piecewise(tuple(pieces), value)
+        pieces.append((value, cond))
+    otherwise = (
+        _simplify(node.otherwise) if node.otherwise is not None else None
+    )
+    if not pieces:
+        return otherwise if otherwise is not None else Piecewise((), None)
+    return Piecewise(tuple(pieces), otherwise)

@@ -1,0 +1,77 @@
+"""SBML substrate: object model, XML reader/writer, validation, builder.
+
+Biochemical networks in the paper are SBML Level 2 documents; this
+package provides everything the composition engine needs to load,
+inspect, validate, build and write them.
+"""
+
+from repro.sbml.builder import ModelBuilder
+from repro.sbml.components import (
+    AlgebraicRule,
+    AssignmentRule,
+    Compartment,
+    CompartmentType,
+    Constraint,
+    Delay,
+    Event,
+    EventAssignment,
+    FunctionDefinition,
+    InitialAssignment,
+    KineticLaw,
+    ModifierSpeciesReference,
+    Parameter,
+    RateRule,
+    Reaction,
+    Rule,
+    SBase,
+    Species,
+    SpeciesReference,
+    SpeciesType,
+    Trigger,
+)
+from repro.sbml.model import Document, Model
+from repro.sbml.reader import read_sbml, read_sbml_file
+from repro.sbml.validate import (
+    ERROR,
+    WARNING,
+    ValidationIssue,
+    assert_valid,
+    validate_model,
+)
+from repro.sbml.writer import write_sbml, write_sbml_file
+
+__all__ = [
+    "Model",
+    "Document",
+    "ModelBuilder",
+    "SBase",
+    "FunctionDefinition",
+    "CompartmentType",
+    "SpeciesType",
+    "Compartment",
+    "Species",
+    "Parameter",
+    "InitialAssignment",
+    "Rule",
+    "AlgebraicRule",
+    "AssignmentRule",
+    "RateRule",
+    "Constraint",
+    "SpeciesReference",
+    "ModifierSpeciesReference",
+    "KineticLaw",
+    "Reaction",
+    "Trigger",
+    "Delay",
+    "EventAssignment",
+    "Event",
+    "read_sbml",
+    "read_sbml_file",
+    "write_sbml",
+    "write_sbml_file",
+    "validate_model",
+    "assert_valid",
+    "ValidationIssue",
+    "ERROR",
+    "WARNING",
+]

@@ -1,0 +1,414 @@
+"""Fluent model construction API.
+
+The corpus generator, the examples and hundreds of tests build models
+programmatically; this builder keeps those call sites short and makes
+the kinetic conventions of the paper's Figures 10-12 (mass action,
+reversible mass action, Michaelis-Menten) one-liners.
+
+Example
+-------
+
+>>> from repro.sbml.builder import ModelBuilder
+>>> model = (
+...     ModelBuilder("m1")
+...     .compartment("cell", size=1.0)
+...     .species("A", initial=10.0)
+...     .species("B", initial=0.0)
+...     .parameter("k1", 0.5)
+...     .mass_action("r1", ["A"], ["B"], "k1")
+...     .build()
+... )
+>>> model.network_size()
+3
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SBMLError
+from repro.mathml.ast import Lambda, MathNode
+from repro.mathml.infix import parse_infix
+from repro.sbml.components import (
+    AlgebraicRule,
+    AssignmentRule,
+    Compartment,
+    CompartmentType,
+    Constraint,
+    Delay,
+    Event,
+    EventAssignment,
+    FunctionDefinition,
+    InitialAssignment,
+    KineticLaw,
+    ModifierSpeciesReference,
+    Parameter,
+    RateRule,
+    Reaction,
+    Species,
+    SpeciesReference,
+    SpeciesType,
+    Trigger,
+)
+from repro.sbml.model import Model
+from repro.units.definitions import Unit, UnitDefinition
+
+__all__ = ["ModelBuilder"]
+
+# A species spec is "A", ("A", stoichiometry) or a SpeciesReference.
+SpeciesSpec = Union[str, Tuple[str, float], SpeciesReference]
+
+
+def _as_reference(spec: SpeciesSpec) -> SpeciesReference:
+    if isinstance(spec, SpeciesReference):
+        return spec
+    if isinstance(spec, tuple):
+        species, stoichiometry = spec
+        return SpeciesReference(species, float(stoichiometry))
+    return SpeciesReference(spec, 1.0)
+
+
+def _as_math(math: Union[str, MathNode, None]) -> Optional[MathNode]:
+    if math is None or isinstance(math, MathNode):
+        return math
+    return parse_infix(math)
+
+
+class ModelBuilder:
+    """Chainable builder producing a :class:`~repro.sbml.model.Model`."""
+
+    def __init__(self, model_id: str, name: Optional[str] = None):
+        self._model = Model(id=model_id, name=name)
+        self._default_compartment: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def compartment(
+        self,
+        compartment_id: str,
+        size: Optional[float] = 1.0,
+        units: Optional[str] = None,
+        name: Optional[str] = None,
+        outside: Optional[str] = None,
+        compartment_type: Optional[str] = None,
+    ) -> "ModelBuilder":
+        """Add a compartment; the first one becomes the default for
+        subsequently added species."""
+        self._model.add_compartment(
+            Compartment(
+                id=compartment_id,
+                name=name,
+                size=size,
+                units=units,
+                outside=outside,
+                compartment_type=compartment_type,
+            )
+        )
+        if self._default_compartment is None:
+            self._default_compartment = compartment_id
+        return self
+
+    def compartment_type(self, type_id: str, name: Optional[str] = None) -> "ModelBuilder":
+        self._model.add_compartment_type(CompartmentType(id=type_id, name=name))
+        return self
+
+    def species_type(self, type_id: str, name: Optional[str] = None) -> "ModelBuilder":
+        self._model.add_species_type(SpeciesType(id=type_id, name=name))
+        return self
+
+    def species(
+        self,
+        species_id: str,
+        initial: Optional[float] = 0.0,
+        compartment: Optional[str] = None,
+        name: Optional[str] = None,
+        amount: bool = False,
+        substance_units: Optional[str] = None,
+        boundary: bool = False,
+        constant: bool = False,
+        species_type: Optional[str] = None,
+        annotations: Optional[Dict[str, List[str]]] = None,
+    ) -> "ModelBuilder":
+        """Add a species.  ``initial`` is a concentration unless
+        ``amount=True`` (molecule counts — the stochastic convention)."""
+        target = compartment or self._default_compartment
+        if target is None:
+            raise SBMLError(
+                f"species {species_id!r} added before any compartment"
+            )
+        self._model.add_species(
+            Species(
+                id=species_id,
+                name=name,
+                compartment=target,
+                initial_amount=initial if amount else None,
+                initial_concentration=None if amount else initial,
+                substance_units=substance_units,
+                has_only_substance_units=amount,
+                boundary_condition=boundary,
+                constant=constant,
+                species_type=species_type,
+                annotations=dict(annotations) if annotations else {},
+            )
+        )
+        return self
+
+    def parameter(
+        self,
+        parameter_id: str,
+        value: Optional[float] = None,
+        units: Optional[str] = None,
+        name: Optional[str] = None,
+        constant: bool = True,
+    ) -> "ModelBuilder":
+        self._model.add_parameter(
+            Parameter(
+                id=parameter_id,
+                name=name,
+                value=value,
+                units=units,
+                constant=constant,
+            )
+        )
+        return self
+
+    def unit(
+        self,
+        unit_id: str,
+        factors: Sequence[Tuple[str, int, int, float]],
+        name: Optional[str] = None,
+    ) -> "ModelBuilder":
+        """Add a unit definition from ``(kind, exponent, scale,
+        multiplier)`` factor tuples."""
+        self._model.add_unit_definition(
+            UnitDefinition(
+                id=unit_id,
+                name=name,
+                units=[
+                    Unit(kind, exponent, scale, multiplier)
+                    for kind, exponent, scale, multiplier in factors
+                ],
+            )
+        )
+        return self
+
+    def function(
+        self,
+        function_id: str,
+        params: Sequence[str],
+        body: Union[str, MathNode],
+        name: Optional[str] = None,
+    ) -> "ModelBuilder":
+        """Add a function definition with an infix or AST body."""
+        self._model.add_function_definition(
+            FunctionDefinition(
+                id=function_id,
+                name=name,
+                math=Lambda(tuple(params), _as_math(body)),
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Math-carrying components
+    # ------------------------------------------------------------------
+
+    def initial_assignment(
+        self, symbol: str, math: Union[str, MathNode]
+    ) -> "ModelBuilder":
+        self._model.add_initial_assignment(
+            InitialAssignment(symbol=symbol, math=_as_math(math))
+        )
+        return self
+
+    def assignment_rule(
+        self, variable: str, math: Union[str, MathNode]
+    ) -> "ModelBuilder":
+        rule = AssignmentRule(math=_as_math(math))
+        rule.variable = variable
+        self._model.add_rule(rule)
+        return self
+
+    def rate_rule(self, variable: str, math: Union[str, MathNode]) -> "ModelBuilder":
+        rule = RateRule(math=_as_math(math))
+        rule.variable = variable
+        self._model.add_rule(rule)
+        return self
+
+    def algebraic_rule(self, math: Union[str, MathNode]) -> "ModelBuilder":
+        self._model.add_rule(AlgebraicRule(math=_as_math(math)))
+        return self
+
+    def constraint(
+        self, math: Union[str, MathNode], message: Optional[str] = None
+    ) -> "ModelBuilder":
+        self._model.add_constraint(
+            Constraint(math=_as_math(math), message=message)
+        )
+        return self
+
+    def event(
+        self,
+        event_id: str,
+        trigger: Union[str, MathNode],
+        assignments: Dict[str, Union[str, MathNode]],
+        delay: Union[str, MathNode, None] = None,
+        name: Optional[str] = None,
+    ) -> "ModelBuilder":
+        self._model.add_event(
+            Event(
+                id=event_id,
+                name=name,
+                trigger=Trigger(_as_math(trigger)),
+                delay=Delay(_as_math(delay)) if delay is not None else None,
+                assignments=[
+                    EventAssignment(variable, _as_math(math))
+                    for variable, math in assignments.items()
+                ],
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Reactions
+    # ------------------------------------------------------------------
+
+    def reaction(
+        self,
+        reaction_id: str,
+        reactants: Iterable[SpeciesSpec] = (),
+        products: Iterable[SpeciesSpec] = (),
+        modifiers: Iterable[str] = (),
+        formula: Union[str, MathNode, None] = None,
+        local_parameters: Optional[Dict[str, float]] = None,
+        reversible: bool = False,
+        name: Optional[str] = None,
+    ) -> "ModelBuilder":
+        """Add a reaction with an explicit kinetic-law formula."""
+        law = None
+        if formula is not None:
+            law = KineticLaw(
+                math=_as_math(formula),
+                parameters=[
+                    Parameter(id=pid, value=value)
+                    for pid, value in (local_parameters or {}).items()
+                ],
+            )
+        self._model.add_reaction(
+            Reaction(
+                id=reaction_id,
+                name=name,
+                reactants=[_as_reference(spec) for spec in reactants],
+                products=[_as_reference(spec) for spec in products],
+                modifiers=[ModifierSpeciesReference(m) for m in modifiers],
+                kinetic_law=law,
+                reversible=reversible,
+            )
+        )
+        return self
+
+    def mass_action(
+        self,
+        reaction_id: str,
+        reactants: Sequence[SpeciesSpec],
+        products: Sequence[SpeciesSpec],
+        rate_constant: str,
+        name: Optional[str] = None,
+    ) -> "ModelBuilder":
+        """Irreversible mass-action reaction (paper Figure 10):
+        rate = k · Π reactant^stoichiometry."""
+        formula = self._mass_action_formula(rate_constant, reactants)
+        return self.reaction(
+            reaction_id,
+            reactants,
+            products,
+            formula=formula,
+            name=name,
+        )
+
+    def reversible_mass_action(
+        self,
+        reaction_id: str,
+        reactants: Sequence[SpeciesSpec],
+        products: Sequence[SpeciesSpec],
+        forward_constant: str,
+        backward_constant: str,
+        name: Optional[str] = None,
+    ) -> "ModelBuilder":
+        """Reversible mass action (paper Figure 11):
+        rate = kf · Π reactants − kb · Π products."""
+        forward = self._mass_action_formula(forward_constant, reactants)
+        backward = self._mass_action_formula(backward_constant, products)
+        return self.reaction(
+            reaction_id,
+            reactants,
+            products,
+            formula=f"{forward} - {backward}",
+            reversible=True,
+            name=name,
+        )
+
+    def michaelis_menten(
+        self,
+        reaction_id: str,
+        substrate: str,
+        product: str,
+        vmax: str,
+        km: str,
+        enzyme: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> "ModelBuilder":
+        """Michaelis-Menten kinetics (paper Figure 12):
+        V = Vmax·[A] / (KM + [A]), with an optional enzyme modifier
+        (then V = kcat·[E]·[A] / (KM + [A]) with ``vmax`` as kcat)."""
+        if enzyme is None:
+            formula = f"{vmax} * {substrate} / ({km} + {substrate})"
+            modifiers: List[str] = []
+        else:
+            formula = (
+                f"{vmax} * {enzyme} * {substrate} / ({km} + {substrate})"
+            )
+            modifiers = [enzyme]
+        return self.reaction(
+            reaction_id,
+            [substrate],
+            [product],
+            modifiers=modifiers,
+            formula=formula,
+            name=name,
+        )
+
+    @staticmethod
+    def _mass_action_formula(
+        rate_constant: str, species: Sequence[SpeciesSpec]
+    ) -> str:
+        terms = [rate_constant]
+        for spec in species:
+            reference = _as_reference(spec)
+            if reference.stoichiometry == 1.0:
+                terms.append(reference.species)
+            else:
+                exponent = reference.stoichiometry
+                rendered = (
+                    str(int(exponent))
+                    if float(exponent).is_integer()
+                    else repr(exponent)
+                )
+                terms.append(f"{reference.species}^{rendered}")
+        return " * ".join(terms)
+
+    # ------------------------------------------------------------------
+
+    def annotate(self, component_id: str, qualifier: str, *uris: str) -> "ModelBuilder":
+        """Attach MIRIAM annotation URIs to a component by id."""
+        component = self._model.global_ids().get(component_id)
+        if component is None:
+            raise SBMLError(f"cannot annotate unknown component {component_id!r}")
+        component.annotations.setdefault(qualifier, []).extend(uris)
+        return self
+
+    def build(self) -> Model:
+        """Return the constructed model."""
+        return self._model

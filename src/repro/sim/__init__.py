@@ -1,0 +1,21 @@
+"""Simulation substrate: deterministic ODE and stochastic SSA.
+
+Models are simulated "to determine how a biochemical network will
+behave over a given time interval" (paper §1); the evaluation methods
+of §4.1.2-4.1.4 all consume the traces produced here.
+"""
+
+from repro.sim.gillespie import GillespieSimulator, simulate_stochastic
+from repro.sim.integrators import rk4, rkf45
+from repro.sim.odes import OdeSimulator, simulate
+from repro.sim.trace import Trace
+
+__all__ = [
+    "Trace",
+    "OdeSimulator",
+    "simulate",
+    "GillespieSimulator",
+    "simulate_stochastic",
+    "rk4",
+    "rkf45",
+]

@@ -1,0 +1,124 @@
+"""ODE integrators: classic RK4 and adaptive RKF45.
+
+Pure-numpy implementations — the library carries its own integration
+substrate rather than depending on an external solver, in the spirit
+of building every subsystem the reproduction needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["rk4", "rkf45"]
+
+Derivative = Callable[[float, np.ndarray], np.ndarray]
+
+
+def rk4(
+    f: Derivative,
+    y0: np.ndarray,
+    t0: float,
+    t1: float,
+    steps: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fixed-step fourth-order Runge-Kutta.
+
+    Returns ``(times, states)`` with ``steps + 1`` samples including
+    both endpoints.
+    """
+    if steps < 1:
+        raise SimulationError(f"rk4 needs at least one step, got {steps}")
+    if t1 <= t0:
+        raise SimulationError(f"empty time span [{t0}, {t1}]")
+    h = (t1 - t0) / steps
+    times = np.linspace(t0, t1, steps + 1)
+    states = np.empty((steps + 1, len(y0)), dtype=float)
+    y = np.asarray(y0, dtype=float).copy()
+    states[0] = y
+    for index in range(steps):
+        t = times[index]
+        k1 = f(t, y)
+        k2 = f(t + h / 2.0, y + h * k1 / 2.0)
+        k3 = f(t + h / 2.0, y + h * k2 / 2.0)
+        k4 = f(t + h, y + h * k3)
+        y = y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        if not np.all(np.isfinite(y)):
+            raise SimulationError(
+                f"integration diverged at t={times[index + 1]:g}"
+            )
+        states[index + 1] = y
+    return times, states
+
+
+# Fehlberg coefficients (RKF45).
+_A = (
+    (),
+    (1 / 4,),
+    (3 / 32, 9 / 32),
+    (1932 / 2197, -7200 / 2197, 7296 / 2197),
+    (439 / 216, -8.0, 3680 / 513, -845 / 4104),
+    (-8 / 27, 2.0, -3544 / 2565, 1859 / 4104, -11 / 40),
+)
+_C = (0.0, 1 / 4, 3 / 8, 12 / 13, 1.0, 1 / 2)
+_B5 = (16 / 135, 0.0, 6656 / 12825, 28561 / 56430, -9 / 50, 2 / 55)
+_B4 = (25 / 216, 0.0, 1408 / 2565, 2197 / 4104, -1 / 5, 0.0)
+
+
+def rkf45(
+    f: Derivative,
+    y0: np.ndarray,
+    t0: float,
+    t1: float,
+    rtol: float = 1e-6,
+    atol: float = 1e-9,
+    h0: float = None,
+    max_steps: int = 100_000,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Adaptive Runge-Kutta-Fehlberg 4(5).
+
+    Returns the accepted ``(times, states)`` including both endpoints.
+    Step size adapts to the mixed absolute/relative error estimate.
+    """
+    if t1 <= t0:
+        raise SimulationError(f"empty time span [{t0}, {t1}]")
+    y = np.asarray(y0, dtype=float).copy()
+    t = float(t0)
+    h = h0 if h0 is not None else (t1 - t0) / 100.0
+    times: List[float] = [t]
+    states: List[np.ndarray] = [y.copy()]
+    steps = 0
+    while t < t1:
+        if steps >= max_steps:
+            raise SimulationError(
+                f"rkf45 exceeded {max_steps} steps at t={t:g}"
+            )
+        steps += 1
+        h = min(h, t1 - t)
+        k = []
+        for stage in range(6):
+            yi = y.copy()
+            for j, a in enumerate(_A[stage]):
+                yi = yi + h * a * k[j]
+            k.append(f(t + _C[stage] * h, yi))
+        y5 = y + h * sum(b * ki for b, ki in zip(_B5, k))
+        y4 = y + h * sum(b * ki for b, ki in zip(_B4, k))
+        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y5))
+        error = float(np.max(np.abs(y5 - y4) / scale)) if len(y) else 0.0
+        if error <= 1.0 or h <= 1e-14 * max(1.0, abs(t1)):
+            t += h
+            y = y5
+            if not np.all(np.isfinite(y)):
+                raise SimulationError(f"integration diverged at t={t:g}")
+            times.append(t)
+            states.append(y.copy())
+        # Standard step-size controller with safety factor.
+        if error == 0.0:
+            factor = 2.0
+        else:
+            factor = min(2.0, max(0.1, 0.9 * error ** (-0.2)))
+        h *= factor
+    return np.asarray(times), np.asarray(states)

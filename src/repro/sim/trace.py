@@ -1,0 +1,143 @@
+"""Simulation traces: time series of model quantities.
+
+Both simulators produce a :class:`Trace`; the evaluation tools
+(§4.1.2 visual comparison, §4.1.3 residual sum of squares, §4.1.4
+model checking) consume them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Trace"]
+
+
+class Trace:
+    """A time series over named columns.
+
+    ``times`` is strictly increasing; ``columns`` maps quantity ids to
+    arrays aligned with ``times``.
+    """
+
+    def __init__(self, times, columns: Dict[str, Sequence[float]]):
+        self.times = np.asarray(times, dtype=float)
+        self.columns: Dict[str, np.ndarray] = {
+            name: np.asarray(values, dtype=float)
+            for name, values in columns.items()
+        }
+        for name, values in self.columns.items():
+            if values.shape != self.times.shape:
+                raise SimulationError(
+                    f"column {name!r} has {values.shape[0]} samples, "
+                    f"expected {self.times.shape[0]}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.columns
+
+    @property
+    def species(self) -> List[str]:
+        """Column names, sorted for deterministic iteration."""
+        return sorted(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """The series for one quantity."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SimulationError(f"trace has no column {name!r}") from None
+
+    def at(self, time: float) -> Dict[str, float]:
+        """Linearly interpolated state at an arbitrary time."""
+        return {
+            name: float(np.interp(time, self.times, values))
+            for name, values in self.columns.items()
+        }
+
+    def final(self) -> Dict[str, float]:
+        """The last sample."""
+        return {
+            name: float(values[-1]) for name, values in self.columns.items()
+        }
+
+    def slice_columns(self, names: Iterable[str]) -> "Trace":
+        """A trace restricted to the given columns."""
+        return Trace(
+            self.times, {name: self.column(name) for name in names}
+        )
+
+    def resample(self, times) -> "Trace":
+        """Linear-interpolation resampling onto a new time grid."""
+        grid = np.asarray(times, dtype=float)
+        return Trace(
+            grid,
+            {
+                name: np.interp(grid, self.times, values)
+                for name, values in self.columns.items()
+            },
+        )
+
+    def to_rows(self) -> List[List[float]]:
+        """Rows of ``[time, col1, col2, ...]`` in :attr:`species`
+        order (the §4.1.3 "file of time series data")."""
+        names = self.species
+        rows = []
+        for index, time in enumerate(self.times):
+            rows.append(
+                [float(time)] + [float(self.columns[n][index]) for n in names]
+            )
+        return rows
+
+    def write_csv(self, path) -> None:
+        """Write the trace as CSV with a header row."""
+        names = self.species
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(",".join(["time"] + names) + "\n")
+            for row in self.to_rows():
+                handle.write(",".join(f"{value:.10g}" for value in row) + "\n")
+
+    @classmethod
+    def read_csv(cls, path) -> "Trace":
+        """Read a trace written by :meth:`write_csv`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            header = handle.readline().strip().split(",")
+            data = [
+                [float(cell) for cell in line.strip().split(",")]
+                for line in handle
+                if line.strip()
+            ]
+        if header[0] != "time":
+            raise SimulationError(f"{path}: first column must be 'time'")
+        matrix = np.asarray(data, dtype=float)
+        if matrix.size == 0:
+            raise SimulationError(f"{path}: empty trace")
+        return cls(
+            matrix[:, 0],
+            {
+                name: matrix[:, index + 1]
+                for index, name in enumerate(header[1:])
+            },
+        )
+
+    def sparkline(self, name: str, width: int = 60) -> str:
+        """ASCII sparkline of one column (the programmatic stand-in
+        for §4.1.2's visual inspection)."""
+        blocks = " ▁▂▃▄▅▆▇█"
+        values = self.column(name)
+        if len(values) > width:
+            positions = np.linspace(0, len(values) - 1, width).astype(int)
+            values = values[positions]
+        low, high = float(np.min(values)), float(np.max(values))
+        if high == low:
+            return blocks[1] * len(values)
+        normalised = (values - low) / (high - low)
+        return "".join(
+            blocks[1 + int(round(v * (len(blocks) - 2)))] for v in normalised
+        )

@@ -1,0 +1,16 @@
+"""Synonym tables: local name-equivalence without database lookups.
+
+Implements the paper's alternative to semanticSBML's annotation
+databases — small, local, extensible synonym rings plus aggressive
+name normalisation.
+"""
+
+from repro.synonyms.builtin import BUILTIN_RINGS, builtin_synonyms
+from repro.synonyms.table import SynonymTable, normalize_name
+
+__all__ = [
+    "SynonymTable",
+    "normalize_name",
+    "builtin_synonyms",
+    "BUILTIN_RINGS",
+]

@@ -1,0 +1,74 @@
+"""Built-in synonym rings for common biochemical entities.
+
+The paper replaces semanticSBML's 54,929-entry annotation database
+with "smaller [synonym tables that] contain only the entries required
+for the composition".  This module ships the starter table: common
+metabolites, currency molecules, compartment spellings and pathway
+species names as they typically appear in BioModels-style SBML.
+"""
+
+from __future__ import annotations
+
+from repro.synonyms.table import SynonymTable
+
+__all__ = ["builtin_synonyms", "BUILTIN_RINGS"]
+
+BUILTIN_RINGS = [
+    # Currency metabolites
+    ["ATP", "adenosine triphosphate", "adenosine 5'-triphosphate"],
+    ["ADP", "adenosine diphosphate", "adenosine 5'-diphosphate"],
+    ["AMP", "adenosine monophosphate"],
+    ["NAD", "NAD+", "nicotinamide adenine dinucleotide"],
+    ["NADH", "NADH2", "reduced nicotinamide adenine dinucleotide"],
+    ["NADP", "NADP+", "nicotinamide adenine dinucleotide phosphate"],
+    ["NADPH", "reduced nicotinamide adenine dinucleotide phosphate"],
+    ["FAD", "flavin adenine dinucleotide"],
+    ["FADH2", "reduced flavin adenine dinucleotide"],
+    ["GTP", "guanosine triphosphate"],
+    ["GDP", "guanosine diphosphate"],
+    ["Pi", "phosphate", "inorganic phosphate", "orthophosphate"],
+    ["PPi", "pyrophosphate", "diphosphate"],
+    ["CoA", "coenzyme A", "CoA-SH"],
+    ["acetyl-CoA", "acetyl coenzyme A", "AcCoA"],
+    # Small molecules
+    ["H2O", "water"],
+    ["CO2", "carbon dioxide"],
+    ["O2", "oxygen", "dioxygen"],
+    ["H", "H+", "proton", "hydrogen ion"],
+    ["NH3", "ammonia"],
+    ["NH4", "NH4+", "ammonium"],
+    # Glycolysis intermediates
+    ["glucose", "Glc", "D-glucose", "dextrose"],
+    ["glucose-6-phosphate", "G6P", "glucose 6 phosphate"],
+    ["fructose-6-phosphate", "F6P", "fructose 6 phosphate"],
+    ["fructose-1,6-bisphosphate", "F16BP", "FBP"],
+    ["glyceraldehyde-3-phosphate", "G3P", "GAP"],
+    ["dihydroxyacetone phosphate", "DHAP"],
+    ["phosphoenolpyruvate", "PEP"],
+    ["pyruvate", "Pyr", "pyruvic acid"],
+    ["lactate", "Lac", "lactic acid"],
+    ["citrate", "citric acid"],
+    ["oxaloacetate", "OAA"],
+    ["alpha-ketoglutarate", "2-oxoglutarate", "AKG"],
+    # Signalling
+    ["MAPK", "mitogen-activated protein kinase", "ERK"],
+    ["MAPKK", "MAP kinase kinase", "MEK", "MAP2K"],
+    ["MAPKKK", "MAP kinase kinase kinase", "RAF", "MAP3K"],
+    ["cAMP", "cyclic AMP", "cyclic adenosine monophosphate"],
+    ["IP3", "inositol trisphosphate", "inositol 1,4,5-trisphosphate"],
+    ["DAG", "diacylglycerol"],
+    ["PKA", "protein kinase A", "cAMP-dependent protein kinase"],
+    ["PKC", "protein kinase C"],
+    ["calcium", "Ca", "Ca2+", "Ca++"],
+    # Compartment spellings
+    ["cytosol", "cytoplasm", "cell", "intracellular"],
+    ["extracellular", "medium", "outside", "environment"],
+    ["nucleus", "nuclear compartment"],
+    ["mitochondrion", "mitochondria", "mito"],
+    ["endoplasmic reticulum", "ER"],
+]
+
+
+def builtin_synonyms() -> SynonymTable:
+    """A fresh synonym table seeded with the built-in rings."""
+    return SynonymTable(BUILTIN_RINGS)

@@ -1,0 +1,144 @@
+"""Local synonym tables.
+
+The paper's answer to "arbitrary names and synonymy" (§3): instead of
+querying remote biological databases like semanticSBML does, keep a
+*small local* synonym table with "only the entries required for the
+composition", extensible as new biological entities appear.
+
+A :class:`SynonymTable` partitions names into equivalence classes
+(synonym rings).  Lookup is by *normalised* name — case-insensitive,
+whitespace/punctuation-insensitive — so ``"ATP"``, ``"atp"`` and
+``"Adenosine triphosphate"`` can land in the same ring.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Set
+
+__all__ = ["normalize_name", "SynonymTable"]
+
+_NORMALIZE_RE = re.compile(r"[\s\-_.,'()\[\]]+")
+
+
+def normalize_name(name: str) -> str:
+    """Normalise a biological entity name for matching.
+
+    Lower-cases, strips whitespace and common punctuation.  Greek
+    letters frequently spelled out in model names are folded to their
+    spelled form.
+    """
+    lowered = name.strip().lower()
+    for greek, spelled in (
+        ("α", "alpha"),
+        ("β", "beta"),
+        ("γ", "gamma"),
+        ("δ", "delta"),
+        ("κ", "kappa"),
+    ):
+        lowered = lowered.replace(greek, spelled)
+    return _NORMALIZE_RE.sub("", lowered)
+
+
+class SynonymTable:
+    """Equivalence classes of entity names.
+
+    The table stores rings of synonymous names; two names are
+    synonymous iff their normalised forms share a ring (or are equal,
+    which always holds).  Rings can be extended at runtime — the paper
+    notes "new biological entities can be added to support composition,
+    as needed".
+    """
+
+    def __init__(self, rings: Iterable[Iterable[str]] = ()):
+        self._ring_of: Dict[str, int] = {}
+        self._rings: List[Set[str]] = []
+        for ring in rings:
+            self.add_ring(ring)
+
+    def __len__(self) -> int:
+        return len(self._rings)
+
+    def add_ring(self, names: Iterable[str]) -> None:
+        """Add a set of mutually synonymous names.
+
+        If any name already belongs to a ring, the rings are united
+        (synonymy is transitive by construction).
+        """
+        normalized = [normalize_name(name) for name in names]
+        normalized = [name for name in normalized if name]
+        if not normalized:
+            return
+        existing = {
+            self._ring_of[name] for name in normalized if name in self._ring_of
+        }
+        if existing:
+            target_index = min(existing)
+        else:
+            target_index = len(self._rings)
+            self._rings.append(set())
+        target = self._rings[target_index]
+        # Merge any other rings these names already belong to.
+        for index in sorted(existing - {target_index}, reverse=True):
+            merged = self._rings[index]
+            target |= merged
+            merged.clear()
+        target.update(normalized)
+        for name in target:
+            self._ring_of[name] = target_index
+
+    def add_synonym(self, name: str, synonym: str) -> None:
+        """Declare two names synonymous."""
+        self.add_ring([name, synonym])
+
+    def are_synonyms(self, first: str, second: str) -> bool:
+        """Whether two names are equal or synonymous (paper §2:
+        ``φ(n1) ≈ φ(n2)``)."""
+        a = normalize_name(first)
+        b = normalize_name(second)
+        if a == b:
+            return True
+        ring_a = self._ring_of.get(a)
+        return ring_a is not None and ring_a == self._ring_of.get(b)
+
+    def canonical(self, name: str) -> str:
+        """A deterministic representative of the name's ring (the
+        lexicographically smallest member), or the normalised name
+        itself when it has no ring."""
+        normalized = normalize_name(name)
+        index = self._ring_of.get(normalized)
+        if index is None:
+            return normalized
+        members = self._rings[index]
+        return min(members) if members else normalized
+
+    def synonyms_of(self, name: str) -> Set[str]:
+        """All known synonyms (normalised), including the name."""
+        normalized = normalize_name(name)
+        index = self._ring_of.get(normalized)
+        if index is None:
+            return {normalized}
+        return set(self._rings[index])
+
+    # ------------------------------------------------------------------
+    # Persistence (TSV: one ring per line, tab-separated)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tsv(cls, path) -> "SynonymTable":
+        """Load a table from a TSV file (one synonym ring per line)."""
+        table = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                table.add_ring(line.split("\t"))
+        return table
+
+    def to_tsv(self, path) -> None:
+        """Write the table to a TSV file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for ring in self._rings:
+                if ring:
+                    handle.write("\t".join(sorted(ring)) + "\n")

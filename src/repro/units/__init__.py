@@ -1,0 +1,52 @@
+"""Unit system: SBML unit kinds, definitions, conversion (paper Fig 6).
+
+Composition must decide whether two unit definitions denote the same
+unit, and resolve conflicts where "values in different models may be
+defined using different units" (paper §3).  This package provides the
+dimensional algebra and the mole/molecule rate-constant conversions.
+"""
+
+from repro.units.convert import (
+    AVOGADRO,
+    concentration_to_molecules,
+    deterministic_to_stochastic,
+    molecules_to_concentration,
+    reaction_order_of_stoichiometry,
+    stochastic_to_deterministic,
+)
+from repro.units.definitions import CanonicalUnit, Unit, UnitDefinition
+from repro.units.model_convert import (
+    ConversionReport,
+    to_deterministic,
+    to_stochastic,
+)
+from repro.units.kinds import (
+    BASE_KINDS,
+    DIMENSION_NAMES,
+    is_known_kind,
+    kind_decomposition,
+    normalize_kind,
+)
+from repro.units.registry import UnitRegistry, builtin_definitions
+
+__all__ = [
+    "Unit",
+    "UnitDefinition",
+    "CanonicalUnit",
+    "UnitRegistry",
+    "builtin_definitions",
+    "BASE_KINDS",
+    "DIMENSION_NAMES",
+    "is_known_kind",
+    "kind_decomposition",
+    "normalize_kind",
+    "AVOGADRO",
+    "deterministic_to_stochastic",
+    "stochastic_to_deterministic",
+    "concentration_to_molecules",
+    "molecules_to_concentration",
+    "reaction_order_of_stoichiometry",
+    "to_stochastic",
+    "to_deterministic",
+    "ConversionReport",
+]

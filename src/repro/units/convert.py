@@ -1,0 +1,106 @@
+"""Mole ↔ molecule conversions — the paper's Figure 6.
+
+Deterministic (concentration-based) models express amounts in moles
+per litre and rate constants in ``M s⁻¹``-derived units; stochastic
+(population-based) models count discrete molecules.  When one model of
+a merging pair uses each convention, rate constants conflict *even
+though they describe the same physics*.  Figure 6 of the paper (after
+Wilkinson, *Stochastic Modelling for Systems Biology*) gives the
+standard conversion for mass-action reactions of order 0, 1 and 2:
+
+* zeroth order ``0 → X``:   ``c = nA · k · V``
+* first order ``X → ?``:    ``c = k``
+* second order ``X + Y → ?``: ``c = k / (nA · V)``
+
+where ``k`` is the deterministic rate constant, ``c`` the stochastic
+one, ``nA`` Avogadro's number and ``V`` the compartment volume.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnitError
+from repro.mathml.evaluator import AVOGADRO
+
+__all__ = [
+    "AVOGADRO",
+    "deterministic_to_stochastic",
+    "stochastic_to_deterministic",
+    "concentration_to_molecules",
+    "molecules_to_concentration",
+    "reaction_order_of_stoichiometry",
+]
+
+
+def _check_order_and_volume(order: int, volume: float) -> None:
+    if order not in (0, 1, 2):
+        raise UnitError(
+            f"Figure 6 conversions cover orders 0-2, got order {order}"
+        )
+    if volume <= 0.0:
+        raise UnitError(f"compartment volume must be positive, got {volume}")
+
+
+def deterministic_to_stochastic(
+    k: float, order: int, volume: float, avogadro: float = AVOGADRO
+) -> float:
+    """Convert a deterministic rate constant to its stochastic
+    (molecules-based) equivalent ``c`` for a mass-action reaction of
+    the given order in a compartment of ``volume`` litres."""
+    _check_order_and_volume(order, volume)
+    if order == 0:
+        return avogadro * k * volume
+    if order == 1:
+        return k
+    return k / (avogadro * volume)
+
+
+def stochastic_to_deterministic(
+    c: float, order: int, volume: float, avogadro: float = AVOGADRO
+) -> float:
+    """Inverse of :func:`deterministic_to_stochastic`."""
+    _check_order_and_volume(order, volume)
+    if order == 0:
+        return c / (avogadro * volume)
+    if order == 1:
+        return c
+    return c * avogadro * volume
+
+
+def concentration_to_molecules(
+    concentration: float, volume: float, avogadro: float = AVOGADRO
+) -> float:
+    """``x = nA · [X] · V`` — molecules corresponding to a molar
+    concentration in a compartment of ``volume`` litres (Figure 6)."""
+    if volume <= 0.0:
+        raise UnitError(f"compartment volume must be positive, got {volume}")
+    return avogadro * concentration * volume
+
+
+def molecules_to_concentration(
+    molecules: float, volume: float, avogadro: float = AVOGADRO
+) -> float:
+    """Inverse of :func:`concentration_to_molecules`."""
+    if volume <= 0.0:
+        raise UnitError(f"compartment volume must be positive, got {volume}")
+    return molecules / (avogadro * volume)
+
+
+def reaction_order_of_stoichiometry(reactant_stoichiometries) -> int:
+    """Total reaction order implied by mass-action reactant
+    stoichiometries (``A + B →`` is order 2, ``2A →`` is order 2).
+
+    Raises :class:`UnitError` for non-integer stoichiometry, where
+    mass-action order is undefined.
+    """
+    total = 0.0
+    for stoichiometry in reactant_stoichiometries:
+        if stoichiometry < 0:
+            raise UnitError(
+                f"negative stoichiometry {stoichiometry} has no order"
+            )
+        total += stoichiometry
+    if not float(total).is_integer():
+        raise UnitError(
+            f"non-integer total stoichiometry {total} has no mass-action order"
+        )
+    return int(total)

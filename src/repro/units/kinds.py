@@ -1,0 +1,110 @@
+"""SBML base unit kinds and their SI decomposition.
+
+SBML Level 2 defines a closed list of base unit kinds.  Every kind is
+expressed here as a multiplicative factor times a vector of integer
+exponents over the eight base dimensions used by the library:
+
+``(metre, kilogram, second, ampere, kelvin, mole, candela, item)``
+
+``item`` (a count of discrete entities — molecules in the paper's
+Figure 6) is carried as its own dimension so that *moles* and
+*molecules* are interconvertible only through an explicit Avogadro
+conversion, exactly the situation the paper's unit-conflict handling
+deals with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import UnknownUnitError
+
+__all__ = [
+    "DIMENSION_NAMES",
+    "BASE_KINDS",
+    "kind_decomposition",
+    "is_known_kind",
+    "normalize_kind",
+]
+
+DIMENSION_NAMES: Tuple[str, ...] = (
+    "metre",
+    "kilogram",
+    "second",
+    "ampere",
+    "kelvin",
+    "mole",
+    "candela",
+    "item",
+)
+
+_ZERO = (0, 0, 0, 0, 0, 0, 0, 0)
+
+
+def _dims(**exponents: int) -> Tuple[int, ...]:
+    vector = [0] * len(DIMENSION_NAMES)
+    for name, exponent in exponents.items():
+        vector[DIMENSION_NAMES.index(name)] = exponent
+    return tuple(vector)
+
+
+# kind -> (factor to SI-coherent base, dimension vector)
+BASE_KINDS: Dict[str, Tuple[float, Tuple[int, ...]]] = {
+    "ampere": (1.0, _dims(ampere=1)),
+    "becquerel": (1.0, _dims(second=-1)),
+    "candela": (1.0, _dims(candela=1)),
+    "coulomb": (1.0, _dims(ampere=1, second=1)),
+    "dimensionless": (1.0, _ZERO),
+    "farad": (1.0, _dims(kilogram=-1, metre=-2, second=4, ampere=2)),
+    "gram": (1e-3, _dims(kilogram=1)),
+    "gray": (1.0, _dims(metre=2, second=-2)),
+    "henry": (1.0, _dims(kilogram=1, metre=2, second=-2, ampere=-2)),
+    "hertz": (1.0, _dims(second=-1)),
+    "item": (1.0, _dims(item=1)),
+    "joule": (1.0, _dims(kilogram=1, metre=2, second=-2)),
+    "katal": (1.0, _dims(mole=1, second=-1)),
+    "kelvin": (1.0, _dims(kelvin=1)),
+    "kilogram": (1.0, _dims(kilogram=1)),
+    "litre": (1e-3, _dims(metre=3)),
+    "lumen": (1.0, _dims(candela=1)),
+    "lux": (1.0, _dims(candela=1, metre=-2)),
+    "metre": (1.0, _dims(metre=1)),
+    "mole": (1.0, _dims(mole=1)),
+    "newton": (1.0, _dims(kilogram=1, metre=1, second=-2)),
+    "ohm": (1.0, _dims(kilogram=1, metre=2, second=-3, ampere=-2)),
+    "pascal": (1.0, _dims(kilogram=1, metre=-1, second=-2)),
+    "radian": (1.0, _ZERO),
+    "second": (1.0, _dims(second=1)),
+    "siemens": (1.0, _dims(kilogram=-1, metre=-2, second=3, ampere=2)),
+    "sievert": (1.0, _dims(metre=2, second=-2)),
+    "steradian": (1.0, _ZERO),
+    "tesla": (1.0, _dims(kilogram=1, second=-2, ampere=-1)),
+    "volt": (1.0, _dims(kilogram=1, metre=2, second=-3, ampere=-1)),
+    "watt": (1.0, _dims(kilogram=1, metre=2, second=-3)),
+    "weber": (1.0, _dims(kilogram=1, metre=2, second=-2, ampere=-1)),
+}
+
+# US spellings accepted on input, normalised to the SBML kind names.
+_SPELLING_ALIASES = {
+    "liter": "litre",
+    "meter": "metre",
+}
+
+
+def normalize_kind(kind: str) -> str:
+    """Return the canonical SBML spelling of a base unit kind."""
+    return _SPELLING_ALIASES.get(kind, kind)
+
+
+def is_known_kind(kind: str) -> bool:
+    """Whether ``kind`` names an SBML base unit (either spelling)."""
+    return normalize_kind(kind) in BASE_KINDS
+
+
+def kind_decomposition(kind: str) -> Tuple[float, Tuple[int, ...]]:
+    """Return ``(factor, dimension_vector)`` for a base unit kind."""
+    normalized = normalize_kind(kind)
+    try:
+        return BASE_KINDS[normalized]
+    except KeyError:
+        raise UnknownUnitError(f"unknown unit kind {kind!r}") from None

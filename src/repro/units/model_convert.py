@@ -1,0 +1,239 @@
+"""Whole-model deterministic ↔ stochastic conversion (Figure 6 at
+model scale).
+
+The paper's Figure 6 gives the per-reaction rate-constant conversions;
+this module applies them to an *entire model*:
+
+* :func:`to_stochastic` — concentrations become molecule counts
+  (``x = nA·[X]·V``) and each mass-action rate constant is converted
+  by its reaction order (zeroth: ``c = nA·k·V``; first: ``c = k``;
+  second: ``c = k/(nA·V)``).
+* :func:`to_deterministic` — the inverse.
+
+Conversions rewrite the *global parameter values* or *local kinetic
+parameters* referenced by mass-action laws; reactions whose laws are
+not mass action are reported back so the caller can decide (the same
+warn-and-continue philosophy the composition engine uses).
+
+This is what makes a deterministic model mergeable with a stochastic
+one: convert, then compose — and the engine's Figure 6 reconciliation
+will recognise the remaining shared reactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import UnitError
+from repro.mathml.ast import Apply, Identifier, MathNode, Number
+from repro.sbml.components import Reaction
+from repro.sbml.model import Model
+from repro.units.convert import (
+    AVOGADRO,
+    concentration_to_molecules,
+    deterministic_to_stochastic,
+    molecules_to_concentration,
+    stochastic_to_deterministic,
+)
+
+__all__ = ["ConversionReport", "to_stochastic", "to_deterministic"]
+
+
+@dataclass
+class ConversionReport:
+    """What a whole-model conversion did (and could not do)."""
+
+    species_converted: List[str] = field(default_factory=list)
+    constants_converted: List[Tuple[str, float, float]] = field(
+        default_factory=list
+    )
+    skipped_reactions: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+
+def _mass_action_constant_factor(
+    law_math: MathNode, reaction: Reaction
+) -> Optional[Tuple[str, bool]]:
+    """If ``law_math`` is ``k · Π reactants`` for this reaction's
+    reactant multiset, return ``(constant_name, True)``; the bool
+    distinguishes a bare Identifier constant from anything else."""
+    expected: List[str] = []
+    for reference in reaction.reactants:
+        if not float(reference.stoichiometry).is_integer():
+            return None
+        expected.extend([reference.species] * int(reference.stoichiometry))
+    factors = (
+        list(law_math.args)
+        if isinstance(law_math, Apply) and law_math.op == "times"
+        else [law_math]
+    )
+    seen: List[str] = []
+    constants: List[str] = []
+    for factor in factors:
+        if isinstance(factor, Identifier) and factor.name in set(expected):
+            seen.append(factor.name)
+        elif (
+            isinstance(factor, Apply)
+            and factor.op == "power"
+            and isinstance(factor.args[0], Identifier)
+            and factor.args[0].name in set(expected)
+            and isinstance(factor.args[1], Number)
+            and float(factor.args[1].value).is_integer()
+        ):
+            seen.extend([factor.args[0].name] * int(factor.args[1].value))
+        elif isinstance(factor, Identifier):
+            constants.append(factor.name)
+        else:
+            return None
+    if sorted(seen) != sorted(expected) or len(constants) != 1:
+        return None
+    return constants[0], True
+
+
+def _reaction_volume(model: Model, reaction: Reaction, default: float) -> float:
+    for reference in reaction.reactants + reaction.products:
+        species = model.get_species(reference.species)
+        if species is not None and species.compartment:
+            compartment = model.get_compartment(species.compartment)
+            if compartment is not None and compartment.size is not None:
+                return compartment.size
+    if model.compartments and model.compartments[0].size is not None:
+        return model.compartments[0].size
+    return default
+
+
+def _convert_model(
+    model: Model,
+    to_counts: bool,
+    avogadro: float,
+    default_volume: float,
+) -> Tuple[Model, ConversionReport]:
+    result = model.copy()
+    report = ConversionReport()
+
+    # --- species initial values ---------------------------------------
+    for species in result.species:
+        if species.id is None:
+            continue
+        compartment = result.get_compartment(species.compartment or "")
+        volume = (
+            compartment.size
+            if compartment is not None and compartment.size is not None
+            else default_volume
+        )
+        if to_counts and species.initial_concentration is not None:
+            species.initial_amount = concentration_to_molecules(
+                species.initial_concentration, volume, avogadro
+            )
+            species.initial_concentration = None
+            species.has_only_substance_units = True
+            species.substance_units = "item"
+            report.species_converted.append(species.id)
+        elif not to_counts and species.initial_amount is not None:
+            species.initial_concentration = molecules_to_concentration(
+                species.initial_amount, volume, avogadro
+            )
+            species.initial_amount = None
+            species.has_only_substance_units = False
+            if species.substance_units == "item":
+                species.substance_units = None
+            report.species_converted.append(species.id)
+
+    # --- mass-action rate constants -------------------------------------
+    converted_globals: Dict[str, float] = {}
+    for reaction in result.reactions:
+        law = reaction.kinetic_law
+        if law is None or law.math is None:
+            report.skipped_reactions.append(reaction.id or "<anonymous>")
+            continue
+        extraction = _mass_action_constant_factor(law.math, reaction)
+        if extraction is None:
+            report.skipped_reactions.append(reaction.id or "<anonymous>")
+            report.warn(
+                f"reaction {reaction.id!r}: kinetic law is not plain "
+                "mass action; left unchanged"
+            )
+            continue
+        constant_name, _ = extraction
+        try:
+            order = int(
+                sum(r.stoichiometry for r in reaction.reactants)
+            )
+        except (TypeError, ValueError):
+            report.skipped_reactions.append(reaction.id or "<anonymous>")
+            continue
+        if order not in (0, 1, 2):
+            report.skipped_reactions.append(reaction.id or "<anonymous>")
+            report.warn(
+                f"reaction {reaction.id!r}: order {order} outside the "
+                "Figure 6 table; left unchanged"
+            )
+            continue
+        volume = _reaction_volume(result, reaction, default_volume)
+        convert = (
+            deterministic_to_stochastic
+            if to_counts
+            else stochastic_to_deterministic
+        )
+
+        local = next(
+            (p for p in law.parameters if p.id == constant_name), None
+        )
+        if local is not None and local.value is not None:
+            new_value = convert(local.value, order, volume, avogadro)
+            report.constants_converted.append(
+                (f"{reaction.id}/{constant_name}", local.value, new_value)
+            )
+            local.value = new_value
+            continue
+        parameter = result.get_parameter(constant_name)
+        if parameter is None or parameter.value is None:
+            report.skipped_reactions.append(reaction.id or "<anonymous>")
+            report.warn(
+                f"reaction {reaction.id!r}: constant {constant_name!r} "
+                "has no numeric value; left unchanged"
+            )
+            continue
+        if constant_name in converted_globals:
+            # Shared constant across reactions: orders must agree,
+            # otherwise one numeric value cannot serve both.
+            if converted_globals[constant_name] != order:
+                raise UnitError(
+                    f"global constant {constant_name!r} is used by "
+                    f"reactions of different orders; cannot convert"
+                )
+            continue
+        new_value = convert(parameter.value, order, volume, avogadro)
+        report.constants_converted.append(
+            (constant_name, parameter.value, new_value)
+        )
+        parameter.value = new_value
+        converted_globals[constant_name] = order
+
+    return result, report
+
+
+def to_stochastic(
+    model: Model,
+    avogadro: float = AVOGADRO,
+    default_volume: float = 1.0,
+) -> Tuple[Model, ConversionReport]:
+    """Convert a concentration-based model to molecule counts."""
+    return _convert_model(
+        model, to_counts=True, avogadro=avogadro, default_volume=default_volume
+    )
+
+
+def to_deterministic(
+    model: Model,
+    avogadro: float = AVOGADRO,
+    default_volume: float = 1.0,
+) -> Tuple[Model, ConversionReport]:
+    """Convert a molecule-count model to concentrations."""
+    return _convert_model(
+        model, to_counts=False, avogadro=avogadro, default_volume=default_volume
+    )

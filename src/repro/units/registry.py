@@ -1,0 +1,76 @@
+"""Registry of unit definitions, with the SBML Level 2 built-ins.
+
+SBML models may reference predefined unit ids (``substance``,
+``volume``, ``area``, ``length``, ``time``) and a handful of
+convenience ids without declaring them; the registry resolves both
+those and model-local ``<unitDefinition>`` entries, providing the
+"list of known units" the paper checks unit definitions against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import UnknownUnitError
+from repro.units.definitions import CanonicalUnit, Unit, UnitDefinition
+from repro.units.kinds import is_known_kind
+
+__all__ = ["UnitRegistry", "builtin_definitions"]
+
+
+def builtin_definitions() -> Dict[str, UnitDefinition]:
+    """The SBML Level 2 predefined unit definitions."""
+    return {
+        "substance": UnitDefinition("substance", "substance", [Unit("mole")]),
+        "volume": UnitDefinition("volume", "volume", [Unit("litre")]),
+        "area": UnitDefinition("area", "area", [Unit("metre", exponent=2)]),
+        "length": UnitDefinition("length", "length", [Unit("metre")]),
+        "time": UnitDefinition("time", "time", [Unit("second")]),
+    }
+
+
+class UnitRegistry:
+    """Resolve unit references (kind names or definition ids).
+
+    A registry is seeded with the SBML built-ins; model unit
+    definitions are added on top.  Lookup order follows SBML: a
+    model-level definition shadows the built-in of the same id.
+    """
+
+    def __init__(self, definitions: Optional[Iterable[UnitDefinition]] = None):
+        self._definitions: Dict[str, UnitDefinition] = builtin_definitions()
+        for definition in definitions or ():
+            self.add(definition)
+
+    def add(self, definition: UnitDefinition) -> None:
+        """Register (or shadow) a unit definition."""
+        self._definitions[definition.id] = definition
+
+    def __contains__(self, ref: str) -> bool:
+        return ref in self._definitions or is_known_kind(ref)
+
+    def definitions(self) -> Dict[str, UnitDefinition]:
+        """A copy of the id → definition table."""
+        return dict(self._definitions)
+
+    def resolve(self, ref: str) -> CanonicalUnit:
+        """Canonicalize a unit reference.
+
+        ``ref`` may be a unit-definition id or a bare base-unit kind
+        (SBML allows e.g. ``units="second"`` directly).
+        """
+        definition = self._definitions.get(ref)
+        if definition is not None:
+            return definition.canonical()
+        if is_known_kind(ref):
+            return Unit(ref).canonical()
+        raise UnknownUnitError(f"unknown unit reference {ref!r}")
+
+    def same_unit(self, first: str, second: str) -> bool:
+        """Whether two unit references denote the same unit."""
+        return self.resolve(first).approx_equal(self.resolve(second))
+
+    def conversion_factor(self, source: str, target: str) -> float:
+        """Factor turning values in ``source`` into values in
+        ``target`` (raises on incompatible dimensions)."""
+        return self.resolve(source).conversion_factor(self.resolve(target))

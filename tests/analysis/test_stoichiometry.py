@@ -1,0 +1,166 @@
+"""Unit tests for stoichiometric analysis."""
+
+import numpy as np
+import pytest
+
+from repro import ModelBuilder, compose
+from repro.analysis import (
+    conservation_laws,
+    conserved_totals,
+    dead_species,
+    stoichiometric_matrix,
+)
+from repro.sim import simulate
+
+
+def conversion_model():
+    """A <-> B: A + B conserved."""
+    return (
+        ModelBuilder("conv")
+        .compartment("cell", size=1.0)
+        .species("A", 7.0)
+        .species("B", 3.0)
+        .parameter("k1", 1.0)
+        .parameter("k2", 0.5)
+        .reversible_mass_action("r", ["A"], ["B"], "k1", "k2")
+        .build()
+    )
+
+
+def test_matrix_shape_and_entries():
+    matrix, species_ids, reaction_ids = stoichiometric_matrix(
+        conversion_model()
+    )
+    assert matrix.shape == (2, 1)
+    assert species_ids == ["A", "B"]
+    assert reaction_ids == ["r"]
+    assert matrix[0, 0] == -1.0  # A consumed
+    assert matrix[1, 0] == 1.0  # B produced
+
+
+def test_matrix_with_stoichiometry():
+    model = (
+        ModelBuilder("m").compartment("c")
+        .species("A").species("B")
+        .parameter("k", 1.0)
+        .mass_action("r", [("A", 2)], ["B"], "k")
+        .build()
+    )
+    matrix, _, _ = stoichiometric_matrix(model)
+    assert matrix[0, 0] == -2.0
+
+
+def test_conversion_conserves_sum():
+    laws = conservation_laws(conversion_model())
+    assert {"A": 1.0, "B": 1.0} in laws
+
+
+def test_atp_adp_conservation():
+    from repro.analysis import is_conserved
+
+    model = (
+        ModelBuilder("atp").compartment("c")
+        .species("atp", 3.0).species("adp", 1.0)
+        .species("glc", 5.0).species("g6p", 0.0)
+        .parameter("k", 1.0)
+        .reaction(
+            "hk", ["glc", "atp"], ["g6p", "adp"], formula="k*glc*atp"
+        )
+        .build()
+    )
+    laws = conservation_laws(model)
+    assert {"atp": 1.0, "adp": 1.0} in laws
+    # glc + g6p is conserved too; it lies in the span of the basis
+    # even when it is not itself a basis vector.
+    assert is_conserved(model, {"glc": 1.0, "g6p": 1.0})
+    assert not is_conserved(model, {"glc": 1.0, "adp": -2.0})
+    assert len(laws) == 3  # 4 species, rank-1 N
+
+
+def test_open_system_has_no_total_law():
+    model = (
+        ModelBuilder("open").compartment("c")
+        .species("X", 1.0)
+        .parameter("k", 1.0)
+        .reaction("in", [], ["X"], formula="k")
+        .mass_action("out", ["X"], [], "k")
+        .build()
+    )
+    laws = conservation_laws(model)
+    assert laws == []  # X is created and destroyed: nothing conserved
+
+
+def test_untouched_species_trivially_conserved():
+    model = (
+        ModelBuilder("m").compartment("c")
+        .species("inert", 1.0)
+        .species("A", 1.0).species("B", 0.0)
+        .parameter("k", 1.0)
+        .mass_action("r", ["A"], ["B"], "k")
+        .build()
+    )
+    laws = conservation_laws(model)
+    assert {"inert": 1.0} in laws
+
+
+def test_no_reactions_every_species_conserved():
+    model = (
+        ModelBuilder("m").compartment("c")
+        .species("A", 1.0).species("B", 2.0)
+        .build()
+    )
+    laws = conservation_laws(model)
+    assert {"A": 1.0} in laws and {"B": 1.0} in laws
+
+
+def test_conserved_totals_from_initials():
+    totals = conserved_totals(conversion_model())
+    law_totals = {
+        tuple(sorted(law)): total for law, total in totals
+    }
+    assert law_totals[("A", "B")] == pytest.approx(10.0)
+
+
+def test_simulation_respects_discovered_laws():
+    model = conversion_model()
+    laws = conservation_laws(model)
+    trace = simulate(model, 5.0, 200)
+    for law in laws:
+        series = sum(
+            coefficient * trace.column(species_id)
+            for species_id, coefficient in law.items()
+        )
+        assert np.allclose(series, series[0], rtol=1e-9)
+
+
+def test_composition_preserves_conservation_laws():
+    # Figure 1: self-composition must not create or destroy laws.
+    model = conversion_model()
+    merged, _ = compose(model, model.copy())
+    assert conservation_laws(merged) == conservation_laws(model)
+
+
+def test_composition_extends_laws_on_disjoint_union():
+    first = conversion_model()
+    second = (
+        ModelBuilder("other").compartment("cell", size=1.0)
+        .species("X", 1.0).species("Y", 0.0)
+        .parameter("k", 1.0)
+        .reversible_mass_action("r2", ["X"], ["Y"], "k", "k")
+        .build()
+    )
+    merged, _ = compose(first, second)
+    laws = conservation_laws(merged)
+    assert {"A": 1.0, "B": 1.0} in laws
+    assert {"X": 1.0, "Y": 1.0} in laws
+
+
+def test_dead_species():
+    model = (
+        ModelBuilder("m").compartment("c")
+        .species("used", 1.0).species("lonely", 1.0)
+        .parameter("k", 1.0)
+        .mass_action("r", ["used"], [], "k")
+        .build()
+    )
+    assert dead_species(model) == ["lonely"]

@@ -1,0 +1,84 @@
+"""Unit tests for the synthetic annotation database."""
+
+import pytest
+
+from repro.baselines import (
+    DEFAULT_ENTRY_COUNT,
+    AnnotationDatabase,
+    generate_database,
+)
+
+
+@pytest.fixture(scope="module")
+def small_db(tmp_path_factory):
+    path = tmp_path_factory.mktemp("db") / "db.tsv"
+    generate_database(path, entry_count=2000)
+    return AnnotationDatabase.load(path)
+
+
+def test_default_entry_count_matches_paper():
+    assert DEFAULT_ENTRY_COUNT == 54_929
+
+
+def test_generate_exact_entry_count(tmp_path):
+    path = tmp_path / "db.tsv"
+    generate_database(path, entry_count=1234)
+    with open(path) as handle:
+        assert sum(1 for _ in handle) == 1234
+
+
+def test_generate_idempotent(tmp_path):
+    path = tmp_path / "db.tsv"
+    generate_database(path, entry_count=500)
+    first = path.read_text()
+    generate_database(path, entry_count=500)
+    assert path.read_text() == first
+
+
+def test_regenerates_on_size_mismatch(tmp_path):
+    path = tmp_path / "db.tsv"
+    generate_database(path, entry_count=100)
+    generate_database(path, entry_count=200)
+    with open(path) as handle:
+        assert sum(1 for _ in handle) == 200
+
+
+def test_load_reports_entry_count(small_db):
+    assert len(small_db) == 2000
+
+
+def test_synonym_ring_names_share_uri(small_db):
+    atp = small_db.lookup("ATP")
+    long_form = small_db.lookup("adenosine triphosphate")
+    assert atp is not None
+    assert atp == long_form
+
+
+def test_distinct_entities_distinct_uris(small_db):
+    assert small_db.lookup("ATP") != small_db.lookup("ADP")
+
+
+def test_family_names_resolvable(small_db):
+    assert small_db.lookup("species_5") is not None
+    assert small_db.lookup("protein_7") is not None
+    # Underscore-less variant maps to the same entry.
+    assert small_db.lookup("species_5") == small_db.lookup("species5")
+
+
+def test_unknown_name_returns_none(small_db):
+    assert small_db.lookup("unobtainium_kinase") is None
+    assert small_db.lookup(None) is None
+    assert small_db.lookup("") is None
+
+
+def test_lookup_is_normalised(small_db):
+    assert small_db.lookup("a t p") == small_db.lookup("ATP")
+
+
+def test_uris_use_miriam_sources(tmp_path):
+    path = tmp_path / "db.tsv"
+    generate_database(path, entry_count=300)
+    text = path.read_text()
+    assert "urn:miriam:kegg.compound:" in text
+    assert "urn:miriam:chebi:" in text
+    assert "urn:miriam:obo.go:" in text

@@ -1,0 +1,204 @@
+"""Unit tests for the semanticSBML-style baseline merger."""
+
+import pytest
+
+from repro import ModelBuilder, compose
+from repro.baselines import SemanticSBMLMerge, generate_database
+from repro.sbml import validate_model
+
+
+@pytest.fixture(scope="module")
+def engine(tmp_path_factory):
+    # A smaller database keeps unit tests fast; benchmarks use the
+    # full 54,929 entries.
+    path = tmp_path_factory.mktemp("db") / "db.tsv"
+    generate_database(path, entry_count=5000)
+    return SemanticSBMLMerge(database_path=path)
+
+
+def annotated_pair():
+    a = (
+        ModelBuilder("a")
+        .compartment("cell", size=1.0)
+        .species("atp", 1.0, name="ATP")
+        .species("adp", 0.5, name="ADP")
+        .parameter("k1", 0.5)
+        .mass_action("r1", ["atp"], ["adp"], "k1")
+        .build()
+    )
+    b = (
+        ModelBuilder("b")
+        .compartment("cell", size=1.0)
+        .species("atp", 1.0, name="ATP")
+        .species("amp", 0.1, name="AMP")
+        .parameter("k2", 0.3)
+        .mass_action("r2", ["atp"], ["amp"], "k2")
+        .build()
+    )
+    return a, b
+
+
+class TestBaselineMerge:
+    def test_identical_models_deduplicated(self, engine):
+        a, _ = annotated_pair()
+        merged, report = engine.merge(a, a.copy())
+        assert len(merged.species) == 2
+        assert len(merged.reactions) == 1
+        assert report.duplicates_removed > 0
+
+    def test_shared_species_united_via_annotation(self, engine):
+        a, b = annotated_pair()
+        merged, _ = engine.merge(a, b)
+        names = sorted(s.name for s in merged.species)
+        assert names == ["ADP", "AMP", "ATP"]
+
+    def test_result_is_valid_sbml(self, engine):
+        a, b = annotated_pair()
+        merged, _ = engine.merge(a, b)
+        errors = [
+            issue
+            for issue in validate_model(merged)
+            if issue.severity == "error"
+        ]
+        assert errors == []
+
+    def test_disjoint_models_union(self, engine):
+        a = (
+            ModelBuilder("a")
+            .compartment("c1", size=1.0)
+            .species("x1", 1.0, name="species_1")
+            .build()
+        )
+        b = (
+            ModelBuilder("b")
+            .compartment("c2", size=1.0)
+            .species("x2", 1.0, name="species_2")
+            .build()
+        )
+        merged, _ = engine.merge(a, b)
+        assert len(merged.species) == 2
+
+    def test_timings_cover_all_passes(self, engine):
+        a, b = annotated_pair()
+        _, report = engine.merge(a, b)
+        assert set(report.timings) == {
+            "db_load",
+            "annotate",
+            "validate",
+            "combine",
+            "dedup",
+        }
+        assert report.total_time > 0
+
+    def test_db_load_dominates(self, engine):
+        # The paper's explanation for the Fig 9 gap.
+        a, b = annotated_pair()
+        _, report = engine.merge(a, b)
+        other = report.total_time - report.timings["db_load"]
+        assert report.timings["db_load"] > other
+
+    def test_initial_assignment_equality_needs_user(self, engine):
+        # semanticSBML "cannot determine if the maths of initial
+        # assignments are equal" — math differs syntactically, values
+        # agree; the baseline must punt to the user.
+        a = (
+            ModelBuilder("a")
+            .compartment("cell", size=1.0)
+            .species("atp", 1.0, name="ATP")
+            .initial_assignment("atp", "2 * 3")
+            .build()
+        )
+        b = (
+            ModelBuilder("b")
+            .compartment("cell", size=1.0)
+            .species("atp", 1.0, name="ATP")
+            .initial_assignment("atp", "6")
+            .build()
+        )
+        _, report = engine.merge(a, b)
+        assert report.user_interactions >= 1
+        # SBMLCompose decides it automatically.
+        _, compose_report = compose(a, b)
+        assert not compose_report.has_conflicts()
+
+    def test_commutative_math_not_matched(self, engine):
+        # No Figure 7 patterns in the baseline: reordered operands are
+        # "different" reactions and both survive.
+        a = (
+            ModelBuilder("a")
+            .compartment("cell", size=1.0)
+            .species("s", 1.0, name="species_3")
+            .species("t", 0.0, name="species_4")
+            .parameter("k", 1.0)
+            .reaction("r1", ["s", "t"], [], formula="k*s*t")
+            .build()
+        )
+        b = (
+            ModelBuilder("b")
+            .compartment("cell", size=1.0)
+            .species("s", 1.0, name="species_3")
+            .species("t", 0.0, name="species_4")
+            .parameter("k", 1.0)
+            .reaction("r2", ["s", "t"], [], formula="t*k*s")
+            .build()
+        )
+        merged, _ = engine.merge(a, b)
+        assert len(merged.reactions) == 2
+        merged_compose, _ = compose(a, b)
+        assert len(merged_compose.reactions) == 1
+
+    def test_unannotated_fallback_counts_interaction(self, engine):
+        a = (
+            ModelBuilder("a")
+            .compartment("cell", size=1.0)
+            .species("zz_unknown_1", 1.0)
+            .build()
+        )
+        b = (
+            ModelBuilder("b")
+            .compartment("cell", size=1.0)
+            .species("zz_unknown_1", 1.0)
+            .build()
+        )
+        _, report = engine.merge(a, b)
+        assert report.user_interactions >= 1
+
+    def test_conflicting_species_values_flagged(self, engine):
+        a = (
+            ModelBuilder("a")
+            .compartment("cell", size=1.0)
+            .species("atp", 1.0, name="ATP")
+            .build()
+        )
+        b = (
+            ModelBuilder("b")
+            .compartment("cell", size=1.0)
+            .species("atp", 9.0, name="ATP")
+            .build()
+        )
+        merged, report = engine.merge(a, b)
+        assert report.conflicts >= 1
+        assert merged.get_species("atp").initial_concentration == 1.0
+
+    def test_reload_database_every_run(self, engine):
+        a, b = annotated_pair()
+        _, first_report = engine.merge(a, b)
+        _, second_report = engine.merge(a, b)
+        # Reload mode: both runs pay the load.
+        assert first_report.timings["db_load"] > 0
+        assert second_report.timings["db_load"] > 0
+
+    def test_cached_mode_for_ablation(self, tmp_path):
+        path = tmp_path / "db.tsv"
+        generate_database(path, entry_count=5000)
+        engine = SemanticSBMLMerge(database_path=path, reload_database=False)
+        a, b = annotated_pair()
+        engine.merge(a, b)  # warm the cache
+        _, report = engine.merge(a, b)
+        assert report.timings["db_load"] < 0.005
+
+    def test_inputs_not_mutated(self, engine):
+        a, b = annotated_pair()
+        before = a.component_count(), b.component_count()
+        engine.merge(a, b)
+        assert (a.component_count(), b.component_count()) == before

@@ -1,0 +1,314 @@
+"""Per-component-type composition behaviour (paper Figure 5)."""
+
+import pytest
+
+from repro import ModelBuilder, compose, ComposeOptions
+from repro.errors import ConflictError
+from repro.mathml import parse_infix
+from repro.sbml import validate_model
+from repro.synonyms import SynonymTable
+
+
+def base_builder(model_id):
+    return ModelBuilder(model_id).compartment("cell", size=1.0)
+
+
+class TestSpeciesMatching:
+    def test_same_id_united(self):
+        a = base_builder("a").species("glc", 1.0).build()
+        b = base_builder("b").species("glc", 1.0).build()
+        merged, report = compose(a, b)
+        assert len(merged.species) == 1
+        assert ("species", "glc", "glc") in [
+            (d.component_type, d.first_id, d.second_id)
+            for d in report.duplicates
+        ]
+
+    def test_synonymous_names_united(self):
+        # Heavy semantics: "ATP" and "adenosine triphosphate" are the
+        # same entity via the built-in synonym table.
+        a = base_builder("a").species("atp", 1.0, name="ATP").build()
+        b = (
+            base_builder("b")
+            .species("s42", 1.0, name="adenosine triphosphate")
+            .build()
+        )
+        merged, report = compose(a, b)
+        assert len(merged.species) == 1
+        assert report.mappings.get("s42") == "atp"
+
+    def test_custom_synonym_table(self):
+        table = SynonymTable([["foo", "bar"]])
+        a = base_builder("a").species("foo", 1.0).build()
+        b = base_builder("b").species("bar", 1.0).build()
+        merged, _ = compose(a, b, ComposeOptions(synonyms=table))
+        assert len(merged.species) == 1
+
+    def test_different_species_both_kept(self):
+        a = base_builder("a").species("X", 1.0).build()
+        b = base_builder("b").species("Y", 1.0).build()
+        merged, _ = compose(a, b)
+        assert sorted(s.id for s in merged.species) == ["X", "Y"]
+
+    def test_same_name_different_compartment_not_united(self):
+        a = (
+            ModelBuilder("a")
+            .compartment("nucleus", size=0.1)
+            .species("P", 1.0)
+            .build()
+        )
+        b = (
+            ModelBuilder("b")
+            .compartment("mito", size=0.2)
+            .species("P", 1.0)
+            .build()
+        )
+        merged, report = compose(a, b)
+        assert len(merged.species) == 2
+        assert len(merged.compartments) == 2
+        # The colliding id from model 2 was renamed.
+        assert report.renamed.get("P", "").startswith("P_")
+
+    def test_initial_value_conflict_logged_first_wins(self):
+        a = base_builder("a").species("X", 1.0).build()
+        b = base_builder("b").species("X", 2.0).build()
+        merged, report = compose(a, b)
+        assert merged.get_species("X").initial_concentration == 1.0
+        assert report.has_conflicts()
+        assert report.conflicts[0].attribute == "initial value"
+
+    def test_conflict_policy_error_raises(self):
+        a = base_builder("a").species("X", 1.0).build()
+        b = base_builder("b").species("X", 2.0).build()
+        with pytest.raises(ConflictError):
+            compose(a, b, ComposeOptions(conflicts="error"))
+
+    def test_amount_vs_concentration_reconciled_via_figure6(self):
+        # 1e-6 M in 1e-15 l is ~6.022e2 molecules (Fig 6: x = nA[X]V).
+        volume = 1e-15
+        molecules = 6.022e23 * 1e-6 * volume
+        a = (
+            ModelBuilder("a")
+            .compartment("cell", size=volume)
+            .species("X", 1e-6)
+            .build()
+        )
+        b = (
+            ModelBuilder("b")
+            .compartment("cell", size=volume)
+            .species("X", molecules, amount=True)
+            .build()
+        )
+        merged, report = compose(a, b)
+        assert not report.has_conflicts()
+        assert any("Figure 6" in w.message for w in report.warnings)
+
+    def test_amount_vs_concentration_mismatch_is_conflict(self):
+        a = (
+            ModelBuilder("a")
+            .compartment("cell", size=1e-15)
+            .species("X", 1e-6)
+            .build()
+        )
+        b = (
+            ModelBuilder("b")
+            .compartment("cell", size=1e-15)
+            .species("X", 42.0, amount=True)
+            .build()
+        )
+        _, report = compose(a, b)
+        assert report.has_conflicts()
+
+    def test_boundary_condition_conflict(self):
+        a = base_builder("a").species("X", 1.0).build()
+        b = base_builder("b").species("X", 1.0, boundary=True).build()
+        _, report = compose(a, b)
+        assert any(
+            c.attribute == "boundaryCondition" for c in report.conflicts
+        )
+
+
+class TestCompartmentMatching:
+    def test_synonymous_compartments_united(self):
+        a = ModelBuilder("a").compartment("cytosol", size=1.0).build()
+        b = ModelBuilder("b").compartment("cytoplasm", size=1.0).build()
+        merged, _ = compose(a, b)
+        assert len(merged.compartments) == 1
+
+    def test_size_conflict(self):
+        a = ModelBuilder("a").compartment("cell", size=1.0).build()
+        b = ModelBuilder("b").compartment("cell", size=2.0).build()
+        merged, report = compose(a, b)
+        assert merged.get_compartment("cell").size == 1.0
+        assert report.has_conflicts()
+
+    def test_size_agrees_after_unit_conversion(self):
+        # 1 l vs 1000 ml: unit conversion resolves the "conflict".
+        a = ModelBuilder("a").compartment("cell", size=1.0, units="litre").build()
+        b = (
+            ModelBuilder("b")
+            .unit("ml", [("litre", 1, -3, 1.0)])
+            .compartment("cell", size=1000.0, units="ml")
+            .build()
+        )
+        _, report = compose(a, b)
+        assert not report.has_conflicts()
+        assert any(w.code == "unit-conversion" for w in report.warnings)
+
+    def test_nested_compartments_remapped(self):
+        a = ModelBuilder("a").compartment("cell", size=1.0).build()
+        b = (
+            ModelBuilder("b")
+            .compartment("cytosol", size=1.0)
+            .compartment("nucleus", size=0.1, outside="cytosol")
+            .build()
+        )
+        merged, _ = compose(a, b)
+        # cytosol unified with cell (builtin synonyms); nucleus points
+        # at the united compartment.
+        nucleus = merged.get_compartment("nucleus")
+        assert nucleus.outside == "cell"
+        assert validate_model(merged) == []
+
+
+class TestParameterPolicy:
+    def test_equal_valued_parameters_united(self):
+        a = base_builder("a").parameter("k", 1.0).build()
+        b = base_builder("b").parameter("k", 1.0).build()
+        merged, _ = compose(a, b)
+        assert len(merged.parameters) == 1
+
+    def test_same_name_different_value_both_kept_renamed(self):
+        # Paper: "All parameters in the original models have to be
+        # included ... if two parameters have the same name, then one
+        # is renamed to avoid conflicts."
+        a = base_builder("a").parameter("k", 1.0).build()
+        b = base_builder("b").parameter("k", 2.0).build()
+        merged, report = compose(a, b)
+        assert len(merged.parameters) == 2
+        values = sorted(p.value for p in merged.parameters)
+        assert values == [1.0, 2.0]
+        assert "k" in report.renamed
+        assert any(w.code == "parameter-clash" for w in report.warnings)
+
+    def test_valueless_parameters_not_united(self):
+        a = base_builder("a").parameter("k").build()
+        b = base_builder("b").parameter("k").build()
+        merged, _ = compose(a, b)
+        assert len(merged.parameters) == 2
+
+    def test_unit_converted_parameters_united(self):
+        a = (
+            ModelBuilder("a")
+            .unit("mM", [("mole", 1, -3, 1.0), ("litre", -1, 0, 1.0)])
+            .compartment("cell")
+            .parameter("Km", 1.0, units="mM")
+            .build()
+        )
+        b = (
+            ModelBuilder("b")
+            .unit("M", [("mole", 1, 0, 1.0), ("litre", -1, 0, 1.0)])
+            .compartment("cell")
+            .parameter("Km", 0.001, units="M")
+            .build()
+        )
+        merged, report = compose(a, b)
+        assert len(merged.parameters) == 1
+        assert any(w.code == "unit-conversion" for w in report.warnings)
+
+    def test_renamed_parameter_references_follow(self):
+        # The second model's reaction must use the renamed parameter.
+        a = base_builder("a").species("A", 1.0).parameter("k", 1.0).build()
+        b = (
+            base_builder("b")
+            .species("B", 1.0)
+            .parameter("k", 2.0)
+            .mass_action("r", ["B"], [], "k")
+            .build()
+        )
+        merged, report = compose(a, b)
+        new_name = report.renamed["k"]
+        law = merged.get_reaction("r").kinetic_law
+        assert law.math == parse_infix(f"{new_name} * B")
+        assert validate_model(merged) == []
+
+
+class TestUnitDefinitionMatching:
+    def test_same_canonical_unit_united(self):
+        a = ModelBuilder("a").unit("per_sec", [("second", -1, 0, 1.0)]).build()
+        b = ModelBuilder("b").unit("hz", [("second", -1, 0, 1.0)]).build()
+        merged, report = compose(a, b)
+        assert len(merged.unit_definitions) == 1
+        assert report.mappings.get("hz") == "per_sec"
+
+    def test_scale_vs_multiplier_united(self):
+        a = ModelBuilder("a").unit("mmol", [("mole", 1, -3, 1.0)]).build()
+        b = ModelBuilder("b").unit("mmol2", [("mole", 1, 0, 1e-3)]).build()
+        merged, _ = compose(a, b)
+        assert len(merged.unit_definitions) == 1
+
+    def test_id_collision_different_unit_renamed(self):
+        a = ModelBuilder("a").unit("u", [("second", -1, 0, 1.0)]).build()
+        b = ModelBuilder("b").unit("u", [("mole", 1, 0, 1.0)]).build()
+        merged, report = compose(a, b)
+        assert len(merged.unit_definitions) == 2
+        assert "u" in report.renamed
+
+    def test_species_units_follow_mapping(self):
+        a = (
+            ModelBuilder("a")
+            .unit("mmol", [("mole", 1, -3, 1.0)])
+            .compartment("cell")
+            .build()
+        )
+        b = (
+            ModelBuilder("b")
+            .unit("millimole", [("mole", 1, -3, 1.0)])
+            .compartment("cell")
+            .species("X", 1.0, substance_units="millimole")
+            .build()
+        )
+        merged, _ = compose(a, b)
+        assert merged.get_species("X").substance_units == "mmol"
+
+
+class TestFunctionDefinitions:
+    def test_alpha_equivalent_functions_united(self):
+        a = ModelBuilder("a").function("f", ["x"], "2 * x").build()
+        b = ModelBuilder("b").function("g", ["y"], "2 * y").build()
+        merged, report = compose(a, b)
+        assert len(merged.function_definitions) == 1
+        assert report.mappings.get("g") == "f"
+
+    def test_commutative_bodies_united(self):
+        a = ModelBuilder("a").function("f", ["x", "y"], "x * y + 1").build()
+        b = ModelBuilder("b").function("h", ["a", "b"], "1 + b * a").build()
+        merged, _ = compose(a, b)
+        assert len(merged.function_definitions) == 1
+
+    def test_id_collision_different_math_renamed(self):
+        a = ModelBuilder("a").function("f", ["x"], "2 * x").build()
+        b = ModelBuilder("b").function("f", ["x"], "3 * x").build()
+        merged, report = compose(a, b)
+        assert len(merged.function_definitions) == 2
+        assert "f" in report.renamed
+
+    def test_call_sites_follow_united_function(self):
+        a = (
+            base_builder("a")
+            .function("dbl", ["x"], "2 * x")
+            .species("A", 1.0)
+            .reaction("r1", ["A"], [], formula="dbl(A)")
+            .build()
+        )
+        b = (
+            base_builder("b")
+            .function("twice", ["z"], "2 * z")
+            .species("B", 1.0)
+            .reaction("r2", ["B"], [], formula="twice(B)")
+            .build()
+        )
+        merged, _ = compose(a, b)
+        law = merged.get_reaction("r2").kinetic_law
+        assert law.math == parse_infix("dbl(B)")
+        assert validate_model(merged) == []

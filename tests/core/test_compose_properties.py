@@ -1,0 +1,162 @@
+"""Property-based tests for composition invariants (hypothesis).
+
+The algebra of composition the paper's Figures 1-3 sketch:
+
+* idempotence: ``m + m ≅ m``,
+* size bounds: ``max(|a|,|b|) ≤ |a + b| ≤ |a| + |b|``,
+* commutativity up to renaming: ``a+b`` and ``b+a`` have the same
+  species/reaction multisets (ids may differ by rename),
+* the result is always valid SBML,
+* disjoint models compose to the exact disjoint union.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ModelBuilder, compose
+from repro.eval import models_equivalent
+from repro.sbml import validate_model
+
+SPECIES_POOL = [f"sp{i}" for i in range(12)]
+
+
+@st.composite
+def models(draw, pool=None, model_id="m"):
+    """A small random-but-valid mass-action model.
+
+    Reactant→product pairs are unique within one model: a model with
+    two *structurally identical* reactions matches either of them when
+    looked up per Figure 5, so reaction-count commutativity only holds
+    on duplicate-free inputs (real models never carry two byte-equal
+    reactions; the engine treats them as the modelling error they are).
+    """
+    pool = pool if pool is not None else SPECIES_POOL
+    species = draw(
+        st.lists(
+            st.sampled_from(pool), min_size=1, max_size=6, unique=True
+        )
+    )
+    builder = ModelBuilder(model_id).compartment("cell", size=1.0)
+    for name in species:
+        builder.species(
+            name, float(draw(st.integers(min_value=0, max_value=20)))
+        )
+    n_reactions = draw(st.integers(min_value=0, max_value=4))
+    used_pairs = set()
+    for index in range(n_reactions):
+        if len(species) < 2:
+            break
+        pair = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(species),
+                    min_size=2,
+                    max_size=2,
+                    unique=True,
+                )
+            )
+        )
+        if pair in used_pairs:
+            continue
+        used_pairs.add(pair)
+        k = draw(st.integers(min_value=1, max_value=9)) / 10.0
+        builder.reaction(
+            f"r_{pair[0]}_{pair[1]}_{index}",
+            [pair[0]],
+            [pair[1]],
+            formula=f"k_loc * {pair[0]}",
+            local_parameters={"k_loc": k},
+        )
+    return builder.build()
+
+
+@given(models())
+@settings(max_examples=60, deadline=None)
+def test_idempotence(model):
+    merged, report = compose(model, model.copy())
+    merged.id = model.id
+    assert models_equivalent(model, merged)
+    assert report.total_added == 0
+
+
+@given(models(), models(model_id="m2"))
+@settings(max_examples=60, deadline=None)
+def test_size_bounds(first, second):
+    merged, _ = compose(first, second)
+    assert merged.num_nodes() <= first.num_nodes() + second.num_nodes()
+    assert merged.num_nodes() >= max(first.num_nodes(), second.num_nodes())
+    assert len(merged.reactions) <= (
+        len(first.reactions) + len(second.reactions)
+    )
+
+
+@given(models(), models(model_id="m2"))
+@settings(max_examples=60, deadline=None)
+def test_result_always_valid(first, second):
+    merged, _ = compose(first, second)
+    errors = [
+        issue
+        for issue in validate_model(merged)
+        if issue.severity == "error"
+    ]
+    assert errors == []
+
+
+@given(models(), models(model_id="m2"))
+@settings(max_examples=60, deadline=None)
+def test_commutative_species_sets(first, second):
+    forward, _ = compose(first, second)
+    backward, _ = compose(second, first)
+    assert forward.num_nodes() == backward.num_nodes()
+    assert len(forward.reactions) == len(backward.reactions)
+    # Species names (before renames, names carry identity) agree.
+    forward_names = sorted(s.name or s.id for s in forward.species)
+    backward_names = sorted(s.name or s.id for s in backward.species)
+    assert forward_names == backward_names
+
+
+@given(
+    models(pool=[f"left{i}" for i in range(6)]),
+    models(pool=[f"right{i}" for i in range(6)], model_id="m2"),
+)
+@settings(max_examples=60, deadline=None)
+def test_disjoint_union(first, second):
+    merged, report = compose(first, second)
+    assert merged.num_nodes() == first.num_nodes() + second.num_nodes()
+    assert len(merged.reactions) == (
+        len(first.reactions) + len(second.reactions)
+    )
+    united_species = [
+        d for d in report.duplicates if d.component_type == "species"
+    ]
+    assert united_species == []
+
+
+@given(models(), models(model_id="m2"))
+@settings(max_examples=40, deadline=None)
+def test_compose_deterministic(first, second):
+    once, report_once = compose(first, second)
+    twice, report_twice = compose(first, second)
+    assert models_equivalent(once, twice)
+    assert report_once.mappings == report_twice.mappings
+
+
+@given(models(), models(model_id="m2"), models(model_id="m3"))
+@settings(max_examples=30, deadline=None)
+def test_associative_in_size(first, second, third):
+    left, _ = compose(*[compose(first, second)[0], third][0:1] + [third])
+    right_inner, _ = compose(second, third)
+    right, _ = compose(first, right_inner)
+    assert left.num_nodes() == right.num_nodes()
+
+
+@given(models())
+@settings(max_examples=40, deadline=None)
+def test_empty_identity(model):
+    empty = ModelBuilder("empty").build()
+    left, _ = compose(empty, model)
+    right, _ = compose(model, empty)
+    left.id = model.id
+    right.id = model.id
+    assert models_equivalent(model, left)
+    assert models_equivalent(model, right)

@@ -1,0 +1,144 @@
+"""Unit tests for unit-aware conflict resolution helpers."""
+
+import pytest
+
+from repro.core.conflicts import (
+    compare_species_initial,
+    compare_values,
+    reconcile_rate_constants,
+)
+from repro.units import AVOGADRO, Unit, UnitDefinition, UnitRegistry
+
+
+@pytest.fixture
+def registry():
+    return UnitRegistry(
+        [
+            UnitDefinition("mM", None, [Unit("mole", 1, -3), Unit("litre", -1)]),
+            UnitDefinition("M", None, [Unit("mole", 1), Unit("litre", -1)]),
+            UnitDefinition("ml", None, [Unit("litre", 1, -3)]),
+        ]
+    )
+
+
+class TestCompareValues:
+    def test_both_none_equal(self):
+        assert compare_values(None, None).equal
+
+    def test_one_none_not_equal(self):
+        assert not compare_values(1.0, None).equal
+        assert not compare_values(None, 1.0).equal
+
+    def test_plain_equality(self):
+        assert compare_values(2.0, 2.0).equal
+
+    def test_tolerance(self):
+        assert compare_values(1.0, 1.0 + 1e-12).equal
+        assert not compare_values(1.0, 1.001).equal
+
+    def test_unit_conversion_resolves(self, registry):
+        # 1 mM == 0.001 M
+        comparison = compare_values(
+            1.0, 0.001, "mM", "M", registry
+        )
+        assert comparison.equal
+        assert comparison.note is not None
+
+    def test_unit_conversion_mismatch(self, registry):
+        comparison = compare_values(1.0, 0.5, "mM", "M", registry)
+        assert not comparison.equal
+
+    def test_unknown_units_fall_back_to_inequality(self, registry):
+        assert not compare_values(1.0, 2.0, "blorp", "M", registry).equal
+
+    def test_incompatible_dimensions_not_equal(self, registry):
+        assert not compare_values(1.0, 1000.0, "mM", "ml", registry).equal
+
+    def test_no_registry_no_conversion(self):
+        assert not compare_values(1.0, 0.001, "mM", "M", None).equal
+
+    def test_second_registry_used_for_second_units(self, registry):
+        # Second model defines its own "conc" id meaning mM.
+        second = UnitRegistry(
+            [UnitDefinition("conc", None, [Unit("mole", 1, -3), Unit("litre", -1)])]
+        )
+        comparison = compare_values(
+            0.001, 1.0, "M", "conc", registry, second
+        )
+        assert comparison.equal
+
+
+class TestCompareSpeciesInitial:
+    def test_same_convention_plain(self):
+        assert compare_species_initial(1.0, 1.0, False, False, None).equal
+
+    def test_mixed_convention_figure6(self):
+        volume = 1e-15
+        concentration = 1e-6
+        molecules = AVOGADRO * concentration * volume
+        comparison = compare_species_initial(
+            concentration, molecules, False, True, volume
+        )
+        assert comparison.equal
+        assert "Figure 6" in comparison.note
+
+    def test_mixed_convention_reversed_order(self):
+        volume = 1e-15
+        concentration = 1e-6
+        molecules = AVOGADRO * concentration * volume
+        assert compare_species_initial(
+            molecules, concentration, True, False, volume
+        ).equal
+
+    def test_mixed_convention_requires_volume(self):
+        assert not compare_species_initial(
+            1e-6, 602.2, False, True, None
+        ).equal
+        assert not compare_species_initial(
+            1e-6, 602.2, False, True, 0.0
+        ).equal
+
+    def test_mixed_convention_mismatch(self):
+        assert not compare_species_initial(
+            1e-6, 999.0, False, True, 1e-15
+        ).equal
+
+
+class TestReconcileRateConstants:
+    def test_plain_equality(self):
+        assert reconcile_rate_constants(0.5, 0.5, 1, None).equal
+
+    def test_first_order_identity(self):
+        # Order 1: deterministic == stochastic, no conversion needed.
+        assert reconcile_rate_constants(0.7, 0.7, 1, 1e-15).equal
+
+    def test_zeroth_order_conversion(self):
+        volume = 1e-15
+        k = 2.0
+        c = AVOGADRO * k * volume
+        comparison = reconcile_rate_constants(k, c, 0, volume)
+        assert comparison.equal
+        assert "conversion" in comparison.note
+
+    def test_second_order_conversion(self):
+        volume = 1e-15
+        k = 1e6
+        c = k / (AVOGADRO * volume)
+        assert reconcile_rate_constants(k, c, 2, volume).equal
+
+    def test_second_order_conversion_reversed(self):
+        volume = 1e-15
+        k = 1e6
+        c = k / (AVOGADRO * volume)
+        assert reconcile_rate_constants(c, k, 2, volume).equal
+
+    def test_unrelated_constants_conflict(self):
+        assert not reconcile_rate_constants(1.0, 7.0, 1, 1e-15).equal
+
+    def test_requires_volume(self):
+        assert not reconcile_rate_constants(1.0, 6.022e8, 2, None).equal
+
+    def test_unsupported_order(self):
+        # Order 3 has no Figure 6 rule: only plain equality counts.
+        assert not reconcile_rate_constants(1.0, 2.0, 3, 1e-15).equal
+        assert reconcile_rate_constants(1.5, 1.5, 3, 1e-15).equal

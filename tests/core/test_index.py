@@ -1,0 +1,86 @@
+"""Unit tests for the three component-index strategies."""
+
+import pytest
+
+from repro.core import HashIndex, LinearIndex, SortedKeyIndex, make_index
+
+STRATEGIES = [HashIndex, LinearIndex, SortedKeyIndex]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestIndexContract:
+    def test_empty_index_finds_nothing(self, strategy):
+        index = strategy()
+        assert index.find(["id:x"]) is None
+        assert len(index) == 0
+
+    def test_add_and_find_single_key(self, strategy):
+        index = strategy()
+        index.add(["id:a"], "component_a")
+        assert index.find(["id:a"]) == "component_a"
+
+    def test_find_by_any_key(self, strategy):
+        index = strategy()
+        index.add(["id:a", "name:alpha"], "component_a")
+        assert index.find(["name:alpha"]) == "component_a"
+        assert index.find(["id:a"]) == "component_a"
+
+    def test_miss_returns_none(self, strategy):
+        index = strategy()
+        index.add(["id:a"], "component_a")
+        assert index.find(["id:b"]) is None
+
+    def test_first_registration_wins(self, strategy):
+        # Figure 5 keeps S1: the earliest component under a key must
+        # keep winning lookups.
+        index = strategy()
+        index.add(["name:shared"], "first")
+        index.add(["name:shared"], "second")
+        assert index.find(["name:shared"]) == "first"
+
+    def test_multiple_probe_keys_first_hit(self, strategy):
+        index = strategy()
+        index.add(["id:a"], "A")
+        index.add(["id:b"], "B")
+        assert index.find(["id:missing", "id:b"]) == "B"
+
+    def test_len_counts_components(self, strategy):
+        index = strategy()
+        index.add(["id:a", "name:a"], "A")
+        index.add(["id:b"], "B")
+        assert len(index) == 2
+
+    def test_many_entries(self, strategy):
+        index = strategy()
+        for i in range(200):
+            index.add([f"id:c{i}", f"name:n{i}"], i)
+        assert index.find(["id:c137"]) == 137
+        assert index.find(["name:n42"]) == 42
+        assert index.find(["id:c999"]) is None
+
+
+def test_make_index_strategies():
+    assert isinstance(make_index("hash"), HashIndex)
+    assert isinstance(make_index("linear"), LinearIndex)
+    assert isinstance(make_index("sorted"), SortedKeyIndex)
+
+
+def test_make_index_unknown():
+    with pytest.raises(ValueError):
+        make_index("btree")
+
+
+def test_strategies_agree_on_random_workload():
+    import random
+
+    rng = random.Random(7)
+    indexes = [HashIndex(), LinearIndex(), SortedKeyIndex()]
+    keys = [f"k{i}" for i in range(50)]
+    for step in range(300):
+        chosen = rng.sample(keys, rng.randint(1, 3))
+        for index in indexes:
+            index.add(list(chosen), step)
+    for probe in range(100):
+        chosen = rng.sample(keys, rng.randint(1, 3))
+        results = {index.find(list(chosen)) for index in indexes}
+        assert len(results) == 1, f"strategies disagree on {chosen}"

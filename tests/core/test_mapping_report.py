@@ -1,0 +1,108 @@
+"""Unit tests for IdMapping and MergeReport."""
+
+from repro.core import IdMapping, MergeReport
+from repro.mathml import parse_infix
+
+
+class TestIdMapping:
+    def test_empty_resolves_identity(self):
+        mapping = IdMapping()
+        assert mapping.resolve("x") == "x"
+        assert mapping.resolve(None) is None
+
+    def test_simple_mapping(self):
+        mapping = IdMapping()
+        mapping.add("old", "new")
+        assert mapping.resolve("old") == "new"
+        assert "old" in mapping
+        assert len(mapping) == 1
+
+    def test_identity_mapping_is_noop(self):
+        mapping = IdMapping()
+        mapping.add("x", "x")
+        assert len(mapping) == 0
+
+    def test_chain_resolution(self):
+        mapping = IdMapping()
+        mapping.add("a", "b")
+        mapping.add("b", "c")
+        assert mapping.resolve("a") == "c"
+
+    def test_cycle_terminates(self):
+        mapping = IdMapping()
+        mapping.add("a", "b")
+        mapping.add("b", "a")
+        assert mapping.resolve("a") in ("a", "b")
+
+    def test_rewrite_math(self):
+        mapping = IdMapping({"old": "new"})
+        rewritten = mapping.rewrite_math(parse_infix("k * old"))
+        assert rewritten == parse_infix("k * new")
+
+    def test_rewrite_math_empty_mapping_returns_same(self):
+        mapping = IdMapping()
+        math = parse_infix("k * x")
+        assert mapping.rewrite_math(math) is math
+
+    def test_rewrite_none(self):
+        assert IdMapping({"a": "b"}).rewrite_math(None) is None
+
+    def test_as_dict_resolves_chains(self):
+        mapping = IdMapping()
+        mapping.add("a", "b")
+        mapping.add("b", "c")
+        assert mapping.as_dict() == {"a": "c", "b": "c"}
+
+
+class TestMergeReport:
+    def test_warn_accumulates(self):
+        report = MergeReport()
+        report.warn("test", "something odd", "species", "A")
+        assert len(report.warnings) == 1
+        assert "something odd" in str(report.warnings[0])
+
+    def test_conflict_also_warns(self):
+        report = MergeReport()
+        report.conflict("species", "A", "initial value", 1.0, 2.0)
+        assert len(report.conflicts) == 1
+        assert len(report.warnings) == 1
+        assert report.has_conflicts()
+
+    def test_map_id_skips_identity(self):
+        report = MergeReport()
+        report.map_id("x", "x")
+        assert report.mappings == {}
+
+    def test_rename_records_both(self):
+        report = MergeReport()
+        report.rename("k", "k_m2")
+        assert report.renamed == {"k": "k_m2"}
+        assert report.mappings == {"k": "k_m2"}
+
+    def test_count_added(self):
+        report = MergeReport()
+        report.count_added("species")
+        report.count_added("species")
+        report.count_added("reaction")
+        assert report.added == {"species": 2, "reaction": 1}
+        assert report.total_added == 3
+
+    def test_log_text_contains_decisions(self):
+        report = MergeReport()
+        report.duplicate("species", "A", "A2")
+        report.rename("k", "k_m2")
+        report.conflict("species", "A", "initial value", 1.0, 2.0)
+        text = report.log_text()
+        assert "DUPLICATE" in text
+        assert "A2 == A" in text
+        assert "RENAMED k -> k_m2" in text
+        assert "CONFLICT" not in text  # conflicts surface as warnings
+        assert "WARNING" in text
+
+    def test_summary_counts(self):
+        report = MergeReport()
+        report.duplicate("species", "A", "A")
+        report.count_added("species")
+        summary = report.summary()
+        assert "1 duplicate(s)" in summary
+        assert "1 component(s) added" in summary

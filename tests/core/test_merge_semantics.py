@@ -1,0 +1,228 @@
+"""Merge semantics fixtures from the paper's Figures 1-3.
+
+* Figure 1: merging two identical models (A -> B <-> C) yields the
+  same model ("where models are identical, the result is the same as
+  either of the models").
+* Figure 2: merging two disjoint models (A -> B -> C and D -> E) is
+  their disjoint union.
+* Figure 3: merging models sharing species and reactions
+  (A -> B <-> C -> D with A -> B -> C) unites the shared nodes and
+  edges.
+"""
+
+import pytest
+
+from repro import ModelBuilder, compose
+from repro.sbml import validate_model
+
+
+def figure1_model(model_id="fig1"):
+    """A -k1-> B, B <->(k2,k3) C (the paper's Figure 1 network)."""
+    return (
+        ModelBuilder(model_id)
+        .compartment("cell", size=1.0)
+        .species("A", 10.0)
+        .species("B", 0.0)
+        .species("C", 0.0)
+        .parameter("k1", 0.5)
+        .parameter("k2", 0.3)
+        .parameter("k3", 0.1)
+        .mass_action("r1", ["A"], ["B"], "k1")
+        .mass_action("r2", ["B"], ["C"], "k2")
+        .mass_action("r3", ["C"], ["B"], "k3")
+        .build()
+    )
+
+
+class TestFigure1Identical:
+    def test_species_unchanged(self):
+        merged, report = compose(figure1_model(), figure1_model("fig1b"))
+        assert sorted(s.id for s in merged.species) == ["A", "B", "C"]
+
+    def test_reactions_unchanged(self):
+        merged, _ = compose(figure1_model(), figure1_model("fig1b"))
+        assert sorted(r.id for r in merged.reactions) == ["r1", "r2", "r3"]
+
+    def test_parameters_unchanged(self):
+        merged, _ = compose(figure1_model(), figure1_model("fig1b"))
+        assert sorted(p.id for p in merged.parameters) == ["k1", "k2", "k3"]
+
+    def test_network_size_unchanged(self):
+        base = figure1_model()
+        merged, _ = compose(base, figure1_model("fig1b"))
+        assert merged.network_size() == base.network_size()
+
+    def test_no_conflicts(self):
+        _, report = compose(figure1_model(), figure1_model("fig1b"))
+        assert not report.has_conflicts()
+
+    def test_everything_united(self):
+        _, report = compose(figure1_model(), figure1_model("fig1b"))
+        # compartment + 3 species + 3 params + 3 reactions = 10 duplicates
+        assert len(report.duplicates) == 10
+        assert report.total_added == 0
+
+    def test_result_valid(self):
+        merged, _ = compose(figure1_model(), figure1_model("fig1b"))
+        assert validate_model(merged) == []
+
+
+class TestFigure2Disjoint:
+    def model_abc(self):
+        """A -k1-> B -k2-> C."""
+        return (
+            ModelBuilder("abc")
+            .compartment("cell", size=1.0)
+            .species("A", 10.0)
+            .species("B", 0.0)
+            .species("C", 0.0)
+            .parameter("k1", 0.5)
+            .parameter("k2", 0.3)
+            .mass_action("r1", ["A"], ["B"], "k1")
+            .mass_action("r2", ["B"], ["C"], "k2")
+            .build()
+        )
+
+    def model_de(self):
+        """D -k3-> E."""
+        return (
+            ModelBuilder("de")
+            .compartment("cell", size=1.0)
+            .species("D", 5.0)
+            .species("E", 0.0)
+            .parameter("k3", 0.2)
+            .mass_action("r3", ["D"], ["E"], "k3")
+            .build()
+        )
+
+    def test_union_of_species(self):
+        merged, _ = compose(self.model_abc(), self.model_de())
+        assert sorted(s.id for s in merged.species) == [
+            "A", "B", "C", "D", "E",
+        ]
+
+    def test_union_of_reactions(self):
+        merged, _ = compose(self.model_abc(), self.model_de())
+        assert sorted(r.id for r in merged.reactions) == ["r1", "r2", "r3"]
+
+    def test_sizes_add(self):
+        first, second = self.model_abc(), self.model_de()
+        merged, _ = compose(first, second)
+        # Shared compartment is united; species/reactions add up.
+        assert merged.num_nodes() == first.num_nodes() + second.num_nodes()
+        assert merged.num_edges() == first.num_edges() + second.num_edges()
+
+    def test_compartment_united(self):
+        merged, report = compose(self.model_abc(), self.model_de())
+        assert len(merged.compartments) == 1
+        assert not report.has_conflicts()
+
+    def test_result_valid(self):
+        merged, _ = compose(self.model_abc(), self.model_de())
+        assert validate_model(merged) == []
+
+
+class TestFigure3SharedSubnetwork:
+    def model_with_d(self):
+        """A -> B <-> C -> D (Figure 3a)."""
+        return (
+            ModelBuilder("with_d")
+            .compartment("cell", size=1.0)
+            .species("A", 10.0)
+            .species("B", 0.0)
+            .species("C", 0.0)
+            .species("D", 0.0)
+            .parameter("k1", 0.5)
+            .parameter("k2", 0.3)
+            .parameter("k3", 0.1)
+            .parameter("k4", 0.05)
+            .mass_action("r1", ["A"], ["B"], "k1")
+            .mass_action("r2", ["B"], ["C"], "k2")
+            .mass_action("r3", ["C"], ["B"], "k3")
+            .mass_action("r4", ["C"], ["D"], "k4")
+            .build()
+        )
+
+    def model_without_d(self):
+        """A -> B -> C (Figure 3b), sharing A, B, C, r1, r2."""
+        return (
+            ModelBuilder("without_d")
+            .compartment("cell", size=1.0)
+            .species("A", 10.0)
+            .species("B", 0.0)
+            .species("C", 0.0)
+            .parameter("k1", 0.5)
+            .parameter("k2", 0.3)
+            .mass_action("r1", ["A"], ["B"], "k1")
+            .mass_action("r2", ["B"], ["C"], "k2")
+            .build()
+        )
+
+    def test_result_is_superset_model(self):
+        merged, _ = compose(self.model_with_d(), self.model_without_d())
+        assert sorted(s.id for s in merged.species) == ["A", "B", "C", "D"]
+        assert sorted(r.id for r in merged.reactions) == [
+            "r1", "r2", "r3", "r4",
+        ]
+
+    def test_matches_figure3c_size(self):
+        # Figure 3(c) == Figure 3(a): the smaller model adds nothing.
+        expected = self.model_with_d()
+        merged, _ = compose(self.model_with_d(), self.model_without_d())
+        assert merged.network_size() == expected.network_size()
+
+    def test_shared_components_united(self):
+        _, report = compose(self.model_with_d(), self.model_without_d())
+        united_species = {
+            d.first_id
+            for d in report.duplicates
+            if d.component_type == "species"
+        }
+        assert united_species == {"A", "B", "C"}
+        united_reactions = {
+            d.first_id
+            for d in report.duplicates
+            if d.component_type == "reaction"
+        }
+        assert united_reactions == {"r1", "r2"}
+
+    def test_order_insensitive_size(self):
+        forward, _ = compose(self.model_with_d(), self.model_without_d())
+        backward, _ = compose(self.model_without_d(), self.model_with_d())
+        assert forward.network_size() == backward.network_size()
+        assert {s.id for s in forward.species} == {
+            s.id for s in backward.species
+        }
+
+    def test_result_valid(self):
+        merged, _ = compose(self.model_with_d(), self.model_without_d())
+        assert validate_model(merged) == []
+
+
+class TestEmptyModelShortcut:
+    """Figure 5 lines 1-2: composing with an empty model returns the
+    other model."""
+
+    def test_first_empty(self):
+        empty = ModelBuilder("empty").build()
+        full = figure1_model()
+        merged, report = compose(empty, full)
+        assert merged.network_size() == full.network_size()
+        assert not report.duplicates
+
+    def test_second_empty(self):
+        empty = ModelBuilder("empty").build()
+        full = figure1_model()
+        merged, _ = compose(full, empty)
+        assert merged.network_size() == full.network_size()
+
+    def test_both_empty(self):
+        merged, _ = compose(ModelBuilder("e1").build(), ModelBuilder("e2").build())
+        assert merged.is_empty()
+
+    def test_inputs_not_mutated(self):
+        first = figure1_model()
+        second = figure1_model("other")
+        before = first.component_count(), second.component_count()
+        compose(first, second)
+        assert (first.component_count(), second.component_count()) == before

@@ -1,0 +1,168 @@
+"""Semantics modes and index strategies (paper §5 future work).
+
+The paper proposes comparing composition under heavy semantics (the
+shipped method), light semantics, and no semantics.  These tests pin
+down what each mode may and may not match.
+"""
+
+import pytest
+
+from repro import ModelBuilder, compose, ComposeOptions
+
+
+def model_atp(model_id, species_id, species_name):
+    return (
+        ModelBuilder(model_id)
+        .compartment("cell", size=1.0)
+        .species(species_id, 1.0, name=species_name)
+        .build()
+    )
+
+
+class TestHeavySemantics:
+    def test_synonyms_matched(self):
+        merged, _ = compose(
+            model_atp("a", "atp", "ATP"),
+            model_atp("b", "x1", "adenosine triphosphate"),
+            ComposeOptions(semantics="heavy"),
+        )
+        assert len(merged.species) == 1
+
+    def test_commutative_math_matched(self):
+        a = (
+            ModelBuilder("a").compartment("c").species("A", 1.0)
+            .parameter("k", 1.0).reaction("r1", ["A"], [], formula="k*A")
+            .build()
+        )
+        b = (
+            ModelBuilder("b").compartment("c").species("A", 1.0)
+            .parameter("k", 1.0).reaction("r2", ["A"], [], formula="A*k")
+            .build()
+        )
+        merged, _ = compose(a, b, ComposeOptions(semantics="heavy"))
+        assert len(merged.reactions) == 1
+
+
+class TestLightSemantics:
+    def test_exact_ids_still_match(self):
+        merged, _ = compose(
+            model_atp("a", "atp", None),
+            model_atp("b", "atp", None),
+            ComposeOptions(semantics="light"),
+        )
+        assert len(merged.species) == 1
+
+    def test_synonyms_not_matched(self):
+        merged, _ = compose(
+            model_atp("a", "atp", "ATP"),
+            model_atp("b", "x1", "adenosine triphosphate"),
+            ComposeOptions(semantics="light"),
+        )
+        assert len(merged.species) == 2
+
+    def test_case_differences_not_matched(self):
+        merged, _ = compose(
+            model_atp("a", "s1", "ATP"),
+            model_atp("b", "s2", "atp"),
+            ComposeOptions(semantics="light"),
+        )
+        assert len(merged.species) == 2
+
+    def test_unit_conversion_disabled(self):
+        a = (
+            ModelBuilder("a").compartment("cell", size=1.0, units="litre")
+            .build()
+        )
+        b = (
+            ModelBuilder("b")
+            .unit("ml", [("litre", 1, -3, 1.0)])
+            .compartment("cell", size=1000.0, units="ml")
+            .build()
+        )
+        options = ComposeOptions(semantics="light", convert_units=False)
+        _, report = compose(a, b, options)
+        assert report.has_conflicts()  # no conversion: sizes conflict
+
+    def test_commutative_math_not_matched_without_patterns(self):
+        a = (
+            ModelBuilder("a").compartment("c").species("A", 1.0)
+            .species("B", 1.0).parameter("k", 1.0)
+            .reaction("r1", ["A", "B"], [], formula="k*A*B")
+            .build()
+        )
+        b = (
+            ModelBuilder("b").compartment("c").species("A", 1.0)
+            .species("B", 1.0).parameter("k", 1.0)
+            .reaction("r2", ["A", "B"], [], formula="B*k*A")
+            .build()
+        )
+        options = ComposeOptions(semantics="light", use_math_patterns=False)
+        merged, report = compose(a, b, options)
+        # Same structure so the reaction is united, but the laws are
+        # *not* recognised as equal: a conflict is logged.
+        assert len(merged.reactions) == 1
+        assert report.has_conflicts()
+
+
+class TestNoSemantics:
+    def test_nothing_matched(self):
+        merged, report = compose(
+            model_atp("a", "atp", None),
+            model_atp("b", "atp", None),
+            ComposeOptions(semantics="none"),
+        )
+        # Pure structural union: even identical ids are kept apart.
+        assert len(merged.species) == 2
+        assert "atp" in report.renamed
+
+    def test_size_is_sum(self):
+        a = (
+            ModelBuilder("a").compartment("c").species("A", 1.0)
+            .parameter("k", 1.0).mass_action("r", ["A"], [], "k")
+            .build()
+        )
+        merged, _ = compose(a, a.copy(), ComposeOptions(semantics="none"))
+        assert merged.num_nodes() == 2 * a.num_nodes()
+        assert len(merged.reactions) == 2 * len(a.reactions)
+
+
+class TestIndexStrategiesProduceSameResult:
+    @pytest.mark.parametrize("index", ["hash", "linear", "sorted"])
+    def test_same_composition(self, index):
+        a = (
+            ModelBuilder("a").compartment("cell", size=1.0)
+            .species("A", 1.0).species("B", 0.0)
+            .parameter("k1", 0.5)
+            .mass_action("r1", ["A"], ["B"], "k1")
+            .build()
+        )
+        b = (
+            ModelBuilder("b").compartment("cell", size=1.0)
+            .species("B", 0.0).species("C", 0.0)
+            .parameter("k2", 0.3)
+            .mass_action("r2", ["B"], ["C"], "k2")
+            .build()
+        )
+        merged, report = compose(a, b, ComposeOptions(index=index))
+        assert sorted(s.id for s in merged.species) == ["A", "B", "C"]
+        assert sorted(r.id for r in merged.reactions) == ["r1", "r2"]
+        assert len(merged.compartments) == 1
+
+
+class TestOptionValidation:
+    def test_bad_semantics(self):
+        with pytest.raises(ValueError):
+            ComposeOptions(semantics="extreme")
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            ComposeOptions(index="quantum")
+
+    def test_bad_conflicts(self):
+        with pytest.raises(ValueError):
+            ComposeOptions(conflicts="ignore")
+
+    def test_values_equal_tolerance(self):
+        options = ComposeOptions(value_tolerance=1e-6)
+        assert options.values_equal(1.0, 1.0 + 1e-9)
+        assert not options.values_equal(1.0, 1.01)

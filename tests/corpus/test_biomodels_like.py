@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic BioModels-like corpus."""
+
+import pytest
+
+from repro.corpus import (
+    CORPUS_SIZE,
+    MAX_EDGES,
+    MAX_NODES,
+    corpus_by_size,
+    generate_corpus,
+)
+from repro.sbml import validate_model
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus()
+
+
+def test_exact_count(corpus):
+    assert len(corpus) == CORPUS_SIZE == 187
+
+
+def test_node_range_matches_paper(corpus):
+    node_counts = [model.num_nodes() for model in corpus]
+    assert min(node_counts) == 0
+    assert max(node_counts) == MAX_NODES == 194
+
+
+def test_edge_range_matches_paper(corpus):
+    edge_counts = [model.num_edges() for model in corpus]
+    assert min(edge_counts) == 0
+    assert max(edge_counts) <= MAX_EDGES == 313
+    # The corpus must actually exercise large edge counts.
+    assert max(edge_counts) > 250
+
+
+def test_sizes_skewed_small(corpus):
+    sizes = sorted(model.network_size() for model in corpus)
+    median = sizes[len(sizes) // 2]
+    assert median < sizes[-1] / 3  # long tail of large models
+
+
+def test_deterministic(corpus):
+    again = generate_corpus()
+    for a, b in zip(corpus, again):
+        assert a.id == b.id
+        assert a.network_size() == b.network_size()
+        assert [s.id for s in a.species] == [s.id for s in b.species]
+
+
+def test_different_seed_differs():
+    a = generate_corpus(count=20, seed=1)
+    b = generate_corpus(count=20, seed=2)
+    sizes_a = [m.network_size() for m in a]
+    sizes_b = [m.network_size() for m in b]
+    species_a = [tuple(s.id for s in m.species) for m in a]
+    species_b = [tuple(s.id for s in m.species) for m in b]
+    assert sizes_a != sizes_b or species_a != species_b
+
+
+def test_all_models_valid(corpus):
+    for model in corpus:
+        errors = [
+            issue
+            for issue in validate_model(model)
+            if issue.severity == "error"
+        ]
+        assert errors == [], f"{model.id}: {errors[:3]}"
+
+
+def test_models_overlap(corpus):
+    # Models must share species, otherwise composition never merges
+    # anything and the Fig 8 benchmark is meaningless.
+    sizable = [m for m in corpus if m.num_nodes() >= 10]
+    overlaps = 0
+    for first, second in zip(sizable, sizable[1:]):
+        ids_a = {s.id for s in first.species}
+        ids_b = {s.id for s in second.species}
+        if ids_a & ids_b:
+            overlaps += 1
+    assert overlaps > len(sizable) / 4
+
+
+def test_unique_model_ids(corpus):
+    ids = [model.id for model in corpus]
+    assert len(set(ids)) == len(ids)
+
+
+def test_corpus_by_size_sorted(corpus):
+    ordered = corpus_by_size(corpus)
+    sizes = [model.network_size() for model in ordered]
+    assert sizes == sorted(sizes)
+    assert len(ordered) == len(corpus)
+
+
+def test_kinetics_variety(corpus):
+    # The generator must produce reversible reactions, modifiers and
+    # multi-reactant shapes somewhere in the corpus.
+    has_reversible = has_modifier = has_binding = False
+    for model in corpus:
+        for reaction in model.reactions:
+            if reaction.reversible:
+                has_reversible = True
+            if reaction.modifiers:
+                has_modifier = True
+            if len(reaction.reactants) >= 2:
+                has_binding = True
+    assert has_reversible and has_modifier and has_binding
+
+
+def test_some_models_have_rules_and_events(corpus):
+    assert any(model.rules for model in corpus)
+    assert any(model.events for model in corpus)
+
+
+def test_empty_model_present(corpus):
+    assert any(model.network_size() == 0 for model in corpus)

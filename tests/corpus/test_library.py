@@ -1,0 +1,150 @@
+"""Unit tests for the part library."""
+
+import pytest
+
+from repro import ModelBuilder
+from repro.corpus.library import PartLibrary
+from repro.errors import ReproError
+from repro.sbml import validate_model
+
+
+def atp_part():
+    return (
+        ModelBuilder("atp_cycle")
+        .compartment("cytosol", size=1.0)
+        .species("atp", 3.0, name="ATP")
+        .species("adp", 0.5, name="ADP")
+        .parameter("k_use", 0.4)
+        .mass_action("use", ["atp"], ["adp"], "k_use")
+        .build()
+    )
+
+
+def glucose_part():
+    return (
+        ModelBuilder("glucose_entry")
+        .compartment("cytosol", size=1.0)
+        .species("glc", 5.0, name="glucose")
+        .species("g6p", 0.0, name="glucose-6-phosphate")
+        .species("atp", 3.0, name="adenosine triphosphate")
+        .species("adp", 0.5, name="adenosine diphosphate")
+        .parameter("k_hk", 0.9)
+        .reaction(
+            "hk", ["glc", "atp"], ["g6p", "adp"], formula="k_hk*glc*atp"
+        )
+        .build()
+    )
+
+
+def calcium_part():
+    return (
+        ModelBuilder("calcium_release")
+        .compartment("cytosol", size=1.0)
+        .species("ca", 0.1, name="calcium")
+        .species("ip3", 0.05, name="IP3")
+        .parameter("k_rel", 0.7)
+        .mass_action("release", ["ip3"], ["ca"], "k_rel")
+        .build()
+    )
+
+
+@pytest.fixture
+def library():
+    lib = PartLibrary()
+    lib.register(atp_part(), tags=["energy", "currency"])
+    lib.register(glucose_part(), tags=["glycolysis", "energy"])
+    lib.register(calcium_part(), tags=["signalling"])
+    return lib
+
+
+class TestRegistration:
+    def test_register_and_len(self, library):
+        assert len(library) == 3
+        assert "atp_cycle" in library
+
+    def test_duplicate_name_rejected(self, library):
+        with pytest.raises(ReproError):
+            library.register(atp_part())
+
+    def test_nameless_part_rejected(self):
+        lib = PartLibrary()
+        from repro.sbml import Model
+
+        with pytest.raises(ReproError):
+            lib.register(Model())
+
+    def test_get_unknown_rejected(self, library):
+        with pytest.raises(ReproError):
+            library.get("nothing")
+
+    def test_provides_canonicalised(self, library):
+        entry = library.get("glucose_entry")
+        # "adenosine triphosphate" canonicalises to the ATP ring head.
+        atp_entry = library.get("atp_cycle")
+        assert set(entry.provides) & set(atp_entry.provides)
+
+
+class TestSearch:
+    def test_find_by_tag(self, library):
+        names = [e.name for e in library.find_by_tag("energy")]
+        assert names == ["atp_cycle", "glucose_entry"]
+
+    def test_find_by_species_exact(self, library):
+        names = [e.name for e in library.find_by_species("calcium")]
+        assert names == ["calcium_release"]
+
+    def test_find_by_species_synonym(self, library):
+        # Ca2+ is a synonym of calcium in the built-in table.
+        names = [e.name for e in library.find_by_species("Ca2+")]
+        assert names == ["calcium_release"]
+
+    def test_find_atp_across_spellings(self, library):
+        names = [e.name for e in library.find_by_species("ATP")]
+        assert set(names) == {"atp_cycle", "glucose_entry"}
+
+
+class TestCover:
+    def test_cover_single_part(self, library):
+        parts = library.cover(["calcium"])
+        assert [p.name for p in parts] == ["calcium_release"]
+
+    def test_cover_multiple_parts(self, library):
+        parts = library.cover(["glucose", "calcium"])
+        assert {p.name for p in parts} == {
+            "glucose_entry", "calcium_release",
+        }
+
+    def test_cover_prefers_fewer_parts(self, library):
+        # glucose_entry alone provides glucose AND atp.
+        parts = library.cover(["glucose", "ATP"])
+        assert [p.name for p in parts] == ["glucose_entry"]
+
+    def test_cover_impossible(self, library):
+        with pytest.raises(ReproError):
+            library.cover(["unobtainium"])
+
+
+class TestAssembly:
+    def test_assemble_two_parts(self, library):
+        model, reports = library.assemble(["atp_cycle", "glucose_entry"])
+        assert model.id == "assembled"
+        # ATP/ADP united across the parts: 4 species, not 6.
+        assert model.num_nodes() == 4
+        assert len(reports) == 2
+        assert validate_model(model) == []
+
+    def test_assemble_empty_rejected(self, library):
+        with pytest.raises(ReproError):
+            library.assemble([])
+
+    def test_assemble_for_species(self, library):
+        model, _ = library.assemble_for(["glucose", "calcium"])
+        names = {s.name for s in model.species}
+        assert "glucose" in names
+        assert "calcium" in names
+        assert validate_model(model) == []
+
+    def test_assembly_order_preserves_first_values(self, library):
+        model, _ = library.assemble(["atp_cycle", "glucose_entry"])
+        atp = next(s for s in model.species if (s.name or "").upper() == "ATP")
+        assert atp.initial_concentration == 3.0

@@ -1,0 +1,153 @@
+"""Unit tests for the 17-model suite and the curated pathways."""
+
+import numpy as np
+import pytest
+
+from repro import compose
+from repro.corpus import (
+    SUITE_SIZE,
+    drug_inhibition,
+    gene_expression,
+    glycolysis_lower,
+    glycolysis_upper,
+    lotka_volterra,
+    mapk_cascade,
+    semantic_suite,
+)
+from repro.sbml import validate_model
+from repro.sim import GillespieSimulator, simulate
+
+
+class TestSemanticSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return semantic_suite()
+
+    def test_exactly_17_models(self, suite):
+        assert len(suite) == SUITE_SIZE == 17
+
+    def test_node_counts_4_to_7(self, suite):
+        for model in suite:
+            assert 4 <= model.num_nodes() <= 7, model.id
+
+    def test_edge_counts_0_to_3(self, suite):
+        for model in suite:
+            assert 0 <= model.num_edges() <= 3, model.id
+
+    def test_all_annotated(self, suite):
+        # The paper: "all models already annotated biologically".
+        for model in suite:
+            for species in model.species:
+                assert species.annotations.get("is"), (
+                    f"{model.id}/{species.id} lacks annotation"
+                )
+
+    def test_all_valid(self, suite):
+        for model in suite:
+            errors = [
+                issue
+                for issue in validate_model(model)
+                if issue.severity == "error"
+            ]
+            assert errors == [], f"{model.id}: {errors[:3]}"
+
+    def test_annotations_consistent_across_models(self, suite):
+        # ATP in one model carries the same URI as ATP in another —
+        # required for annotation-based identity in the baseline.
+        uris = {}
+        for model in suite:
+            for species in model.species:
+                if species.name and "ATP" == species.name:
+                    uris[model.id] = species.annotations["is"][0]
+        assert len(set(uris.values())) == 1
+
+    def test_synonymous_names_share_uri(self, suite):
+        by_model = {model.id: model for model in suite}
+        atp_short = by_model["energy_core"].get_species("atp")
+        atp_long = by_model["storage_na"].get_species("atp")
+        assert atp_short.annotations["is"] == atp_long.annotations["is"]
+
+    def test_some_models_reaction_free(self, suite):
+        assert any(model.num_edges() == 0 for model in suite)
+
+    def test_deterministic(self):
+        first = semantic_suite()
+        second = semantic_suite()
+        for a, b in zip(first, second):
+            assert a.id == b.id
+            assert [s.annotations for s in a.species] == [
+                s.annotations for s in b.species
+            ]
+
+
+class TestCuratedModels:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            glycolysis_upper,
+            glycolysis_lower,
+            mapk_cascade,
+            drug_inhibition,
+            gene_expression,
+            lotka_volterra,
+        ],
+    )
+    def test_valid(self, factory):
+        model = factory()
+        errors = [
+            issue
+            for issue in validate_model(model)
+            if issue.severity == "error"
+        ]
+        assert errors == [], f"{model.id}: {errors[:3]}"
+
+    def test_glycolysis_halves_share_species(self):
+        upper = {s.name for s in glycolysis_upper().species}
+        lower = {s.name for s in glycolysis_lower().species}
+        shared = upper & lower
+        assert "glyceraldehyde-3-phosphate" in shared
+        assert "ATP" in shared
+
+    def test_glycolysis_composes_into_full_pathway(self):
+        merged, report = compose(glycolysis_upper(), glycolysis_lower())
+        # Shared: g3p, atp, adp (+ compartment).
+        united_species = {
+            d.first_id
+            for d in report.duplicates
+            if d.component_type == "species"
+        }
+        assert {"g3p", "atp", "adp"} <= united_species
+        assert validate_model(merged) == []
+        # The full pathway converts glucose into pyruvate.
+        trace = simulate(merged, t_end=20.0, steps=2000)
+        assert trace.final()["pyr"] > 0.1
+
+    def test_mapk_cascade_activates(self):
+        trace = simulate(mapk_cascade(), t_end=50.0, steps=2000)
+        assert trace.final()["mapk_p"] > 0.2
+
+    def test_drug_overlay_reduces_flux(self):
+        # The drug-interaction scenario: composing the inhibitor
+        # overlay slows glucose consumption into the pathway.
+        plain = simulate(glycolysis_upper(), t_end=5.0, steps=500)
+        merged, _ = compose(glycolysis_upper(), drug_inhibition())
+        assert validate_model(merged) == []
+        dosed = simulate(merged, t_end=5.0, steps=500)
+        assert dosed.final()["glc"] < plain.final()["glc"]
+        assert dosed.final()["drug_glc"] > 0.0
+
+    def test_gene_expression_stochastic(self):
+        traces = GillespieSimulator(gene_expression()).run_many(
+            5, 20.0, seed=3
+        )
+        finals = [t.final()["protein"] for t in traces]
+        assert np.mean(finals) > 10
+
+    def test_lotka_volterra_oscillates(self):
+        trace = GillespieSimulator(lotka_volterra()).run(
+            10.0, np.random.default_rng(11)
+        )
+        prey = trace.column("prey")
+        # Both growth and decline phases appear.
+        diffs = np.diff(prey)
+        assert (diffs > 0).any() and (diffs < 0).any()

@@ -1,0 +1,139 @@
+"""Unit tests for the PLTL property language (§4.1.4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PropertyError
+from repro.eval import check_trace, parse_property
+from repro.eval.ltl import Atom, Finally, Globally, Implies, Next, Until
+from repro.sim import Trace
+
+
+@pytest.fixture
+def decay_trace():
+    times = np.linspace(0, 10, 101)
+    return Trace(times, {"A": 10 * np.exp(-times), "B": 10 - 10 * np.exp(-times)})
+
+
+@pytest.fixture
+def step_trace():
+    # A: 0 for t<5, then 1.  B: always 2.
+    times = np.linspace(0, 10, 101)
+    return Trace(
+        times, {"A": (times >= 5).astype(float), "B": np.full(101, 2.0)}
+    )
+
+
+class TestParsing:
+    def test_atom(self):
+        formula = parse_property("A > 5")
+        assert isinstance(formula, Atom)
+
+    def test_concentration_brackets(self):
+        formula = parse_property("[A] > 5")
+        assert isinstance(formula, Atom)
+
+    def test_temporal_operators(self):
+        assert isinstance(parse_property("G (A > 0)"), Globally)
+        assert isinstance(parse_property("F (A > 0)"), Finally)
+        assert isinstance(parse_property("X (A > 0)"), Next)
+        assert isinstance(parse_property("(A > 0) U (B > 0)"), Until)
+
+    def test_time_bounds(self):
+        formula = parse_property("F[0, 5] (A > 0.5)")
+        assert isinstance(formula, Finally)
+        assert formula.bound == (0.0, 5.0)
+
+    def test_implication(self):
+        formula = parse_property("(A > 5) -> F (B > 5)")
+        assert isinstance(formula, Implies)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PropertyError):
+            parse_property("   ")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(PropertyError):
+            parse_property("(A > 5")
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(PropertyError):
+            parse_property("F[5, 1] (A > 0)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PropertyError):
+            parse_property("A > 5 ) B")
+
+
+class TestSemantics:
+    def test_atom_at_start(self, decay_trace):
+        assert check_trace("A > 5", decay_trace)
+        assert not check_trace("A < 5", decay_trace)
+
+    def test_globally(self, decay_trace):
+        assert check_trace("G (A >= 0)", decay_trace)
+        assert not check_trace("G (A > 5)", decay_trace)
+
+    def test_finally(self, decay_trace):
+        assert check_trace("F (B > 9)", decay_trace)
+        assert not check_trace("F (A > 100)", decay_trace)
+
+    def test_conservation_invariant(self, decay_trace):
+        # A + B == 10 throughout (within float tolerance).
+        assert check_trace("G (A + B > 9.99 & A + B < 10.01)", decay_trace)
+
+    def test_until(self, step_trace):
+        # B stays 2 until A becomes 1.
+        assert check_trace("(B == 2) U (A == 1)", step_trace)
+        assert not check_trace("(B == 3) U (A == 1)", step_trace)
+
+    def test_until_needs_right_side(self, decay_trace):
+        assert not check_trace("(A > 0) U (A > 100)", decay_trace)
+
+    def test_next(self, step_trace):
+        assert check_trace("X (time > 0)", step_trace)
+
+    def test_next_false_at_end(self):
+        single = Trace([0.0], {"A": [1.0]})
+        assert not check_trace("X (A > 0)", single)
+
+    def test_time_bounded_finally(self, step_trace):
+        # A rises at t=5: not within [0,4], within [0,6].
+        assert not check_trace("F[0,4] (A > 0.5)", step_trace)
+        assert check_trace("F[0,6] (A > 0.5)", step_trace)
+
+    def test_time_bounded_globally(self, step_trace):
+        assert check_trace("G[6,10] (A > 0.5)", step_trace)
+        assert not check_trace("G[0,10] (A > 0.5)", step_trace)
+
+    def test_implication_semantics(self, step_trace):
+        # Whenever A is high, B equals 2 (vacuous early, true late).
+        assert check_trace("G ((A > 0.5) -> (B == 2))", step_trace)
+
+    def test_negation(self, decay_trace):
+        assert check_trace("!(A > 100)", decay_trace)
+
+    def test_boolean_connectives(self, decay_trace):
+        assert check_trace("(A > 5) & (B < 5)", decay_trace)
+        assert check_trace("(A > 100) | (B < 5)", decay_trace)
+
+    def test_time_identifier_available(self, decay_trace):
+        assert check_trace("F (time >= 10)", decay_trace)
+
+    def test_unknown_species_raises(self, decay_trace):
+        with pytest.raises(PropertyError):
+            check_trace("Z > 1", decay_trace)
+
+    def test_empty_trace_rejected(self):
+        empty = Trace([], {"A": []})
+        with pytest.raises(PropertyError):
+            check_trace("A > 0", empty)
+
+    def test_true_false_atoms(self, decay_trace):
+        assert check_trace("true", decay_trace)
+        assert not check_trace("false", decay_trace)
+
+    def test_nested_temporals(self, step_trace):
+        # Eventually, A stays high forever.
+        assert check_trace("F (G (A > 0.5))", step_trace)
+        assert not check_trace("F (G (A < 0.5))", step_trace)

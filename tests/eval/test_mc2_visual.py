@@ -1,0 +1,154 @@
+"""Unit tests for the MC2-style checker (§4.1.4) and the simulation
+comparison (§4.1.2)."""
+
+import pytest
+
+from repro import ModelBuilder, compose
+from repro.eval import (
+    MonteCarloModelChecker,
+    check_deterministic,
+    compare_simulations,
+)
+
+
+def decay_model(model_id="m", k=1.0, start=100.0):
+    return (
+        ModelBuilder(model_id)
+        .compartment("cell", size=1.0)
+        .species("A", start, amount=True)
+        .parameter("k", k)
+        .mass_action("r", ["A"], [], "k")
+        .build()
+    )
+
+
+class TestMonteCarloChecker:
+    @pytest.fixture(scope="class")
+    def checker(self):
+        return MonteCarloModelChecker(
+            decay_model(), runs=40, t_end=10.0, seed=123
+        )
+
+    def test_certain_property(self, checker):
+        result = checker.probability("G (A >= 0)")
+        assert result.probability == 1.0
+
+    def test_impossible_property(self, checker):
+        result = checker.probability("F (A > 1000)")
+        assert result.probability == 0.0
+
+    def test_decay_reaches_low_level(self, checker):
+        # After 10 time units at k=1, 100 molecules are almost surely
+        # nearly gone.
+        result = checker.probability("F (A < 10)")
+        assert result.probability > 0.9
+
+    def test_check_threshold(self, checker):
+        assert checker.check("G (A <= 100)", threshold=0.9)
+        assert not checker.check("G (A > 50)", threshold=0.5)
+
+    def test_confidence_interval_bounds(self, checker):
+        result = checker.probability("F (A < 10)")
+        low, high = result.confidence_interval()
+        assert 0.0 <= low <= result.probability <= high <= 1.0
+
+    def test_result_printable(self, checker):
+        text = str(checker.probability("G (A >= 0)"))
+        assert "P[" in text and "CI" in text
+
+    def test_deterministic_seeding(self):
+        a = MonteCarloModelChecker(decay_model(), runs=10, t_end=5.0, seed=7)
+        b = MonteCarloModelChecker(decay_model(), runs=10, t_end=5.0, seed=7)
+        pa = a.probability("F (A < 50)").probability
+        pb = b.probability("F (A < 50)").probability
+        assert pa == pb
+
+    def test_compare_models(self):
+        checker_a = MonteCarloModelChecker(
+            decay_model("a"), runs=20, t_end=5.0, seed=1
+        )
+        checker_b = MonteCarloModelChecker(
+            decay_model("b"), runs=20, t_end=5.0, seed=1
+        )
+        table = checker_a.compare(checker_b, ["F (A < 50)"])
+        assert table["F (A < 50)"]["this"] == table["F (A < 50)"]["other"]
+
+    def test_composed_model_preserves_properties(self):
+        # §4.1.4 workflow: composed model satisfies the same
+        # properties as the expected model.
+        merged, _ = compose(decay_model("x"), decay_model("y"))
+        checker_expected = MonteCarloModelChecker(
+            decay_model(), runs=20, t_end=10.0, seed=5
+        )
+        checker_merged = MonteCarloModelChecker(
+            merged, runs=20, t_end=10.0, seed=5
+        )
+        expected = checker_expected.probability("F (A < 10)").probability
+        actual = checker_merged.probability("F (A < 10)").probability
+        assert expected == actual
+
+
+class TestDeterministicCheck:
+    def test_ode_property(self):
+        model = (
+            ModelBuilder("ode")
+            .compartment("cell", size=1.0)
+            .species("A", 10.0)
+            .species("B", 0.0)
+            .parameter("k", 1.0)
+            .mass_action("r", ["A"], ["B"], "k")
+            .build()
+        )
+        assert check_deterministic(model, "F (B > 9)", t_end=10.0)
+        assert check_deterministic(model, "G (A + B > 9.99)", t_end=10.0)
+        assert not check_deterministic(model, "G (A > 5)", t_end=10.0)
+
+
+class TestCompareSimulations:
+    def test_identical_models_match(self):
+        model = (
+            ModelBuilder("v")
+            .compartment("cell", size=1.0)
+            .species("A", 10.0)
+            .parameter("k", 0.3)
+            .mass_action("r", ["A"], [], "k")
+            .build()
+        )
+        comparison = compare_simulations(model, model.copy(), t_end=5.0)
+        assert comparison.matching()
+        assert comparison.species[0].max_abs_difference == 0.0
+
+    def test_different_rate_detected(self):
+        fast = (
+            ModelBuilder("fast").compartment("cell", size=1.0)
+            .species("A", 10.0).parameter("k", 1.0)
+            .mass_action("r", ["A"], [], "k").build()
+        )
+        slow = (
+            ModelBuilder("slow").compartment("cell", size=1.0)
+            .species("A", 10.0).parameter("k", 0.1)
+            .mass_action("r", ["A"], [], "k").build()
+        )
+        comparison = compare_simulations(fast, slow, t_end=5.0)
+        assert not comparison.matching()
+
+    def test_report_contains_sparklines(self):
+        model = (
+            ModelBuilder("v").compartment("cell", size=1.0)
+            .species("A", 10.0).parameter("k", 0.3)
+            .mass_action("r", ["A"], [], "k").build()
+        )
+        report = compare_simulations(model, model.copy(), 5.0).report()
+        assert "expected" in report and "actual" in report
+        assert "A" in report
+
+    def test_composed_model_simulates_like_original(self):
+        # §4.1.2 end-to-end: merge two overlapping models, the shared
+        # part behaves like the original.
+        merged, _ = compose(
+            decay_model("x", k=0.5), decay_model("y", k=0.5)
+        )
+        comparison = compare_simulations(
+            decay_model("expected", k=0.5), merged, t_end=5.0
+        )
+        assert comparison.matching()

@@ -1,0 +1,98 @@
+"""Unit tests for residual-sum-of-squares trace comparison (§4.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro import ModelBuilder, compose
+from repro.errors import SimulationError
+from repro.eval import residual_sum_of_squares, rss_report, traces_equivalent
+from repro.sim import Trace, simulate
+
+
+def make_trace(offset=0.0, n=51):
+    times = np.linspace(0, 5, n)
+    return Trace(
+        times,
+        {"A": np.exp(-times) + offset, "B": times * 2.0},
+    )
+
+
+def test_rss_identical_is_zero():
+    trace = make_trace()
+    rss = residual_sum_of_squares(trace, trace)
+    assert rss == {"A": 0.0, "B": 0.0}
+
+
+def test_rss_detects_offset():
+    rss = residual_sum_of_squares(make_trace(), make_trace(offset=0.1))
+    assert rss["A"] == pytest.approx(51 * 0.1**2, rel=1e-6)
+    assert rss["B"] == 0.0
+
+
+def test_rss_shared_species_only():
+    a = Trace([0, 1], {"A": [1, 2], "B": [3, 4]})
+    b = Trace([0, 1], {"A": [1, 2], "C": [5, 6]})
+    rss = residual_sum_of_squares(a, b)
+    assert set(rss) == {"A"}
+
+
+def test_rss_explicit_species_must_exist():
+    a = Trace([0, 1], {"A": [1, 2]})
+    b = Trace([0, 1], {"A": [1, 2]})
+    with pytest.raises(SimulationError):
+        residual_sum_of_squares(a, b, species=["Z"])
+
+
+def test_rss_no_shared_species_rejected():
+    a = Trace([0, 1], {"A": [1, 2]})
+    b = Trace([0, 1], {"B": [1, 2]})
+    with pytest.raises(SimulationError):
+        residual_sum_of_squares(a, b)
+
+
+def test_rss_resamples_different_grids():
+    coarse = Trace(np.linspace(0, 5, 6), {"A": np.linspace(0, 5, 6)})
+    fine = Trace(np.linspace(0, 5, 501), {"A": np.linspace(0, 5, 501)})
+    rss = residual_sum_of_squares(coarse, fine)
+    assert rss["A"] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_rss_disjoint_time_spans_rejected():
+    a = Trace([0, 1], {"A": [1, 2]})
+    b = Trace([5, 6], {"A": [1, 2]})
+    with pytest.raises(SimulationError):
+        residual_sum_of_squares(a, b)
+
+
+def test_traces_equivalent_tolerance():
+    assert traces_equivalent(make_trace(), make_trace())
+    assert not traces_equivalent(make_trace(), make_trace(offset=0.5))
+
+
+def test_rss_report_format():
+    report = rss_report(make_trace(), make_trace(offset=0.1))
+    assert "species" in report
+    assert "A" in report and "B" in report
+
+
+def test_composed_model_rss_near_zero():
+    """The paper's end-to-end §4.1.3 check: composing two copies of a
+    model must not change its dynamics."""
+    def build(model_id):
+        return (
+            ModelBuilder(model_id)
+            .compartment("cell", size=1.0)
+            .species("A", 10.0)
+            .species("B", 0.0)
+            .parameter("k1", 0.5)
+            .mass_action("r1", ["A"], ["B"], "k1")
+            .build()
+        )
+
+    original = build("original")
+    merged, _ = compose(build("x"), build("y"))
+    trace_original = simulate(original, 5.0, 200)
+    trace_merged = simulate(merged, 5.0, 200)
+    assert traces_equivalent(trace_original, trace_merged)
+    rss = residual_sum_of_squares(trace_original, trace_merged)
+    assert all(value < 1e-12 for value in rss.values())

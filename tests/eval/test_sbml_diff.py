@@ -1,0 +1,173 @@
+"""Unit tests for the SBML-aware diff (paper §4.1.1)."""
+
+from repro import ModelBuilder, compose
+from repro.eval import diff_models, models_equivalent
+
+
+def simple_model(model_id="m"):
+    return (
+        ModelBuilder(model_id)
+        .compartment("cell", size=1.0)
+        .species("A", 10.0)
+        .species("B", 0.0)
+        .parameter("k", 0.5)
+        .mass_action("r", ["A"], ["B"], "k")
+        .build()
+    )
+
+
+def test_model_equals_itself():
+    model = simple_model()
+    assert models_equivalent(model, model)
+    assert models_equivalent(model, model.copy())
+
+
+def test_component_order_irrelevant():
+    a = (
+        ModelBuilder("m")
+        .compartment("cell")
+        .species("A", 1.0)
+        .species("B", 2.0)
+        .build()
+    )
+    b = (
+        ModelBuilder("m")
+        .compartment("cell")
+        .species("B", 2.0)
+        .species("A", 1.0)
+        .build()
+    )
+    assert models_equivalent(a, b)
+
+
+def test_reactant_order_irrelevant():
+    a = (
+        ModelBuilder("m").compartment("c").species("A").species("B")
+        .species("C").parameter("k", 1.0)
+        .mass_action("r", ["A", "B"], ["C"], "k").build()
+    )
+    b = (
+        ModelBuilder("m").compartment("c").species("A").species("B")
+        .species("C").parameter("k", 1.0)
+        .mass_action("r", ["B", "A"], ["C"], "k").build()
+    )
+    # Note the kinetic law also reorders commutatively: k*A*B vs k*B*A.
+    assert models_equivalent(a, b)
+
+
+def test_commutative_math_equivalent():
+    a = (
+        ModelBuilder("m").compartment("c").species("A").parameter("k", 1.0)
+        .reaction("r", ["A"], [], formula="k * A").build()
+    )
+    b = (
+        ModelBuilder("m").compartment("c").species("A").parameter("k", 1.0)
+        .reaction("r", ["A"], [], formula="A * k").build()
+    )
+    assert models_equivalent(a, b)
+
+
+def test_missing_species_reported():
+    a = simple_model()
+    b = simple_model()
+    b.species.pop()  # drop B
+    entries = diff_models(a, b)
+    assert any(
+        e.kind == "missing" and "species[B]" in e.path for e in entries
+    )
+
+
+def test_extra_component_reported():
+    a = simple_model()
+    b = simple_model()
+    b = ModelBuilder("m2").compartment("cell").species("Z", 1.0).build()
+    entries = diff_models(a, b)
+    kinds = {e.kind for e in entries}
+    assert "missing" in kinds and "extra" in kinds
+
+
+def test_changed_initial_value_reported():
+    a = simple_model()
+    b = simple_model()
+    b.get_species("A").initial_concentration = 99.0
+    entries = diff_models(a, b)
+    assert any(
+        e.kind == "changed" and "species[A].initial" in e.path
+        for e in entries
+    )
+
+
+def test_changed_kinetic_law_reported():
+    a = simple_model()
+    b = simple_model()
+    b.get_reaction("r").kinetic_law.math = None
+    entries = diff_models(a, b)
+    assert any("kineticLaw" in e.path for e in entries)
+
+
+def test_changed_stoichiometry_reported():
+    a = simple_model()
+    b = simple_model()
+    b.get_reaction("r").reactants[0].stoichiometry = 2.0
+    entries = diff_models(a, b)
+    assert any("reactants" in e.path for e in entries)
+
+
+def test_unit_definitions_compared_canonically():
+    a = ModelBuilder("m").unit("u", [("mole", 1, -3, 1.0)]).build()
+    b = ModelBuilder("m").unit("u", [("mole", 1, 0, 1e-3)]).build()
+    assert models_equivalent(a, b)
+
+
+def test_rules_keyed_by_variable():
+    a = (
+        ModelBuilder("m").compartment("c").parameter("p", constant=False)
+        .assignment_rule("p", "1 + 2").build()
+    )
+    b = (
+        ModelBuilder("m").compartment("c").parameter("p", constant=False)
+        .assignment_rule("p", "2 + 1").build()
+    )
+    assert models_equivalent(a, b)  # commutative math
+
+
+def test_initial_assignments_compared():
+    a = (
+        ModelBuilder("m").compartment("c").species("A")
+        .initial_assignment("A", "6").build()
+    )
+    b = (
+        ModelBuilder("m").compartment("c").species("A")
+        .initial_assignment("A", "7").build()
+    )
+    entries = diff_models(a, b)
+    assert any("initialAssignment[A]" in e.path for e in entries)
+
+
+def test_events_compared_order_insensitively():
+    a = (
+        ModelBuilder("m").compartment("c").species("A").species("B")
+        .event("e", "time > 1", {"A": "1", "B": "2"}).build()
+    )
+    b = (
+        ModelBuilder("m").compartment("c").species("A").species("B")
+        .event("e", "time > 1", {"B": "2", "A": "1"}).build()
+    )
+    assert models_equivalent(a, b)
+
+
+def test_composition_verified_by_diff():
+    # The paper's §4.1.1 workflow: merged model vs expected model.
+    a = simple_model("a")
+    expected = simple_model("expected")
+    merged, _ = compose(a, simple_model("b"))
+    merged.id = "expected"
+    assert models_equivalent(expected, merged)
+
+
+def test_diff_entries_printable():
+    a = simple_model()
+    b = simple_model()
+    b.get_species("A").initial_concentration = 5.0
+    text = "\n".join(str(e) for e in diff_models(a, b))
+    assert "CHANGED" in text

@@ -1,0 +1,215 @@
+"""Unit tests for graph-level composition and model decomposition."""
+
+import networkx as nx
+import pytest
+
+from repro import ModelBuilder, compose
+from repro.eval import models_equivalent
+from repro.graph import (
+    compose_graphs,
+    connected_components,
+    extract_submodel,
+    species_graph,
+    split_by_species,
+)
+from repro.sbml import validate_model
+from repro.synonyms import SynonymTable
+
+
+def labelled_graph(edges, labels=None):
+    graph = nx.MultiDiGraph()
+    labels = labels or {}
+    for source, target, label in edges:
+        for node in (source, target):
+            if node not in graph:
+                graph.add_node(node, label=labels.get(node, node))
+        graph.add_edge(source, target, label=label)
+    return graph
+
+
+class TestComposeGraphs:
+    def test_identical_graphs_idempotent(self):
+        # Paper Figure 1 at the graph level.
+        g = labelled_graph(
+            [("A", "B", "k1"), ("B", "C", "k2"), ("C", "B", "k3")]
+        )
+        result, mapping = compose_graphs(g, g.copy())
+        assert set(result.nodes) == {"A", "B", "C"}
+        assert result.number_of_edges() == 3
+        assert mapping == {"A": "A", "B": "B", "C": "C"}
+
+    def test_disjoint_graphs_union(self):
+        # Paper Figure 2.
+        g1 = labelled_graph([("A", "B", "k1"), ("B", "C", "k2")])
+        g2 = labelled_graph([("D", "E", "k3")])
+        result, _ = compose_graphs(g1, g2)
+        assert set(result.nodes) == {"A", "B", "C", "D", "E"}
+        assert result.number_of_edges() == 3
+
+    def test_shared_subnetwork(self):
+        # Paper Figure 3.
+        g1 = labelled_graph(
+            [
+                ("A", "B", "k1"),
+                ("B", "C", "k2"),
+                ("C", "B", "k3"),
+                ("C", "D", "k4"),
+            ]
+        )
+        g2 = labelled_graph([("A", "B", "k1"), ("B", "C", "k2")])
+        result, _ = compose_graphs(g1, g2)
+        assert set(result.nodes) == {"A", "B", "C", "D"}
+        assert result.number_of_edges() == 4
+
+    def test_synonymous_labels_united(self):
+        g1 = labelled_graph([], labels={})
+        g1.add_node("atp", label="ATP")
+        g2 = nx.MultiDiGraph()
+        g2.add_node("x", label="adenosine triphosphate")
+        table = SynonymTable([["ATP", "adenosine triphosphate"]])
+        result, mapping = compose_graphs(g1, g2, table)
+        assert result.number_of_nodes() == 1
+        assert mapping["x"] == "atp"
+
+    def test_distinct_edge_labels_kept(self):
+        g1 = labelled_graph([("A", "B", "k1")])
+        g2 = labelled_graph([("A", "B", "k9")])
+        result, _ = compose_graphs(g1, g2)
+        assert result.number_of_edges() == 2
+
+    def test_id_collision_with_different_label_renamed(self):
+        g1 = nx.MultiDiGraph()
+        g1.add_node("n1", label="glucose")
+        g2 = nx.MultiDiGraph()
+        g2.add_node("n1", label="pyruvate")
+        result, mapping = compose_graphs(g1, g2)
+        assert result.number_of_nodes() == 2
+        assert mapping["n1"] != "n1"
+
+
+def two_part_model():
+    """A model with two independent sub-networks."""
+    return (
+        ModelBuilder("two_parts")
+        .compartment("cell", size=1.0)
+        .species("A", 1.0)
+        .species("B", 0.0)
+        .species("X", 2.0)
+        .species("Y", 0.0)
+        .parameter("k1", 0.5)
+        .parameter("k2", 0.25)
+        .mass_action("ab", ["A"], ["B"], "k1")
+        .mass_action("xy", ["X"], ["Y"], "k2")
+        .build()
+    )
+
+
+class TestConnectedComponents:
+    def test_two_components_found(self):
+        parts = connected_components(two_part_model())
+        assert len(parts) == 2
+
+    def test_components_partition_species(self):
+        parts = connected_components(two_part_model())
+        all_species = sorted(
+            s.id for part in parts for s in part.species
+        )
+        assert all_species == ["A", "B", "X", "Y"]
+
+    def test_components_are_valid(self):
+        for part in connected_components(two_part_model()):
+            errors = [
+                issue
+                for issue in validate_model(part)
+                if issue.severity == "error"
+            ]
+            assert errors == []
+
+    def test_connected_model_single_component(self):
+        model = (
+            ModelBuilder("conn").compartment("c")
+            .species("A").species("B").parameter("k", 1.0)
+            .mass_action("r", ["A"], ["B"], "k")
+            .build()
+        )
+        assert len(connected_components(model)) == 1
+
+
+class TestExtractSubmodel:
+    def test_keeps_internal_reactions_only(self):
+        model = two_part_model()
+        sub = extract_submodel(model, {"A", "B"}, "sub")
+        assert sorted(s.id for s in sub.species) == ["A", "B"]
+        assert [r.id for r in sub.reactions] == ["ab"]
+
+    def test_supporting_parameters_travel(self):
+        sub = extract_submodel(two_part_model(), {"A", "B"}, "sub")
+        assert sub.get_parameter("k1") is not None
+        assert sub.get_parameter("k2") is None
+
+    def test_compartment_kept(self):
+        sub = extract_submodel(two_part_model(), {"A"}, "sub")
+        assert sub.get_compartment("cell") is not None
+
+    def test_cross_boundary_reaction_dropped(self):
+        model = (
+            ModelBuilder("m").compartment("c")
+            .species("A").species("B").parameter("k", 1.0)
+            .mass_action("r", ["A"], ["B"], "k")
+            .build()
+        )
+        sub = extract_submodel(model, {"A"}, "sub")
+        assert sub.reactions == []
+
+    def test_extract_is_valid(self):
+        sub = extract_submodel(two_part_model(), {"A", "B"}, "sub")
+        assert validate_model(sub) == []
+
+
+class TestSplitComposeRoundTrip:
+    def test_split_then_compose_recovers_network(self):
+        model = two_part_model()
+        parts = split_by_species(model, [{"A", "B"}, {"X", "Y"}])
+        assert len(parts) == 2
+        recombined, _ = compose(parts[0], parts[1])
+        recombined.id = model.id
+        assert models_equivalent(model, recombined)
+
+    def test_split_shares_boundary_species(self):
+        # A chain split in the middle duplicates the boundary species.
+        model = (
+            ModelBuilder("chain").compartment("c")
+            .species("A", 1.0).species("B", 0.0).species("C", 0.0)
+            .parameter("k1", 1.0).parameter("k2", 1.0)
+            .mass_action("r1", ["A"], ["B"], "k1")
+            .mass_action("r2", ["B"], ["C"], "k2")
+            .build()
+        )
+        parts = split_by_species(model, [{"A"}, {"B", "C"}])
+        first_species = {s.id for s in parts[0].species}
+        second_species = {s.id for s in parts[1].species}
+        # r1 (A->B) lands in the first part, dragging B along: B is
+        # the shared boundary that composition later re-unites.
+        assert "B" in first_species and "B" in second_species
+
+    def test_chain_round_trip(self):
+        model = (
+            ModelBuilder("chain").compartment("c")
+            .species("A", 1.0).species("B", 0.0).species("C", 0.0)
+            .parameter("k1", 1.0).parameter("k2", 1.0)
+            .mass_action("r1", ["A"], ["B"], "k1")
+            .mass_action("r2", ["B"], ["C"], "k2")
+            .build()
+        )
+        parts = split_by_species(model, [{"A", "B"}, {"C"}])
+        recombined, _ = compose(parts[0], parts[1])
+        recombined.id = model.id
+        assert models_equivalent(model, recombined)
+
+    def test_unlisted_species_form_extra_part(self):
+        model = two_part_model()
+        parts = split_by_species(model, [{"A", "B"}])
+        species_sets = [
+            {s.id for s in part.species} for part in parts
+        ]
+        assert any({"X", "Y"} <= group for group in species_sets)

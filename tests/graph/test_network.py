@@ -1,0 +1,148 @@
+"""Unit tests for the graph view of models."""
+
+import networkx as nx
+import pytest
+
+from repro import ModelBuilder
+from repro.graph import (
+    bipartite_graph,
+    graph_size,
+    isomorphic_networks,
+    species_graph,
+)
+
+
+def figure1_model(model_id="fig1"):
+    """The paper's Figure 1 network: A -> B <-> C."""
+    return (
+        ModelBuilder(model_id)
+        .compartment("cell", size=1.0)
+        .species("A", 10.0)
+        .species("B", 0.0)
+        .species("C", 0.0)
+        .parameter("k1", 0.5)
+        .parameter("k2", 0.3)
+        .parameter("k3", 0.1)
+        .mass_action("r1", ["A"], ["B"], "k1")
+        .mass_action("r2", ["B"], ["C"], "k2")
+        .mass_action("r3", ["C"], ["B"], "k3")
+        .build()
+    )
+
+
+class TestSpeciesGraph:
+    def test_nodes_are_species(self):
+        graph = species_graph(figure1_model())
+        assert set(graph.nodes) == {"A", "B", "C"}
+
+    def test_edges_follow_reactions(self):
+        graph = species_graph(figure1_model())
+        assert graph.has_edge("A", "B")
+        assert graph.has_edge("B", "C")
+        assert graph.has_edge("C", "B")
+        assert graph.number_of_edges() == 3
+
+    def test_edge_labels_carry_kinetics(self):
+        graph = species_graph(figure1_model())
+        labels = {
+            data["label"] for _, _, data in graph.edges(data=True)
+        }
+        assert "k1 * A" in labels
+
+    def test_node_labels_phi(self):
+        model = (
+            ModelBuilder("m").compartment("c")
+            .species("glc", 1.0, name="glucose").build()
+        )
+        graph = species_graph(model)
+        assert graph.nodes["glc"]["label"] == "glucose"
+
+    def test_binding_reaction_fans_out(self):
+        model = (
+            ModelBuilder("m").compartment("c")
+            .species("A").species("B").species("C")
+            .parameter("k", 1.0)
+            .mass_action("r", ["A", "B"], ["C"], "k")
+            .build()
+        )
+        graph = species_graph(model)
+        assert graph.has_edge("A", "C")
+        assert graph.has_edge("B", "C")
+
+    def test_synthesis_degradation_use_sink_nodes(self):
+        model = (
+            ModelBuilder("m").compartment("c").species("X")
+            .parameter("k", 1.0)
+            .reaction("make", [], ["X"], formula="k")
+            .reaction("lose", ["X"], [], formula="k*X")
+            .build()
+        )
+        graph = species_graph(model)
+        assert graph.number_of_edges() == 2
+
+
+class TestBipartiteGraph:
+    def test_two_node_kinds(self):
+        graph = bipartite_graph(figure1_model())
+        kinds = {data["kind"] for _, data in graph.nodes(data=True)}
+        assert kinds == {"species", "reaction"}
+
+    def test_roles(self):
+        graph = bipartite_graph(figure1_model())
+        assert graph["A"]["r1"]["role"] == "reactant"
+        assert graph["r1"]["B"]["role"] == "product"
+
+    def test_modifier_role(self):
+        model = (
+            ModelBuilder("m").compartment("c")
+            .species("S").species("P").species("E")
+            .parameter("v", 1.0).parameter("km", 1.0)
+            .michaelis_menten("r", "S", "P", "v", "km", enzyme="E")
+            .build()
+        )
+        graph = bipartite_graph(model)
+        assert graph["E"]["r"]["role"] == "modifier"
+
+    def test_stoichiometry_attribute(self):
+        model = (
+            ModelBuilder("m").compartment("c").species("A").species("B")
+            .parameter("k", 1.0)
+            .mass_action("r", [("A", 2)], ["B"], "k")
+            .build()
+        )
+        graph = bipartite_graph(model)
+        assert graph["A"]["r"]["stoichiometry"] == 2.0
+
+
+def test_graph_size_matches_model():
+    model = figure1_model()
+    assert graph_size(model) == (3, 3)
+    assert graph_size(model) == (model.num_nodes(), model.num_edges())
+
+
+class TestIsomorphism:
+    def test_same_network_isomorphic(self):
+        assert isomorphic_networks(figure1_model(), figure1_model("other"))
+
+    def test_different_topology_not_isomorphic(self):
+        chain = (
+            ModelBuilder("chain").compartment("c")
+            .species("A", name="A").species("B", name="B")
+            .species("C", name="C")
+            .parameter("k", 1.0)
+            .mass_action("r1", ["A"], ["B"], "k")
+            .mass_action("r2", ["B"], ["C"], "k")
+            .build()
+        )
+        assert not isomorphic_networks(figure1_model(), chain)
+
+    def test_label_mismatch_not_isomorphic(self):
+        a = (
+            ModelBuilder("a").compartment("c")
+            .species("x", name="glucose").build()
+        )
+        b = (
+            ModelBuilder("b").compartment("c")
+            .species("x", name="pyruvate").build()
+        )
+        assert not isomorphic_networks(a, b)

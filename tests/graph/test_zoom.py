@@ -1,0 +1,148 @@
+"""Unit tests for semantic graph zooming (future-work item 4)."""
+
+import pytest
+
+from repro import ModelBuilder
+from repro.errors import ReproError
+from repro.graph.zoom import ZoomIndex
+
+
+def two_compartment_model():
+    """Two disconnected chains in two compartments."""
+    return (
+        ModelBuilder("zoomy")
+        .compartment("cytosol", size=1.0)
+        .compartment("nucleus", size=0.1)
+        .species("A", 1.0)
+        .species("B", 0.0)
+        .species("X", 1.0, compartment="nucleus")
+        .species("Y", 0.0, compartment="nucleus")
+        .parameter("k", 1.0)
+        .mass_action("r1", ["A"], ["B"], "k")
+        .mass_action("r2", ["X"], ["Y"], "k")
+        .build()
+    )
+
+
+def bridged_model():
+    """Chains connected across compartments (B -> X)."""
+    model = two_compartment_model()
+    from repro.sbml import Reaction, SpeciesReference, KineticLaw
+    from repro.mathml import parse_infix
+
+    model.add_reaction(
+        Reaction(
+            id="bridge",
+            reactants=[SpeciesReference("B")],
+            products=[SpeciesReference("X")],
+            kinetic_law=KineticLaw(math=parse_infix("k * B")),
+        )
+    )
+    return model
+
+
+class TestHierarchy:
+    def test_four_levels(self):
+        index = ZoomIndex(two_compartment_model())
+        assert index.depth == 4
+        assert [level.name for level in index.levels] == [
+            "species", "modules", "compartments", "model",
+        ]
+
+    def test_species_level_is_full_graph(self):
+        index = ZoomIndex(two_compartment_model())
+        assert set(index.graph_at(0).nodes) == {"A", "B", "X", "Y"}
+
+    def test_modules_are_connected_components(self):
+        index = ZoomIndex(two_compartment_model())
+        modules = index.graph_at(1)
+        assert modules.number_of_nodes() == 2
+        assert modules.number_of_edges() == 0  # disconnected chains
+
+    def test_compartment_level(self):
+        index = ZoomIndex(two_compartment_model())
+        compartments = index.graph_at(2)
+        assert set(compartments.nodes) == {"cytosol", "nucleus"}
+
+    def test_root_level_single_node(self):
+        index = ZoomIndex(two_compartment_model())
+        root = index.graph_at(3)
+        assert root.number_of_nodes() == 1
+        assert root.number_of_edges() == 0
+
+
+class TestCrossBoundaryEdges:
+    def test_bridge_survives_zoom_out(self):
+        index = ZoomIndex(bridged_model())
+        compartments = index.graph_at(2)
+        # The B->X bridge appears as a cytosol->nucleus edge...
+        # unless the bridge merges both chains into one module that
+        # spans compartments.
+        assert compartments.number_of_nodes() >= 1
+
+    def test_bridge_weight_counts_arrows(self):
+        index = ZoomIndex(
+            bridged_model(),
+            modules={"left": ["A", "B"], "right": ["X", "Y"]},
+        )
+        modules = index.graph_at(1)
+        assert modules.has_edge("left", "right")
+        edge_data = list(modules["left"]["right"].values())[0]
+        assert edge_data["weight"] == 1
+
+    def test_internal_edges_disappear(self):
+        index = ZoomIndex(
+            bridged_model(),
+            modules={"left": ["A", "B"], "right": ["X", "Y"]},
+        )
+        modules = index.graph_at(1)
+        # r1 and r2 are internal to their modules.
+        assert modules.number_of_edges() == 1
+
+
+class TestNavigation:
+    def test_members_of_module(self):
+        index = ZoomIndex(
+            two_compartment_model(),
+            modules={"left": ["A", "B"], "right": ["X", "Y"]},
+        )
+        assert index.members(1, "left") == {"A", "B"}
+
+    def test_expand_module(self):
+        index = ZoomIndex(
+            two_compartment_model(),
+            modules={"left": ["A", "B"], "right": ["X", "Y"]},
+        )
+        subgraph = index.expand(1, "left")
+        assert set(subgraph.nodes) == {"A", "B"}
+        assert subgraph.has_edge("A", "B")
+
+    def test_leaves_from_root(self):
+        index = ZoomIndex(two_compartment_model())
+        root_node = list(index.graph_at(3).nodes)[0]
+        assert index.leaves(3, root_node) == {"A", "B", "X", "Y"}
+
+    def test_leaves_from_compartment(self):
+        index = ZoomIndex(two_compartment_model())
+        assert index.leaves(2, "nucleus") == {"X", "Y"}
+
+    def test_unassigned_species_get_bucket(self):
+        index = ZoomIndex(
+            two_compartment_model(), modules={"left": ["A", "B"]}
+        )
+        assert index.members(1, "unassigned") == {"X", "Y"}
+
+    def test_expand_below_species_rejected(self):
+        index = ZoomIndex(two_compartment_model())
+        with pytest.raises(ReproError):
+            index.expand(0, "A")
+
+    def test_bad_level_rejected(self):
+        index = ZoomIndex(two_compartment_model())
+        with pytest.raises(ReproError):
+            index.graph_at(9)
+
+    def test_unknown_node_rejected(self):
+        index = ZoomIndex(two_compartment_model())
+        with pytest.raises(ReproError):
+            index.members(1, "ghost")

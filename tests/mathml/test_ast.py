@@ -1,0 +1,141 @@
+"""Unit tests for the expression AST."""
+
+import pytest
+
+from repro.mathml import (
+    Apply,
+    Constant,
+    Identifier,
+    Lambda,
+    Number,
+    Piecewise,
+)
+
+
+def test_number_coerces_to_float():
+    assert Number(3).value == 3.0
+    assert isinstance(Number(3).value, float)
+
+
+def test_number_is_integer():
+    assert Number(4.0).is_integer()
+    assert not Number(4.5).is_integer()
+
+
+def test_number_units_default_none():
+    assert Number(1.0).units is None
+    assert Number(1.0, "per_second").units == "per_second"
+
+
+def test_structural_equality():
+    a = Apply("plus", (Identifier("x"), Number(1)))
+    b = Apply("plus", (Identifier("x"), Number(1)))
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_structural_inequality_on_order():
+    a = Apply("plus", (Identifier("x"), Number(1)))
+    b = Apply("plus", (Number(1), Identifier("x")))
+    assert a != b  # plain equality is structural; patterns handle order
+
+
+def test_unknown_constant_rejected():
+    with pytest.raises(ValueError):
+        Constant("tau")
+
+
+def test_walk_preorder():
+    expr = Apply("times", (Identifier("k"), Identifier("A")))
+    names = [type(node).__name__ for node in expr.walk()]
+    assert names == ["Apply", "Identifier", "Identifier"]
+
+
+def test_identifiers_collects_all():
+    expr = Apply(
+        "plus",
+        (Identifier("a"), Apply("times", (Identifier("b"), Number(2)))),
+    )
+    assert expr.identifiers() == {"a", "b"}
+
+
+def test_size_and_depth():
+    expr = Apply("plus", (Identifier("a"), Apply("minus", (Number(1),))))
+    assert expr.size() == 4
+    assert expr.depth() == 3
+    assert Number(1).depth() == 1
+
+
+def test_substitute_replaces_identifier():
+    expr = Apply("times", (Identifier("k"), Identifier("A")))
+    replaced = expr.substitute({"A": Number(5)})
+    assert replaced == Apply("times", (Identifier("k"), Number(5)))
+
+
+def test_substitute_leaves_unmapped():
+    expr = Identifier("x")
+    assert expr.substitute({"y": Number(1)}) is expr
+
+
+def test_rename_follows_mapping():
+    expr = Apply("plus", (Identifier("old"), Identifier("keep")))
+    renamed = expr.rename({"old": "new"})
+    assert renamed == Apply("plus", (Identifier("new"), Identifier("keep")))
+
+
+def test_rename_user_function_call():
+    expr = Apply("f_old", (Identifier("x"),))
+    renamed = expr.rename({"f_old": "f_new"})
+    assert isinstance(renamed, Apply)
+    assert renamed.op == "f_new"
+
+
+def test_rename_does_not_touch_builtin_op():
+    expr = Apply("plus", (Identifier("plus_val"),))
+    renamed = expr.rename({"plus": "oops", "plus_val": "v"})
+    assert renamed.op == "plus"
+    assert renamed.args[0] == Identifier("v")
+
+
+def test_lambda_shadows_substitution():
+    body = Apply("plus", (Identifier("x"), Identifier("y")))
+    fn = Lambda(("x",), body)
+    replaced = fn.substitute({"x": Number(1), "y": Number(2)})
+    assert replaced.body == Apply("plus", (Identifier("x"), Number(2)))
+
+
+def test_lambda_free_identifiers():
+    fn = Lambda(("x",), Apply("times", (Identifier("x"), Identifier("k"))))
+    assert fn.free_identifiers() == {"k"}
+
+
+def test_lambda_apply_to_inlines():
+    fn = Lambda(("a", "b"), Apply("plus", (Identifier("a"), Identifier("b"))))
+    inlined = fn.apply_to((Number(1), Identifier("z")))
+    assert inlined == Apply("plus", (Number(1), Identifier("z")))
+
+
+def test_lambda_apply_to_arity_mismatch():
+    fn = Lambda(("a",), Identifier("a"))
+    with pytest.raises(ValueError):
+        fn.apply_to((Number(1), Number(2)))
+
+
+def test_piecewise_children_include_otherwise():
+    pw = Piecewise(
+        ((Number(1), Constant("true")),),
+        otherwise=Number(0),
+    )
+    assert len(pw.children()) == 3
+
+
+def test_apply_is_commutative_flag():
+    assert Apply("plus", ()).is_commutative
+    assert Apply("times", ()).is_commutative
+    assert not Apply("minus", (Number(1),)).is_commutative
+    assert not Apply("divide", (Number(1), Number(2))).is_commutative
+
+
+def test_apply_is_builtin_flag():
+    assert Apply("plus", ()).is_builtin
+    assert not Apply("my_function", ()).is_builtin

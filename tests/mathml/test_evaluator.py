@@ -1,0 +1,174 @@
+"""Unit tests for the AST evaluator."""
+
+import math
+
+import pytest
+
+from repro.errors import MathDomainError, MathEvalError
+from repro.mathml import (
+    Apply,
+    Evaluator,
+    Identifier,
+    Lambda,
+    Number,
+    evaluate,
+    parse_infix,
+)
+
+
+def ev(formula, env=None, functions=None):
+    return evaluate(parse_infix(formula), env or {}, functions)
+
+
+def test_number():
+    assert ev("42") == 42.0
+
+
+def test_identifier_lookup():
+    assert ev("x", {"x": 3.0}) == 3.0
+
+
+def test_unbound_identifier():
+    with pytest.raises(MathEvalError):
+        ev("missing")
+
+
+def test_arithmetic():
+    assert ev("2 + 3 * 4") == 14.0
+    assert ev("(2 + 3) * 4") == 20.0
+    assert ev("10 / 4") == 2.5
+    assert ev("2 ^ 10") == 1024.0
+    assert ev("7 - 2 - 1") == 4.0
+
+
+def test_unary_minus():
+    assert ev("-x", {"x": 5.0}) == -5.0
+
+
+def test_constants():
+    assert ev("pi") == pytest.approx(math.pi)
+    assert ev("exponentiale") == pytest.approx(math.e)
+    assert ev("true") == 1.0
+    assert ev("false") == 0.0
+
+
+def test_transcendentals():
+    assert ev("exp(0)") == 1.0
+    assert ev("ln(exponentiale)") == pytest.approx(1.0)
+    assert ev("log(100)") == pytest.approx(2.0)
+    assert ev("log(2, 8)") == pytest.approx(3.0)
+    assert ev("sqrt(16)") == 4.0
+    assert ev("root(3, 27)") == pytest.approx(3.0)
+    assert ev("sin(0)") == 0.0
+    assert ev("cos(0)") == 1.0
+    assert ev("tanh(0)") == 0.0
+
+
+def test_floor_ceiling_abs():
+    assert ev("floor(2.7)") == 2.0
+    assert ev("ceiling(2.1)") == 3.0
+    assert ev("abs(-4)") == 4.0
+
+
+def test_factorial():
+    assert ev("factorial(5)") == 120.0
+    with pytest.raises(MathDomainError):
+        ev("factorial(2.5)")
+
+
+def test_division_by_zero():
+    with pytest.raises(MathDomainError):
+        ev("1 / 0")
+
+
+def test_log_domain():
+    with pytest.raises(MathDomainError):
+        ev("ln(-1)")
+    with pytest.raises(MathDomainError):
+        ev("log(0)")
+
+
+def test_sqrt_negative():
+    with pytest.raises(MathDomainError):
+        ev("sqrt(-4)")
+
+
+def test_relational():
+    assert ev("3 > 2") == 1.0
+    assert ev("2 > 3") == 0.0
+    assert ev("2 >= 2") == 1.0
+    assert ev("2 == 2") == 1.0
+    assert ev("2 != 2") == 0.0
+
+
+def test_logical():
+    assert ev("true && false") == 0.0
+    assert ev("true || false") == 1.0
+    assert ev("!false") == 1.0
+    assert ev("true xor true") == 0.0
+    assert ev("true xor false") == 1.0
+
+
+def test_piecewise():
+    assert ev("piecewise(1, x > 0, -1)", {"x": 5}) == 1.0
+    assert ev("piecewise(1, x > 0, -1)", {"x": -5}) == -1.0
+
+
+def test_piecewise_no_match_no_otherwise():
+    with pytest.raises(MathEvalError):
+        ev("piecewise(1, false)")
+
+
+def test_mass_action_kinetics():
+    # Paper Figure 10: rate = k1*[A]
+    assert ev("k1 * A", {"k1": 0.5, "A": 4.0}) == 2.0
+
+
+def test_michaelis_menten_kinetics():
+    # Paper Figure 12: V = Vmax*[A]/(KM+[A]); at [A]=KM, V = Vmax/2.
+    value = ev("Vmax * A / (KM + A)", {"Vmax": 10.0, "A": 2.0, "KM": 2.0})
+    assert value == pytest.approx(5.0)
+
+
+def test_user_function_definition():
+    mm = Lambda(
+        ("S", "Vmax", "Km"),
+        parse_infix("Vmax * S / (Km + S)"),
+    )
+    value = ev("MM(2, 10, 2)", functions={"MM": mm})
+    assert value == pytest.approx(5.0)
+
+
+def test_user_function_wrong_arity():
+    fn = Lambda(("x",), Identifier("x"))
+    with pytest.raises(MathEvalError):
+        ev("f(1, 2)", functions={"f": fn})
+
+
+def test_unknown_function():
+    with pytest.raises(MathEvalError):
+        ev("nosuch(1)")
+
+
+def test_recursive_function_fails_cleanly():
+    # SBML forbids recursion; the evaluator must not blow the stack.
+    fn = Lambda(("x",), Apply("f", (Identifier("x"),)))
+    evaluator = Evaluator({"f": fn}, max_depth=50)
+    with pytest.raises(MathEvalError):
+        evaluator.evaluate(Apply("f", (Number(1),)), {})
+
+
+def test_nested_function_calls():
+    double = Lambda(("x",), parse_infix("2 * x"))
+    value = ev("d(d(3))", functions={"d": double})
+    assert value == 12.0
+
+
+def test_bare_lambda_not_evaluable():
+    with pytest.raises(MathEvalError):
+        evaluate(Lambda(("x",), Identifier("x")))
+
+
+def test_complex_power_rejected():
+    with pytest.raises(MathDomainError):
+        ev("(-1) ^ 0.5")

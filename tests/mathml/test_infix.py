@@ -1,0 +1,210 @@
+"""Unit tests for the infix parser and printer."""
+
+import pytest
+
+from repro.errors import MathParseError
+from repro.mathml import (
+    Apply,
+    Constant,
+    Identifier,
+    Number,
+    Piecewise,
+    parse_infix,
+    to_infix,
+)
+
+
+def test_parse_number():
+    assert parse_infix("3.5") == Number(3.5)
+
+
+def test_parse_scientific_number():
+    assert parse_infix("6.022e23") == Number(6.022e23)
+
+
+def test_parse_identifier():
+    assert parse_infix("k1") == Identifier("k1")
+
+
+def test_parse_constants():
+    assert parse_infix("pi") == Constant("pi")
+    assert parse_infix("true") == Constant("true")
+    assert parse_infix("INF") == Constant("infinity")
+    assert parse_infix("NaN") == Constant("notanumber")
+
+
+def test_parse_simple_product():
+    node = parse_infix("k1 * A")
+    assert node == Apply("times", (Identifier("k1"), Identifier("A")))
+
+
+def test_nary_chain_flattened():
+    node = parse_infix("a + b + c")
+    assert node.op == "plus"
+    assert len(node.args) == 3
+
+
+def test_precedence_mul_over_add():
+    node = parse_infix("a + b * c")
+    assert node.op == "plus"
+    assert node.args[1].op == "times"
+
+
+def test_parentheses_override():
+    node = parse_infix("(a + b) * c")
+    assert node.op == "times"
+    assert node.args[0].op == "plus"
+
+
+def test_power_right_associative():
+    node = parse_infix("a ^ b ^ c")
+    assert node.op == "power"
+    assert node.args[1].op == "power"
+
+
+def test_unary_minus_number():
+    assert parse_infix("-4") == Number(-4.0)
+
+
+def test_unary_minus_expression():
+    node = parse_infix("-x")
+    assert node == Apply("minus", (Identifier("x"),))
+
+
+def test_subtraction_left_associative():
+    node = parse_infix("a - b - c")
+    assert node.op == "minus"
+    assert node.args[0].op == "minus"
+
+
+def test_relational():
+    node = parse_infix("x >= 2")
+    assert node == Apply("geq", (Identifier("x"), Number(2)))
+
+
+def test_logical_keywords():
+    node = parse_infix("a > 1 and b < 2")
+    assert node.op == "and"
+
+
+def test_logical_symbols():
+    node = parse_infix("(a > 1) && (b < 2) || c == 3")
+    assert node.op == "or"
+
+
+def test_not_prefix():
+    node = parse_infix("!x")
+    assert node == Apply("not", (Identifier("x"),))
+    assert parse_infix("not x") == node
+
+
+def test_function_call_unary():
+    node = parse_infix("exp(x)")
+    assert node == Apply("exp", (Identifier("x"),))
+
+
+def test_log_is_base_10():
+    node = parse_infix("log(x)")
+    assert node == Apply("log", (Number(10), Identifier("x")))
+
+
+def test_log_with_base():
+    node = parse_infix("log(2, x)")
+    assert node == Apply("log", (Number(2), Identifier("x")))
+
+
+def test_sqrt_is_root_2():
+    node = parse_infix("sqrt(x)")
+    assert node == Apply("root", (Number(2), Identifier("x")))
+
+
+def test_pow_function():
+    assert parse_infix("pow(x, 2)") == Apply(
+        "power", (Identifier("x"), Number(2))
+    )
+
+
+def test_piecewise_call():
+    node = parse_infix("piecewise(1, x > 0, 0)")
+    assert isinstance(node, Piecewise)
+    assert node.otherwise == Number(0)
+
+
+def test_user_function_call():
+    node = parse_infix("MM(S, Vmax, Km)")
+    assert node.op == "MM"
+    assert len(node.args) == 3
+
+
+def test_michaelis_menten_formula():
+    # Paper Figure 12: V = Vmax * [A] / (KM + [A])
+    node = parse_infix("Vmax * A / (KM + A)")
+    assert node.op == "divide"
+    assert node.args[0].op == "times"
+    assert node.args[1].op == "plus"
+
+
+def test_mass_action_reversible():
+    # Paper Figure 11: k1[A] - k2[B]
+    node = parse_infix("k1*A - k2*B")
+    assert node.op == "minus"
+
+
+def test_empty_formula_rejected():
+    with pytest.raises(MathParseError):
+        parse_infix("   ")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(MathParseError):
+        parse_infix("a + b )")
+
+
+def test_unbalanced_parens_rejected():
+    with pytest.raises(MathParseError):
+        parse_infix("(a + b")
+
+
+def test_bad_character_rejected():
+    with pytest.raises(MathParseError):
+        parse_infix("a $ b")
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(MathParseError):
+        parse_infix("exp(a, b)")
+
+
+@pytest.mark.parametrize(
+    "formula",
+    [
+        "k1 * A",
+        "a + b * c",
+        "(a + b) * c",
+        "a - b - c",
+        "a / b / c",
+        "a ^ b ^ c",
+        "-x",
+        "exp(-k * t)",
+        "Vmax * A / (KM + A)",
+        "piecewise(1, x > 0, 0)",
+        "log(2, x)",
+        "sqrt(y)",
+        "a > 1 && b < 2",
+        "MM(S, 4.5, Km)",
+        "k1 * A - k2 * B",
+    ],
+)
+def test_round_trip_reparses_identically(formula):
+    node = parse_infix(formula)
+    assert parse_infix(to_infix(node)) == node
+
+
+def test_to_infix_simple():
+    assert to_infix(parse_infix("k1*A")) == "k1 * A"
+
+
+def test_to_infix_preserves_needed_parens():
+    text = to_infix(parse_infix("(a+b)*c"))
+    assert "(" in text
+    assert parse_infix(text) == parse_infix("(a+b)*c")

@@ -1,0 +1,161 @@
+"""Unit tests for commutative canonical patterns (paper Figure 7)."""
+
+from repro.mathml import (
+    Apply,
+    Identifier,
+    Lambda,
+    Number,
+    PatternIndex,
+    canonical_pattern,
+    flatten,
+    math_equivalent,
+    parse_infix,
+)
+
+
+def eq(a, b, mapping=None):
+    return math_equivalent(parse_infix(a), parse_infix(b), mapping)
+
+
+def test_identical_expressions_match():
+    assert eq("k1 * A", "k1 * A")
+
+
+def test_commutative_times_matches():
+    # The paper's motivating case: operand order must not matter.
+    assert eq("k1 * A * B", "B * k1 * A")
+
+
+def test_commutative_plus_matches():
+    assert eq("a + b + c", "c + a + b")
+
+
+def test_non_commutative_minus_does_not_match():
+    assert not eq("a - b", "b - a")
+
+
+def test_non_commutative_divide_does_not_match():
+    assert not eq("a / b", "b / a")
+
+
+def test_associative_grouping_matches():
+    assert eq("(a + b) + c", "a + (b + c)")
+    assert eq("(a * b) * c", "a * (b * c)")
+
+
+def test_mixed_nesting_matches():
+    assert eq("k1*A - k2*B", "A*k1 - B*k2")
+
+
+def test_mixed_nesting_respects_outer_order():
+    assert not eq("k1*A - k2*B", "k2*B - k1*A")
+
+
+def test_number_spelling_normalised():
+    assert eq("2 * x", "2.0 * x")
+
+
+def test_different_numbers_differ():
+    assert not eq("2 * x", "3 * x")
+
+
+def test_relational_eq_commutative():
+    assert eq("x == y", "y == x")
+
+
+def test_relational_lt_not_commutative():
+    assert not eq("x < y", "y < x")
+
+
+def test_logical_and_commutative():
+    assert eq("a && b", "b && a")
+
+
+def test_mapping_unifies_renamed_identifiers():
+    # After species A2 in model 2 is united with A1 in model 1, the
+    # kinetic laws must compare equal ("after applying mappings").
+    assert eq("k * A1", "k * A2", mapping={"A2": "A1"})
+
+
+def test_mapping_chain_followed():
+    assert eq("x", "z", mapping={"z": "y", "y": "x"})
+
+
+def test_mapping_cycle_does_not_hang():
+    pattern = canonical_pattern(
+        Identifier("a"), mapping={"a": "b", "b": "a"}
+    )
+    assert pattern  # terminates with some stable name
+
+
+def test_mapping_applies_to_function_calls():
+    assert eq("f2(x)", "f1(x)", mapping={"f2": "f1"})
+
+
+def test_lambda_alpha_equivalence():
+    first = Lambda(("x",), parse_infix("x * k"))
+    second = Lambda(("y",), parse_infix("y * k"))
+    assert canonical_pattern(first) == canonical_pattern(second)
+
+
+def test_lambda_different_arity_differs():
+    first = Lambda(("x",), Identifier("x"))
+    second = Lambda(("x", "y"), Identifier("x"))
+    assert canonical_pattern(first) != canonical_pattern(second)
+
+
+def test_flatten_nested_plus():
+    node = parse_infix("a + (b + c)")
+    flat = flatten(node)
+    assert flat.op == "plus"
+    assert len(flat.args) == 3
+
+
+def test_flatten_keeps_non_associative():
+    node = parse_infix("a - (b - c)")
+    flat = flatten(node)
+    assert flat.op == "minus"
+    assert isinstance(flat.args[1], Apply)
+
+
+def test_piecewise_patterns():
+    a = parse_infix("piecewise(1, x > 0, 0)")
+    b = parse_infix("piecewise(1, x > 0, 0)")
+    c = parse_infix("piecewise(2, x > 0, 0)")
+    assert canonical_pattern(a) == canonical_pattern(b)
+    assert canonical_pattern(a) != canonical_pattern(c)
+
+
+def test_identifier_and_similar_number_do_not_collide():
+    assert canonical_pattern(Identifier("1")) != canonical_pattern(Number(1))
+
+
+class TestPatternIndex:
+    def test_add_and_find(self):
+        index = PatternIndex()
+        index.add(parse_infix("k1 * A * B"), "lawX")
+        assert index.find(parse_infix("B * A * k1")) == "lawX"
+
+    def test_find_missing_returns_none(self):
+        index = PatternIndex()
+        assert index.find(parse_infix("x")) is None
+
+    def test_first_payload_wins(self):
+        index = PatternIndex()
+        index.add(parse_infix("a + b"), "first")
+        index.add(parse_infix("b + a"), "second")
+        assert index.find(parse_infix("a + b")) == "first"
+        assert len(index) == 1
+
+    def test_mapping_rekeys_existing_entries(self):
+        index = PatternIndex()
+        index.add(parse_infix("k * A1"), "law1")
+        assert index.find(parse_infix("k * A2")) is None
+        index.add_mapping("A2", "A1")
+        assert index.find(parse_infix("k * A2")) == "law1"
+
+    def test_mapping_noop_for_same_name(self):
+        index = PatternIndex()
+        index.add(parse_infix("x"), "v")
+        index.add_mapping("x", "x")
+        assert index.find(parse_infix("x")) == "v"

@@ -1,0 +1,162 @@
+"""Property-based tests for the math engine (hypothesis).
+
+Invariants:
+
+* MathML and infix round trips are lossless,
+* canonical patterns are invariant under commutative-operand
+  permutation and associative regrouping,
+* pattern equality implies value equality (on shared environments),
+* simplification preserves value and pattern-equality classes.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MathError
+from repro.mathml import (
+    Apply,
+    Constant,
+    Identifier,
+    Number,
+    canonical_pattern,
+    evaluate,
+    math_equivalent,
+    parse_infix,
+    parse_mathml,
+    simplify,
+    to_infix,
+    write_mathml,
+)
+
+IDENTIFIERS = ("A", "B", "k1", "k2", "S", "Vmax", "Km", "x", "y")
+
+identifiers = st.sampled_from(IDENTIFIERS).map(Identifier)
+numbers = st.one_of(
+    st.integers(min_value=-100, max_value=100).map(lambda v: Number(float(v))),
+    st.floats(
+        min_value=-100,
+        max_value=100,
+        allow_nan=False,
+        allow_infinity=False,
+        width=32,
+    ).map(lambda v: Number(round(float(v), 6))),
+)
+constants = st.sampled_from(["pi", "exponentiale"]).map(Constant)
+leaves = st.one_of(identifiers, numbers, constants)
+
+
+def _apply_node(children):
+    op, args = children
+    return Apply(op, tuple(args))
+
+
+expressions = st.recursive(
+    leaves,
+    lambda inner: st.one_of(
+        st.tuples(
+            st.sampled_from(["plus", "times"]),
+            st.lists(inner, min_size=2, max_size=4),
+        ).map(_apply_node),
+        st.tuples(
+            st.sampled_from(["minus", "divide", "power"]),
+            st.lists(inner, min_size=2, max_size=2),
+        ).map(_apply_node),
+        st.tuples(
+            st.sampled_from(["exp", "sin", "cos", "abs"]),
+            st.lists(inner, min_size=1, max_size=1),
+        ).map(_apply_node),
+    ),
+    max_leaves=12,
+)
+
+
+@given(expressions)
+@settings(max_examples=150, deadline=None)
+def test_mathml_round_trip(expr):
+    assert parse_mathml(write_mathml(expr)) == expr
+
+
+@given(expressions)
+@settings(max_examples=150, deadline=None)
+def test_infix_round_trip_preserves_pattern(expr):
+    # Infix rendering may reassociate n-ary chains; the canonical
+    # pattern (which flattens) must survive exactly.
+    rendered = to_infix(expr)
+    reparsed = parse_infix(rendered)
+    assert canonical_pattern(reparsed) == canonical_pattern(expr)
+
+
+@given(expressions, st.randoms())
+@settings(max_examples=150, deadline=None)
+def test_pattern_invariant_under_commutative_shuffle(expr, rng):
+    def shuffle(node):
+        if isinstance(node, Apply):
+            args = [shuffle(arg) for arg in node.args]
+            if node.is_commutative:
+                rng.shuffle(args)
+            return Apply(node.op, tuple(args))
+        return node
+
+    shuffled = shuffle(expr)
+    assert math_equivalent(expr, shuffled)
+
+
+@given(st.lists(leaves, min_size=3, max_size=6), st.randoms())
+@settings(max_examples=100, deadline=None)
+def test_pattern_invariant_under_regrouping(args, rng):
+    def group(items):
+        if len(items) == 1:
+            return items[0]
+        split = rng.randint(1, len(items) - 1)
+        return Apply("plus", (group(items[:split]), group(items[split:])))
+
+    flat = Apply("plus", tuple(args))
+    nested = group(list(args))
+    assert math_equivalent(flat, nested)
+
+
+@given(expressions)
+@settings(max_examples=150, deadline=None)
+def test_simplify_preserves_value(expr):
+    env = {name: 1.5 + 0.25 * index for index, name in enumerate(IDENTIFIERS)}
+    try:
+        original = evaluate(expr, env)
+    except MathError:
+        return  # outside the evaluation domain: nothing to compare
+    if not math.isfinite(original):
+        return
+    simplified = simplify(expr)
+    result = evaluate(simplified, env)
+    assert result == pytest.approx(original, rel=1e-9, abs=1e-9)
+
+
+@given(expressions, expressions)
+@settings(max_examples=100, deadline=None)
+def test_pattern_equality_implies_value_equality(first, second):
+    if not math_equivalent(first, second):
+        return
+    env = {name: 0.75 + 0.5 * index for index, name in enumerate(IDENTIFIERS)}
+    try:
+        value_first = evaluate(first, env)
+        value_second = evaluate(second, env)
+    except MathError:
+        return
+    if math.isfinite(value_first) and math.isfinite(value_second):
+        assert value_first == pytest.approx(value_second, rel=1e-9, abs=1e-9)
+
+
+@given(expressions)
+@settings(max_examples=100, deadline=None)
+def test_pattern_is_deterministic(expr):
+    assert canonical_pattern(expr) == canonical_pattern(expr)
+
+
+@given(expressions, st.sampled_from(IDENTIFIERS), st.sampled_from(IDENTIFIERS))
+@settings(max_examples=100, deadline=None)
+def test_rename_then_pattern_equals_pattern_with_mapping(expr, old, new):
+    renamed = expr.rename({old: new})
+    assert canonical_pattern(renamed) == canonical_pattern(
+        expr, mapping={old: new}
+    )

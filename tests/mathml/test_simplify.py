@@ -1,0 +1,128 @@
+"""Unit tests for the conservative simplifier."""
+
+import pytest
+
+from repro.mathml import (
+    Apply,
+    Constant,
+    Identifier,
+    Number,
+    Piecewise,
+    evaluate,
+    parse_infix,
+    simplify,
+)
+
+
+def simp(formula):
+    return simplify(parse_infix(formula))
+
+
+def test_constant_folding():
+    assert simp("2 + 3") == Number(5)
+    assert simp("2 * 3 * 4") == Number(24)
+    assert simp("2 ^ 10") == Number(1024)
+
+
+def test_identity_addition():
+    assert simp("x + 0") == Identifier("x")
+    assert simp("0 + x") == Identifier("x")
+
+
+def test_identity_multiplication():
+    assert simp("x * 1") == Identifier("x")
+    assert simp("1 * x * 1") == Identifier("x")
+
+
+def test_partial_literal_collection():
+    node = simp("2 * x * 3")
+    assert node.op == "times"
+    assert Number(6) in node.args
+    assert Identifier("x") in node.args
+
+
+def test_subtract_zero():
+    assert simp("x - 0") == Identifier("x")
+
+
+def test_zero_minus_x_becomes_negation():
+    assert simp("0 - x") == Apply("minus", (Identifier("x"),))
+
+
+def test_divide_by_one():
+    assert simp("x / 1") == Identifier("x")
+
+
+def test_zero_divided():
+    assert simp("0 / x") == Number(0)
+
+
+def test_power_one():
+    assert simp("x ^ 1") == Identifier("x")
+
+
+def test_power_zero():
+    assert simp("x ^ 0") == Number(1)
+
+
+def test_double_negation():
+    node = simplify(
+        Apply("minus", (Apply("minus", (Identifier("x"),)),))
+    )
+    assert node == Identifier("x")
+
+
+def test_logical_identity():
+    assert simp("x > 1 && true") == parse_infix("x > 1")
+    assert simp("x > 1 || false") == parse_infix("x > 1")
+
+
+def test_logical_absorbing():
+    assert simp("x > 1 && false") == Constant("false")
+    assert simp("x > 1 || true") == Constant("true")
+
+
+def test_double_not():
+    assert simp("!!x") == Identifier("x")
+
+
+def test_piecewise_dead_branch_removed():
+    node = simp("piecewise(1, false, 2, x > 0, 3)")
+    assert isinstance(node, Piecewise)
+    assert len(node.pieces) == 1
+
+
+def test_piecewise_always_true_collapses():
+    assert simp("piecewise(7, true, 3)") == Number(7)
+
+
+def test_zero_times_not_folded_away():
+    # 0*expr is kept: expr could be NaN/inf where the identity fails.
+    node = simp("0 * x")
+    assert node.op == "times"
+
+
+@pytest.mark.parametrize(
+    "formula,env",
+    [
+        ("2 * x * 3 + 0", {"x": 1.7}),
+        ("x ^ 1 + y / 1", {"x": 2.0, "y": 8.0}),
+        ("exp(0 + x)", {"x": 0.3}),
+        ("piecewise(x, x > 0, -x)", {"x": -2.0}),
+        ("(a + 0) * (b * 1)", {"a": 3.0, "b": 4.0}),
+        ("k1 * A - k2 * B", {"k1": 1.0, "A": 2.0, "k2": 3.0, "B": 4.0}),
+    ],
+)
+def test_simplify_preserves_value(formula, env):
+    node = parse_infix(formula)
+    assert evaluate(simplify(node), env) == pytest.approx(
+        evaluate(node, env)
+    )
+
+
+def test_simplify_widens_pattern_equality():
+    from repro.mathml import math_equivalent
+
+    a = simplify(parse_infix("k * 1 * A"))
+    b = simplify(parse_infix("A * k"))
+    assert math_equivalent(a, b)

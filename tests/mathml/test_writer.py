@@ -1,0 +1,91 @@
+"""Unit tests for the MathML writer (round trips with the parser)."""
+
+import pytest
+
+from repro.mathml import (
+    Apply,
+    Constant,
+    Identifier,
+    Lambda,
+    Number,
+    Piecewise,
+    parse_infix,
+    parse_mathml,
+    write_mathml,
+)
+
+
+def round_trip(node):
+    return parse_mathml(write_mathml(node))
+
+
+@pytest.mark.parametrize(
+    "node",
+    [
+        Number(4.0),
+        Number(4.5),
+        Number(-3.0),
+        Number(6.022e23),
+        Number(2.0, "per_second"),
+        Identifier("S1"),
+        Identifier("time"),
+        Constant("pi"),
+        Constant("true"),
+        Apply("plus", (Identifier("a"), Identifier("b"), Number(1))),
+        Apply("minus", (Identifier("x"),)),
+        Apply("divide", (Identifier("a"), Identifier("b"))),
+        Apply("power", (Identifier("x"), Number(2))),
+        Apply("root", (Number(3), Identifier("x"))),
+        Apply("log", (Number(2), Identifier("x"))),
+        Apply("exp", (Identifier("x"),)),
+        Apply("MM", (Identifier("S"), Identifier("Vmax"))),
+        Lambda(("x", "y"), Apply("plus", (Identifier("x"), Identifier("y")))),
+        Piecewise(
+            ((Number(1), Apply("gt", (Identifier("x"), Number(0)))),),
+            Number(0),
+        ),
+    ],
+)
+def test_round_trip(node):
+    assert round_trip(node) == node
+
+
+def test_round_trip_from_infix():
+    for formula in [
+        "k1 * A * B",
+        "Vmax * S / (Km + S)",
+        "exp(-k * time)",
+        "piecewise(1, x >= 2, 0)",
+        "a && b || !c",
+    ]:
+        node = parse_infix(formula)
+        assert round_trip(node) == node
+
+
+def test_writer_emits_namespace():
+    text = write_mathml(Number(1))
+    assert 'xmlns="http://www.w3.org/1998/Math/MathML"' in text
+
+
+def test_integer_rendering():
+    text = write_mathml(Number(7.0))
+    assert 'type="integer"' in text
+    assert ">7<" in text
+
+
+def test_units_attribute_emitted():
+    text = write_mathml(Number(2.0, "per_second"))
+    assert 'units="per_second"' in text
+
+
+def test_csymbol_time_round_trips():
+    text = write_mathml(Identifier("time"))
+    assert "csymbol" in text
+    assert round_trip(Identifier("time")) == Identifier("time")
+
+
+def test_indented_output_parses():
+    node = parse_infix("k1 * A + k2 * B")
+    pretty = write_mathml(node, indent="  ")
+    assert "\n" in pretty
+    assert parse_mathml(pretty) == node

@@ -1,0 +1,216 @@
+"""Unit tests for the fluent model builder."""
+
+import pytest
+
+from repro.errors import SBMLError
+from repro.mathml import parse_infix, to_infix
+from repro.sbml import ModelBuilder
+
+
+def test_species_needs_compartment():
+    with pytest.raises(SBMLError):
+        ModelBuilder("m").species("A")
+
+
+def test_first_compartment_is_default():
+    model = (
+        ModelBuilder("m")
+        .compartment("cyto")
+        .compartment("nucleus")
+        .species("A")
+        .species("B", compartment="nucleus")
+        .build()
+    )
+    assert model.get_species("A").compartment == "cyto"
+    assert model.get_species("B").compartment == "nucleus"
+
+
+def test_species_amount_flag():
+    model = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("X", 100.0, amount=True)
+        .build()
+    )
+    species = model.get_species("X")
+    assert species.initial_amount == 100.0
+    assert species.initial_concentration is None
+    assert species.has_only_substance_units
+
+
+def test_mass_action_formula_first_order():
+    # Paper Figure 10: A -k1-> B has kinetics k1*[A].
+    model = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("A")
+        .species("B")
+        .parameter("k1", 1.0)
+        .mass_action("r", ["A"], ["B"], "k1")
+        .build()
+    )
+    law = model.get_reaction("r").kinetic_law
+    assert law.math == parse_infix("k1 * A")
+
+
+def test_mass_action_formula_second_order():
+    # Paper Figure 11: A + B -k1-> C has kinetics k1*[A]*[B].
+    model = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("A")
+        .species("B")
+        .species("C")
+        .parameter("k1", 1.0)
+        .mass_action("r", ["A", "B"], ["C"], "k1")
+        .build()
+    )
+    assert model.get_reaction("r").kinetic_law.math == parse_infix("k1*A*B")
+
+
+def test_mass_action_with_stoichiometry():
+    model = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("A")
+        .species("B")
+        .parameter("k", 1.0)
+        .mass_action("r", [("A", 2)], ["B"], "k")
+        .build()
+    )
+    reaction = model.get_reaction("r")
+    assert reaction.reactants[0].stoichiometry == 2.0
+    assert reaction.kinetic_law.math == parse_infix("k * A^2")
+
+
+def test_reversible_mass_action():
+    # Paper Figure 11: A <-> B has kinetics k1[A] - k2[B].
+    model = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("A")
+        .species("B")
+        .parameter("k1", 1.0)
+        .parameter("k2", 0.5)
+        .reversible_mass_action("r", ["A"], ["B"], "k1", "k2")
+        .build()
+    )
+    reaction = model.get_reaction("r")
+    assert reaction.reversible
+    assert reaction.kinetic_law.math == parse_infix("k1*A - k2*B")
+
+
+def test_michaelis_menten_without_enzyme():
+    # Paper Figure 12.
+    model = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("S")
+        .species("P")
+        .parameter("Vmax", 1.0)
+        .parameter("Km", 0.5)
+        .michaelis_menten("r", "S", "P", "Vmax", "Km")
+        .build()
+    )
+    law = model.get_reaction("r").kinetic_law
+    assert law.math == parse_infix("Vmax * S / (Km + S)")
+
+
+def test_michaelis_menten_with_enzyme_modifier():
+    model = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("S")
+        .species("P")
+        .species("E")
+        .parameter("kcat", 1.0)
+        .parameter("Km", 0.5)
+        .michaelis_menten("r", "S", "P", "kcat", "Km", enzyme="E")
+        .build()
+    )
+    reaction = model.get_reaction("r")
+    assert [m.species for m in reaction.modifiers] == ["E"]
+    assert reaction.kinetic_law.math == parse_infix(
+        "kcat * E * S / (Km + S)"
+    )
+
+
+def test_local_parameters():
+    model = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("A")
+        .reaction("r", ["A"], [], formula="k*A", local_parameters={"k": 3.0})
+        .build()
+    )
+    law = model.get_reaction("r").kinetic_law
+    assert law.parameters[0].id == "k"
+    assert law.parameters[0].value == 3.0
+
+
+def test_rules_and_assignments():
+    model = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("A", 1.0)
+        .parameter("total", constant=False)
+        .assignment_rule("total", "A * 2")
+        .rate_rule("A", "-0.1 * A")
+        .initial_assignment("A", "total / 2")
+        .build()
+    )
+    assert len(model.rules) == 2
+    assert model.initial_assignments[0].symbol == "A"
+
+
+def test_event_construction():
+    model = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("A", 1.0)
+        .event("dose", "time >= 10", {"A": "A + 5"}, delay="2")
+        .build()
+    )
+    event = model.get_event("dose")
+    assert event.trigger.math == parse_infix("time >= 10")
+    assert event.delay.math == parse_infix("2")
+    assert event.assignments[0].variable == "A"
+
+
+def test_function_definition():
+    model = (
+        ModelBuilder("m")
+        .function("MM", ["S", "Vmax", "Km"], "Vmax*S/(Km+S)")
+        .build()
+    )
+    fd = model.get_function_definition("MM")
+    assert fd.math.params == ("S", "Vmax", "Km")
+
+
+def test_annotate_known_component():
+    model_builder = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("glc", 1.0)
+        .annotate("glc", "is", "urn:miriam:chebi:17234")
+    )
+    model = model_builder.build()
+    assert model.get_species("glc").annotations["is"] == [
+        "urn:miriam:chebi:17234"
+    ]
+
+
+def test_annotate_unknown_component_rejected():
+    with pytest.raises(SBMLError):
+        ModelBuilder("m").annotate("ghost", "is", "urn:x")
+
+
+def test_constraint_with_message():
+    model = (
+        ModelBuilder("m")
+        .compartment("c")
+        .species("A", 1.0)
+        .constraint("A >= 0", message="A must stay non-negative")
+        .build()
+    )
+    assert model.constraints[0].message == "A must stay non-negative"

@@ -1,0 +1,144 @@
+"""Unit tests for SBML component classes."""
+
+from repro.mathml import Identifier, Lambda, parse_infix
+from repro.sbml import (
+    AssignmentRule,
+    Compartment,
+    Event,
+    EventAssignment,
+    FunctionDefinition,
+    KineticLaw,
+    ModifierSpeciesReference,
+    Parameter,
+    RateRule,
+    Reaction,
+    Species,
+    SpeciesReference,
+    Trigger,
+)
+
+
+def test_label_prefers_name():
+    species = Species(id="s1", name="Glucose")
+    assert species.label() == "Glucose"
+
+
+def test_label_falls_back_to_id():
+    assert Species(id="s1").label() == "s1"
+    assert Species().label() == "<anonymous>"
+
+
+def test_annotation_uris_flattened():
+    species = Species(
+        id="s1",
+        annotations={
+            "is": ["urn:miriam:chebi:17234"],
+            "isVersionOf": ["urn:miriam:kegg:C00031"],
+        },
+    )
+    assert set(species.annotation_uris()) == {
+        "urn:miriam:chebi:17234",
+        "urn:miriam:kegg:C00031",
+    }
+
+
+def test_species_initial_value_amount_wins():
+    species = Species(id="s", initial_amount=5.0)
+    assert species.initial_value() == 5.0
+    species = Species(id="s", initial_concentration=2.0)
+    assert species.initial_value() == 2.0
+    assert Species(id="s").initial_value() is None
+
+
+def test_species_copy_is_deep():
+    original = Species(id="s", annotations={"is": ["u1"]})
+    duplicate = original.copy()
+    duplicate.annotations["is"].append("u2")
+    assert original.annotations["is"] == ["u1"]
+
+
+def test_assignment_rule_variable_roundtrip():
+    rule = AssignmentRule(math=parse_infix("2 * x"))
+    rule.variable = "y"
+    assert rule.variable == "y"
+    copied = rule.copy()
+    assert copied.variable == "y"
+    assert copied.math == rule.math
+
+
+def test_rate_rule_variable():
+    rule = RateRule(math=parse_infix("k"))
+    rule.variable = "s"
+    assert rule.copy().variable == "s"
+
+
+def test_function_definition_copy():
+    fd = FunctionDefinition(
+        id="f", math=Lambda(("x",), Identifier("x"))
+    )
+    assert fd.copy().math == fd.math
+
+
+def test_reaction_species_ids_role_order():
+    reaction = Reaction(
+        id="r",
+        reactants=[SpeciesReference("A")],
+        products=[SpeciesReference("B"), SpeciesReference("C")],
+        modifiers=[ModifierSpeciesReference("E")],
+    )
+    assert reaction.species_ids() == ["A", "B", "C", "E"]
+
+
+def test_reaction_edge_count_product_of_sides():
+    reaction = Reaction(
+        id="r",
+        reactants=[SpeciesReference("A"), SpeciesReference("B")],
+        products=[SpeciesReference("C"), SpeciesReference("D")],
+    )
+    assert reaction.edge_count() == 4
+
+
+def test_reaction_edge_count_degenerate():
+    synthesis = Reaction(id="r", products=[SpeciesReference("X")])
+    assert synthesis.edge_count() == 1
+    empty = Reaction(id="r")
+    assert empty.edge_count() == 0
+
+
+def test_reaction_copy_deep():
+    reaction = Reaction(
+        id="r",
+        reactants=[SpeciesReference("A", 2.0)],
+        kinetic_law=KineticLaw(
+            math=parse_infix("k * A"),
+            parameters=[Parameter(id="k", value=1.0)],
+        ),
+    )
+    duplicate = reaction.copy()
+    duplicate.reactants[0].stoichiometry = 3.0
+    duplicate.kinetic_law.parameters[0].value = 9.0
+    assert reaction.reactants[0].stoichiometry == 2.0
+    assert reaction.kinetic_law.parameters[0].value == 1.0
+
+
+def test_kinetic_law_local_parameter_ids():
+    law = KineticLaw(parameters=[Parameter(id="k1"), Parameter(id="k2")])
+    assert law.local_parameter_ids() == ["k1", "k2"]
+
+
+def test_event_copy_deep():
+    event = Event(
+        id="e",
+        trigger=Trigger(parse_infix("time > 5")),
+        assignments=[EventAssignment("x", parse_infix("0"))],
+    )
+    duplicate = event.copy()
+    duplicate.assignments[0].variable = "y"
+    assert event.assignments[0].variable == "x"
+
+
+def test_compartment_defaults():
+    compartment = Compartment(id="cell")
+    assert compartment.spatial_dimensions == 3
+    assert compartment.constant
+    assert compartment.copy().id == "cell"

@@ -1,0 +1,103 @@
+"""Unit tests for the RK4 and RKF45 integrators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import rk4, rkf45
+
+
+def exponential_decay(t, y):
+    return -y
+
+
+def test_rk4_exponential_decay():
+    times, states = rk4(exponential_decay, np.array([1.0]), 0.0, 5.0, 500)
+    assert states[-1, 0] == pytest.approx(math.exp(-5.0), rel=1e-6)
+
+
+def test_rk4_sample_count():
+    times, states = rk4(exponential_decay, np.array([1.0]), 0.0, 1.0, 10)
+    assert len(times) == 11
+    assert states.shape == (11, 1)
+
+
+def test_rk4_fourth_order_convergence():
+    # Halving the step size should cut the error by about 2^4.
+    exact = math.exp(-1.0)
+    _, coarse = rk4(exponential_decay, np.array([1.0]), 0.0, 1.0, 10)
+    _, fine = rk4(exponential_decay, np.array([1.0]), 0.0, 1.0, 20)
+    error_coarse = abs(coarse[-1, 0] - exact)
+    error_fine = abs(fine[-1, 0] - exact)
+    assert error_coarse / error_fine > 8.0
+
+
+def test_rk4_harmonic_oscillator_energy():
+    def oscillator(t, y):
+        return np.array([y[1], -y[0]])
+
+    _, states = rk4(oscillator, np.array([1.0, 0.0]), 0.0, 2 * math.pi, 1000)
+    # One full period returns to the start.
+    assert states[-1, 0] == pytest.approx(1.0, abs=1e-6)
+    assert states[-1, 1] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_rk4_rejects_bad_args():
+    with pytest.raises(SimulationError):
+        rk4(exponential_decay, np.array([1.0]), 0.0, 1.0, 0)
+    with pytest.raises(SimulationError):
+        rk4(exponential_decay, np.array([1.0]), 1.0, 1.0, 10)
+
+
+def test_rk4_detects_divergence():
+    def blow_up(t, y):
+        with np.errstate(over="ignore", invalid="ignore"):
+            return y * y * 1e6
+
+    with pytest.raises(SimulationError):
+        rk4(blow_up, np.array([1.0]), 0.0, 10.0, 10)
+
+
+def test_rkf45_exponential_decay():
+    times, states = rkf45(
+        exponential_decay, np.array([1.0]), 0.0, 5.0, rtol=1e-8
+    )
+    assert states[-1, 0] == pytest.approx(math.exp(-5.0), rel=1e-6)
+
+
+def test_rkf45_endpoints_included():
+    times, _ = rkf45(exponential_decay, np.array([1.0]), 0.0, 2.0)
+    assert times[0] == 0.0
+    assert times[-1] == pytest.approx(2.0)
+
+
+def test_rkf45_adapts_step_size():
+    # A stiff-ish pulse forces small steps near t=5.
+    def pulse(t, y):
+        return np.array([-((t - 5.0) ** 2) * 50.0 * y[0]])
+
+    times, _ = rkf45(pulse, np.array([1.0]), 0.0, 10.0, rtol=1e-6)
+    gaps = np.diff(times)
+    assert gaps.min() < gaps.max() / 2  # non-uniform steps
+
+
+def test_rkf45_tight_tolerance_more_steps():
+    _, loose = rkf45(exponential_decay, np.array([1.0]), 0.0, 1.0, rtol=1e-3)
+    _, tight = rkf45(exponential_decay, np.array([1.0]), 0.0, 1.0, rtol=1e-10)
+    assert len(tight) >= len(loose)
+
+
+def test_rkf45_rejects_empty_span():
+    with pytest.raises(SimulationError):
+        rkf45(exponential_decay, np.array([1.0]), 2.0, 1.0)
+
+
+def test_rkf45_two_dimensional():
+    def linear(t, y):
+        return np.array([y[1], -y[0]])
+
+    _, states = rkf45(linear, np.array([0.0, 1.0]), 0.0, math.pi, rtol=1e-9)
+    assert states[-1, 0] == pytest.approx(0.0, abs=1e-6)
+    assert states[-1, 1] == pytest.approx(-1.0, abs=1e-6)

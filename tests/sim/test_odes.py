@@ -1,0 +1,262 @@
+"""Unit tests for the ODE simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import ModelBuilder
+from repro.errors import SimulationError
+from repro.sim import OdeSimulator, simulate
+
+
+def decay_model(k=0.5):
+    return (
+        ModelBuilder("decay")
+        .compartment("cell", size=1.0)
+        .species("A", 10.0)
+        .parameter("k", k)
+        .mass_action("r", ["A"], [], "k")
+        .build()
+    )
+
+
+class TestBasicKinetics:
+    def test_first_order_decay_analytic(self):
+        # dA/dt = -k A  =>  A(t) = A0 exp(-kt)
+        trace = simulate(decay_model(0.5), t_end=4.0, steps=400)
+        expected = 10.0 * math.exp(-0.5 * 4.0)
+        assert trace.final()["A"] == pytest.approx(expected, rel=1e-4)
+
+    def test_conversion_conserves_mass(self):
+        model = (
+            ModelBuilder("conv")
+            .compartment("cell", size=1.0)
+            .species("A", 10.0)
+            .species("B", 0.0)
+            .parameter("k", 1.0)
+            .mass_action("r", ["A"], ["B"], "k")
+            .build()
+        )
+        trace = simulate(model, t_end=3.0, steps=300)
+        total = trace.column("A") + trace.column("B")
+        assert np.allclose(total, 10.0, rtol=1e-6)
+
+    def test_reversible_reaches_equilibrium(self):
+        # A <-> B with k1=2, k2=1: equilibrium at B/A = 2.
+        model = (
+            ModelBuilder("rev")
+            .compartment("cell", size=1.0)
+            .species("A", 9.0)
+            .species("B", 0.0)
+            .parameter("k1", 2.0)
+            .parameter("k2", 1.0)
+            .reversible_mass_action("r", ["A"], ["B"], "k1", "k2")
+            .build()
+        )
+        final = simulate(model, t_end=20.0, steps=2000).final()
+        assert final["B"] / final["A"] == pytest.approx(2.0, rel=1e-3)
+
+    def test_michaelis_menten_half_vmax_at_km(self):
+        # Paper Fig 12: at [A] = KM the velocity is Vmax/2.
+        model = (
+            ModelBuilder("mm")
+            .compartment("cell", size=1.0)
+            .species("S", 2.0)
+            .species("P", 0.0)
+            .parameter("Vmax", 1.0)
+            .parameter("Km", 2.0)
+            .michaelis_menten("r", "S", "P", "Vmax", "Km")
+            .build()
+        )
+        simulator = OdeSimulator(model)
+        env = simulator.initial_environment()
+        y = np.array([env[name] for name in simulator.state_ids])
+        dydt = simulator.derivatives(0.0, y, env)
+        p_index = simulator.state_ids.index("P")
+        assert dydt[p_index] == pytest.approx(0.5)
+
+    def test_second_order_kinetics(self):
+        model = (
+            ModelBuilder("bi")
+            .compartment("cell", size=1.0)
+            .species("A", 2.0)
+            .species("B", 3.0)
+            .species("C", 0.0)
+            .parameter("k", 0.25)
+            .mass_action("r", ["A", "B"], ["C"], "k")
+            .build()
+        )
+        simulator = OdeSimulator(model)
+        env = simulator.initial_environment()
+        y = np.array([env[name] for name in simulator.state_ids])
+        dydt = simulator.derivatives(0.0, y, env)
+        c_index = simulator.state_ids.index("C")
+        assert dydt[c_index] == pytest.approx(0.25 * 2.0 * 3.0)
+
+
+class TestRulesAndAssignments:
+    def test_rate_rule_drives_parameter(self):
+        model = (
+            ModelBuilder("rr")
+            .compartment("cell", size=1.0)
+            .parameter("p", 0.0, constant=False)
+            .rate_rule("p", "2")
+            .build()
+        )
+        trace = simulate(model, t_end=5.0, steps=100, record=["p"])
+        assert trace.final()["p"] == pytest.approx(10.0, rel=1e-9)
+
+    def test_assignment_rule_tracks_state(self):
+        model = (
+            ModelBuilder("ar")
+            .compartment("cell", size=1.0)
+            .species("A", 10.0)
+            .parameter("k", 0.5)
+            .parameter("double_A", constant=False)
+            .assignment_rule("double_A", "2 * A")
+            .mass_action("r", ["A"], [], "k")
+            .build()
+        )
+        trace = simulate(model, 2.0, 200, record=["A", "double_A"])
+        assert np.allclose(
+            trace.column("double_A"), 2 * trace.column("A"), rtol=1e-9
+        )
+
+    def test_initial_assignment_overrides_declared(self):
+        model = (
+            ModelBuilder("ia")
+            .compartment("cell", size=1.0)
+            .species("A", 1.0)
+            .parameter("k", 0.0)
+            .initial_assignment("A", "21 * 2")
+            .build()
+        )
+        trace = simulate(model, 1.0, 10)
+        assert trace.column("A")[0] == pytest.approx(42.0)
+
+    def test_boundary_species_stays_fixed(self):
+        model = (
+            ModelBuilder("bd")
+            .compartment("cell", size=1.0)
+            .species("S", 5.0, boundary=True)
+            .species("P", 0.0)
+            .parameter("k", 1.0)
+            .mass_action("r", ["S"], ["P"], "k")
+            .build()
+        )
+        trace = simulate(model, 1.0, 100)
+        assert np.allclose(trace.column("S"), 5.0)
+        assert trace.final()["P"] == pytest.approx(5.0, rel=1e-6)
+
+
+class TestEvents:
+    def test_event_fires_on_threshold(self):
+        model = (
+            ModelBuilder("ev")
+            .compartment("cell", size=1.0)
+            .species("A", 10.0)
+            .parameter("k", 1.0)
+            .mass_action("r", ["A"], [], "k")
+            .event("refill", "A < 5", {"A": "10"})
+            .build()
+        )
+        trace = simulate(model, 3.0, 3000)
+        # A decays towards 5, is reset to 10, so it never drops much
+        # below the threshold.
+        assert trace.column("A").min() > 4.5
+
+    def test_event_with_delay(self):
+        model = (
+            ModelBuilder("evd")
+            .compartment("cell", size=1.0)
+            .species("A", 0.0, boundary=True)
+            .parameter("unused", 0.0)
+            .event("dose", "time >= 1", {"A": "7"}, delay="2")
+            .build()
+        )
+        trace = simulate(model, 5.0, 500)
+        # Fires at t=1, applies at t=3.
+        assert trace.at(2.0)["A"] == pytest.approx(0.0)
+        assert trace.at(4.0)["A"] == pytest.approx(7.0)
+
+    def test_event_fires_once_per_rising_edge(self):
+        model = (
+            ModelBuilder("edge")
+            .compartment("cell", size=1.0)
+            .species("A", 0.0, boundary=True)
+            .event("inc", "time >= 1", {"A": "A + 1"})
+            .build()
+        )
+        trace = simulate(model, 5.0, 500)
+        assert trace.final()["A"] == pytest.approx(1.0)
+
+
+class TestConcentrationVsAmount:
+    def test_concentration_divided_by_volume(self):
+        # Same reaction in a 2-litre compartment: concentration change
+        # is half the substance change.
+        model = (
+            ModelBuilder("vol")
+            .compartment("cell", size=2.0)
+            .species("A", 1.0)
+            .species("B", 0.0)
+            .parameter("k", 1.0)
+            .reaction("r", ["A"], ["B"], formula="k")  # constant flux
+            .build()
+        )
+        simulator = OdeSimulator(model)
+        env = simulator.initial_environment()
+        y = np.array([env[name] for name in simulator.state_ids])
+        dydt = simulator.derivatives(0.0, y, env)
+        b_index = simulator.state_ids.index("B")
+        assert dydt[b_index] == pytest.approx(0.5)  # 1 substance / 2 l
+
+    def test_amount_species_not_divided(self):
+        model = (
+            ModelBuilder("amt")
+            .compartment("cell", size=2.0)
+            .species("A", 1.0, amount=True)
+            .species("B", 0.0, amount=True)
+            .parameter("k", 1.0)
+            .reaction("r", ["A"], ["B"], formula="k")
+            .build()
+        )
+        simulator = OdeSimulator(model)
+        env = simulator.initial_environment()
+        y = np.array([env[name] for name in simulator.state_ids])
+        dydt = simulator.derivatives(0.0, y, env)
+        b_index = simulator.state_ids.index("B")
+        assert dydt[b_index] == pytest.approx(1.0)
+
+
+class TestLocalParameters:
+    def test_local_parameter_shadows_global(self):
+        model = (
+            ModelBuilder("loc")
+            .compartment("cell", size=1.0)
+            .species("A", 10.0)
+            .parameter("k", 100.0)  # global decoy
+            .reaction("r", ["A"], [], formula="k*A", local_parameters={"k": 0.5})
+            .build()
+        )
+        trace = simulate(model, 1.0, 100)
+        expected = 10.0 * math.exp(-0.5)
+        assert trace.final()["A"] == pytest.approx(expected, rel=1e-4)
+
+
+class TestErrors:
+    def test_negative_t_end_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate(decay_model(), -1.0)
+
+    def test_unbound_identifier_fails(self):
+        model = (
+            ModelBuilder("bad")
+            .compartment("cell", size=1.0)
+            .species("A", 1.0)
+            .reaction("r", ["A"], [], formula="ghost * A")
+            .build()
+        )
+        with pytest.raises(SimulationError):
+            simulate(model, 1.0, 10)

@@ -1,0 +1,97 @@
+"""Unit tests for Trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Trace
+
+
+@pytest.fixture
+def trace():
+    times = np.linspace(0, 10, 11)
+    return Trace(times, {"A": times * 2, "B": 10 - times})
+
+
+def test_len_and_contains(trace):
+    assert len(trace) == 11
+    assert "A" in trace
+    assert "Z" not in trace
+
+
+def test_species_sorted(trace):
+    assert trace.species == ["A", "B"]
+
+
+def test_column_lookup(trace):
+    assert trace.column("A")[5] == 10.0
+    with pytest.raises(SimulationError):
+        trace.column("missing")
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(SimulationError):
+        Trace([0, 1, 2], {"A": [1, 2]})
+
+
+def test_at_interpolates(trace):
+    state = trace.at(2.5)
+    assert state["A"] == pytest.approx(5.0)
+    assert state["B"] == pytest.approx(7.5)
+
+
+def test_final(trace):
+    assert trace.final() == {"A": 20.0, "B": 0.0}
+
+
+def test_slice_columns(trace):
+    only_a = trace.slice_columns(["A"])
+    assert only_a.species == ["A"]
+    assert len(only_a) == len(trace)
+
+
+def test_resample(trace):
+    resampled = trace.resample([0.0, 5.0, 10.0])
+    assert len(resampled) == 3
+    assert resampled.column("A")[1] == pytest.approx(10.0)
+
+
+def test_to_rows_order(trace):
+    rows = trace.to_rows()
+    assert rows[0] == [0.0, 0.0, 10.0]  # time, A, B
+    assert len(rows) == 11
+
+
+def test_csv_round_trip(tmp_path, trace):
+    path = tmp_path / "trace.csv"
+    trace.write_csv(path)
+    restored = Trace.read_csv(path)
+    assert restored.species == trace.species
+    assert np.allclose(restored.times, trace.times)
+    assert np.allclose(restored.column("A"), trace.column("A"))
+
+
+def test_read_csv_rejects_bad_header(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("t,A\n0,1\n")
+    with pytest.raises(SimulationError):
+        Trace.read_csv(path)
+
+
+def test_read_csv_rejects_empty(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("time,A\n")
+    with pytest.raises(SimulationError):
+        Trace.read_csv(path)
+
+
+def test_sparkline_shape(trace):
+    line = trace.sparkline("A", width=20)
+    assert len(line) <= 20
+    assert line[0] != line[-1]  # rising series
+
+
+def test_sparkline_constant_series():
+    flat = Trace([0, 1, 2], {"A": [3, 3, 3]})
+    line = flat.sparkline("A")
+    assert len(set(line)) == 1

@@ -1,0 +1,128 @@
+"""Unit tests for synonym tables and name normalisation."""
+
+from repro.synonyms import SynonymTable, builtin_synonyms, normalize_name
+
+
+class TestNormalizeName:
+    def test_case_insensitive(self):
+        assert normalize_name("ATP") == normalize_name("atp")
+
+    def test_whitespace_stripped(self):
+        assert normalize_name("adenosine  triphosphate") == (
+            normalize_name("adenosinetriphosphate")
+        )
+
+    def test_punctuation_stripped(self):
+        assert normalize_name("glucose-6-phosphate") == (
+            normalize_name("glucose 6 phosphate")
+        )
+
+    def test_greek_letters_folded(self):
+        assert normalize_name("α-ketoglutarate") == (
+            normalize_name("alpha ketoglutarate")
+        )
+
+    def test_brackets_stripped(self):
+        assert normalize_name("Ca(2+)") == normalize_name("ca2+")
+
+
+class TestSynonymTable:
+    def test_equal_names_always_synonymous(self):
+        table = SynonymTable()
+        assert table.are_synonyms("X", "X")
+        assert table.are_synonyms("X", "x")
+
+    def test_unrelated_names_not_synonymous(self):
+        table = SynonymTable()
+        assert not table.are_synonyms("ATP", "GTP")
+
+    def test_ring_members_synonymous(self):
+        table = SynonymTable([["ATP", "adenosine triphosphate"]])
+        assert table.are_synonyms("ATP", "Adenosine Triphosphate")
+        assert table.are_synonyms("adenosine triphosphate", "atp")
+
+    def test_transitive_merge_of_rings(self):
+        table = SynonymTable()
+        table.add_ring(["A", "B"])
+        table.add_ring(["B", "C"])
+        assert table.are_synonyms("A", "C")
+
+    def test_merge_three_rings(self):
+        table = SynonymTable()
+        table.add_ring(["A", "B"])
+        table.add_ring(["C", "D"])
+        table.add_ring(["B", "C"])
+        assert table.are_synonyms("A", "D")
+
+    def test_add_synonym_pairwise(self):
+        table = SynonymTable()
+        table.add_synonym("glc", "glucose")
+        assert table.are_synonyms("GLC", "Glucose")
+
+    def test_canonical_deterministic(self):
+        table = SynonymTable([["zeta", "alpha", "mid"]])
+        assert table.canonical("zeta") == table.canonical("mid") == "alpha"
+
+    def test_canonical_without_ring_is_normalized_self(self):
+        table = SynonymTable()
+        assert table.canonical("My Name") == "myname"
+
+    def test_synonyms_of(self):
+        table = SynonymTable([["a", "b"]])
+        assert table.synonyms_of("A") == {"a", "b"}
+        assert table.synonyms_of("solo") == {"solo"}
+
+    def test_empty_ring_ignored(self):
+        table = SynonymTable()
+        table.add_ring([])
+        table.add_ring(["", "  "])
+        assert len(table) == 0
+
+    def test_tsv_round_trip(self, tmp_path):
+        table = SynonymTable([["ATP", "adenosine triphosphate"], ["a", "b"]])
+        path = tmp_path / "synonyms.tsv"
+        table.to_tsv(path)
+        restored = SynonymTable.from_tsv(path)
+        assert restored.are_synonyms("ATP", "adenosine triphosphate")
+        assert restored.are_synonyms("a", "b")
+        assert not restored.are_synonyms("ATP", "a")
+
+    def test_tsv_skips_comments(self, tmp_path):
+        path = tmp_path / "synonyms.tsv"
+        path.write_text("# comment\nfoo\tbar\n\n")
+        table = SynonymTable.from_tsv(path)
+        assert table.are_synonyms("foo", "bar")
+
+
+class TestBuiltinTable:
+    def test_currency_metabolites(self):
+        table = builtin_synonyms()
+        assert table.are_synonyms("ATP", "adenosine triphosphate")
+        assert table.are_synonyms("NAD+", "NAD")
+
+    def test_glycolysis_names(self):
+        table = builtin_synonyms()
+        assert table.are_synonyms("glucose", "D-glucose")
+        assert table.are_synonyms("G6P", "glucose-6-phosphate")
+
+    def test_compartments(self):
+        table = builtin_synonyms()
+        assert table.are_synonyms("cytosol", "cytoplasm")
+        assert table.are_synonyms("mitochondrion", "mitochondria")
+
+    def test_signalling(self):
+        table = builtin_synonyms()
+        assert table.are_synonyms("MAPKK", "MEK")
+        assert table.are_synonyms("Ca2+", "calcium")
+
+    def test_distinct_entities_stay_distinct(self):
+        table = builtin_synonyms()
+        assert not table.are_synonyms("ATP", "ADP")
+        assert not table.are_synonyms("NAD", "NADH")
+        assert not table.are_synonyms("glucose", "pyruvate")
+
+    def test_fresh_instance_each_call(self):
+        first = builtin_synonyms()
+        first.add_synonym("ATP", "XYZ_custom")
+        second = builtin_synonyms()
+        assert not second.are_synonyms("ATP", "XYZ_custom")

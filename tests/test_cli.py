@@ -1,0 +1,160 @@
+"""Unit tests for the sbmlcompose CLI."""
+
+import pytest
+
+from repro import ModelBuilder, write_sbml_file
+from repro.cli import main
+
+
+@pytest.fixture
+def model_files(tmp_path):
+    a = (
+        ModelBuilder("a")
+        .compartment("cell", size=1.0)
+        .species("A", 10.0)
+        .species("B", 0.0)
+        .parameter("k1", 0.5)
+        .mass_action("r1", ["A"], ["B"], "k1")
+        .build()
+    )
+    b = (
+        ModelBuilder("b")
+        .compartment("cell", size=1.0)
+        .species("B", 0.0)
+        .species("C", 0.0)
+        .parameter("k2", 0.3)
+        .mass_action("r2", ["B"], ["C"], "k2")
+        .build()
+    )
+    path_a = tmp_path / "a.xml"
+    path_b = tmp_path / "b.xml"
+    write_sbml_file(a, path_a)
+    write_sbml_file(b, path_b)
+    return path_a, path_b
+
+
+def test_merge_to_file(model_files, tmp_path, capsys):
+    path_a, path_b = model_files
+    out = tmp_path / "merged.xml"
+    code = main(["merge", str(path_a), str(path_b), "-o", str(out)])
+    assert code == 0
+    assert out.exists()
+    text = out.read_text()
+    assert "<species" in text and 'id="C"' in text
+
+
+def test_merge_writes_log(model_files, tmp_path):
+    path_a, path_b = model_files
+    out = tmp_path / "merged.xml"
+    log = tmp_path / "merge.log"
+    code = main(
+        ["merge", str(path_a), str(path_b), "-o", str(out), "--log", str(log)]
+    )
+    assert code == 0
+    assert "DUPLICATE" in log.read_text()
+
+
+def test_merge_to_stdout(model_files, capsys):
+    path_a, path_b = model_files
+    assert main(["merge", str(path_a), str(path_b)]) == 0
+    captured = capsys.readouterr()
+    assert "<sbml" in captured.out
+    assert "duplicate" in captured.err
+
+
+def test_merge_semantics_flag(model_files, tmp_path):
+    path_a, path_b = model_files
+    out = tmp_path / "m.xml"
+    assert main(
+        ["merge", str(path_a), str(path_b), "-o", str(out),
+         "--semantics", "none"]
+    ) == 0
+    # No matching: B from the second model is renamed, so 4 species.
+    assert out.read_text().count("<species ") == 4
+
+
+def test_diff_identical(model_files, capsys):
+    path_a, _ = model_files
+    assert main(["diff", str(path_a), str(path_a)]) == 0
+    assert "equivalent" in capsys.readouterr().out
+
+
+def test_diff_different(model_files, capsys):
+    path_a, path_b = model_files
+    assert main(["diff", str(path_a), str(path_b)]) == 1
+    out = capsys.readouterr().out
+    assert "MISSING" in out or "EXTRA" in out
+
+
+def test_validate_ok(model_files, capsys):
+    path_a, _ = model_files
+    assert main(["validate", str(path_a)]) == 0
+    assert "valid" in capsys.readouterr().out
+
+
+def test_validate_bad_model(tmp_path, capsys):
+    from repro.sbml import Model, Species
+
+    model = Model(id="bad")
+    model.add_species(Species(id="X", compartment="ghost"))
+    path = tmp_path / "bad.xml"
+    write_sbml_file(model, path)
+    assert main(["validate", str(path)]) == 1
+
+
+def test_simulate_to_csv(model_files, tmp_path):
+    path_a, _ = model_files
+    out = tmp_path / "trace.csv"
+    code = main(
+        ["simulate", str(path_a), "--t-end", "2", "--steps", "50",
+         "-o", str(out)]
+    )
+    assert code == 0
+    header = out.read_text().splitlines()[0]
+    assert header.startswith("time,")
+
+
+def test_simulate_to_terminal(model_files, capsys):
+    path_a, _ = model_files
+    assert main(["simulate", str(path_a), "--t-end", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "final:" in out
+
+
+def test_split(tmp_path, monkeypatch, capsys):
+    model = (
+        ModelBuilder("two")
+        .compartment("cell", size=1.0)
+        .species("A", 1.0).species("B", 0.0)
+        .species("X", 1.0).species("Y", 0.0)
+        .parameter("k1", 1.0).parameter("k2", 1.0)
+        .mass_action("ab", ["A"], ["B"], "k1")
+        .mass_action("xy", ["X"], ["Y"], "k2")
+        .build()
+    )
+    path = tmp_path / "two.xml"
+    write_sbml_file(model, path)
+    monkeypatch.chdir(tmp_path)
+    assert main(["split", str(path), "--out-prefix", "piece"]) == 0
+    assert (tmp_path / "piece0.xml").exists()
+    assert (tmp_path / "piece1.xml").exists()
+
+
+def test_missing_file_error(capsys):
+    assert main(["validate", "/nonexistent/model.xml"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_strict_merge_conflict(tmp_path):
+    a = (
+        ModelBuilder("a").compartment("cell", size=1.0)
+        .species("X", 1.0).build()
+    )
+    b = (
+        ModelBuilder("b").compartment("cell", size=1.0)
+        .species("X", 2.0).build()
+    )
+    pa, pb = tmp_path / "a.xml", tmp_path / "b.xml"
+    write_sbml_file(a, pa)
+    write_sbml_file(b, pb)
+    assert main(["merge", str(pa), str(pb), "--strict"]) == 2

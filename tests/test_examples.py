@@ -1,0 +1,63 @@
+"""Smoke tests: every example script must run cleanly."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=lambda path: path.stem
+)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{path.name} produced no output"
+
+
+def test_quickstart_shows_merge_outcome(capsys):
+    runpy.run_path(
+        str(Path(__file__).parent.parent / "examples" / "quickstart.py"),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "composed:" in out
+    assert "duplicate" in out.lower()
+
+
+def test_drug_interaction_reports_change(capsys):
+    runpy.run_path(
+        str(
+            Path(__file__).parent.parent
+            / "examples"
+            / "drug_interaction.py"
+        ),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "drug-glucose complex" in out
+
+
+def test_validate_composition_runs_all_four_methods(capsys):
+    runpy.run_path(
+        str(
+            Path(__file__).parent.parent
+            / "examples"
+            / "validate_composition.py"
+        ),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    for marker in ("[4.1.1]", "[4.1.2]", "[4.1.3]", "[4.1.4]"):
+        assert marker in out

@@ -1,0 +1,209 @@
+"""Failure injection across the stack.
+
+Every layer must fail *cleanly* — a specific :class:`ReproError`
+subclass with a useful message — on malformed or hostile input, never
+with an unrelated traceback, an infinite loop or silent corruption.
+"""
+
+import pytest
+
+from repro import ModelBuilder, compose, read_sbml
+from repro.errors import (
+    MathEvalError,
+    MathParseError,
+    PropertyError,
+    ReproError,
+    SBMLParseError,
+    SimulationError,
+)
+from repro.eval import check_trace, parse_property
+from repro.mathml import Apply, Identifier, Lambda, evaluate, parse_infix, parse_mathml
+from repro.sim import Trace, simulate
+
+
+class TestMalformedXML:
+    def test_truncated_document(self):
+        with pytest.raises(SBMLParseError):
+            read_sbml("<sbml><model id='m'><listOfSpecies>")
+
+    def test_binary_garbage(self):
+        with pytest.raises(SBMLParseError):
+            read_sbml("\x00\x01\x02 not xml at all")
+
+    def test_wrong_root(self):
+        with pytest.raises(SBMLParseError):
+            read_sbml("<cellml><model/></cellml>")
+
+    def test_math_inside_sbml_malformed(self):
+        text = """<sbml xmlns="http://www.sbml.org/sbml/level2/version4">
+          <model id="m"><listOfRules>
+            <algebraicRule>
+              <math xmlns="http://www.w3.org/1998/Math/MathML">
+                <apply><plus/><unknownElement/></apply>
+              </math>
+            </algebraicRule>
+          </listOfRules></model></sbml>"""
+        with pytest.raises(SBMLParseError) as excinfo:
+            read_sbml(text)
+        assert "math" in str(excinfo.value).lower()
+
+    def test_error_message_names_the_context(self):
+        text = """<sbml xmlns="http://www.sbml.org/sbml/level2/version4">
+          <model id="m">
+            <listOfCompartments><compartment id="c"/></listOfCompartments>
+            <listOfSpecies>
+              <species id="s" compartment="c" initialConcentration="NaNope"/>
+            </listOfSpecies>
+          </model></sbml>"""
+        with pytest.raises(SBMLParseError) as excinfo:
+            read_sbml(text)
+        assert "initialConcentration" in str(excinfo.value)
+
+
+class TestHostileMath:
+    def test_deeply_nested_formula_parses_or_fails_cleanly(self):
+        formula = "(" * 80 + "x" + ")" * 80
+        assert parse_infix(formula) == Identifier("x")
+
+    def test_unbalanced_deep_nesting(self):
+        with pytest.raises(MathParseError):
+            parse_infix("(" * 50 + "x" + ")" * 49)
+
+    def test_mutually_recursive_functions_dont_hang(self):
+        f = Lambda(("x",), Apply("g", (Identifier("x"),)))
+        g = Lambda(("x",), Apply("f", (Identifier("x"),)))
+        with pytest.raises(MathEvalError):
+            evaluate(
+                Apply("f", (Identifier("y"),)),
+                {"y": 1.0},
+                functions={"f": f, "g": g},
+            )
+
+    def test_huge_exponent_overflow(self):
+        with pytest.raises(ReproError):
+            evaluate(parse_infix("10 ^ 10 ^ 10"))
+
+    def test_empty_mathml_apply(self):
+        with pytest.raises(MathParseError):
+            parse_mathml(
+                '<math xmlns="http://www.w3.org/1998/Math/MathML">'
+                "<apply/></math>"
+            )
+
+
+class TestCompositionEdgeCases:
+    def test_compose_model_with_itself_object_identity(self):
+        # Passing the SAME object twice must not corrupt it.
+        model = (
+            ModelBuilder("m").compartment("c").species("A", 1.0)
+            .parameter("k", 1.0).mass_action("r", ["A"], [], "k")
+            .build()
+        )
+        before = model.component_count()
+        merged, _ = compose(model, model)
+        assert model.component_count() == before
+        assert merged.component_count() == before
+
+    def test_colliding_ids_across_types(self):
+        # Species in model 2 reuses a parameter id from model 1.
+        first = (
+            ModelBuilder("a").compartment("c").parameter("x", 1.0).build()
+        )
+        second = ModelBuilder("b").compartment("c").species("x", 1.0).build()
+        merged, report = compose(first, second)
+        from repro.sbml import validate_model
+
+        assert validate_model(merged) == []
+        assert "x" in report.renamed
+
+    def test_rename_cascade_terminates(self):
+        # model 1 already contains x and x_m2 and x_m2(2): renames must
+        # keep probing until a free id is found.
+        first = (
+            ModelBuilder("a").compartment("c")
+            .parameter("x", 1.0).parameter("x_m2", 2.0)
+            .parameter("x_m22", 3.0)
+            .build()
+        )
+        second = ModelBuilder("b").compartment("c").species("x", 1.0).build()
+        merged, report = compose(first, second)
+        assert len(merged.global_ids()) == 5  # c + 3 params + renamed x
+        from repro.sbml import validate_model
+
+        assert validate_model(merged) == []
+
+    def test_unevaluable_initial_assignment_degrades_to_conflict(self):
+        first = (
+            ModelBuilder("a").compartment("c").species("A", 1.0)
+            .initial_assignment("A", "unknown_symbol * 2")
+            .build()
+        )
+        second = (
+            ModelBuilder("b").compartment("c").species("A", 1.0)
+            .initial_assignment("A", "3")
+            .build()
+        )
+        merged, report = compose(first, second)
+        # Cannot evaluate the first: falls back to conflict, keeps it.
+        assert report.has_conflicts()
+        assert len(merged.initial_assignments) == 1
+
+    def test_empty_names_do_not_match_everything(self):
+        first = ModelBuilder("a").compartment("c").build()
+        second = ModelBuilder("b").compartment("c").build()
+        first.compartments[0].name = ""
+        second.compartments[0].name = ""
+        merged, _ = compose(first, second)
+        assert len(merged.compartments) == 1  # matched by id "c"
+
+
+class TestSimulationFailures:
+    def test_diverging_model_detected(self):
+        model = (
+            ModelBuilder("boom").compartment("c")
+            .species("X", 1.0)
+            .parameter("k", 1.0)
+            .reaction("r", [], ["X"], formula="k * X * X * 1e6")
+            .build()
+        )
+        with pytest.raises(SimulationError):
+            simulate(model, 10.0, 100)
+
+    def test_trace_column_mismatch(self):
+        with pytest.raises(SimulationError):
+            Trace([0, 1, 2], {"A": [1, 2]})
+
+    def test_property_on_missing_species(self):
+        trace = Trace([0.0, 1.0], {"A": [1.0, 2.0]})
+        with pytest.raises(PropertyError):
+            check_trace("B > 0", trace)
+
+    def test_property_parser_rejects_nonsense(self):
+        for bad in ("", "G", "((A > 1)", "A >", "F[1,0] A > 0"):
+            with pytest.raises((PropertyError, ReproError)):
+                parse_property(bad)
+
+
+class TestUnicodeAndNaming:
+    def test_unicode_species_names_survive(self):
+        model = (
+            ModelBuilder("m").compartment("c")
+            .species("akg", 1.0, name="α-ketoglutarate")
+            .build()
+        )
+        from repro import write_sbml
+
+        restored = read_sbml(write_sbml(model)).model
+        assert restored.get_species("akg").name == "α-ketoglutarate"
+
+    def test_unicode_names_match_spelled_synonyms(self):
+        first = (
+            ModelBuilder("a").compartment("c")
+            .species("akg1", 1.0, name="α-ketoglutarate").build()
+        )
+        second = (
+            ModelBuilder("b").compartment("c")
+            .species("akg2", 1.0, name="alpha-ketoglutarate").build()
+        )
+        merged, _ = compose(first, second)
+        assert len(merged.species) == 1

@@ -1,0 +1,148 @@
+"""Cross-module integration tests.
+
+Exercise the whole stack together: corpus → compose → validate →
+serialise → re-read → simulate → evaluate, the way a downstream user
+would chain the public API.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ModelBuilder, compose, read_sbml, write_sbml
+from repro.analysis import conservation_laws, is_conserved, merge_impact
+from repro.baselines import SemanticSBMLMerge, generate_database
+from repro.corpus import (
+    corpus_by_size,
+    generate_corpus,
+    glycolysis_lower,
+    glycolysis_upper,
+    semantic_suite,
+)
+from repro.eval import (
+    models_equivalent,
+    residual_sum_of_squares,
+    traces_equivalent,
+)
+from repro.graph import ZoomIndex, connected_components
+from repro.sbml import validate_model
+from repro.sim import simulate
+from repro.units.model_convert import to_stochastic
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return corpus_by_size(generate_corpus(count=40, seed=7))
+
+
+class TestCorpusPipeline:
+    def test_corpus_pairs_compose_to_valid_models(self, small_corpus):
+        for first, second in zip(small_corpus[::5], small_corpus[1::5]):
+            merged, _ = compose(first, second)
+            errors = [
+                issue
+                for issue in validate_model(merged)
+                if issue.severity == "error"
+            ]
+            assert errors == [], f"{first.id}+{second.id}: {errors[:3]}"
+
+    def test_composed_corpus_models_round_trip_xml(self, small_corpus):
+        first, second = small_corpus[10], small_corpus[12]
+        merged, _ = compose(first, second)
+        restored = read_sbml(write_sbml(merged)).model
+        restored.id = merged.id
+        assert models_equivalent(merged, restored)
+
+    def test_serialised_then_composed_equals_composed(self, small_corpus):
+        # compose(read(write(a)), read(write(b))) == compose(a, b)
+        first, second = small_corpus[8], small_corpus[14]
+        direct, _ = compose(first, second)
+        via_xml, _ = compose(
+            read_sbml(write_sbml(first)).model,
+            read_sbml(write_sbml(second)).model,
+        )
+        assert models_equivalent(direct, via_xml)
+
+    def test_merge_is_size_monotone_over_corpus(self, small_corpus):
+        for first, second in zip(small_corpus[::7], small_corpus[2::7]):
+            merged, _ = compose(first, second)
+            assert merged.network_size() <= (
+                first.network_size() + second.network_size()
+            )
+            assert merged.num_nodes() >= max(
+                first.num_nodes(), second.num_nodes()
+            )
+
+
+class TestGlycolysisEndToEnd:
+    def test_full_pathway_pipeline(self):
+        upper, lower = glycolysis_upper(), glycolysis_lower()
+        merged, report = compose(upper, lower)
+
+        # 1. Valid.
+        assert validate_model(merged) == []
+        # 2. Topologically sensible.
+        impact = merge_impact(upper, lower, merged)
+        assert impact.nodes_shared == 3  # g3p, atp, adp
+        # 3. Conservation: adenine pool (ATP + ADP) survives the merge.
+        assert is_conserved(merged, {"atp": 1.0, "adp": 1.0})
+        # 4. Simulates: glucose falls, pyruvate rises.
+        trace = simulate(merged, 10.0, 1000)
+        assert trace.final()["glc"] < 5.0
+        assert trace.final()["pyr"] > 0.0
+        # 5. Deterministic: the same merge again is identical.
+        again, _ = compose(glycolysis_upper(), glycolysis_lower())
+        assert models_equivalent(merged, again)
+        trace_again = simulate(again, 10.0, 1000)
+        assert traces_equivalent(trace, trace_again)
+
+    def test_zoom_over_composed_pathway(self):
+        merged, _ = compose(glycolysis_upper(), glycolysis_lower())
+        index = ZoomIndex(merged)
+        root = list(index.graph_at(index.depth - 1).nodes)[0]
+        assert index.leaves(index.depth - 1, root) == {
+            s.id for s in merged.species
+        }
+
+    def test_decompose_compose_simulate(self):
+        merged, _ = compose(glycolysis_upper(), glycolysis_lower())
+        parts = connected_components(merged)
+        assert len(parts) == 1  # glycolysis is one connected network
+
+
+class TestEnginesAgree:
+    def test_baseline_and_core_agree_on_suite(self, tmp_path):
+        path = tmp_path / "db.tsv"
+        generate_database(path, entry_count=3000)
+        baseline = SemanticSBMLMerge(database_path=path)
+        suite = semantic_suite()
+        for first, second in zip(suite[::4], suite[1::4]):
+            ours, _ = compose(first, second)
+            theirs, _ = baseline.merge(first, second)
+            assert len(ours.species) == len(theirs.species), (
+                f"{first.id}+{second.id}"
+            )
+
+
+class TestConvertComposeSimulate:
+    def test_stochastic_conversion_preserves_mean_dynamics(self):
+        # Deterministic decay vs the SSA mean of its converted twin.
+        volume = 1e-21  # tiny volume => countable molecules
+        deterministic = (
+            ModelBuilder("d")
+            .compartment("cell", size=volume)
+            .species("A", 1000 / (6.022e23 * volume))  # 1000 molecules
+            .species("B", 0.0)
+            .parameter("k", 0.5)
+            .mass_action("r", ["A"], ["B"], "k")
+            .build()
+        )
+        stochastic, report = to_stochastic(deterministic)
+        assert stochastic.get_species("A").initial_amount == (
+            pytest.approx(1000, rel=1e-6)
+        )
+        from repro.sim import simulate_stochastic
+
+        traces = simulate_stochastic(stochastic, t_end=2.0, runs=30, seed=5)
+        mean_final = np.mean([t.final()["A"] for t in traces])
+        expected = 1000 * np.exp(-0.5 * 2.0)
+        assert mean_final == pytest.approx(expected, rel=0.1)

@@ -1,0 +1,101 @@
+"""Unit tests for Figure 6 mole/molecule conversions."""
+
+import pytest
+
+from repro.errors import UnitError
+from repro.units import (
+    AVOGADRO,
+    concentration_to_molecules,
+    deterministic_to_stochastic,
+    molecules_to_concentration,
+    reaction_order_of_stoichiometry,
+    stochastic_to_deterministic,
+)
+
+
+def test_avogadro_value():
+    # Paper: nA = 6.022x10^23
+    assert AVOGADRO == pytest.approx(6.022e23)
+
+
+def test_zeroth_order_formula():
+    # Fig 6: c = nA * k * V
+    k, volume = 2.0, 1e-15
+    assert deterministic_to_stochastic(k, 0, volume) == pytest.approx(
+        AVOGADRO * k * volume
+    )
+
+
+def test_first_order_is_identity():
+    # Fig 6: c = k
+    assert deterministic_to_stochastic(0.7, 1, 1e-15) == 0.7
+
+
+def test_second_order_formula():
+    # Fig 6: c = k / (nA * V)
+    k, volume = 1e6, 1e-15
+    assert deterministic_to_stochastic(k, 2, volume) == pytest.approx(
+        k / (AVOGADRO * volume)
+    )
+
+
+@pytest.mark.parametrize("order", [0, 1, 2])
+@pytest.mark.parametrize("k", [1e-3, 1.0, 1e6])
+def test_round_trip(order, k):
+    volume = 1e-12
+    c = deterministic_to_stochastic(k, order, volume)
+    assert stochastic_to_deterministic(c, order, volume) == pytest.approx(k)
+
+
+def test_concentration_to_molecules():
+    # Fig 6: x = nA * [X] * V
+    assert concentration_to_molecules(1e-6, 1e-15) == pytest.approx(
+        AVOGADRO * 1e-6 * 1e-15
+    )
+
+
+def test_molecules_round_trip():
+    molecules = 6022.0
+    volume = 1e-15
+    concentration = molecules_to_concentration(molecules, volume)
+    assert concentration_to_molecules(
+        concentration, volume
+    ) == pytest.approx(molecules)
+
+
+def test_unsupported_order_rejected():
+    with pytest.raises(UnitError):
+        deterministic_to_stochastic(1.0, 3, 1.0)
+    with pytest.raises(UnitError):
+        stochastic_to_deterministic(1.0, -1, 1.0)
+
+
+def test_nonpositive_volume_rejected():
+    with pytest.raises(UnitError):
+        deterministic_to_stochastic(1.0, 1, 0.0)
+    with pytest.raises(UnitError):
+        concentration_to_molecules(1.0, -2.0)
+
+
+def test_order_of_stoichiometry():
+    assert reaction_order_of_stoichiometry([]) == 0
+    assert reaction_order_of_stoichiometry([1.0]) == 1
+    assert reaction_order_of_stoichiometry([1.0, 1.0]) == 2
+    assert reaction_order_of_stoichiometry([2.0]) == 2
+
+
+def test_order_rejects_fractional():
+    with pytest.raises(UnitError):
+        reaction_order_of_stoichiometry([0.5])
+
+
+def test_order_rejects_negative():
+    with pytest.raises(UnitError):
+        reaction_order_of_stoichiometry([-1.0])
+
+
+def test_custom_avogadro_threading():
+    # Allow exact textbook reproductions with rounded constants.
+    assert deterministic_to_stochastic(1.0, 0, 2.0, avogadro=6e23) == (
+        pytest.approx(1.2e24)
+    )

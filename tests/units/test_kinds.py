@@ -1,0 +1,84 @@
+"""Unit tests for SBML base unit kinds."""
+
+import pytest
+
+from repro.errors import UnknownUnitError
+from repro.units import (
+    BASE_KINDS,
+    DIMENSION_NAMES,
+    is_known_kind,
+    kind_decomposition,
+    normalize_kind,
+)
+
+
+def test_all_sbml_kinds_present():
+    expected = {
+        "ampere", "becquerel", "candela", "coulomb", "dimensionless",
+        "farad", "gram", "gray", "henry", "hertz", "item", "joule",
+        "katal", "kelvin", "kilogram", "litre", "lumen", "lux", "metre",
+        "mole", "newton", "ohm", "pascal", "radian", "second",
+        "siemens", "sievert", "steradian", "tesla", "volt", "watt",
+        "weber",
+    }
+    assert expected <= set(BASE_KINDS)
+
+
+def test_dimension_vector_length():
+    for kind, (factor, dims) in BASE_KINDS.items():
+        assert len(dims) == len(DIMENSION_NAMES), kind
+        assert factor > 0, kind
+
+
+def test_litre_is_milli_cubic_metre():
+    factor, dims = kind_decomposition("litre")
+    assert factor == pytest.approx(1e-3)
+    assert dims[DIMENSION_NAMES.index("metre")] == 3
+
+
+def test_gram_factor():
+    factor, dims = kind_decomposition("gram")
+    assert factor == pytest.approx(1e-3)
+    assert dims[DIMENSION_NAMES.index("kilogram")] == 1
+
+
+def test_us_spellings_accepted():
+    assert normalize_kind("liter") == "litre"
+    assert normalize_kind("meter") == "metre"
+    assert is_known_kind("liter")
+    assert kind_decomposition("liter") == kind_decomposition("litre")
+
+
+def test_item_is_distinct_from_mole():
+    # Central to the paper's Fig 6 problem: molecules and moles are
+    # NOT plainly interconvertible.
+    _, item_dims = kind_decomposition("item")
+    _, mole_dims = kind_decomposition("mole")
+    assert item_dims != mole_dims
+
+
+def test_dimensionless_kinds():
+    for kind in ("dimensionless", "radian", "steradian"):
+        _, dims = kind_decomposition(kind)
+        assert all(d == 0 for d in dims), kind
+
+
+def test_derived_kind_joule():
+    _, dims = kind_decomposition("joule")
+    by_name = dict(zip(DIMENSION_NAMES, dims))
+    assert by_name["kilogram"] == 1
+    assert by_name["metre"] == 2
+    assert by_name["second"] == -2
+
+
+def test_katal_is_mole_per_second():
+    _, dims = kind_decomposition("katal")
+    by_name = dict(zip(DIMENSION_NAMES, dims))
+    assert by_name["mole"] == 1
+    assert by_name["second"] == -1
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(UnknownUnitError):
+        kind_decomposition("furlong")
+    assert not is_known_kind("furlong")

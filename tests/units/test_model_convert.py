@@ -1,0 +1,175 @@
+"""Unit tests for whole-model Figure 6 conversion."""
+
+import pytest
+
+from repro import ModelBuilder, compose
+from repro.errors import UnitError
+from repro.units import AVOGADRO
+from repro.units.model_convert import to_deterministic, to_stochastic
+
+
+def deterministic_model(volume=1e-15):
+    return (
+        ModelBuilder("det")
+        .compartment("cell", size=volume)
+        .species("A", 1e-6)
+        .species("B", 0.0)
+        .parameter("k1", 0.5)
+        .mass_action("r1", ["A"], ["B"], "k1")
+        .build()
+    )
+
+
+def bimolecular_model(volume=1e-15):
+    return (
+        ModelBuilder("bi")
+        .compartment("cell", size=volume)
+        .species("A", 1e-6)
+        .species("B", 1e-6)
+        .species("AB", 0.0)
+        .parameter("k2", 1e6)
+        .mass_action("bind", ["A", "B"], ["AB"], "k2")
+        .build()
+    )
+
+
+class TestToStochastic:
+    def test_species_become_counts(self):
+        volume = 1e-15
+        stochastic, report = to_stochastic(deterministic_model(volume))
+        species = stochastic.get_species("A")
+        assert species.initial_amount == pytest.approx(
+            AVOGADRO * 1e-6 * volume
+        )
+        assert species.initial_concentration is None
+        assert species.has_only_substance_units
+        assert "A" in report.species_converted
+
+    def test_first_order_constant_unchanged(self):
+        stochastic, report = to_stochastic(deterministic_model())
+        assert stochastic.get_parameter("k1").value == 0.5
+
+    def test_second_order_constant_scaled(self):
+        volume = 1e-15
+        stochastic, report = to_stochastic(bimolecular_model(volume))
+        expected = 1e6 / (AVOGADRO * volume)
+        assert stochastic.get_parameter("k2").value == pytest.approx(expected)
+        assert any(name == "k2" for name, _, _ in report.constants_converted)
+
+    def test_zeroth_order_constant_scaled(self):
+        volume = 1e-15
+        model = (
+            ModelBuilder("syn")
+            .compartment("cell", size=volume)
+            .species("X", 0.0)
+            .parameter("k0", 2.0)
+            .reaction("make", [], ["X"], formula="k0")
+            .build()
+        )
+        stochastic, _ = to_stochastic(model)
+        assert stochastic.get_parameter("k0").value == pytest.approx(
+            AVOGADRO * 2.0 * volume
+        )
+
+    def test_local_parameters_converted(self):
+        volume = 1e-15
+        model = (
+            ModelBuilder("loc")
+            .compartment("cell", size=volume)
+            .species("A", 1e-6)
+            .species("B", 1e-6)
+            .species("AB", 0.0)
+            .reaction(
+                "bind",
+                ["A", "B"],
+                ["AB"],
+                formula="k * A * B",
+                local_parameters={"k": 1e6},
+            )
+            .build()
+        )
+        stochastic, _ = to_stochastic(model)
+        law = stochastic.get_reaction("bind").kinetic_law
+        assert law.parameters[0].value == pytest.approx(
+            1e6 / (AVOGADRO * volume)
+        )
+
+    def test_non_mass_action_skipped_with_warning(self):
+        model = (
+            ModelBuilder("mm")
+            .compartment("cell", size=1e-15)
+            .species("S", 1e-6)
+            .species("P", 0.0)
+            .parameter("Vmax", 1.0)
+            .parameter("Km", 1e-6)
+            .michaelis_menten("r", "S", "P", "Vmax", "Km")
+            .build()
+        )
+        stochastic, report = to_stochastic(model)
+        assert "r" in report.skipped_reactions
+        assert report.warnings
+        # The MM constants are untouched.
+        assert stochastic.get_parameter("Vmax").value == 1.0
+
+    def test_shared_constant_across_orders_rejected(self):
+        model = (
+            ModelBuilder("bad")
+            .compartment("cell", size=1e-15)
+            .species("A", 1e-6)
+            .species("B", 1e-6)
+            .species("C", 0.0)
+            .parameter("k", 1.0)
+            .mass_action("uni", ["A"], ["C"], "k")
+            .mass_action("bi", ["A", "B"], ["C"], "k")
+            .build()
+        )
+        with pytest.raises(UnitError):
+            to_stochastic(model)
+
+    def test_inputs_not_mutated(self):
+        model = deterministic_model()
+        before = model.get_species("A").initial_concentration
+        to_stochastic(model)
+        assert model.get_species("A").initial_concentration == before
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [deterministic_model, bimolecular_model])
+    def test_round_trip_recovers_values(self, factory):
+        original = factory()
+        stochastic, _ = to_stochastic(original)
+        recovered, _ = to_deterministic(stochastic)
+        for species in original.species:
+            assert recovered.get_species(
+                species.id
+            ).initial_concentration == pytest.approx(
+                species.initial_concentration, rel=1e-9
+            )
+        for parameter in original.parameters:
+            assert recovered.get_parameter(
+                parameter.id
+            ).value == pytest.approx(parameter.value, rel=1e-9)
+
+
+class TestConvertThenCompose:
+    def test_converted_model_merges_with_original_via_figure6(self):
+        """The headline workflow: a deterministic model and its
+        stochastic counterpart describe the same physics; composition
+        recognises the reactions through the Fig 6 reconciliation."""
+        deterministic = bimolecular_model()
+        stochastic, _ = to_stochastic(deterministic)
+        stochastic.id = "stoch"
+        # Rename the constant so plain pattern equality cannot match;
+        # only the numeric Fig 6 reconciliation can.
+        parameter = stochastic.get_parameter("k2")
+        parameter.id = "c2"
+        law = stochastic.get_reaction("bind").kinetic_law
+        law.math = law.math.rename({"k2": "c2"})
+        stochastic.get_reaction("bind").id = "bind_stoch"
+
+        merged, report = compose(deterministic, stochastic)
+        assert len(merged.reactions) == 1
+        assert not any(
+            c.attribute == "kineticLaw" for c in report.conflicts
+        )
+        assert any("conversion" in w.message for w in report.warnings)

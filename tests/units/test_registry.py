@@ -1,0 +1,81 @@
+"""Unit tests for the unit registry."""
+
+import pytest
+
+from repro.errors import IncompatibleUnitsError, UnknownUnitError
+from repro.units import Unit, UnitDefinition, UnitRegistry, builtin_definitions
+
+
+def test_builtins_present():
+    registry = UnitRegistry()
+    for ref in ("substance", "volume", "area", "length", "time"):
+        assert ref in registry
+
+
+def test_builtin_substance_is_mole():
+    registry = UnitRegistry()
+    assert registry.same_unit("substance", "mole")
+
+
+def test_builtin_volume_is_litre():
+    registry = UnitRegistry()
+    assert registry.same_unit("volume", "litre")
+
+
+def test_bare_kind_resolvable():
+    registry = UnitRegistry()
+    assert "second" in registry
+    assert registry.resolve("second").factor == 1.0
+
+
+def test_unknown_reference_raises():
+    registry = UnitRegistry()
+    with pytest.raises(UnknownUnitError):
+        registry.resolve("nope")
+    assert "nope" not in registry
+
+
+def test_model_definition_registered():
+    per_second = UnitDefinition("per_second", None, [Unit("second", -1)])
+    registry = UnitRegistry([per_second])
+    assert "per_second" in registry
+    assert registry.same_unit("per_second", "hertz")
+
+
+def test_model_definition_shadows_builtin():
+    # A model may redefine `substance` as millimoles.
+    mmol = UnitDefinition("substance", None, [Unit("mole", scale=-3)])
+    registry = UnitRegistry([mmol])
+    assert not registry.same_unit("substance", "mole")
+    assert registry.conversion_factor("substance", "mole") == (
+        pytest.approx(1e-3)
+    )
+
+
+def test_conversion_factor_between_refs():
+    registry = UnitRegistry(
+        [
+            UnitDefinition("ml", None, [Unit("litre", scale=-3)]),
+        ]
+    )
+    assert registry.conversion_factor("ml", "litre") == pytest.approx(1e-3)
+
+
+def test_incompatible_refs_raise():
+    registry = UnitRegistry()
+    with pytest.raises(IncompatibleUnitsError):
+        registry.conversion_factor("mole", "second")
+
+
+def test_definitions_copy_isolated():
+    registry = UnitRegistry()
+    table = registry.definitions()
+    table.clear()
+    assert "substance" in registry
+
+
+def test_builtin_definitions_fresh_each_call():
+    first = builtin_definitions()
+    second = builtin_definitions()
+    first["substance"].units.append(Unit("second"))
+    assert len(second["substance"].units) == 1
