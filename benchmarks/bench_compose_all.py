@@ -1,0 +1,153 @@
+"""N-way composition: session ``compose_all`` vs naive cold fold.
+
+The legacy workflow for composing n models was a hand-rolled left
+fold over ``compose(a, b)``, cold-starting the engine (options,
+synonym table, caches) on every step and re-copying the growing
+accumulator each time.  ``ComposeSession.compose_all`` owns that
+state across steps, folds in place, and lets a merge plan choose the
+order.  This benchmark measures the difference on a 10-model corpus
+chain (models in generation order, the order a real workload would
+hand them over in).
+
+Usage::
+
+    python -m benchmarks.bench_compose_all            # report + CSV
+    python -m benchmarks.bench_compose_all --rounds 9
+
+The pytest-benchmark entries time the individual strategies; the
+standalone run prints the paper-style comparison table and asserts
+the acceptance bar (session+greedy >= 1.3x naive).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, List, Sequence
+
+from repro import Composer, ComposeSession
+from repro.corpus import generate_corpus
+from repro.sbml.model import Model
+from benchmarks._common import emit, write_csv
+
+#: Number of models in the chain (the acceptance scenario).
+CHAIN_LENGTH = 10
+
+
+def chain_models(seed: int = 42) -> List[Model]:
+    """Ten corpus models in generation order (NOT size-sorted)."""
+    corpus = generate_corpus(seed=seed)
+    return corpus[:: max(1, len(corpus) // CHAIN_LENGTH)][:CHAIN_LENGTH]
+
+
+def naive_cold_fold(models: Sequence[Model]) -> Model:
+    """The pre-session idiom: a fresh engine per step, accumulator
+    re-copied by every ``compose`` call."""
+    accumulator = models[0]
+    for model in models[1:]:
+        accumulator, _ = Composer().compose(accumulator, model)
+    return accumulator
+
+
+def session_compose(models: Sequence[Model], plan: str) -> Model:
+    return ComposeSession().compose_all(models, plan=plan).model
+
+
+def _best_of(fn: Callable[[], object], rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def compare(models: Sequence[Model], rounds: int = 5):
+    """(label, seconds, speedup-vs-naive) for each strategy."""
+    naive = _best_of(lambda: naive_cold_fold(models), rounds)
+    rows = [("naive-cold-fold", naive, 1.0)]
+    for plan in ("fold", "tree", "greedy"):
+        seconds = _best_of(lambda: session_compose(models, plan), rounds)
+        rows.append((f"session-{plan}", seconds, naive / seconds))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entries
+# ---------------------------------------------------------------------------
+
+
+def bench_naive_cold_fold(benchmark):
+    models = chain_models()
+    benchmark(lambda: naive_cold_fold(models))
+
+
+def bench_session_fold(benchmark):
+    models = chain_models()
+    benchmark(lambda: session_compose(models, "fold"))
+
+
+def bench_session_greedy(benchmark):
+    models = chain_models()
+    benchmark(lambda: session_compose(models, "greedy"))
+
+
+def bench_session_tree(benchmark):
+    models = chain_models()
+    benchmark(lambda: session_compose(models, "tree"))
+
+
+def bench_compose_all_speedup(benchmark):
+    """Session+greedy must beat the naive cold fold on the chain."""
+    models = chain_models()
+    rows = benchmark.pedantic(
+        lambda: compare(models, rounds=3), rounds=1, iterations=1
+    )
+    emit("")
+    emit(f"compose_all — {CHAIN_LENGTH}-model corpus chain")
+    for label, seconds, speedup in rows:
+        emit(f"  {label:>18}: {seconds * 1000:8.2f} ms  ({speedup:.2f}x)")
+    by_label = {label: speedup for label, _, speedup in rows}
+    assert by_label["session-greedy"] > 1.0
+
+
+# ---------------------------------------------------------------------------
+# Standalone entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    models = chain_models(seed=args.seed)
+    sizes = [model.network_size() for model in models]
+    print(f"chain: {len(models)} models, sizes {sizes}")
+
+    rows = compare(models, rounds=args.rounds)
+    print(f"\ncompose_all — {CHAIN_LENGTH}-model corpus chain "
+          f"(best of {args.rounds})")
+    print(f"{'strategy':>18} {'ms':>10} {'speedup':>9}")
+    for label, seconds, speedup in rows:
+        print(f"{label:>18} {seconds * 1000:>10.2f} {speedup:>8.2f}x")
+
+    write_csv(
+        "compose_all_chain.csv",
+        ["strategy", "seconds", "speedup_vs_naive"],
+        [(label, f"{s:.6f}", f"{x:.3f}") for label, s, x in rows],
+    )
+
+    greedy = {label: speedup for label, _, speedup in rows}["session-greedy"]
+    print(f"\nsession-greedy speedup vs naive cold fold: {greedy:.2f}x "
+          f"(acceptance bar: 1.30x)")
+    if greedy < 1.3:
+        print("FAIL: below the 1.3x acceptance bar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ import math
 
 import pytest
 
-from repro import compose
+from repro import Composer
 from benchmarks._common import (
     emit,
     fig8_sweep,
@@ -44,7 +44,8 @@ def bench_compose_pair_by_size(benchmark, corpus, target_size):
     benchmark.extra_info["size"] = (
         model.network_size() + other.network_size()
     )
-    benchmark(lambda: compose(model, other))
+    engine = Composer()
+    benchmark(lambda: engine.compose(model, other))
 
 
 def bench_fig8_series(benchmark, corpus_sample):
@@ -83,7 +84,8 @@ def bench_fig8_self_pair_largest(benchmark, corpus):
     """Compose the largest model with itself (the sweep's last point)."""
     largest = corpus[-1]
     benchmark.extra_info["size"] = 2 * largest.network_size()
-    benchmark(lambda: compose(largest, largest))
+    engine = Composer()
+    benchmark(lambda: engine.compose(largest, largest))
 
 
 def bench_fig8_scaling_is_product(benchmark, corpus):
@@ -92,13 +94,14 @@ def bench_fig8_scaling_is_product(benchmark, corpus):
     import time
 
     fixed = _pick_by_size(corpus, 100)
+    engine = Composer()
 
     def sweep():
         points = []
         for target in (50, 150, 300, 500):
             other = _pick_by_size(corpus, target)
             started = time.perf_counter()
-            compose(fixed, other)
+            engine.compose(fixed, other)
             points.append(
                 (other.network_size(), time.perf_counter() - started)
             )

@@ -11,14 +11,16 @@ Run::
     python examples/decompose_and_recompose.py
 """
 
-from repro import compose
+from repro import ComposeSession
 from repro.corpus import glycolysis_lower, glycolysis_upper
 from repro.eval import models_equivalent
 from repro.graph import connected_components, species_graph, split_by_species
 
 
 def main() -> None:
-    merged, _ = compose(glycolysis_upper(), glycolysis_lower())
+    # One session serves every composition in this script.
+    session = ComposeSession()
+    merged = session.compose(glycolysis_upper(), glycolysis_lower()).model
     print(f"full pathway: {merged.num_nodes()} species, "
           f"{len(merged.reactions)} reactions")
 
@@ -42,7 +44,8 @@ def main() -> None:
     print(f"\nboundary species shared by the parts: {sorted(shared)}")
     print("(these are the entities composition re-unites)")
 
-    recombined, report = compose(parts[0], parts[1])
+    recompose = session.compose(parts[0], parts[1])
+    recombined, report = recompose.model, recompose.report
     recombined.id = merged.id
     equivalent = models_equivalent(merged, recombined)
     print(f"\nrecompose(split(model)) == model: {equivalent}")
@@ -61,7 +64,7 @@ def main() -> None:
         .mass_action("export", ["cargo"], ["cargo_out"], "k_exp")
         .build()
     )
-    with_island, _ = compose(merged, island)
+    with_island = session.compose(merged, island).model
     components = connected_components(with_island)
     print(
         f"\nconnected components of pathway+island: {len(components)} "

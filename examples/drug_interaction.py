@@ -14,7 +14,7 @@ Run::
     python examples/drug_interaction.py
 """
 
-from repro import compose
+from repro import compose_all
 from repro.corpus import drug_inhibition, glycolysis_upper
 from repro.sim import simulate
 
@@ -28,7 +28,8 @@ def main() -> None:
     print("overlay:", overlay.name, "—",
           ", ".join(s.id for s in overlay.species))
 
-    dosed, report = compose(pathway, overlay)
+    result = compose_all([pathway, overlay])
+    dosed, report = result.model, result.report
     united = [
         f"{d.second_id}=>{d.first_id}"
         for d in report.duplicates

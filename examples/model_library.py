@@ -16,7 +16,7 @@ Run::
     python examples/model_library.py
 """
 
-from repro import ModelBuilder, compose
+from repro import ComposeSession, ModelBuilder
 from repro.sbml import validate_model
 
 
@@ -94,19 +94,26 @@ def main() -> None:
             f"{len(part.reactions)} reaction(s)"
         )
 
-    # Incremental assembly: start empty, compose part by part.
-    model = ModelBuilder("assembled", name="Assembled model").build()
-    for part in library:
-        model, report = compose(model, part)
+    # Incremental assembly through ONE session: the synonym table,
+    # pattern cache and per-part artifacts are built once and reused
+    # across every step instead of cold-starting per pair.
+    session = ComposeSession()
+    result = session.compose_all(library, plan="fold")
+    model = result.model
+    for step in result.steps:
         united = sum(
-            1 for d in report.duplicates if d.component_type == "species"
+            1
+            for d in step.report.duplicates
+            if d.component_type == "species"
         )
         print(
-            f"\n+ {part.id}: united {united} shared species, "
-            f"added {report.total_added} component(s)"
+            f"\n+ {step.right}: united {united} shared species, "
+            f"added {step.report.total_added} component(s)"
         )
-        print(f"  model now: {model.num_nodes()} species, "
-              f"{len(model.reactions)} reactions")
+    print(f"\nassembled model: {model.num_nodes()} species, "
+          f"{len(model.reactions)} reactions "
+          f"({len(result.steps)} merge steps, "
+          f"{result.seconds * 1000:.1f} ms)")
 
     issues = validate_model(model)
     errors = [issue for issue in issues if issue.severity == "error"]

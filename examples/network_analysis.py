@@ -16,7 +16,7 @@ Run::
     python examples/network_analysis.py
 """
 
-from repro import compose
+from repro import compose_all
 from repro.analysis import (
     conservation_laws,
     conserved_totals,
@@ -32,7 +32,7 @@ from repro.sim import simulate
 
 def main() -> None:
     upper, lower = glycolysis_upper(), glycolysis_lower()
-    merged, _ = compose(upper, lower)
+    merged = compose_all([upper, lower]).model
     print(
         f"composed glycolysis: {merged.num_nodes()} species, "
         f"{len(merged.reactions)} reactions"

@@ -10,7 +10,7 @@ Run::
     python examples/quickstart.py
 """
 
-from repro import ModelBuilder, compose, write_sbml
+from repro import ModelBuilder, compose_all, write_sbml
 
 
 def main() -> None:
@@ -53,7 +53,8 @@ def main() -> None:
         f"{without_d.num_edges()} edges"
     )
 
-    merged, report = compose(with_d, without_d)
+    result = compose_all([with_d, without_d])
+    merged, report = result.model, result.report
 
     print(
         f"\ncomposed: {merged.num_nodes()} nodes, "
@@ -62,6 +63,9 @@ def main() -> None:
     print(f"decisions: {report.summary()}")
     print("\nwarning log (the paper's merge log file):")
     print(report.log_text() or "  (clean merge, nothing to report)")
+    print("\nprovenance (which input each component came from):")
+    for line in result.provenance_log().splitlines()[:6]:
+        print(f"  {line}")
 
     print("\ncomposed SBML (first 25 lines):")
     for line in write_sbml(merged).splitlines()[:25]:

@@ -13,7 +13,7 @@ Run::
     python examples/validate_composition.py
 """
 
-from repro import compose
+from repro import ComposeSession
 from repro.corpus import gene_expression, glycolysis_lower, glycolysis_upper
 from repro.eval import (
     MonteCarloModelChecker,
@@ -26,15 +26,17 @@ from repro.sim import simulate
 
 
 def main() -> None:
+    session = ComposeSession()
     upper, lower = glycolysis_upper(), glycolysis_lower()
-    merged, report = compose(upper, lower)
+    result = session.compose(upper, lower)
+    merged, report = result.model, result.report
     print(f"composed glycolysis: {merged.num_nodes()} species, "
           f"{len(merged.reactions)} reactions")
     print(f"merge decisions: {report.summary()}")
 
     # ------------------------------------------------------- §4.1.1
     print("\n[4.1.1] structural comparison, composed vs composed-again:")
-    again, _ = compose(upper, lower)
+    again = session.compose(upper, lower).model
     entries = diff_models(merged, again)
     print(f"  differences: {len(entries)} (deterministic merge)")
 
@@ -61,7 +63,7 @@ def main() -> None:
     # ------------------------------------------------------- §4.1.4
     print("\n[4.1.4] Monte Carlo model checking (MC2-style):")
     model = gene_expression()
-    merged_ge, _ = compose(model, model.copy())
+    merged_ge = session.compose(model, model.copy()).model
     original_checker = MonteCarloModelChecker(
         model, runs=50, t_end=10.0, seed=42
     )

@@ -9,10 +9,17 @@ conversions, local synonym tables, a semanticSBML-style baseline, ODE
 and Gillespie simulators, trace/model-checking evaluation tools, a
 synthetic BioModels-like corpus and a graph view of reaction networks.
 
+Composition is **n-way**: :func:`~repro.core.session.compose_all`
+merges any number of models in one call, and
+:class:`~repro.core.session.ComposeSession` keeps the pattern cache,
+synonym table and per-input artifacts warm across repeated merges.
+The merge *order* is pluggable (``plan="fold" | "tree" | "greedy"``;
+see :mod:`repro.core.plan`).
+
 Quickstart
 ----------
 
->>> from repro import ModelBuilder, compose
+>>> from repro import ModelBuilder, compose_all
 >>> a = (
 ...     ModelBuilder("m1").compartment("cell")
 ...     .species("A", 10.0).species("B", 0.0)
@@ -25,12 +32,38 @@ Quickstart
 ...     .parameter("k2", 0.3).mass_action("r2", ["B"], ["C"], "k2")
 ...     .build()
 ... )
->>> merged, report = compose(a, b)
->>> sorted(s.id for s in merged.species)
+>>> result = compose_all([a, b])
+>>> sorted(s.id for s in result.model.species)
 ['A', 'B', 'C']
+>>> result.provenance["C"].origins
+[('m2', 'C')]
+
+For repeated merges (sweeps, part libraries), hold a session so the
+caches persist::
+
+    from repro import ComposeSession, ComposeOptions
+
+    session = ComposeSession(ComposeOptions.heavy())
+    result = session.compose_all(models, plan="greedy")
+
+The legacy pairwise ``compose(a, b)`` still works but is deprecated;
+``docs/api.md`` has the migration guide.
 """
 
-from repro.core import Composer, ComposeOptions, MergeReport, compose
+from repro.core import (
+    Composer,
+    ComposeOptions,
+    ComposeResult,
+    ComposeSession,
+    ComposeStep,
+    MergePlan,
+    MergeReport,
+    ProvenanceEntry,
+    compose,
+    compose_all,
+    make_plan,
+    plan_names,
+)
 from repro.sbml import (
     Model,
     ModelBuilder,
@@ -41,9 +74,17 @@ from repro.sbml import (
     write_sbml_file,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ComposeSession",
+    "compose_all",
+    "ComposeResult",
+    "ComposeStep",
+    "ProvenanceEntry",
+    "MergePlan",
+    "make_plan",
+    "plan_names",
     "compose",
     "Composer",
     "ComposeOptions",

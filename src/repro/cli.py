@@ -2,16 +2,20 @@
 
 Subcommands::
 
-    sbmlcompose merge a.xml b.xml -o merged.xml [--log merge.log]
+    sbmlcompose merge a.xml b.xml [c.xml ...] -o merged.xml \
+        [--plan fold|tree|greedy] [--log merge.log]
     sbmlcompose diff a.xml b.xml
     sbmlcompose validate model.xml
     sbmlcompose simulate model.xml --t-end 10 --steps 500 -o trace.csv
     sbmlcompose split model.xml --out-prefix part
 
-The ``merge`` subcommand is the paper's tool: unsupervised
-composition with the warning log written to a file, exactly as §3
+The ``merge`` subcommand is the paper's tool grown n-way: it accepts
+two *or more* models, composes them through one
+:class:`~repro.core.session.ComposeSession` following the selected
+merge plan, and writes the warning log to a file exactly as §3
 describes ("writes a warning to a log file informing the user ... of
-decisions taken").
+decisions taken") — now including per-step summaries and per-component
+provenance.
 """
 
 from __future__ import annotations
@@ -20,8 +24,9 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.compose import compose
 from repro.core.options import ComposeOptions
+from repro.core.plan import plan_names
+from repro.core.session import ComposeSession
 from repro.errors import ReproError
 from repro.eval.sbml_diff import diff_models
 from repro.graph.decompose import connected_components
@@ -40,12 +45,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    merge = sub.add_parser("merge", help="compose two SBML models")
-    merge.add_argument("first", type=Path)
-    merge.add_argument("second", type=Path)
+    merge = sub.add_parser("merge", help="compose two or more SBML models")
+    merge.add_argument(
+        "models", type=Path, nargs="+", metavar="model",
+        help="input SBML files (two or more)",
+    )
     merge.add_argument("-o", "--output", type=Path, default=None)
     merge.add_argument("--log", type=Path, default=None,
-                       help="write the warning log to this file")
+                       help="write the warning/provenance log to this file")
+    merge.add_argument(
+        "--plan", choices=plan_names(), default="fold",
+        help="merge order for 3+ models (default: left fold)",
+    )
     merge.add_argument(
         "--semantics",
         choices=["heavy", "light", "none"],
@@ -79,23 +90,37 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_merge(args) -> int:
-    first = read_sbml_file(args.first).model
-    second = read_sbml_file(args.second).model
+    if len(args.models) < 2:
+        print("error: merge needs at least two models", file=sys.stderr)
+        return 2
+    models = [read_sbml_file(path).model for path in args.models]
     options = ComposeOptions(
         semantics=args.semantics,
         index=args.index,
-        conflicts="error" if args.strict else "warn",
     )
-    merged, report = compose(first, second, options)
-    text = write_sbml(merged)
+    if args.strict:
+        options = options.strict()
+    session = ComposeSession(options)
+    result = session.compose_all(models, plan=args.plan)
+    text = write_sbml(result.model)
     if args.output is not None:
         args.output.write_text(text, encoding="utf-8")
         print(f"wrote {args.output}")
     else:
         print(text)
-    print(report.summary(), file=sys.stderr)
+    for step in result.steps:
+        print(step.summary(), file=sys.stderr)
+    print(result.summary(), file=sys.stderr)
     if args.log is not None:
-        args.log.write_text(report.log_text() + "\n", encoding="utf-8")
+        sections = [result.report.log_text()]
+        sections.append(
+            "\n".join(step.log_line() for step in result.steps)
+        )
+        sections.append(result.provenance_log())
+        args.log.write_text(
+            "\n".join(section for section in sections if section) + "\n",
+            encoding="utf-8",
+        )
         print(f"warning log: {args.log}", file=sys.stderr)
     return 0
 

@@ -1,10 +1,20 @@
-"""Core composition engine — the paper's SBMLCompose.
+"""Core composition engine — the paper's SBMLCompose, n-way.
 
 Public API:
 
-* :func:`~repro.core.compose.compose` — compose two models.
-* :class:`~repro.core.compose.Composer` — reusable engine.
-* :class:`~repro.core.options.ComposeOptions` — behaviour knobs.
+* :class:`~repro.core.session.ComposeSession` — reusable n-way
+  composition sessions (the primary entry point).
+* :func:`~repro.core.session.compose_all` — one-shot n-way merge.
+* :class:`~repro.core.session.ComposeResult` — composed model +
+  merged report + provenance + timings.
+* :mod:`~repro.core.plan` — pluggable merge plans (fold/tree/greedy).
+* :class:`~repro.core.options.ComposeOptions` — behaviour knobs, with
+  fluent constructors (``heavy()``, ``light()``, ``structural()``,
+  ``with_index()``, ``strict()``).
+* :func:`~repro.core.compose.compose` — the legacy pairwise entry
+  point (deprecated shim over the session API).
+* :class:`~repro.core.compose.Composer` — the pairwise engine the
+  session drives.
 * :class:`~repro.core.report.MergeReport` — warnings/conflicts log.
 """
 
@@ -28,9 +38,32 @@ from repro.core.options import (
     SEMANTICS_NONE,
     ComposeOptions,
 )
+from repro.core.plan import (
+    PLAN_FOLD,
+    PLAN_GREEDY,
+    PLAN_TREE,
+    BalancedTreePlan,
+    GreedySimilarityPlan,
+    LeftFoldPlan,
+    MergePlan,
+    make_plan,
+    plan_names,
+)
 from repro.core.report import Conflict, Duplicate, MergeReport, MergeWarning
+from repro.core.session import (
+    ComposeResult,
+    ComposeSession,
+    ComposeStep,
+    ProvenanceEntry,
+    compose_all,
+)
 
 __all__ = [
+    "ComposeSession",
+    "compose_all",
+    "ComposeResult",
+    "ComposeStep",
+    "ProvenanceEntry",
     "compose",
     "Composer",
     "ComposeOptions",
@@ -39,6 +72,15 @@ __all__ = [
     "Conflict",
     "Duplicate",
     "IdMapping",
+    "MergePlan",
+    "LeftFoldPlan",
+    "BalancedTreePlan",
+    "GreedySimilarityPlan",
+    "make_plan",
+    "plan_names",
+    "PLAN_FOLD",
+    "PLAN_TREE",
+    "PLAN_GREEDY",
     "ComponentIndex",
     "HashIndex",
     "LinearIndex",

@@ -27,6 +27,8 @@ modified.
 
 from __future__ import annotations
 
+import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConflictError, MathError
@@ -57,19 +59,48 @@ from repro.units.registry import UnitRegistry
 
 __all__ = ["compose", "Composer"]
 
+#: Set after the legacy :func:`compose` shim has warned once; tests
+#: reset it to observe the warning deterministically.
+_DEPRECATION_WARNED = False
+
 
 def compose(
     first: Model,
     second: Model,
     options: Optional[ComposeOptions] = None,
 ) -> Tuple[Model, MergeReport]:
-    """Compose two models (paper Figure 4).
+    """Compose two models (paper Figure 4).  **Legacy entry point.**
 
     Returns ``(composed_model, report)``.  The inputs are not
     modified.  With default options this is the paper's SBMLCompose:
     heavy semantics, hash indexes, warn-and-continue conflicts.
+
+    .. deprecated:: 1.1
+        ``compose(a, b)`` is a thin shim over the session API and
+        emits a single :class:`DeprecationWarning` per process.  Use
+        :func:`repro.core.session.compose_all` for one-shot merges or
+        :class:`repro.core.session.ComposeSession` for repeated ones;
+        see ``docs/api.md`` for the migration guide.
     """
-    return Composer(options).compose(first, second)
+    global _DEPRECATION_WARNED
+    if not _DEPRECATION_WARNED:
+        _DEPRECATION_WARNED = True
+        warnings.warn(
+            "compose(a, b) is deprecated; use compose_all([a, b]) or "
+            "ComposeSession (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    from repro.core.session import ComposeSession
+
+    # Mirror the one-shot default: no session-wide pattern cache
+    # unless the options ask for memoisation.
+    session = ComposeSession(
+        options,
+        cache_patterns=options.memoize_patterns if options else False,
+    )
+    result = session.compose(first, second)
+    return result.model, result.report
 
 
 class Composer:
@@ -82,25 +113,54 @@ class Composer:
     canonical patterns instead of rebuilding them.
     """
 
-    def __init__(self, options: Optional[ComposeOptions] = None):
+    def __init__(
+        self,
+        options: Optional[ComposeOptions] = None,
+        *,
+        pattern_cache: Optional[PatternCache] = None,
+    ):
         self.options = options or ComposeOptions()
-        self._cache = (
-            PatternCache() if self.options.memoize_patterns else None
-        )
+        if pattern_cache is not None:
+            self._cache = pattern_cache
+        else:
+            self._cache = (
+                PatternCache() if self.options.memoize_patterns else None
+            )
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
 
     def compose(self, first: Model, second: Model) -> Tuple[Model, MergeReport]:
+        return self.compose_into(first, second, copy_target=True)
+
+    def compose_into(
+        self,
+        first: Model,
+        second: Model,
+        *,
+        copy_target: bool = True,
+        source_registry: Optional[UnitRegistry] = None,
+        source_initial: Optional[Dict[str, float]] = None,
+    ) -> Tuple[Model, MergeReport]:
+        """Compose ``second`` into ``first``.
+
+        With ``copy_target=False`` the first model is mutated in place
+        instead of copied — the session fold's accumulator trick, which
+        turns the O(n²) copying of a naive left fold into O(n).  The
+        second model is never mutated either way.  ``source_registry``
+        and ``source_initial`` let a session inject per-input artifacts
+        it has already computed (unit registry, evaluated initial
+        values) instead of rebuilding them on every merge step.
+        """
         report = MergeReport()
         # Figure 5 lines 1-2: an empty model composes to the other.
         if first.is_empty():
             return second.copy(), report
         if second.is_empty():
-            return first.copy(), report
+            return first.copy() if copy_target else first, report
 
-        target = first.copy()
+        target = first.copy() if copy_target else first
         # The source is never mutated: every phase copies a component
         # before touching it, so reading `second` directly is safe and
         # skips a full model copy.
@@ -115,27 +175,29 @@ class Composer:
             used_ids=set(target.global_ids())
             | {ud.id for ud in target.unit_definitions if ud.id},
             target_registry=target.unit_registry(),
-            source_registry=source.unit_registry(),
+            source_registry=(
+                source_registry
+                if source_registry is not None
+                else source.unit_registry()
+            ),
             initial_values=(
                 _collect_initial_values(target),
-                _collect_initial_values(source),
+                source_initial
+                if source_initial is not None
+                else _collect_initial_values(source),
             ),
             pattern_cache=self._cache,
         )
 
-        # Figure 4 phase order.
-        _compose_function_definitions(state)
-        _compose_unit_definitions(state)
-        _compose_compartment_types(state)
-        _compose_species_types(state)
-        _compose_compartments(state)
-        _compose_species(state)
-        _compose_parameters(state)
-        _compose_initial_assignments(state)
-        _compose_rules(state)
-        _compose_constraints(state)
-        _compose_reactions(state)
-        _compose_events(state)
+        # Figure 4 phase order, each phase timed into report.timings.
+        for phase_name, phase in _PHASES:
+            started = time.perf_counter()
+            phase(state)
+            report.timings[phase_name] = (
+                report.timings.get(phase_name, 0.0)
+                + time.perf_counter()
+                - started
+            )
 
         if target.name and source.name and target.name != source.name:
             target.name = f"{target.name} + {source.name}"
@@ -1160,3 +1222,20 @@ def _compose_events(state: _MergeState) -> None:
         state.claim_id(duplicate, "event")
         state.target.add_event(duplicate)
         state.report.count_added("event")
+
+
+# Figure 4's phase order, named for the per-phase timing table.
+_PHASES = (
+    ("functionDefinitions", _compose_function_definitions),
+    ("unitDefinitions", _compose_unit_definitions),
+    ("compartmentTypes", _compose_compartment_types),
+    ("speciesTypes", _compose_species_types),
+    ("compartments", _compose_compartments),
+    ("species", _compose_species),
+    ("parameters", _compose_parameters),
+    ("initialAssignments", _compose_initial_assignments),
+    ("rules", _compose_rules),
+    ("constraints", _compose_constraints),
+    ("reactions", _compose_reactions),
+    ("events", _compose_events),
+)

@@ -10,7 +10,7 @@ conflict handling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.synonyms.builtin import builtin_synonyms
@@ -123,6 +123,36 @@ class ComposeOptions:
     def match_anything(self) -> bool:
         """False in ``none`` mode: every component is unique."""
         return self.semantics != SEMANTICS_NONE
+
+    # -- fluent constructors -------------------------------------------
+    #
+    # ``ComposeOptions.heavy().with_index("sorted").strict()`` reads as
+    # the configuration it builds.  Every method returns a *new*
+    # options object; the receiver is never mutated.
+
+    @classmethod
+    def heavy(cls, **overrides) -> "ComposeOptions":
+        """Paper-default heavy semantics (synonyms + units + patterns)."""
+        return cls(semantics=SEMANTICS_HEAVY, **overrides)
+
+    @classmethod
+    def light(cls, **overrides) -> "ComposeOptions":
+        """Light semantics: ids and exact names only."""
+        return cls(semantics=SEMANTICS_LIGHT, **overrides)
+
+    @classmethod
+    def structural(cls, **overrides) -> "ComposeOptions":
+        """No matching at all: pure structural union with renames."""
+        return cls(semantics=SEMANTICS_NONE, **overrides)
+
+    def with_index(self, index: str) -> "ComposeOptions":
+        """A copy of these options using the given index strategy."""
+        return replace(self, index=index)
+
+    def strict(self) -> "ComposeOptions":
+        """A copy that raises :class:`~repro.errors.ConflictError`
+        instead of warn-and-continue."""
+        return replace(self, conflicts=CONFLICTS_ERROR)
 
     def values_equal(self, first: float, second: float) -> bool:
         """Tolerant numeric comparison for attribute values."""

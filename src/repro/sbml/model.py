@@ -63,11 +63,38 @@ class Model(SBase):
         component_id = getattr(component, "id", None)
         if component_id is None:
             return
-        if any(getattr(existing, "id", None) == component_id for existing in collection):
+        # Memoised per-collection id set: the naive any() scan makes a
+        # long composition fold O(n²) in adds.  The memo is keyed by
+        # (list identity, length) so it survives only appends made
+        # through the adders; assigning a new list (the only other
+        # mutation pattern in the codebase) invalidates it.  Length-
+        # preserving in-place edits (index assignment, rewriting a
+        # component's id after insertion) would go unnoticed — mutate
+        # by rebinding the list instead.
+        cache = self.__dict__.setdefault("_id_sets", {})
+        entry = cache.get(what)
+        if (
+            entry is None
+            or entry[0] is not collection
+            or entry[1] != len(collection)
+        ):
+            ids = {
+                existing_id
+                for existing in collection
+                if (existing_id := getattr(existing, "id", None)) is not None
+            }
+        else:
+            ids = entry[2]
+        if component_id in ids:
             raise SBMLError(
                 f"duplicate {what} id {component_id!r} in model "
                 f"{self.id or '<unnamed>'}"
             )
+        # The adder appends `component` immediately after this check;
+        # the entry keeps a reference to the list so the identity
+        # check above stays exact.
+        ids.add(component_id)
+        cache[what] = (collection, len(collection) + 1, ids)
 
     def add_function_definition(self, fd: FunctionDefinition) -> FunctionDefinition:
         """Add a function definition (unique id enforced)."""

@@ -53,6 +53,12 @@ class SynonymTable:
     def __init__(self, rings: Iterable[Iterable[str]] = ()):
         self._ring_of: Dict[str, int] = {}
         self._rings: List[Set[str]] = []
+        # raw name -> canonical representative.  Canonicalisation is
+        # on the composition hot path (every name-keyed index probe),
+        # and a table outlives many lookups of the same labels — a
+        # session composing n models re-keys the accumulator's species
+        # on every step.  Invalidated whenever a ring changes.
+        self._canonical_cache: Dict[str, str] = {}
         for ring in rings:
             self.add_ring(ring)
 
@@ -86,6 +92,7 @@ class SynonymTable:
         target.update(normalized)
         for name in target:
             self._ring_of[name] = target_index
+        self._canonical_cache.clear()
 
     def add_synonym(self, name: str, synonym: str) -> None:
         """Declare two names synonymous."""
@@ -105,12 +112,18 @@ class SynonymTable:
         """A deterministic representative of the name's ring (the
         lexicographically smallest member), or the normalised name
         itself when it has no ring."""
+        cached = self._canonical_cache.get(name)
+        if cached is not None:
+            return cached
         normalized = normalize_name(name)
         index = self._ring_of.get(normalized)
         if index is None:
-            return normalized
-        members = self._rings[index]
-        return min(members) if members else normalized
+            result = normalized
+        else:
+            members = self._rings[index]
+            result = min(members) if members else normalized
+        self._canonical_cache[name] = result
+        return result
 
     def synonyms_of(self, name: str) -> Set[str]:
         """All known synonyms (normalised), including the name."""

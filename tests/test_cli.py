@@ -79,6 +79,63 @@ def test_diff_identical(model_files, capsys):
     assert "equivalent" in capsys.readouterr().out
 
 
+@pytest.fixture
+def three_model_files(model_files, tmp_path):
+    path_a, path_b = model_files
+    c = (
+        ModelBuilder("c")
+        .compartment("cell", size=1.0)
+        .species("C", 0.0)
+        .species("D", 0.0)
+        .parameter("k3", 0.1)
+        .mass_action("r3", ["C"], ["D"], "k3")
+        .build()
+    )
+    path_c = tmp_path / "c.xml"
+    write_sbml_file(c, path_c)
+    return path_a, path_b, path_c
+
+
+def test_merge_three_models_with_tree_plan(three_model_files, tmp_path, capsys):
+    path_a, path_b, path_c = three_model_files
+    out = tmp_path / "merged3.xml"
+    log = tmp_path / "merge3.log"
+    code = main(
+        ["merge", str(path_a), str(path_b), str(path_c),
+         "-o", str(out), "--plan", "tree", "--log", str(log)]
+    )
+    assert code == 0
+    text = out.read_text()
+    for species_id in ("A", "B", "C", "D"):
+        assert f'id="{species_id}"' in text
+    # Per-step provenance is logged: step summaries on stderr, STEP +
+    # PROVENANCE records in the log file.
+    err = capsys.readouterr().err
+    assert "step 1:" in err and "step 2:" in err
+    log_text = log.read_text()
+    assert "STEP 1:" in log_text
+    assert "PROVENANCE" in log_text
+    assert "PROVENANCE D <- c:D" in log_text
+
+
+@pytest.mark.parametrize("plan", ["fold", "tree", "greedy"])
+def test_merge_plans_agree(three_model_files, tmp_path, plan):
+    path_a, path_b, path_c = three_model_files
+    out = tmp_path / f"merged_{plan}.xml"
+    code = main(
+        ["merge", str(path_a), str(path_b), str(path_c),
+         "-o", str(out), "--plan", plan]
+    )
+    assert code == 0
+    assert out.read_text().count("<species ") == 4
+
+
+def test_merge_single_model_rejected(model_files, capsys):
+    path_a, _ = model_files
+    assert main(["merge", str(path_a)]) == 2
+    assert "at least two" in capsys.readouterr().err
+
+
 def test_diff_different(model_files, capsys):
     path_a, path_b = model_files
     assert main(["diff", str(path_a), str(path_b)]) == 1
