@@ -96,22 +96,26 @@ def all_pairs_in_size_order(
 def fig8_sweep(
     models: Sequence[Model],
     options: Optional[ComposeOptions] = None,
+    workers: int = 1,
+    backend: str = "thread",
 ) -> List[Tuple[int, float]]:
     """Run the Figure 8 sweep over ``models`` (assumed size-sorted).
 
     Returns ``(combined size, seconds)`` per composition, in the
-    paper's pairing order.  One :class:`~repro.core.compose.Composer`
-    serves the whole sweep, so the options/synonym setup is paid once
-    instead of once per pair (the per-pair merge work itself is
-    untouched: every composition still starts from clean models).
+    paper's pairing order.  The sweep is driven by the batched
+    :func:`~repro.core.match_all.match_all` engine: per-model
+    artifacts (unit registry, evaluated initial values, used-id sets)
+    are computed once and shared across every pair a model appears in,
+    and ``workers > 1`` fans pairs out onto a pool.  The per-pair
+    merge work itself is untouched — every composition still starts
+    from clean models.
     """
-    engine = Composer(options)
-    results = []
-    for i, j in all_pairs_in_size_order(models):
-        seconds = time_compose(models[i], models[j], composer=engine)
-        size = models[i].network_size() + models[j].network_size()
-        results.append((size, seconds))
-    return results
+    from repro.core.match_all import match_all
+
+    matrix = match_all(
+        models, options, workers=workers, backend=backend
+    )
+    return matrix.series()
 
 
 def summarize_series(

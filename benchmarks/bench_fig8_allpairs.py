@@ -8,9 +8,13 @@ for two models of sizes n and m."
 
 The pytest-benchmark entries time representative pair sizes; the
 sweep test regenerates the full series (subsampled corpus by default —
-run ``python -m benchmarks.fig8 --full`` for all 17,578 pairs) and
-asserts the paper's two claims: time grows with n·m, and the series
-spans orders of magnitude on the log10 axis.
+run ``python -m benchmarks.fig8 --full`` for all 17,578 pairs, with
+``--workers N`` to fan pairs onto a pool) and asserts the paper's two
+claims: time grows with n·m, and the series spans orders of magnitude
+on the log10 axis.  The sweep runs on the batched
+:func:`~repro.core.match_all.match_all` engine, which computes each
+model's unit registry, initial-value environment and used-id set once
+and shares them across all of the model's pairs.
 """
 
 from __future__ import annotations

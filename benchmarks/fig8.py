@@ -35,6 +35,13 @@ def main(argv=None) -> int:
         "--stride", type=int, default=8, help="corpus subsampling stride"
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="fan pairs out onto a worker pool",
+    )
+    parser.add_argument(
+        "--backend", choices=["thread", "process"], default="thread"
+    )
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
@@ -50,7 +57,9 @@ def main(argv=None) -> int:
     print(f"composing {pairs} pairs in ascending size order ...")
 
     started = time.perf_counter()
-    results = fig8_sweep(corpus)
+    results = fig8_sweep(
+        corpus, workers=args.workers, backend=args.backend
+    )
     elapsed = time.perf_counter() - started
 
     name = "fig8_full.csv" if args.full else "fig8_sampled.csv"

@@ -14,7 +14,13 @@ merges any number of models in one call, and
 :class:`~repro.core.session.ComposeSession` keeps the pattern cache,
 synonym table and per-input artifacts warm across repeated merges.
 The merge *order* is pluggable (``plan="fold" | "tree" | "greedy"``;
-see :mod:`repro.core.plan`).
+see :mod:`repro.core.plan`), and with ``workers=N`` the independent
+sibling merges of a ``tree`` plan execute on a worker pool (thread or
+process backend) with results identical to serial execution.  Corpus
+sweeps go through :func:`~repro.core.match_all.match_all`, which
+batches the paper's all-pairs Figure 8 workload behind shared
+per-model artifacts.  ``docs/perf.md`` covers choosing a plan,
+``workers`` and a backend.
 
 Quickstart
 ----------
@@ -56,12 +62,15 @@ from repro.core import (
     ComposeResult,
     ComposeSession,
     ComposeStep,
+    MatchMatrix,
     MergePlan,
     MergeReport,
+    PairOutcome,
     ProvenanceEntry,
     compose,
     compose_all,
     make_plan,
+    match_all,
     plan_names,
 )
 from repro.sbml import (
@@ -79,6 +88,9 @@ __version__ = "1.1.0"
 __all__ = [
     "ComposeSession",
     "compose_all",
+    "match_all",
+    "MatchMatrix",
+    "PairOutcome",
     "ComposeResult",
     "ComposeStep",
     "ProvenanceEntry",

@@ -16,9 +16,12 @@ Public API:
 * :class:`~repro.core.compose.Composer` — the pairwise engine the
   session drives.
 * :class:`~repro.core.report.MergeReport` — warnings/conflicts log.
+* :func:`~repro.core.match_all.match_all` — batched all-pairs
+  matching over a corpus (the Figure 8 workload as an engine).
 """
 
-from repro.core.compose import Composer, compose
+from repro.core.compose import AccumState, Composer, compose
+from repro.core.match_all import MatchMatrix, PairOutcome, match_all
 from repro.core.index import (
     ComponentIndex,
     HashIndex,
@@ -28,6 +31,8 @@ from repro.core.index import (
 )
 from repro.core.mapping import IdMapping
 from repro.core.options import (
+    BACKEND_PROCESS,
+    BACKEND_THREAD,
     CONFLICTS_ERROR,
     CONFLICTS_WARN,
     INDEX_HASH,
@@ -46,6 +51,8 @@ from repro.core.plan import (
     GreedySimilarityPlan,
     LeftFoldPlan,
     MergePlan,
+    PlanCosts,
+    estimate_costs,
     make_plan,
     plan_names,
 )
@@ -66,6 +73,10 @@ __all__ = [
     "ProvenanceEntry",
     "compose",
     "Composer",
+    "AccumState",
+    "match_all",
+    "MatchMatrix",
+    "PairOutcome",
     "ComposeOptions",
     "MergeReport",
     "MergeWarning",
@@ -73,6 +84,8 @@ __all__ = [
     "Duplicate",
     "IdMapping",
     "MergePlan",
+    "PlanCosts",
+    "estimate_costs",
     "LeftFoldPlan",
     "BalancedTreePlan",
     "GreedySimilarityPlan",
@@ -94,4 +107,6 @@ __all__ = [
     "INDEX_SORTED",
     "CONFLICTS_WARN",
     "CONFLICTS_ERROR",
+    "BACKEND_THREAD",
+    "BACKEND_PROCESS",
 ]

@@ -27,8 +27,10 @@ modified.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConflictError, MathError
@@ -57,11 +59,14 @@ from repro.sbml.model import Model
 from repro.units.definitions import UnitDefinition
 from repro.units.registry import UnitRegistry
 
-__all__ = ["compose", "Composer"]
+__all__ = ["compose", "Composer", "AccumState"]
 
 #: Set after the legacy :func:`compose` shim has warned once; tests
-#: reset it to observe the warning deterministically.
+#: reset it to observe the warning deterministically.  Guarded by
+#: ``_DEPRECATION_LOCK`` so concurrent sessions racing through the
+#: shim still warn exactly once per process.
 _DEPRECATION_WARNED = False
+_DEPRECATION_LOCK = threading.Lock()
 
 
 def compose(
@@ -84,13 +89,17 @@ def compose(
     """
     global _DEPRECATION_WARNED
     if not _DEPRECATION_WARNED:
-        _DEPRECATION_WARNED = True
-        warnings.warn(
-            "compose(a, b) is deprecated; use compose_all([a, b]) or "
-            "ComposeSession (see docs/api.md)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        # Double-checked under the lock: only one of several threads
+        # racing through the shim emits the warning.
+        with _DEPRECATION_LOCK:
+            if not _DEPRECATION_WARNED:
+                _DEPRECATION_WARNED = True
+                warnings.warn(
+                    "compose(a, b) is deprecated; use compose_all([a, b]) "
+                    "or ComposeSession (see docs/api.md)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
     from repro.core.session import ComposeSession
 
     # Mirror the one-shot default: no session-wide pattern cache
@@ -101,6 +110,33 @@ def compose(
     )
     result = session.compose(first, second)
     return result.model, result.report
+
+
+@dataclass
+class AccumState:
+    """Derived per-model artifacts carried across fold/tree steps.
+
+    Composing ``second`` into ``first`` needs three things derived
+    from ``first`` — its used-id set, its unit registry and its
+    evaluated initial-value environment — and rebuilding them from the
+    accumulator on every step of an n-model fold is the remaining
+    O(n²) term of session execution.  A step that starts from a
+    carried ``AccumState`` skips the rebuild, and every step returns
+    the updated state for the model it produced: ``used_ids`` is
+    extended as ids are claimed, ``registry`` is refreshed by the
+    unit-definition phase, and ``initial`` absorbs the source model's
+    environment under the final id mapping (united components keep the
+    target's value, exactly as re-collection would read them off the
+    merged model, since conflicts keep the first model's attribute).
+
+    The state is only valid for the exact model object it was produced
+    with; it must be dropped when the model is copied or mutated
+    outside the engine.
+    """
+
+    used_ids: Set[str]
+    registry: UnitRegistry
+    initial: Dict[str, float]
 
 
 class Composer:
@@ -153,17 +189,74 @@ class Composer:
         it has already computed (unit registry, evaluated initial
         values) instead of rebuilding them on every merge step.
         """
+        model, report, _ = self.compose_step(
+            first,
+            second,
+            copy_target=copy_target,
+            source_registry=source_registry,
+            source_initial=source_initial,
+            carry_state=False,
+        )
+        return model, report
+
+    def compose_step(
+        self,
+        first: Model,
+        second: Model,
+        *,
+        copy_target: bool = True,
+        source_owned: bool = False,
+        source_registry: Optional[UnitRegistry] = None,
+        source_initial: Optional[Dict[str, float]] = None,
+        target_state: Optional[AccumState] = None,
+        source_state: Optional[AccumState] = None,
+        carry_state: bool = True,
+    ) -> Tuple[Model, MergeReport, Optional[AccumState]]:
+        """One plan-executor merge step, with carried accumulator state.
+
+        Beyond :meth:`compose_into`:
+
+        * ``target_state`` supplies ``first``'s derived artifacts
+          (used ids, unit registry, initial values) from the previous
+          step instead of rebuilding them from the accumulator —
+          killing the per-step O(accumulator) re-collection.
+        * ``source_owned`` marks ``second`` as an intermediate the
+          caller will discard: its components are *moved* into the
+          target instead of copied (tree plans merge two intermediates
+          at every internal node; copying made tree execution
+          O(n log n) in component copies where the fold is O(n)).
+        * ``source_state`` supplies ``second``'s artifacts the same
+          way (an executed subtree already knows its registry and
+          initial values).
+
+        Returns ``(model, report, state)`` where ``state`` is the
+        updated :class:`AccumState` for the returned model, or ``None``
+        when it could not be carried (the caller rebuilds lazily).
+        Callers that discard the state (one-shot pairwise merges, the
+        all-pairs engine) pass ``carry_state=False`` to skip computing
+        it — the update includes an initial-assignment fixed-point
+        pass over the merged model that only chained steps need.
+        """
         report = MergeReport()
         # Figure 5 lines 1-2: an empty model composes to the other.
         if first.is_empty():
-            return second.copy(), report
+            if source_owned:
+                return second, report, source_state
+            return second.copy(), report, None
         if second.is_empty():
-            return first.copy() if copy_target else first, report
+            if copy_target:
+                return first.copy(), report, None
+            return first, report, target_state
 
         target = first.copy() if copy_target else first
-        # The source is never mutated: every phase copies a component
-        # before touching it, so reading `second` directly is safe and
-        # skips a full model copy.
+        if copy_target:
+            # Derived artifacts reference the original's component
+            # objects; they are not carried across a copy.
+            target_state = None
+        # An un-owned source is never mutated: every phase copies a
+        # component before touching it, so reading `second` directly is
+        # safe and skips a full model copy.  An owned source's
+        # components are adopted (moved) instead.
         source = second
         mapping = IdMapping()
         state = _MergeState(
@@ -172,21 +265,36 @@ class Composer:
             mapping=mapping,
             report=report,
             options=self.options,
-            used_ids=set(target.global_ids())
-            | {ud.id for ud in target.unit_definitions if ud.id},
-            target_registry=target.unit_registry(),
+            used_ids=(
+                target_state.used_ids
+                if target_state is not None
+                else set(target.global_ids())
+                | {ud.id for ud in target.unit_definitions if ud.id}
+            ),
+            target_registry=(
+                target_state.registry
+                if target_state is not None
+                else target.unit_registry()
+            ),
             source_registry=(
-                source_registry
+                source_state.registry
+                if source_state is not None
+                else source_registry
                 if source_registry is not None
                 else source.unit_registry()
             ),
             initial_values=(
-                _collect_initial_values(target),
-                source_initial
+                target_state.initial
+                if target_state is not None
+                else _collect_initial_values(target),
+                source_state.initial
+                if source_state is not None
+                else source_initial
                 if source_initial is not None
                 else _collect_initial_values(source),
             ),
             pattern_cache=self._cache,
+            source_owned=source_owned,
         )
 
         # Figure 4 phase order, each phase timed into report.timings.
@@ -201,7 +309,45 @@ class Composer:
 
         if target.name and source.name and target.name != source.name:
             target.name = f"{target.name} + {source.name}"
-        return target, report
+        return (
+            target,
+            report,
+            self._carry_state(state) if carry_state else None,
+        )
+
+    @staticmethod
+    def _carry_state(state: "_MergeState") -> AccumState:
+        """The updated accumulator state after a merge.
+
+        ``used_ids`` was extended in place as ids were claimed, and the
+        unit phase refreshed ``target_registry``.  The initial-value
+        environment absorbs the source's values under the final id
+        mapping, but only for components this merge *added* — renamed
+        or carried over under their final ids.  United symbols are
+        skipped entirely: the merged model keeps the first model's
+        attribute (even when that attribute is absent and the source
+        declared a value — a logged conflict, not an adoption), so
+        re-collection off the merged model would bind exactly the
+        target's env entry or nothing.  The merged model's initial
+        assignments are then re-run against the updated env — the same
+        fixed-point re-collection performs — so assignments that
+        landed on united symbols override declared values exactly as a
+        rebuild would.
+        """
+        target_initial = state.target_initial
+        flat = state._flat()
+        for symbol, value in state.source_initial.items():
+            if symbol == "time":
+                continue
+            final = flat.get(symbol, symbol)
+            if final in state.added_ids and final not in target_initial:
+                target_initial[final] = value
+        _apply_initial_assignments(state.target, target_initial)
+        return AccumState(
+            used_ids=state.used_ids,
+            registry=state.target_registry,
+            initial=target_initial,
+        )
 
 
 class _MergeState:
@@ -219,6 +365,7 @@ class _MergeState:
         source_registry: UnitRegistry,
         initial_values: Tuple[Dict[str, float], Dict[str, float]],
         pattern_cache: Optional[PatternCache] = None,
+        source_owned: bool = False,
     ):
         self.target = target
         self.source = source
@@ -230,8 +377,20 @@ class _MergeState:
         self.source_registry = source_registry
         self.target_initial, self.source_initial = initial_values
         self._pattern_cache = pattern_cache
+        self.source_owned = source_owned
+        # Ids claimed for components *added* by this merge (as opposed
+        # to united into existing target components) — the carried
+        # initial-value env absorbs source values for these only.
+        self.added_ids: Set[str] = set()
         self._flat_mapping_version = -1
         self._flat_mapping: Dict[str, str] = {}
+
+    def adopt(self, component):
+        """The component to insert into the target: the source's own
+        object when the source is an owned intermediate about to be
+        discarded (move semantics — no copy), a copy otherwise (input
+        models are never mutated)."""
+        return component if self.source_owned else component.copy()
 
     def _flat(self) -> Dict[str, str]:
         """The chain-resolved mapping, recomputed only on change."""
@@ -266,8 +425,10 @@ class _MergeState:
             if current != component.id:
                 component.id = current
             self.used_ids.add(component.id)
+            self.added_ids.add(component.id)
             return
         self.used_ids.add(component.id)
+        self.added_ids.add(component.id)
 
     def unite(self, component_type: str, first_id: str, second_id: str) -> None:
         """Record that a source component was united with a target one."""
@@ -381,9 +542,16 @@ def _collect_initial_values(model: Model) -> Dict[str, float]:
     for parameter in model.parameters:
         if parameter.id and parameter.value is not None:
             env[parameter.id] = parameter.value
+    _apply_initial_assignments(model, env)
+    return env
+
+
+def _apply_initial_assignments(model: Model, env: Dict[str, float]) -> None:
+    """Evaluate the model's initial assignments into ``env``
+    (assignments override declared values).  Initial assignments may
+    depend on one another; a few fixed-point sweeps resolve chains
+    without needing a dependency sort."""
     evaluator = Evaluator(model.function_table())
-    # Initial assignments may depend on one another; a few fixed-point
-    # sweeps resolve chains without needing a dependency sort.
     pending = [ia for ia in model.initial_assignments if ia.math is not None]
     for _ in range(max(1, len(pending))):
         remaining = []
@@ -395,7 +563,6 @@ def _collect_initial_values(model: Model) -> Dict[str, float]:
         if not remaining:
             break
         pending = remaining
-    return env
 
 
 def _try_evaluate(
@@ -427,7 +594,7 @@ def _compose_function_definitions(state: _MergeState) -> None:
         if match is not None and state.math_equal(match.math, fd.math):
             state.unite("functionDefinition", match.id, fd.id)
             continue
-        new_fd = fd.copy()
+        new_fd = state.adopt(fd)
         new_fd.math = _rewrite_lambda(state, new_fd.math)
         state.claim_id(new_fd, "functionDefinition")
         state.target.add_function_definition(new_fd)
@@ -462,7 +629,7 @@ def _compose_unit_definitions(state: _MergeState) -> None:
         if match is not None and match.same_unit(ud):
             state.unite("unitDefinition", match.id, ud.id)
             continue
-        new_ud = ud.copy()
+        new_ud = state.adopt(ud)
         _claim_unit_id(state, new_ud)
         state.target.add_unit_definition(new_ud)
         state.report.count_added("unitDefinition")
@@ -484,6 +651,7 @@ def _claim_unit_id(state: _MergeState, definition: UnitDefinition) -> None:
     else:
         definition.id = current
     state.used_ids.add(definition.id)
+    state.added_ids.add(definition.id)
 
 
 # ---------------------------------------------------------------------------
@@ -501,7 +669,7 @@ def _compose_simple_named(state: _MergeState, kind: str, target_list, source_lis
         if match is not None:
             state.unite(kind, match.id, component.id)
             continue
-        duplicate = component.copy()
+        duplicate = state.adopt(component)
         state.claim_id(duplicate, kind)
         adder(duplicate)
         state.report.count_added(kind)
@@ -543,7 +711,7 @@ def _compose_compartments(state: _MergeState) -> None:
             state.unite("compartment", match.id, compartment.id)
             _check_compartment_conflicts(state, match, compartment)
             continue
-        duplicate = compartment.copy()
+        duplicate = state.adopt(compartment)
         duplicate.compartment_type = state.resolve_ref(duplicate.compartment_type)
         duplicate.outside = state.resolve_ref(duplicate.outside)
         duplicate.units = state.resolve_ref(duplicate.units)
@@ -596,7 +764,7 @@ def _compose_species(state: _MergeState) -> None:
             state.unite("species", match.id, species.id)
             _check_species_conflicts(state, match, species)
             continue
-        duplicate = species.copy()
+        duplicate = state.adopt(species)
         duplicate.compartment = state.resolve_ref(duplicate.compartment)
         duplicate.species_type = state.resolve_ref(duplicate.species_type)
         duplicate.substance_units = state.resolve_ref(duplicate.substance_units)
@@ -748,13 +916,13 @@ def _compose_parameters(state: _MergeState) -> None:
                 )
                 continue
             # Same name, unconfirmed equality: include both, rename.
-            duplicate = parameter.copy()
+            duplicate = state.adopt(parameter)
             duplicate.units = state.resolve_ref(duplicate.units)
             state.claim_id_for_parameter_clash(duplicate, match)
             state.target.add_parameter(duplicate)
             state.report.count_added("parameter")
             continue
-        duplicate = parameter.copy()
+        duplicate = state.adopt(parameter)
         duplicate.units = state.resolve_ref(duplicate.units)
         state.claim_id(duplicate, "parameter")
         state.target.add_parameter(duplicate)
@@ -770,6 +938,7 @@ def _claim_id_for_parameter_clash(state: _MergeState, parameter, match) -> None:
         state.mapping.add(original, fresh)
     parameter.id = fresh
     state.used_ids.add(fresh)
+    state.added_ids.add(fresh)
     state.report.warn(
         "parameter-clash",
         (
@@ -809,7 +978,7 @@ def _compose_initial_assignments(state: _MergeState) -> None:
         if match is not None:
             _merge_initial_assignment(state, match, ia)
             continue
-        duplicate = ia.copy()
+        duplicate = state.adopt(ia)
         duplicate.symbol = symbol
         duplicate.math = state.rewrite(duplicate.math)
         state.target.add_initial_assignment(duplicate)
@@ -899,7 +1068,7 @@ def _compose_rules(state: _MergeState) -> None:
                 resolution="kept first model's rule",
             )
             continue
-        duplicate = rule.copy()
+        duplicate = state.adopt(rule)
         if duplicate.variable is not None:
             duplicate.variable = state.resolve_ref(duplicate.variable)
         duplicate.math = state.rewrite(duplicate.math)
@@ -939,7 +1108,7 @@ def _compose_constraints(state: _MergeState) -> None:
                 constraint.message or "constraint",
             )
             continue
-        duplicate = constraint.copy()
+        duplicate = state.adopt(constraint)
         duplicate.math = state.rewrite(duplicate.math)
         state.target.add_constraint(duplicate)
         state.report.count_added("constraint")
@@ -1145,7 +1314,7 @@ def _rate_constants_reconcile(
 
 
 def _rewrite_reaction(state: _MergeState, reaction: Reaction) -> Reaction:
-    duplicate = reaction.copy()
+    duplicate = state.adopt(reaction)
     for reference in duplicate.reactants + duplicate.products:
         reference.species = state.resolve_ref(reference.species)
     for modifier in duplicate.modifiers:
@@ -1211,7 +1380,7 @@ def _compose_events(state: _MergeState) -> None:
         ):
             state.unite("event", match.id or "?", event.id or "?")
             continue
-        duplicate = event.copy()
+        duplicate = state.adopt(event)
         if duplicate.trigger is not None:
             duplicate.trigger.math = state.rewrite(duplicate.trigger.math)
         if duplicate.delay is not None:

@@ -101,37 +101,69 @@ class LinearIndex(ComponentIndex):
 class SortedKeyIndex(ComponentIndex):
     """Sorted-array index probed via binary search.
 
-    Keeps ``(key, insertion_order, component)`` tuples sorted by key;
-    lookup returns the earliest-inserted component among equal keys.
+    Keeps ``(key, insertion_order, component)`` rows sorted by
+    ``(key, order)``; lookup returns the earliest-inserted component
+    among equal keys.
+
+    Registration must stay O(1): the old implementation used
+    ``list.insert`` per key, whose O(n) element shift made *building*
+    the index quadratic and drowned the probe cost the "sorted"
+    ablation is meant to measure.  Adds therefore append to an
+    unsorted pending buffer; probes scan the buffer linearly while it
+    is small and fold it into the sorted arrays (one sort of the
+    buffer + timsort's linear merge of two runs) once it outgrows
+    √total — O(n√n) total maintenance in the worst interleaving, one
+    O(n log n) bulk build for the common add-all-then-probe phases,
+    and probes stay O(log n + √n).
     """
 
     def __init__(self):
         self._keys: List[str] = []
         self._rows: List[Tuple[int, object]] = []
+        self._pending: List[Tuple[str, int, object]] = []
         self._count = 0
 
     def add(self, keys: Sequence[str], component: object) -> None:
         order = self._count
         self._count += 1
+        pending = self._pending
         for key in keys:
-            position = bisect.bisect_left(self._keys, key)
-            # Insert before later-inserted duplicates of the same key.
-            while (
-                position < len(self._keys)
-                and self._keys[position] == key
-                and self._rows[position][0] < order
-            ):
-                position += 1
-            self._keys.insert(position, key)
-            self._rows.insert(position, (order, component))
+            pending.append((key, order, component))
+
+    def _compact(self) -> None:
+        merged = [
+            (key, row[0], row[1])
+            for key, row in zip(self._keys, self._rows)
+        ]
+        merged.extend(self._pending)
+        # Timsort detects the presorted prefix, so this is effectively
+        # sort-the-buffer + merge-two-runs, not a full re-sort.
+        merged.sort(key=lambda row: (row[0], row[1]))
+        self._keys = [row[0] for row in merged]
+        self._rows = [(row[1], row[2]) for row in merged]
+        self._pending = []
 
     def find(self, keys: Sequence[str]) -> Optional[object]:
+        pending = self._pending
+        if pending and len(pending) * len(pending) > len(self._keys) + 16:
+            self._compact()
+            pending = self._pending
         # First probe key that hits wins (same contract as HashIndex);
-        # among equal keys the earliest-inserted component is returned.
+        # among equal keys the earliest-inserted component is returned,
+        # whether it lives in the sorted arrays or the pending buffer.
         for key in keys:
+            best_order: Optional[int] = None
+            best: Optional[object] = None
             position = bisect.bisect_left(self._keys, key)
             if position < len(self._keys) and self._keys[position] == key:
-                return self._rows[position][1]
+                best_order, best = self._rows[position]
+            for pending_key, order, component in pending:
+                if pending_key == key and (
+                    best_order is None or order < best_order
+                ):
+                    best_order, best = order, component
+            if best_order is not None:
+                return best
         return None
 
     def __len__(self) -> int:

@@ -1,0 +1,317 @@
+"""Batched all-pairs matching — the Figure 8 workload as an engine.
+
+The paper's Figure 8 experiment composes every model of a corpus with
+every other model (17,578 merges over 187 models).  Driving that with
+one cold :func:`~repro.core.compose.compose` per pair repays the same
+per-model preprocessing hundreds of times — each model appears in
+``n`` pairs, and every appearance used to re-derive its unit registry,
+its evaluated initial-value environment and its used-id set, the way
+semanticSBML-era tooling re-parsed inputs per merge.  sirn-style
+structural identity search batches corpus-scale comparisons instead;
+:func:`match_all` is that idea for composition:
+
+* per-model artifacts are computed **once** and shared across all of
+  the model's pairs (handed to the engine as a carried
+  :class:`~repro.core.compose.AccumState`),
+* one :class:`~repro.core.compose.Composer` serves the whole sweep
+  (with ``options.memoize_patterns`` it also carries one
+  :class:`~repro.core.pattern_cache.PatternCache`: model copies share
+  their immutable math nodes, so canonical patterns are computed per
+  expression, not per pair),
+* pairs fan out onto a worker pool (``workers``/``backend`` exactly as
+  in :meth:`~repro.core.session.ComposeSession.compose_all`).
+
+The composed models themselves are discarded — an all-pairs sweep is
+about the matching outcome (what united, what conflicted, how long it
+took), and keeping ``n²/2`` merged models alive would dwarf the corpus.
+Compose the few pairs you care about through a session afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.compose import AccumState, Composer, _collect_initial_values
+from repro.core.options import (
+    BACKEND_PROCESS,
+    BACKEND_THREAD,
+    ComposeOptions,
+)
+from repro.core.session import stable_labels
+from repro.sbml.model import Model
+from repro.units.registry import UnitRegistry
+
+__all__ = ["PairOutcome", "MatchMatrix", "match_all"]
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """The matching outcome of composing one corpus pair."""
+
+    i: int
+    j: int
+    left: str
+    right: str
+    #: Combined network size (paper Figure 8 x-axis: nodes + edges).
+    size: int
+    seconds: float
+    united: int
+    added: int
+    renamed: int
+    conflicts: int
+
+    def row(self) -> Tuple:
+        """CSV row (matches :meth:`MatchMatrix.csv_header`)."""
+        return (
+            self.i,
+            self.j,
+            self.left,
+            self.right,
+            self.size,
+            f"{self.seconds:.6f}",
+            self.united,
+            self.added,
+            self.renamed,
+            self.conflicts,
+        )
+
+
+@dataclass
+class MatchMatrix:
+    """Every pair outcome of an all-pairs sweep, plus sweep totals."""
+
+    outcomes: List[PairOutcome]
+    seconds: float
+    model_count: int
+    workers: int
+    backend: str
+
+    @property
+    def pair_count(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def pairs_per_second(self) -> float:
+        return self.pair_count / self.seconds if self.seconds > 0 else 0.0
+
+    def series(self) -> List[Tuple[int, float]]:
+        """``(combined size, seconds)`` per pair — the Figure 8 shape."""
+        return [(o.size, o.seconds) for o in self.outcomes]
+
+    @staticmethod
+    def csv_header() -> List[str]:
+        return [
+            "i",
+            "j",
+            "left",
+            "right",
+            "combined_size",
+            "seconds",
+            "united",
+            "added",
+            "renamed",
+            "conflicts",
+        ]
+
+    def summary(self) -> str:
+        return (
+            f"{self.pair_count} pairs over {self.model_count} models in "
+            f"{self.seconds:.2f}s ({self.pairs_per_second:.1f} pairs/s, "
+            f"workers={self.workers}, backend={self.backend})"
+        )
+
+
+class _PairEngine:
+    """Shared-artifact pairwise composer used by every worker.
+
+    Thread-safe: the artifact memo is filled under a lock, and the
+    composer's pattern cache locks internally.  One instance also
+    serves each worker *process* (built by the pool initializer from
+    the options and corpus shipped once per worker).
+    """
+
+    def __init__(
+        self,
+        options: Optional[ComposeOptions],
+        models: Sequence[Model],
+        labels: Sequence[str],
+    ):
+        self.options = options or ComposeOptions()
+        self.models = list(models)
+        self.labels = list(labels)
+        # One composer for the whole sweep.  The pattern cache follows
+        # ``options.memoize_patterns`` (default off): the repo's
+        # measured finding is that per-expression memo bookkeeping
+        # costs more than it saves on small kinetic laws, and an
+        # all-pairs sweep multiplies whichever side of that trade wins.
+        self.composer = Composer(self.options)
+        self._artifacts: Dict[
+            int, Tuple[Set[str], UnitRegistry, Dict[str, float]]
+        ] = {}
+        self._lock = threading.Lock()
+
+    def _model_artifacts(
+        self, index: int
+    ) -> Tuple[Set[str], UnitRegistry, Dict[str, float]]:
+        hit = self._artifacts.get(index)
+        if hit is not None:
+            return hit
+        with self._lock:
+            hit = self._artifacts.get(index)
+            if hit is None:
+                model = self.models[index]
+                used_ids = set(model.global_ids()) | {
+                    ud.id for ud in model.unit_definitions if ud.id
+                }
+                hit = (
+                    used_ids,
+                    model.unit_registry(),
+                    _collect_initial_values(model),
+                )
+                self._artifacts[index] = hit
+        return hit
+
+    def run_pair(self, i: int, j: int) -> PairOutcome:
+        left = self.models[i]
+        right = self.models[j]
+        used_ids, registry, initial = self._model_artifacts(i)
+        _, source_registry, source_initial = self._model_artifacts(j)
+        size = left.network_size() + right.network_size()
+        started = time.perf_counter()
+        # The target copy is part of the timed merge (it always was in
+        # the per-pair engines this replaces); the carried state hands
+        # the copy its precomputed artifacts — ids and values are
+        # identical across a copy, and the registry is only read for
+        # unit conversion until the unit phase rebuilds it.
+        _, report, _ = self.composer.compose_step(
+            left.copy(),
+            right,
+            copy_target=False,
+            target_state=AccumState(
+                used_ids=set(used_ids),
+                registry=registry,
+                initial=dict(initial),
+            ),
+            source_registry=source_registry,
+            source_initial=source_initial,
+            carry_state=False,
+        )
+        seconds = time.perf_counter() - started
+        return PairOutcome(
+            i=i,
+            j=j,
+            left=self.labels[i],
+            right=self.labels[j],
+            size=size,
+            seconds=seconds,
+            united=len(report.duplicates),
+            added=report.total_added,
+            renamed=len(report.renamed),
+            conflicts=len(report.conflicts),
+        )
+
+    def run_pairs(self, pairs: Sequence[Tuple[int, int]]) -> List[PairOutcome]:
+        return [self.run_pair(i, j) for i, j in pairs]
+
+
+# ---------------------------------------------------------------------------
+# Process-backend workers (module level: the pool pickles references)
+# ---------------------------------------------------------------------------
+
+_PAIR_ENGINE: Optional[_PairEngine] = None
+
+
+def _init_pair_worker(
+    options: ComposeOptions, models: List[Model], labels: List[str]
+) -> None:
+    """Pool initializer: ship options + corpus once per worker and
+    build the shared-artifact engine there."""
+    global _PAIR_ENGINE
+    _PAIR_ENGINE = _PairEngine(options, models, labels)
+
+
+def _run_pair_chunk(pairs: List[Tuple[int, int]]) -> List[PairOutcome]:
+    return _PAIR_ENGINE.run_pairs(pairs)
+
+
+def _chunked(
+    pairs: List[Tuple[int, int]], chunks: int
+) -> List[List[Tuple[int, int]]]:
+    span = max(1, (len(pairs) + chunks - 1) // chunks)
+    return [pairs[k : k + span] for k in range(0, len(pairs), span)]
+
+
+def match_all(
+    models: Sequence[Model],
+    options: Optional[ComposeOptions] = None,
+    *,
+    workers: int = 1,
+    backend: str = BACKEND_THREAD,
+    include_self: bool = True,
+) -> MatchMatrix:
+    """Compose every unordered pair of ``models``, batched.
+
+    Pairs are enumerated ``(i, j)`` with ``i <= j`` in input order —
+    hand the corpus over size-sorted to reproduce the paper's Figure 8
+    pairing order ("smallest with smallest, ... largest with
+    largest").  ``include_self=False`` drops the ``i == j`` self-pairs.
+    The inputs are never mutated and the composed models are not
+    retained; each pair yields a :class:`PairOutcome`.
+
+    ``workers``/``backend`` fan pairs out exactly as plan execution
+    does: threads share one engine (artifact memo + pattern cache),
+    processes each build their own from the corpus shipped once per
+    worker.  Outcomes are returned in pair order regardless of
+    scheduling.
+    """
+    models = list(models)
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if backend not in (BACKEND_THREAD, BACKEND_PROCESS):
+        raise ValueError(f"unknown parallel backend {backend!r}")
+    labels = stable_labels(models)
+    pairs = [
+        (i, j)
+        for i in range(len(models))
+        for j in range(i, len(models))
+        if include_self or i != j
+    ]
+    started = time.perf_counter()
+    if workers == 1:
+        engine = _PairEngine(options, models, labels)
+        outcomes = engine.run_pairs(pairs)
+    elif backend == BACKEND_PROCESS:
+        # ~4 chunks per worker amortises pickling while keeping the
+        # pool balanced when chunk costs differ.
+        chunks = _chunked(pairs, workers * 4)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_pair_worker,
+            initargs=(options or ComposeOptions(), models, labels),
+        ) as pool:
+            outcomes = [
+                outcome
+                for chunk in pool.map(_run_pair_chunk, chunks)
+                for outcome in chunk
+            ]
+    else:
+        engine = _PairEngine(options, models, labels)
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="match-worker"
+        ) as pool:
+            futures = [
+                pool.submit(engine.run_pair, i, j) for i, j in pairs
+            ]
+            outcomes = [future.result() for future in futures]
+    return MatchMatrix(
+        outcomes=outcomes,
+        seconds=time.perf_counter() - started,
+        model_count=len(models),
+        workers=workers,
+        backend=backend,
+    )

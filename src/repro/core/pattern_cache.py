@@ -21,6 +21,7 @@ composition run and dies with it.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, FrozenSet, Mapping, Tuple
 
 from repro.mathml.ast import Apply, Identifier, KNOWN_OPERATORS, MathNode
@@ -38,6 +39,12 @@ class PatternCache:
     * the set of identifiers of each expression (including user
       function names, which the mapping can also rewrite),
     * the pattern under each distinct *relevant* mapping restriction.
+
+    The cache is shared by every merge a session executes, including
+    merges running concurrently on the parallel executor's worker
+    threads, so all mutation happens under one reentrant lock.
+    Patterns are pure functions of ``(expression, restriction)``, so
+    which thread computes an entry never changes its value.
     """
 
     def __init__(self):
@@ -48,6 +55,7 @@ class PatternCache:
         self._law_math: Dict[Tuple, MathNode] = {}
         # Keep nodes alive so id() keys stay valid.
         self._pinned: Dict[int, MathNode] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -63,8 +71,9 @@ class PatternCache:
             elif isinstance(node, Apply) and node.op not in KNOWN_OPERATORS:
                 names.add(node.op)
         result = frozenset(names)
-        self._identifiers[key] = result
-        self._pinned[key] = math
+        with self._lock:
+            self._identifiers[key] = result
+            self._pinned[key] = math
         return result
 
     def pattern(self, math: MathNode, mapping: Mapping[str, str]) -> str:
@@ -80,11 +89,15 @@ class PatternCache:
         key = (id(math), relevant)
         cached = self._patterns.get(key)
         if cached is not None:
+            # Deliberately unlocked: a lost concurrent increment only
+            # skews the stats counter, and locking the hit path would
+            # serialize exactly the case the cache exists to speed up.
             self.hits += 1
             return cached
-        self.misses += 1
         result = canonical_pattern(math, dict(relevant))
-        self._patterns[key] = result
+        with self._lock:
+            self.misses += 1
+            self._patterns[key] = result
         return result
 
     def law_comparison_math(self, math: MathNode, locals_items) -> MathNode:
@@ -99,13 +112,14 @@ class PatternCache:
         cached = self._law_math.get(key)
         if cached is not None:
             return cached
-        self._pinned[id(math)] = math
         from repro.mathml.ast import Number
 
         substituted = math.substitute(
             {name: Number(value) for name, value in locals_items}
         )
-        self._law_math[key] = substituted
+        with self._lock:
+            self._pinned[id(math)] = math
+            self._law_math[key] = substituted
         return substituted
 
     def stats(self) -> str:

@@ -57,7 +57,14 @@ class SynonymTable:
         # on the composition hot path (every name-keyed index probe),
         # and a table outlives many lookups of the same labels — a
         # session composing n models re-keys the accumulator's species
-        # on every step.  Invalidated whenever a ring changes.
+        # on every step.  The memo is lock-free under concurrent
+        # lookups (the parallel executor probes one table from many
+        # threads): single dict reads/writes are atomic under the GIL
+        # and the cached value is a pure function of the rings, so a
+        # racing duplicate write is harmless.  Ring *changes* swap in
+        # a fresh dict (never ``.clear()``) — a lookup that raced the
+        # change writes its stale result into the abandoned dict,
+        # which nobody reads again.
         self._canonical_cache: Dict[str, str] = {}
         for ring in rings:
             self.add_ring(ring)
@@ -92,7 +99,10 @@ class SynonymTable:
         target.update(normalized)
         for name in target:
             self._ring_of[name] = target_index
-        self._canonical_cache.clear()
+        # Swap, don't clear: concurrent canonical() calls may still
+        # hold the old dict and would otherwise repopulate it with
+        # now-stale representatives.
+        self._canonical_cache = {}
 
     def add_synonym(self, name: str, synonym: str) -> None:
         """Declare two names synonymous."""
@@ -112,7 +122,11 @@ class SynonymTable:
         """A deterministic representative of the name's ring (the
         lexicographically smallest member), or the normalised name
         itself when it has no ring."""
-        cached = self._canonical_cache.get(name)
+        # Bind the memo once: if add_ring swaps in a fresh dict midway
+        # through this call, the write below lands in the abandoned
+        # dict instead of poisoning the new one.
+        cache = self._canonical_cache
+        cached = cache.get(name)
         if cached is not None:
             return cached
         normalized = normalize_name(name)
@@ -122,7 +136,7 @@ class SynonymTable:
         else:
             members = self._rings[index]
             result = min(members) if members else normalized
-        self._canonical_cache[name] = result
+        cache[name] = result
         return result
 
     def synonyms_of(self, name: str) -> Set[str]:

@@ -1,0 +1,79 @@
+"""Property test: the three index strategies are interchangeable.
+
+The ablation benchmarks swap ``HashIndex`` / ``SortedKeyIndex`` /
+``LinearIndex`` under the same composition and attribute any timing
+difference to the index — which is only valid if the strategies are
+observationally identical.  The contract (Figure 5 keeps S1): a
+component may register under several keys, a probe tries its keys in
+order, and among components registered under the same key the
+*earliest registered* one keeps winning forever.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HashIndex, LinearIndex, SortedKeyIndex
+
+# A small key alphabet makes same-key collisions (the interesting
+# case for first-registration-wins) likely.
+keys = st.integers(min_value=0, max_value=11).map(lambda n: f"k{n}")
+key_lists = st.lists(keys, min_size=1, max_size=3)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), key_lists),
+        st.tuples(st.just("find"), key_lists),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations=operations)
+def test_strategies_agree_on_interleaved_sequences(operations):
+    """Identical results for any interleaving of adds and probes.
+
+    Interleaving matters: ``SortedKeyIndex`` buffers additions and
+    compacts lazily, so a probe can hit entries in the sorted arrays,
+    the pending buffer, or both — every path must still return the
+    earliest-registered component.
+    """
+    indexes = [HashIndex(), LinearIndex(), SortedKeyIndex()]
+    serial = 0
+    for action, key_list in operations:
+        if action == "add":
+            for index in indexes:
+                index.add(list(key_list), serial)
+            serial += 1
+        else:
+            results = {index.find(list(key_list)) for index in indexes}
+            assert len(results) == 1, (
+                f"strategies disagree on probe {key_list}: {results}"
+            )
+    assert len({len(index) for index in indexes}) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    registrations=st.lists(key_lists, min_size=1, max_size=40),
+    probe=key_lists,
+)
+def test_first_registration_wins_everywhere(registrations, probe):
+    """The winner of any probe is the earliest-registered component
+    carrying the earliest-probed key — on every strategy."""
+    indexes = [HashIndex(), LinearIndex(), SortedKeyIndex()]
+    for serial, key_list in enumerate(registrations):
+        for index in indexes:
+            index.add(list(key_list), serial)
+    expected = None
+    for key in probe:
+        matches = [
+            serial
+            for serial, key_list in enumerate(registrations)
+            if key in key_list
+        ]
+        if matches:
+            expected = min(matches)
+            break
+    for index in indexes:
+        assert index.find(list(probe)) == expected, type(index).__name__

@@ -1,0 +1,122 @@
+"""The batched all-pairs matching engine."""
+
+import pytest
+
+from repro import ModelBuilder, compose_all, match_all
+from repro.core.match_all import MatchMatrix
+from repro.core.options import ComposeOptions
+
+
+def _module_model(model_id, species, parameter, value=0.5):
+    builder = ModelBuilder(model_id).compartment("cell", size=1.0)
+    for name in species:
+        builder = builder.species(name, 1.0)
+    builder = builder.parameter(parameter, value)
+    builder = builder.mass_action(
+        f"r_{model_id}", [species[0]], [species[-1]], parameter
+    )
+    return builder.build()
+
+
+@pytest.fixture
+def corpus():
+    return [
+        _module_model("m1", ["A", "B"], "k1"),
+        _module_model("m2", ["B", "C"], "k2"),
+        _module_model("m3", ["C", "D"], "k3"),
+        _module_model("m4", ["A", "D"], "k4"),
+    ]
+
+
+class TestMatchAll:
+    def test_pair_enumeration_with_self(self, corpus):
+        matrix = match_all(corpus)
+        assert matrix.pair_count == 10  # C(4,2) + 4 self-pairs
+        assert [(o.i, o.j) for o in matrix.outcomes] == [
+            (i, j) for i in range(4) for j in range(i, 4)
+        ]
+
+    def test_no_self_pairs(self, corpus):
+        matrix = match_all(corpus, include_self=False)
+        assert matrix.pair_count == 6
+        assert all(o.i != o.j for o in matrix.outcomes)
+
+    def test_outcomes_match_session_reports(self, corpus):
+        # The batched engine shares artifacts but must produce the
+        # same matching outcome a standalone composition does.
+        matrix = match_all(corpus)
+        by_pair = {(o.i, o.j): o for o in matrix.outcomes}
+        for i in range(len(corpus)):
+            for j in range(i, len(corpus)):
+                result = compose_all([corpus[i], corpus[j]])
+                outcome = by_pair[(i, j)]
+                assert outcome.united == len(result.report.duplicates)
+                assert outcome.added == result.report.total_added
+                assert outcome.renamed == len(result.report.renamed)
+                assert outcome.conflicts == len(result.report.conflicts)
+
+    def test_self_pair_unites_everything(self, corpus):
+        matrix = match_all(corpus)
+        self_pair = next(o for o in matrix.outcomes if (o.i, o.j) == (0, 0))
+        assert self_pair.added == 0
+        assert self_pair.united > 0
+
+    def test_inputs_not_mutated(self, corpus):
+        snapshots = [sorted(m.global_ids()) for m in corpus]
+        match_all(corpus, workers=2)
+        assert [sorted(m.global_ids()) for m in corpus] == snapshots
+
+    def test_thread_fanout_deterministic(self, corpus):
+        serial = match_all(corpus)
+        threaded = match_all(corpus, workers=4)
+        assert [o.row()[:5] for o in serial.outcomes] == [
+            o.row()[:5] for o in threaded.outcomes
+        ]
+        assert [
+            (o.united, o.added, o.renamed, o.conflicts)
+            for o in serial.outcomes
+        ] == [
+            (o.united, o.added, o.renamed, o.conflicts)
+            for o in threaded.outcomes
+        ]
+
+    def test_process_fanout_deterministic(self, corpus):
+        serial = match_all(corpus)
+        pooled = match_all(corpus, workers=2, backend="process")
+        assert [
+            (o.i, o.j, o.united, o.added, o.renamed, o.conflicts)
+            for o in serial.outcomes
+        ] == [
+            (o.i, o.j, o.united, o.added, o.renamed, o.conflicts)
+            for o in pooled.outcomes
+        ]
+
+    def test_conflict_counted(self):
+        a = _module_model("m1", ["A", "B"], "shared", value=0.5)
+        b = _module_model("m2", ["A", "B"], "shared", value=0.5)
+        b.species[0].initial_amount = 777.0
+        matrix = match_all([a, b], include_self=False)
+        assert matrix.outcomes[0].conflicts >= 1
+
+    def test_summary_and_rates(self, corpus):
+        matrix = match_all(corpus)
+        assert matrix.pairs_per_second > 0
+        assert "pairs/s" in matrix.summary()
+        assert len(MatchMatrix.csv_header()) == len(
+            matrix.outcomes[0].row()
+        )
+
+    def test_options_respected(self, corpus):
+        # Structural semantics never unites by name, so cross-model
+        # pairs unite nothing (no shared ids are checked structurally
+        # either — every component is unique).
+        matrix = match_all(
+            corpus, ComposeOptions.structural(), include_self=False
+        )
+        assert all(o.united == 0 for o in matrix.outcomes)
+
+    def test_invalid_arguments(self, corpus):
+        with pytest.raises(ValueError):
+            match_all(corpus, workers=0)
+        with pytest.raises(ValueError):
+            match_all(corpus, backend="fiber")

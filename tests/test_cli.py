@@ -118,6 +118,53 @@ def test_merge_three_models_with_tree_plan(three_model_files, tmp_path, capsys):
     assert "PROVENANCE D <- c:D" in log_text
 
 
+def test_merge_parallel_tree_matches_serial(three_model_files, tmp_path):
+    path_a, path_b, path_c = three_model_files
+    serial_out = tmp_path / "serial.xml"
+    parallel_out = tmp_path / "parallel.xml"
+    assert main(
+        ["merge", str(path_a), str(path_b), str(path_c),
+         "-o", str(serial_out), "--plan", "tree"]
+    ) == 0
+    assert main(
+        ["merge", str(path_a), str(path_b), str(path_c),
+         "-o", str(parallel_out), "--plan", "tree", "--workers", "4"]
+    ) == 0
+    assert parallel_out.read_text() == serial_out.read_text()
+
+
+def test_sweep_to_terminal(three_model_files, capsys):
+    path_a, path_b, path_c = three_model_files
+    code = main(["sweep", str(path_a), str(path_b), str(path_c)])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "a+b" in captured.out
+    assert "pairs/s" in captured.err
+    # 3 models with self-pairs -> 6 rows (+ header).
+    assert len(captured.out.strip().splitlines()) == 7
+
+
+def test_sweep_to_csv_no_self(three_model_files, tmp_path, capsys):
+    path_a, path_b, path_c = three_model_files
+    out = tmp_path / "pairs.csv"
+    code = main(
+        ["sweep", str(path_a), str(path_b), str(path_c),
+         "--no-self", "--workers", "2", "-o", str(out)]
+    )
+    assert code == 0
+    lines = out.read_text().strip().splitlines()
+    assert lines[0].startswith("i,j,left,right,combined_size")
+    assert len(lines) == 4  # header + C(3,2) pairs
+    assert "3 pairs" in capsys.readouterr().err
+
+
+def test_sweep_single_model_rejected(model_files, capsys):
+    path_a, _ = model_files
+    code = main(["sweep", str(path_a)])
+    assert code == 2
+    assert "at least two" in capsys.readouterr().err
+
+
 @pytest.mark.parametrize("plan", ["fold", "tree", "greedy"])
 def test_merge_plans_agree(three_model_files, tmp_path, plan):
     path_a, path_b, path_c = three_model_files
