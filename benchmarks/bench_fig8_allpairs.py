@@ -84,6 +84,52 @@ def bench_fig8_series(benchmark, corpus_sample):
     assert top[0] > mid[0]
 
 
+def bench_fig8_sharded_sweep(benchmark, corpus_sample, tmp_path):
+    """The Figure 8 sweep as a 4-shard run with a shared on-disk
+    artifact store — the deployment shape for corpora that don't fit
+    (or shouldn't monopolise) one machine.
+
+    Asserts the tentpole invariant while timing it: the union of the
+    shard matrices equals the unsharded sweep on every run-invariant
+    field, and the per-shard cost estimates stay balanced.
+    """
+    from repro.core.match_all import MatchMatrix, match_all, match_all_sharded
+    from repro.core.shards import partition_pairs
+
+    shard_count = 4
+    store = tmp_path / "artifacts"
+
+    def sweep_sharded():
+        return [
+            match_all_sharded(
+                corpus_sample,
+                shards=shard_count,
+                shard_id=shard_id,
+                store=store,
+            )
+            for shard_id in range(shard_count)
+        ]
+
+    parts = benchmark.pedantic(sweep_sharded, rounds=1, iterations=1)
+    merged = MatchMatrix.union(parts)
+    reference = match_all(corpus_sample)
+    assert [o.key() for o in merged.outcomes] == [
+        o.key() for o in reference.outcomes
+    ]
+    sizes = [model.network_size() for model in corpus_sample]
+    shards = partition_pairs(sizes, shard_count)
+    mean_cost = sum(shard.cost for shard in shards) / shard_count
+    emit("")
+    emit(f"Figure 8 sharded sweep — {shard_count} shards, shared store")
+    for shard, part in zip(shards, parts):
+        emit(
+            f"  {shard.describe():>44}  "
+            f"({part.seconds * 1000:8.1f} ms, "
+            f"balance {shard.cost / mean_cost:4.2f}x)"
+        )
+    assert all(shard.cost < 2 * mean_cost for shard in shards)
+
+
 def bench_fig8_self_pair_largest(benchmark, corpus):
     """Compose the largest model with itself (the sweep's last point)."""
     largest = corpus[-1]

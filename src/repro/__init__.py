@@ -57,6 +57,7 @@ The legacy pairwise ``compose(a, b)`` still works but is deprecated;
 """
 
 from repro.core import (
+    ArtifactStore,
     Composer,
     ComposeOptions,
     ComposeResult,
@@ -67,10 +68,14 @@ from repro.core import (
     MergeReport,
     PairOutcome,
     ProvenanceEntry,
+    SweepCheckpoint,
     compose,
     compose_all,
     make_plan,
     match_all,
+    match_all_sharded,
+    model_digest,
+    partition_pairs,
     plan_names,
 )
 from repro.sbml import (
@@ -89,8 +94,13 @@ __all__ = [
     "ComposeSession",
     "compose_all",
     "match_all",
+    "match_all_sharded",
     "MatchMatrix",
     "PairOutcome",
+    "ArtifactStore",
+    "SweepCheckpoint",
+    "model_digest",
+    "partition_pairs",
     "ComposeResult",
     "ComposeStep",
     "ProvenanceEntry",

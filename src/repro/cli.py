@@ -5,7 +5,10 @@ Subcommands::
     sbmlcompose merge a.xml b.xml [c.xml ...] -o merged.xml \
         [--plan fold|tree|greedy] [--workers N] [--backend thread|process] \
         [--log merge.log]
-    sbmlcompose sweep a.xml b.xml c.xml [...] [--workers N] [-o pairs.csv]
+    sbmlcompose sweep a.xml b.xml c.xml [...] [--workers N] [-o pairs.csv] \
+        [--shards K [--shard-id I] --out-dir DIR [--resume]] \
+        [--deterministic]
+    sbmlcompose sweep-merge --out-dir DIR [-o merged.csv]
     sbmlcompose diff a.xml b.xml
     sbmlcompose validate model.xml
     sbmlcompose simulate model.xml --t-end 10 --steps 500 -o trace.csv
@@ -23,7 +26,18 @@ provenance.  ``--workers`` executes independent sibling merges of a
 ``sweep`` is the paper's Figure 8 experiment as a command: compose
 every pair of the given models through the batched
 :func:`~repro.core.match_all.match_all` engine and report what united,
-what conflicted and how fast the pairs went.
+what conflicted and how fast the pairs went.  With ``--shards K`` the
+pair matrix is partitioned deterministically
+(:func:`~repro.core.shards.partition_pairs`) and each shard's results
+land as a separate CSV under ``--out-dir``, journaled by a
+:class:`~repro.core.shards.SweepCheckpoint` so a killed sweep resumes
+(``--resume``) from the first incomplete shard; per-model artifacts
+are spilled to a content-addressed store under the same directory and
+shared by every shard.  Pass ``--shard-id I`` to compute exactly one
+shard (e.g. one shard per machine); omit it to run all shards
+sequentially, each one checkpointed.  ``sweep-merge`` unions the shard
+files back into one report that is byte-identical to an unsharded
+``sweep --deterministic`` run of the same corpus.
 """
 
 from __future__ import annotations
@@ -32,13 +46,21 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.match_all import MatchMatrix, match_all
+from repro.core.artifact_store import ArtifactStore, corpus_fingerprint
+from repro.core.match_all import (
+    match_all,
+    match_all_sharded,
+    read_outcomes_csv,
+    write_outcomes,
+    write_outcomes_csv,
+)
 from repro.core.options import (
     BACKEND_PROCESS,
     BACKEND_THREAD,
     ComposeOptions,
 )
 from repro.core.plan import plan_names
+from repro.core.shards import SweepCheckpoint, SweepStateError
 from repro.core.session import ComposeSession
 from repro.errors import ReproError
 from repro.eval.sbml_diff import diff_models
@@ -120,6 +142,51 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["heavy", "light", "none"],
         default="heavy",
     )
+    sweep.add_argument(
+        "--deterministic", action="store_true",
+        help="omit the wall-time column from the CSV, making the "
+             "output byte-identical across runs (and to sweep-merge)",
+    )
+    sweep.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="partition the pair matrix into K deterministic shards "
+             "(requires --out-dir; results land as one CSV per shard)",
+    )
+    sweep.add_argument(
+        "--shard-id", type=int, default=None, metavar="I",
+        help="compute only shard I of K (e.g. one shard per machine); "
+             "joins the sweep already journaled in --out-dir, so "
+             "shard-by-shard runs accumulate; omit to run every shard "
+             "sequentially, each checkpointed",
+    )
+    sweep.add_argument(
+        "--out-dir", type=Path, default=None, metavar="DIR",
+        help="directory for shard CSVs, the checkpoint journal and "
+             "the shared per-model artifact store",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip shards the checkpoint journal records as complete "
+             "(refuses to resume onto a different corpus or layout)",
+    )
+
+    sweep_merge = sub.add_parser(
+        "sweep-merge",
+        help="union shard result files into one all-pairs report",
+    )
+    sweep_merge.add_argument(
+        "--out-dir", type=Path, required=True, metavar="DIR",
+        help="the sharded sweep's output directory",
+    )
+    sweep_merge.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the merged table to this CSV file (default: stdout)",
+    )
+    sweep_merge.add_argument(
+        "--timings", action="store_true",
+        help="keep the per-shard wall-time column instead of emitting "
+             "the deterministic (byte-comparable) layout",
+    )
 
     diff = sub.add_parser("diff", help="structurally compare two models")
     diff.add_argument("first", type=Path)
@@ -181,12 +248,110 @@ def _cmd_merge(args) -> int:
     return 0
 
 
+def _shard_file(shard_id: int, shard_count: int) -> str:
+    return f"shard-{shard_id:04d}-of-{shard_count:04d}.csv"
+
+
+def _sweep_fingerprint(models, args) -> str:
+    """Fingerprint binding a checkpoint to this corpus + run shape."""
+    return corpus_fingerprint(
+        models,
+        extra=(
+            "semantics", args.semantics,
+            "include_self", not args.no_self,
+            "shards", args.shards,
+        ),
+    )
+
+
+def _cmd_sweep_sharded(args, models, options) -> int:
+    if args.out_dir is None:
+        print("error: --shards needs --out-dir", file=sys.stderr)
+        return 2
+    if args.shard_id is not None and not 0 <= args.shard_id < args.shards:
+        print(
+            f"error: --shard-id must be in [0, {args.shards})",
+            file=sys.stderr,
+        )
+        return 2
+    checkpoint = SweepCheckpoint(
+        args.out_dir,
+        fingerprint=_sweep_fingerprint(models, args),
+        shard_count=args.shards,
+    )
+    # A single-shard run is by definition one piece of a multi-run
+    # sweep: it must join the journal other runs are building, never
+    # reset it — so --shard-id implies resume semantics.
+    completed = checkpoint.begin(
+        resume=args.resume or args.shard_id is not None
+    )
+    store = ArtifactStore(args.out_dir / "artifacts")
+    shard_ids = (
+        [args.shard_id] if args.shard_id is not None else range(args.shards)
+    )
+    for shard_id in shard_ids:
+        if shard_id in completed:
+            print(
+                f"shard {shard_id}/{args.shards}: already complete, skipping",
+                file=sys.stderr,
+            )
+            continue
+        matrix = match_all_sharded(
+            models,
+            options,
+            shards=args.shards,
+            shard_id=shard_id,
+            workers=args.workers,
+            backend=args.backend,
+            include_self=not args.no_self,
+            store=store,
+        )
+        name = _shard_file(shard_id, args.shards)
+        write_outcomes_csv(args.out_dir / name, matrix.outcomes)
+        checkpoint.mark_complete(shard_id, name, matrix.pair_count)
+        print(f"wrote {args.out_dir / name}")
+        print(matrix.summary(), file=sys.stderr)
+    missing = checkpoint.missing_shards()
+    if missing:
+        print(
+            f"{len(missing)} shard(s) still missing: "
+            + ", ".join(str(shard_id) for shard_id in missing),
+            file=sys.stderr,
+        )
+        if args.output is not None:
+            print(
+                f"note: {args.output} not written — the merged table "
+                "needs every shard; rerun with the remaining shards "
+                "or use sweep-merge once complete",
+                file=sys.stderr,
+            )
+    elif args.output is not None:
+        write_outcomes_csv(
+            args.output,
+            _merged_sweep_outcomes(checkpoint),
+            deterministic=args.deterministic,
+        )
+        print(f"wrote {args.output}")
+    else:
+        print(
+            "all shards complete; merge with "
+            f"`sbmlcompose sweep-merge --out-dir {args.out_dir}`",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     if len(args.models) < 2:
         print("error: sweep needs at least two models", file=sys.stderr)
         return 2
     models = [read_sbml_file(path).model for path in args.models]
     options = ComposeOptions(semantics=args.semantics)
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 or args.out_dir is not None:
+        return _cmd_sweep_sharded(args, models, options)
     matrix = match_all(
         models,
         options,
@@ -194,14 +359,10 @@ def _cmd_sweep(args) -> int:
         backend=args.backend,
         include_self=not args.no_self,
     )
-    header = MatchMatrix.csv_header()
     if args.output is not None:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(",".join(header) + "\n")
-            for outcome in matrix.outcomes:
-                handle.write(
-                    ",".join(str(cell) for cell in outcome.row()) + "\n"
-                )
+        write_outcomes_csv(
+            args.output, matrix.outcomes, deterministic=args.deterministic
+        )
         print(f"wrote {args.output}")
     else:
         print(f"{'pair':>24} {'size':>6} {'ms':>9} "
@@ -214,6 +375,53 @@ def _cmd_sweep(args) -> int:
                 f"{outcome.added:>6} {outcome.conflicts:>9}"
             )
     print(matrix.summary(), file=sys.stderr)
+    return 0
+
+
+def _merged_sweep_outcomes(checkpoint):
+    """Union a complete sweep's shard files, in canonical pair order.
+
+    Raises :class:`SweepStateError` on missing shards or a pair that
+    appears twice (shard files from mixed layouts).
+    """
+    missing = checkpoint.missing_shards()
+    if missing:
+        raise SweepStateError(
+            "sweep incomplete: missing shard(s) "
+            + ", ".join(str(shard_id) for shard_id in missing)
+            + "; rerun `sweep --shards ... --resume` first"
+        )
+    outcomes = []
+    seen = set()
+    for shard_id in range(checkpoint.shard_count):
+        path = checkpoint.out_dir / str(checkpoint.completed[shard_id]["file"])
+        for outcome in read_outcomes_csv(path):
+            pair = (outcome.i, outcome.j)
+            if pair in seen:
+                raise SweepStateError(
+                    f"pair {pair} appears in more than one shard file"
+                )
+            seen.add(pair)
+            outcomes.append(outcome)
+    outcomes.sort(key=lambda outcome: (outcome.i, outcome.j))
+    return outcomes
+
+
+def _cmd_sweep_merge(args) -> int:
+    checkpoint = SweepCheckpoint.open(args.out_dir)
+    outcomes = _merged_sweep_outcomes(checkpoint)
+    deterministic = not args.timings
+    if args.output is not None:
+        write_outcomes_csv(
+            args.output, outcomes, deterministic=deterministic
+        )
+        print(f"wrote {args.output}")
+    else:
+        write_outcomes(sys.stdout, outcomes, deterministic=deterministic)
+    print(
+        f"merged {checkpoint.shard_count} shard(s), {len(outcomes)} pairs",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -273,6 +481,7 @@ def _cmd_split(args) -> int:
 _COMMANDS = {
     "merge": _cmd_merge,
     "sweep": _cmd_sweep,
+    "sweep-merge": _cmd_sweep_merge,
     "diff": _cmd_diff,
     "validate": _cmd_validate,
     "simulate": _cmd_simulate,

@@ -18,10 +18,31 @@ Public API:
 * :class:`~repro.core.report.MergeReport` — warnings/conflicts log.
 * :func:`~repro.core.match_all.match_all` — batched all-pairs
   matching over a corpus (the Figure 8 workload as an engine).
+* :func:`~repro.core.match_all.match_all_sharded` — one deterministic
+  shard of the all-pairs sweep, for corpora split over machines or
+  checkpointed runs; :mod:`~repro.core.shards` partitions the pair
+  matrix and journals sweep progress.
+* :class:`~repro.core.artifact_store.ArtifactStore` — on-disk,
+  content-addressed per-model artifacts shared across shard runs,
+  resumed sweeps and spilled sessions.
 """
 
+from repro.core.artifact_store import (
+    ArtifactStore,
+    ModelArtifacts,
+    compute_artifacts,
+    corpus_fingerprint,
+    model_digest,
+)
 from repro.core.compose import AccumState, Composer, compose
-from repro.core.match_all import MatchMatrix, PairOutcome, match_all
+from repro.core.match_all import (
+    MatchMatrix,
+    PairOutcome,
+    match_all,
+    match_all_sharded,
+    read_outcomes_csv,
+    write_outcomes_csv,
+)
 from repro.core.index import (
     ComponentIndex,
     HashIndex,
@@ -57,6 +78,13 @@ from repro.core.plan import (
     plan_names,
 )
 from repro.core.report import Conflict, Duplicate, MergeReport, MergeWarning
+from repro.core.shards import (
+    Shard,
+    SweepCheckpoint,
+    SweepStateError,
+    enumerate_pairs,
+    partition_pairs,
+)
 from repro.core.session import (
     ComposeResult,
     ComposeSession,
@@ -75,8 +103,21 @@ __all__ = [
     "Composer",
     "AccumState",
     "match_all",
+    "match_all_sharded",
     "MatchMatrix",
     "PairOutcome",
+    "write_outcomes_csv",
+    "read_outcomes_csv",
+    "ArtifactStore",
+    "ModelArtifacts",
+    "model_digest",
+    "corpus_fingerprint",
+    "compute_artifacts",
+    "Shard",
+    "SweepCheckpoint",
+    "SweepStateError",
+    "enumerate_pairs",
+    "partition_pairs",
     "ComposeOptions",
     "MergeReport",
     "MergeWarning",

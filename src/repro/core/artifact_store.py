@@ -1,0 +1,194 @@
+"""On-disk, content-addressed store for per-model artifacts.
+
+Sweeping a corpus shard-by-shard (or composing through a long-lived
+session) keeps re-needing the same derived per-model state: the
+used-id set, the unit registry and the evaluated initial-value
+environment.  In one process these live in a memo; across shard
+processes — or across a kill/resume cycle — the memo is gone, and
+re-deriving the artifacts repays exactly the per-pair preprocessing
+the batched engine exists to avoid.
+
+An :class:`ArtifactStore` spills those artifacts to disk, addressed by
+the **content digest** of the model that produced them
+(:func:`model_digest` — SHA-256 of the model's canonical SBML text).
+Content addressing makes the store safe to share between shard runs,
+resumed sweeps and unrelated corpora: a model rehydrates its own
+artifacts and nothing else, however it was loaded, and a model edited
+in place simply misses and recomputes.  Entries are written atomically
+(temp file + rename) so a killed writer never leaves a torn entry; a
+corrupt or format-incompatible entry reads as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Set, Union
+
+from repro.core.compose import _collect_initial_values
+from repro.sbml.model import Model
+from repro.sbml.writer import write_sbml
+from repro.units.registry import UnitRegistry
+
+__all__ = [
+    "ModelArtifacts",
+    "ArtifactStore",
+    "model_digest",
+    "corpus_fingerprint",
+    "compute_artifacts",
+]
+
+#: Bump when the pickled artifact layout changes; older entries then
+#: read as misses and are recomputed instead of mis-deserialised.
+_FORMAT = 1
+
+
+def model_digest(model: Model) -> str:
+    """The content digest of a model.
+
+    SHA-256 of the canonical SBML serialisation, so two models that
+    serialise identically — e.g. a model and its :meth:`~repro.sbml.model.Model.copy`
+    — share one digest, however they were built or loaded.
+    """
+    return hashlib.sha256(write_sbml(model).encode("utf-8")).hexdigest()
+
+
+def corpus_fingerprint(
+    models: Sequence[Model], extra: Iterable[object] = ()
+) -> str:
+    """One digest for a whole corpus (plus run parameters).
+
+    The sweep checkpoint journal stores this to refuse resuming a
+    sweep against a different corpus, a reordered corpus, or changed
+    run parameters (``extra`` — shard count, semantics, self-pair
+    policy...).  Model order participates: pair indexes ``(i, j)``
+    are positional.
+    """
+    digest = hashlib.sha256()
+    for model in models:
+        digest.update(model_digest(model).encode("ascii"))
+        digest.update(b"\x00")
+    for item in extra:
+        digest.update(repr(item).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@dataclass
+class ModelArtifacts:
+    """The derived per-model state the composition engine reuses.
+
+    Exactly what :class:`~repro.core.compose.AccumState` carries for
+    an accumulator, precomputed for an *input*: the used-id set, the
+    unit registry and the evaluated initial-value environment.
+    """
+
+    used_ids: Set[str]
+    registry: UnitRegistry
+    initial: Dict[str, float]
+
+
+def compute_artifacts(model: Model) -> ModelArtifacts:
+    """Derive a model's artifacts from scratch (the store's miss path,
+    and the single source of truth for what gets spilled)."""
+    used_ids = set(model.global_ids()) | {
+        ud.id for ud in model.unit_definitions if ud.id
+    }
+    return ModelArtifacts(
+        used_ids=used_ids,
+        registry=model.unit_registry(),
+        initial=_collect_initial_values(model),
+    )
+
+
+class ArtifactStore:
+    """Content-addressed artifact files under one root directory.
+
+    Layout: ``root/<digest[:2]>/<digest>.pkl`` (the two-character fan
+    keeps directory listings short on large corpora).  All operations
+    are safe under concurrent writers — two processes storing the same
+    digest both write the same bytes, and the atomic rename makes the
+    last one win harmlessly.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, digest: str) -> Optional[ModelArtifacts]:
+        """The stored artifacts for ``digest``, or ``None`` on miss.
+
+        A torn, corrupt or format-incompatible entry is a miss too —
+        the caller recomputes and overwrites.
+        """
+        try:
+            data = self.path_for(digest).read_bytes()
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+        try:
+            payload = pickle.loads(data)
+            if payload["format"] != _FORMAT:
+                return None
+            return payload["artifacts"]
+        except Exception:
+            return None
+
+    def put(self, digest: str, artifacts: ModelArtifacts) -> Path:
+        """Store ``artifacts`` under ``digest`` atomically."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps({"format": _FORMAT, "artifacts": artifacts})
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=f".{digest[:8]}-", delete=False
+        )
+        try:
+            handle.write(payload)
+            handle.close()
+            os.replace(handle.name, path)
+        except BaseException:
+            handle.close()
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_or_compute(
+        self, model: Model, digest: Optional[str] = None
+    ) -> ModelArtifacts:
+        """Rehydrate a model's artifacts, computing and spilling them
+        on first sight.  Pass ``digest`` when the caller already paid
+        for :func:`model_digest`."""
+        if digest is None:
+            digest = model_digest(model)
+        artifacts = self.get(digest)
+        if artifacts is None:
+            artifacts = compute_artifacts(model)
+            self.put(digest, artifacts)
+        return artifacts
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.root.glob("??/*.pkl")):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed

@@ -12,14 +12,25 @@ structural identity search batches corpus-scale comparisons instead;
 
 * per-model artifacts are computed **once** and shared across all of
   the model's pairs (handed to the engine as a carried
-  :class:`~repro.core.compose.AccumState`),
+  :class:`~repro.core.compose.AccumState`), optionally spilled to /
+  rehydrated from an on-disk
+  :class:`~repro.core.artifact_store.ArtifactStore` so they survive
+  across shard runs and resumed sweeps,
 * one :class:`~repro.core.compose.Composer` serves the whole sweep
   (with ``options.memoize_patterns`` it also carries one
   :class:`~repro.core.pattern_cache.PatternCache`: model copies share
   their immutable math nodes, so canonical patterns are computed per
   expression, not per pair),
 * pairs fan out onto a worker pool (``workers``/``backend`` exactly as
-  in :meth:`~repro.core.session.ComposeSession.compose_all`).
+  in :meth:`~repro.core.session.ComposeSession.compose_all`),
+* the sweep itself iterates deterministic **shards** of the pair
+  matrix (:func:`~repro.core.shards.partition_pairs`):
+  :func:`match_all` runs every shard in one process, while
+  :func:`match_all_sharded` computes a single shard so K machines (or
+  K sequential, individually checkpointed steps of one machine — see
+  ``sbmlcompose sweep --shards``) can split a corpus that shouldn't
+  monopolise one box.  The union of the K shard matrices is
+  *identical* to the unsharded sweep, pair for pair.
 
 The composed models themselves are discarded — an all-pairs sweep is
 about the matching outcome (what united, what conflicted, how long it
@@ -33,19 +44,38 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
-from repro.core.compose import AccumState, Composer, _collect_initial_values
+from repro.core.artifact_store import ArtifactStore, compute_artifacts
+from repro.core.compose import AccumState, Composer
 from repro.core.options import (
     BACKEND_PROCESS,
     BACKEND_THREAD,
     ComposeOptions,
 )
 from repro.core.session import stable_labels
+from repro.core.shards import Shard, partition_pairs
 from repro.sbml.model import Model
 from repro.units.registry import UnitRegistry
 
-__all__ = ["PairOutcome", "MatchMatrix", "match_all"]
+__all__ = [
+    "PairOutcome",
+    "MatchMatrix",
+    "match_all",
+    "match_all_sharded",
+    "write_outcomes",
+    "write_outcomes_csv",
+    "read_outcomes_csv",
+]
 
 
 @dataclass(frozen=True)
@@ -64,20 +94,23 @@ class PairOutcome:
     renamed: int
     conflicts: int
 
-    def row(self) -> Tuple:
-        """CSV row (matches :meth:`MatchMatrix.csv_header`)."""
-        return (
-            self.i,
-            self.j,
-            self.left,
-            self.right,
-            self.size,
-            f"{self.seconds:.6f}",
-            self.united,
-            self.added,
-            self.renamed,
-            self.conflicts,
-        )
+    def row(self, deterministic: bool = False) -> Tuple:
+        """CSV row (matches :meth:`MatchMatrix.csv_header`).
+
+        ``deterministic=True`` drops the wall-time cell — the one
+        field that varies between runs — leaving a row that is
+        byte-identical however (and wherever) the pair was computed.
+        """
+        cells = [self.i, self.j, self.left, self.right, self.size]
+        if not deterministic:
+            cells.append(f"{self.seconds:.6f}")
+        cells.extend((self.united, self.added, self.renamed, self.conflicts))
+        return tuple(cells)
+
+    def key(self) -> Tuple:
+        """The run-invariant fields — everything but wall time.  Two
+        computations of the same pair must agree on this exactly."""
+        return self.row(deterministic=True)
 
 
 @dataclass
@@ -89,6 +122,9 @@ class MatchMatrix:
     model_count: int
     workers: int
     backend: str
+    #: Set when this matrix holds one shard of a sharded sweep.
+    shard_id: Optional[int] = None
+    shard_count: Optional[int] = None
 
     @property
     def pair_count(self) -> int:
@@ -103,26 +139,130 @@ class MatchMatrix:
         return [(o.size, o.seconds) for o in self.outcomes]
 
     @staticmethod
-    def csv_header() -> List[str]:
-        return [
-            "i",
-            "j",
-            "left",
-            "right",
-            "combined_size",
-            "seconds",
-            "united",
-            "added",
-            "renamed",
-            "conflicts",
-        ]
+    def csv_header(deterministic: bool = False) -> List[str]:
+        header = ["i", "j", "left", "right", "combined_size"]
+        if not deterministic:
+            header.append("seconds")
+        header.extend(("united", "added", "renamed", "conflicts"))
+        return header
 
     def summary(self) -> str:
+        sharded = (
+            f", shard {self.shard_id}/{self.shard_count}"
+            if self.shard_id is not None
+            else ""
+        )
         return (
             f"{self.pair_count} pairs over {self.model_count} models in "
             f"{self.seconds:.2f}s ({self.pairs_per_second:.1f} pairs/s, "
-            f"workers={self.workers}, backend={self.backend})"
+            f"workers={self.workers}, backend={self.backend}{sharded})"
         )
+
+    @classmethod
+    def union(cls, parts: Sequence["MatchMatrix"]) -> "MatchMatrix":
+        """Union shard matrices back into one all-pairs matrix.
+
+        Outcomes are re-sorted into canonical sweep order, so the
+        union of a complete shard set is identical (pair for pair, in
+        order) to the unsharded :func:`match_all` run — only the
+        wall-time fields reflect the sharded execution.  Raises
+        :class:`ValueError` on overlapping shards (a pair computed
+        twice means the parts are not one sweep's shards).
+        """
+        if not parts:
+            raise ValueError("cannot union zero shard matrices")
+        model_counts = {part.model_count for part in parts}
+        if len(model_counts) != 1:
+            raise ValueError(
+                f"shard matrices disagree on corpus size: "
+                f"{sorted(model_counts)}"
+            )
+        seen: Dict[Tuple[int, int], PairOutcome] = {}
+        for part in parts:
+            for outcome in part.outcomes:
+                pair = (outcome.i, outcome.j)
+                if pair in seen:
+                    raise ValueError(
+                        f"pair {pair} appears in more than one shard"
+                    )
+                seen[pair] = outcome
+        return cls(
+            outcomes=[seen[pair] for pair in sorted(seen)],
+            seconds=sum(part.seconds for part in parts),
+            model_count=model_counts.pop(),
+            workers=max(part.workers for part in parts),
+            backend=parts[0].backend,
+        )
+
+
+def write_outcomes(
+    handle,
+    outcomes: Sequence[PairOutcome],
+    *,
+    deterministic: bool = False,
+) -> None:
+    """Write an outcome table as CSV to an open text stream."""
+    handle.write(",".join(MatchMatrix.csv_header(deterministic)) + "\n")
+    for outcome in outcomes:
+        handle.write(
+            ",".join(str(cell) for cell in outcome.row(deterministic)) + "\n"
+        )
+
+
+def write_outcomes_csv(
+    path: Union[str, Path],
+    outcomes: Sequence[PairOutcome],
+    *,
+    deterministic: bool = False,
+) -> None:
+    """Write an outcome table as a CSV file.
+
+    ``deterministic=True`` omits the ``seconds`` column, producing a
+    file that is byte-identical across runs and shardings of the same
+    corpus — the format ``sweep-merge`` emits and CI diffs against.
+    """
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        write_outcomes(handle, outcomes, deterministic=deterministic)
+
+
+def read_outcomes_csv(path: Union[str, Path]) -> List[PairOutcome]:
+    """Read an outcome table written by :func:`write_outcomes_csv`
+    (either column layout; a deterministic table reads back with
+    ``seconds=0.0``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline().strip().split(",")
+        for layout in (False, True):
+            if header == MatchMatrix.csv_header(layout):
+                deterministic = layout
+                break
+        else:
+            raise ValueError(f"{path}: not a sweep outcome table")
+        outcomes = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            cells = line.split(",")
+            cursor = iter(cells)
+            i, j = int(next(cursor)), int(next(cursor))
+            left, right = next(cursor), next(cursor)
+            size = int(next(cursor))
+            seconds = 0.0 if deterministic else float(next(cursor))
+            outcomes.append(
+                PairOutcome(
+                    i=i,
+                    j=j,
+                    left=left,
+                    right=right,
+                    size=size,
+                    seconds=seconds,
+                    united=int(next(cursor)),
+                    added=int(next(cursor)),
+                    renamed=int(next(cursor)),
+                    conflicts=int(next(cursor)),
+                )
+            )
+    return outcomes
 
 
 class _PairEngine:
@@ -132,6 +272,12 @@ class _PairEngine:
     composer's pattern cache locks internally.  One instance also
     serves each worker *process* (built by the pool initializer from
     the options and corpus shipped once per worker).
+
+    With ``store_root`` set, the in-memory memo gains an on-disk tier:
+    artifacts missing from the memo are rehydrated from the
+    content-addressed :class:`~repro.core.artifact_store.ArtifactStore`
+    and computed-then-spilled only on a true miss, so shard runs and
+    resumed sweeps share each model's preprocessing across processes.
     """
 
     def __init__(
@@ -139,6 +285,7 @@ class _PairEngine:
         options: Optional[ComposeOptions],
         models: Sequence[Model],
         labels: Sequence[str],
+        store_root: Optional[str] = None,
     ):
         self.options = options or ComposeOptions()
         self.models = list(models)
@@ -149,6 +296,7 @@ class _PairEngine:
         # costs more than it saves on small kinetic laws, and an
         # all-pairs sweep multiplies whichever side of that trade wins.
         self.composer = Composer(self.options)
+        self.store = ArtifactStore(store_root) if store_root else None
         self._artifacts: Dict[
             int, Tuple[Set[str], UnitRegistry, Dict[str, float]]
         ] = {}
@@ -164,13 +312,15 @@ class _PairEngine:
             hit = self._artifacts.get(index)
             if hit is None:
                 model = self.models[index]
-                used_ids = set(model.global_ids()) | {
-                    ud.id for ud in model.unit_definitions if ud.id
-                }
+                artifacts = (
+                    self.store.get_or_compute(model)
+                    if self.store is not None
+                    else compute_artifacts(model)
+                )
                 hit = (
-                    used_ids,
-                    model.unit_registry(),
-                    _collect_initial_values(model),
+                    artifacts.used_ids,
+                    artifacts.registry,
+                    artifacts.initial,
                 )
                 self._artifacts[index] = hit
         return hit
@@ -226,12 +376,15 @@ _PAIR_ENGINE: Optional[_PairEngine] = None
 
 
 def _init_pair_worker(
-    options: ComposeOptions, models: List[Model], labels: List[str]
+    options: ComposeOptions,
+    models: List[Model],
+    labels: List[str],
+    store_root: Optional[str],
 ) -> None:
     """Pool initializer: ship options + corpus once per worker and
     build the shared-artifact engine there."""
     global _PAIR_ENGINE
-    _PAIR_ENGINE = _PairEngine(options, models, labels)
+    _PAIR_ENGINE = _PairEngine(options, models, labels, store_root)
 
 
 def _run_pair_chunk(pairs: List[Tuple[int, int]]) -> List[PairOutcome]:
@@ -239,19 +392,90 @@ def _run_pair_chunk(pairs: List[Tuple[int, int]]) -> List[PairOutcome]:
 
 
 def _chunked(
-    pairs: List[Tuple[int, int]], chunks: int
+    pairs: Sequence[Tuple[int, int]], chunks: int
 ) -> List[List[Tuple[int, int]]]:
     span = max(1, (len(pairs) + chunks - 1) // chunks)
-    return [pairs[k : k + span] for k in range(0, len(pairs), span)]
+    return [list(pairs[k : k + span]) for k in range(0, len(pairs), span)]
+
+
+def _resolve_fanout(
+    options: Optional[ComposeOptions],
+    workers: Optional[int],
+    backend: Optional[str],
+) -> Tuple[int, str]:
+    """Explicit arguments win; ``None`` falls back to the options —
+    the same precedence :meth:`~repro.core.session.ComposeSession.compose_all`
+    applies, so one ``ComposeOptions(workers=8)`` drives both engines."""
+    if workers is None:
+        workers = options.workers if options is not None else 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if backend is None:
+        backend = options.backend if options is not None else BACKEND_THREAD
+    if backend not in (BACKEND_THREAD, BACKEND_PROCESS):
+        raise ValueError(f"unknown parallel backend {backend!r}")
+    return workers, backend
+
+
+def _run_pairs(
+    pairs: Sequence[Tuple[int, int]],
+    options: Optional[ComposeOptions],
+    models: List[Model],
+    labels: List[str],
+    workers: int,
+    backend: str,
+    store_root: Optional[str],
+) -> List[PairOutcome]:
+    """Execute one batch of pairs on the configured fanout.
+
+    The unsharded sweep calls this once per shard of its partition;
+    a sharded run calls it for exactly one shard.  Outcomes come back
+    in the order of ``pairs`` regardless of scheduling.
+    """
+    if workers == 1:
+        engine = _PairEngine(options, models, labels, store_root)
+        return engine.run_pairs(pairs)
+    if backend == BACKEND_PROCESS:
+        # ~4 chunks per worker amortises pickling while keeping the
+        # pool balanced when chunk costs differ.
+        chunks = _chunked(pairs, workers * 4)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_pair_worker,
+            initargs=(options or ComposeOptions(), models, labels, store_root),
+        ) as pool:
+            return [
+                outcome
+                for chunk in pool.map(_run_pair_chunk, chunks)
+                for outcome in chunk
+            ]
+    engine = _PairEngine(options, models, labels, store_root)
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="match-worker"
+    ) as pool:
+        futures = [pool.submit(engine.run_pair, i, j) for i, j in pairs]
+        return [future.result() for future in futures]
+
+
+def _store_root(
+    store: Optional[Union[ArtifactStore, str, Path]]
+) -> Optional[str]:
+    if store is None:
+        return None
+    if isinstance(store, ArtifactStore):
+        return str(store.root)
+    return str(store)
 
 
 def match_all(
     models: Sequence[Model],
     options: Optional[ComposeOptions] = None,
     *,
-    workers: int = 1,
-    backend: str = BACKEND_THREAD,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
     include_self: bool = True,
+    store: Optional[Union[ArtifactStore, str, Path]] = None,
 ) -> MatchMatrix:
     """Compose every unordered pair of ``models``, batched.
 
@@ -263,55 +487,104 @@ def match_all(
     retained; each pair yields a :class:`PairOutcome`.
 
     ``workers``/``backend`` fan pairs out exactly as plan execution
-    does: threads share one engine (artifact memo + pattern cache),
+    does (``None`` falls back to ``options.workers``/``options.backend``,
+    exactly like :meth:`~repro.core.session.ComposeSession.compose_all`):
+    threads share one engine (artifact memo + pattern cache),
     processes each build their own from the corpus shipped once per
-    worker.  Outcomes are returned in pair order regardless of
-    scheduling.
+    worker.  ``store`` (an
+    :class:`~repro.core.artifact_store.ArtifactStore` or a directory
+    path) adds the on-disk artifact tier.  Outcomes are returned in
+    pair order regardless of scheduling.
+
+    Internally the sweep iterates the shards of a one-shard partition
+    — the exact engine :func:`match_all_sharded` runs for one shard of
+    many, which is what keeps sharded unions identical to this.
     """
     models = list(models)
-    workers = int(workers)
-    if workers < 1:
-        raise ValueError("workers must be at least 1")
-    if backend not in (BACKEND_THREAD, BACKEND_PROCESS):
-        raise ValueError(f"unknown parallel backend {backend!r}")
+    workers, backend = _resolve_fanout(options, workers, backend)
     labels = stable_labels(models)
-    pairs = [
-        (i, j)
-        for i in range(len(models))
-        for j in range(i, len(models))
-        if include_self or i != j
-    ]
+    sizes = [model.network_size() for model in models]
+    shards = partition_pairs(sizes, 1, include_self=include_self)
     started = time.perf_counter()
-    if workers == 1:
-        engine = _PairEngine(options, models, labels)
-        outcomes = engine.run_pairs(pairs)
-    elif backend == BACKEND_PROCESS:
-        # ~4 chunks per worker amortises pickling while keeping the
-        # pool balanced when chunk costs differ.
-        chunks = _chunked(pairs, workers * 4)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_pair_worker,
-            initargs=(options or ComposeOptions(), models, labels),
-        ) as pool:
-            outcomes = [
-                outcome
-                for chunk in pool.map(_run_pair_chunk, chunks)
-                for outcome in chunk
-            ]
-    else:
-        engine = _PairEngine(options, models, labels)
-        with ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="match-worker"
-        ) as pool:
-            futures = [
-                pool.submit(engine.run_pair, i, j) for i, j in pairs
-            ]
-            outcomes = [future.result() for future in futures]
+    outcomes: List[PairOutcome] = []
+    for shard in shards:
+        outcomes.extend(
+            _run_pairs(
+                shard.pairs,
+                options,
+                models,
+                labels,
+                workers,
+                backend,
+                _store_root(store),
+            )
+        )
     return MatchMatrix(
         outcomes=outcomes,
         seconds=time.perf_counter() - started,
         model_count=len(models),
         workers=workers,
         backend=backend,
+    )
+
+
+def match_all_sharded(
+    models: Sequence[Model],
+    options: Optional[ComposeOptions] = None,
+    *,
+    shards: int,
+    shard_id: int,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    include_self: bool = True,
+    store: Optional[Union[ArtifactStore, str, Path]] = None,
+) -> MatchMatrix:
+    """Compute one shard of the all-pairs sweep.
+
+    The pair matrix is partitioned deterministically
+    (:func:`~repro.core.shards.partition_pairs`, block-cyclic over the
+    upper triangle, cost-balanced from ``network_size()`` hints), and
+    only shard ``shard_id`` of ``shards`` is composed.  Every worker
+    derives the same partition from the corpus alone, so K machines
+    can each take one ``shard_id`` with no coordination; the union of
+    their matrices (:meth:`MatchMatrix.union`) is identical, pair for
+    pair, to one unsharded :func:`match_all` over the same corpus.
+
+    ``store`` points the engine at an on-disk artifact store shared by
+    all shards: the first shard to touch a model spills its derived
+    artifacts (used-id set, unit registry, evaluated initial values)
+    and every later shard — or a resumed sweep — rehydrates them
+    instead of recomputing.
+    """
+    models = list(models)
+    workers, backend = _resolve_fanout(options, workers, backend)
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if not 0 <= shard_id < shards:
+        raise ValueError(
+            f"shard_id must be in [0, {shards}), got {shard_id}"
+        )
+    labels = stable_labels(models)
+    sizes = [model.network_size() for model in models]
+    shard: Shard = partition_pairs(sizes, shards, include_self=include_self)[
+        shard_id
+    ]
+    started = time.perf_counter()
+    outcomes = _run_pairs(
+        shard.pairs,
+        options,
+        models,
+        labels,
+        workers,
+        backend,
+        _store_root(store),
+    )
+    return MatchMatrix(
+        outcomes=outcomes,
+        seconds=time.perf_counter() - started,
+        model_count=len(models),
+        workers=workers,
+        backend=backend,
+        shard_id=shard_id,
+        shard_count=shards,
     )

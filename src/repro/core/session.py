@@ -54,6 +54,11 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.artifact_store import (
+    ArtifactStore,
+    compute_artifacts,
+    model_digest,
+)
 from repro.core.compose import AccumState, Composer, _collect_initial_values
 from repro.core.options import (
     BACKEND_PROCESS,
@@ -311,6 +316,13 @@ class ComposeSession:
         Keep a session-wide canonical-pattern cache.  Defaults to on
         (sessions exist to reuse work); pass ``False`` to mirror the
         one-shot default of ``ComposeOptions.memoize_patterns``.
+    artifact_store:
+        An :class:`~repro.core.artifact_store.ArtifactStore` (or a
+        directory path) giving the per-input artifact memo an on-disk
+        tier: artifacts are rehydrated by the input model's content
+        digest on a memo miss and spilled on first computation, so
+        they survive :meth:`spill`, new sessions and other processes
+        sweeping the same corpus.
     """
 
     def __init__(
@@ -318,14 +330,23 @@ class ComposeSession:
         options: Optional[ComposeOptions] = None,
         *,
         cache_patterns: bool = True,
+        artifact_store: Optional[Union[ArtifactStore, str]] = None,
     ):
         self.options = options or ComposeOptions()
         cache = None
         if cache_patterns or self.options.memoize_patterns:
             cache = PatternCache()
         self._composer = Composer(self.options, pattern_cache=cache)
+        if artifact_store is not None and not isinstance(
+            artifact_store, ArtifactStore
+        ):
+            artifact_store = ArtifactStore(artifact_store)
+        self._store: Optional[ArtifactStore] = artifact_store
         self._registries: Dict[int, UnitRegistry] = {}
         self._initials: Dict[int, Dict[str, float]] = {}
+        # Content digests of pinned inputs, computed at most once per
+        # model (only when a store is attached).
+        self._digests: Dict[int, str] = {}
         # Keep cached models alive so the id()-keyed memos stay valid.
         self._pinned: Dict[int, Model] = {}
         # Guards the per-input memos when the parallel executor probes
@@ -421,16 +442,49 @@ class ComposeSession:
             key = id(model)
             self._registries.pop(key, None)
             self._initials.pop(key, None)
+            self._digests.pop(key, None)
             self._pinned.pop(key, None)
             return
         self._registries.clear()
         self._initials.clear()
+        self._digests.clear()
         self._pinned.clear()
         cache = self._composer._cache
         self._composer = Composer(
             self.options,
             pattern_cache=PatternCache() if cache is not None else None,
         )
+
+    def spill(self) -> int:
+        """Spill the per-input artifact memo to the attached store and
+        release the in-memory tier (including the pinned models).
+
+        Long-lived sessions over large corpora pin every input they
+        have seen; ``spill()`` bounds that memory while keeping the
+        work: the next compose of a spilled model rehydrates its
+        artifacts from disk by content digest instead of re-deriving
+        them.  Returns the number of inputs spilled.  Raises
+        :class:`ValueError` when the session has no artifact store.
+        """
+        if self._store is None:
+            raise ValueError(
+                "spill() needs a session artifact_store; construct the "
+                "session with ComposeSession(artifact_store=...)"
+            )
+        with self._artifacts_lock:
+            spilled = 0
+            for key, model in self._pinned.items():
+                digest = self._digests.get(key)
+                if digest is None:
+                    digest = model_digest(model)
+                if digest not in self._store:
+                    self._store.put(digest, compute_artifacts(model))
+                spilled += 1
+            self._registries.clear()
+            self._initials.clear()
+            self._digests.clear()
+            self._pinned.clear()
+        return spilled
 
     def _source_artifacts(
         self, model: Model
@@ -444,9 +498,20 @@ class ComposeSession:
             return registry, self._initials[key]
         with self._artifacts_lock:
             if key not in self._registries:
-                self._initials[key] = _collect_initial_values(model)
-                self._pinned[key] = model
-                self._registries[key] = model.unit_registry()
+                if self._store is not None:
+                    # On-disk tier: rehydrate by content digest, and
+                    # spill on a true miss so other shards/sessions
+                    # (and this session after a spill) reuse the work.
+                    digest = model_digest(model)
+                    artifacts = self._store.get_or_compute(model, digest)
+                    self._digests[key] = digest
+                    self._initials[key] = artifacts.initial
+                    self._pinned[key] = model
+                    self._registries[key] = artifacts.registry
+                else:
+                    self._initials[key] = _collect_initial_values(model)
+                    self._pinned[key] = model
+                    self._registries[key] = model.unit_registry()
             return self._registries[key], self._initials[key]
 
     # ------------------------------------------------------------------

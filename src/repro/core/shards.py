@@ -1,0 +1,354 @@
+"""Sharding the all-pairs matrix + the resumable sweep journal.
+
+The Figure 8 sweep is an upper-triangular pair matrix: 187 models is
+17,578 merges, and real corpora grow quadratically from there.  Holme
+et al.'s subnetwork hierarchies and the CRITERIA decomposition line of
+work scale biochemical analyses by partitioning the *network*; an
+all-pairs sweep is better partitioned along the *pair matrix* — every
+pair is independent, so any partition of the pairs is a valid parallel
+or distributed decomposition of the whole experiment.
+
+:func:`partition_pairs` produces that partition deterministically:
+pairs are enumerated in canonical order, grouped into cost-balanced
+blocks (cost hints mirror :func:`~repro.core.plan.estimate_costs` —
+merge work is linear in both sides), and blocks are dealt block-cyclic
+over the shards.  Block-cyclic matters because pair costs are strongly
+ordered (the corpus is size-sorted, so late pairs dwarf early ones):
+contiguous range splits would give the last shard nearly all the work,
+while dealing blocks round-robin gives every shard a slice of every
+cost regime.  Any shard layout ``(K, i)`` is reproducible from the
+corpus alone — no coordination state — so K machines can each run
+``match_all_sharded(corpus, shards=K, shard_id=i)`` and the union of
+their outputs is exactly one :func:`~repro.core.match_all.match_all`.
+
+:class:`SweepCheckpoint` is the journal that makes a multi-shard sweep
+*resumable*: it records the corpus fingerprint and which shards have
+durably finished, so an interrupted sweep continues from the first
+incomplete shard instead of restarting, and refuses to "resume" onto a
+different corpus or shard layout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Pair",
+    "Shard",
+    "SweepStateError",
+    "SweepCheckpoint",
+    "enumerate_pairs",
+    "pair_cost",
+    "partition_pairs",
+]
+
+Pair = Tuple[int, int]
+
+#: Blocks dealt to each shard.  More blocks balance cost better but
+#: interleave the canonical order more finely; four per shard keeps
+#: the worst shard within a few percent of the mean on the size-sorted
+#: corpus while leaving blocks big enough to amortise dispatch.
+_BLOCKS_PER_SHARD = 4
+
+
+class SweepStateError(ReproError):
+    """A sweep checkpoint cannot be (re)used: corpus or shard layout
+    changed, the journal is unreadable, or shards are missing."""
+
+
+def enumerate_pairs(count: int, include_self: bool = True) -> List[Pair]:
+    """Every unordered pair ``(i, j)``, ``i <= j``, in canonical order.
+
+    This is the one definition of sweep order; :func:`~repro.core.match_all.match_all`,
+    the sharder and the merge tool all derive from it, which is what
+    makes shard unions bit-comparable with unsharded sweeps.
+    """
+    return [
+        (i, j)
+        for i in range(count)
+        for j in range(i, count)
+        if include_self or i != j
+    ]
+
+
+def pair_cost(left_size: float, right_size: float) -> float:
+    """Estimated work of composing one pair — linear in both sides,
+    exactly the per-merge model :func:`~repro.core.plan.estimate_costs`
+    uses for plan scheduling."""
+    return max(1.0, float(left_size) + float(right_size))
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One deterministic slice of a corpus's pair matrix."""
+
+    shard_id: int
+    shard_count: int
+    #: This shard's pairs, in canonical sweep order.
+    pairs: Tuple[Pair, ...]
+    #: Estimated total cost (sum of :func:`pair_cost` over ``pairs``).
+    cost: float
+
+    @property
+    def pair_count(self) -> int:
+        return len(self.pairs)
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.shard_id}/{self.shard_count}: "
+            f"{self.pair_count} pair(s), est. cost {self.cost:.0f}"
+        )
+
+
+def partition_pairs(
+    sizes: Sequence[float],
+    shard_count: int,
+    *,
+    include_self: bool = True,
+) -> List[Shard]:
+    """Partition the pair matrix of a corpus into ``shard_count``
+    deterministic, cost-balanced shards.
+
+    ``sizes`` are per-model size hints (``Model.network_size()`` in
+    practice; any non-negative weights work).  The partition is a pure
+    function of ``(sizes, shard_count, include_self)`` — every worker
+    computes the same layout locally.  Shards may be empty when there
+    are fewer pairs than shards; every pair appears in exactly one
+    shard, and each shard's pairs stay in canonical sweep order.
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    pairs = enumerate_pairs(len(sizes), include_self)
+    costs = [pair_cost(sizes[i], sizes[j]) for i, j in pairs]
+    total = sum(costs)
+    # Cut the canonical order into cost-balanced blocks...
+    target = total / (shard_count * _BLOCKS_PER_SHARD) if total else 0.0
+    blocks: List[List[int]] = []
+    current: List[int] = []
+    current_cost = 0.0
+    for position, cost in enumerate(costs):
+        current.append(position)
+        current_cost += cost
+        if current_cost >= target and len(blocks) < (
+            shard_count * _BLOCKS_PER_SHARD - 1
+        ):
+            blocks.append(current)
+            current = []
+            current_cost = 0.0
+    if current:
+        blocks.append(current)
+    # ...and deal the blocks cyclically over the shards.
+    shard_pairs: List[List[Pair]] = [[] for _ in range(shard_count)]
+    shard_costs = [0.0] * shard_count
+    for block_index, block in enumerate(blocks):
+        owner = block_index % shard_count
+        shard_pairs[owner].extend(pairs[position] for position in block)
+        shard_costs[owner] += sum(costs[position] for position in block)
+    return [
+        Shard(
+            shard_id=shard_id,
+            shard_count=shard_count,
+            pairs=tuple(shard_pairs[shard_id]),
+            cost=shard_costs[shard_id],
+        )
+        for shard_id in range(shard_count)
+    ]
+
+
+class SweepCheckpoint:
+    """The journal of a sharded sweep, as ``checkpoint.json`` in the
+    sweep's output directory.
+
+    The journal records the corpus fingerprint
+    (:func:`~repro.core.artifact_store.corpus_fingerprint`), the shard
+    count, and one entry per *durably completed* shard (its result
+    file and pair count).  :meth:`mark_complete` must be called only
+    after the shard's result file is fully written: the journal is
+    rewritten atomically (temp file + rename), so a sweep killed at
+    any instant leaves either the old journal or the new one — never a
+    torn file — and ``--resume`` trusts exactly the shards the journal
+    names.  A shard whose result file was written but never journaled
+    is simply recomputed; recomputation is deterministic, so the rerun
+    overwrites it with identical content.
+    """
+
+    FILENAME = "checkpoint.json"
+
+    def __init__(
+        self,
+        out_dir: Union[str, Path],
+        *,
+        fingerprint: str,
+        shard_count: int,
+    ):
+        self.out_dir = Path(out_dir)
+        self.fingerprint = fingerprint
+        self.shard_count = shard_count
+        #: shard id -> {"file": result file name, "pairs": count}
+        self.completed: Dict[int, Dict[str, object]] = {}
+
+    @property
+    def path(self) -> Path:
+        return self.out_dir / self.FILENAME
+
+    # ------------------------------------------------------------------
+    # Journal I/O
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, out_dir: Union[str, Path]) -> "SweepCheckpoint":
+        """Load a checkpoint from an existing journal — the entry
+        point for tools that consume a sweep (``sweep-merge``) rather
+        than produce one.  Raises :class:`SweepStateError` when the
+        directory has no readable journal."""
+        journal = cls.read_journal(out_dir)
+        checkpoint = cls(
+            out_dir,
+            fingerprint=str(journal["fingerprint"]),
+            shard_count=int(journal["shard_count"]),
+        )
+        checkpoint.completed = {
+            int(shard_id): dict(entry)
+            for shard_id, entry in journal["completed"].items()
+        }
+        return checkpoint
+
+    @staticmethod
+    def read_journal(out_dir: Union[str, Path]) -> Dict[str, object]:
+        """Load and validate the raw journal of ``out_dir``."""
+        path = Path(out_dir) / SweepCheckpoint.FILENAME
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise SweepStateError(
+                f"no sweep checkpoint at {path}; run `sweep --shards K "
+                f"--out-dir {Path(out_dir)}` first"
+            ) from None
+        except (OSError, ValueError) as exc:
+            raise SweepStateError(
+                f"unreadable sweep checkpoint {path}: {exc}"
+            ) from exc
+        for key in ("fingerprint", "shard_count", "completed"):
+            if key not in data:
+                raise SweepStateError(
+                    f"sweep checkpoint {path} is missing {key!r}"
+                )
+        return data
+
+    def begin(self, resume: bool = False) -> Dict[int, str]:
+        """Open the journal; returns completed shards to skip.
+
+        A fresh directory (or ``resume=False`` over a stale journal
+        from the *same* corpus/layout) starts an empty journal.  With
+        ``resume=True`` the existing journal is validated against this
+        sweep's fingerprint and shard count — resuming onto a changed
+        corpus or layout raises :class:`SweepStateError` instead of
+        silently unioning incompatible shards — and the map of
+        completed shard id -> result file name is returned.
+        """
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        existing: Optional[Dict[str, object]] = None
+        if self.path.is_file():
+            existing = self.read_journal(self.out_dir)
+        if resume and existing is not None:
+            if existing["fingerprint"] != self.fingerprint:
+                raise SweepStateError(
+                    f"cannot resume: {self.path} records a different "
+                    f"corpus or sweep configuration"
+                )
+            if int(existing["shard_count"]) != self.shard_count:
+                raise SweepStateError(
+                    f"cannot resume: {self.path} was sharded "
+                    f"{existing['shard_count']}-way, not "
+                    f"{self.shard_count}-way"
+                )
+            self.completed = {
+                int(shard_id): dict(entry)
+                for shard_id, entry in existing["completed"].items()
+            }
+        else:
+            self.completed = {}
+            self._write()
+        return {
+            shard_id: str(entry["file"])
+            for shard_id, entry in sorted(self.completed.items())
+        }
+
+    def mark_complete(
+        self, shard_id: int, result_file: str, pair_count: int
+    ) -> None:
+        """Record that ``shard_id``'s results are durably on disk.
+
+        Call strictly *after* the result file is fully written — the
+        journal entry is the commit point a resume trusts.
+
+        The journal is re-read and merged before the atomic rewrite,
+        so concurrent shard runs sharing one output directory (one
+        machine per shard) do not erase each other's completion
+        records.  Entries are deterministic, so the merge is
+        idempotent; a write race lost despite the merge window is
+        recovered by ``--resume`` recomputing that shard.
+        """
+        if self.path.is_file():
+            try:
+                existing = self.read_journal(self.out_dir)
+            except SweepStateError:
+                existing = None
+            if (
+                existing is not None
+                and existing["fingerprint"] == self.fingerprint
+                and int(existing["shard_count"]) == self.shard_count
+            ):
+                for done_id, entry in existing["completed"].items():
+                    self.completed.setdefault(int(done_id), dict(entry))
+        self.completed[shard_id] = {
+            "file": result_file,
+            "pairs": pair_count,
+            "completed_at": time.time(),
+        }
+        self._write()
+
+    def missing_shards(self) -> List[int]:
+        return [
+            shard_id
+            for shard_id in range(self.shard_count)
+            if shard_id not in self.completed
+        ]
+
+    def _write(self) -> None:
+        payload = {
+            "fingerprint": self.fingerprint,
+            "shard_count": self.shard_count,
+            "completed": {
+                str(shard_id): entry
+                for shard_id, entry in sorted(self.completed.items())
+            },
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            dir=self.out_dir,
+            prefix=".checkpoint-",
+            suffix=".json",
+            delete=False,
+            encoding="utf-8",
+        )
+        try:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.close()
+            os.replace(handle.name, self.path)
+        except BaseException:
+            handle.close()
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,154 @@
+"""The content-addressed artifact store + the session spill tier."""
+
+import pickle
+
+import pytest
+
+from repro import ComposeSession, ModelBuilder, write_sbml
+from repro.core.artifact_store import (
+    ArtifactStore,
+    ModelArtifacts,
+    compute_artifacts,
+    corpus_fingerprint,
+    model_digest,
+)
+
+
+def _model(model_id="m", species=("A", "B"), value=0.5):
+    builder = ModelBuilder(model_id).compartment("cell", size=1.0)
+    for name in species:
+        builder = builder.species(name, 1.0)
+    builder = builder.parameter("k", value)
+    builder = builder.mass_action(
+        f"r_{model_id}", [species[0]], [species[-1]], "k"
+    )
+    return builder.build()
+
+
+class TestModelDigest:
+    def test_copy_shares_digest(self):
+        model = _model()
+        assert model_digest(model) == model_digest(model.copy())
+
+    def test_content_changes_digest(self):
+        assert model_digest(_model(value=0.5)) != model_digest(
+            _model(value=0.7)
+        )
+
+    def test_corpus_fingerprint_orders_and_params(self):
+        a, b = _model("a"), _model("b")
+        assert corpus_fingerprint([a, b]) != corpus_fingerprint([b, a])
+        assert corpus_fingerprint([a, b]) != corpus_fingerprint(
+            [a, b], extra=("shards", 4)
+        )
+        assert corpus_fingerprint([a, b]) == corpus_fingerprint(
+            [a.copy(), b.copy()]
+        )
+
+
+class TestComputeArtifacts:
+    def test_matches_engine_inputs(self):
+        model = _model()
+        artifacts = compute_artifacts(model)
+        assert set(model.global_ids()) <= artifacts.used_ids
+        assert artifacts.initial["A"] == pytest.approx(1.0)
+        assert artifacts.registry is not None
+
+
+class TestArtifactStore:
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = model_digest(model)
+        assert store.get(digest) is None
+        store.put(digest, compute_artifacts(model))
+        assert digest in store
+        rehydrated = store.get(digest)
+        assert isinstance(rehydrated, ModelArtifacts)
+        assert rehydrated.used_ids == compute_artifacts(model).used_ids
+        assert rehydrated.initial == compute_artifacts(model).initial
+
+    def test_get_or_compute_spills_once(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        assert len(store) == 0
+        first = store.get_or_compute(model)
+        assert len(store) == 1
+        second = store.get_or_compute(model.copy())  # same content digest
+        assert len(store) == 1
+        assert first.used_ids == second.used_ids
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = model_digest(model)
+        path = store.put(digest, compute_artifacts(model))
+        path.write_bytes(b"torn write")
+        assert store.get(digest) is None
+        # get_or_compute self-heals the entry.
+        assert store.get_or_compute(model) is not None
+        assert store.get(digest) is not None
+
+    def test_format_mismatch_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = model_digest(_model())
+        path = store.path_for(digest)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps({"format": -1, "artifacts": None})
+        )
+        assert store.get(digest) is None
+
+    def test_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.get_or_compute(_model("a"))
+        store.get_or_compute(_model("b", species=("B", "C")))
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestSessionSpillTier:
+    def test_compose_identical_through_store(self, tmp_path):
+        models = [_model("a"), _model("b", species=("B", "C"))]
+        plain = ComposeSession().compose_all(models)
+        stored = ComposeSession(
+            artifact_store=ArtifactStore(tmp_path)
+        ).compose_all(models)
+        assert write_sbml(plain.model) == write_sbml(stored.model)
+        assert plain.report.mappings == stored.report.mappings
+
+    def test_spill_then_rehydrate(self, tmp_path):
+        models = [_model("a"), _model("b", species=("B", "C"))]
+        session = ComposeSession(artifact_store=str(tmp_path))
+        before = session.compose_all(models)
+        assert session.spill() > 0
+        # Memo released: pinned inputs are gone...
+        assert session._pinned == {}
+        # ...but composing again rehydrates from disk, same result.
+        after = session.compose_all(models)
+        assert write_sbml(before.model) == write_sbml(after.model)
+
+    def test_second_session_reuses_spilled_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        models = [_model("a"), _model("b", species=("B", "C"))]
+        ComposeSession(artifact_store=store).compose_all(models)
+        entries = len(store)
+        assert entries > 0
+        fresh = ComposeSession(artifact_store=store)
+        result = fresh.compose_all([model.copy() for model in models])
+        assert len(store) == entries  # copies hit, nothing recomputed
+        assert sorted(result.model.global_ids()) == sorted(
+            ComposeSession().compose_all(models).model.global_ids()
+        )
+
+    def test_spill_without_store_raises(self):
+        with pytest.raises(ValueError):
+            ComposeSession().spill()
+
+    def test_invalidate_clears_digest_memo(self, tmp_path):
+        session = ComposeSession(artifact_store=str(tmp_path))
+        models = [_model("a"), _model("b", species=("B", "C"))]
+        session.compose_all(models)
+        session.invalidate()
+        assert session._digests == {}
+        assert session._pinned == {}

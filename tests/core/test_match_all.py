@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ModelBuilder, compose_all, match_all
+from repro import ModelBuilder, compose_all, match_all, match_all_sharded
 from repro.core.match_all import MatchMatrix
 from repro.core.options import ComposeOptions
 
@@ -120,3 +120,65 @@ class TestMatchAll:
             match_all(corpus, workers=0)
         with pytest.raises(ValueError):
             match_all(corpus, backend="fiber")
+
+    def test_options_fanout_fallback(self, corpus):
+        # ComposeOptions(workers=..., backend=...) drives the sweep
+        # when the keywords are omitted, exactly as compose_all does;
+        # explicit keywords still win.
+        matrix = match_all(corpus, ComposeOptions(workers=2))
+        assert matrix.workers == 2
+        overridden = match_all(corpus, ComposeOptions(workers=2), workers=1)
+        assert overridden.workers == 1
+        assert [o.key() for o in matrix.outcomes] == [
+            o.key() for o in overridden.outcomes
+        ]
+
+    def test_store_tier_transparent(self, corpus, tmp_path):
+        from repro.core.artifact_store import ArtifactStore
+
+        plain = match_all(corpus)
+        stored = match_all(corpus, store=tmp_path / "artifacts")
+        assert [o.key() for o in plain.outcomes] == [
+            o.key() for o in stored.outcomes
+        ]
+        # Every model spilled exactly once, shared across its pairs.
+        assert len(ArtifactStore(tmp_path / "artifacts")) == len(corpus)
+
+
+class TestMatchAllSharded:
+    def test_invalid_shard_arguments(self, corpus):
+        with pytest.raises(ValueError):
+            match_all_sharded(corpus, shards=0, shard_id=0)
+        with pytest.raises(ValueError):
+            match_all_sharded(corpus, shards=2, shard_id=2)
+        with pytest.raises(ValueError):
+            match_all_sharded(corpus, shards=2, shard_id=-1)
+
+    def test_shard_metadata_and_summary(self, corpus):
+        matrix = match_all_sharded(corpus, shards=3, shard_id=1)
+        assert matrix.shard_id == 1
+        assert matrix.shard_count == 3
+        assert "shard 1/3" in matrix.summary()
+
+    def test_union_rejects_overlap(self, corpus):
+        shard = match_all_sharded(corpus, shards=2, shard_id=0)
+        with pytest.raises(ValueError):
+            MatchMatrix.union([shard, shard])
+
+    def test_union_round_trips_through_csv(self, corpus, tmp_path):
+        from repro.core.match_all import (
+            read_outcomes_csv,
+            write_outcomes_csv,
+        )
+
+        matrix = match_all(corpus)
+        full = tmp_path / "full.csv"
+        write_outcomes_csv(full, matrix.outcomes)
+        assert [o.key() for o in read_outcomes_csv(full)] == [
+            o.key() for o in matrix.outcomes
+        ]
+        deterministic = tmp_path / "det.csv"
+        write_outcomes_csv(deterministic, matrix.outcomes, deterministic=True)
+        restored = read_outcomes_csv(deterministic)
+        assert [o.key() for o in restored] == [o.key() for o in matrix.outcomes]
+        assert all(o.seconds == 0.0 for o in restored)

@@ -1,0 +1,204 @@
+"""Crash-recovery: a killed sharded sweep resumes where it stopped.
+
+The kill is simulated by injecting an exception into the checkpoint
+journal mid-sweep — after some shards have durably committed, while a
+later shard is committing.  ``--resume`` must skip exactly the
+journaled shards, recompute the rest, and the merged output must be
+byte-identical to a never-interrupted run.
+"""
+
+import pytest
+
+from repro import write_sbml_file
+from repro.cli import main
+from repro.core.match_all import read_outcomes_csv
+from repro.core.shards import SweepCheckpoint
+from repro.corpus.curated import (
+    drug_inhibition,
+    glycolysis_lower,
+    glycolysis_upper,
+    mapk_cascade,
+)
+
+SHARDS = 3
+
+
+@pytest.fixture
+def model_files(tmp_path):
+    models = [
+        glycolysis_upper(),
+        glycolysis_lower(),
+        mapk_cascade(),
+        drug_inhibition(),
+    ]
+    paths = []
+    for index, model in enumerate(models):
+        path = tmp_path / f"m{index}.xml"
+        write_sbml_file(model, path)
+        paths.append(str(path))
+    return paths
+
+
+def _kill_during_commit(monkeypatch, fail_on_shard):
+    """Make ``mark_complete`` raise for one shard id — the process
+    "dies" after that shard's result file hit disk but before the
+    journal recorded it, the worst-ordered crash point."""
+    original = SweepCheckpoint.mark_complete
+
+    def dying_mark_complete(self, shard_id, result_file, pair_count):
+        if shard_id == fail_on_shard:
+            raise KeyboardInterrupt(f"killed during shard {shard_id} commit")
+        return original(self, shard_id, result_file, pair_count)
+
+    monkeypatch.setattr(SweepCheckpoint, "mark_complete", dying_mark_complete)
+
+
+def _run_killed_sweep(model_files, out_dir, monkeypatch):
+    with monkeypatch.context() as patch:
+        _kill_during_commit(patch, fail_on_shard=1)
+        with pytest.raises(KeyboardInterrupt):
+            main(
+                ["sweep", *model_files, "--shards", str(SHARDS),
+                 "--out-dir", str(out_dir)]
+            )
+
+
+def test_resume_skips_completed_and_matches_uninterrupted(
+    model_files, tmp_path, monkeypatch, capsys
+):
+    out_dir = tmp_path / "sweep"
+
+    # First attempt dies while committing shard 1: shard 0 is
+    # journaled, shard 1's CSV exists but is not journaled.
+    _run_killed_sweep(model_files, out_dir, monkeypatch)
+    capsys.readouterr()
+
+    journal = SweepCheckpoint.read_journal(out_dir)
+    assert sorted(int(k) for k in journal["completed"]) == [0]
+    assert (out_dir / "shard-0001-of-0003.csv").is_file()  # torn commit
+
+    # Resume: shard 0 must be skipped, shards 1 and 2 recomputed.
+    recomputed = []
+    from repro.core.match_all import match_all_sharded as original_sharded
+
+    def tracking_sharded(*args, **kwargs):
+        recomputed.append(kwargs["shard_id"])
+        return original_sharded(*args, **kwargs)
+
+    with monkeypatch.context() as patch:
+        patch.setattr("repro.cli.match_all_sharded", tracking_sharded)
+        code = main(
+            ["sweep", *model_files, "--shards", str(SHARDS),
+             "--out-dir", str(out_dir), "--resume"]
+        )
+    assert code == 0
+    assert recomputed == [1, 2]
+    err = capsys.readouterr().err
+    assert "shard 0/3: already complete, skipping" in err
+    assert SweepCheckpoint.read_journal(out_dir)["completed"].keys() == {
+        "0", "1", "2"
+    }
+
+    # Merge the resumed sweep and diff against a never-interrupted
+    # sharded run AND the unsharded deterministic sweep: byte-identical.
+    merged = tmp_path / "merged.csv"
+    assert main(["sweep-merge", "--out-dir", str(out_dir),
+                 "-o", str(merged)]) == 0
+
+    clean_dir = tmp_path / "clean"
+    assert main(["sweep", *model_files, "--shards", str(SHARDS),
+                 "--out-dir", str(clean_dir)]) == 0
+    clean_merged = tmp_path / "clean_merged.csv"
+    assert main(["sweep-merge", "--out-dir", str(clean_dir),
+                 "-o", str(clean_merged)]) == 0
+
+    unsharded = tmp_path / "unsharded.csv"
+    assert main(["sweep", *model_files, "--deterministic",
+                 "-o", str(unsharded)]) == 0
+
+    merged_bytes = merged.read_bytes()
+    assert merged_bytes == clean_merged.read_bytes()
+    assert merged_bytes == unsharded.read_bytes()
+
+
+def test_resume_recomputes_unjournaled_shard_file_identically(
+    model_files, tmp_path, monkeypatch
+):
+    """A shard file that hit disk without its journal entry (the torn
+    commit) is recomputed deterministically — same run-invariant rows."""
+    out_dir = tmp_path / "sweep"
+    _run_killed_sweep(model_files, out_dir, monkeypatch)
+    torn = out_dir / "shard-0001-of-0003.csv"
+    torn_keys = [o.key() for o in read_outcomes_csv(torn)]
+
+    assert main(["sweep", *model_files, "--shards", str(SHARDS),
+                 "--out-dir", str(out_dir), "--resume"]) == 0
+    assert [o.key() for o in read_outcomes_csv(torn)] == torn_keys
+
+
+def test_shard_by_shard_runs_accumulate_without_resume(
+    model_files, tmp_path
+):
+    """The one-shard-per-machine workflow: each `--shard-id I` run
+    joins the journaled sweep instead of resetting it, so K separate
+    invocations without --resume add up to a mergeable sweep."""
+    out_dir = tmp_path / "sweep"
+    for shard_id in range(SHARDS):
+        assert main(["sweep", *model_files, "--shards", str(SHARDS),
+                     "--shard-id", str(shard_id),
+                     "--out-dir", str(out_dir)]) == 0
+    journal = SweepCheckpoint.read_journal(out_dir)
+    assert sorted(int(k) for k in journal["completed"]) == list(range(SHARDS))
+
+    merged = tmp_path / "merged.csv"
+    assert main(["sweep-merge", "--out-dir", str(out_dir),
+                 "-o", str(merged)]) == 0
+    unsharded = tmp_path / "unsharded.csv"
+    assert main(["sweep", *model_files, "--deterministic",
+                 "-o", str(unsharded)]) == 0
+    assert merged.read_bytes() == unsharded.read_bytes()
+
+
+def test_sharded_sweep_honours_output_flag(model_files, tmp_path):
+    """`sweep --shards K --out-dir D -o merged.csv` writes the merged
+    table once every shard is complete — the -o flag is not dropped on
+    the sharded path."""
+    out_dir = tmp_path / "sweep"
+    merged = tmp_path / "merged.csv"
+    assert main(["sweep", *model_files, "--shards", "2",
+                 "--out-dir", str(out_dir), "--deterministic",
+                 "-o", str(merged)]) == 0
+    unsharded = tmp_path / "unsharded.csv"
+    assert main(["sweep", *model_files, "--deterministic",
+                 "-o", str(unsharded)]) == 0
+    assert merged.read_bytes() == unsharded.read_bytes()
+
+
+def test_incomplete_sharded_sweep_defers_output(
+    model_files, tmp_path, capsys
+):
+    out_dir = tmp_path / "sweep"
+    merged = tmp_path / "merged.csv"
+    assert main(["sweep", *model_files, "--shards", "3", "--shard-id", "0",
+                 "--out-dir", str(out_dir), "-o", str(merged)]) == 0
+    assert not merged.exists()
+    assert "not written" in capsys.readouterr().err
+
+
+def test_resume_refuses_different_corpus(model_files, tmp_path):
+    out_dir = tmp_path / "sweep"
+    assert main(["sweep", *model_files, "--shards", "2",
+                 "--out-dir", str(out_dir)]) == 0
+    # Drop one model: different corpus fingerprint -> exit 2, not a
+    # silently mixed sweep.
+    code = main(["sweep", *model_files[:-1], "--shards", "2",
+                 "--out-dir", str(out_dir), "--resume"])
+    assert code == 2
+
+
+def test_sweep_merge_reports_missing_shards(model_files, tmp_path):
+    out_dir = tmp_path / "sweep"
+    assert main(["sweep", *model_files, "--shards", "3", "--shard-id", "0",
+                 "--out-dir", str(out_dir)]) == 0
+    code = main(["sweep-merge", "--out-dir", str(out_dir)])
+    assert code == 2
