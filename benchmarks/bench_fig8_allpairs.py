@@ -130,6 +130,38 @@ def bench_fig8_sharded_sweep(benchmark, corpus_sample, tmp_path):
     assert all(shard.cost < 2 * mean_cost for shard in shards)
 
 
+#: PR-3 single-process throughput on the 24-model sampled sweep — the
+#: BENCH_compose.json baseline before the hash-consed math core
+#: (structural digests, seeded pattern artifacts, copy-on-write
+#: adoption) landed.  The acceptance bar for that work is ≥1.5x.
+_PR3_PAIRS_PER_SECOND = 249.85
+
+
+def bench_fig8_allpairs_throughput(benchmark, corpus_sample):
+    """Single-worker sweep throughput on the 24-model sampled corpus.
+
+    This is the tracked configuration (``BENCH_compose.json``'s
+    ``allpairs`` section, gated in CI): one worker, whole sweep,
+    pairs per second.  Asserts the hash-consed-core acceptance bar —
+    at least 1.5x the PR-3 baseline recorded above.
+    """
+    from repro.core.match_all import match_all
+
+    matrix = benchmark.pedantic(
+        lambda: match_all(corpus_sample, workers=1), rounds=3, iterations=1
+    )
+    speedup = matrix.pairs_per_second / _PR3_PAIRS_PER_SECOND
+    emit("")
+    emit(
+        f"Figure 8 all-pairs throughput — {matrix.pair_count} pairs over "
+        f"{matrix.model_count} models, single worker: "
+        f"{matrix.pairs_per_second:.1f} pairs/s "
+        f"({speedup:.2f}x the PR-3 baseline of "
+        f"{_PR3_PAIRS_PER_SECOND} pairs/s)"
+    )
+    assert matrix.pairs_per_second >= 1.5 * _PR3_PAIRS_PER_SECOND
+
+
 def bench_fig8_self_pair_largest(benchmark, corpus):
     """Compose the largest model with itself (the sweep's last point)."""
     largest = corpus[-1]

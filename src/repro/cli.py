@@ -7,7 +7,8 @@ Subcommands::
         [--log merge.log]
     sbmlcompose sweep a.xml b.xml c.xml [...] [--workers N] [-o pairs.csv] \
         [--shards K [--shard-id I] --out-dir DIR [--resume]] \
-        [--deterministic]
+        [--deterministic] [--store-max-entries N]
+    sbmlcompose sweep-status --out-dir DIR
     sbmlcompose sweep-merge --out-dir DIR [-o merged.csv]
     sbmlcompose diff a.xml b.xml
     sbmlcompose validate model.xml
@@ -44,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from datetime import datetime
 from pathlib import Path
 
 from repro.core.artifact_store import ArtifactStore, corpus_fingerprint
@@ -168,6 +170,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="skip shards the checkpoint journal records as complete "
              "(refuses to resume onto a different corpus or layout)",
+    )
+    sweep.add_argument(
+        "--store-max-entries", type=int, default=None, metavar="N",
+        help="after the run, evict the least-recently-used artifact "
+             "store entries beyond N (the store grows one entry per "
+             "distinct model otherwise)",
+    )
+
+    sweep_status = sub.add_parser(
+        "sweep-status",
+        help="print per-shard completion of a sharded sweep",
+    )
+    sweep_status.add_argument(
+        "--out-dir", type=Path, required=True, metavar="DIR",
+        help="the sharded sweep's output directory",
     )
 
     sweep_merge = sub.add_parser(
@@ -311,6 +328,15 @@ def _cmd_sweep_sharded(args, models, options) -> int:
         checkpoint.mark_complete(shard_id, name, matrix.pair_count)
         print(f"wrote {args.out_dir / name}")
         print(matrix.summary(), file=sys.stderr)
+    if args.store_max_entries is not None:
+        evicted = store.evict(max_entries=args.store_max_entries)
+        if evicted:
+            print(
+                f"evicted {evicted} artifact store entr"
+                f"{'y' if evicted == 1 else 'ies'} "
+                f"(LRU beyond {args.store_max_entries})",
+                file=sys.stderr,
+            )
     missing = checkpoint.missing_shards()
     if missing:
         print(
@@ -349,6 +375,13 @@ def _cmd_sweep(args) -> int:
     options = ComposeOptions(semantics=args.semantics)
     if args.shards < 1:
         print("error: --shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.store_max_entries is not None and args.out_dir is None:
+        print(
+            "error: --store-max-entries needs --out-dir (only sharded "
+            "sweeps keep an on-disk artifact store)",
+            file=sys.stderr,
+        )
         return 2
     if args.shards > 1 or args.out_dir is not None:
         return _cmd_sweep_sharded(args, models, options)
@@ -405,6 +438,48 @@ def _merged_sweep_outcomes(checkpoint):
             outcomes.append(outcome)
     outcomes.sort(key=lambda outcome: (outcome.i, outcome.j))
     return outcomes
+
+
+def _cmd_sweep_status(args) -> int:
+    """Report a sharded sweep's progress without touching its state.
+
+    Reads the checkpoint journal (and only the journal — the corpus
+    is not loaded, no fingerprint is recomputed, nothing is locked or
+    written), so it is safe to run while shard workers are active.
+    Exit status: 0 when every shard is complete, 1 while shards are
+    pending, 2 when the directory has no readable journal.
+    """
+    journal = SweepCheckpoint.read_journal(args.out_dir)
+    shard_count = int(journal["shard_count"])
+    completed = {
+        int(shard_id): entry
+        for shard_id, entry in dict(journal["completed"]).items()
+    }
+    total_pairs = sum(int(entry.get("pairs", 0)) for entry in completed.values())
+    fingerprint = str(journal["fingerprint"])
+    print(
+        f"sweep {args.out_dir}: {len(completed)}/{shard_count} shard(s) "
+        f"complete, {total_pairs} pair(s) journaled "
+        f"(corpus {fingerprint[:12]}…)"
+    )
+    for shard_id in range(shard_count):
+        entry = completed.get(shard_id)
+        if entry is None:
+            print(f"  shard {shard_id}: pending")
+            continue
+        completed_at = entry.get("completed_at")
+        when = (
+            datetime.fromtimestamp(float(completed_at)).isoformat(
+                sep=" ", timespec="seconds"
+            )
+            if completed_at is not None
+            else "?"
+        )
+        print(
+            f"  shard {shard_id}: complete  {entry['file']}  "
+            f"{entry.get('pairs', '?')} pair(s)  at {when}"
+        )
+    return 0 if len(completed) >= shard_count else 1
 
 
 def _cmd_sweep_merge(args) -> int:
@@ -481,6 +556,7 @@ def _cmd_split(args) -> int:
 _COMMANDS = {
     "merge": _cmd_merge,
     "sweep": _cmd_sweep,
+    "sweep-status": _cmd_sweep_status,
     "sweep-merge": _cmd_sweep_merge,
     "diff": _cmd_diff,
     "validate": _cmd_validate,

@@ -25,11 +25,13 @@ import hashlib
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Set, Union
 
 from repro.core.compose import _collect_initial_values
+from repro.core.pattern_cache import model_pattern_table
 from repro.sbml.model import Model
 from repro.sbml.writer import write_sbml
 from repro.units.registry import UnitRegistry
@@ -44,7 +46,8 @@ __all__ = [
 
 #: Bump when the pickled artifact layout changes; older entries then
 #: read as misses and are recomputed instead of mis-deserialised.
-_FORMAT = 1
+#: Format 2 added the per-model canonical pattern table.
+_FORMAT = 2
 
 
 def model_digest(model: Model) -> str:
@@ -82,19 +85,33 @@ def corpus_fingerprint(
 class ModelArtifacts:
     """The derived per-model state the composition engine reuses.
 
-    Exactly what :class:`~repro.core.compose.AccumState` carries for
-    an accumulator, precomputed for an *input*: the used-id set, the
-    unit registry and the evaluated initial-value environment.
+    What :class:`~repro.core.compose.AccumState` carries for an
+    accumulator, precomputed for an *input* — the used-id set, the
+    unit registry and the evaluated initial-value environment — plus
+    the model's canonical **pattern table**
+    (:func:`~repro.core.pattern_cache.model_pattern_table`): the
+    Figure 7 pattern of every expression the model carries, keyed by
+    structural digest, used to seed each composition's
+    :class:`~repro.core.pattern_cache.PatternCache` so pattern work
+    happens once per model instead of once per pair.
     """
 
     used_ids: Set[str]
     registry: UnitRegistry
     initial: Dict[str, float]
+    #: expression digest -> canonical pattern (empty restriction).
+    patterns: Dict[str, str] = field(default_factory=dict)
 
 
-def compute_artifacts(model: Model) -> ModelArtifacts:
+def compute_artifacts(model: Model, with_patterns: bool = True) -> ModelArtifacts:
     """Derive a model's artifacts from scratch (the store's miss path,
-    and the single source of truth for what gets spilled)."""
+    and the single source of truth for what gets spilled).
+
+    ``with_patterns=False`` skips the canonical pattern table — for
+    callers whose options can never consult patterns (light/structural
+    semantics) and who are not spilling to a shared store (a stored
+    entry should stay complete, since other runs with other semantics
+    rehydrate it)."""
     used_ids = set(model.global_ids()) | {
         ud.id for ud in model.unit_definitions if ud.id
     }
@@ -102,6 +119,7 @@ def compute_artifacts(model: Model) -> ModelArtifacts:
         used_ids=used_ids,
         registry=model.unit_registry(),
         initial=_collect_initial_values(model),
+        patterns=model_pattern_table(model) if with_patterns else {},
     )
 
 
@@ -127,17 +145,26 @@ class ArtifactStore:
         A torn, corrupt or format-incompatible entry is a miss too —
         the caller recomputes and overwrites.
         """
+        path = self.path_for(digest)
         try:
-            data = self.path_for(digest).read_bytes()
+            data = path.read_bytes()
         except (FileNotFoundError, NotADirectoryError):
             return None
         try:
             payload = pickle.loads(data)
             if payload["format"] != _FORMAT:
                 return None
-            return payload["artifacts"]
+            artifacts = payload["artifacts"]
         except Exception:
             return None
+        # Refresh the entry's mtime so :meth:`evict`'s LRU ordering
+        # tracks *use*, not just creation.  Best effort: a read-only
+        # store still serves hits.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return artifacts
 
     def put(self, digest: str, artifacts: ModelArtifacts) -> Path:
         """Store ``artifacts`` under ``digest`` atomically."""
@@ -186,6 +213,48 @@ class ArtifactStore:
         """Delete every entry; returns how many were removed."""
         removed = 0
         for path in list(self.root.glob("??/*.pkl")):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def evict(
+        self,
+        *,
+        max_age: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> int:
+        """Expire old entries; returns how many were removed.
+
+        LRU by mtime (reads refresh the mtime, so "least recently
+        used" really means used): with ``max_age`` (seconds), every
+        entry older than that is removed; with ``max_entries``, the
+        oldest entries beyond the cap are removed.  Both constraints
+        may be combined.  Concurrent evictors and writers are safe —
+        an entry that disappears mid-scan is simply skipped, and a
+        removed entry regenerates as an ordinary miss.
+        """
+        if max_age is None and max_entries is None:
+            return 0
+        entries = []
+        for path in self.root.glob("??/*.pkl"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        entries.sort()  # oldest first
+        doomed = []
+        if max_age is not None:
+            cutoff = time.time() - max_age
+            while entries and entries[0][0] < cutoff:
+                doomed.append(entries.pop(0)[1])
+        if max_entries is not None and len(entries) > max_entries:
+            excess = len(entries) - max_entries
+            doomed.extend(path for _, path in entries[:excess])
+        removed = 0
+        for path in doomed:
             try:
                 path.unlink()
                 removed += 1

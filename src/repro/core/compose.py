@@ -51,9 +51,11 @@ from repro.sbml.components import (
     AssignmentRule,
     Event,
     KineticLaw,
+    ModifierSpeciesReference,
     RateRule,
     Reaction,
     Species,
+    SpeciesReference,
 )
 from repro.sbml.model import Model
 from repro.units.definitions import UnitDefinition
@@ -211,6 +213,7 @@ class Composer:
         target_state: Optional[AccumState] = None,
         source_state: Optional[AccumState] = None,
         carry_state: bool = True,
+        ephemeral: bool = False,
     ) -> Tuple[Model, MergeReport, Optional[AccumState]]:
         """One plan-executor merge step, with carried accumulator state.
 
@@ -228,6 +231,13 @@ class Composer:
         * ``source_state`` supplies ``second``'s artifacts the same
           way (an executed subtree already knows its registry and
           initial values).
+        * ``ephemeral`` marks the composed model as disposable (the
+          all-pairs engine discards every merged model on the spot):
+          adopted reactions then share their *unmutated* participant
+          objects with the source instead of copying them
+          (copy-on-write).  Never set it when the composed model is
+          handed to a caller — a caller mutating shared participants
+          would corrupt the input model.
 
         Returns ``(model, report, state)`` where ``state`` is the
         updated :class:`AccumState` for the returned model, or ``None``
@@ -295,6 +305,7 @@ class Composer:
             ),
             pattern_cache=self._cache,
             source_owned=source_owned,
+            ephemeral=ephemeral,
         )
 
         # Figure 4 phase order, each phase timed into report.timings.
@@ -366,6 +377,7 @@ class _MergeState:
         initial_values: Tuple[Dict[str, float], Dict[str, float]],
         pattern_cache: Optional[PatternCache] = None,
         source_owned: bool = False,
+        ephemeral: bool = False,
     ):
         self.target = target
         self.source = source
@@ -378,12 +390,17 @@ class _MergeState:
         self.target_initial, self.source_initial = initial_values
         self._pattern_cache = pattern_cache
         self.source_owned = source_owned
+        self.ephemeral = ephemeral
         # Ids claimed for components *added* by this merge (as opposed
         # to united into existing target components) — the carried
         # initial-value env absorbs source values for these only.
         self.added_ids: Set[str] = set()
-        self._flat_mapping_version = -1
-        self._flat_mapping: Dict[str, str] = {}
+        # Bound directly to the mapping: ``resolve_ref`` is the single
+        # hottest call of a merge (every reference of every component
+        # passes through it), and the instance attribute skips one
+        # method-dispatch layer per call.  ``resolve`` already treats
+        # ``None`` as "no reference".
+        self.resolve_ref = mapping.resolve
 
     def adopt(self, component):
         """The component to insert into the target: the source's own
@@ -393,11 +410,9 @@ class _MergeState:
         return component if self.source_owned else component.copy()
 
     def _flat(self) -> Dict[str, str]:
-        """The chain-resolved mapping, recomputed only on change."""
-        if self.mapping.version != self._flat_mapping_version:
-            self._flat_mapping = self.mapping.as_dict()
-            self._flat_mapping_version = self.mapping.version
-        return self._flat_mapping
+        """The chain-resolved mapping (cached per version by
+        :meth:`~repro.core.mapping.IdMapping.as_dict`; read-only)."""
+        return self.mapping.as_dict()
 
     # -- id handling ---------------------------------------------------
 
@@ -491,14 +506,21 @@ class _MergeState:
     def math_key(self, math: MathNode) -> str:
         """Hashable equality key for an expression under the live
         mapping (heavy semantics: Figure 7 commutative pattern;
-        otherwise: structural form of the mapped expression)."""
+        otherwise: structural digest of the mapped expression).
+
+        The structural path used to ``repr()`` the whole rewritten
+        tree on every probe; the cached digest makes it O(1) after
+        first sight — and the rewrite itself is copy-free when the
+        mapping does not touch the expression, so the probe usually
+        reduces to two cache reads.
+        """
         if self.options.use_math_patterns:
             if self._pattern_cache is not None:
                 return "math:" + self._pattern_cache.pattern(
                     math, self._flat()
                 )
             return "math:" + canonical_pattern(math, self._flat())
-        return "math:" + repr(self.mapping.rewrite_math(math))
+        return "math:" + self.mapping.rewrite_math(math).digest()
 
     def math_equal(self, first: Optional[MathNode], second: Optional[MathNode]) -> bool:
         if first is None or second is None:
@@ -509,8 +531,8 @@ class _MergeState:
         """Apply the id mapping to an expression from the source model."""
         return self.mapping.rewrite_math(math)
 
-    def resolve_ref(self, ref: Optional[str]) -> Optional[str]:
-        return self.mapping.resolve(ref)
+    # ``resolve_ref`` is bound per instance in ``__init__`` (it is an
+    # alias of ``self.mapping.resolve``); this stub documents the API.
 
     # -- evaluation -------------------------------------------------------
 
@@ -774,6 +796,28 @@ def _compose_species(state: _MergeState) -> None:
 
 
 def _species_keys(state: _MergeState, species: Species, mapped: bool) -> List[str]:
+    if not mapped and state.ephemeral:
+        # The unmapped keys are a pure function of (species, options).
+        # The all-pairs engine's shallow copies share species objects
+        # across every pair a model is target of, so *ephemeral*
+        # merges cache the keys on the object, tagged by the options
+        # that produced them.  ``Species.copy()`` drops the cache, and
+        # callers treat the returned list as read-only.  Session
+        # merges never cache — their ``source_owned`` moves mutate
+        # adopted species (id, compartment) in place, which would
+        # leave a stale cache on an object a later step re-indexes.
+        cached = species.__dict__.get("_keys_cache")
+        if cached is not None and cached[0] is state.options:
+            return cached[1]
+        keys = _build_species_keys(state, species, mapped=False)
+        species.__dict__["_keys_cache"] = (state.options, keys)
+        return keys
+    return _build_species_keys(state, species, mapped)
+
+
+def _build_species_keys(
+    state: _MergeState, species: Species, mapped: bool
+) -> List[str]:
     compartment = (
         state.resolve_ref(species.compartment) if mapped else species.compartment
     )
@@ -1124,23 +1168,61 @@ def _reaction_signature(state: _MergeState, reaction: Reaction, mapped: bool) ->
 
     The paper checks "the reactants, modifiers and products ... for
     equality"; stoichiometry is part of the check.
+
+    The *unmapped* signature is a pure function of the reaction, so
+    **ephemeral** merges cache it on the reaction object — the
+    all-pairs engine's shallow target copies share reaction objects
+    across every pair a model appears in, which turns per-pair
+    signature building into a once-per-model cost.  Caching is safe
+    there because ephemeral merges never mutate input components
+    (sources adopt by copy/COW, and ``copy()`` drops the cache).
+    Session merges must NOT cache: their ``source_owned`` moves adopt
+    intermediates *in place* and rewrite participant species on the
+    very objects a later step re-probes, so a cached signature could
+    go stale and make tree plans diverge from the fold.
     """
+    if not mapped:
+        if not state.ephemeral:
+            return _build_reaction_signature(reaction, _same_id)
+        cached = reaction.__dict__.get("_unmapped_signature")
+        if cached is not None:
+            return cached
+        signature = _build_reaction_signature(reaction, _same_id)
+        reaction.__dict__["_unmapped_signature"] = signature
+        return signature
+    # A name is changed by the mapping iff it appears in the raw
+    # table, so a reaction none of whose participants are mapped has
+    # the unmapped (cached) signature.
+    table = state.mapping._table
+    if table:
+        for references in (
+            reaction.reactants, reaction.products, reaction.modifiers
+        ):
+            for reference in references:
+                if reference.species in table:
+                    return _build_reaction_signature(
+                        reaction, state.mapping.resolve
+                    )
+    return _reaction_signature(state, reaction, mapped=False)
 
+
+def _same_id(species: Optional[str]) -> Optional[str]:
+    return species
+
+
+def _build_reaction_signature(reaction: Reaction, resolve) -> str:
     def side(references) -> str:
-        entries = []
-        for reference in references:
-            species = (
-                state.resolve_ref(reference.species)
-                if mapped
-                else reference.species
+        return "+".join(
+            sorted(
+                f"{resolve(reference.species)}*1"
+                if reference.stoichiometry == 1
+                else f"{resolve(reference.species)}"
+                f"*{reference.stoichiometry:g}"
+                for reference in references
             )
-            entries.append(f"{species}*{reference.stoichiometry:g}")
-        return "+".join(sorted(entries))
+        )
 
-    modifiers = sorted(
-        state.resolve_ref(m.species) if mapped else m.species
-        for m in reaction.modifiers
-    )
+    modifiers = sorted(resolve(m.species) for m in reaction.modifiers)
     return (
         f"rxn:{side(reaction.reactants)}>{side(reaction.products)}"
         f"|mod:{','.join(modifiers)}|rev:{int(reaction.reversible)}"
@@ -1314,6 +1396,8 @@ def _rate_constants_reconcile(
 
 
 def _rewrite_reaction(state: _MergeState, reaction: Reaction) -> Reaction:
+    if state.ephemeral and not state.source_owned:
+        return _rewrite_reaction_cow(state, reaction)
     duplicate = state.adopt(reaction)
     for reference in duplicate.reactants + duplicate.products:
         reference.species = state.resolve_ref(reference.species)
@@ -1321,16 +1405,65 @@ def _rewrite_reaction(state: _MergeState, reaction: Reaction) -> Reaction:
         modifier.species = state.resolve_ref(modifier.species)
     law = duplicate.kinetic_law
     if law is not None and law.math is not None:
-        # Local parameters shadow globals: do not rewrite their names.
-        local_ids = set(law.local_parameter_ids())
-        flat = {
-            old: new
-            for old, new in state._flat().items()
-            if old not in local_ids
+        # Restrict the mapping to the names the law actually uses —
+        # O(law) instead of O(mapping) per reaction — minus the local
+        # parameters, which shadow globals and must not be rewritten.
+        flat = state._flat()
+        relevant = {
+            name: flat[name]
+            for name in law.math.referenced_names()
+            if name in flat
         }
-        law.math = law.math.rename(flat)
+        if relevant and law.parameters:
+            for local_id in law.local_parameter_ids():
+                relevant.pop(local_id, None)
+        if relevant:
+            law.math = law.math.rename(relevant)
         for parameter in law.parameters:
             parameter.units = state.resolve_ref(parameter.units)
+    return duplicate
+
+
+def _rewrite_reaction_cow(state: _MergeState, reaction: Reaction) -> Reaction:
+    """Copy-on-write adoption for disposable merges: the reaction
+    container is fresh (the engine claims its id and the target owns
+    it), but participant and local-parameter objects the id mapping
+    leaves untouched stay shared with the source model.  The composed
+    model must be discarded, never handed out for mutation — exactly
+    the all-pairs engine's contract."""
+    resolve = state.resolve_ref
+    duplicate = reaction.copy_shallow()
+    for references in (duplicate.reactants, duplicate.products):
+        for position, reference in enumerate(references):
+            resolved = resolve(reference.species)
+            if resolved != reference.species:
+                references[position] = SpeciesReference(
+                    resolved, reference.stoichiometry
+                )
+    for position, modifier in enumerate(duplicate.modifiers):
+        resolved = resolve(modifier.species)
+        if resolved != modifier.species:
+            duplicate.modifiers[position] = ModifierSpeciesReference(resolved)
+    law = duplicate.kinetic_law
+    if law is not None:
+        if law.math is not None:
+            flat = state._flat()
+            relevant = {
+                name: flat[name]
+                for name in law.math.referenced_names()
+                if name in flat
+            }
+            if relevant and law.parameters:
+                for local_id in law.local_parameter_ids():
+                    relevant.pop(local_id, None)
+            if relevant:
+                law.math = law.math.rename(relevant)
+        for position, parameter in enumerate(law.parameters):
+            resolved = resolve(parameter.units)
+            if resolved != parameter.units:
+                fresh = parameter.copy()
+                fresh.units = resolved
+                law.parameters[position] = fresh
     return duplicate
 
 

@@ -22,6 +22,8 @@ class IdMapping:
         self._table: Dict[str, str] = dict(initial or {})
         #: Bumped on every change; lets callers cache derived views.
         self.version = 0
+        self._flat_version = -1
+        self._flat: Dict[str, str] = {}
 
     def __len__(self) -> int:
         return len(self._table)
@@ -43,22 +45,44 @@ class IdMapping:
         """
         if name is None:
             return None
-        seen = {name}
-        current = name
-        while current in self._table:
-            current = self._table[current]
-            if current in seen:
-                break
-            seen.add(current)
-        return current
+        # Unmapped names — the overwhelming majority of resolve calls
+        # on the composition hot path — pay one dict probe and no
+        # cycle-guard allocation; one-hop chains pay two.
+        table = self._table
+        current = table.get(name)
+        if current is None:
+            return name
+        final = table.get(current)
+        if final is None:
+            return current
+        seen = {name, current}
+        while final not in seen:
+            seen.add(final)
+            current = final
+            final = table.get(current)
+            if final is None:
+                return current
+        return final
 
     def rewrite_math(self, math: Optional[MathNode]) -> Optional[MathNode]:
-        """Rewrite every identifier in ``math`` through the mapping."""
+        """Rewrite every identifier in ``math`` through the mapping.
+
+        Copy-free when nothing applies: :meth:`MathNode.rename`
+        restricts the flat view to the expression's referenced names
+        and returns the same object when the restriction is empty.
+        """
         if math is None or not self._table:
             return math
-        flat = {old: self.resolve(old) for old in self._table}
-        return math.rename(flat)
+        return math.rename(self.as_dict())
 
     def as_dict(self) -> Dict[str, str]:
-        """Flat copy with every chain fully resolved."""
-        return {old: self.resolve(old) for old in self._table}
+        """Flat view with every chain fully resolved.
+
+        Cached per :attr:`version`, so hot paths that consult the flat
+        view between mapping changes share one resolution pass.
+        Treat the returned dict as read-only — it is the cache.
+        """
+        if self.version != self._flat_version:
+            self._flat = {old: self.resolve(old) for old in self._table}
+            self._flat_version = self.version
+        return self._flat

@@ -62,6 +62,7 @@ from repro.core.options import (
     BACKEND_THREAD,
     ComposeOptions,
 )
+from repro.core.pattern_cache import PatternCache
 from repro.core.session import stable_labels
 from repro.core.shards import Shard, partition_pairs
 from repro.sbml.model import Model
@@ -290,16 +291,23 @@ class _PairEngine:
         self.options = options or ComposeOptions()
         self.models = list(models)
         self.labels = list(labels)
-        # One composer for the whole sweep.  The pattern cache follows
-        # ``options.memoize_patterns`` (default off): the repo's
-        # measured finding is that per-expression memo bookkeeping
-        # costs more than it saves on small kinetic laws, and an
-        # all-pairs sweep multiplies whichever side of that trade wins.
-        self.composer = Composer(self.options)
+        # One composer — and one pattern cache — for the whole sweep.
+        # The cache is always on here (unlike one-shot merges, where
+        # ``options.memoize_patterns`` defaults off because small-law
+        # bookkeeping can cost more than it saves): it is *seeded*
+        # from each model's precomputed pattern table the first time
+        # the model's artifacts load, so the empty-restriction case —
+        # the overwhelming majority — never computes a pattern during
+        # a pair merge at all.
+        self.pattern_cache = PatternCache()
+        self.composer = Composer(
+            self.options, pattern_cache=self.pattern_cache
+        )
         self.store = ArtifactStore(store_root) if store_root else None
         self._artifacts: Dict[
             int, Tuple[Set[str], UnitRegistry, Dict[str, float]]
         ] = {}
+        self._sizes: Dict[int, int] = {}
         self._lock = threading.Lock()
 
     def _model_artifacts(
@@ -312,11 +320,21 @@ class _PairEngine:
             hit = self._artifacts.get(index)
             if hit is None:
                 model = self.models[index]
+                # Without a store, the pattern table is only worth
+                # computing when this sweep's options will consult
+                # patterns; store-backed artifacts stay complete
+                # regardless, because other runs (with other
+                # semantics) rehydrate the same entry.
                 artifacts = (
                     self.store.get_or_compute(model)
                     if self.store is not None
-                    else compute_artifacts(model)
+                    else compute_artifacts(
+                        model,
+                        with_patterns=self.options.use_math_patterns,
+                    )
                 )
+                if artifacts.patterns:
+                    self.pattern_cache.seed(artifacts.patterns)
                 hit = (
                     artifacts.used_ids,
                     artifacts.registry,
@@ -325,20 +343,31 @@ class _PairEngine:
                 self._artifacts[index] = hit
         return hit
 
+    def _model_size(self, index: int) -> int:
+        size = self._sizes.get(index)
+        if size is None:
+            size = self.models[index].network_size()
+            self._sizes[index] = size
+        return size
+
     def run_pair(self, i: int, j: int) -> PairOutcome:
         left = self.models[i]
         right = self.models[j]
         used_ids, registry, initial = self._model_artifacts(i)
         _, source_registry, source_initial = self._model_artifacts(j)
-        size = left.network_size() + right.network_size()
+        size = self._model_size(i) + self._model_size(j)
         started = time.perf_counter()
         # The target copy is part of the timed merge (it always was in
-        # the per-pair engines this replaces); the carried state hands
-        # the copy its precomputed artifacts — ids and values are
-        # identical across a copy, and the registry is only read for
-        # unit conversion until the unit phase rebuilds it.
+        # the per-pair engines this replaces), but it is *shallow*:
+        # merges never mutate pre-existing target components, and the
+        # composed model is discarded right below, so sharing the
+        # component objects is safe and skips the sweep's largest
+        # per-pair constant cost.  The carried state hands the copy
+        # its precomputed artifacts — ids and values are identical
+        # across a copy, and the registry is only read for unit
+        # conversion until the unit phase rebuilds it.
         _, report, _ = self.composer.compose_step(
-            left.copy(),
+            left.copy_shallow(),
             right,
             copy_target=False,
             target_state=AccumState(
@@ -349,6 +378,7 @@ class _PairEngine:
             source_registry=source_registry,
             source_initial=source_initial,
             carry_state=False,
+            ephemeral=True,
         )
         seconds = time.perf_counter() - started
         return PairOutcome(

@@ -14,9 +14,13 @@ expression's own identifiers — expressions that reference no mapped
 ids (the overwhelming majority) hit a single cached entry no matter
 how the mapping grows.
 
-Expression nodes are immutable, so caching by object identity is safe
-while the owning models are alive; the cache belongs to a single
-composition run and dies with it.
+Cache keys are the **structural digests** of the expressions
+(:meth:`~repro.mathml.ast.MathNode.digest`), not object ids: the
+digest is stable across processes and model copies, so entries can be
+*seeded* from per-model pattern tables computed once per model and
+spilled to the artifact store — the sweep-level reuse behind
+:func:`~repro.core.match_all.match_all` — and the cache no longer has
+to pin node objects alive to keep its keys valid.
 """
 
 from __future__ import annotations
@@ -24,21 +28,73 @@ from __future__ import annotations
 import threading
 from typing import Dict, FrozenSet, Mapping, Tuple
 
-from repro.mathml.ast import Apply, Identifier, KNOWN_OPERATORS, MathNode
+from repro.mathml.ast import MathNode, Number
 from repro.mathml.pattern import canonical_pattern
 
-__all__ = ["PatternCache"]
+__all__ = ["PatternCache", "model_pattern_table"]
+
+
+def model_pattern_table(model) -> Dict[str, str]:
+    """The canonical patterns of every expression a model carries,
+    keyed by structural digest, under the **empty** mapping
+    restriction (the case the :class:`PatternCache` docstring notes is
+    the overwhelming majority during composition).
+
+    This is a pure function of the model, so it is computed once per
+    model — by :func:`~repro.core.artifact_store.compute_artifacts` —
+    stored in the artifact store under the model's content digest, and
+    used to seed each composition's :class:`PatternCache` instead of
+    re-deriving the patterns pair by pair.
+
+    Besides the raw expressions (:meth:`~repro.sbml.model.Model.all_math`),
+    the table covers the *local-parameter-substituted* kinetic-law
+    forms, because those — not the raw laws — are what reaction
+    equality actually probes (:func:`~repro.core.compose._law_comparison_math`).
+    """
+    table: Dict[str, str] = {}
+
+    def add(math) -> None:
+        if math is None:
+            return
+        digest = math.digest()
+        if digest not in table:
+            table[digest] = canonical_pattern(math)
+
+    for math in model.all_math():
+        add(math)
+    for reaction in model.reactions:
+        law = reaction.kinetic_law
+        if law is None or law.math is None:
+            continue
+        locals_items = tuple(
+            sorted(
+                (parameter.id, parameter.value)
+                for parameter in law.parameters
+                if parameter.id is not None and parameter.value is not None
+            )
+        )
+        if locals_items:
+            add(
+                law.math.substitute(
+                    {name: Number(value) for name, value in locals_items}
+                )
+            )
+    return table
 
 
 class PatternCache:
-    """Per-composition memo for canonical patterns.
+    """Memo for canonical patterns, keyed by structural digest.
 
     ``pattern(math, mapping)`` returns exactly what
-    :func:`repro.mathml.pattern.canonical_pattern` would, but caches:
+    :func:`repro.mathml.pattern.canonical_pattern` would, but caches
+    the pattern under each distinct *relevant* mapping restriction —
+    and, because the keys are digests, structurally equal expressions
+    from different models (or model copies) share one entry.
 
-    * the set of identifiers of each expression (including user
-      function names, which the mapping can also rewrite),
-    * the pattern under each distinct *relevant* mapping restriction.
+    :meth:`seed` preloads the empty-restriction entries from a
+    per-model pattern table (:func:`model_pattern_table`), which is
+    how the all-pairs engine turns per-pair pattern building into a
+    once-per-model artifact.
 
     The cache is shared by every merge a session executes, including
     merges running concurrently on the parallel executor's worker
@@ -48,37 +104,41 @@ class PatternCache:
     """
 
     def __init__(self):
-        self._identifiers: Dict[int, FrozenSet[str]] = {}
-        # (id(node), restricted-mapping-items) -> pattern
-        self._patterns: Dict[Tuple[int, Tuple[Tuple[str, str], ...]], str] = {}
-        # (id(law math), local-parameter values) -> substituted math
+        # (digest, restricted-mapping-items) -> pattern
+        self._patterns: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], str] = {}
+        # (digest of law math, local-parameter values) -> substituted math
         self._law_math: Dict[Tuple, MathNode] = {}
-        # Keep nodes alive so id() keys stay valid.
-        self._pinned: Dict[int, MathNode] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        #: Entries preloaded via :meth:`seed` (probes of them count as
+        #: hits — the work they saved happened once, per model).
+        self.seeded = 0
 
     def _identifier_set(self, math: MathNode) -> FrozenSet[str]:
-        key = id(math)
-        cached = self._identifiers.get(key)
-        if cached is not None:
-            return cached
-        names = set()
-        for node in math.walk():
-            if isinstance(node, Identifier):
-                names.add(node.name)
-            elif isinstance(node, Apply) and node.op not in KNOWN_OPERATORS:
-                names.add(node.op)
-        result = frozenset(names)
+        # Identifiers plus user-function call names — everything the
+        # composition mapping can rewrite.  Cached on the node itself.
+        return math.referenced_names()
+
+    def seed(self, table: Mapping[str, str]) -> int:
+        """Preload empty-restriction patterns from a per-model table
+        (digest → pattern).  Existing entries win — seeding is
+        idempotent and safe under concurrency.  Returns the number of
+        entries actually added."""
+        added = 0
         with self._lock:
-            self._identifiers[key] = result
-            self._pinned[key] = math
-        return result
+            patterns = self._patterns
+            for digest, pattern in table.items():
+                key = (digest, ())
+                if key not in patterns:
+                    patterns[key] = pattern
+                    added += 1
+            self.seeded += added
+        return added
 
     def pattern(self, math: MathNode, mapping: Mapping[str, str]) -> str:
         """The canonical pattern of ``math`` under ``mapping``."""
-        identifiers = self._identifier_set(math)
+        identifiers = math.referenced_names()
         relevant = tuple(
             sorted(
                 (name, mapping[name])
@@ -86,7 +146,7 @@ class PatternCache:
                 if name in mapping
             )
         )
-        key = (id(math), relevant)
+        key = (math.digest(), relevant)
         cached = self._patterns.get(key)
         if cached is not None:
             # Deliberately unlocked: a lost concurrent increment only
@@ -104,25 +164,22 @@ class PatternCache:
         """Cache the local-parameter-substituted form of a kinetic law.
 
         ``locals_items`` is a sorted tuple of ``(name, value)`` pairs.
-        Model copies share math node objects with their originals, so
-        the cache persists across every composition a model takes part
-        in — this is where the Figure 8 all-pairs sweep reuses work.
+        Keyed by the law's structural digest, so every composition of
+        a model — and every copy of it — reuses one substitution; this
+        is where the Figure 8 all-pairs sweep reuses work.
         """
-        key = (id(math), locals_items)
+        key = (math.digest(), locals_items)
         cached = self._law_math.get(key)
         if cached is not None:
             return cached
-        from repro.mathml.ast import Number
-
         substituted = math.substitute(
             {name: Number(value) for name, value in locals_items}
         )
         with self._lock:
-            self._pinned[id(math)] = math
             self._law_math[key] = substituted
         return substituted
 
     def stats(self) -> str:
         total = self.hits + self.misses
         rate = self.hits / total if total else 0.0
-        return f"{self.hits}/{total} hits ({rate:.0%})"
+        return f"{self.hits}/{total} hits ({rate:.0%}), {self.seeded} seeded"

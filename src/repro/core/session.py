@@ -504,6 +504,13 @@ class ComposeSession:
                     # (and this session after a spill) reuse the work.
                     digest = model_digest(model)
                     artifacts = self._store.get_or_compute(model, digest)
+                    cache = self._composer._cache
+                    if cache is not None and artifacts.patterns:
+                        # The rehydrated pattern table seeds this
+                        # session's cache: patterns computed by any
+                        # other sweep/session over the same model are
+                        # never rebuilt here.
+                        cache.seed(artifacts.patterns)
                     self._digests[key] = digest
                     self._initials[key] = artifacts.initial
                     self._pinned[key] = model

@@ -25,12 +25,28 @@ The set of operators follows the MathML subset that SBML Level 2
 permits.  Commutativity and associativity flags drive the canonical
 pattern construction in :mod:`repro.mathml.pattern` (the paper's
 Figure 7 algorithm).
+
+Performance machinery (paper §5: "algorithmic optimisation of graph
+operations ... nodes can be indexed while being parsed"):
+
+* every node lazily caches a **structural digest** (:meth:`MathNode.digest`)
+  — a process-independent content hash under which structurally equal
+  trees compare and index in O(1) instead of re-serialising;
+* leaves (:class:`Number`, :class:`Identifier`, :class:`Constant`) and
+  small :class:`Apply` nodes are **hash-consed**: constructing a node
+  structurally equal to a recent one returns the *same* object, so
+  deep ``==`` comparisons short-circuit on identity and per-node
+  caches are shared across every model that mentions the expression;
+* :meth:`MathNode.substitute` and :meth:`MathNode.rename` are
+  **copy-free**: when the bindings cannot touch the (cached) set of
+  referenced names, the same node object comes back untouched.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 __all__ = [
     "MathNode",
@@ -48,6 +64,9 @@ __all__ = [
     "UNARY_FUNCTIONS",
     "KNOWN_OPERATORS",
     "CONSTANT_NAMES",
+    "intern_cache_sizes",
+    "clear_intern_caches",
+    "interning_disabled",
 ]
 
 
@@ -110,14 +129,88 @@ CONSTANT_NAMES = frozenset(
 )
 
 
+# ---------------------------------------------------------------------------
+# Hash-consing (interning) of small nodes
+# ---------------------------------------------------------------------------
+
+#: Per-type intern tables.  Bounded: once a table is full new nodes
+#: are simply not interned (correctness never depends on sharing), so
+#: a pathological corpus cannot grow the tables without limit.
+_INTERN_CAP = 1 << 16
+_NUMBER_INTERN: Dict[tuple, "Number"] = {}
+_IDENTIFIER_INTERN: Dict[str, "Identifier"] = {}
+_CONSTANT_INTERN: Dict[str, "Constant"] = {}
+_APPLY_INTERN: Dict[tuple, "Apply"] = {}
+
+#: Applies with at most this many leaf arguments are interned — the
+#: ``k*A`` / ``A+B`` shapes that dominate kinetic laws.  Larger or
+#: nested applications still share their interned leaves.
+_APPLY_INTERN_MAX_ARGS = 4
+
+#: Flipped by tests to build structurally equal but un-shared trees.
+_INTERN_ENABLED = True
+
+
+def intern_cache_sizes() -> Dict[str, int]:
+    """Current entry counts of the per-type intern tables."""
+    return {
+        "number": len(_NUMBER_INTERN),
+        "identifier": len(_IDENTIFIER_INTERN),
+        "constant": len(_CONSTANT_INTERN),
+        "apply": len(_APPLY_INTERN),
+    }
+
+
+def clear_intern_caches() -> None:
+    """Drop every interned node (already-built trees keep theirs)."""
+    _NUMBER_INTERN.clear()
+    _IDENTIFIER_INTERN.clear()
+    _CONSTANT_INTERN.clear()
+    _APPLY_INTERN.clear()
+
+
+class interning_disabled:
+    """Context manager building structurally equal but *unshared*
+    nodes — used by tests that pin the digest/equality invariants
+    across the hash-consing boundary, and available to workloads that
+    would rather re-allocate than grow the intern tables."""
+
+    def __enter__(self):
+        global _INTERN_ENABLED
+        self._previous = _INTERN_ENABLED
+        _INTERN_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info):
+        global _INTERN_ENABLED
+        _INTERN_ENABLED = self._previous
+        return False
+
+
+def _hash_parts(tag: bytes, *parts: str) -> str:
+    """Digest a node's canonical serialisation: a type tag plus its
+    payload strings / child digests, length-delimited so distinct
+    structures can never collide by concatenation."""
+    digest = hashlib.blake2b(tag, digest_size=16)
+    for part in parts:
+        encoded = part.encode("utf-8")
+        digest.update(len(encoded).to_bytes(4, "little"))
+        digest.update(encoded)
+    return digest.hexdigest()
+
+
 class MathNode:
     """Abstract base class for all expression nodes.
 
     Provides the traversal helpers shared by every node type; the
-    concrete classes below only add their payload fields.
+    concrete classes below only add their payload fields.  The base
+    slots hold lazily computed per-node caches: the structural digest
+    and the referenced-name sets.  Nodes are immutable, so a cache
+    entry, once computed, is valid for the node's lifetime — and
+    hash-consing makes structurally equal nodes *share* the caches.
     """
 
-    __slots__ = ()
+    __slots__ = ("_digest", "_idents", "_names")
 
     def children(self) -> Tuple["MathNode", ...]:
         """Return the direct sub-expressions of this node."""
@@ -132,28 +225,113 @@ class MathNode:
     def identifiers(self) -> frozenset:
         """Return the set of identifier names referenced anywhere in
         this expression (bound lambda parameters are *included*; use
-        :meth:`Lambda.free_identifiers` to exclude them)."""
-        return frozenset(
-            node.name for node in self.walk() if isinstance(node, Identifier)
-        )
+        :meth:`Lambda.free_identifiers` to exclude them).
+
+        The set is computed once and cached on the node.
+        """
+        cached = getattr(self, "_idents", None)
+        if cached is None:
+            cached = self._compute_name_sets()[0]
+        return cached
+
+    def referenced_names(self) -> frozenset:
+        """Identifiers *plus* user-defined function names called
+        anywhere in this expression — exactly the names substitution
+        and the composition id mapping can touch.  Cached on the node;
+        the substitution fast path and the pattern cache both key off
+        this set."""
+        cached = getattr(self, "_names", None)
+        if cached is None:
+            cached = self._compute_name_sets()[1]
+        return cached
+
+    def _compute_name_sets(self) -> Tuple[frozenset, frozenset]:
+        idents = set()
+        user_ops = set()
+        for node in self.walk():
+            if type(node) is Identifier:
+                idents.add(node.name)
+            elif type(node) is Apply and node.op not in KNOWN_OPERATORS:
+                user_ops.add(node.op)
+        ident_set = frozenset(idents)
+        if user_ops:
+            name_set = frozenset(idents | user_ops)
+        else:
+            name_set = ident_set
+        object.__setattr__(self, "_idents", ident_set)
+        object.__setattr__(self, "_names", name_set)
+        return ident_set, name_set
+
+    def digest(self) -> str:
+        """The structural digest of this expression.
+
+        A short, process-independent content hash: two trees have the
+        same digest iff they are structurally equal (``==``), so the
+        digest serves as a hashable O(1) identity for indexes and
+        caches that would otherwise re-serialise the tree (the old
+        ``repr`` keys) or pin object ids.  Computed once per node and
+        cached; hash-consed subtrees share the cached value.
+
+        Stability: the digest is deterministic across processes and
+        machines for a given repo version (it hashes a canonical
+        serialisation, not ``id()``/``hash()``), which is what allows
+        digest-keyed artifacts to be spilled to disk and rehydrated by
+        other workers.  It is *not* guaranteed stable across releases
+        that change the serialisation — persisted artifact stores
+        version their format for exactly that reason.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            cached = self._compute_digest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def _compute_digest(self) -> str:
+        raise NotImplementedError
 
     def substitute(self, bindings: Mapping[str, "MathNode"]) -> "MathNode":
-        """Return a copy with identifiers replaced by expressions.
+        """Return this expression with identifiers replaced.
 
         ``bindings`` maps identifier names to replacement nodes.
         Identifiers not present in the mapping are left untouched.
+        When no binding touches the expression's referenced names the
+        *same* node object is returned — callers may rely on object
+        identity to detect "nothing changed".
         """
+        if not bindings or bindings.keys().isdisjoint(
+            self.referenced_names()
+        ):
+            return self
         return _substitute(self, bindings)
 
     def rename(self, mapping: Mapping[str, str]) -> "MathNode":
-        """Return a copy with identifiers renamed via ``mapping``.
+        """Return this expression with identifiers renamed.
 
         This is the operation the composition engine applies when a
         component from the second model is united with one from the
         first and every reference to it must follow ("add mapping" in
-        the paper's Figure 5).
+        the paper's Figure 5).  The mapping is restricted to the
+        names this expression actually references before any work
+        happens, so renames that cannot touch the expression —
+        including identity mappings — return the same object without
+        allocating.
         """
-        bindings = {old: Identifier(new) for old, new in mapping.items()}
+        if not mapping:
+            return self
+        names = self.referenced_names()
+        if len(mapping) > len(names):
+            items = [
+                (name, mapping[name]) for name in names if name in mapping
+            ]
+        else:
+            items = [
+                (old, new) for old, new in mapping.items() if old in names
+            ]
+        bindings = {
+            old: Identifier(new) for old, new in items if old != new
+        }
+        if not bindings:
+            return self
         return _substitute(self, bindings)
 
     def size(self) -> int:
@@ -176,8 +354,40 @@ class Number(MathNode):
     value: float
     units: Optional[str] = None
 
+    def __new__(cls, value, units: Optional[str] = None):
+        # Hash-cons finite literals.  The key uses ``hex()`` so that
+        # -0.0 and 0.0 stay distinct objects (they render differently)
+        # and NaN never interns (it is unequal even to itself, and
+        # sharing it would let tuple-identity shortcuts disagree with
+        # structural ``==``).
+        if _INTERN_ENABLED and cls is Number:
+            try:
+                numeric = float(value)
+            except (TypeError, ValueError):
+                return object.__new__(cls)
+            if numeric == numeric and numeric not in (
+                float("inf"), float("-inf"),
+            ):
+                key = (numeric.hex(), units)
+                cached = _NUMBER_INTERN.get(key)
+                if cached is not None:
+                    return cached
+                self = object.__new__(cls)
+                if len(_NUMBER_INTERN) < _INTERN_CAP:
+                    _NUMBER_INTERN[key] = self
+                return self
+        return object.__new__(cls)
+
     def __post_init__(self):
         object.__setattr__(self, "value", float(self.value))
+
+    def __reduce__(self):
+        # Route pickle/deepcopy through the constructor so copies
+        # re-intern and drop the (recomputable) cache slots.
+        return (Number, (self.value, self.units))
+
+    def _compute_digest(self) -> str:
+        return _hash_parts(b"N", repr(self.value), self.units or "")
 
     def is_integer(self) -> bool:
         """Whether the literal is a whole number (affects rendering)."""
@@ -190,6 +400,23 @@ class Identifier(MathNode):
 
     name: str
 
+    def __new__(cls, name):
+        if _INTERN_ENABLED and cls is Identifier and type(name) is str:
+            cached = _IDENTIFIER_INTERN.get(name)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            if len(_IDENTIFIER_INTERN) < _INTERN_CAP:
+                _IDENTIFIER_INTERN[name] = self
+            return self
+        return object.__new__(cls)
+
+    def __reduce__(self):
+        return (Identifier, (self.name,))
+
+    def _compute_digest(self) -> str:
+        return _hash_parts(b"I", self.name)
+
 
 @dataclass(frozen=True, slots=True)
 class Constant(MathNode):
@@ -197,9 +424,45 @@ class Constant(MathNode):
 
     name: str
 
+    def __new__(cls, name):
+        if _INTERN_ENABLED and cls is Constant and type(name) is str:
+            cached = _CONSTANT_INTERN.get(name)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            if name in CONSTANT_NAMES and len(_CONSTANT_INTERN) < _INTERN_CAP:
+                _CONSTANT_INTERN[name] = self
+            return self
+        return object.__new__(cls)
+
     def __post_init__(self):
         if self.name not in CONSTANT_NAMES:
             raise ValueError(f"unknown MathML constant: {self.name!r}")
+
+    def __reduce__(self):
+        return (Constant, (self.name,))
+
+    def _compute_digest(self) -> str:
+        return _hash_parts(b"C", self.name)
+
+
+def _is_interned_leaf(node) -> bool:
+    """Whether ``node`` is the interned instance for its content —
+    the precondition for :class:`Apply` interning: a digest-key hit
+    then guarantees the constructor was handed the *same* child
+    objects the cached node already holds, so the re-run ``__init__``
+    cannot change anything."""
+    node_type = type(node)
+    if node_type is Identifier:
+        return _IDENTIFIER_INTERN.get(node.name) is node
+    if node_type is Constant:
+        return _CONSTANT_INTERN.get(node.name) is node
+    if node_type is Number:
+        value = node.value
+        if value != value or value in (float("inf"), float("-inf")):
+            return False
+        return _NUMBER_INTERN.get((value.hex(), node.units)) is node
+    return False
 
 
 @dataclass(frozen=True, slots=True)
@@ -214,9 +477,46 @@ class Apply(MathNode):
     op: str
     args: Tuple[MathNode, ...]
 
+    def __new__(cls, op, args):
+        # Hash-cons small, flat applications — the ``k*A`` shapes that
+        # dominate kinetic laws.  The key uses the children's
+        # *digests*, not the child objects: Number equality follows
+        # float ``==`` (where -0.0 == 0.0), so object-keyed lookups
+        # would conflate applies whose literals render differently —
+        # and the re-run ``__init__`` would then overwrite the shared
+        # node's args in place.  Digests distinguish exactly as the
+        # writer does.  Only all-*interned*-leaf argument tuples
+        # participate: an interned child guarantees the constructor
+        # hands back the same object on a key hit, so the ``__init__``
+        # re-run rewrites the cached node with identical objects
+        # (NaN literals never intern, which also keeps self-unequal
+        # trees out of the table).
+        if _INTERN_ENABLED and cls is Apply:
+            args = tuple(args)
+            if len(args) <= _APPLY_INTERN_MAX_ARGS and all(
+                _is_interned_leaf(arg) for arg in args
+            ):
+                key = (op, tuple(arg.digest() for arg in args))
+                cached = _APPLY_INTERN.get(key)
+                if cached is not None:
+                    return cached
+                self = object.__new__(cls)
+                if len(_APPLY_INTERN) < _INTERN_CAP:
+                    _APPLY_INTERN[key] = self
+                return self
+        return object.__new__(cls)
+
     def __init__(self, op: str, args):
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "args", tuple(args))
+
+    def __reduce__(self):
+        return (Apply, (self.op, self.args))
+
+    def _compute_digest(self) -> str:
+        return _hash_parts(
+            b"A", self.op, *(arg.digest() for arg in self.args)
+        )
 
     def children(self) -> Tuple[MathNode, ...]:
         return self.args
@@ -243,6 +543,14 @@ class Lambda(MathNode):
     def __init__(self, params, body: MathNode):
         object.__setattr__(self, "params", tuple(params))
         object.__setattr__(self, "body", body)
+
+    def __reduce__(self):
+        return (Lambda, (self.params, self.body))
+
+    def _compute_digest(self) -> str:
+        return _hash_parts(
+            b"L", str(len(self.params)), *self.params, self.body.digest()
+        )
 
     def children(self) -> Tuple[MathNode, ...]:
         return (self.body,)
@@ -282,6 +590,18 @@ class Piecewise(MathNode):
         )
         object.__setattr__(self, "otherwise", otherwise)
 
+    def __reduce__(self):
+        return (Piecewise, (self.pieces, self.otherwise))
+
+    def _compute_digest(self) -> str:
+        parts = [str(len(self.pieces))]
+        for value, cond in self.pieces:
+            parts.append(value.digest())
+            parts.append(cond.digest())
+        if self.otherwise is not None:
+            parts.append(self.otherwise.digest())
+        return _hash_parts(b"P", *parts)
+
     def children(self) -> Tuple[MathNode, ...]:
         kids = []
         for value, cond in self.pieces:
@@ -294,9 +614,17 @@ class Piecewise(MathNode):
 
 def _substitute(node: MathNode, bindings: Mapping[str, MathNode]) -> MathNode:
     """Structural substitution used by both ``substitute`` and
-    ``rename``; respects lambda parameter shadowing."""
+    ``rename``; respects lambda parameter shadowing.
+
+    Copy-free: any subtree whose referenced names are disjoint from
+    the bindings is returned as the *same* object, so substitutions
+    that touch nothing (the bulk of composition-time renames) neither
+    traverse nor reallocate untouched branches.
+    """
     if isinstance(node, Identifier):
         return bindings.get(node.name, node)
+    if bindings.keys().isdisjoint(node.referenced_names()):
+        return node
     if isinstance(node, Apply):
         new_args = tuple(_substitute(arg, bindings) for arg in node.args)
         # A call to a user function may itself be renamed when the

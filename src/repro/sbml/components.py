@@ -55,6 +55,21 @@ def _copy_annotations(annotations: Dict[str, List[str]]) -> Dict[str, List[str]]
     return {qualifier: list(uris) for qualifier, uris in annotations.items()}
 
 
+def _dict_copy(instance, cls):
+    """Duplicate a component by copying its ``__dict__`` wholesale.
+
+    Component copying is the composition engine's per-merge constant
+    cost (every adopted component is copied before mutation), and the
+    dataclass ``__init__`` keyword path pays attribute-by-attribute
+    setup per copy.  A C-speed dict copy replaces it; callers fix up
+    the mutable fields (lists, annotations, engine-attached caches)
+    afterwards.
+    """
+    new = object.__new__(cls)
+    new.__dict__ = dict(instance.__dict__)
+    return new
+
+
 @dataclass
 class SBase:
     """Attributes shared by every SBML component."""
@@ -166,18 +181,12 @@ class Species(SBase):
         return self.initial_concentration
 
     def copy(self) -> "Species":
-        return Species(
-            compartment=self.compartment,
-            initial_amount=self.initial_amount,
-            initial_concentration=self.initial_concentration,
-            substance_units=self.substance_units,
-            has_only_substance_units=self.has_only_substance_units,
-            boundary_condition=self.boundary_condition,
-            constant=self.constant,
-            species_type=self.species_type,
-            charge=self.charge,
-            **self._base_copy_kwargs(),
-        )
+        new = _dict_copy(self, Species)
+        # Engine-attached key cache must not follow a copy made to be
+        # mutated.
+        new.__dict__.pop("_keys_cache", None)
+        new.annotations = _copy_annotations(self.annotations)
+        return new
 
 
 @dataclass
@@ -189,12 +198,9 @@ class Parameter(SBase):
     constant: bool = True
 
     def copy(self) -> "Parameter":
-        return Parameter(
-            value=self.value,
-            units=self.units,
-            constant=self.constant,
-            **self._base_copy_kwargs(),
-        )
+        new = _dict_copy(self, Parameter)
+        new.annotations = _copy_annotations(self.annotations)
+        return new
 
 
 @dataclass
@@ -292,7 +298,10 @@ class SpeciesReference:
     stoichiometry: float = 1.0
 
     def copy(self) -> "SpeciesReference":
-        return SpeciesReference(self.species, self.stoichiometry)
+        new = object.__new__(SpeciesReference)
+        new.species = self.species
+        new.stoichiometry = self.stoichiometry
+        return new
 
 
 @dataclass
@@ -302,7 +311,9 @@ class ModifierSpeciesReference:
     species: str
 
     def copy(self) -> "ModifierSpeciesReference":
-        return ModifierSpeciesReference(self.species)
+        new = object.__new__(ModifierSpeciesReference)
+        new.species = self.species
+        return new
 
 
 @dataclass
@@ -316,11 +327,10 @@ class KineticLaw(SBase):
         return [parameter.id for parameter in self.parameters if parameter.id]
 
     def copy(self) -> "KineticLaw":
-        return KineticLaw(
-            math=self.math,
-            parameters=[parameter.copy() for parameter in self.parameters],
-            **self._base_copy_kwargs(),
-        )
+        new = _dict_copy(self, KineticLaw)
+        new.parameters = [parameter.copy() for parameter in self.parameters]
+        new.annotations = _copy_annotations(self.annotations)
+        return new
 
 
 @dataclass
@@ -353,18 +363,35 @@ class Reaction(SBase):
             return pairs
         return 1 if (self.reactants or self.products) else 0
 
+    def copy_shallow(self) -> "Reaction":
+        """Copy the reaction container but share the participant and
+        local-parameter objects (fresh lists, shared elements).  Only
+        safe when the copy's owner upholds copy-on-write discipline —
+        see :func:`repro.core.compose._rewrite_reaction`."""
+        new = _dict_copy(self, Reaction)
+        new.__dict__.pop("_unmapped_signature", None)
+        new.reactants = list(self.reactants)
+        new.products = list(self.products)
+        new.modifiers = list(self.modifiers)
+        if self.kinetic_law is not None:
+            law = _dict_copy(self.kinetic_law, KineticLaw)
+            law.parameters = list(self.kinetic_law.parameters)
+            new.kinetic_law = law
+        return new
+
     def copy(self) -> "Reaction":
-        return Reaction(
-            reactants=[reference.copy() for reference in self.reactants],
-            products=[reference.copy() for reference in self.products],
-            modifiers=[reference.copy() for reference in self.modifiers],
-            kinetic_law=(
-                self.kinetic_law.copy() if self.kinetic_law else None
-            ),
-            reversible=self.reversible,
-            fast=self.fast,
-            **self._base_copy_kwargs(),
-        )
+        new = _dict_copy(self, Reaction)
+        # The composition engine caches the unmapped signature on the
+        # object; a copy is made precisely to be mutated, so it must
+        # start without one.
+        new.__dict__.pop("_unmapped_signature", None)
+        new.reactants = [reference.copy() for reference in self.reactants]
+        new.products = [reference.copy() for reference in self.products]
+        new.modifiers = [reference.copy() for reference in self.modifiers]
+        if self.kinetic_law is not None:
+            new.kinetic_law = self.kinetic_law.copy()
+        new.annotations = _copy_annotations(self.annotations)
+        return new
 
 
 @dataclass

@@ -283,6 +283,35 @@ class Model(SBase):
         duplicate.events = [c.copy() for c in self.events]
         return duplicate
 
+    def copy_shallow(self) -> "Model":
+        """Copy the model container but *share* the component objects.
+
+        The component lists are fresh (appending to the copy never
+        touches the original), but the components themselves are the
+        original's.  This is only safe under the composition engine's
+        write discipline — pre-existing target components are never
+        mutated by a merge, only freshly adopted copies are — and only
+        when the result is disposable: the all-pairs engine composes
+        ``n²/2`` pairs whose merged models are discarded on the spot,
+        and a deep target copy per pair was its single largest
+        constant cost.  Use :meth:`copy` anywhere the result outlives
+        the merge or may be mutated by the caller.
+        """
+        duplicate = Model(**self._base_copy_kwargs())
+        duplicate.function_definitions = list(self.function_definitions)
+        duplicate.unit_definitions = list(self.unit_definitions)
+        duplicate.compartment_types = list(self.compartment_types)
+        duplicate.species_types = list(self.species_types)
+        duplicate.compartments = list(self.compartments)
+        duplicate.species = list(self.species)
+        duplicate.parameters = list(self.parameters)
+        duplicate.initial_assignments = list(self.initial_assignments)
+        duplicate.rules = list(self.rules)
+        duplicate.constraints = list(self.constraints)
+        duplicate.reactions = list(self.reactions)
+        duplicate.events = list(self.events)
+        return duplicate
+
     def all_math(self) -> Iterator[MathNode]:
         """Yield every math expression in the model (for analyses)."""
         for fd in self.function_definitions:

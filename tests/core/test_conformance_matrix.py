@@ -21,7 +21,10 @@ Equality strength per path:
   backends (scheduling must not leak into the record), and pairwise
   between the legacy shim chain and the session fold;
 * the sharded sweep — the union of any shard layout equals the
-  unsharded sweep on every run-invariant field.
+  unsharded sweep on every run-invariant field, both when the
+  per-model artifacts (including the pattern tables that seed the
+  engine's PatternCache) are computed fresh and when they rehydrate
+  from a populated artifact store.
 """
 
 import warnings
@@ -205,5 +208,23 @@ def test_sharded_sweep_conformance(
     ]
     merged = MatchMatrix.union(parts)
     assert [o.key() for o in merged.outcomes] == [
+        o.key() for o in reference.outcomes
+    ]
+    # Second pass over the now-populated store: every per-model
+    # artifact — including the canonical pattern tables that seed the
+    # pair engine's PatternCache — rehydrates from disk instead of
+    # being computed, and the outcomes must not move.
+    rehydrated = [
+        match_all_sharded(
+            models,
+            shards=shards,
+            shard_id=shard_id,
+            workers=workers,
+            backend=backend,
+            store=tmp_path / "artifacts",
+        )
+        for shard_id in range(shards)
+    ]
+    assert [o.key() for o in MatchMatrix.union(rehydrated).outcomes] == [
         o.key() for o in reference.outcomes
     ]

@@ -262,3 +262,72 @@ def test_strict_merge_conflict(tmp_path):
     write_sbml_file(a, pa)
     write_sbml_file(b, pb)
     assert main(["merge", str(pa), str(pb), "--strict"]) == 2
+
+
+def test_sweep_status_progression(three_model_files, tmp_path, capsys):
+    """sweep-status reads the journal only: partial sweep → exit 1
+    with pending shards listed, complete sweep → exit 0."""
+    path_a, path_b, path_c = three_model_files
+    out_dir = tmp_path / "sweepdir"
+    assert main([
+        "sweep", str(path_a), str(path_b), str(path_c),
+        "--shards", "2", "--shard-id", "0", "--out-dir", str(out_dir),
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["sweep-status", "--out-dir", str(out_dir)]) == 1
+    out = capsys.readouterr().out
+    assert "1/2 shard(s) complete" in out
+    assert "shard 0: complete" in out
+    assert "shard 1: pending" in out
+
+    assert main([
+        "sweep", str(path_a), str(path_b), str(path_c),
+        "--shards", "2", "--shard-id", "1", "--out-dir", str(out_dir),
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["sweep-status", "--out-dir", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 shard(s) complete" in out
+    assert "pending" not in out
+
+
+def test_sweep_status_does_not_touch_journal(three_model_files, tmp_path, capsys):
+    path_a, path_b, path_c = three_model_files
+    out_dir = tmp_path / "sweepdir"
+    assert main([
+        "sweep", str(path_a), str(path_b), str(path_c),
+        "--shards", "2", "--out-dir", str(out_dir),
+    ]) == 0
+    journal = (out_dir / "checkpoint.json").read_bytes()
+    assert main(["sweep-status", "--out-dir", str(out_dir)]) == 0
+    assert (out_dir / "checkpoint.json").read_bytes() == journal
+
+
+def test_sweep_status_missing_journal(tmp_path, capsys):
+    assert main(["sweep-status", "--out-dir", str(tmp_path / "nope")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_sweep_store_max_entries(three_model_files, tmp_path, capsys):
+    path_a, path_b, path_c = three_model_files
+    out_dir = tmp_path / "sweepdir"
+    assert main([
+        "sweep", str(path_a), str(path_b), str(path_c),
+        "--shards", "2", "--out-dir", str(out_dir),
+        "--store-max-entries", "1",
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "evicted 2 artifact store entries" in err
+    from repro.core.artifact_store import ArtifactStore
+    assert len(ArtifactStore(out_dir / "artifacts")) == 1
+
+
+def test_sweep_store_max_entries_needs_out_dir(three_model_files, capsys):
+    path_a, path_b, path_c = three_model_files
+    assert main([
+        "sweep", str(path_a), str(path_b), str(path_c),
+        "--store-max-entries", "1",
+    ]) == 2
+    assert "--out-dir" in capsys.readouterr().err
