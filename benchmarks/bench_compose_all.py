@@ -193,16 +193,24 @@ def bench_compose_all_speedup(benchmark):
 # ---------------------------------------------------------------------------
 
 
-def _allpairs_numbers(seed: int, stride: int, workers: int) -> dict:
+def _allpairs_numbers(
+    seed: int, stride: int, workers: int, rounds: int = 3
+) -> dict:
     """The batched all-pairs sweep on the subsampled corpus.
 
     Single-worker by default: that is the tracked configuration (the
     regression gate compares it across PRs), because worker fan-out
     measures the machine where the engine's own speed is what the
-    repo optimises.
+    repo optimises.  Best-of-``rounds``, matching the strategy rows —
+    a single sweep right after the process-pool benchmarks measured
+    pool teardown noise as engine regressions.
     """
     corpus = corpus_by_size(generate_corpus(seed=seed))[::stride]
     matrix = match_all(corpus, workers=workers)
+    for _ in range(max(0, rounds - 1)):
+        candidate = match_all(corpus, workers=workers)
+        if candidate.seconds < matrix.seconds:
+            matrix = candidate
     return {
         "engine": "match_all",
         "models": matrix.model_count,
@@ -291,6 +299,14 @@ def main(argv=None) -> int:
              "single-worker number is the tracked/gated configuration)",
     )
     parser.add_argument(
+        "--allpairs-rounds", type=int, default=3,
+        help="best-of rounds for the all-pairs section (default 3: "
+             "the tracked/gated number needs noise immunity — a "
+             "single sweep right after the process-pool benchmarks "
+             "measures pool teardown, not the engine); independent "
+             "of --rounds, which drives the strategy rows",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="CI mode: run everything, fail on crash, skip the "
              "timing acceptance bar",
@@ -321,7 +337,9 @@ def main(argv=None) -> int:
     )
 
     baseline = _read_committed_baseline()
-    allpairs = _allpairs_numbers(args.seed, args.stride, args.workers)
+    allpairs = _allpairs_numbers(
+        args.seed, args.stride, args.workers, rounds=args.allpairs_rounds
+    )
     print(
         f"\nall-pairs (batched match_all engine): "
         f"{allpairs['pairs']} pairs over {allpairs['models']} models "

@@ -172,6 +172,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "(refuses to resume onto a different corpus or layout)",
     )
     sweep.add_argument(
+        "--fresh-indexes", action="store_true",
+        help="rebuild the target-side phase indexes on every pair "
+             "instead of reusing the per-model index artifacts (the "
+             "ablation/differential reference; outcomes are identical "
+             "either way)",
+    )
+    sweep.add_argument(
         "--store-max-entries", type=int, default=None, metavar="N",
         help="after the run, evict the least-recently-used artifact "
              "store entries beyond N (the store grows one entry per "
@@ -322,6 +329,7 @@ def _cmd_sweep_sharded(args, models, options) -> int:
             backend=args.backend,
             include_self=not args.no_self,
             store=store,
+            prebuilt_indexes=not args.fresh_indexes,
         )
         name = _shard_file(shard_id, args.shards)
         write_outcomes_csv(args.out_dir / name, matrix.outcomes)
@@ -391,6 +399,7 @@ def _cmd_sweep(args) -> int:
         workers=args.workers,
         backend=args.backend,
         include_self=not args.no_self,
+        prebuilt_indexes=not args.fresh_indexes,
     )
     if args.output is not None:
         write_outcomes_csv(

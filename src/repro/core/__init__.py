@@ -34,7 +34,14 @@ from repro.core.artifact_store import (
     corpus_fingerprint,
     model_digest,
 )
-from repro.core.compose import AccumState, Composer, compose
+from repro.core.compose import (
+    AccumState,
+    BoundIndexSet,
+    Composer,
+    ModelIndexSet,
+    compose,
+    index_options_key,
+)
 from repro.core.match_all import (
     MatchMatrix,
     PairOutcome,
@@ -47,6 +54,7 @@ from repro.core.index import (
     ComponentIndex,
     HashIndex,
     LinearIndex,
+    OverlayIndex,
     SortedKeyIndex,
     make_index,
 )
@@ -138,8 +146,12 @@ __all__ = [
     "ComponentIndex",
     "HashIndex",
     "LinearIndex",
+    "OverlayIndex",
     "SortedKeyIndex",
     "make_index",
+    "ModelIndexSet",
+    "BoundIndexSet",
+    "index_options_key",
     "SEMANTICS_HEAVY",
     "SEMANTICS_LIGHT",
     "SEMANTICS_NONE",

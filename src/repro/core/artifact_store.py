@@ -30,8 +30,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Set, Union
 
-from repro.core.compose import _collect_initial_values
-from repro.core.pattern_cache import model_pattern_table
+from repro.core.compose import ModelIndexSet, _collect_initial_values
+from repro.core.pattern_cache import PatternCache, model_pattern_table
 from repro.sbml.model import Model
 from repro.sbml.writer import write_sbml
 from repro.units.registry import UnitRegistry
@@ -44,10 +44,18 @@ __all__ = [
     "compute_artifacts",
 ]
 
-#: Bump when the pickled artifact layout changes; older entries then
-#: read as misses and are recomputed instead of mis-deserialised.
-#: Format 2 added the per-model canonical pattern table.
-_FORMAT = 2
+#: Bump when the pickled artifact layout changes *incompatibly*;
+#: unreadable entries then read as misses and are recomputed instead
+#: of mis-deserialised.  Format 2 added the per-model canonical
+#: pattern table.  Format 3 added the per-model phase-index rows
+#: (:class:`~repro.core.compose.ModelIndexSet`) — a pure addition, so
+#: format-2 entries still rehydrate (their missing index table is
+#: computed lazily by consumers) instead of being treated as corrupt.
+_FORMAT = 3
+
+#: Older formats the reader still accepts (fields added since are
+#: normalised to "absent, compute lazily").
+_COMPATIBLE_FORMATS = frozenset((2, _FORMAT))
 
 
 def model_digest(model: Model) -> str:
@@ -101,9 +109,20 @@ class ModelArtifacts:
     initial: Dict[str, float]
     #: expression digest -> canonical pattern (empty restriction).
     patterns: Dict[str, str] = field(default_factory=dict)
+    #: Per-model phase-index rows (store format 3), or ``None`` for
+    #: entries rehydrated from a format-2 store — consumers compute
+    #: the set lazily then.  Tagged with the key-affecting options it
+    #: was built under; consumers must check
+    #: :meth:`~repro.core.compose.ModelIndexSet.matches` and rebuild
+    #: locally on a mismatch.
+    indexes: Optional[ModelIndexSet] = None
 
 
-def compute_artifacts(model: Model, with_patterns: bool = True) -> ModelArtifacts:
+def compute_artifacts(
+    model: Model,
+    with_patterns: bool = True,
+    with_indexes: bool = True,
+) -> ModelArtifacts:
     """Derive a model's artifacts from scratch (the store's miss path,
     and the single source of truth for what gets spilled).
 
@@ -111,16 +130,47 @@ def compute_artifacts(model: Model, with_patterns: bool = True) -> ModelArtifact
     callers whose options can never consult patterns (light/structural
     semantics) and who are not spilling to a shared store (a stored
     entry should stay complete, since other runs with other semantics
-    rehydrate it)."""
+    rehydrate it).  ``with_indexes=False`` likewise skips the
+    phase-index rows, which are computed under the paper-default heavy
+    options (the fingerprint travels with them; a consumer running
+    other semantics rebuilds in memory)."""
     used_ids = set(model.global_ids()) | {
         ud.id for ud in model.unit_definitions if ud.id
     }
+    patterns = model_pattern_table(model) if with_patterns else {}
+    indexes = None
+    if with_indexes:
+        # Route the index build's math keys through a cache seeded
+        # with the pattern table just computed, so each expression's
+        # pattern is derived exactly once per model.
+        cache = PatternCache()
+        if patterns:
+            cache.seed(patterns)
+        indexes = ModelIndexSet.build(
+            model, _artifact_options(), pattern_cache=cache
+        )
     return ModelArtifacts(
         used_ids=used_ids,
         registry=model.unit_registry(),
         initial=_collect_initial_values(model),
-        patterns=model_pattern_table(model) if with_patterns else {},
+        patterns=patterns,
+        indexes=indexes,
     )
+
+
+#: Options the stored index rows are computed under — the paper
+#: default, which is what sweeps overwhelmingly run.  Built lazily
+#: (constructing options builds the synonym table) and shared.
+_ARTIFACT_OPTIONS = None
+
+
+def _artifact_options():
+    global _ARTIFACT_OPTIONS
+    if _ARTIFACT_OPTIONS is None:
+        from repro.core.options import ComposeOptions
+
+        _ARTIFACT_OPTIONS = ComposeOptions()
+    return _ARTIFACT_OPTIONS
 
 
 class ArtifactStore:
@@ -152,9 +202,14 @@ class ArtifactStore:
             return None
         try:
             payload = pickle.loads(data)
-            if payload["format"] != _FORMAT:
+            if payload["format"] not in _COMPATIBLE_FORMATS:
                 return None
             artifacts = payload["artifacts"]
+            if getattr(artifacts, "indexes", None) is None:
+                # Format-2 entry (pre-index-artifact layout): a valid
+                # hit, not a corrupt entry — the index rows are simply
+                # absent and consumers compute them lazily.
+                artifacts.indexes = None
         except Exception:
             return None
         # Refresh the entry's mtime so :meth:`evict`'s LRU ordering

@@ -31,7 +31,7 @@ import threading
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import ConflictError, MathError
 from repro.mathml.ast import Apply, Identifier, Lambda, MathNode, Number
@@ -42,7 +42,7 @@ from repro.core.conflicts import (
     compare_values,
     reconcile_rate_constants,
 )
-from repro.core.index import make_index
+from repro.core.index import ComponentIndex, OverlayIndex, make_index
 from repro.core.mapping import IdMapping
 from repro.core.options import CONFLICTS_ERROR, ComposeOptions
 from repro.core.pattern_cache import PatternCache
@@ -61,7 +61,14 @@ from repro.sbml.model import Model
 from repro.units.definitions import UnitDefinition
 from repro.units.registry import UnitRegistry
 
-__all__ = ["compose", "Composer", "AccumState"]
+__all__ = [
+    "compose",
+    "Composer",
+    "AccumState",
+    "ModelIndexSet",
+    "BoundIndexSet",
+    "index_options_key",
+]
 
 #: Set after the legacy :func:`compose` shim has warned once; tests
 #: reset it to observe the warning deterministically.  Guarded by
@@ -214,6 +221,9 @@ class Composer:
         source_state: Optional[AccumState] = None,
         carry_state: bool = True,
         ephemeral: bool = False,
+        target_indexes: Optional[
+            Union["ModelIndexSet", "BoundIndexSet"]
+        ] = None,
     ) -> Tuple[Model, MergeReport, Optional[AccumState]]:
         """One plan-executor merge step, with carried accumulator state.
 
@@ -238,6 +248,19 @@ class Composer:
           (copy-on-write).  Never set it when the composed model is
           handed to a caller — a caller mutating shared participants
           would corrupt the input model.
+        * ``target_indexes`` supplies ``first``'s prebuilt phase-index
+          artifact (:class:`ModelIndexSet`): phases then probe a
+          copy-on-write :class:`~repro.core.index.OverlayIndex` over
+          the shared frozen base instead of rebuilding the target side
+          of the index from scratch.  Pass the unbound
+          :class:`ModelIndexSet` and the step binds it to the actual
+          target (also across an internal ``copy_target`` deep copy);
+          pass a prebound :class:`BoundIndexSet` only when the target
+          as this step sees it *shares component objects* with the
+          model the set was bound to (the all-pairs engine's shallow
+          copies).  Sets built under different key-affecting options
+          are ignored, and phases whose fresh keys would depend on a
+          non-empty id mapping fall back to the fresh build.
 
         Returns ``(model, report, state)`` where ``state`` is the
         updated :class:`AccumState` for the returned model, or ``None``
@@ -263,6 +286,17 @@ class Composer:
             # Derived artifacts reference the original's component
             # objects; they are not carried across a copy.
             target_state = None
+        indexes: Optional[BoundIndexSet] = None
+        if target_indexes is not None:
+            if isinstance(target_indexes, ModelIndexSet):
+                # Unbound rows: bind to the target actually merged
+                # into (valid across the deep copy above — a copy
+                # preserves component-list order, which is all the
+                # rows reference).
+                if target_indexes.matches(self.options):
+                    indexes = target_indexes.bind(target, self.options)
+            else:
+                indexes = target_indexes
         # An un-owned source is never mutated: every phase copies a
         # component before touching it, so reading `second` directly is
         # safe and skips a full model copy.  An owned source's
@@ -306,6 +340,7 @@ class Composer:
             pattern_cache=self._cache,
             source_owned=source_owned,
             ephemeral=ephemeral,
+            indexes=indexes,
         )
 
         # Figure 4 phase order, each phase timed into report.timings.
@@ -378,6 +413,7 @@ class _MergeState:
         pattern_cache: Optional[PatternCache] = None,
         source_owned: bool = False,
         ephemeral: bool = False,
+        indexes: Optional["BoundIndexSet"] = None,
     ):
         self.target = target
         self.source = source
@@ -391,6 +427,7 @@ class _MergeState:
         self._pattern_cache = pattern_cache
         self.source_owned = source_owned
         self.ephemeral = ephemeral
+        self.indexes = indexes
         # Ids claimed for components *added* by this merge (as opposed
         # to united into existing target components) — the carried
         # initial-value env absorbs source values for these only.
@@ -408,6 +445,69 @@ class _MergeState:
         discarded (move semantics — no copy), a copy otherwise (input
         models are never mutated)."""
         return component if self.source_owned else component.copy()
+
+    def adopt_ephemeral(self, component) -> Tuple[object, bool]:
+        """Adopt for a phase that would only mutate the duplicate
+        through reference fixups and :meth:`claim_id`.
+
+        Returns ``(component, shared)``.  In an ephemeral merge with
+        an empty mapping table and no id collision, this merge
+        provably never writes the adopted object — every reference
+        resolve is the identity and ``claim_id`` takes its no-rename,
+        no-rewrite branch — so the source's own object is *shared*
+        into the disposable composed model (``shared=True``; the
+        caller must skip its reference fixups, which would be
+        same-value writes on a shared input component).  Everything
+        else falls back to :meth:`adopt`'s copy/move semantics.
+        """
+        if self.can_share_source(component.id):
+            return component, True
+        return self.adopt(component), False
+
+    def can_share_source(self, component_id: Optional[str]) -> bool:
+        """Whether a source component with ``component_id`` can be
+        shared (not copied) into the composed model: the merge is
+        ephemeral, the source is not an owned intermediate (whose
+        adopted components are rewritten in place), the mapping table
+        is empty (every resolve is the identity) and the id cannot
+        collide (so :meth:`claim_id` never renames).  The single
+        predicate behind every share-on-no-mutation fast path — keep
+        new mutation sources reflected here, not at call sites.
+        """
+        return (
+            self.ephemeral
+            and not self.source_owned
+            and not self.mapping._table
+            and (component_id is None or component_id not in self.used_ids)
+        )
+
+    def phase_index(self, name: str) -> ComponentIndex:
+        """The Figure 5 lookup index for one phase's target side.
+
+        With a prebuilt :class:`BoundIndexSet` attached, returns a
+        copy-on-write :class:`~repro.core.index.OverlayIndex` over the
+        shared frozen base — inserts made while merging this phase's
+        source components land in the overlay's private delta, never
+        in the base another pair may be reading.  The base is only
+        valid when its (empty-mapping) keys equal what a fresh build
+        would produce *right now*: always true for the phases whose
+        target keys never consult the mapping, and true for the rest
+        exactly while the mapping table is empty (every recorded entry
+        is non-identity by construction, so an empty table means every
+        resolve is the identity and every math restriction is empty).
+        Otherwise — or with no artifact attached — the index is built
+        fresh from the live target, exactly as every merge used to.
+        """
+        bound = self.indexes
+        if bound is not None and (
+            name in _MAPPING_FREE_PHASES or not self.mapping._table
+        ):
+            return OverlayIndex(bound.for_phase(name), self.options.index)
+        index = make_index(self.options.index)
+        components = getattr(self.target, _PHASE_LISTS[name])
+        for position, keys in _ROW_BUILDERS[name](self, self.target):
+            index.add(keys, components[position])
+        return index
 
     def _flat(self) -> Dict[str, str]:
         """The chain-resolved mapping (cached per version by
@@ -601,13 +701,18 @@ def _try_evaluate(
 # ---------------------------------------------------------------------------
 
 
-def _compose_function_definitions(state: _MergeState) -> None:
-    index = make_index(state.options.index)
-    for fd in state.target.function_definitions:
+def _rows_function_definitions(
+    state: "_MergeState", model: Model
+) -> Iterator[Tuple[int, Tuple[str, ...]]]:
+    for position, fd in enumerate(model.function_definitions):
         keys = [f"id:{fd.id}"]
         if fd.math is not None:
             keys.append(state.math_key(fd.math))
-        index.add(keys, fd)
+        yield position, tuple(keys)
+
+
+def _compose_function_definitions(state: _MergeState) -> None:
+    index = state.phase_index("functionDefinitions")
     for fd in state.source.function_definitions:
         keys = [f"id:{state.resolve_ref(fd.id)}"]
         if fd.math is not None:
@@ -616,8 +721,9 @@ def _compose_function_definitions(state: _MergeState) -> None:
         if match is not None and state.math_equal(match.math, fd.math):
             state.unite("functionDefinition", match.id, fd.id)
             continue
-        new_fd = state.adopt(fd)
-        new_fd.math = _rewrite_lambda(state, new_fd.math)
+        new_fd, shared = state.adopt_ephemeral(fd)
+        if not shared:
+            new_fd.math = _rewrite_lambda(state, new_fd.math)
         state.claim_id(new_fd, "functionDefinition")
         state.target.add_function_definition(new_fd)
         state.report.count_added("functionDefinition")
@@ -641,17 +747,22 @@ def _unit_key(definition: UnitDefinition) -> str:
     return f"unit:{canonical.factor:.12e}:{canonical.dims}"
 
 
+def _rows_unit_definitions(
+    state: "_MergeState", model: Model
+) -> Iterator[Tuple[int, Tuple[str, ...]]]:
+    for position, ud in enumerate(model.unit_definitions):
+        yield position, (f"id:{ud.id}", _unit_key(ud))
+
+
 def _compose_unit_definitions(state: _MergeState) -> None:
-    index = make_index(state.options.index)
-    for ud in state.target.unit_definitions:
-        index.add([f"id:{ud.id}", _unit_key(ud)], ud)
+    index = state.phase_index("unitDefinitions")
     for ud in state.source.unit_definitions:
         keys = [f"id:{state.resolve_ref(ud.id)}", _unit_key(ud)]
         match = index.find(keys) if state.options.match_anything else None
         if match is not None and match.same_unit(ud):
             state.unite("unitDefinition", match.id, ud.id)
             continue
-        new_ud = state.adopt(ud)
+        new_ud, _ = state.adopt_ephemeral(ud)
         _claim_unit_id(state, new_ud)
         state.target.add_unit_definition(new_ud)
         state.report.count_added("unitDefinition")
@@ -670,7 +781,7 @@ def _claim_unit_id(state: _MergeState, definition: UnitDefinition) -> None:
         state.report.rename(definition.id, fresh)
         state.mapping.add(definition.id, fresh)
         definition.id = fresh
-    else:
+    elif current != definition.id:
         definition.id = current
     state.used_ids.add(definition.id)
     state.added_ids.add(definition.id)
@@ -681,17 +792,40 @@ def _claim_unit_id(state: _MergeState, definition: UnitDefinition) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _compose_simple_named(state: _MergeState, kind: str, target_list, source_list, adder):
-    index = make_index(state.options.index)
-    for component in target_list:
-        index.add(state.keys_for(component), component)
+def _rows_keys_for(
+    state: "_MergeState", components
+) -> Iterator[Tuple[int, Tuple[str, ...]]]:
+    """Index rows for any phase keyed by :meth:`_MergeState.keys_for`
+    (compartment types, species types, compartments, parameters)."""
+    for position, component in enumerate(components):
+        yield position, tuple(state.keys_for(component))
+
+
+def _rows_compartment_types(state, model):
+    return _rows_keys_for(state, model.compartment_types)
+
+
+def _rows_species_types(state, model):
+    return _rows_keys_for(state, model.species_types)
+
+
+def _rows_compartments(state, model):
+    return _rows_keys_for(state, model.compartments)
+
+
+def _rows_parameters(state, model):
+    return _rows_keys_for(state, model.parameters)
+
+
+def _compose_simple_named(state: _MergeState, kind: str, phase: str, source_list, adder):
+    index = state.phase_index(phase)
     for component in source_list:
         keys = state.keys_for(component)
         match = index.find(keys) if state.options.match_anything else None
         if match is not None:
             state.unite(kind, match.id, component.id)
             continue
-        duplicate = state.adopt(component)
+        duplicate, _ = state.adopt_ephemeral(component)
         state.claim_id(duplicate, kind)
         adder(duplicate)
         state.report.count_added(kind)
@@ -701,7 +835,7 @@ def _compose_compartment_types(state: _MergeState) -> None:
     _compose_simple_named(
         state,
         "compartmentType",
-        state.target.compartment_types,
+        "compartmentTypes",
         state.source.compartment_types,
         state.target.add_compartment_type,
     )
@@ -711,7 +845,7 @@ def _compose_species_types(state: _MergeState) -> None:
     _compose_simple_named(
         state,
         "speciesType",
-        state.target.species_types,
+        "speciesTypes",
         state.source.species_types,
         state.target.add_species_type,
     )
@@ -723,9 +857,7 @@ def _compose_species_types(state: _MergeState) -> None:
 
 
 def _compose_compartments(state: _MergeState) -> None:
-    index = make_index(state.options.index)
-    for compartment in state.target.compartments:
-        index.add(state.keys_for(compartment), compartment)
+    index = state.phase_index("compartments")
     for compartment in state.source.compartments:
         keys = state.keys_for(compartment)
         match = index.find(keys) if state.options.match_anything else None
@@ -733,10 +865,13 @@ def _compose_compartments(state: _MergeState) -> None:
             state.unite("compartment", match.id, compartment.id)
             _check_compartment_conflicts(state, match, compartment)
             continue
-        duplicate = state.adopt(compartment)
-        duplicate.compartment_type = state.resolve_ref(duplicate.compartment_type)
-        duplicate.outside = state.resolve_ref(duplicate.outside)
-        duplicate.units = state.resolve_ref(duplicate.units)
+        duplicate, shared = state.adopt_ephemeral(compartment)
+        if not shared:
+            duplicate.compartment_type = state.resolve_ref(
+                duplicate.compartment_type
+            )
+            duplicate.outside = state.resolve_ref(duplicate.outside)
+            duplicate.units = state.resolve_ref(duplicate.units)
         state.claim_id(duplicate, "compartment")
         state.target.add_compartment(duplicate)
         state.report.count_added("compartment")
@@ -775,10 +910,15 @@ def _check_compartment_conflicts(state: _MergeState, first, second) -> None:
 # ---------------------------------------------------------------------------
 
 
+def _rows_species(
+    state: "_MergeState", model: Model
+) -> Iterator[Tuple[int, Tuple[str, ...]]]:
+    for position, species in enumerate(model.species):
+        yield position, tuple(_species_keys(state, species, mapped=False))
+
+
 def _compose_species(state: _MergeState) -> None:
-    index = make_index(state.options.index)
-    for species in state.target.species:
-        index.add(_species_keys(state, species, mapped=False), species)
+    index = state.phase_index("species")
     for species in state.source.species:
         keys = _species_keys(state, species, mapped=True)
         match = index.find(keys) if state.options.match_anything else None
@@ -786,26 +926,32 @@ def _compose_species(state: _MergeState) -> None:
             state.unite("species", match.id, species.id)
             _check_species_conflicts(state, match, species)
             continue
-        duplicate = state.adopt(species)
-        duplicate.compartment = state.resolve_ref(duplicate.compartment)
-        duplicate.species_type = state.resolve_ref(duplicate.species_type)
-        duplicate.substance_units = state.resolve_ref(duplicate.substance_units)
+        duplicate, shared = state.adopt_ephemeral(species)
+        if not shared:
+            duplicate.compartment = state.resolve_ref(duplicate.compartment)
+            duplicate.species_type = state.resolve_ref(duplicate.species_type)
+            duplicate.substance_units = state.resolve_ref(
+                duplicate.substance_units
+            )
         state.claim_id(duplicate, "species")
         state.target.add_species(duplicate)
         state.report.count_added("species")
 
 
 def _species_keys(state: _MergeState, species: Species, mapped: bool) -> List[str]:
-    if not mapped and state.ephemeral:
-        # The unmapped keys are a pure function of (species, options).
-        # The all-pairs engine's shallow copies share species objects
-        # across every pair a model is target of, so *ephemeral*
-        # merges cache the keys on the object, tagged by the options
-        # that produced them.  ``Species.copy()`` drops the cache, and
-        # callers treat the returned list as read-only.  Session
-        # merges never cache — their ``source_owned`` moves mutate
-        # adopted species (id, compartment) in place, which would
-        # leave a stale cache on an object a later step re-indexes.
+    if state.ephemeral and (not mapped or not state.mapping._table):
+        # The unmapped keys are a pure function of (species, options) —
+        # and the *mapped* keys coincide with them while the mapping
+        # table is empty (every recorded entry is non-identity, so an
+        # empty table makes resolve the identity).  The all-pairs
+        # engine's shallow copies share species objects across every
+        # pair a model appears in, so *ephemeral* merges cache the
+        # keys on the object, tagged by the options that produced
+        # them.  ``Species.copy()`` drops the cache, and callers treat
+        # the returned list as read-only.  Session merges never cache
+        # — their ``source_owned`` moves mutate adopted species (id,
+        # compartment) in place, which would leave a stale cache on an
+        # object a later step re-indexes.
         cached = species.__dict__.get("_keys_cache")
         if cached is not None and cached[0] is state.options:
             return cached[1]
@@ -910,9 +1056,7 @@ def _compose_parameters(state: _MergeState) -> None:
     agree (after unit conversion); everything else is included under a
     fresh id with a warning.
     """
-    index = make_index(state.options.index)
-    for parameter in state.target.parameters:
-        index.add(state.keys_for(parameter), parameter)
+    index = state.phase_index("parameters")
     for parameter in state.source.parameters:
         keys = state.keys_for(parameter)
         match = index.find(keys) if state.options.match_anything else None
@@ -966,8 +1110,9 @@ def _compose_parameters(state: _MergeState) -> None:
             state.target.add_parameter(duplicate)
             state.report.count_added("parameter")
             continue
-        duplicate = state.adopt(parameter)
-        duplicate.units = state.resolve_ref(duplicate.units)
+        duplicate, shared = state.adopt_ephemeral(parameter)
+        if not shared:
+            duplicate.units = state.resolve_ref(duplicate.units)
         state.claim_id(duplicate, "parameter")
         state.target.add_parameter(duplicate)
         state.report.count_added("parameter")
@@ -1008,10 +1153,15 @@ _MergeState.claim_id_for_parameter_clash = (
 # ---------------------------------------------------------------------------
 
 
+def _rows_initial_assignments(
+    state: "_MergeState", model: Model
+) -> Iterator[Tuple[int, Tuple[str, ...]]]:
+    for position, ia in enumerate(model.initial_assignments):
+        yield position, (f"symbol:{ia.symbol}",)
+
+
 def _compose_initial_assignments(state: _MergeState) -> None:
-    index = make_index(state.options.index)
-    for ia in state.target.initial_assignments:
-        index.add([f"symbol:{ia.symbol}"], ia)
+    index = state.phase_index("initialAssignments")
     for ia in state.source.initial_assignments:
         symbol = state.resolve_ref(ia.symbol)
         match = (
@@ -1022,9 +1172,10 @@ def _compose_initial_assignments(state: _MergeState) -> None:
         if match is not None:
             _merge_initial_assignment(state, match, ia)
             continue
-        duplicate = state.adopt(ia)
-        duplicate.symbol = symbol
-        duplicate.math = state.rewrite(duplicate.math)
+        duplicate, shared = state.adopt_ephemeral(ia)
+        if not shared:
+            duplicate.symbol = symbol
+            duplicate.math = state.rewrite(duplicate.math)
         state.target.add_initial_assignment(duplicate)
         index.add([f"symbol:{duplicate.symbol}"], duplicate)
         state.report.count_added("initialAssignment")
@@ -1086,10 +1237,15 @@ def _rule_kind(rule) -> str:
     return "algebraicRule"
 
 
+def _rows_rules(
+    state: "_MergeState", model: Model
+) -> Iterator[Tuple[int, Tuple[str, ...]]]:
+    for position, rule in enumerate(model.rules):
+        yield position, tuple(_rule_keys(state, rule, mapped=False))
+
+
 def _compose_rules(state: _MergeState) -> None:
-    index = make_index(state.options.index)
-    for rule in state.target.rules:
-        index.add(_rule_keys(state, rule, mapped=False), rule)
+    index = state.phase_index("rules")
     for rule in state.source.rules:
         keys = _rule_keys(state, rule, mapped=True)
         match = index.find(keys) if state.options.match_anything else None
@@ -1112,16 +1268,41 @@ def _compose_rules(state: _MergeState) -> None:
                 resolution="kept first model's rule",
             )
             continue
-        duplicate = state.adopt(rule)
-        if duplicate.variable is not None:
-            duplicate.variable = state.resolve_ref(duplicate.variable)
-        duplicate.math = state.rewrite(duplicate.math)
+        duplicate, shared = state.adopt_ephemeral(rule)
+        if not shared:
+            if duplicate.variable is not None:
+                duplicate.variable = state.resolve_ref(duplicate.variable)
+            duplicate.math = state.rewrite(duplicate.math)
         state.target.add_rule(duplicate)
         index.add(_rule_keys(state, duplicate, mapped=False), duplicate)
         state.report.count_added(_rule_kind(rule))
 
 
 def _rule_keys(state: _MergeState, rule, mapped: bool) -> List[str]:
+    if (
+        state.ephemeral
+        and not state.source_owned
+        and not state.mapping._table
+    ):
+        # With an empty mapping table the mapped and unmapped keys
+        # coincide and are a pure function of (rule, options) — the
+        # math restriction is empty and every resolve is the identity.
+        # Ephemeral merges cache them on the rule object exactly like
+        # species keys and reaction signatures (shared across every
+        # pair of an all-pairs sweep; constructor-based ``copy()``
+        # starts the duplicate without the cache).  Session merges
+        # never cache: their ``source_owned`` moves rewrite rule
+        # variables in place on objects a later step re-keys.
+        cached = rule.__dict__.get("_rule_keys_cache")
+        if cached is not None and cached[0] is state.options:
+            return cached[1]
+        keys = _build_rule_keys(state, rule, mapped=False)
+        rule.__dict__["_rule_keys_cache"] = (state.options, keys)
+        return keys
+    return _build_rule_keys(state, rule, mapped)
+
+
+def _build_rule_keys(state: _MergeState, rule, mapped: bool) -> List[str]:
     kind = _rule_kind(rule)
     if rule.variable is not None:
         variable = state.resolve_ref(rule.variable) if mapped else rule.variable
@@ -1136,11 +1317,16 @@ def _rule_keys(state: _MergeState, rule, mapped: bool) -> List[str]:
 # ---------------------------------------------------------------------------
 
 
-def _compose_constraints(state: _MergeState) -> None:
-    index = make_index(state.options.index)
-    for constraint in state.target.constraints:
+def _rows_constraints(
+    state: "_MergeState", model: Model
+) -> Iterator[Tuple[int, Tuple[str, ...]]]:
+    for position, constraint in enumerate(model.constraints):
         if constraint.math is not None:
-            index.add([state.math_key(constraint.math)], constraint)
+            yield position, (state.math_key(constraint.math),)
+
+
+def _compose_constraints(state: _MergeState) -> None:
+    index = state.phase_index("constraints")
     for constraint in state.source.constraints:
         match = None
         if constraint.math is not None and state.options.match_anything:
@@ -1152,8 +1338,9 @@ def _compose_constraints(state: _MergeState) -> None:
                 constraint.message or "constraint",
             )
             continue
-        duplicate = state.adopt(constraint)
-        duplicate.math = state.rewrite(duplicate.math)
+        duplicate, shared = state.adopt_ephemeral(constraint)
+        if not shared:
+            duplicate.math = state.rewrite(duplicate.math)
         state.target.add_constraint(duplicate)
         state.report.count_added("constraint")
 
@@ -1257,16 +1444,18 @@ def _law_comparison_math(
     return law.math.substitute(substitutions)
 
 
-def _compose_reactions(state: _MergeState) -> None:
-    index = make_index(state.options.index)
-    for reaction in state.target.reactions:
-        index.add(
-            [
-                f"id:{reaction.id}",
-                _reaction_signature(state, reaction, mapped=False),
-            ],
-            reaction,
+def _rows_reactions(
+    state: "_MergeState", model: Model
+) -> Iterator[Tuple[int, Tuple[str, ...]]]:
+    for position, reaction in enumerate(model.reactions):
+        yield position, (
+            f"id:{reaction.id}",
+            _reaction_signature(state, reaction, mapped=False),
         )
+
+
+def _compose_reactions(state: _MergeState) -> None:
+    index = state.phase_index("reactions")
     for reaction in state.source.reactions:
         signature = _reaction_signature(state, reaction, mapped=True)
         keys = [f"id:{state.resolve_ref(reaction.id)}", signature]
@@ -1397,6 +1586,16 @@ def _rate_constants_reconcile(
 
 def _rewrite_reaction(state: _MergeState, reaction: Reaction) -> Reaction:
     if state.ephemeral and not state.source_owned:
+        # Share the source's object outright when this merge provably
+        # never writes it (the composed model is disposable).
+        if state.can_share_source(reaction.id):
+            return reaction
+        if not state.mapping._table:
+            # Empty mapping but a colliding id: every participant/law
+            # resolve is still the identity, so only the container
+            # needs to be fresh for claim_id's rename — skip the
+            # participant/law scans entirely.
+            return reaction.copy_shallow()
         return _rewrite_reaction_cow(state, reaction)
     duplicate = state.adopt(reaction)
     for reference in duplicate.reactants + duplicate.products:
@@ -1473,6 +1672,28 @@ def _rewrite_reaction_cow(state: _MergeState, reaction: Reaction) -> Reaction:
 
 
 def _event_key(state: _MergeState, event: Event, mapped: bool) -> str:
+    if (
+        state.ephemeral
+        and not state.source_owned
+        and not state.mapping._table
+    ):
+        # Same discipline as rule keys: while the mapping table is
+        # empty the mapped and unmapped event keys coincide and are a
+        # pure function of (event, options), so ephemeral merges cache
+        # them on the event object (``Event.copy()`` builds through
+        # the constructor, so duplicates start clean).  Session merges
+        # never cache — ``source_owned`` moves rewrite assignment
+        # variables and trigger/delay math in place.
+        cached = event.__dict__.get("_event_key_cache")
+        if cached is not None and cached[0] is state.options:
+            return cached[1]
+        key = _build_event_key(state, event, mapped=False)
+        event.__dict__["_event_key_cache"] = (state.options, key)
+        return key
+    return _build_event_key(state, event, mapped)
+
+
+def _build_event_key(state: _MergeState, event: Event, mapped: bool) -> str:
     trigger = (
         state.math_key(event.trigger.math)
         if event.trigger is not None and event.trigger.math is not None
@@ -1495,12 +1716,18 @@ def _event_key(state: _MergeState, event: Event, mapped: bool) -> str:
     return f"event:{trigger}|{delay}|{assignments}"
 
 
-def _compose_events(state: _MergeState) -> None:
-    index = make_index(state.options.index)
-    for event in state.target.events:
-        index.add(
-            [f"id:{event.id}", _event_key(state, event, mapped=False)], event
+def _rows_events(
+    state: "_MergeState", model: Model
+) -> Iterator[Tuple[int, Tuple[str, ...]]]:
+    for position, event in enumerate(model.events):
+        yield position, (
+            f"id:{event.id}",
+            _event_key(state, event, mapped=False),
         )
+
+
+def _compose_events(state: _MergeState) -> None:
+    index = state.phase_index("events")
     for event in state.source.events:
         keys = [
             f"id:{state.resolve_ref(event.id)}",
@@ -1513,14 +1740,15 @@ def _compose_events(state: _MergeState) -> None:
         ):
             state.unite("event", match.id or "?", event.id or "?")
             continue
-        duplicate = state.adopt(event)
-        if duplicate.trigger is not None:
-            duplicate.trigger.math = state.rewrite(duplicate.trigger.math)
-        if duplicate.delay is not None:
-            duplicate.delay.math = state.rewrite(duplicate.delay.math)
-        for assignment in duplicate.assignments:
-            assignment.variable = state.resolve_ref(assignment.variable)
-            assignment.math = state.rewrite(assignment.math)
+        duplicate, shared = state.adopt_ephemeral(event)
+        if not shared:
+            if duplicate.trigger is not None:
+                duplicate.trigger.math = state.rewrite(duplicate.trigger.math)
+            if duplicate.delay is not None:
+                duplicate.delay.math = state.rewrite(duplicate.delay.math)
+            for assignment in duplicate.assignments:
+                assignment.variable = state.resolve_ref(assignment.variable)
+                assignment.math = state.rewrite(assignment.math)
         state.claim_id(duplicate, "event")
         state.target.add_event(duplicate)
         state.report.count_added("event")
@@ -1541,3 +1769,219 @@ _PHASES = (
     ("reactions", _compose_reactions),
     ("events", _compose_events),
 )
+
+
+# ---------------------------------------------------------------------------
+# Per-model phase-index artifacts
+# ---------------------------------------------------------------------------
+
+#: Which model component list each phase indexes.
+_PHASE_LISTS = {
+    "functionDefinitions": "function_definitions",
+    "unitDefinitions": "unit_definitions",
+    "compartmentTypes": "compartment_types",
+    "speciesTypes": "species_types",
+    "compartments": "compartments",
+    "species": "species",
+    "parameters": "parameters",
+    "initialAssignments": "initial_assignments",
+    "rules": "rules",
+    "constraints": "constraints",
+    "reactions": "reactions",
+    "events": "events",
+}
+
+#: Target-side index rows per phase — the single source of truth for
+#: how each phase keys its target components, shared by the fresh
+#: per-merge build and the per-model artifact build so the two can
+#: never drift apart.
+_ROW_BUILDERS = {
+    "functionDefinitions": _rows_function_definitions,
+    "unitDefinitions": _rows_unit_definitions,
+    "compartmentTypes": _rows_compartment_types,
+    "speciesTypes": _rows_species_types,
+    "compartments": _rows_compartments,
+    "species": _rows_species,
+    "parameters": _rows_parameters,
+    "initialAssignments": _rows_initial_assignments,
+    "rules": _rows_rules,
+    "constraints": _rows_constraints,
+    "reactions": _rows_reactions,
+    "events": _rows_events,
+}
+
+#: Phases whose target-side keys never consult the live id mapping:
+#: function definitions are indexed before any source component is
+#: processed (the mapping is empty at that point by construction), and
+#: the other four key on raw ids, symbols, unmapped species fields or
+#: unmapped reaction signatures.  Their prebuilt bases are valid in
+#: *every* merge; the remaining phases resolve target ids (or restrict
+#: math patterns) through the mapping, so their bases are only valid
+#: while the mapping table is empty.
+_MAPPING_FREE_PHASES = frozenset(
+    (
+        "functionDefinitions",
+        "unitDefinitions",
+        "species",
+        "initialAssignments",
+        "reactions",
+    )
+)
+
+
+def index_options_key(options: ComposeOptions) -> Tuple:
+    """Stable fingerprint of every option that participates in index
+    *keys* (not in index shape — the strategy is chosen at bind time).
+
+    Two option sets with equal fingerprints produce byte-identical
+    rows for any model, so a :class:`ModelIndexSet` tagged with this
+    key can be reused across processes and store rehydrations.  The
+    synonym table participates by content fingerprint because name
+    keys canonicalise through it.
+    """
+    synonyms = options.synonyms if options.match_synonyms else None
+    return (
+        options.semantics,
+        bool(options.use_math_patterns),
+        synonyms.fingerprint() if synonyms is not None else None,
+    )
+
+
+def _index_keyer(
+    model: Model,
+    options: ComposeOptions,
+    pattern_cache: Optional[PatternCache],
+) -> _MergeState:
+    """A degenerate merge state that key builders can run against:
+    empty mapping, no registries — exactly the state a merge is in
+    when it indexes its target side before touching any source
+    component.  Reuses :class:`_MergeState` so the artifact build and
+    the live merges share one implementation of every key function.
+    """
+    return _MergeState(
+        target=model,
+        source=model,
+        mapping=IdMapping(),
+        report=MergeReport(),
+        options=options,
+        used_ids=set(),
+        target_registry=None,  # type: ignore[arg-type] — keys never consult it
+        source_registry=None,  # type: ignore[arg-type]
+        initial_values=({}, {}),
+        pattern_cache=pattern_cache,
+    )
+
+
+class BoundIndexSet:
+    """A :class:`ModelIndexSet` resolved against one live model.
+
+    Rows reference components by list position; binding turns them
+    into frozen :class:`~repro.core.index.ComponentIndex` bases
+    holding the model's *own* component objects (never deserialised
+    twins), built lazily per phase on first use and then shared by
+    every merge — and every worker thread — that targets the model.
+    Bases are frozen (:meth:`ComponentIndex.freeze`) and must never be
+    mutated; merges write through a per-step
+    :class:`~repro.core.index.OverlayIndex` instead.
+    """
+
+    __slots__ = ("_rows", "_model", "_options", "_bases")
+
+    def __init__(
+        self,
+        rows: Dict[str, List[Tuple[int, Tuple[str, ...]]]],
+        model: Model,
+        options: ComposeOptions,
+    ):
+        self._rows = rows
+        self._model = model
+        self._options = options
+        self._bases: Dict[str, ComponentIndex] = {}
+
+    @property
+    def model(self) -> Model:
+        return self._model
+
+    def for_phase(self, name: str) -> ComponentIndex:
+        """The frozen base index for one phase (built on first use).
+
+        Safe under concurrent callers: a racing duplicate build
+        produces an identical index and the last assignment wins.
+        """
+        base = self._bases.get(name)
+        if base is None:
+            index = make_index(self._options.index)
+            components = getattr(self._model, _PHASE_LISTS[name])
+            for position, keys in self._rows.get(name, ()):
+                index.add(keys, components[position])
+            index.freeze()
+            self._bases[name] = base = index
+        return base
+
+
+class ModelIndexSet:
+    """Per-model phase-index artifact (paper Figure 5 line 5, hoisted).
+
+    The lookup structure every phase builds over its target components
+    is a pure function of ``(model, key-affecting options)`` — yet
+    every ``compose_step`` used to rebuild all twelve of them from
+    scratch, so an all-pairs sweep over *n* models rebuilt each
+    model's indexes *n − 1* times.  A ``ModelIndexSet`` captures the
+    index **rows** — ``(component position, key tuple)`` per phase,
+    keyed exactly as the phase mergers key them — once per model.
+    Rows are plain data: picklable into the
+    :class:`~repro.core.artifact_store.ArtifactStore` (format 3) and
+    positional, so rehydrated rows re-bind to any model with the same
+    content digest (equal canonical serialisation implies equal
+    component order).  :meth:`bind` materialises them against a live
+    model as frozen per-phase bases; merges then probe copy-on-write
+    overlays so the shared bases — and the backing model — stay
+    bit-identical however many ephemeral merges reuse them.
+    """
+
+    def __init__(
+        self,
+        rows: Dict[str, List[Tuple[int, Tuple[str, ...]]]],
+        options_key: Tuple,
+    ):
+        self.rows = rows
+        self.options_key = options_key
+
+    @classmethod
+    def build(
+        cls,
+        model: Model,
+        options: Optional[ComposeOptions] = None,
+        pattern_cache: Optional[PatternCache] = None,
+    ) -> "ModelIndexSet":
+        """Compute a model's index rows under the empty mapping.
+
+        ``pattern_cache`` lets the caller route the math-key work of
+        the build through a shared (possibly pre-seeded) cache so
+        pattern computation stays once-per-expression.
+        """
+        options = options or ComposeOptions()
+        keyer = _index_keyer(model, options, pattern_cache)
+        rows = {
+            name: list(builder(keyer, model))
+            for name, builder in _ROW_BUILDERS.items()
+        }
+        return cls(rows, index_options_key(options))
+
+    def matches(self, options: ComposeOptions) -> bool:
+        """Whether this set's rows are valid under ``options``."""
+        return self.options_key == index_options_key(options)
+
+    def bind(self, model: Model, options: ComposeOptions) -> BoundIndexSet:
+        """Materialise the rows against a live model.
+
+        The model must carry the same components, in the same list
+        order, as the model the rows were built from — itself, any
+        ``copy()``/``copy_shallow()`` of it, or any model with the
+        same content digest.  The view is *not* memoised here — a
+        memo would pin the bound model (for a session step, the
+        composed result) alive for the artifact's lifetime — so a
+        caller that re-binds the same model repeatedly (the all-pairs
+        engine) must hold on to the returned view itself.
+        """
+        return BoundIndexSet(self.rows, model, options)

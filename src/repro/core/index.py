@@ -31,6 +31,7 @@ __all__ = [
     "ComponentIndex",
     "HashIndex",
     "LinearIndex",
+    "OverlayIndex",
     "SortedKeyIndex",
     "make_index",
 ]
@@ -46,6 +47,19 @@ class ComponentIndex:
     def find(self, keys: Sequence[str]) -> Optional[object]:
         """Return the first component matching any key, else None."""
         raise NotImplementedError
+
+    def find_one(self, key: str) -> Optional[object]:
+        """Single-key probe (the ``find`` contract for one key)."""
+        return self.find((key,))
+
+    def freeze(self) -> None:
+        """Make subsequent :meth:`find` calls read-only.
+
+        :class:`OverlayIndex` bases are shared across merges (and
+        threads); a strategy whose probes mutate internal state —
+        ``SortedKeyIndex`` compacts its pending buffer lazily — must
+        settle here so concurrent readers never race a mutation.
+        """
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -72,6 +86,9 @@ class HashIndex(ComponentIndex):
                 return hit
         return None
 
+    def find_one(self, key: str) -> Optional[object]:
+        return self._table.get(key)
+
     def __len__(self) -> int:
         return self._count
 
@@ -92,6 +109,12 @@ class LinearIndex(ComponentIndex):
             for entry_keys, component in self._entries:
                 if key in entry_keys:
                     return component
+        return None
+
+    def find_one(self, key: str) -> Optional[object]:
+        for entry_keys, component in self._entries:
+            if key in entry_keys:
+                return component
         return None
 
     def __len__(self) -> int:
@@ -143,6 +166,26 @@ class SortedKeyIndex(ComponentIndex):
         self._rows = [(row[1], row[2]) for row in merged]
         self._pending = []
 
+    def freeze(self) -> None:
+        """Fold the pending buffer so probes stop mutating state."""
+        if self._pending:
+            self._compact()
+
+    def find_one(self, key: str) -> Optional[object]:
+        # No amortised compaction here: frozen bases call this from
+        # concurrent readers, and the pending scan is exact anyway.
+        best_order: Optional[int] = None
+        best: Optional[object] = None
+        position = bisect.bisect_left(self._keys, key)
+        if position < len(self._keys) and self._keys[position] == key:
+            best_order, best = self._rows[position]
+        for pending_key, order, component in self._pending:
+            if pending_key == key and (
+                best_order is None or order < best_order
+            ):
+                best_order, best = order, component
+        return best
+
     def find(self, keys: Sequence[str]) -> Optional[object]:
         pending = self._pending
         if pending and len(pending) * len(pending) > len(self._keys) + 16:
@@ -168,6 +211,66 @@ class SortedKeyIndex(ComponentIndex):
 
     def __len__(self) -> int:
         return self._count
+
+
+class OverlayIndex(ComponentIndex):
+    """Copy-on-write view over a frozen, shared base index.
+
+    A merge step mutates its phase index as it inserts newly adopted
+    components — but the *pre-existing* target side of that index is a
+    pure function of the target model and is shared across every merge
+    the model is target of (the per-model index artifacts of
+    :class:`~repro.core.compose.ModelIndexSet`).  The overlay keeps
+    the shared base immutable: :meth:`add` writes only a private delta
+    index, created lazily on first insert, so an ephemeral sweep merge
+    never writes state another pair (or thread) can observe.
+
+    Lookup preserves the first-registration-wins contract exactly:
+    every base registration precedes every delta registration, so a
+    probe tries each key against the base before the delta, in the
+    caller's key-priority order — byte-for-byte the answer a freshly
+    built index (base adds, then delta adds) would give, which the
+    conformance matrix and a hypothesis property pin across all three
+    base strategies.
+    """
+
+    __slots__ = ("base", "_delta", "_strategy")
+
+    def __init__(self, base: ComponentIndex, strategy: str):
+        self.base = base
+        self._delta: Optional[ComponentIndex] = None
+        self._strategy = strategy
+
+    def add(self, keys: Sequence[str], component: object) -> None:
+        delta = self._delta
+        if delta is None:
+            delta = self._delta = make_index(self._strategy)
+        delta.add(keys, component)
+
+    def find(self, keys: Sequence[str]) -> Optional[object]:
+        base = self.base
+        delta = self._delta
+        for key in keys:
+            hit = base.find_one(key)
+            if hit is not None:
+                return hit
+            if delta is not None:
+                hit = delta.find_one(key)
+                if hit is not None:
+                    return hit
+        return None
+
+    def find_one(self, key: str) -> Optional[object]:
+        hit = self.base.find_one(key)
+        if hit is not None:
+            return hit
+        if self._delta is not None:
+            return self._delta.find_one(key)
+        return None
+
+    def __len__(self) -> int:
+        delta = self._delta
+        return len(self.base) + (len(delta) if delta is not None else 0)
 
 
 _STRATEGIES = {

@@ -56,7 +56,12 @@ from typing import (
 )
 
 from repro.core.artifact_store import ArtifactStore, compute_artifacts
-from repro.core.compose import AccumState, Composer
+from repro.core.compose import (
+    AccumState,
+    BoundIndexSet,
+    Composer,
+    ModelIndexSet,
+)
 from repro.core.options import (
     BACKEND_PROCESS,
     BACKEND_THREAD,
@@ -287,10 +292,19 @@ class _PairEngine:
         models: Sequence[Model],
         labels: Sequence[str],
         store_root: Optional[str] = None,
+        prebuilt_indexes: bool = True,
     ):
         self.options = options or ComposeOptions()
         self.models = list(models)
         self.labels = list(labels)
+        #: With prebuilt indexes on (the default), each model's twelve
+        #: phase indexes are materialised once (from stored rows when
+        #: a compatible store entry exists, built otherwise) and every
+        #: pair the model is target of merges through copy-on-write
+        #: overlays instead of rebuilding them.  ``False`` restores
+        #: the per-pair fresh build — the differential reference the
+        #: conformance matrix pins the prebuilt path against.
+        self.prebuilt_indexes = prebuilt_indexes
         # One composer — and one pattern cache — for the whole sweep.
         # The cache is always on here (unlike one-shot merges, where
         # ``options.memoize_patterns`` defaults off because small-law
@@ -307,6 +321,15 @@ class _PairEngine:
         self._artifacts: Dict[
             int, Tuple[Set[str], UnitRegistry, Dict[str, float]]
         ] = {}
+        #: Lazily bound per-model phase indexes — built only when a
+        #: model is first used as a pair's *target* (a source-only
+        #: model never pays the 12-phase key build).  ``None`` marks
+        #: prebuilt indexes off.
+        self._indexes: Dict[int, Optional[BoundIndexSet]] = {}
+        #: Stored index rows rehydrated with the rest of a model's
+        #: artifacts, held until (and unless) the model becomes a
+        #: target.
+        self._index_rows: Dict[int, Optional[ModelIndexSet]] = {}
         self._sizes: Dict[int, int] = {}
         self._lock = threading.Lock()
 
@@ -324,17 +347,23 @@ class _PairEngine:
                 # computing when this sweep's options will consult
                 # patterns; store-backed artifacts stay complete
                 # regardless, because other runs (with other
-                # semantics) rehydrate the same entry.
+                # semantics) rehydrate the same entry.  The index rows
+                # are likewise only taken from compute_artifacts when
+                # spilling to a store — a locally built set routes
+                # its math keys through the sweep's own seeded cache.
                 artifacts = (
                     self.store.get_or_compute(model)
                     if self.store is not None
                     else compute_artifacts(
                         model,
                         with_patterns=self.options.use_math_patterns,
+                        with_indexes=False,
                     )
                 )
                 if artifacts.patterns:
                     self.pattern_cache.seed(artifacts.patterns)
+                if self.prebuilt_indexes:
+                    self._index_rows[index] = artifacts.indexes
                 hit = (
                     artifacts.used_ids,
                     artifacts.registry,
@@ -342,6 +371,31 @@ class _PairEngine:
                 )
                 self._artifacts[index] = hit
         return hit
+
+    def _target_indexes(self, index: int) -> Optional[BoundIndexSet]:
+        """The model's bound phase indexes, built on first use as a
+        pair target (never for source-only models).  Call after
+        :meth:`_model_artifacts` has populated the rows memo."""
+        if not self.prebuilt_indexes:
+            return None
+        bound = self._indexes.get(index)
+        if bound is not None:
+            return bound
+        with self._lock:
+            bound = self._indexes.get(index)
+            if bound is None:
+                model = self.models[index]
+                index_set = self._index_rows.get(index)
+                if index_set is None or not index_set.matches(self.options):
+                    # Stored rows absent (format-2 entry, no store) or
+                    # keyed under other options: build locally, once
+                    # per model.
+                    index_set = ModelIndexSet.build(
+                        model, self.options, self.pattern_cache
+                    )
+                bound = index_set.bind(model, self.options)
+                self._indexes[index] = bound
+        return bound
 
     def _model_size(self, index: int) -> int:
         size = self._sizes.get(index)
@@ -355,6 +409,7 @@ class _PairEngine:
         right = self.models[j]
         used_ids, registry, initial = self._model_artifacts(i)
         _, source_registry, source_initial = self._model_artifacts(j)
+        indexes = self._target_indexes(i)
         size = self._model_size(i) + self._model_size(j)
         started = time.perf_counter()
         # The target copy is part of the timed merge (it always was in
@@ -379,6 +434,10 @@ class _PairEngine:
             source_initial=source_initial,
             carry_state=False,
             ephemeral=True,
+            # Bound to the *original* left model, whose component
+            # objects the shallow copy above shares — the contract
+            # prebound index sets require.
+            target_indexes=indexes,
         )
         seconds = time.perf_counter() - started
         return PairOutcome(
@@ -410,11 +469,14 @@ def _init_pair_worker(
     models: List[Model],
     labels: List[str],
     store_root: Optional[str],
+    prebuilt_indexes: bool,
 ) -> None:
     """Pool initializer: ship options + corpus once per worker and
     build the shared-artifact engine there."""
     global _PAIR_ENGINE
-    _PAIR_ENGINE = _PairEngine(options, models, labels, store_root)
+    _PAIR_ENGINE = _PairEngine(
+        options, models, labels, store_root, prebuilt_indexes
+    )
 
 
 def _run_pair_chunk(pairs: List[Tuple[int, int]]) -> List[PairOutcome]:
@@ -456,6 +518,7 @@ def _run_pairs(
     workers: int,
     backend: str,
     store_root: Optional[str],
+    prebuilt_indexes: bool = True,
 ) -> List[PairOutcome]:
     """Execute one batch of pairs on the configured fanout.
 
@@ -464,7 +527,9 @@ def _run_pairs(
     in the order of ``pairs`` regardless of scheduling.
     """
     if workers == 1:
-        engine = _PairEngine(options, models, labels, store_root)
+        engine = _PairEngine(
+            options, models, labels, store_root, prebuilt_indexes
+        )
         return engine.run_pairs(pairs)
     if backend == BACKEND_PROCESS:
         # ~4 chunks per worker amortises pickling while keeping the
@@ -473,14 +538,20 @@ def _run_pairs(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_pair_worker,
-            initargs=(options or ComposeOptions(), models, labels, store_root),
+            initargs=(
+                options or ComposeOptions(),
+                models,
+                labels,
+                store_root,
+                prebuilt_indexes,
+            ),
         ) as pool:
             return [
                 outcome
                 for chunk in pool.map(_run_pair_chunk, chunks)
                 for outcome in chunk
             ]
-    engine = _PairEngine(options, models, labels, store_root)
+    engine = _PairEngine(options, models, labels, store_root, prebuilt_indexes)
     with ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="match-worker"
     ) as pool:
@@ -506,6 +577,7 @@ def match_all(
     backend: Optional[str] = None,
     include_self: bool = True,
     store: Optional[Union[ArtifactStore, str, Path]] = None,
+    prebuilt_indexes: bool = True,
 ) -> MatchMatrix:
     """Compose every unordered pair of ``models``, batched.
 
@@ -525,6 +597,12 @@ def match_all(
     :class:`~repro.core.artifact_store.ArtifactStore` or a directory
     path) adds the on-disk artifact tier.  Outcomes are returned in
     pair order regardless of scheduling.
+
+    ``prebuilt_indexes=False`` disables the per-model phase-index
+    artifacts (every pair rebuilds its target-side Figure 5 indexes
+    from scratch, the pre-artifact behaviour) — the reference the
+    conformance matrix pins the default path against, and the ablation
+    knob behind ``sbmlcompose sweep --fresh-indexes``.
 
     Internally the sweep iterates the shards of a one-shard partition
     — the exact engine :func:`match_all_sharded` runs for one shard of
@@ -547,6 +625,7 @@ def match_all(
                 workers,
                 backend,
                 _store_root(store),
+                prebuilt_indexes,
             )
         )
     return MatchMatrix(
@@ -568,6 +647,7 @@ def match_all_sharded(
     backend: Optional[str] = None,
     include_self: bool = True,
     store: Optional[Union[ArtifactStore, str, Path]] = None,
+    prebuilt_indexes: bool = True,
 ) -> MatchMatrix:
     """Compute one shard of the all-pairs sweep.
 
@@ -582,9 +662,10 @@ def match_all_sharded(
 
     ``store`` points the engine at an on-disk artifact store shared by
     all shards: the first shard to touch a model spills its derived
-    artifacts (used-id set, unit registry, evaluated initial values)
-    and every later shard — or a resumed sweep — rehydrates them
-    instead of recomputing.
+    artifacts (used-id set, unit registry, evaluated initial values,
+    pattern table and phase-index rows) and every later shard — or a
+    resumed sweep — rehydrates them instead of recomputing.
+    ``prebuilt_indexes`` is honoured exactly as in :func:`match_all`.
     """
     models = list(models)
     workers, backend = _resolve_fanout(options, workers, backend)
@@ -608,6 +689,7 @@ def match_all_sharded(
         workers,
         backend,
         _store_root(store),
+        prebuilt_indexes,
     )
     return MatchMatrix(
         outcomes=outcomes,

@@ -59,7 +59,12 @@ from repro.core.artifact_store import (
     compute_artifacts,
     model_digest,
 )
-from repro.core.compose import AccumState, Composer, _collect_initial_values
+from repro.core.compose import (
+    AccumState,
+    Composer,
+    ModelIndexSet,
+    _collect_initial_values,
+)
 from repro.core.options import (
     BACKEND_PROCESS,
     BACKEND_THREAD,
@@ -344,6 +349,12 @@ class ComposeSession:
         self._store: Optional[ArtifactStore] = artifact_store
         self._registries: Dict[int, UnitRegistry] = {}
         self._initials: Dict[int, Dict[str, float]] = {}
+        # Per-input phase-index rows rehydrated from the store (None
+        # when the entry predates store format 3 or was keyed under
+        # other options); only populated when a store is attached —
+        # in-memory sessions build each leaf target's indexes exactly
+        # once anyway, so rows would buy nothing there.
+        self._index_rows: Dict[int, Optional[ModelIndexSet]] = {}
         # Content digests of pinned inputs, computed at most once per
         # model (only when a store is attached).
         self._digests: Dict[int, str] = {}
@@ -442,11 +453,13 @@ class ComposeSession:
             key = id(model)
             self._registries.pop(key, None)
             self._initials.pop(key, None)
+            self._index_rows.pop(key, None)
             self._digests.pop(key, None)
             self._pinned.pop(key, None)
             return
         self._registries.clear()
         self._initials.clear()
+        self._index_rows.clear()
         self._digests.clear()
         self._pinned.clear()
         cache = self._composer._cache
@@ -482,6 +495,7 @@ class ComposeSession:
                 spilled += 1
             self._registries.clear()
             self._initials.clear()
+            self._index_rows.clear()
             self._digests.clear()
             self._pinned.clear()
         return spilled
@@ -513,6 +527,12 @@ class ComposeSession:
                         cache.seed(artifacts.patterns)
                     self._digests[key] = digest
                     self._initials[key] = artifacts.initial
+                    index_set = artifacts.indexes
+                    if index_set is not None and not index_set.matches(
+                        self.options
+                    ):
+                        index_set = None
+                    self._index_rows[key] = index_set
                     self._pinned[key] = model
                     self._registries[key] = artifacts.registry
                 else:
@@ -520,6 +540,25 @@ class ComposeSession:
                     self._pinned[key] = model
                     self._registries[key] = model.unit_registry()
             return self._registries[key], self._initials[key]
+
+    def _leaf_index_rows(self, model: Model) -> Optional[ModelIndexSet]:
+        """Prebuilt phase-index rows for a *leaf* merge target.
+
+        Store-backed sessions rehydrate each input's index rows with
+        the rest of its artifacts; a step whose target is an unowned
+        leaf binds them to its private deep copy inside
+        ``compose_step``, skipping the target-side index build.  Owned
+        intermediates must never get rows: their ``source_owned``
+        moves mutate components in place, so no shared base could stay
+        valid — ``_merge_pair`` only calls this for unowned leaves.
+        """
+        if self._store is None:
+            return None
+        key = id(model)
+        if key not in self._registries:
+            # Rehydrates (and memoises) the full artifact entry.
+            self._source_artifacts(model)
+        return self._index_rows.get(key)
 
     # ------------------------------------------------------------------
     # Plan execution
@@ -599,6 +638,14 @@ class ComposeSession:
         registry = initial = None
         if not right_value.owned:  # leaf input: reusable cached artifacts
             registry, initial = self._source_artifacts(right)
+        # Prebuilt index rows only ever attach to unowned *leaf*
+        # targets (bound to the fresh copy compose_step makes).  An
+        # owned accumulator has been mutated by earlier steps —
+        # including source_owned component moves — so no shared,
+        # prebuilt base could describe it.
+        target_rows = (
+            self._leaf_index_rows(left) if not left_value.owned else None
+        )
         started = time.perf_counter()
         composed, report, state = self._composer.compose_step(
             left,
@@ -609,6 +656,7 @@ class ComposeSession:
             source_initial=initial,
             target_state=left_value.state if left_value.owned else None,
             source_state=right_value.state if right_value.owned else None,
+            target_indexes=target_rows,
         )
         seconds = time.perf_counter() - started
         step = ComposeStep(

@@ -66,6 +66,9 @@ class SynonymTable:
         # change writes its stale result into the abandoned dict,
         # which nobody reads again.
         self._canonical_cache: Dict[str, str] = {}
+        # Content fingerprint memo (see :meth:`fingerprint`); any ring
+        # change resets it.
+        self._fingerprint: str = ""
         for ring in rings:
             self.add_ring(ring)
 
@@ -103,6 +106,7 @@ class SynonymTable:
         # hold the old dict and would otherwise repopulate it with
         # now-stale representatives.
         self._canonical_cache = {}
+        self._fingerprint = ""
 
     def add_synonym(self, name: str, synonym: str) -> None:
         """Declare two names synonymous."""
@@ -138,6 +142,28 @@ class SynonymTable:
             result = min(members) if members else normalized
         cache[name] = result
         return result
+
+    def fingerprint(self) -> str:
+        """A content digest of the ring partition.
+
+        Two tables with identical rings — however built, in whatever
+        order — share one fingerprint, so artifacts keyed on name
+        canonicalisation (the per-model index rows of
+        :class:`~repro.core.compose.ModelIndexSet`) can be reused
+        across processes and on-disk store entries.  Memoised; any
+        :meth:`add_ring` invalidates the memo.
+        """
+        if not self._fingerprint:
+            import hashlib
+
+            digest = hashlib.blake2b(digest_size=16)
+            for ring in sorted(
+                tuple(sorted(ring)) for ring in self._rings if ring
+            ):
+                digest.update("\t".join(ring).encode("utf-8"))
+                digest.update(b"\n")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def synonyms_of(self, name: str) -> Set[str]:
         """All known synonyms (normalised), including the name."""

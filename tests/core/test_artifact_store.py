@@ -107,6 +107,67 @@ class TestArtifactStore:
         assert len(store) == 0
 
 
+class TestCrossFormatRehydration:
+    """Store format 3 added the per-model index rows as a pure
+    addition: format-2 entries (no ``indexes`` field at all) must
+    rehydrate as valid hits with ``indexes=None`` — computed lazily by
+    consumers — never as corrupt-entry=miss.  The regression: the old
+    reader treated *any* non-current format as a miss, which would
+    have silently recomputed (and rewritten) every entry of an
+    existing store on upgrade."""
+
+    def _write_format2(self, store, model):
+        """An entry exactly as a format-2 writer laid it out: the
+        dataclass pickled without the ``indexes`` attribute."""
+        artifacts = compute_artifacts(model, with_indexes=False)
+        del artifacts.indexes  # the field did not exist in format 2
+        digest = model_digest(model)
+        path = store.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"format": 2, "artifacts": artifacts}))
+        return digest
+
+    def test_format2_entry_rehydrates_with_lazy_indexes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = self._write_format2(store, model)
+        rehydrated = store.get(digest)
+        assert rehydrated is not None, "format-2 entry must be a hit"
+        assert rehydrated.indexes is None
+        assert rehydrated.used_ids == compute_artifacts(model).used_ids
+        assert rehydrated.patterns == compute_artifacts(model).patterns
+
+    def test_format2_hit_is_not_recomputed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = self._write_format2(store, model)
+        payload_before = store.path_for(digest).read_bytes()
+        artifacts = store.get_or_compute(model, digest)
+        assert artifacts is not None and artifacts.indexes is None
+        # A hit: the entry was served, not recomputed/overwritten.
+        assert store.path_for(digest).read_bytes() == payload_before
+
+    def test_format3_round_trip_carries_index_rows(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = model_digest(model)
+        computed = compute_artifacts(model)
+        assert computed.indexes is not None
+        store.put(digest, computed)
+        rehydrated = store.get(digest)
+        assert rehydrated.indexes is not None
+        assert rehydrated.indexes.rows == computed.indexes.rows
+        assert rehydrated.indexes.options_key == computed.indexes.options_key
+
+    def test_unknown_future_format_stays_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = model_digest(_model())
+        path = store.path_for(digest)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"format": 99, "artifacts": None}))
+        assert store.get(digest) is None
+
+
 class TestSessionSpillTier:
     def test_compose_identical_through_store(self, tmp_path):
         models = [_model("a"), _model("b", species=("B", "C"))]

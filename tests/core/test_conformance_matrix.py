@@ -24,16 +24,41 @@ Equality strength per path:
   unsharded sweep on every run-invariant field, both when the
   per-model artifacts (including the pattern tables that seed the
   engine's PatternCache) are computed fresh and when they rehydrate
-  from a populated artifact store.
+  from a populated artifact store;
+* the **prebuilt-index sweep** (the seventh path) — the default
+  engine, which materialises each model's twelve phase indexes once
+  (``ModelIndexSet``) and merges through copy-on-write overlays, is
+  byte-identical to the fresh-index sweep (``prebuilt_indexes=False``)
+  on the deterministic CSV, and stays identical when the index rows
+  rehydrate from a store — including a store holding *format-2*
+  entries that predate the index artifact (their missing index table
+  is computed lazily, not treated as corruption).  A hypothesis
+  property additionally pins ``OverlayIndex`` against a freshly built
+  index — identical first-registration-wins hits for any interleaving
+  of adds and probes, on real ``biomodels_like`` index rows, across
+  all three index strategies.
 """
 
+import io
+import pickle
 import warnings
 
+import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro import compose, compose_all, match_all, match_all_sharded, write_sbml
-from repro.core.match_all import MatchMatrix
+from repro.core.artifact_store import (
+    ArtifactStore,
+    compute_artifacts,
+    model_digest,
+)
+from repro.core.compose import ModelIndexSet
+from repro.core.index import OverlayIndex, make_index
+from repro.core.match_all import MatchMatrix, write_outcomes
 from repro.corpus import generate_corpus
+from repro.corpus.biomodels_like import generate_model
 from repro.corpus.curated import (
     drug_inhibition,
     gene_expression,
@@ -228,3 +253,133 @@ def test_sharded_sweep_conformance(
     assert [o.key() for o in MatchMatrix.union(rehydrated).outcomes] == [
         o.key() for o in reference.outcomes
     ]
+
+
+# ---------------------------------------------------------------------------
+# Seventh path: the prebuilt-index sweep
+# ---------------------------------------------------------------------------
+
+
+def _deterministic_csv(matrix) -> str:
+    handle = io.StringIO()
+    write_outcomes(handle, matrix.outcomes, deterministic=True)
+    return handle.getvalue()
+
+
+@pytest.mark.parametrize("corpus_name", ["chain", "curated"])
+def test_prebuilt_index_sweep_conformance(corpus_name, corpora, tmp_path):
+    """Prebuilt per-model phase indexes (the default engine) must be
+    byte-identical to the fresh-index sweep — with indexes built in
+    memory, rehydrated from a store, and rehydrated from a store whose
+    entries predate the index artifact (format 2)."""
+    models = corpora[corpus_name]
+    fresh = _deterministic_csv(match_all(models, prebuilt_indexes=False))
+
+    assert _deterministic_csv(match_all(models)) == fresh
+
+    # Store-backed pass: rows are spilled on the first sweep and
+    # rehydrated (pickle round-trip included) on the second.
+    store_dir = tmp_path / "artifacts"
+    assert _deterministic_csv(match_all(models, store=store_dir)) == fresh
+    assert _deterministic_csv(match_all(models, store=store_dir)) == fresh
+
+    # Format-2 pass: entries carry everything *except* index rows, as
+    # written before store format 3.  They must rehydrate (computing
+    # the index set lazily in the engine), not read as misses — and
+    # the outcomes must not move.
+    format2_dir = tmp_path / "format2"
+    store = ArtifactStore(format2_dir)
+    for model in models:
+        artifacts = compute_artifacts(model, with_indexes=False)
+        del artifacts.indexes  # the field did not exist in format 2
+        path = store.path_for(model_digest(model))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(
+            pickle.dumps({"format": 2, "artifacts": artifacts})
+        )
+    before = len(store)
+    assert _deterministic_csv(match_all(models, store=format2_dir)) == fresh
+    # Every model rehydrated (no entry was recomputed/overwritten as
+    # a miss would force).
+    assert len(store) == before
+
+
+# ---------------------------------------------------------------------------
+# OverlayIndex vs fresh build: first-registration-wins invariance
+# ---------------------------------------------------------------------------
+
+
+def _model_rows(seed: int, n_nodes: int):
+    """Real index rows — every phase's (keys, position) table — from a
+    BioModels-like generated model, flattened to key lists."""
+    rng = np.random.default_rng(seed)
+    model = generate_model(seed, n_nodes, rng)
+    index_set = ModelIndexSet.build(model)
+    return [
+        list(keys)
+        for rows in index_set.rows.values()
+        for _, keys in rows
+        if keys
+    ]
+
+
+@st.composite
+def overlay_runs(draw):
+    seed = draw(st.integers(min_value=0, max_value=40))
+    n_nodes = draw(st.integers(min_value=1, max_value=10))
+    key_lists = _model_rows(seed, n_nodes)
+    # Where the base freezes: everything before the split is the
+    # prebuilt artifact, everything after arrives mid-merge through
+    # the overlay's copy-on-write delta.
+    split = draw(st.integers(min_value=0, max_value=len(key_lists)))
+    # Interleave the post-freeze adds with probes of arbitrary keys
+    # (drawn from the model's real keys plus misses).
+    probe_pool = [key for keys in key_lists for key in keys] + ["id:<none>"]
+    operations = []
+    for position in range(split, len(key_lists)):
+        operations.append(("add", key_lists[position]))
+    probes = draw(
+        st.lists(
+            st.lists(st.sampled_from(probe_pool), min_size=1, max_size=3),
+            max_size=12,
+        )
+    )
+    for probe in probes:
+        operations.append(("find", probe))
+    operations = draw(st.permutations(operations))
+    return key_lists[:split], operations
+
+
+@given(overlay_runs())
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_overlay_matches_fresh_index_on_model_rows(run):
+    """For any freeze point and any interleaving of adds and probes,
+    an OverlayIndex over a frozen base returns exactly what one
+    freshly built index (base adds, then overlay adds, in order)
+    returns — on every strategy, with real per-model index keys."""
+    base_rows, operations = run
+    for strategy in ("hash", "linear", "sorted"):
+        base = make_index(strategy)
+        fresh = make_index(strategy)
+        serial = 0
+        for keys in base_rows:
+            base.add(keys, serial)
+            fresh.add(keys, serial)
+            serial += 1
+        base.freeze()
+        overlay = OverlayIndex(base, strategy)
+        for action, keys in operations:
+            if action == "add":
+                overlay.add(keys, serial)
+                fresh.add(keys, serial)
+                serial += 1
+            else:
+                assert overlay.find(keys) == fresh.find(keys), (
+                    strategy,
+                    keys,
+                )
+        assert len(overlay) == len(fresh)

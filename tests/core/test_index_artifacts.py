@@ -1,0 +1,350 @@
+"""Per-model phase-index artifacts: build, bind, reuse, isolation.
+
+The tentpole guarantees of :class:`~repro.core.compose.ModelIndexSet`:
+
+* rows are a pure, picklable function of ``(model, key options)``,
+  bindable to any model with the same component-list content;
+* merges reuse the frozen bases through copy-on-write overlays — an
+  ephemeral merge must leave the shared base *and the backing model*
+  bit-identical (digest-compared) to their pre-merge state;
+* sessions attach rows only to unowned leaf targets; the
+  ``source_owned`` move path (owned accumulators, moved intermediates)
+  must never see a shared base;
+* stored rows keyed under other options are ignored, never misapplied.
+"""
+
+import pickle
+
+import pytest
+
+from repro import ComposeSession, ModelBuilder, compose_all, match_all
+from repro.core.artifact_store import (
+    ArtifactStore,
+    compute_artifacts,
+    model_digest,
+)
+from repro.core.compose import (
+    BoundIndexSet,
+    ModelIndexSet,
+    index_options_key,
+)
+from repro.core.index import HashIndex, OverlayIndex
+from repro.core.match_all import _PairEngine
+from repro.core.options import ComposeOptions
+from repro.core.session import stable_labels
+
+
+def _model(model_id="m", k=0.5, species=("A", "B")):
+    builder = ModelBuilder(model_id).compartment("cell", size=1.0)
+    for position, species_id in enumerate(species):
+        builder.species(species_id, float(position))
+    builder.reaction(
+        f"{model_id}_r1",
+        [species[0]],
+        [species[-1]],
+        formula=f"k * {species[0]}",
+        local_parameters={"k": k},
+    )
+    builder.parameter(f"{model_id}_p", 2.5)
+    builder.assignment_rule(f"{model_id}_p2", f"2 * {species[0]}")
+    builder.event(
+        f"{model_id}_e", f"{species[0]} > 1", {species[-1]: "0"}
+    )
+    return builder.build()
+
+
+class TestModelIndexSet:
+    def test_rows_cover_every_phase(self):
+        index_set = ModelIndexSet.build(_model())
+        assert set(index_set.rows) == {
+            "functionDefinitions",
+            "unitDefinitions",
+            "compartmentTypes",
+            "speciesTypes",
+            "compartments",
+            "species",
+            "parameters",
+            "initialAssignments",
+            "rules",
+            "constraints",
+            "reactions",
+            "events",
+        }
+        assert len(index_set.rows["species"]) == 2
+        assert len(index_set.rows["reactions"]) == 1
+
+    def test_bind_resolves_to_live_objects(self):
+        model = _model()
+        options = ComposeOptions()
+        bound = ModelIndexSet.build(model, options).bind(model, options)
+        base = bound.for_phase("species")
+        assert base.find_one("id:A") is model.species[0]
+        assert base.find_one("id:B") is model.species[1]
+        # Rebinding to a copy resolves to the *copy's* objects — rows
+        # are positional, never pinned to the original components.
+        clone = model.copy()
+        rebound = ModelIndexSet.build(model, options).bind(clone, options)
+        assert rebound.for_phase("species").find_one("id:A") is clone.species[0]
+
+    def test_bind_never_pins_the_bound_model(self):
+        """bind() returns a fresh view and keeps no reference to the
+        model — a memo here would pin a session step's composed
+        result alive for the artifact's lifetime.  Callers that want
+        reuse (the pair engine) hold the BoundIndexSet themselves."""
+        import weakref
+
+        options = ComposeOptions()
+        index_set = ModelIndexSet.build(_model(), options)
+        model = _model()
+        ref = weakref.ref(model)
+        index_set.bind(model, options)
+        del model
+        assert ref() is None
+
+    def test_pure_function_of_model(self):
+        assert (
+            ModelIndexSet.build(_model()).rows
+            == ModelIndexSet.build(_model()).rows
+        )
+
+    def test_pickle_round_trip_preserves_rows(self):
+        model = _model()
+        options = ComposeOptions()
+        index_set = ModelIndexSet.build(model, options)
+        clone = pickle.loads(pickle.dumps(index_set))
+        assert clone.rows == index_set.rows
+        assert clone.options_key == index_set.options_key
+
+    def test_options_key_distinguishes_semantics(self):
+        heavy = ModelIndexSet.build(_model(), ComposeOptions())
+        assert heavy.matches(ComposeOptions())
+        assert not heavy.matches(ComposeOptions.light())
+        assert not heavy.matches(
+            ComposeOptions(use_math_patterns=False)
+        )
+        # The index *strategy* shapes the bound bases, not the rows.
+        assert heavy.matches(ComposeOptions().with_index("sorted"))
+
+    def test_options_key_tracks_synonym_table_content(self):
+        base = index_options_key(ComposeOptions())
+        options = ComposeOptions()
+        options.synonyms.add_ring(["glucose-ish", "glc-ish"])
+        assert index_options_key(options) != base
+
+
+class TestOverlayIsolation:
+    def test_adds_land_in_delta_not_base(self):
+        base = HashIndex()
+        base.add(["id:x"], "first")
+        base.freeze()
+        snapshot = dict(base._table)
+        overlay = OverlayIndex(base, "hash")
+        overlay.add(["id:y"], "second")
+        overlay.add(["id:x"], "shadowed")
+        assert base._table == snapshot
+        assert overlay.find(["id:y"]) == "second"
+        # First registration wins across the base/delta boundary.
+        assert overlay.find(["id:x"]) == "first"
+
+    def test_ephemeral_sweep_leaves_base_and_model_bit_identical(self):
+        """Digest-compared mutation isolation: shared bases and their
+        backing models are untouched by any number of ephemeral
+        merges run through them."""
+        models = [_model("a"), _model("b", k=0.25, species=("A", "C"))]
+        engine = _PairEngine(None, models, stable_labels(models))
+        # Force artifact + bound-base materialisation, snapshot state.
+        for i in range(2):
+            engine._model_artifacts(i)
+        bounds = [engine._target_indexes(i) for i in range(2)]
+        digests_before = [model_digest(model) for model in models]
+
+        def snapshot(bound):
+            # Key → component identity per phase: catches any write
+            # to a shared base (new/lost keys, remapped components).
+            return {
+                name: {
+                    key: id(component)
+                    for key, component in bound.for_phase(name)._table.items()
+                }
+                for name in ("species", "reactions", "parameters", "events")
+            }
+
+        rows_before = [snapshot(bound) for bound in bounds]
+        engine.run_pairs([(0, 0), (0, 1), (1, 1), (0, 1)])
+        # The backing models serialise bit-identically (the only
+        # engine-visible writes are the droppable per-object key
+        # caches, which canonical SBML never sees)...
+        assert [model_digest(model) for model in models] == digests_before
+        # ...and the shared bases still hold exactly the same keys
+        # bound to exactly the same component objects.
+        assert [snapshot(bound) for bound in bounds] == rows_before
+
+    def test_prebuilt_sweep_never_mutates_inputs(self):
+        models = [_model("a"), _model("b", k=0.1)]
+        before = [model_digest(model) for model in models]
+        cold = match_all(models)
+        warm = match_all(models)
+        assert [model_digest(model) for model in models] == before
+        assert [o.key() for o in warm.outcomes] == [
+            o.key() for o in cold.outcomes
+        ]
+
+
+class TestSessionIndexRows:
+    def _spy(self, session):
+        """Record (source_owned, got_indexes) per compose_step call."""
+        calls = []
+        original = session._composer.compose_step
+
+        def wrapper(first, second, **kwargs):
+            calls.append(
+                (
+                    kwargs.get("source_owned", False),
+                    kwargs.get("target_indexes") is not None,
+                )
+            )
+            return original(first, second, **kwargs)
+
+        session._composer.compose_step = wrapper
+        return calls
+
+    def test_store_backed_session_attaches_rows_to_leaf_targets(
+        self, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "artifacts")
+        models = [_model("a"), _model("b", k=0.25)]
+        session = ComposeSession(artifact_store=store)
+        calls = self._spy(session)
+        session.compose(models[0], models[1])
+        assert calls == [(False, True)]
+        assert session._leaf_index_rows(models[0]) is not None
+
+    def test_source_owned_steps_never_get_shared_bases(self, tmp_path):
+        """The session move path: every step after the first folds
+        into an owned, mutated accumulator — no prebuilt base can
+        describe it, so no step with an owned target (and no merge of
+        moved intermediates) may receive index rows."""
+        store = ArtifactStore(tmp_path / "artifacts")
+        models = [_model(f"m{i}", k=0.1 * (i + 1)) for i in range(4)]
+        for plan in ("fold", "tree"):
+            session = ComposeSession(artifact_store=store)
+            calls = self._spy(session)
+            result = session.compose_all(models, plan=plan)
+            # Exactly the steps whose target is an unowned leaf carry
+            # rows; fold has one (the first), the 4-model balanced
+            # tree has two (both leaf-leaf siblings).
+            expected_with_rows = {"fold": 1, "tree": 2}[plan]
+            assert sum(1 for _, has in calls if has) == expected_with_rows
+            # A source_owned step is a moved intermediate: never rows.
+            assert all(not has for owned, has in calls if owned)
+            # And the result matches a plain in-memory session.
+            reference = ComposeSession().compose_all(models, plan=plan)
+            assert sorted(result.model.global_ids()) == sorted(
+                reference.model.global_ids()
+            )
+            assert result.report.mappings == reference.report.mappings
+
+    def test_session_results_identical_with_and_without_rows(
+        self, tmp_path
+    ):
+        from repro import write_sbml
+
+        store = ArtifactStore(tmp_path / "artifacts")
+        models = [_model(f"m{i}", k=0.2 * (i + 1)) for i in range(3)]
+        with_store = ComposeSession(artifact_store=store).compose_all(models)
+        plain = ComposeSession().compose_all(models)
+        assert write_sbml(with_store.model) == write_sbml(plain.model)
+
+    def test_mismatched_options_rows_are_ignored(self, tmp_path):
+        """Stored rows are keyed under heavy defaults; a light-
+        semantics session must not bind them."""
+        store = ArtifactStore(tmp_path / "artifacts")
+        models = [_model("a"), _model("b", k=0.25)]
+        # Populate the store with heavy-keyed entries.
+        for model in models:
+            store.put(model_digest(model), compute_artifacts(model))
+        session = ComposeSession(ComposeOptions.light(), artifact_store=store)
+        session.compose(models[0], models[1])
+        assert session._leaf_index_rows(models[0]) is None
+
+
+class TestEngineOptionMismatch:
+    def test_engine_rebuilds_rows_for_other_semantics(self, tmp_path):
+        """A store populated under heavy defaults serves a light-
+        semantics sweep: the stored rows are ignored (fingerprint
+        mismatch), local rows are built, outcomes equal the fresh
+        light sweep."""
+        models = [_model("a"), _model("b", k=0.25), _model("c", k=0.1)]
+        store = tmp_path / "artifacts"
+        match_all(models, store=store)  # heavy pass populates
+        light = ComposeOptions.light()
+        stored = match_all(models, light, store=store)
+        fresh = match_all(models, light, prebuilt_indexes=False)
+        assert [o.key() for o in stored.outcomes] == [
+            o.key() for o in fresh.outcomes
+        ]
+
+    def test_prebuilt_flag_off_restores_fresh_builds(self):
+        models = [_model("a"), _model("b", k=0.25)]
+        engine = _PairEngine(
+            None, models, stable_labels(models), prebuilt_indexes=False
+        )
+        engine.run_pairs([(0, 1)])
+        assert engine._target_indexes(0) is None
+
+    def test_source_only_models_never_pay_the_index_build(self):
+        """Index sets are bound lazily on first use as a *target*: a
+        model only ever on the source side of its pairs keeps no
+        bound indexes at all."""
+        models = [_model("a"), _model("b", k=0.25)]
+        engine = _PairEngine(None, models, stable_labels(models))
+        engine.run_pairs([(0, 1)])  # model 1 is source-only here
+        assert 0 in engine._indexes
+        assert 1 not in engine._indexes
+
+
+class TestMappingGuardFallback:
+    def test_rename_mid_merge_falls_back_and_agrees(self):
+        """A source species sharing a target id but living in another
+        compartment is adopted under a fresh id — a *rename*, which
+        makes the mapping table non-empty before the parameters /
+        rules / events phases.  Their prebuilt (empty-mapping) bases
+        are then invalid; the engine must fall back to fresh builds
+        and still match the fresh-index sweep bit for bit."""
+        left = (
+            ModelBuilder("L")
+            .compartment("cell", size=1.0)
+            .species("x", 1.0)
+            .parameter("x_rate", 1.0)
+            .build()
+        )
+        right = (
+            ModelBuilder("R")
+            .compartment("vesicle", size=2.0)
+            .species("x", 3.0)  # same id, different compartment
+            .parameter("x_rate", 4.0)  # same id, different value
+            .assignment_rule("x_conc", "x / 2")
+            .event("R_e", "x > 1", {"x": "0"})
+            .build()
+        )
+        prebuilt = match_all([left, right])
+        cross = next(o for o in prebuilt.outcomes if o.i == 0 and o.j == 1)
+        assert cross.renamed > 0, "scenario must actually rename"
+        fresh = match_all([left, right], prebuilt_indexes=False)
+        assert [o.key() for o in prebuilt.outcomes] == [
+            o.key() for o in fresh.outcomes
+        ]
+        # Inputs stay untouched either way.
+        assert left.species[0].id == "x" and right.species[0].id == "x"
+
+
+class TestIndexStrategies:
+    @pytest.mark.parametrize("strategy", ["hash", "linear", "sorted"])
+    def test_prebuilt_sweep_identical_across_strategies(self, strategy):
+        models = [_model("a"), _model("b", k=0.25), _model("c", k=0.1)]
+        options = ComposeOptions().with_index(strategy)
+        prebuilt = match_all(models, options)
+        fresh = match_all(models, options, prebuilt_indexes=False)
+        assert [o.key() for o in prebuilt.outcomes] == [
+            o.key() for o in fresh.outcomes
+        ]

@@ -200,6 +200,122 @@ class TestPerObjectCacheDiscipline:
         assert engine.pattern_cache.seeded == 0
 
 
+class TestEventRuleKeyCaches:
+    """Events and rules get the same per-object key caches reactions
+    and species have: populated by ephemeral (sweep) merges only,
+    valid because the cached key is a pure function of
+    ``(component, options)`` while the mapping table is empty, and
+    absent from every ``copy()`` (constructor-built duplicates start
+    clean)."""
+
+    def _event_model(self, model_id="m", threshold="1", reset="0"):
+        return (
+            ModelBuilder(model_id)
+            .compartment("cell", size=1.0)
+            .species("A", 1.0)
+            .species("B", 0.0)
+            .parameter(f"{model_id}_p", 1.0, constant=False)
+            .assignment_rule(f"{model_id}_p", "2 * A")
+            .event(f"{model_id}_e", f"A > {threshold}", {"B": reset})
+            .reaction(f"{model_id}_r", ["A"], ["B"], formula="k * A",
+                      local_parameters={"k": 0.5})
+            .build()
+        )
+
+    def test_sweep_caches_event_and_rule_keys_on_inputs(self):
+        models = [self._event_model("a"), self._event_model("b", "2")]
+        cold = match_all(models)
+        assert any(
+            "_event_key_cache" in event.__dict__
+            for model in models for event in model.events
+        )
+        assert any(
+            "_rule_keys_cache" in rule.__dict__
+            for model in models for rule in model.rules
+        )
+        warm = match_all(models)
+        assert [o.key() for o in warm.outcomes] == [
+            o.key() for o in cold.outcomes
+        ]
+
+    def test_cached_keys_are_reused_not_recomputed(self):
+        from repro.core.options import ComposeOptions
+
+        # The caches are tagged by options *identity* (like species
+        # keys and reaction signatures), so reuse needs one options
+        # object across sweeps — exactly how a sharded run or a
+        # repeated engine drives them.
+        options = ComposeOptions()
+        models = [self._event_model("a"), self._event_model("b", "2")]
+        match_all(models, options)
+        event = models[0].events[0]
+        rule = models[0].rules[0]
+        tag, event_key = event.__dict__["_event_key_cache"]
+        assert tag is options
+        _, rule_keys = rule.__dict__["_rule_keys_cache"]
+        # A second sweep serves the very same cached objects (identity,
+        # not just equality — the cache-hit path returns the entry).
+        match_all(models, options)
+        assert event.__dict__["_event_key_cache"][1] is event_key
+        assert rule.__dict__["_rule_keys_cache"][1] is rule_keys
+
+    def test_session_merges_leave_no_event_rule_caches(self):
+        from repro import compose_all
+
+        models = [self._event_model("a"), self._event_model("b", "2")]
+        for plan in ("fold", "tree", "greedy"):
+            compose_all(models, plan=plan)
+        for model in models:
+            for event in model.events:
+                assert "_event_key_cache" not in event.__dict__
+            for rule in model.rules:
+                assert "_rule_keys_cache" not in rule.__dict__
+
+    def test_copy_drops_event_and_rule_caches(self):
+        models = [self._event_model("a"), self._event_model("b", "2")]
+        match_all(models)
+        event = models[0].events[0]
+        rule = models[0].rules[0]
+        assert "_event_key_cache" in event.__dict__
+        assert "_rule_keys_cache" in rule.__dict__
+        assert "_event_key_cache" not in event.copy().__dict__
+        assert "_rule_keys_cache" not in rule.copy().__dict__
+        model_copy = models[0].copy()
+        assert all(
+            "_event_key_cache" not in e.__dict__ for e in model_copy.events
+        )
+        assert all(
+            "_rule_keys_cache" not in r.__dict__ for r in model_copy.rules
+        )
+
+    def test_negative_zero_trigger_keys_never_collide(self):
+        """Under structural math (``use_math_patterns=False``) event
+        keys are digest-based, and the digest layer deliberately keeps
+        ``-0.0``/``0.0`` apart — so the *cached* keys of two triggers
+        differing only in the zero's sign must differ exactly like
+        uncached ones, and the sweep must agree with the cache-free
+        pairwise engine."""
+        from repro import Composer
+        from repro.core.options import ComposeOptions
+        from repro.mathml.ast import Apply, Identifier, Number
+
+        zero = self._event_model("z", threshold="0.0")
+        negative = self._event_model("z2", threshold="0.0")
+        negative.events[0].trigger.math = Apply(
+            "gt", [Identifier("A"), Number(-0.0)]
+        )
+        options = ComposeOptions(use_math_patterns=False)
+        matrix = match_all([zero, negative], options)
+        zero_key = zero.events[0].__dict__["_event_key_cache"][1]
+        negative_key = negative.events[0].__dict__["_event_key_cache"][1]
+        assert zero_key != negative_key
+        # Differential: the non-ephemeral engine (which never touches
+        # per-object caches) reaches the same outcome for the pair.
+        _, report = Composer(options).compose(zero, negative)
+        cross = next(o for o in matrix.outcomes if o.i == 0 and o.j == 1)
+        assert cross.united == len(report.duplicates)
+
+
 class TestEviction:
     def _populate(self, store, count):
         digests = []

@@ -165,6 +165,25 @@ def test_sweep_single_model_rejected(model_files, capsys):
     assert "at least two" in capsys.readouterr().err
 
 
+def test_sweep_fresh_indexes_byte_identical(three_model_files, tmp_path, capsys):
+    """--fresh-indexes is an ablation knob, never a semantic one: the
+    deterministic CSV must match the prebuilt-index default byte for
+    byte (the conformance matrix's seventh path, on the CLI)."""
+    path_a, path_b, path_c = three_model_files
+    prebuilt = tmp_path / "prebuilt.csv"
+    fresh = tmp_path / "fresh.csv"
+    assert main(
+        ["sweep", str(path_a), str(path_b), str(path_c),
+         "--deterministic", "-o", str(prebuilt)]
+    ) == 0
+    assert main(
+        ["sweep", str(path_a), str(path_b), str(path_c),
+         "--deterministic", "--fresh-indexes", "-o", str(fresh)]
+    ) == 0
+    capsys.readouterr()
+    assert prebuilt.read_bytes() == fresh.read_bytes()
+
+
 @pytest.mark.parametrize("plan", ["fold", "tree", "greedy"])
 def test_merge_plans_agree(three_model_files, tmp_path, plan):
     path_a, path_b, path_c = three_model_files
