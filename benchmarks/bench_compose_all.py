@@ -237,7 +237,12 @@ def write_bench_json(
     rows, allpairs: dict, rounds: int, smoke: bool
 ) -> Path:
     """Record the run in BENCH_compose.json (pairs/sec, fold vs tree
-    vs parallel-tree wall time) for cross-PR tracking."""
+    vs parallel-tree wall time) for cross-PR tracking.
+
+    Read-modify-write: sections other benchmarks own (currently
+    ``corpus_query``, written by ``bench_corpus_query``) are carried
+    over from the committed file, not dropped."""
+    committed = _read_committed_baseline()
     by_label = {label: (seconds, speedup) for label, seconds, speedup in rows}
     tree_serial = by_label.get("session-tree", (None, None))[0]
     parallel_rows = [
@@ -269,6 +274,11 @@ def write_bench_json(
             else None
         ),
         "allpairs": allpairs,
+        **(
+            {"corpus_query": committed["corpus_query"]}
+            if "corpus_query" in committed
+            else {}
+        ),
         "notes": (
             "tree_parallel_vs_serial takes the best parallel backend. "
             "Thread rows are GIL-bound on standard CPython; process "

@@ -10,6 +10,11 @@ Subcommands::
         [--deterministic] [--store-max-entries N]
     sbmlcompose sweep-status --out-dir DIR
     sbmlcompose sweep-merge --out-dir DIR [-o merged.csv]
+    sbmlcompose corpus index model.xml [...] --index corpus.idx \
+        [--store DIR [--store-max-entries N]] [--evict-to N]
+    sbmlcompose corpus query query.xml --index corpus.idx \
+        [--top-k K] [--with-pruned] [--deterministic] [-o results.csv]
+    sbmlcompose corpus query query.xml --linear model.xml [...]
     sbmlcompose diff a.xml b.xml
     sbmlcompose validate model.xml
     sbmlcompose simulate model.xml --t-end 10 --steps 500 -o trace.csv
@@ -38,24 +43,49 @@ shared by every shard.  Pass ``--shard-id I`` to compute exactly one
 shard (e.g. one shard per machine); omit it to run all shards
 sequentially, each one checkpointed.  ``sweep-merge`` unions the shard
 files back into one report that is byte-identical to an unsharded
-``sweep --deterministic`` run of the same corpus.
+``sweep --deterministic`` run of the same corpus.  ``--prescreen``
+routes the sweep through the vectorized structural prescreen
+(:class:`~repro.core.signature.Prescreen`): provably trivial pairs
+skip the phase machinery and get synthesized rows, byte-identical to
+what the full run would have written.
+
+``corpus`` is the search subsystem: ``corpus index`` builds (or
+incrementally updates) a persistent
+:class:`~repro.core.corpus_index.CorpusIndex` over model signatures,
+and ``corpus query`` answers "find matches for this model" by walking
+the index's posting lists, running the full matcher only on the
+candidates the prescreen logic cannot synthesize (capped at
+``--top-k``) — sublinear retrieval instead of a linear scan.  With
+``--top-k 0 --with-pruned --deterministic`` the result CSV is
+byte-identical to ``corpus query --linear`` over the same corpus
+files, which is exactly what the CI corpus smoke job diffs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from datetime import datetime
 from pathlib import Path
 
-from repro.core.artifact_store import ArtifactStore, corpus_fingerprint
+from repro.core.artifact_store import (
+    ArtifactStore,
+    corpus_fingerprint,
+    model_digest,
+)
+from repro.core.compose import index_options_key
+from repro.core.corpus_index import CorpusIndex
 from repro.core.match_all import (
+    PairOutcome,
     match_all,
     match_all_sharded,
+    match_query,
     read_outcomes_csv,
     write_outcomes,
     write_outcomes_csv,
 )
+from repro.core.signature import ModelSignature, Prescreen
 from repro.core.options import (
     BACKEND_PROCESS,
     BACKEND_THREAD,
@@ -183,6 +213,102 @@ def _build_parser() -> argparse.ArgumentParser:
         help="after the run, evict the least-recently-used artifact "
              "store entries beyond N (the store grows one entry per "
              "distinct model otherwise)",
+    )
+    sweep.add_argument(
+        "--prescreen", action="store_true",
+        help="skip pairs the structural prescreen proves trivial and "
+             "synthesize their rows (byte-identical to the full sweep)",
+    )
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="persistent corpus search: index models, query one "
+             "against the library",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    corpus_index = corpus_sub.add_parser(
+        "index",
+        help="build or incrementally update a persistent corpus index",
+    )
+    corpus_index.add_argument(
+        "models", type=Path, nargs="+", metavar="model",
+        help="SBML files to (re-)index",
+    )
+    corpus_index.add_argument(
+        "--index", type=Path, required=True, metavar="FILE",
+        help="the index file to create or update",
+    )
+    corpus_index.add_argument(
+        "--semantics", choices=["heavy", "light", "none"], default="heavy",
+        help="key options the index is built under (queries must use "
+             "the same)",
+    )
+    corpus_index.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="artifact store to rehydrate signatures from / spill "
+             "model artifacts to",
+    )
+    corpus_index.add_argument(
+        "--store-max-entries", type=int, default=None, metavar="N",
+        help="after indexing, evict LRU artifact store entries beyond "
+             "N — models this index serves are pinned and never "
+             "evicted (needs --store)",
+    )
+    corpus_index.add_argument(
+        "--evict-to", type=int, default=None, metavar="N",
+        help="after indexing, drop least-recently-used index entries "
+             "down to N models",
+    )
+
+    corpus_query = corpus_sub.add_parser(
+        "query",
+        help="match one model against an indexed corpus (or a linear "
+             "scan reference)",
+    )
+    corpus_query.add_argument(
+        "query", type=Path, metavar="model",
+        help="the query SBML file",
+    )
+    corpus_query.add_argument(
+        "--index", type=Path, default=None, metavar="FILE",
+        help="query this corpus index (sublinear retrieval)",
+    )
+    corpus_query.add_argument(
+        "--linear", type=Path, nargs="+", default=None, metavar="model",
+        help="reference mode: full linear scan over these SBML files "
+             "instead of an index",
+    )
+    corpus_query.add_argument(
+        "--top-k", type=int, default=10, metavar="K",
+        help="run the full matcher on at most K index candidates "
+             "(0 = no cap; default 10)",
+    )
+    corpus_query.add_argument(
+        "--with-pruned", action="store_true",
+        help="include synthesized rows for candidates the prescreen "
+             "proved trivial (required for byte-diff against --linear)",
+    )
+    corpus_query.add_argument(
+        "--deterministic", action="store_true",
+        help="omit the wall-time column from the CSV (byte-comparable "
+             "across runs and modes)",
+    )
+    corpus_query.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the result table to this CSV file",
+    )
+    corpus_query.add_argument(
+        "--semantics", choices=["heavy", "light", "none"], default="heavy",
+    )
+    corpus_query.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="artifact store for query/candidate artifacts",
+    )
+    corpus_query.add_argument("--workers", type=int, default=1, metavar="N")
+    corpus_query.add_argument(
+        "--backend", choices=[BACKEND_THREAD, BACKEND_PROCESS],
+        default=BACKEND_THREAD,
     )
 
     sweep_status = sub.add_parser(
@@ -330,6 +456,7 @@ def _cmd_sweep_sharded(args, models, options) -> int:
             include_self=not args.no_self,
             store=store,
             prebuilt_indexes=not args.fresh_indexes,
+            prescreen=args.prescreen or None,
         )
         name = _shard_file(shard_id, args.shards)
         write_outcomes_csv(args.out_dir / name, matrix.outcomes)
@@ -400,6 +527,7 @@ def _cmd_sweep(args) -> int:
         backend=args.backend,
         include_self=not args.no_self,
         prebuilt_indexes=not args.fresh_indexes,
+        prescreen=args.prescreen or None,
     )
     if args.output is not None:
         write_outcomes_csv(
@@ -562,11 +690,226 @@ def _cmd_split(args) -> int:
     return 0
 
 
+def _query_signature(model, options, index, store):
+    """The query model's signature, rehydrated from the artifact
+    store when its format-4 entry matches the index's key options."""
+    if store is not None:
+        artifacts = store.get_or_compute(model)
+        candidate = getattr(artifacts, "signature", None)
+        if (
+            candidate is not None
+            and getattr(candidate, "key_fingerprints", None) is not None
+            and candidate.options_key == index.options_key
+        ):
+            return candidate
+    return ModelSignature.build(model, options)
+
+
+def _cmd_corpus_index(args) -> int:
+    options = ComposeOptions(semantics=args.semantics)
+    if args.store_max_entries is not None and args.store is None:
+        print(
+            "error: --store-max-entries needs --store",
+            file=sys.stderr,
+        )
+        return 2
+    if args.index.exists():
+        index = CorpusIndex.load(args.index)
+        if index.options_key != index_options_key(options):
+            print(
+                f"error: {args.index} was built under different key "
+                f"options than --semantics {args.semantics}; use a "
+                "separate index file per option set",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        index = CorpusIndex(options)
+    store = ArtifactStore(args.store) if args.store is not None else None
+    added = refreshed = 0
+    for path in args.models:
+        model = read_sbml_file(path).model
+        fresh = model_digest(model) not in index
+        index.add(model, label=path.stem, path=path, store=store)
+        if fresh:
+            added += 1
+        else:
+            refreshed += 1
+    dropped = []
+    if args.evict_to is not None:
+        dropped = index.evict(args.evict_to)
+    index.save(args.index)
+    if args.store_max_entries is not None:
+        evicted = store.evict(
+            max_entries=args.store_max_entries, pinned=index.digests()
+        )
+        if evicted:
+            print(
+                f"evicted {evicted} unpinned artifact store entr"
+                f"{'y' if evicted == 1 else 'ies'} "
+                f"(LRU beyond {args.store_max_entries})",
+                file=sys.stderr,
+            )
+    print(
+        f"wrote {args.index}: {len(index)} model(s) "
+        f"({added} new, {refreshed} refreshed"
+        + (f", {len(dropped)} evicted" if dropped else "")
+        + f"), {len(index.postings)} posting list(s)"
+    )
+    return 0
+
+
+def _cmd_corpus_query(args) -> int:
+    if (args.index is None) == (args.linear is None):
+        print(
+            "error: corpus query needs exactly one of --index or "
+            "--linear",
+            file=sys.stderr,
+        )
+        return 2
+    if args.top_k < 0:
+        print("error: --top-k must be non-negative", file=sys.stderr)
+        return 2
+    options = ComposeOptions(semantics=args.semantics)
+    query_model = read_sbml_file(args.query).model
+    query_label = args.query.stem
+    store = ArtifactStore(args.store) if args.store is not None else None
+
+    if args.linear is not None:
+        labels = [path.stem for path in args.linear]
+        candidates = [read_sbml_file(path).model for path in args.linear]
+        matrix = match_query(
+            query_model,
+            candidates,
+            options,
+            workers=args.workers,
+            backend=args.backend,
+            store=store,
+        )
+        rows = [
+            replace(outcome, left=query_label, right=labels[outcome.j - 1])
+            for outcome in matrix.outcomes
+        ]
+        pruned = 0
+        summary = (
+            f"query {query_label}: linear scan over "
+            f"{len(candidates)} model(s)"
+        )
+    else:
+        index = CorpusIndex.load(args.index)
+        if index.options_key != index_options_key(options):
+            print(
+                f"error: {args.index} was built under different key "
+                f"options than --semantics {args.semantics}",
+                file=sys.stderr,
+            )
+            return 2
+        signature = _query_signature(query_model, options, index, store)
+        ranked = index.rank(index.query(signature))
+        blocked = [hit for hit in ranked if hit.blocked]
+        selected = blocked if args.top_k == 0 else blocked[: args.top_k]
+        loaded = []
+        for hit in selected:
+            entry = index.get(hit.digest)
+            if entry.path is None:
+                print(
+                    f"warning: {hit.label}: no source path recorded in "
+                    "the index; skipping full match for this candidate",
+                    file=sys.stderr,
+                )
+                continue
+            candidate = read_sbml_file(Path(entry.path)).model
+            if model_digest(candidate) != hit.digest:
+                print(
+                    f"warning: {entry.path} changed since it was "
+                    "indexed (stale digest); matching the current "
+                    "file contents",
+                    file=sys.stderr,
+                )
+            loaded.append((hit, candidate))
+        rows = []
+        if loaded:
+            matrix = match_query(
+                query_model,
+                [candidate for _, candidate in loaded],
+                options,
+                workers=args.workers,
+                backend=args.backend,
+                store=store,
+            )
+            rows.extend(
+                replace(
+                    outcome,
+                    j=loaded[outcome.j - 1][0].position + 1,
+                    left=query_label,
+                    right=loaded[outcome.j - 1][0].label,
+                )
+                for outcome in matrix.outcomes
+            )
+        pruned = len(ranked) - len(blocked)
+        if args.with_pruned:
+            query_size = query_model.network_size()
+            for hit in ranked:
+                if hit.blocked:
+                    continue
+                united, added, renamed, conflicts = hit.synthesized_counts(
+                    signature.component_count
+                )
+                entry = index.get(hit.digest)
+                rows.append(
+                    PairOutcome(
+                        i=0,
+                        j=hit.position + 1,
+                        left=query_label,
+                        right=hit.label,
+                        size=query_size + int(entry.signature.counts[25]),
+                        seconds=0.0,
+                        united=united,
+                        added=added,
+                        renamed=renamed,
+                        conflicts=conflicts,
+                    )
+                )
+        rows.sort(key=lambda outcome: (outcome.i, outcome.j))
+        summary = (
+            f"query {query_label}: {len(ranked)} indexed model(s), "
+            f"{len(selected)} candidate(s) fully matched"
+            + (
+                f" (top {args.top_k} of {len(blocked)})"
+                if args.top_k and len(blocked) > len(selected)
+                else ""
+            )
+            + f", {pruned} prescreen-synthesized"
+        )
+
+    if args.output is not None:
+        write_outcomes_csv(args.output, rows, deterministic=args.deterministic)
+        print(f"wrote {args.output}")
+    else:
+        print(f"{'candidate':>24} {'size':>6} {'united':>6} "
+              f"{'added':>6} {'renamed':>7} {'conflicts':>9}")
+        for outcome in rows:
+            print(
+                f"{outcome.right:>24} {outcome.size:>6} "
+                f"{outcome.united:>6} {outcome.added:>6} "
+                f"{outcome.renamed:>7} {outcome.conflicts:>9}"
+            )
+    print(summary, file=sys.stderr)
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    if args.corpus_command == "index":
+        return _cmd_corpus_index(args)
+    return _cmd_corpus_query(args)
+
+
 _COMMANDS = {
     "merge": _cmd_merge,
     "sweep": _cmd_sweep,
     "sweep-status": _cmd_sweep_status,
     "sweep-merge": _cmd_sweep_merge,
+    "corpus": _cmd_corpus,
     "diff": _cmd_diff,
     "validate": _cmd_validate,
     "simulate": _cmd_simulate,

@@ -25,6 +25,14 @@ Public API:
 * :class:`~repro.core.artifact_store.ArtifactStore` — on-disk,
   content-addressed per-model artifacts shared across shard runs,
   resumed sweeps and spilled sessions.
+* :class:`~repro.core.signature.ModelSignature` /
+  :class:`~repro.core.signature.Prescreen` — per-model structural
+  signatures and the vectorized all-pairs prescreen
+  (``match_all(..., prescreen=True)``).
+* :func:`~repro.core.match_all.match_query` — one query model against
+  a candidate list (the corpus-search primitive).
+* :class:`~repro.core.corpus_index.CorpusIndex` — persistent inverted
+  index over signature keys for sublinear corpus queries.
 """
 
 from repro.core.artifact_store import (
@@ -42,14 +50,17 @@ from repro.core.compose import (
     compose,
     index_options_key,
 )
+from repro.core.corpus_index import CorpusIndex, IndexedModel
 from repro.core.match_all import (
     MatchMatrix,
     PairOutcome,
     match_all,
     match_all_sharded,
+    match_query,
     read_outcomes_csv,
     write_outcomes_csv,
 )
+from repro.core.signature import ModelSignature, Prescreen, key_hash
 from repro.core.index import (
     ComponentIndex,
     HashIndex,
@@ -112,10 +123,16 @@ __all__ = [
     "AccumState",
     "match_all",
     "match_all_sharded",
+    "match_query",
     "MatchMatrix",
     "PairOutcome",
     "write_outcomes_csv",
     "read_outcomes_csv",
+    "ModelSignature",
+    "Prescreen",
+    "key_hash",
+    "CorpusIndex",
+    "IndexedModel",
     "ArtifactStore",
     "ModelArtifacts",
     "model_digest",

@@ -51,11 +51,16 @@ __all__ = [
 #: (:class:`~repro.core.compose.ModelIndexSet`) — a pure addition, so
 #: format-2 entries still rehydrate (their missing index table is
 #: computed lazily by consumers) instead of being treated as corrupt.
-_FORMAT = 3
+#: Format 4 added the structural signature
+#: (:class:`~repro.core.signature.ModelSignature`) and the
+#: per-collection id sets — pure additions again, so format-2/3
+#: entries rehydrate with those fields ``None`` and consumers
+#: recompute lazily.
+_FORMAT = 4
 
 #: Older formats the reader still accepts (fields added since are
 #: normalised to "absent, compute lazily").
-_COMPATIBLE_FORMATS = frozenset((2, _FORMAT))
+_COMPATIBLE_FORMATS = frozenset((2, 3, _FORMAT))
 
 
 def model_digest(model: Model) -> str:
@@ -116,12 +121,22 @@ class ModelArtifacts:
     #: :meth:`~repro.core.compose.ModelIndexSet.matches` and rebuild
     #: locally on a mismatch.
     indexes: Optional[ModelIndexSet] = None
+    #: Structural signature (store format 4, same options discipline
+    #: as ``indexes``: check :meth:`~repro.core.signature.ModelSignature.matches`
+    #: and rebuild on mismatch), or ``None`` from older entries.
+    signature: Optional["ModelSignature"] = None
+    #: Per-collection id sets (:meth:`~repro.sbml.model.Model.id_set_table`,
+    #: store format 4) seeding ``_check_unique``'s memo on merge
+    #: copies, or ``None`` from older entries — consumers recompute
+    #: from the model then.
+    id_sets: Optional[Dict[str, frozenset]] = None
 
 
 def compute_artifacts(
     model: Model,
     with_patterns: bool = True,
     with_indexes: bool = True,
+    with_signature: bool = True,
 ) -> ModelArtifacts:
     """Derive a model's artifacts from scratch (the store's miss path,
     and the single source of truth for what gets spilled).
@@ -133,12 +148,16 @@ def compute_artifacts(
     rehydrate it).  ``with_indexes=False`` likewise skips the
     phase-index rows, which are computed under the paper-default heavy
     options (the fingerprint travels with them; a consumer running
-    other semantics rebuilds in memory)."""
+    other semantics rebuilds in memory), and implies skipping the
+    signature, which is derived from those rows.  The per-collection
+    id sets are always computed — they are option-independent and
+    cost one pass over the component lists."""
     used_ids = set(model.global_ids()) | {
         ud.id for ud in model.unit_definitions if ud.id
     }
     patterns = model_pattern_table(model) if with_patterns else {}
     indexes = None
+    signature = None
     if with_indexes:
         # Route the index build's math keys through a cache seeded
         # with the pattern table just computed, so each expression's
@@ -149,12 +168,24 @@ def compute_artifacts(
         indexes = ModelIndexSet.build(
             model, _artifact_options(), pattern_cache=cache
         )
+        if with_signature:
+            from repro.core.signature import ModelSignature
+
+            signature = ModelSignature.build(
+                model,
+                _artifact_options(),
+                index_set=indexes,
+                used_ids=used_ids,
+                pattern_cache=cache,
+            )
     return ModelArtifacts(
         used_ids=used_ids,
         registry=model.unit_registry(),
         initial=_collect_initial_values(model),
         patterns=patterns,
         indexes=indexes,
+        signature=signature,
+        id_sets=model.id_set_table(),
     )
 
 
@@ -205,11 +236,15 @@ class ArtifactStore:
             if payload["format"] not in _COMPATIBLE_FORMATS:
                 return None
             artifacts = payload["artifacts"]
-            if getattr(artifacts, "indexes", None) is None:
-                # Format-2 entry (pre-index-artifact layout): a valid
-                # hit, not a corrupt entry — the index rows are simply
-                # absent and consumers compute them lazily.
-                artifacts.indexes = None
+            # Entries written by older formats predate some fields
+            # (format 2: index rows; formats 2–3: signature and id
+            # sets).  They are valid hits, not corrupt entries — the
+            # missing fields are normalised to ``None`` ("absent,
+            # compute lazily") so consumers never see an attribute
+            # error from an old pickle's narrower ``__dict__``.
+            for lazy_field in ("indexes", "signature", "id_sets"):
+                if getattr(artifacts, lazy_field, None) is None:
+                    setattr(artifacts, lazy_field, None)
         except Exception:
             return None
         # Refresh the entry's mtime so :meth:`evict`'s LRU ordering
@@ -280,6 +315,7 @@ class ArtifactStore:
         *,
         max_age: Optional[float] = None,
         max_entries: Optional[int] = None,
+        pinned: Iterable[str] = (),
     ) -> int:
         """Expire old entries; returns how many were removed.
 
@@ -290,11 +326,24 @@ class ArtifactStore:
         may be combined.  Concurrent evictors and writers are safe —
         an entry that disappears mid-scan is simply skipped, and a
         removed entry regenerates as an ordinary miss.
+
+        ``pinned`` digests (typically a live
+        :class:`~repro.core.corpus_index.CorpusIndex`'s
+        :meth:`~repro.core.corpus_index.CorpusIndex.digests`) are
+        exempt: never removed, and not counted against
+        ``max_entries`` — LRU pressure cannot silently strip the
+        artifacts an index's corpus still queries through.  (Eviction
+        can never make query *results* wrong — a missing entry is an
+        ordinary miss that recomputes — pinning just keeps the reuse
+        the index exists for.)
         """
         if max_age is None and max_entries is None:
             return 0
+        pinned = set(pinned)
         entries = []
         for path in self.root.glob("??/*.pkl"):
+            if path.stem in pinned:
+                continue
             try:
                 entries.append((path.stat().st_mtime, path))
             except OSError:

@@ -1,0 +1,402 @@
+"""Persistent inverted index over model signatures — corpus search.
+
+The all-pairs :class:`~repro.core.signature.Prescreen` answers "which
+pairs of *this in-memory corpus* are worth matching".  A corpus
+*service* (ROADMAP: "Corpus search service") needs the same answer
+for one query model against a **library that outlives the process**:
+thousands of models, indexed once, queried many times, updated
+incrementally as models arrive and leave.  A linear scan — even a
+prescreened one — rebuilds every signature per query; the
+:class:`CorpusIndex` instead persists one global **inverted index**
+over the corpus's tagged key hashes (component keys, math-pattern
+digests via the rule/constraint/ia math keys, used ids) plus coarse
+signature buckets, semanticSBML-style: annotation-like evidence is
+precomputed at index time, so a query touches only the posting lists
+its own keys hit.
+
+Layout:
+
+* ``entries`` — one :class:`IndexedModel` per corpus model, keyed by
+  the model's content digest
+  (:func:`~repro.core.artifact_store.model_digest`), carrying its
+  full :class:`~repro.core.signature.ModelSignature`, a display
+  label, an optional source path (the stale-digest recovery handle)
+  and an LRU sequence number.
+* ``postings`` — ``key hash -> {digests}`` for every signature key
+  hash.  A query's candidate set is the union of the posting lists
+  its own hashes hit — work proportional to shared keys, not to
+  corpus size.
+* ``bucket_postings`` — the same for the coarse log-scale signature
+  buckets (:meth:`~repro.core.signature.ModelSignature.bucket_hashes`).
+  Kept strictly separate: bucket overlap ranks "structurally nearest"
+  lookups but must never suppress pruning or suggest a semantic match.
+
+:meth:`query` classifies every indexed model exactly as the
+prescreen's pair logic would — candidates surfaced by the posting
+walk get the full congruence check against the stored signature,
+everything else is disjoint by construction — so running the full
+matcher on the surviving candidates (``sbmlcompose corpus query``)
+reproduces the linear scan's rows byte for byte.
+
+The index is tied to one key-affecting options fingerprint
+(:func:`~repro.core.compose.index_options_key`): signatures built
+under other options are rejected at :meth:`add` and :meth:`query`
+time, exactly like stale artifact-store entries.
+
+Persistence is a single atomic pickle (temp file + ``os.replace``,
+the artifact store's discipline) with an explicit format version.
+The index stores *signatures*, not artifacts: evicting a model's
+entry from the :class:`~repro.core.artifact_store.ArtifactStore`
+never breaks queries (the signature lives here), and
+``ArtifactStore.evict(pinned=index.digests())`` keeps the heavier
+artifacts of indexed models from churning out from under a live
+service; if an entry's artifacts *were* evicted, the entry's ``path``
+is the recovery handle — reload the model and recompute.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.artifact_store import model_digest
+from repro.core.compose import index_options_key
+from repro.core.options import ComposeOptions
+from repro.core.signature import ModelSignature
+from repro.sbml.model import Model
+
+__all__ = [
+    "CorpusIndex",
+    "IndexedModel",
+    "QueryHit",
+]
+
+#: On-disk format version.  Bump on layout changes; old formats are
+#: rejected at load (an index is cheap to rebuild from its corpus,
+#: unlike the artifact store there is no partial-rehydration tier).
+_FORMAT = 1
+
+
+@dataclass
+class IndexedModel:
+    """One corpus model's index entry."""
+
+    digest: str
+    label: str
+    #: Source path, when known — the stale-digest recovery handle: if
+    #: the artifact store evicted this model's artifacts, reload from
+    #: here and recompute.
+    path: Optional[str]
+    #: LRU clock value of the last add/touch; :meth:`CorpusIndex.evict`
+    #: drops the smallest.
+    sequence: int
+    signature: ModelSignature
+
+
+@dataclass
+class QueryHit:
+    """One indexed model's classification against a query signature.
+
+    ``blocked=True`` means the pair must run the full matcher (some
+    shared key is not congruent-twin-owned, or the source is not
+    self-clean); otherwise the outcome is synthesizable with ``united``
+    twins, exactly as in
+    :meth:`~repro.core.signature.Prescreen.synthesized_counts`.
+    """
+
+    digest: str
+    label: str
+    #: Insertion position in the index (stable tiebreak for ranking).
+    position: int
+    #: Shared tagged-key count with the query.
+    score: int
+    blocked: bool
+    united: int
+    component_count: int
+
+    def synthesized_counts(
+        self, query_component_count: int
+    ) -> Tuple[int, int, int, int]:
+        """``(united, added, renamed, conflicts)`` when not blocked."""
+        if query_component_count == 0 or self.component_count == 0:
+            return (0, 0, 0, 0)
+        return (self.united, self.component_count - self.united, 0, 0)
+
+
+class CorpusIndex:
+    """Incrementally maintained, persistent corpus search index."""
+
+    def __init__(self, options: Optional[ComposeOptions] = None):
+        self.options = options or ComposeOptions()
+        self.options_key = index_options_key(self.options)
+        self.entries: Dict[str, IndexedModel] = {}
+        self.postings: Dict[int, Set[str]] = {}
+        self.bucket_postings: Dict[int, Set[str]] = {}
+        self._sequence = 0
+
+    # -- maintenance ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self.entries
+
+    def get(self, digest: str) -> Optional[IndexedModel]:
+        return self.entries.get(digest)
+
+    def digests(self) -> frozenset:
+        """Digests of every indexed model — hand to
+        ``ArtifactStore.evict(pinned=...)`` so LRU artifact eviction
+        skips models a live index still serves."""
+        return frozenset(self.entries)
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def add(
+        self,
+        model: Model,
+        label: Optional[str] = None,
+        *,
+        path: Optional[Union[str, Path]] = None,
+        store=None,
+        signature: Optional[ModelSignature] = None,
+    ) -> str:
+        """Index one model; returns its content digest.
+
+        Re-adding an already indexed model refreshes its label, path
+        and LRU position without touching the postings (the digest is
+        content-addressed, so same digest means same signature).  With
+        ``store`` (an :class:`~repro.core.artifact_store.ArtifactStore`)
+        the signature is rehydrated from the model's format-4 artifact
+        entry when it matches this index's options.
+        """
+        digest = model_digest(model)
+        existing = self.entries.get(digest)
+        if existing is not None:
+            existing.label = label or existing.label
+            if path is not None:
+                existing.path = str(path)
+            existing.sequence = self._next_sequence()
+            return digest
+        if signature is None and store is not None:
+            artifacts = store.get_or_compute(model)
+            candidate = getattr(artifacts, "signature", None)
+            if (
+                candidate is not None
+                and getattr(candidate, "key_fingerprints", None) is not None
+                and candidate.options_key == self.options_key
+            ):
+                signature = candidate
+        if signature is None:
+            signature = ModelSignature.build(model, self.options)
+        elif signature.options_key != self.options_key:
+            raise ValueError(
+                "signature was built under different key options than "
+                "this index's"
+            )
+        entry = IndexedModel(
+            digest=digest,
+            label=label or model.name or model.id or digest[:12],
+            path=str(path) if path is not None else None,
+            sequence=self._next_sequence(),
+            signature=signature,
+        )
+        self.entries[digest] = entry
+        for hash_value in signature.key_hashes:
+            self.postings.setdefault(int(hash_value), set()).add(digest)
+        for hash_value in signature.bucket_hashes():
+            self.bucket_postings.setdefault(int(hash_value), set()).add(
+                digest
+            )
+        return digest
+
+    def remove(self, digest: str) -> bool:
+        """Drop one model and its posting memberships; ``False`` when
+        the digest was not indexed."""
+        entry = self.entries.pop(digest, None)
+        if entry is None:
+            return False
+        for hash_value in entry.signature.key_hashes:
+            postings = self.postings.get(int(hash_value))
+            if postings is not None:
+                postings.discard(digest)
+                if not postings:
+                    del self.postings[int(hash_value)]
+        for hash_value in entry.signature.bucket_hashes():
+            postings = self.bucket_postings.get(int(hash_value))
+            if postings is not None:
+                postings.discard(digest)
+                if not postings:
+                    del self.bucket_postings[int(hash_value)]
+        return True
+
+    def touch(self, digest: str) -> None:
+        """Bump a model's LRU position (a query serving it counts as
+        use)."""
+        entry = self.entries.get(digest)
+        if entry is not None:
+            entry.sequence = self._next_sequence()
+
+    def evict(self, max_entries: int) -> List[str]:
+        """Drop least-recently-used entries down to ``max_entries``;
+        returns the removed digests (oldest first)."""
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        removed: List[str] = []
+        while len(self.entries) > max_entries:
+            oldest = min(
+                self.entries.values(), key=lambda entry: entry.sequence
+            )
+            self.remove(oldest.digest)
+            removed.append(oldest.digest)
+        return removed
+
+    # -- queries -------------------------------------------------------
+
+    def query(self, signature: ModelSignature) -> List[QueryHit]:
+        """Classify every indexed model against one query signature.
+
+        The posting walk surfaces only models sharing at least one key
+        with the query; those get the exact congruence check.  All
+        other models are disjoint *by construction of the index* —
+        their hits carry ``score=0`` and block only when the indexed
+        model is not self-clean.  Hits come back in insertion order;
+        rank with :meth:`rank` (or slice survivors yourself).
+        """
+        if signature.options_key != self.options_key:
+            raise ValueError(
+                "query signature was built under different key options "
+                "than this index's"
+            )
+        allow_twins = self.options.match_anything
+        candidates: Set[str] = set()
+        for hash_value in signature.key_hashes:
+            candidates.update(self.postings.get(int(hash_value), ()))
+        hits: List[QueryHit] = []
+        for position, entry in enumerate(self.entries.values()):
+            source = entry.signature
+            if entry.digest in candidates:
+                score, blocked, united = signature.congruence(source)
+                if not allow_twins:
+                    blocked, united = score > 0, 0
+            else:
+                score, blocked, united = 0, False, 0
+            if not source.self_clean:
+                blocked = True
+            if signature.component_count == 0 or source.component_count == 0:
+                # Figure 5 line 1–2 short-circuit: trivially
+                # synthesizable whatever the overlap.
+                blocked = False
+                united = 0
+            hits.append(
+                QueryHit(
+                    digest=entry.digest,
+                    label=entry.label,
+                    position=position,
+                    score=score,
+                    blocked=blocked,
+                    united=united,
+                    component_count=source.component_count,
+                )
+            )
+        return hits
+
+    @staticmethod
+    def rank(hits: Sequence[QueryHit]) -> List[QueryHit]:
+        """Blocked hits (must-match candidates) ranked by shared-key
+        score (descending, insertion order as tiebreak), followed by
+        the synthesizable rest in insertion order."""
+        blocked = sorted(
+            (hit for hit in hits if hit.blocked),
+            key=lambda hit: (-hit.score, hit.position),
+        )
+        pruned = [hit for hit in hits if not hit.blocked]
+        return blocked + pruned
+
+    def nearest(
+        self, signature: ModelSignature, limit: int = 10
+    ) -> List[QueryHit]:
+        """"Structurally nearest" models by coarse bucket overlap —
+        a scale lookup, *not* semantic evidence (bucket hits never
+        feed pruning decisions)."""
+        counts: Dict[str, int] = {}
+        for hash_value in signature.bucket_hashes():
+            for digest in self.bucket_postings.get(int(hash_value), ()):
+                counts[digest] = counts.get(digest, 0) + 1
+        positions = {
+            digest: position
+            for position, digest in enumerate(self.entries)
+        }
+        ranked = sorted(
+            counts.items(),
+            key=lambda item: (-item[1], positions[item[0]]),
+        )[:limit]
+        return [
+            QueryHit(
+                digest=digest,
+                label=self.entries[digest].label,
+                position=positions[digest],
+                score=score,
+                blocked=False,
+                united=0,
+                component_count=self.entries[digest].signature.component_count,
+            )
+            for digest, score in ranked
+        ]
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Atomically persist the index (temp file + rename)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _FORMAT,
+            "options_key": self.options_key,
+            "options": self.options,
+            "entries": self.entries,
+            "postings": self.postings,
+            "bucket_postings": self.bucket_postings,
+            "sequence": self._sequence,
+        }
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CorpusIndex":
+        path = Path(path)
+        with open(path, "rb") as stream:
+            payload = pickle.load(stream)
+        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+            raise ValueError(
+                f"{path}: not a format-{_FORMAT} corpus index"
+            )
+        index = cls(payload["options"])
+        if index.options_key != payload["options_key"]:
+            raise ValueError(
+                f"{path}: stored options fingerprint disagrees with its "
+                f"options object"
+            )
+        index.entries = payload["entries"]
+        index.postings = payload["postings"]
+        index.bucket_postings = payload["bucket_postings"]
+        index._sequence = payload["sequence"]
+        return index

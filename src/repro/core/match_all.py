@@ -61,6 +61,7 @@ from repro.core.compose import (
     BoundIndexSet,
     Composer,
     ModelIndexSet,
+    index_options_key,
 )
 from repro.core.options import (
     BACKEND_PROCESS,
@@ -70,6 +71,7 @@ from repro.core.options import (
 from repro.core.pattern_cache import PatternCache
 from repro.core.session import stable_labels
 from repro.core.shards import Shard, partition_pairs
+from repro.core.signature import Prescreen
 from repro.sbml.model import Model
 from repro.units.registry import UnitRegistry
 
@@ -78,6 +80,7 @@ __all__ = [
     "MatchMatrix",
     "match_all",
     "match_all_sharded",
+    "match_query",
     "write_outcomes",
     "write_outcomes_csv",
     "read_outcomes_csv",
@@ -131,6 +134,11 @@ class MatchMatrix:
     #: Set when this matrix holds one shard of a sharded sweep.
     shard_id: Optional[int] = None
     shard_count: Optional[int] = None
+    #: Pairs whose outcome was synthesized by the structural prescreen
+    #: instead of running the Figure 4/5 phases (their
+    #: :class:`PairOutcome` rows are still present, byte-identical to
+    #: what the full matcher would have produced).
+    pruned: int = 0
 
     @property
     def pair_count(self) -> int:
@@ -158,10 +166,14 @@ class MatchMatrix:
             if self.shard_id is not None
             else ""
         )
+        prescreened = (
+            f", {self.pruned} prescreen-synthesized" if self.pruned else ""
+        )
         return (
             f"{self.pair_count} pairs over {self.model_count} models in "
             f"{self.seconds:.2f}s ({self.pairs_per_second:.1f} pairs/s, "
-            f"workers={self.workers}, backend={self.backend}{sharded})"
+            f"workers={self.workers}, backend={self.backend}{sharded}"
+            f"{prescreened})"
         )
 
     @classmethod
@@ -198,6 +210,7 @@ class MatchMatrix:
             model_count=model_counts.pop(),
             workers=max(part.workers for part in parts),
             backend=parts[0].backend,
+            pruned=sum(part.pruned for part in parts),
         )
 
 
@@ -319,7 +332,13 @@ class _PairEngine:
         )
         self.store = ArtifactStore(store_root) if store_root else None
         self._artifacts: Dict[
-            int, Tuple[Set[str], UnitRegistry, Dict[str, float]]
+            int,
+            Tuple[
+                Set[str],
+                UnitRegistry,
+                Dict[str, float],
+                Optional[Dict[str, frozenset]],
+            ],
         ] = {}
         #: Lazily bound per-model phase indexes — built only when a
         #: model is first used as a pair's *target* (a source-only
@@ -335,7 +354,12 @@ class _PairEngine:
 
     def _model_artifacts(
         self, index: int
-    ) -> Tuple[Set[str], UnitRegistry, Dict[str, float]]:
+    ) -> Tuple[
+        Set[str],
+        UnitRegistry,
+        Dict[str, float],
+        Optional[Dict[str, frozenset]],
+    ]:
         hit = self._artifacts.get(index)
         if hit is not None:
             return hit
@@ -368,6 +392,7 @@ class _PairEngine:
                     artifacts.used_ids,
                     artifacts.registry,
                     artifacts.initial,
+                    getattr(artifacts, "id_sets", None),
                 )
                 self._artifacts[index] = hit
         return hit
@@ -407,11 +432,20 @@ class _PairEngine:
     def run_pair(self, i: int, j: int) -> PairOutcome:
         left = self.models[i]
         right = self.models[j]
-        used_ids, registry, initial = self._model_artifacts(i)
-        _, source_registry, source_initial = self._model_artifacts(j)
+        used_ids, registry, initial, id_sets = self._model_artifacts(i)
+        _, source_registry, source_initial, _ = self._model_artifacts(j)
         indexes = self._target_indexes(i)
         size = self._model_size(i) + self._model_size(j)
         started = time.perf_counter()
+        target = left.copy_shallow()
+        if id_sets is not None:
+            # Seed the duplicate-id memos the adders' ``_check_unique``
+            # would otherwise rebuild with an O(collection) scan on the
+            # first add into each collection — per pair, the sweep's
+            # largest remaining per-pair constant.  The seeded sets
+            # are exactly what the scan would derive, so outcomes are
+            # unchanged (the conformance matrix pins this).
+            target.seed_id_sets(id_sets)
         # The target copy is part of the timed merge (it always was in
         # the per-pair engines this replaces), but it is *shallow*:
         # merges never mutate pre-existing target components, and the
@@ -422,7 +456,7 @@ class _PairEngine:
         # across a copy, and the registry is only read for unit
         # conversion until the unit phase rebuilds it.
         _, report, _ = self.composer.compose_step(
-            left.copy_shallow(),
+            target,
             right,
             copy_target=False,
             target_state=AccumState(
@@ -569,6 +603,138 @@ def _store_root(
     return str(store)
 
 
+def _resolve_prescreen(
+    prescreen: Union[None, bool, Prescreen],
+    models: Sequence[Model],
+    options: Optional[ComposeOptions],
+    store: Optional[Union[ArtifactStore, str, Path]],
+) -> Optional[Prescreen]:
+    """Normalize the ``prescreen=`` argument to a ready instance.
+
+    ``True`` builds one here (store-assisted when the sweep has a
+    store); a caller-supplied :class:`~repro.core.signature.Prescreen`
+    must cover exactly this corpus and have been built under the same
+    key-affecting options as the sweep, or the synthesized outcomes
+    could diverge from what the full matcher would produce.
+    """
+    if prescreen is None or prescreen is False:
+        return None
+    if prescreen is True:
+        store_object = (
+            store
+            if isinstance(store, ArtifactStore)
+            else ArtifactStore(store)
+            if store is not None
+            else None
+        )
+        return Prescreen.build(models, options, store=store_object)
+    if not isinstance(prescreen, Prescreen):
+        raise TypeError(
+            f"prescreen must be None, a bool or a Prescreen, "
+            f"got {type(prescreen).__name__}"
+        )
+    if len(prescreen) != len(models):
+        raise ValueError(
+            f"prescreen covers {len(prescreen)} models, corpus has "
+            f"{len(models)}"
+        )
+    sweep_key = index_options_key(options or ComposeOptions())
+    if index_options_key(prescreen.options) != sweep_key:
+        raise ValueError(
+            "prescreen was built under different key options than "
+            "this sweep's"
+        )
+    return prescreen
+
+
+def _screened_pairs(
+    pairs: Sequence[Tuple[int, int]],
+    screen: Optional[Prescreen],
+) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+    """Split one batch into (pairs to run, pairs to synthesize)."""
+    if screen is None:
+        return list(pairs), []
+    survivors = screen.survivors()
+    to_run: List[Tuple[int, int]] = []
+    to_synthesize: List[Tuple[int, int]] = []
+    for i, j in pairs:
+        (to_run if survivors[i, j] else to_synthesize).append((i, j))
+    return to_run, to_synthesize
+
+
+def _synthesized_outcome(
+    screen: Prescreen,
+    i: int,
+    j: int,
+    labels: Sequence[str],
+    sizes: Sequence[int],
+) -> PairOutcome:
+    """The prescreen-synthesized row for a pruned pair — identical on
+    every run-invariant field (:meth:`PairOutcome.key`) to what
+    :meth:`_PairEngine.run_pair` would have produced, with zero wall
+    time (nothing ran)."""
+    united, added, renamed, conflicts = screen.synthesized_counts(i, j)
+    return PairOutcome(
+        i=i,
+        j=j,
+        left=labels[i],
+        right=labels[j],
+        size=sizes[i] + sizes[j],
+        seconds=0.0,
+        united=united,
+        added=added,
+        renamed=renamed,
+        conflicts=conflicts,
+    )
+
+
+def _run_screened(
+    pairs: Sequence[Tuple[int, int]],
+    screen: Optional[Prescreen],
+    labels: Sequence[str],
+    sizes: Sequence[int],
+    options: Optional[ComposeOptions],
+    models: List[Model],
+    workers: int,
+    backend: str,
+    store_root: Optional[str],
+    prebuilt_indexes: bool,
+) -> Tuple[List[PairOutcome], int]:
+    """Run one batch of pairs through the prescreen gate.
+
+    Surviving pairs go to the full fanout engine, pruned pairs are
+    synthesized; the returned outcomes are in the order of ``pairs``
+    regardless, so a screened sweep's CSV is row-for-row aligned with
+    the full sweep's."""
+    to_run, _ = _screened_pairs(pairs, screen)
+    computed = iter(
+        _run_pairs(
+            to_run,
+            options,
+            models,
+            labels,
+            workers,
+            backend,
+            store_root,
+            prebuilt_indexes,
+        )
+    )
+    if screen is None:
+        return list(computed), 0
+    survivors = screen.survivors()
+    outcomes: List[PairOutcome] = []
+    pruned = 0
+    for i, j in pairs:
+        if survivors[i, j]:
+            outcomes.append(next(computed))
+        else:
+            outcomes.append(
+                _synthesized_outcome(screen, i, j, labels, sizes)
+            )
+            pruned += 1
+    return outcomes, pruned
+
+
 def match_all(
     models: Sequence[Model],
     options: Optional[ComposeOptions] = None,
@@ -578,6 +744,7 @@ def match_all(
     include_self: bool = True,
     store: Optional[Union[ArtifactStore, str, Path]] = None,
     prebuilt_indexes: bool = True,
+    prescreen: Union[None, bool, Prescreen] = None,
 ) -> MatchMatrix:
     """Compose every unordered pair of ``models``, batched.
 
@@ -604,6 +771,17 @@ def match_all(
     conformance matrix pins the default path against, and the ablation
     knob behind ``sbmlcompose sweep --fresh-indexes``.
 
+    ``prescreen`` enables the vectorized structural prescreen
+    (:class:`~repro.core.signature.Prescreen`): ``True`` builds one
+    from the corpus (store-assisted when ``store`` is set), or pass a
+    prebuilt instance covering exactly these models under the same
+    key options.  Pairs the prescreen proves trivial skip the phase
+    machinery and get synthesized outcomes; every returned row —
+    synthesized or computed — is identical on its run-invariant
+    fields (:meth:`PairOutcome.key`) to the unscreened sweep's, which
+    the conformance matrix pins as its eighth path.
+    :attr:`MatchMatrix.pruned` counts the synthesized pairs.
+
     Internally the sweep iterates the shards of a one-shard partition
     — the exact engine :func:`match_all_sharded` runs for one shard of
     many, which is what keeps sharded unions identical to this.
@@ -614,26 +792,31 @@ def match_all(
     sizes = [model.network_size() for model in models]
     shards = partition_pairs(sizes, 1, include_self=include_self)
     started = time.perf_counter()
+    screen = _resolve_prescreen(prescreen, models, options, store)
     outcomes: List[PairOutcome] = []
+    pruned = 0
     for shard in shards:
-        outcomes.extend(
-            _run_pairs(
-                shard.pairs,
-                options,
-                models,
-                labels,
-                workers,
-                backend,
-                _store_root(store),
-                prebuilt_indexes,
-            )
+        shard_outcomes, shard_pruned = _run_screened(
+            shard.pairs,
+            screen,
+            labels,
+            sizes,
+            options,
+            models,
+            workers,
+            backend,
+            _store_root(store),
+            prebuilt_indexes,
         )
+        outcomes.extend(shard_outcomes)
+        pruned += shard_pruned
     return MatchMatrix(
         outcomes=outcomes,
         seconds=time.perf_counter() - started,
         model_count=len(models),
         workers=workers,
         backend=backend,
+        pruned=pruned,
     )
 
 
@@ -648,6 +831,7 @@ def match_all_sharded(
     include_self: bool = True,
     store: Optional[Union[ArtifactStore, str, Path]] = None,
     prebuilt_indexes: bool = True,
+    prescreen: Union[None, bool, Prescreen] = None,
 ) -> MatchMatrix:
     """Compute one shard of the all-pairs sweep.
 
@@ -665,7 +849,10 @@ def match_all_sharded(
     artifacts (used-id set, unit registry, evaluated initial values,
     pattern table and phase-index rows) and every later shard — or a
     resumed sweep — rehydrates them instead of recomputing.
-    ``prebuilt_indexes`` is honoured exactly as in :func:`match_all`.
+    ``prebuilt_indexes`` and ``prescreen`` are honoured exactly as in
+    :func:`match_all` — the prescreen's synthesis is deterministic and
+    per-pair, so every shard prunes the same pairs the unsharded
+    screened sweep would and shard unions stay byte-identical.
     """
     models = list(models)
     workers, backend = _resolve_fanout(options, workers, backend)
@@ -681,11 +868,14 @@ def match_all_sharded(
         shard_id
     ]
     started = time.perf_counter()
-    outcomes = _run_pairs(
+    screen = _resolve_prescreen(prescreen, models, options, store)
+    outcomes, pruned = _run_screened(
         shard.pairs,
+        screen,
+        labels,
+        sizes,
         options,
         models,
-        labels,
         workers,
         backend,
         _store_root(store),
@@ -699,4 +889,58 @@ def match_all_sharded(
         backend=backend,
         shard_id=shard_id,
         shard_count=shards,
+        pruned=pruned,
+    )
+
+
+def match_query(
+    target: Model,
+    sources: Sequence[Model],
+    options: Optional[ComposeOptions] = None,
+    *,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    store: Optional[Union[ArtifactStore, str, Path]] = None,
+    prebuilt_indexes: bool = True,
+    prescreen: Union[None, bool, Prescreen] = None,
+) -> MatchMatrix:
+    """Compose one query model (as target) against each source model.
+
+    The corpus-search primitive behind ``sbmlcompose corpus query``:
+    pairs are ``(0, j)`` for ``j = 1..len(sources)`` over the
+    concatenated ``[target, *sources]`` list, so outcome rows carry
+    the query at ``i=0`` and each candidate's position (in input
+    order) at ``j``.  ``prescreen`` covers the concatenated list (the
+    query model included) and synthesizes trivial candidates exactly
+    as in :func:`match_all`; everything else — fanout, store tier,
+    prebuilt indexes — behaves identically too, and each row's
+    run-invariant fields match what a full linear scan over the same
+    candidate list would produce.
+    """
+    models = [target] + list(sources)
+    workers, backend = _resolve_fanout(options, workers, backend)
+    labels = stable_labels(models)
+    sizes = [model.network_size() for model in models]
+    pairs = [(0, j) for j in range(1, len(models))]
+    started = time.perf_counter()
+    screen = _resolve_prescreen(prescreen, models, options, store)
+    outcomes, pruned = _run_screened(
+        pairs,
+        screen,
+        labels,
+        sizes,
+        options,
+        models,
+        workers,
+        backend,
+        _store_root(store),
+        prebuilt_indexes,
+    )
+    return MatchMatrix(
+        outcomes=outcomes,
+        seconds=time.perf_counter() - started,
+        model_count=len(models),
+        workers=workers,
+        backend=backend,
+        pruned=pruned,
     )

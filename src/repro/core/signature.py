@@ -1,0 +1,733 @@
+"""Per-model structural signatures and the vectorized all-pairs prescreen.
+
+The paper's match machinery is pairwise: deciding whether two models
+share anything runs the full Figure 4/5 phase sequence.  Corpus-scale
+workloads (the all-pairs sweep, "find matches for this model" against
+a library) spend most of that work on structurally trivial pairs —
+models that share no id, no name, no unit, no math pattern, or whose
+only overlaps are verbatim copies of the same component (the shared
+``cell`` compartment of every BioModels-style model).  Structural
+signatures over network composition are a well-established cheap
+discriminator (Holme et al., *Subnetwork hierarchies of biochemical
+pathways*), and SIRN-style criteria-count matrices show how to score a
+whole corpus against itself with array operations instead of a Python
+loop per pair.
+
+A :class:`ModelSignature` condenses one model into
+
+* a **criteria-count vector** (component-type counts, species degree
+  histogram, reaction arity histogram, math digest count — numpy
+  ``int64``), used for ranking and for the corpus index's coarse
+  signature buckets, and
+* a **key-hash set**: one 64-bit hash per distinct match key the model
+  exposes — every non-``id:`` key of its
+  :class:`~repro.core.compose.ModelIndexSet` rows (tagged by phase) and
+  every used id (tagged ``ids``) — sorted into a ``uint64`` array so
+  pair overlaps reduce to array intersections, with two aligned
+  side-arrays: the owning component's **congruence fingerprint**
+  (:attr:`~ModelSignature.key_fingerprints`) and a **primary** flag
+  marking the one hash that stands for the whole component
+  (:attr:`~ModelSignature.key_primary`).
+
+A :class:`Prescreen` holds one signature per corpus model and scores
+the entire pair matrix vectorially.  Its prune criterion is **sound**
+with respect to the full matcher: a pair ``(target, source)`` is
+pruned only when
+
+1. neither model is empty (the Figure 5 line 1–2 short-circuit makes
+   empty pairs trivially synthesizable, so those *are* pruned, with
+   ``united=0, added=0``),
+2. every shared key hash is **congruent** — owned, in each model, by
+   exactly one component, and the two owners are identical twins
+   (equal fingerprints: same phase, byte-equal ``repr`` including the
+   id) of a synthesizable kind — and
+3. the source is **self-clean** (:func:`_self_clean`): no duplicate
+   global id across its collections, no duplicate initial-assignment
+   symbol, no duplicate rule key — the ways a source can unite or
+   rename against *itself* while being merged (the initial-assignment
+   and rule phases index components as they add them).
+
+Under those conditions the merge is known exactly without running a
+single phase.  Identical twins unite — and because they carry equal
+ids (or equal ia symbols / rule variables / constraint messages),
+:meth:`~repro.core.mapping.IdMapping.add` drops the identity entry and
+the id mapping provably stays **empty** for the whole merge, so every
+probe key equals the prebuilt row key and the induction carries phase
+to phase.  Every twin resolves to its counterpart (its ``id:`` probe,
+or its unique single key for the id-less phases), passes the phase's
+equality gate (identical math, identical unit, identical values — see
+the kind conditions in :func:`_component_fingerprint`), and unites
+with zero conflicts; every non-twin shares no key with the target, so
+it adopts verbatim and ``claim_id`` never renames.  The outcome is
+``united = #distinct twins`` (counted as shared *primary* hashes),
+``added = source.component_count() - united``, ``renamed = 0``,
+``conflicts = 0``.
+
+Under ``semantics="none"`` options (``match_anything`` false) the
+phases never probe, twins rename instead of uniting, and the
+prescreen automatically falls back to the disjointness-only
+criterion: any key overlap blocks pruning.
+
+Hash collisions only ever *reduce* pruning (two distinct keys hashing
+together makes a pair look overlapping; ambiguous ownership zeroes the
+fingerprint), never break soundness.  The conformance matrix pins
+byte-identity of the prescreened sweep against the full sweep,
+synthesized rows included.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.compose import ModelIndexSet, index_options_key
+from repro.core.options import ComposeOptions
+from repro.core.pattern_cache import PatternCache
+from repro.sbml.model import Model
+
+__all__ = [
+    "COUNTS_LENGTH",
+    "ModelSignature",
+    "Prescreen",
+    "key_hash",
+]
+
+#: Length of the criteria-count vector (see :func:`_criteria_counts`).
+COUNTS_LENGTH = 26
+
+#: The twelve phase component lists, in Figure 4 order — the first
+#: twelve slots of the criteria-count vector.
+_PHASE_ATTRS = (
+    "function_definitions",
+    "unit_definitions",
+    "compartment_types",
+    "species_types",
+    "compartments",
+    "species",
+    "parameters",
+    "initial_assignments",
+    "rules",
+    "constraints",
+    "reactions",
+    "events",
+)
+
+#: Phase names as the index rows spell them, aligned with
+#: :data:`_PHASE_ATTRS`.
+_PHASE_NAMES = (
+    "functionDefinitions",
+    "unitDefinitions",
+    "compartmentTypes",
+    "speciesTypes",
+    "compartments",
+    "species",
+    "parameters",
+    "initialAssignments",
+    "rules",
+    "constraints",
+    "reactions",
+    "events",
+)
+
+#: Collections whose components carry globally scoped ids (the
+#: collections :meth:`~repro.sbml.model.Model.global_ids` walks).
+_ID_ATTRS = (
+    "function_definitions",
+    "unit_definitions",
+    "compartment_types",
+    "species_types",
+    "compartments",
+    "species",
+    "parameters",
+    "reactions",
+    "events",
+)
+
+_ID_ATTR_SET = frozenset(_ID_ATTRS)
+
+#: ``(phase name, collection attr)`` for the id-bearing collections.
+_ID_SOURCES = tuple(
+    (phase, attr)
+    for phase, attr in zip(_PHASE_NAMES, _PHASE_ATTRS)
+    if attr in _ID_ATTR_SET
+)
+
+
+def key_hash(tag: str, key: str) -> int:
+    """64-bit hash of one tagged match key.
+
+    Keys are tagged by the phase that indexes them (a compartment
+    named ``k`` and a parameter named ``k`` can never meet in a phase
+    probe, so their hashes must not collide by construction), or by
+    ``"ids"`` for used-id membership (which *is* global: any source id
+    equal to any used target id forces a rename in ``claim_id``).
+    """
+    digest = hashlib.blake2b(
+        tag.encode("utf-8") + b"\x00" + key.encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _component_fingerprint(phase: str, component) -> int:
+    """Congruence fingerprint of one component, ``0`` = never prunable.
+
+    Two components with equal nonzero fingerprints are identical twins
+    — same phase, byte-equal dataclass ``repr`` (which covers the id
+    and every semantic field, maths included: the AST nodes are frozen
+    dataclasses) — and a twin provably unites *cleanly*: the phase
+    equality gates compare identical maths, units and values, and the
+    conflict checks compare a value with itself
+    (``compare_values(v, v)`` and ``compare_values(None, None)`` are
+    both equal with no note).  The one kind condition: a **constant
+    parameter without a value** falls through ``provably_equal``
+    ("no way of confirming whether they are intended to be equal",
+    paper §3) into the rename branch, so it gets the ``0`` sentinel
+    and any pair sharing its keys runs the full matcher.
+    """
+    if (
+        phase == "parameters"
+        and component.constant
+        and component.value is None
+    ):
+        return 0
+    fingerprint = key_hash("twin:" + phase, repr(component))
+    # ``0`` is reserved as the "not synthesizable" sentinel.
+    return fingerprint or 1
+
+
+def _criteria_counts(model: Model) -> np.ndarray:
+    """The signature's criteria-count vector (SIRN-style).
+
+    Layout: 12 component-list lengths (Figure 4 order), 5-bucket
+    species degree histogram (reactant/product participations:
+    0,1,2,3,>=4), 5-bucket reaction arity histogram (reactants +
+    products: 0,1,2,3,>=4), reversible reaction count, edge count,
+    distinct math digest count, network size.
+    """
+    counts = np.zeros(COUNTS_LENGTH, dtype=np.int64)
+    for slot, attr in enumerate(_PHASE_ATTRS):
+        counts[slot] = len(getattr(model, attr))
+    degrees: Dict[str, int] = {
+        species.id: 0 for species in model.species if species.id
+    }
+    reversible = 0
+    for reaction in model.reactions:
+        arity = 0
+        for reference in list(reaction.reactants) + list(reaction.products):
+            arity += 1
+            if reference.species in degrees:
+                degrees[reference.species] += 1
+        counts[17 + min(arity, 4)] += 1
+        if reaction.reversible:
+            reversible += 1
+    for degree in degrees.values():
+        counts[12 + min(degree, 4)] += 1
+    counts[22] = reversible
+    counts[23] = model.num_edges()
+    counts[24] = len({math.digest() for math in model.all_math()})
+    counts[25] = model.network_size()
+    return counts
+
+
+def _self_clean(model: Model, index_set: ModelIndexSet) -> bool:
+    """Whether the model can be merged into a congruent-or-disjoint
+    target without interacting with *itself*.
+
+    Three self-interactions exist even then: a global id repeated
+    across the source's own collections makes ``claim_id`` rename the
+    second occurrence (the first added one registered the id as used);
+    the initial-assignment and rule phases index source components as
+    they add them, so a repeated initial-assignment symbol or rule key
+    makes the source unite (or conflict) with its own earlier
+    component.  A source that is not self-clean is never pruned — the
+    full matcher decides.
+    """
+    ids: List[str] = []
+    for attr in _ID_ATTRS:
+        for component in getattr(model, attr):
+            component_id = getattr(component, "id", None)
+            if component_id is not None:
+                ids.append(component_id)
+    if len(ids) != len(set(ids)):
+        return False
+    for phase in ("initialAssignments", "rules"):
+        keys = [row[1] for row in index_set.rows.get(phase, ())]
+        if len(keys) != len(set(keys)):
+            return False
+    return True
+
+
+@dataclass
+class ModelSignature:
+    """Cheap structural summary of one model, under one option set.
+
+    Stored in the :class:`~repro.core.artifact_store.ArtifactStore`
+    (format 4) next to the pattern table and index rows it is derived
+    from; like those, it is tagged with the key-affecting options
+    fingerprint (:func:`~repro.core.compose.index_options_key`) and
+    consumers must check :meth:`matches` before trusting it.
+    """
+
+    options_key: Tuple
+    component_count: int
+    #: Criteria-count vector (:func:`_criteria_counts`), ``int64``.
+    counts: np.ndarray
+    #: Sorted distinct 64-bit hashes of every tagged match key.
+    key_hashes: np.ndarray
+    #: Aligned with :attr:`key_hashes`: the owning component's
+    #: congruence fingerprint (:func:`_component_fingerprint`), or
+    #: ``0`` when the key has multiple owners in this model or the
+    #: owner is not of a synthesizable kind.
+    key_fingerprints: np.ndarray
+    #: Aligned with :attr:`key_hashes`: ``True`` for the one hash that
+    #: stands for the whole component when counting united twins — the
+    #: ``ids`` hash for id-bearing components, the first phase key for
+    #: id-less ones (initial assignments, rules, constraints).
+    key_primary: np.ndarray
+    #: Whether a merge into a congruent-or-disjoint target provably
+    #: never interacts with itself (see :func:`_self_clean`).
+    self_clean: bool
+
+    @classmethod
+    def build(
+        cls,
+        model: Model,
+        options: Optional[ComposeOptions] = None,
+        *,
+        index_set: Optional[ModelIndexSet] = None,
+        used_ids: Optional[Set[str]] = None,
+        pattern_cache: Optional[PatternCache] = None,
+    ) -> "ModelSignature":
+        """Compute a model's signature.
+
+        ``index_set``/``used_ids`` let callers that already computed
+        the model's artifacts (the store's miss path, the sweep
+        engine) share the work; an index set built under different
+        key options is rebuilt locally, exactly as the pair engine
+        rebuilds stale index artifacts.
+        """
+        options = options or ComposeOptions()
+        if index_set is None or not index_set.matches(options):
+            index_set = ModelIndexSet.build(model, options, pattern_cache)
+        if used_ids is None:
+            used_ids = set(model.global_ids()) | {
+                ud.id for ud in model.unit_definitions if ud.id
+            }
+
+        fingerprints: Dict[int, int] = {}
+        primary: Dict[int, bool] = {}
+
+        def record(hash_value: int, fingerprint: int, is_primary: bool):
+            if hash_value in fingerprints:
+                # Two owners for one key (or a cross-tag hash
+                # collision): congruence can no longer identify a
+                # single twin — poison the hash.
+                fingerprints[hash_value] = 0
+                primary[hash_value] = False
+            else:
+                fingerprints[hash_value] = fingerprint
+                primary[hash_value] = is_primary and fingerprint != 0
+
+        fingerprint_memo: Dict[int, int] = {}
+
+        def fingerprint_of(phase: str, component) -> int:
+            token = id(component)
+            if token not in fingerprint_memo:
+                fingerprint_memo[token] = _component_fingerprint(
+                    phase, component
+                )
+            return fingerprint_memo[token]
+
+        hashes = [key_hash("ids", used) for used in used_ids]
+        for phase, attr in _ID_SOURCES:
+            for component in getattr(model, attr):
+                component_id = getattr(component, "id", None)
+                if component_id is not None:
+                    record(
+                        key_hash("ids", component_id),
+                        fingerprint_of(phase, component),
+                        True,
+                    )
+        for phase, attr in zip(_PHASE_NAMES, _PHASE_ATTRS):
+            collection = getattr(model, attr)
+            for position, keys in index_set.rows.get(phase, ()):
+                component = collection[position]
+                component_fingerprint = fingerprint_of(phase, component)
+                # The component's "counts as one united twin" marker
+                # rides on its ids hash when it has a global id, else
+                # on its first phase key (ia symbol, rule key,
+                # constraint math key).
+                primary_pending = not (
+                    attr in _ID_ATTR_SET
+                    and getattr(component, "id", None) is not None
+                )
+                for key in dict.fromkeys(keys):
+                    # ``id:`` keys are subsumed by the used-id hashes:
+                    # a phase probe on ``id:x`` can only hit when the
+                    # raw id ``x`` is shared, which the ``ids`` tag
+                    # already reports (and unlike phase keys, id
+                    # collisions matter across *all* phases via
+                    # ``claim_id``).
+                    if key.startswith("id:"):
+                        continue
+                    hash_value = key_hash(phase, key)
+                    hashes.append(hash_value)
+                    record(
+                        hash_value, component_fingerprint, primary_pending
+                    )
+                    primary_pending = False
+        key_hashes = (
+            np.unique(np.array(hashes, dtype=np.uint64))
+            if hashes
+            else np.empty(0, dtype=np.uint64)
+        )
+        key_fingerprints = np.array(
+            [fingerprints.get(int(value), 0) for value in key_hashes],
+            dtype=np.uint64,
+        )
+        key_primary = np.array(
+            [primary.get(int(value), False) for value in key_hashes],
+            dtype=bool,
+        )
+        return cls(
+            options_key=index_options_key(options),
+            component_count=model.component_count(),
+            counts=_criteria_counts(model),
+            key_hashes=key_hashes,
+            key_fingerprints=key_fingerprints,
+            key_primary=key_primary,
+            self_clean=_self_clean(model, index_set),
+        )
+
+    def matches(self, options: ComposeOptions) -> bool:
+        """Whether this signature is valid under ``options``."""
+        return self.options_key == index_options_key(options)
+
+    def overlap(self, other: "ModelSignature") -> int:
+        """Number of tagged match keys the two models share."""
+        return int(
+            np.intersect1d(
+                self.key_hashes, other.key_hashes, assume_unique=True
+            ).size
+        )
+
+    def congruence(
+        self, source: "ModelSignature"
+    ) -> Tuple[int, bool, int]:
+        """``(shared, blocked, united)`` of this target vs. one source.
+
+        ``blocked`` is ``True`` when some shared key is not owned by
+        identical twins on both sides — the pair must run the full
+        matcher.  When not blocked, ``united`` is the number of
+        distinct twin components (shared *primary* hashes).  Callers
+        must additionally apply the option gate (twin synthesis is
+        only valid when ``options.match_anything``) — the
+        :class:`Prescreen` does.
+        """
+        shared, mine, theirs = np.intersect1d(
+            self.key_hashes,
+            source.key_hashes,
+            assume_unique=True,
+            return_indices=True,
+        )
+        if shared.size == 0:
+            return 0, False, 0
+        target_fps = self.key_fingerprints[mine]
+        source_fps = source.key_fingerprints[theirs]
+        clean = (target_fps == source_fps) & (target_fps != 0)
+        if not bool(clean.all()):
+            return int(shared.size), True, 0
+        united = int(np.count_nonzero(self.key_primary[mine]))
+        return int(shared.size), False, united
+
+    def bucket_hashes(self) -> np.ndarray:
+        """Coarse signature-bucket hashes for the corpus index.
+
+        Log-scale buckets over species count, reaction count and
+        network size: models of similar scale land in the same
+        buckets.  Kept *out* of :attr:`key_hashes` — bucket overlap is
+        weak evidence and must never suppress pruning or suggest a
+        semantic match; the corpus index stores them separately for
+        "structurally nearest" lookups.
+        """
+        pairs = (
+            ("species", int(self.counts[5])),
+            ("reactions", int(self.counts[10])),
+            ("size", int(self.counts[25])),
+        )
+        hashes = [
+            key_hash("bucket", f"{name}:{value.bit_length()}")
+            for name, value in pairs
+        ]
+        return np.array(sorted(hashes), dtype=np.uint64)
+
+
+class Prescreen:
+    """Vectorized structural prescreen over one corpus.
+
+    Holds one :class:`ModelSignature` per model and computes, with
+    array operations only, the full pair matrices of shared-key counts
+    (:attr:`pair_scores`), congruence blocks (:attr:`pair_blocked`)
+    and synthesized union counts (:attr:`pair_united`), and from them
+    the boolean survivor matrix: ``survivors()[i, j]`` is ``True``
+    when the pair *must* run the full matcher, ``False`` when its
+    outcome is provably known and may be synthesized (see the module
+    docstring for the soundness argument).  Feed an instance — or just
+    ``prescreen=True`` — to :func:`~repro.core.match_all.match_all`.
+    """
+
+    def __init__(
+        self,
+        signatures: Sequence[ModelSignature],
+        options: Optional[ComposeOptions] = None,
+    ):
+        self.options = options or ComposeOptions()
+        self.signatures = list(signatures)
+        for position, signature in enumerate(self.signatures):
+            if not signature.matches(self.options):
+                raise ValueError(
+                    f"signature {position} was built under different "
+                    f"key options than this prescreen's"
+                )
+        self.component_counts = np.array(
+            [signature.component_count for signature in self.signatures],
+            dtype=np.int64,
+        )
+        self.self_clean = np.array(
+            [signature.self_clean for signature in self.signatures],
+            dtype=bool,
+        )
+        self._scores: Optional[np.ndarray] = None
+        self._blocked: Optional[np.ndarray] = None
+        self._united: Optional[np.ndarray] = None
+        self._survivors: Optional[np.ndarray] = None
+
+    @classmethod
+    def build(
+        cls,
+        models: Sequence[Model],
+        options: Optional[ComposeOptions] = None,
+        *,
+        store=None,
+    ) -> "Prescreen":
+        """Signatures for a whole corpus, store-assisted when possible.
+
+        With ``store`` (an
+        :class:`~repro.core.artifact_store.ArtifactStore`), each
+        model's signature is rehydrated from its format-4 artifact
+        entry when one exists and matches the key options; anything
+        else — misses, format-2/3 entries, stale options — is computed
+        here (and spilled by the store's own miss path, not by us).
+        """
+        options = options or ComposeOptions()
+        signatures = []
+        for model in models:
+            signature = None
+            if store is not None:
+                artifacts = store.get_or_compute(model)
+                candidate = getattr(artifacts, "signature", None)
+                if (
+                    candidate is not None
+                    and getattr(candidate, "key_fingerprints", None)
+                    is not None
+                    and candidate.matches(options)
+                ):
+                    signature = candidate
+            if signature is None:
+                signature = ModelSignature.build(model, options)
+            signatures.append(signature)
+        return cls(signatures, options)
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+    def _pair_tables(self) -> None:
+        """Compute the three pair matrices in one grouped pass.
+
+        The corpus's concatenated key hashes are grouped with
+        ``np.unique``; each hash shared by ``k`` models contributes to
+        every pair among those ``k`` — score always, plus either a
+        united increment (congruent twins) or a block (mismatched or
+        poisoned fingerprints) — accumulated per group with
+        ``np.ix_``, so the work is proportional to shared keys, not to
+        ``n²`` scans.  Under ``match_anything=False`` options every
+        overlap blocks (phases never probe, so twins rename instead of
+        uniting).
+        """
+        if self._scores is not None:
+            return
+        n = len(self.signatures)
+        lengths = [
+            signature.key_hashes.size for signature in self.signatures
+        ]
+        scores = np.zeros((n, n), dtype=np.int64)
+        blocked = np.zeros((n, n), dtype=bool)
+        united = np.zeros((n, n), dtype=np.int64)
+        allow_twins = self.options.match_anything
+        if n and sum(lengths):
+            all_hashes = np.concatenate(
+                [signature.key_hashes for signature in self.signatures]
+            )
+            all_fps = np.concatenate(
+                [
+                    signature.key_fingerprints
+                    for signature in self.signatures
+                ]
+            )
+            all_primary = np.concatenate(
+                [signature.key_primary for signature in self.signatures]
+            )
+            owners = np.repeat(np.arange(n), lengths)
+            _, inverse, per_key = np.unique(
+                all_hashes, return_inverse=True, return_counts=True
+            )
+            order = np.argsort(inverse, kind="stable")
+            boundaries = np.cumsum(per_key)[:-1]
+            for group, fps, prim in zip(
+                np.split(owners[order], boundaries),
+                np.split(all_fps[order], boundaries),
+                np.split(all_primary[order], boundaries),
+            ):
+                if group.size <= 1:
+                    continue
+                ix = np.ix_(group, group)
+                scores[ix] += 1
+                if not allow_twins:
+                    blocked[ix] = True
+                    continue
+                clean_pair = (fps[:, None] == fps[None, :]) & (
+                    fps[:, None] != 0
+                )
+                blocked[ix] |= ~clean_pair
+                # Congruent pairs share identical components, so the
+                # primary flag agrees between the two sides.
+                united[ix] += clean_pair & prim[:, None]
+            # Per-model hashes are distinct, so the group loop only
+            # touched diagonal cells of *shared* hashes; each model's
+            # self-pair shares every one of its own hashes.
+            diagonal = np.arange(n)
+            scores[diagonal, diagonal] = lengths
+            for i, signature in enumerate(self.signatures):
+                if not allow_twins:
+                    blocked[i, i] = lengths[i] > 0
+                    united[i, i] = 0
+                else:
+                    blocked[i, i] = bool(
+                        np.any(signature.key_fingerprints == 0)
+                    )
+                    united[i, i] = int(
+                        np.count_nonzero(signature.key_primary)
+                    )
+        self._scores = scores
+        self._blocked = blocked
+        self._united = united
+
+    @property
+    def pair_scores(self) -> np.ndarray:
+        """``n x n`` matrix of shared tagged-key counts (symmetric;
+        the diagonal holds each model's own distinct key count)."""
+        self._pair_tables()
+        return self._scores
+
+    @property
+    def pair_blocked(self) -> np.ndarray:
+        """``n x n`` boolean matrix: ``True`` when some shared key is
+        not owned by congruent identical twins — synthesis is off the
+        table and the pair must run the full matcher."""
+        self._pair_tables()
+        return self._blocked
+
+    @property
+    def pair_united(self) -> np.ndarray:
+        """``n x n`` matrix of synthesized union counts: the number of
+        distinct identical-twin components shared by the pair (valid
+        where :attr:`pair_blocked` is ``False``)."""
+        self._pair_tables()
+        return self._united
+
+    def survivors(self) -> np.ndarray:
+        """Boolean pair matrix: ``True`` = run the full matcher.
+
+        ``[i, j]`` reads "``j`` merged into ``i``" — the all-pairs
+        engine's orientation.  A pair survives unless either side is
+        empty (trivially synthesizable) or every shared key is owned
+        by congruent identical twins *and* the source is self-clean.
+        """
+        if self._survivors is not None:
+            return self._survivors
+        empty = self.component_counts == 0
+        nonempty_pair = ~empty[:, None] & ~empty[None, :]
+        needs_match = self.pair_blocked | ~self.self_clean[None, :]
+        self._survivors = nonempty_pair & needs_match
+        return self._survivors
+
+    def should_prune(self, i: int, j: int) -> bool:
+        """Whether pair ``(target i, source j)`` is provably trivial."""
+        return not bool(self.survivors()[i, j])
+
+    def synthesized_counts(self, i: int, j: int) -> Tuple[int, int, int, int]:
+        """``(united, added, renamed, conflicts)`` for a pruned pair.
+
+        Empty pairs short-circuit (Figure 5 lines 1–2: the result *is*
+        the other model, nothing is added); otherwise every twin
+        unites and every other source component is adopted verbatim.
+        """
+        if self.component_counts[i] == 0 or self.component_counts[j] == 0:
+            return (0, 0, 0, 0)
+        united = int(self.pair_united[i, j])
+        return (united, int(self.component_counts[j]) - united, 0, 0)
+
+    def prune_rate(self, include_self: bool = True) -> float:
+        """Fraction of the upper-triangle pair matrix pruned."""
+        n = len(self.signatures)
+        survivors = self.survivors()
+        offset = 0 if include_self else 1
+        upper = np.triu(np.ones((n, n), dtype=bool), k=offset)
+        total = int(upper.sum())
+        if total == 0:
+            return 0.0
+        return 1.0 - int((survivors & upper).sum()) / total
+
+    def query_tables(
+        self, signature: ModelSignature
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(scores, blocked, united)`` vectors of one external
+        *target* model against every corpus model as source — the
+        in-memory analogue of a
+        :class:`~repro.core.corpus_index.CorpusIndex` posting walk,
+        with the same option gate as the pair matrices."""
+        if not signature.matches(self.options):
+            raise ValueError(
+                "query signature was built under different key options"
+            )
+        n = len(self.signatures)
+        scores = np.zeros(n, dtype=np.int64)
+        blocked = np.zeros(n, dtype=bool)
+        united = np.zeros(n, dtype=np.int64)
+        allow_twins = self.options.match_anything
+        for j, other in enumerate(self.signatures):
+            shared, pair_blocked, pair_united = signature.congruence(other)
+            scores[j] = shared
+            if allow_twins:
+                blocked[j] = pair_blocked
+                united[j] = pair_united
+            else:
+                blocked[j] = shared > 0
+        return scores, blocked, united
+
+    def query_survivors(self, signature: ModelSignature) -> np.ndarray:
+        """Boolean vector: ``True`` = the query pair must run the full
+        matcher (query model as target, corpus model as source)."""
+        _, blocked, _ = self.query_tables(signature)
+        if signature.component_count == 0:
+            return np.zeros(len(self.signatures), dtype=bool)
+        nonempty = self.component_counts != 0
+        return nonempty & (blocked | ~self.self_clean)
+
+    def query_scores(self, signature: ModelSignature) -> np.ndarray:
+        """Shared-key counts of one external model against the corpus
+        (see :meth:`query_tables`)."""
+        return self.query_tables(signature)[0]

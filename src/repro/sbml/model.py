@@ -32,6 +32,21 @@ from repro.units.registry import UnitRegistry
 
 __all__ = ["Model", "Document"]
 
+#: The uniqueness-checked collections: ``_check_unique``'s ``what``
+#: label → the model attribute it guards.  (Initial assignments,
+#: rules and constraints are unchecked — they carry no ids.)
+_ID_SET_COLLECTIONS = (
+    ("function definition", "function_definitions"),
+    ("unit definition", "unit_definitions"),
+    ("compartment type", "compartment_types"),
+    ("species type", "species_types"),
+    ("compartment", "compartments"),
+    ("species", "species"),
+    ("parameter", "parameters"),
+    ("reaction", "reactions"),
+    ("event", "events"),
+)
+
 
 @dataclass
 class Model(SBase):
@@ -95,6 +110,46 @@ class Model(SBase):
         # check above stays exact.
         ids.add(component_id)
         cache[what] = (collection, len(collection) + 1, ids)
+
+    def id_set_table(self) -> Dict[str, frozenset]:
+        """Per-collection id sets, keyed as :meth:`_check_unique` keys
+        its memo — the precomputable half of the uniqueness check.
+
+        A pure function of the model's contents, so it can be derived
+        once per model (and spilled to the artifact store) and seeded
+        into every disposable merge copy via :meth:`seed_id_sets`
+        instead of being rebuilt by the first ``add_*`` call of each
+        collection of each pair.
+        """
+        return {
+            what: frozenset(
+                component_id
+                for component in getattr(self, attr)
+                if (component_id := getattr(component, "id", None))
+                is not None
+            )
+            for what, attr in _ID_SET_COLLECTIONS
+        }
+
+    def seed_id_sets(self, table: Dict[str, frozenset]) -> None:
+        """Install precomputed :meth:`_check_unique` memo entries.
+
+        ``table`` must describe exactly this model's current contents
+        (:meth:`id_set_table` of the model itself or of any copy with
+        equal ids — content addressing guarantees that for artifacts
+        rehydrated by digest).  Each entry gets a fresh mutable set,
+        so seeding a shallow merge copy never lets one pair's adds
+        leak into another's.  Entries are validated by ``(collection
+        identity, length)`` exactly like organically grown ones, so a
+        list rebound after seeding simply invalidates its entry.
+        """
+        cache = self.__dict__.setdefault("_id_sets", {})
+        for what, attr in _ID_SET_COLLECTIONS:
+            ids = table.get(what)
+            if ids is None:
+                continue
+            collection = getattr(self, attr)
+            cache[what] = (collection, len(collection), set(ids))
 
     def add_function_definition(self, fd: FunctionDefinition) -> FunctionDefinition:
         """Add a function definition (unique id enforced)."""

@@ -168,6 +168,156 @@ class TestCrossFormatRehydration:
         assert store.get(digest) is None
 
 
+class TestFormat4Rehydration:
+    """Store format 4 added the model signature and the per-collection
+    id sets, again as pure additions: format-2 *and* format-3 entries
+    must rehydrate as hits with the new fields ``None`` — consumers
+    (the prescreen, the pair engine's seeding) compute them lazily —
+    never as misses that would rewrite an existing store on upgrade."""
+
+    def _write_old_format(self, store, model, version):
+        artifacts = compute_artifacts(
+            model,
+            with_indexes=version >= 3,
+            with_signature=False,
+        )
+        del artifacts.signature  # fields absent before format 4
+        del artifacts.id_sets
+        if version < 3:
+            del artifacts.indexes  # absent before format 3
+        digest = model_digest(model)
+        path = store.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(
+            pickle.dumps({"format": version, "artifacts": artifacts})
+        )
+        return digest
+
+    @pytest.mark.parametrize("version", [2, 3])
+    def test_old_entry_rehydrates_with_lazy_fields(self, tmp_path, version):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = self._write_old_format(store, model, version)
+        payload_before = store.path_for(digest).read_bytes()
+        rehydrated = store.get(digest)
+        assert rehydrated is not None, f"format-{version} entry must hit"
+        assert rehydrated.signature is None
+        assert rehydrated.id_sets is None
+        assert (rehydrated.indexes is None) == (version == 2)
+        assert rehydrated.used_ids == compute_artifacts(model).used_ids
+        # Served, not recomputed/overwritten.
+        store.get_or_compute(model, digest)
+        assert store.path_for(digest).read_bytes() == payload_before
+
+    def test_format4_round_trip_carries_signature_and_id_sets(
+        self, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = model_digest(model)
+        computed = compute_artifacts(model)
+        assert computed.signature is not None
+        assert computed.id_sets == model.id_set_table()
+        store.put(digest, computed)
+        rehydrated = store.get(digest)
+        assert rehydrated.signature is not None
+        assert rehydrated.signature.options_key == (
+            computed.signature.options_key
+        )
+        assert list(rehydrated.signature.key_hashes) == list(
+            computed.signature.key_hashes
+        )
+        assert rehydrated.id_sets == model.id_set_table()
+
+
+class TestIdSetSeeding:
+    """The rehydrated id sets seed the uniqueness memo of disposable
+    merge copies, skipping each collection's first O(n) scan."""
+
+    def test_table_matches_organic_memo(self):
+        model = _model()
+        table = model.id_set_table()
+        assert table["species"] == {"A", "B"}
+        assert table["parameter"] == {"k"}
+        assert table["event"] == frozenset()
+
+    def test_seeded_copy_enforces_uniqueness(self):
+        from repro.errors import SBMLError
+        from repro.sbml import Parameter
+
+        model = _model()
+        copy = model.copy_shallow()
+        copy.seed_id_sets(model.id_set_table())
+        with pytest.raises(SBMLError):
+            copy.add_parameter(Parameter(id="k", value=1.0))
+        copy.add_parameter(Parameter(id="k2", value=1.0))
+        # And the seeded memo keeps tracking appends.
+        with pytest.raises(SBMLError):
+            copy.add_parameter(Parameter(id="k2", value=2.0))
+
+    def test_seeding_never_leaks_between_copies(self):
+        from repro.sbml import Parameter
+
+        model = _model()
+        table = model.id_set_table()
+        first = model.copy_shallow()
+        first.seed_id_sets(table)
+        first.add_parameter(Parameter(id="fresh", value=1.0))
+        second = model.copy_shallow()
+        second.seed_id_sets(table)
+        # The sibling copy's add must not poison this one's memo (or
+        # the shared source model's collections).
+        second.add_parameter(Parameter(id="fresh", value=2.0))
+        assert len(model.parameters) == 1
+
+    def test_stale_seed_is_invalidated_by_rebinding(self):
+        from repro.errors import SBMLError
+        from repro.sbml import Parameter
+
+        model = _model()
+        copy = model.copy_shallow()
+        copy.seed_id_sets(model.id_set_table())
+        # Rebinding the list (the documented mutation pattern) drops
+        # the seeded entry; the next add rescans organically.
+        copy.parameters = list(copy.parameters) + [
+            Parameter(id="k9", value=3.0)
+        ]
+        with pytest.raises(SBMLError):
+            copy.add_parameter(Parameter(id="k9", value=4.0))
+
+
+class TestEvictPinning:
+    def test_pinned_entries_survive_eviction(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        models = [
+            _model("a"),
+            _model("b", species=("B", "C")),
+            _model("c", species=("C", "D")),
+        ]
+        digests = [model_digest(model) for model in models]
+        for model in models:
+            store.get_or_compute(model)
+        evicted = store.evict(max_entries=0, pinned=digests[:2])
+        assert evicted == 1
+        assert store.get(digests[0]) is not None
+        assert store.get(digests[1]) is not None
+        assert store.get(digests[2]) is None
+
+    def test_pinned_do_not_count_against_the_cap(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        models = [
+            _model("a"),
+            _model("b", species=("B", "C")),
+            _model("c", species=("C", "D")),
+        ]
+        for model in models:
+            store.get_or_compute(model)
+        pinned = [model_digest(models[0]), model_digest(models[1])]
+        # Cap 1 with 1 unpinned entry: nothing to evict.
+        assert store.evict(max_entries=1, pinned=pinned) == 0
+        assert len(store) == 3
+
+
 class TestSessionSpillTier:
     def test_compose_identical_through_store(self, tmp_path):
         models = [_model("a"), _model("b", species=("B", "C"))]

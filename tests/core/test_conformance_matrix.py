@@ -36,7 +36,16 @@ Equality strength per path:
   property additionally pins ``OverlayIndex`` against a freshly built
   index — identical first-registration-wins hits for any interleaving
   of adds and probes, on real ``biomodels_like`` index rows, across
-  all three index strategies.
+  all three index strategies;
+* the **prescreened sweep** (the eighth path) — the signature
+  prescreen prunes pairs whose outcome the twin-congruence check can
+  synthesize and the pair engine never runs them; the resulting
+  matrix is byte-identical to the full sweep on the deterministic
+  CSV, in memory, through a store (including format-3 entries that
+  predate the signature artifact), and shared across shards.  A
+  hypothesis property states the safety side directly: a pruned pair
+  is always one the full matcher composes with zero renames and zero
+  conflicts.
 """
 
 import io
@@ -57,6 +66,8 @@ from repro.core.artifact_store import (
 from repro.core.compose import ModelIndexSet
 from repro.core.index import OverlayIndex, make_index
 from repro.core.match_all import MatchMatrix, write_outcomes
+from repro.core.options import ComposeOptions
+from repro.core.signature import Prescreen
 from repro.corpus import generate_corpus
 from repro.corpus.biomodels_like import generate_model
 from repro.corpus.curated import (
@@ -302,6 +313,115 @@ def test_prebuilt_index_sweep_conformance(corpus_name, corpora, tmp_path):
     # Every model rehydrated (no entry was recomputed/overwritten as
     # a miss would force).
     assert len(store) == before
+
+
+# ---------------------------------------------------------------------------
+# Eighth path: the signature prescreen
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("corpus_name", ["chain", "curated"])
+def test_prescreen_sweep_conformance(corpus_name, corpora, tmp_path):
+    """The prescreened sweep — trivial pairs pruned by the twin
+    congruence check and their rows synthesized from signatures — must
+    be byte-identical to the full sweep: in memory, with signatures
+    rehydrated from a store, and as one shared ``Prescreen`` instance
+    driving every shard of a sharded sweep."""
+    models = corpora[corpus_name]
+    full = _deterministic_csv(match_all(models))
+
+    screened = match_all(models, prescreen=True)
+    assert _deterministic_csv(screened) == full
+
+    # Store-backed pass: signatures spill as format-4 artifacts on the
+    # first sweep and rehydrate (pickle round-trip included) on the
+    # second.
+    store_dir = tmp_path / "artifacts"
+    assert (
+        _deterministic_csv(match_all(models, prescreen=True, store=store_dir))
+        == full
+    )
+    assert (
+        _deterministic_csv(match_all(models, prescreen=True, store=store_dir))
+        == full
+    )
+
+    # One Prescreen shared across every shard of a sharded sweep: the
+    # pair matrix is scored once, each shard prunes its own slice, the
+    # union equals the unsharded full sweep.
+    screen = Prescreen.build(models, ComposeOptions())
+    parts = [
+        match_all_sharded(
+            models, shards=3, shard_id=shard_id, prescreen=screen
+        )
+        for shard_id in range(3)
+    ]
+    merged = MatchMatrix.union(parts)
+    assert _deterministic_csv(merged) == full
+    assert merged.pruned == screened.pruned
+
+
+def test_prescreen_with_pre_signature_store_entries(corpora, tmp_path):
+    """Store format 4 added the model signature as a pure addition:
+    format-3 entries (index rows but no ``signature``/``id_sets``
+    fields) must rehydrate as hits with those fields ``None`` — the
+    prescreen recomputes signatures locally — and the screened sweep
+    must stay byte-identical without rewriting any entry."""
+    models = corpora["chain"]
+    full = _deterministic_csv(match_all(models))
+    store_dir = tmp_path / "format3"
+    store = ArtifactStore(store_dir)
+    for model in models:
+        artifacts = compute_artifacts(model, with_signature=False)
+        del artifacts.signature  # the fields did not exist in format 3
+        del artifacts.id_sets
+        path = store.path_for(model_digest(model))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"format": 3, "artifacts": artifacts}))
+    before = len(store)
+    assert (
+        _deterministic_csv(match_all(models, prescreen=True, store=store_dir))
+        == full
+    )
+    assert len(store) == before
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_prescreen_never_prunes_a_matching_pair(seed):
+    """The safety property behind the eighth path, stated directly:
+    on any BioModels-like corpus, a pair the prescreen prunes is one
+    the full matcher composes with zero renames and zero conflicts,
+    uniting exactly the twins the signatures counted — so pruning can
+    never hide a pair the full matcher would have matched
+    non-trivially."""
+    models = generate_corpus(count=4, seed=seed)
+    screen = Prescreen.build(models, ComposeOptions())
+    full = match_all(models)
+    by_pair = {(o.i, o.j): o for o in full.outcomes}
+    pruned_pairs = [
+        pair for pair in by_pair if screen.should_prune(*pair)
+    ]
+    for i, j in pruned_pairs:
+        outcome = by_pair[(i, j)]
+        assert (outcome.renamed, outcome.conflicts) == (0, 0), (i, j)
+        assert (
+            outcome.united,
+            outcome.added,
+            outcome.renamed,
+            outcome.conflicts,
+        ) == screen.synthesized_counts(i, j), (i, j)
+    # And the end-to-end restatement: the screened sweep's
+    # run-invariant rows equal the full sweep's, pair for pair.
+    screened = match_all(models, prescreen=screen)
+    assert [o.key() for o in screened.outcomes] == [
+        o.key() for o in full.outcomes
+    ]
+    assert screened.pruned == len(pruned_pairs)
 
 
 # ---------------------------------------------------------------------------

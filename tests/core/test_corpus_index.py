@@ -1,0 +1,232 @@
+"""The persistent corpus search index.
+
+The index is the on-disk face of the prescreen: posting lists over
+signature key hashes, incremental add/remove/evict, and a query path
+whose classifications must agree with the in-memory
+:class:`~repro.core.signature.Prescreen` — and, through it, with the
+full matcher (pinned byte-for-byte in the conformance matrix and the
+CLI tests).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import ComposeOptions, ModelBuilder
+from repro.core.artifact_store import ArtifactStore, model_digest
+from repro.core.corpus_index import CorpusIndex
+from repro.core.match_all import match_query
+from repro.core.options import SEMANTICS_NONE
+from repro.core.signature import ModelSignature, Prescreen
+from repro.corpus import generate_corpus
+
+
+def _model(model_id="m", species=("A", "B"), value=0.5):
+    builder = ModelBuilder(model_id).compartment("cell", size=1.0)
+    for name in species:
+        builder = builder.species(name, 1.0)
+    builder = builder.parameter("k", value)
+    builder = builder.mass_action(
+        f"r_{model_id}", [species[0]], [species[-1]], "k"
+    )
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(count=10, seed=3)
+
+
+@pytest.fixture
+def index(corpus):
+    built = CorpusIndex()
+    for position, model in enumerate(corpus):
+        built.add(model, label=f"m{position:02d}")
+    return built
+
+
+class TestMaintenance:
+    def test_add_and_lookup(self, index, corpus):
+        assert len(index) == len(corpus)
+        digest = model_digest(corpus[0])
+        assert digest in index
+        entry = index.get(digest)
+        assert entry.label == "m00"
+        assert digest in index.digests()
+
+    def test_readd_refreshes_not_duplicates(self, index, corpus):
+        before = len(index)
+        digest = index.add(corpus[0], label="renamed", path="/tmp/x.xml")
+        assert len(index) == before
+        entry = index.get(digest)
+        assert entry.label == "renamed"
+        assert entry.path == "/tmp/x.xml"
+        # The refresh bumped the LRU clock: this entry is now newest.
+        assert entry.sequence == max(
+            other.sequence for other in index.entries.values()
+        )
+
+    def test_remove_cleans_postings(self, corpus):
+        index = CorpusIndex()
+        digests = [index.add(model) for model in corpus]
+        assert index.remove(digests[0])
+        assert not index.remove(digests[0])
+        assert digests[0] not in index
+        for postings in index.postings.values():
+            assert digests[0] not in postings
+        for postings in index.bucket_postings.values():
+            assert digests[0] not in postings
+
+    def test_evict_is_lru(self, corpus):
+        index = CorpusIndex()
+        digests = [index.add(model) for model in corpus]
+        index.touch(digests[0])
+        removed = index.evict(len(corpus) - 3)
+        # Oldest-first, skipping the touched head entry.
+        assert removed == digests[1:4]
+        assert len(index) == len(corpus) - 3
+        assert digests[0] in index
+
+    def test_signature_options_mismatch_rejected(self):
+        index = CorpusIndex()
+        foreign = ModelSignature.build(
+            _model(), ComposeOptions(semantics=SEMANTICS_NONE)
+        )
+        with pytest.raises(ValueError):
+            index.add(_model(), signature=foreign)
+
+    def test_store_rehydrated_signature_is_used(self, corpus, tmp_path):
+        store = ArtifactStore(tmp_path)
+        artifacts = store.get_or_compute(corpus[0])
+        assert artifacts.signature is not None
+        index = CorpusIndex()
+        digest = index.add(corpus[0], store=store)
+        adopted = index.get(digest).signature
+        # The stored (pickle round-tripped) signature was adopted, not
+        # rebuilt: identical vectors, straight from the format-4 entry.
+        assert adopted.options_key == artifacts.signature.options_key
+        assert np.array_equal(
+            adopted.key_hashes, artifacts.signature.key_hashes
+        )
+        assert np.array_equal(
+            adopted.key_fingerprints, artifacts.signature.key_fingerprints
+        )
+
+
+class TestQuery:
+    def test_agrees_with_prescreen(self, index, corpus):
+        screen = Prescreen.build(corpus)
+        for position, model in enumerate(corpus):
+            signature = ModelSignature.build(model)
+            hits = index.query(signature)
+            assert [hit.position for hit in hits] == list(range(len(corpus)))
+            # blocked == "must run the full matcher", exactly the
+            # prescreen's survivor vector for this query.
+            assert np.array_equal(
+                np.array([hit.blocked for hit in hits]),
+                screen.query_survivors(signature),
+            )
+            scores = screen.query_scores(signature)
+            assert [hit.score for hit in hits] == list(scores)
+            self_hit = hits[position]
+            assert self_hit.score == len(signature.key_hashes)
+
+    def test_classification_matches_full_matcher(self, index, corpus):
+        """A non-blocked hit's synthesized counts equal the full
+        matcher's outcome for that pair — the index-level restatement
+        of the eighth conformance path."""
+        query = corpus[2]
+        signature = ModelSignature.build(query)
+        hits = index.query(signature)
+        matrix = match_query(query, corpus)
+        for hit, outcome in zip(hits, matrix.outcomes):
+            if hit.blocked:
+                continue
+            assert hit.synthesized_counts(signature.component_count) == (
+                outcome.united,
+                outcome.added,
+                outcome.renamed,
+                outcome.conflicts,
+            )
+        assert any(not hit.blocked for hit in hits)
+        assert any(hit.blocked for hit in hits)
+
+    def test_rank_orders_blocked_first_by_score(self, index, corpus):
+        hits = index.query(ModelSignature.build(corpus[4]))
+        ranked = index.rank(hits)
+        blocked = [hit for hit in ranked if hit.blocked]
+        pruned = [hit for hit in ranked if not hit.blocked]
+        assert ranked == blocked + pruned
+        scores = [hit.score for hit in blocked]
+        assert scores == sorted(scores, reverse=True)
+        positions = [hit.position for hit in pruned]
+        assert positions == sorted(positions)
+
+    def test_query_options_mismatch_rejected(self, index):
+        foreign = ModelSignature.build(
+            _model(), ComposeOptions(semantics=SEMANTICS_NONE)
+        )
+        with pytest.raises(ValueError):
+            index.query(foreign)
+
+    def test_nearest_is_scale_lookup_only(self, index, corpus):
+        hits = index.nearest(ModelSignature.build(corpus[0]), limit=3)
+        assert 0 < len(hits) <= 3
+        # Bucket evidence never claims a synthesizable outcome.
+        assert all(not hit.blocked and hit.united == 0 for hit in hits)
+
+    def test_none_semantics_gate(self, corpus):
+        options = ComposeOptions(semantics=SEMANTICS_NONE)
+        index = CorpusIndex(options)
+        for model in corpus:
+            index.add(model)
+        hits = index.query(ModelSignature.build(corpus[0], options))
+        # Under "none" twins rename instead of uniting: any overlap
+        # blocks, and no union is ever synthesized.
+        for hit in hits:
+            assert hit.united == 0
+            assert hit.blocked == (hit.score > 0)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, index, corpus, tmp_path):
+        path = tmp_path / "corpus.idx"
+        index.save(path)
+        loaded = CorpusIndex.load(path)
+        assert len(loaded) == len(index)
+        assert loaded.options_key == index.options_key
+        signature = ModelSignature.build(corpus[5])
+        assert [
+            (hit.digest, hit.score, hit.blocked, hit.united)
+            for hit in loaded.query(signature)
+        ] == [
+            (hit.digest, hit.score, hit.blocked, hit.united)
+            for hit in index.query(signature)
+        ]
+
+    def test_incremental_update_survives_reload(self, index, corpus, tmp_path):
+        path = tmp_path / "corpus.idx"
+        index.save(path)
+        loaded = CorpusIndex.load(path)
+        extra = _model("extra", species=("Q", "R"))
+        digest = loaded.add(extra)
+        loaded.save(path)
+        again = CorpusIndex.load(path)
+        assert digest in again
+        # The LRU clock keeps advancing across reloads.
+        removed = again.evict(len(again) - 1)
+        assert digest not in removed
+
+    def test_foreign_format_rejected(self, tmp_path):
+        path = tmp_path / "corpus.idx"
+        path.write_bytes(pickle.dumps({"format": 99}))
+        with pytest.raises(ValueError):
+            CorpusIndex.load(path)
+
+    def test_save_is_atomic(self, index, tmp_path):
+        path = tmp_path / "corpus.idx"
+        index.save(path)
+        assert path.exists()
+        # No temp file left behind.
+        assert list(tmp_path.iterdir()) == [path]

@@ -1,0 +1,228 @@
+"""Per-model structural signatures and the vectorized prescreen.
+
+Byte-identity of the prescreened sweep lives in the conformance
+matrix (the eighth path); this file pins the signature layer itself —
+vector layout, congruence semantics, the option gates, the survivor
+algebra, and the store-assisted build path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ComposeOptions, ModelBuilder
+from repro.core.artifact_store import ArtifactStore
+from repro.core.match_all import match_all
+from repro.core.options import SEMANTICS_NONE
+from repro.core.signature import (
+    COUNTS_LENGTH,
+    ModelSignature,
+    Prescreen,
+    key_hash,
+)
+from repro.corpus import generate_corpus
+from repro.sbml import Model
+
+
+def _model(model_id="m", species=("A", "B"), value=0.5):
+    builder = ModelBuilder(model_id).compartment("cell", size=1.0)
+    for name in species:
+        builder = builder.species(name, 1.0)
+    builder = builder.parameter("k", value)
+    builder = builder.mass_action(
+        f"r_{model_id}", [species[0]], [species[-1]], "k"
+    )
+    return builder.build()
+
+
+class TestModelSignature:
+    def test_vector_layout(self):
+        signature = ModelSignature.build(_model())
+        assert signature.counts.shape == (COUNTS_LENGTH,)
+        assert signature.key_hashes.dtype == np.uint64
+        hashes = signature.key_hashes
+        assert np.array_equal(hashes, np.sort(hashes))
+        assert len(np.unique(hashes)) == len(hashes)
+        # Fingerprint and primary vectors are aligned with key_hashes.
+        assert signature.key_fingerprints.shape == hashes.shape
+        assert signature.key_primary.shape == hashes.shape
+        assert signature.component_count > 0
+        assert signature.self_clean
+
+    def test_copy_shares_signature_content(self):
+        model = _model()
+        first = ModelSignature.build(model)
+        second = ModelSignature.build(model.copy())
+        assert np.array_equal(first.key_hashes, second.key_hashes)
+        assert np.array_equal(
+            first.key_fingerprints, second.key_fingerprints
+        )
+        assert np.array_equal(first.counts, second.counts)
+
+    def test_matches_is_an_options_gate(self):
+        signature = ModelSignature.build(_model(), ComposeOptions())
+        assert signature.matches(ComposeOptions())
+        assert not signature.matches(
+            ComposeOptions(semantics=SEMANTICS_NONE)
+        )
+
+    def test_self_congruence_is_never_blocked(self):
+        signature = ModelSignature.build(_model())
+        shared, blocked, united = signature.congruence(signature)
+        assert shared == len(signature.key_hashes)
+        assert not blocked
+        # Every component unites exactly once with its own twin.
+        assert united == signature.component_count
+
+    def test_shared_twins_unite_disjoint_rest_adds(self):
+        left = ModelSignature.build(_model("a", species=("A", "B")))
+        right = ModelSignature.build(_model("b", species=("X", "Y")))
+        shared, blocked, united = left.congruence(right)
+        # "cell" and "k" are identical twins; everything else is
+        # disjoint — the canonical prunable pair.
+        assert shared > 0
+        assert not blocked
+        assert united == 2
+
+    def test_conflicting_value_blocks(self):
+        left = ModelSignature.build(_model("a", species=("A", "B")))
+        right = ModelSignature.build(
+            _model("b", species=("X", "Y"), value=0.9)
+        )
+        shared, blocked, united = left.congruence(right)
+        # Same parameter id "k", different value: the full matcher
+        # would report a conflict, so congruence must block.
+        assert shared > 0
+        assert blocked
+
+    def test_value_twins_are_congruent(self):
+        left = ModelSignature.build(_model("a"))
+        right = ModelSignature.build(_model("a"))
+        shared, blocked, united = left.congruence(right)
+        assert not blocked and united == left.component_count
+        different = ModelSignature.build(_model("a", value=0.7))
+        _, blocked, _ = left.congruence(different)
+        assert blocked  # same parameter id, different value
+
+    def test_empty_model_signature(self):
+        signature = ModelSignature.build(Model(id="empty"))
+        assert signature.component_count == 0
+        assert len(signature.key_hashes) == 0
+
+    def test_bucket_hashes_disjoint_from_key_hashes(self):
+        signature = ModelSignature.build(_model())
+        buckets = signature.bucket_hashes()
+        assert len(buckets) > 0
+        assert not np.intersect1d(buckets, signature.key_hashes).size
+
+    def test_key_hash_is_tag_scoped(self):
+        assert key_hash("ids", "A") != key_hash("species", "A")
+        assert key_hash("ids", "A") == key_hash("ids", "A")
+
+
+class TestPrescreen:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(count=8, seed=7)
+
+    def test_matrix_shapes_and_diagonal(self, corpus):
+        screen = Prescreen.build(corpus)
+        n = len(corpus)
+        assert len(screen) == n
+        assert screen.pair_scores.shape == (n, n)
+        for i, signature in enumerate(screen.signatures):
+            assert screen.pair_scores[i, i] == len(signature.key_hashes)
+        assert np.array_equal(screen.pair_scores, screen.pair_scores.T)
+
+    def test_survivor_algebra(self, corpus):
+        screen = Prescreen.build(corpus)
+        survivors = screen.survivors()
+        # A blocked pair always survives; an empty side never does.
+        assert not survivors[np.array(screen.component_counts) == 0].any()
+        blocked_nonempty = (
+            screen.pair_blocked
+            & (screen.component_counts[:, None] != 0)
+            & (screen.component_counts[None, :] != 0)
+        )
+        assert (survivors | ~blocked_nonempty).all()
+        rate = screen.prune_rate()
+        assert 0.0 <= rate <= 1.0
+        # The motivating case: BioModels-like corpora share the "cell"
+        # compartment everywhere, yet congruence still prunes.
+        assert rate > 0.0
+
+    def test_synthesized_counts_match_full_matcher(self, corpus):
+        screen = Prescreen.build(corpus)
+        full = {(o.i, o.j): o for o in match_all(corpus).outcomes}
+        checked = 0
+        for (i, j), outcome in full.items():
+            if not screen.should_prune(i, j):
+                continue
+            checked += 1
+            assert screen.synthesized_counts(i, j) == (
+                outcome.united,
+                outcome.added,
+                outcome.renamed,
+                outcome.conflicts,
+            )
+        assert checked > 0
+
+    def test_empty_pair_short_circuits(self):
+        screen = Prescreen.build([_model(), Model(id="empty")])
+        assert screen.should_prune(0, 1)
+        assert screen.should_prune(1, 0)
+        assert screen.synthesized_counts(0, 1) == (0, 0, 0, 0)
+
+    def test_none_semantics_blocks_every_overlap(self, corpus):
+        options = ComposeOptions(semantics=SEMANTICS_NONE)
+        screen = Prescreen.build(corpus, options)
+        # Twins rename instead of uniting under "none": no synthesized
+        # union may ever be claimed, and any overlap must survive.
+        assert not screen.pair_united.any()
+        overlap = screen.pair_scores > 0
+        np.fill_diagonal(overlap, False)
+        assert (screen.pair_blocked | ~overlap).all()
+
+    def test_options_mismatch_rejected(self, corpus):
+        signatures = [ModelSignature.build(model) for model in corpus]
+        with pytest.raises(ValueError):
+            Prescreen(signatures, ComposeOptions(semantics=SEMANTICS_NONE))
+
+    def test_store_assisted_build_reuses_signatures(self, corpus, tmp_path):
+        store = ArtifactStore(tmp_path)
+        plain = Prescreen.build(corpus)
+        for model in corpus:
+            store.get_or_compute(model)
+        stored = Prescreen.build(corpus, store=store)
+        # Rehydrated signatures come from the store's format-4 entries
+        # and must carry the exact same vectors.
+        for mine, theirs in zip(plain.signatures, stored.signatures):
+            assert np.array_equal(mine.key_hashes, theirs.key_hashes)
+            assert np.array_equal(
+                mine.key_fingerprints, theirs.key_fingerprints
+            )
+        assert np.array_equal(plain.survivors(), stored.survivors())
+
+    def test_query_tables_agree_with_pair_matrices(self, corpus):
+        screen = Prescreen.build(corpus)
+        for i, signature in enumerate(screen.signatures):
+            scores, blocked, united = screen.query_tables(signature)
+            assert np.array_equal(scores, screen.pair_scores[i])
+            assert np.array_equal(blocked, screen.pair_blocked[i])
+            # pair_united is only defined where the pair is not
+            # blocked (congruence short-circuits to 0 on a block; the
+            # matrix path accumulates the tables independently).
+            valid = ~blocked
+            assert np.array_equal(
+                united[valid], screen.pair_united[i][valid]
+            )
+            assert np.array_equal(
+                screen.query_survivors(signature), screen.survivors()[i]
+            )
+
+    def test_query_rejects_mismatched_signature(self, corpus):
+        screen = Prescreen.build(corpus)
+        foreign = ModelSignature.build(
+            _model(), ComposeOptions(semantics=SEMANTICS_NONE)
+        )
+        with pytest.raises(ValueError):
+            screen.query_tables(foreign)

@@ -350,3 +350,181 @@ def test_sweep_store_max_entries_needs_out_dir(three_model_files, capsys):
         "--store-max-entries", "1",
     ]) == 2
     assert "--out-dir" in capsys.readouterr().err
+
+
+def test_sweep_prescreen_byte_identical(three_model_files, tmp_path, capsys):
+    """--prescreen is a pure go-faster knob: the deterministic CSV is
+    byte-identical to the full sweep (the eighth conformance path, on
+    the CLI)."""
+    path_a, path_b, path_c = three_model_files
+    full = tmp_path / "full.csv"
+    screened = tmp_path / "screened.csv"
+    assert main(
+        ["sweep", str(path_a), str(path_b), str(path_c),
+         "--deterministic", "-o", str(full)]
+    ) == 0
+    assert main(
+        ["sweep", str(path_a), str(path_b), str(path_c),
+         "--deterministic", "--prescreen", "-o", str(screened)]
+    ) == 0
+    err = capsys.readouterr().err
+    assert screened.read_bytes() == full.read_bytes()
+    assert "prescreen-synthesized" in err
+
+
+# ---------------------------------------------------------------------------
+# corpus index / corpus query
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def corpus_files(tmp_path):
+    from repro.corpus import generate_corpus
+
+    paths = []
+    for position, model in enumerate(generate_corpus(count=8, seed=19)):
+        path = tmp_path / f"c{position:02d}.xml"
+        write_sbml_file(model, path)
+        paths.append(path)
+    return paths
+
+
+def test_corpus_index_build_and_update(corpus_files, tmp_path, capsys):
+    index_file = tmp_path / "corpus.idx"
+    assert main(
+        ["corpus", "index", *map(str, corpus_files[:5]),
+         "--index", str(index_file)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "5 model(s) (5 new, 0 refreshed)" in out
+    # Incremental update: 3 new, 1 refreshed, nothing rebuilt.
+    assert main(
+        ["corpus", "index", *map(str, corpus_files[4:]),
+         "--index", str(index_file)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "8 model(s) (3 new, 1 refreshed)" in out
+
+
+def test_corpus_query_byte_identical_to_linear_scan(
+    corpus_files, tmp_path, capsys
+):
+    """The CI smoke contract: ``--top-k 0 --with-pruned
+    --deterministic`` against the index equals a full linear scan,
+    byte for byte."""
+    index_file = tmp_path / "corpus.idx"
+    assert main(
+        ["corpus", "index", *map(str, corpus_files),
+         "--index", str(index_file)]
+    ) == 0
+    indexed_csv = tmp_path / "indexed.csv"
+    linear_csv = tmp_path / "linear.csv"
+    assert main(
+        ["corpus", "query", str(corpus_files[2]),
+         "--index", str(index_file), "--top-k", "0", "--with-pruned",
+         "--deterministic", "-o", str(indexed_csv)]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "prescreen-synthesized" in err
+    assert main(
+        ["corpus", "query", str(corpus_files[2]),
+         "--linear", *map(str, corpus_files),
+         "--deterministic", "-o", str(linear_csv)]
+    ) == 0
+    capsys.readouterr()
+    assert indexed_csv.read_bytes() == linear_csv.read_bytes()
+
+
+def test_corpus_query_top_k_limits_full_matches(
+    corpus_files, tmp_path, capsys
+):
+    index_file = tmp_path / "corpus.idx"
+    assert main(
+        ["corpus", "index", *map(str, corpus_files),
+         "--index", str(index_file)]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["corpus", "query", str(corpus_files[4]),
+         "--index", str(index_file), "--top-k", "1"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "1 candidate(s) fully matched (top 1 of 4)" in captured.err
+    # Pretty table: header + one matched row, pruned rows omitted.
+    assert len(captured.out.strip().splitlines()) == 2
+
+
+def test_corpus_query_needs_exactly_one_mode(corpus_files, capsys):
+    assert main(["corpus", "query", str(corpus_files[0])]) == 2
+    assert "--index or" in capsys.readouterr().err
+    assert main(
+        ["corpus", "query", str(corpus_files[0]),
+         "--index", "x.idx", "--linear", str(corpus_files[1])]
+    ) == 2
+
+
+def test_corpus_index_semantics_mismatch_rejected(
+    corpus_files, tmp_path, capsys
+):
+    index_file = tmp_path / "corpus.idx"
+    assert main(
+        ["corpus", "index", str(corpus_files[0]),
+         "--index", str(index_file)]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["corpus", "index", str(corpus_files[1]),
+         "--index", str(index_file), "--semantics", "none"]
+    ) == 2
+    assert "different key options" in capsys.readouterr().err
+    assert main(
+        ["corpus", "query", str(corpus_files[0]),
+         "--index", str(index_file), "--semantics", "none"]
+    ) == 2
+
+
+def test_corpus_index_evict_and_store_pinning(
+    corpus_files, tmp_path, capsys
+):
+    from repro.core.artifact_store import ArtifactStore
+    from repro.core.corpus_index import CorpusIndex
+
+    index_file = tmp_path / "corpus.idx"
+    store_dir = tmp_path / "store"
+    assert main(
+        ["corpus", "index", *map(str, corpus_files),
+         "--index", str(index_file), "--store", str(store_dir),
+         "--evict-to", "6", "--store-max-entries", "0"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "2 evicted" in captured.out
+    assert "evicted 2 unpinned artifact store entries" in captured.err
+    index = CorpusIndex.load(index_file)
+    assert len(index) == 6
+    # Exactly the index's 6 pinned entries survive in the store.
+    store = ArtifactStore(store_dir)
+    assert len(store) == 6
+    for digest in index.digests():
+        assert store.get(digest) is not None
+
+
+def test_corpus_query_stale_file_warns(corpus_files, tmp_path, capsys):
+    index_file = tmp_path / "corpus.idx"
+    assert main(
+        ["corpus", "index", *map(str, corpus_files[:4]),
+         "--index", str(index_file)]
+    ) == 0
+    # Rewrite one indexed file with different content.
+    from repro.corpus import generate_corpus
+
+    replacement = generate_corpus(count=8, seed=19)[6]
+    write_sbml_file(replacement, corpus_files[1])
+    capsys.readouterr()
+    # c07 has blocked candidates among the first four (c01 included),
+    # so the rewritten file is loaded for a full match and its digest
+    # no longer matches the index entry.
+    assert main(
+        ["corpus", "query", str(corpus_files[7]),
+         "--index", str(index_file), "--top-k", "0"]
+    ) == 0
+    assert "stale digest" in capsys.readouterr().err
