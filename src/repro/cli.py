@@ -7,9 +7,12 @@ Subcommands::
         [--log merge.log]
     sbmlcompose sweep a.xml b.xml c.xml [...] [--workers N] [-o pairs.csv] \
         [--shards K [--shard-id I] --out-dir DIR [--resume]] \
+        [--supervise [--worker-timeout S] [--max-retries N] \
+         [--poison-threshold K] [--chaos FILE]] \
         [--deterministic] [--store-max-entries N]
     sbmlcompose sweep-status --out-dir DIR
     sbmlcompose sweep-merge --out-dir DIR [-o merged.csv]
+    sbmlcompose store verify DIR [--keep-corrupt]
     sbmlcompose corpus index model.xml [...] --index corpus.idx \
         [--store DIR [--store-max-entries N]] [--evict-to N]
     sbmlcompose corpus query query.xml --index corpus.idx \
@@ -49,6 +52,20 @@ routes the sweep through the vectorized structural prescreen
 skip the phase machinery and get synthesized rows, byte-identical to
 what the full run would have written.
 
+``sweep --supervise`` hands the sharded sweep to the fault-tolerant
+:class:`~repro.core.coordinator.SweepCoordinator`: worker processes
+hold journal *leases* on their shards, heartbeat while idle, are
+killed and their shards stolen when silent past ``--worker-timeout``,
+and pairs that repeatedly kill their worker are quarantined to
+``quarantine.json`` so the sweep completes without them (exit status
+3 distinguishes that degraded completion).  ``sweep-status`` reports
+leases, retry/steal counters and the quarantine alongside per-shard
+completion; ``store verify`` audits the artifact store, moving
+corrupt blobs into its ``corrupt/`` subdirectory.  ``--chaos FILE``
+arms the deterministic fault-injection harness
+(:mod:`repro.core.chaos`) — how CI's chaos smoke drives worker
+crashes, stalls and torn journal writes reproducibly.
+
 ``corpus`` is the search subsystem: ``corpus index`` builds (or
 incrementally updates) a persistent
 :class:`~repro.core.corpus_index.CorpusIndex` over model signatures,
@@ -65,6 +82,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from dataclasses import replace
 from datetime import datetime
 from pathlib import Path
@@ -92,7 +110,18 @@ from repro.core.options import (
     ComposeOptions,
 )
 from repro.core.plan import plan_names
-from repro.core.shards import SweepCheckpoint, SweepStateError
+from repro.core import chaos
+from repro.core.coordinator import (
+    EXIT_QUARANTINED,
+    CoordinatorConfig,
+    Quarantine,
+    SweepCoordinator,
+)
+from repro.core.shards import (
+    SweepCheckpoint,
+    SweepStateError,
+    shard_result_filename,
+)
 from repro.core.session import ComposeSession
 from repro.errors import ReproError
 from repro.eval.sbml_diff import diff_models
@@ -219,6 +248,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip pairs the structural prescreen proves trivial and "
              "synthesize their rows (byte-identical to the full sweep)",
     )
+    sweep.add_argument(
+        "--supervise", action="store_true",
+        help="drive the sharded sweep through the fault-tolerant "
+             "coordinator: N worker processes with shard leases, "
+             "heartbeats, retry/backoff, work stealing and poison-"
+             "pair quarantine (requires --out-dir; exit 3 when the "
+             "sweep completed by quarantining pairs)",
+    )
+    sweep.add_argument(
+        "--worker-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="supervised mode: seconds of worker silence before the "
+             "coordinator declares it stalled, kills it and steals "
+             "its shard (default: 30)",
+    )
+    sweep.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="supervised mode: failed attempts a shard may consume "
+             "beyond its first before the sweep aborts; attempts that "
+             "quarantined a poison pair ride free (default: 3)",
+    )
+    sweep.add_argument(
+        "--poison-threshold", type=int, default=2, metavar="K",
+        help="supervised mode: strikes (worker deaths or errors "
+             "attributed to one pair) before the pair is quarantined "
+             "(default: 2)",
+    )
+    sweep.add_argument(
+        "--chaos", type=Path, default=None, metavar="FILE",
+        help="arm the deterministic fault-injection spec in FILE "
+             "(JSON, see repro.core.chaos) for this run — the chaos "
+             "harness behind the robustness tests and CI smoke",
+    )
 
     corpus = sub.add_parser(
         "corpus",
@@ -313,11 +374,31 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep_status = sub.add_parser(
         "sweep-status",
-        help="print per-shard completion of a sharded sweep",
+        help="print per-shard completion, leases, retries and "
+             "quarantine of a sharded sweep",
     )
     sweep_status.add_argument(
         "--out-dir", type=Path, required=True, metavar="DIR",
         help="the sharded sweep's output directory",
+    )
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain an on-disk artifact store",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="scan every store entry, quarantining corrupt blobs",
+    )
+    store_verify.add_argument(
+        "store_dir", type=Path, metavar="DIR",
+        help="the artifact store directory (e.g. SWEEP_DIR/artifacts)",
+    )
+    store_verify.add_argument(
+        "--keep-corrupt", action="store_true",
+        help="report corrupt blobs but leave them in place instead of "
+             "moving them to the corrupt/ subdirectory",
     )
 
     sweep_merge = sub.add_parser(
@@ -399,7 +480,7 @@ def _cmd_merge(args) -> int:
 
 
 def _shard_file(shard_id: int, shard_count: int) -> str:
-    return f"shard-{shard_id:04d}-of-{shard_count:04d}.csv"
+    return shard_result_filename(shard_id, shard_count)
 
 
 def _sweep_fingerprint(models, args) -> str:
@@ -414,9 +495,76 @@ def _sweep_fingerprint(models, args) -> str:
     )
 
 
+def _cmd_sweep_supervised(args, models, options) -> int:
+    """The ``--supervise`` path: hand the whole sharded sweep to the
+    fault-tolerant coordinator instead of computing shards inline."""
+    if args.shard_id is not None:
+        print(
+            "error: --supervise drives every shard itself; drop "
+            "--shard-id",
+            file=sys.stderr,
+        )
+        return 2
+    if args.prescreen:
+        print(
+            "error: --supervise does not combine with --prescreen",
+            file=sys.stderr,
+        )
+        return 2
+    coordinator = SweepCoordinator(
+        models,
+        options,
+        shards=args.shards,
+        out_dir=args.out_dir,
+        fingerprint=_sweep_fingerprint(models, args),
+        config=CoordinatorConfig(
+            workers=args.workers,
+            worker_timeout=args.worker_timeout,
+            max_retries=args.max_retries,
+            poison_threshold=args.poison_threshold,
+        ),
+        include_self=not args.no_self,
+        resume=args.resume,
+        prebuilt_indexes=not args.fresh_indexes,
+    )
+    report = coordinator.run()
+    if args.store_max_entries is not None:
+        store = ArtifactStore(args.out_dir / "artifacts")
+        evicted = store.evict(max_entries=args.store_max_entries)
+        if evicted:
+            print(
+                f"evicted {evicted} artifact store entr"
+                f"{'y' if evicted == 1 else 'ies'} "
+                f"(LRU beyond {args.store_max_entries})",
+                file=sys.stderr,
+            )
+    if args.output is not None:
+        write_outcomes_csv(
+            args.output,
+            _merged_sweep_outcomes(coordinator.checkpoint),
+            deterministic=args.deterministic,
+        )
+        print(f"wrote {args.output}")
+    for entry in report.quarantined:
+        print(
+            f"quarantined: pair ({entry['i']}, {entry['j']}) "
+            f"[{entry['left']}+{entry['right']}] after "
+            f"{entry['strikes']} strike(s) — see "
+            f"{coordinator.quarantine.path}",
+            file=sys.stderr,
+        )
+    print(report.summary(), file=sys.stderr)
+    return report.exit_code
+
+
 def _cmd_sweep_sharded(args, models, options) -> int:
     if args.out_dir is None:
-        print("error: --shards needs --out-dir", file=sys.stderr)
+        print(
+            "error: "
+            + ("--supervise" if args.supervise else "--shards")
+            + " needs --out-dir",
+            file=sys.stderr,
+        )
         return 2
     if args.shard_id is not None and not 0 <= args.shard_id < args.shards:
         print(
@@ -424,6 +572,8 @@ def _cmd_sweep_sharded(args, models, options) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.supervise:
+        return _cmd_sweep_supervised(args, models, options)
     checkpoint = SweepCheckpoint(
         args.out_dir,
         fingerprint=_sweep_fingerprint(models, args),
@@ -518,8 +668,24 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.shards > 1 or args.out_dir is not None:
-        return _cmd_sweep_sharded(args, models, options)
+    if args.chaos is not None:
+        # Arm the deterministic fault spec for this run (and, via the
+        # environment, for every worker process it spawns).
+        chaos.install(chaos.ChaosSpec.load(args.chaos))
+    try:
+        if (
+            args.shards > 1
+            or args.out_dir is not None
+            or args.supervise
+        ):
+            return _cmd_sweep_sharded(args, models, options)
+        return _cmd_sweep_unsharded(args, models, options)
+    finally:
+        if args.chaos is not None:
+            chaos.uninstall()
+
+
+def _cmd_sweep_unsharded(args, models, options) -> int:
     matrix = match_all(
         models,
         options,
@@ -592,31 +758,75 @@ def _cmd_sweep_status(args) -> int:
         int(shard_id): entry
         for shard_id, entry in dict(journal["completed"]).items()
     }
+    leases = {
+        int(shard_id): entry
+        for shard_id, entry in dict(journal.get("leases", {})).items()
+    }
+    retries = {
+        int(shard_id): entry
+        for shard_id, entry in dict(journal.get("retries", {})).items()
+    }
+    quarantine = Quarantine.load(args.out_dir)
     total_pairs = sum(int(entry.get("pairs", 0)) for entry in completed.values())
+    total_retries = sum(int(entry.get("count", 0)) for entry in retries.values())
+    total_steals = sum(int(entry.get("steals", 0)) for entry in retries.values())
     fingerprint = str(journal["fingerprint"])
+    supervised = (
+        f", {total_retries} retr"
+        f"{'y' if total_retries == 1 else 'ies'} "
+        f"({total_steals} stolen), {len(quarantine)} quarantined pair(s)"
+        if total_retries or total_steals or len(quarantine)
+        else ""
+    )
     print(
         f"sweep {args.out_dir}: {len(completed)}/{shard_count} shard(s) "
-        f"complete, {total_pairs} pair(s) journaled "
-        f"(corpus {fingerprint[:12]}…)"
+        f"complete, {total_pairs} pair(s) journaled"
+        f"{supervised} (corpus {fingerprint[:12]}…)"
     )
+    now = time.time()
     for shard_id in range(shard_count):
         entry = completed.get(shard_id)
-        if entry is None:
-            print(f"  shard {shard_id}: pending")
-            continue
-        completed_at = entry.get("completed_at")
-        when = (
-            datetime.fromtimestamp(float(completed_at)).isoformat(
-                sep=" ", timespec="seconds"
+        retry = retries.get(shard_id, {})
+        rocky = (
+            f"  [{int(retry.get('count', 0))} retr"
+            f"{'y' if int(retry.get('count', 0)) == 1 else 'ies'}, "
+            f"{int(retry.get('steals', 0))} stolen]"
+            if retry
+            else ""
+        )
+        if entry is not None:
+            completed_at = entry.get("completed_at")
+            when = (
+                datetime.fromtimestamp(float(completed_at)).isoformat(
+                    sep=" ", timespec="seconds"
+                )
+                if completed_at is not None
+                else "?"
             )
-            if completed_at is not None
-            else "?"
-        )
+            print(
+                f"  shard {shard_id}: complete  {entry['file']}  "
+                f"{entry.get('pairs', '?')} pair(s)  at {when}{rocky}"
+            )
+            continue
+        lease = leases.get(shard_id)
+        if lease is not None:
+            expires = float(lease.get("expires_at", 0.0))
+            status = "EXPIRED" if expires <= now else f"{expires - now:.0f}s left"
+            print(
+                f"  shard {shard_id}: leased to {lease.get('worker')} "
+                f"({status}){rocky}"
+            )
+            continue
+        print(f"  shard {shard_id}: pending{rocky}")
+    for (i, j), entry in sorted(quarantine.entries.items()):
         print(
-            f"  shard {shard_id}: complete  {entry['file']}  "
-            f"{entry.get('pairs', '?')} pair(s)  at {when}"
+            f"  quarantined: pair ({i}, {j}) "
+            f"[{entry.get('left')}+{entry.get('right')}] after "
+            f"{entry.get('strikes')} strike(s)"
         )
-    return 0 if len(completed) >= shard_count else 1
+    if len(completed) < shard_count:
+        return 1
+    return EXIT_QUARANTINED if len(quarantine) else 0
 
 
 def _cmd_sweep_merge(args) -> int:
@@ -904,12 +1114,27 @@ def _cmd_corpus(args) -> int:
     return _cmd_corpus_query(args)
 
 
+def _cmd_store(args) -> int:
+    # Only one subcommand today; argparse enforces store_command.
+    store = ArtifactStore(args.store_dir)
+    report = store.verify(quarantine=not args.keep_corrupt)
+    print(report.summary())
+    for digest in report.corrupt:
+        print(f"  corrupt: {digest}", file=sys.stderr)
+    for digest in report.incompatible:
+        print(f"  incompatible format: {digest}", file=sys.stderr)
+    for path in report.quarantined:
+        print(f"  moved to {path}", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
 _COMMANDS = {
     "merge": _cmd_merge,
     "sweep": _cmd_sweep,
     "sweep-status": _cmd_sweep_status,
     "sweep-merge": _cmd_sweep_merge,
     "corpus": _cmd_corpus,
+    "store": _cmd_store,
     "diff": _cmd_diff,
     "validate": _cmd_validate,
     "simulate": _cmd_simulate,

@@ -33,14 +33,31 @@ Public API:
   a candidate list (the corpus-search primitive).
 * :class:`~repro.core.corpus_index.CorpusIndex` — persistent inverted
   index over signature keys for sublinear corpus queries.
+* :class:`~repro.core.coordinator.SweepCoordinator` — fault-tolerant
+  supervision for sharded sweeps: shard leases, worker heartbeats,
+  retry with backoff, work stealing and poison-pair quarantine
+  (``sbmlcompose sweep --supervise``).
+* :mod:`~repro.core.chaos` — deterministic fault injection
+  (:class:`~repro.core.chaos.ChaosSpec`) threaded through the sweep
+  stack, driving the robustness tests and the CI chaos smoke.
 """
 
 from repro.core.artifact_store import (
     ArtifactStore,
     ModelArtifacts,
+    StoreVerifyReport,
     compute_artifacts,
     corpus_fingerprint,
     model_digest,
+)
+from repro.core.chaos import ChaosError, ChaosSpec, Fault
+from repro.core.coordinator import (
+    EXIT_QUARANTINED,
+    CoordinatorConfig,
+    CoordinatorError,
+    Quarantine,
+    SweepCoordinator,
+    SweepReport,
 )
 from repro.core.compose import (
     AccumState,
@@ -97,12 +114,14 @@ from repro.core.plan import (
     plan_names,
 )
 from repro.core.report import Conflict, Duplicate, MergeReport, MergeWarning
+from repro.core.locking import FileLock
 from repro.core.shards import (
     Shard,
     SweepCheckpoint,
     SweepStateError,
     enumerate_pairs,
     partition_pairs,
+    shard_result_filename,
 )
 from repro.core.session import (
     ComposeResult,
@@ -135,6 +154,7 @@ __all__ = [
     "IndexedModel",
     "ArtifactStore",
     "ModelArtifacts",
+    "StoreVerifyReport",
     "model_digest",
     "corpus_fingerprint",
     "compute_artifacts",
@@ -143,6 +163,17 @@ __all__ = [
     "SweepStateError",
     "enumerate_pairs",
     "partition_pairs",
+    "shard_result_filename",
+    "FileLock",
+    "ChaosError",
+    "ChaosSpec",
+    "Fault",
+    "SweepCoordinator",
+    "CoordinatorConfig",
+    "CoordinatorError",
+    "SweepReport",
+    "Quarantine",
+    "EXIT_QUARANTINED",
     "ComposeOptions",
     "MergeReport",
     "MergeWarning",

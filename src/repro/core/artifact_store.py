@@ -16,7 +16,14 @@ resumed sweeps and unrelated corpora: a model rehydrates its own
 artifacts and nothing else, however it was loaded, and a model edited
 in place simply misses and recomputes.  Entries are written atomically
 (temp file + rename) so a killed writer never leaves a torn entry; a
-corrupt or format-incompatible entry reads as a miss, never an error.
+corrupt or format-incompatible entry reads as a miss, never an error —
+but not a *silent* one: the store counts hits, misses, corrupt and
+format-incompatible reads (:meth:`ArtifactStore.stats`), and a blob
+that fails to deserialise is **quarantined** into a ``corrupt/``
+subdirectory on detection, so bit rot is diagnosed once instead of
+being re-read (and re-missed) on every future rehydration.
+:meth:`ArtifactStore.verify` — surfaced as ``sbmlcompose store verify``
+— scans the whole store and reports the same classification offline.
 """
 
 from __future__ import annotations
@@ -28,8 +35,9 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
+from repro.core import chaos
 from repro.core.compose import ModelIndexSet, _collect_initial_values
 from repro.core.pattern_cache import PatternCache, model_pattern_table
 from repro.sbml.model import Model
@@ -39,6 +47,7 @@ from repro.units.registry import UnitRegistry
 __all__ = [
     "ModelArtifacts",
     "ArtifactStore",
+    "StoreVerifyReport",
     "model_digest",
     "corpus_fingerprint",
     "compute_artifacts",
@@ -204,6 +213,42 @@ def _artifact_options():
     return _ARTIFACT_OPTIONS
 
 
+@dataclass
+class StoreVerifyReport:
+    """What :meth:`ArtifactStore.verify` found in one full scan."""
+
+    total: int
+    ok: int
+    #: Digests whose blobs failed to deserialise at all.
+    corrupt: List[str]
+    #: Digests that deserialise but carry an unknown format number
+    #: (left in place — a newer writer may still want them).
+    incompatible: List[str]
+    #: Where the corrupt blobs were moved (empty when the scan ran
+    #: with ``quarantine=False``).
+    quarantined: List[Path]
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.incompatible
+
+    def summary(self) -> str:
+        parts = [f"{self.total} entr{'y' if self.total == 1 else 'ies'}",
+                 f"{self.ok} ok"]
+        if self.corrupt:
+            parts.append(
+                f"{len(self.corrupt)} corrupt"
+                + (
+                    f" ({len(self.quarantined)} quarantined)"
+                    if self.quarantined
+                    else ""
+                )
+            )
+        if self.incompatible:
+            parts.append(f"{len(self.incompatible)} format-incompatible")
+        return ", ".join(parts)
+
+
 class ArtifactStore:
     """Content-addressed artifact files under one root directory.
 
@@ -212,41 +257,107 @@ class ArtifactStore:
     are safe under concurrent writers — two processes storing the same
     digest both write the same bytes, and the atomic rename makes the
     last one win harmlessly.
+
+    Unhealthy entries degrade, but loudly: every read outcome is
+    counted (:meth:`stats`), and a blob that fails to deserialise is
+    moved into ``root/corrupt/`` the moment it is detected — the next
+    read of that digest is an honest miss that recomputes and rewrites
+    a good entry, instead of paying the failed deserialisation on
+    every rehydration forever.  The quarantined bytes are kept (not
+    deleted) for post-mortem.
     """
+
+    #: Subdirectory corrupt blobs are moved into (outside the
+    #: ``??/*.pkl`` entry namespace, so quarantined files are never
+    #: counted, listed, or evicted as entries).
+    CORRUPT_DIR = "corrupt"
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "corrupt": 0,
+            "incompatible": 0,
+        }
 
     def path_for(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.pkl"
+
+    def stats(self) -> Dict[str, int]:
+        """Read-outcome counters for this store instance: ``hits``,
+        ``misses`` (absent entries), ``corrupt`` (failed to
+        deserialise; quarantined) and ``incompatible`` (unknown format
+        number; left in place).  In-memory and per-instance — for a
+        persistent whole-store audit use :meth:`verify`."""
+        return dict(self._stats)
+
+    def _quarantine_blob(self, path: Path) -> Optional[Path]:
+        """Move a corrupt blob into ``corrupt/``; best effort (a
+        read-only store leaves it where it is and just counts it)."""
+        dest = self.root / self.CORRUPT_DIR / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            return None
+        return dest
+
+    @staticmethod
+    def _decode(data: bytes):
+        """``(format, artifacts)`` from raw entry bytes.
+
+        Raises on undecodable bytes; an unknown-format payload returns
+        ``(format, None)`` — decodable, just not ours.
+        """
+        payload = pickle.loads(data)
+        fmt = payload["format"]
+        if fmt not in _COMPATIBLE_FORMATS:
+            return fmt, None
+        artifacts = payload["artifacts"]
+        # Entries written by older formats predate some fields
+        # (format 2: index rows; formats 2–3: signature and id
+        # sets).  They are valid hits, not corrupt entries — the
+        # missing fields are normalised to ``None`` ("absent,
+        # compute lazily") so consumers never see an attribute
+        # error from an old pickle's narrower ``__dict__``.
+        for lazy_field in ("indexes", "signature", "id_sets"):
+            if getattr(artifacts, lazy_field, None) is None:
+                setattr(artifacts, lazy_field, None)
+        return fmt, artifacts
 
     def get(self, digest: str) -> Optional[ModelArtifacts]:
         """The stored artifacts for ``digest``, or ``None`` on miss.
 
         A torn, corrupt or format-incompatible entry is a miss too —
-        the caller recomputes and overwrites.
+        the caller recomputes and overwrites.  Corrupt blobs are
+        additionally counted and quarantined to ``corrupt/`` so the
+        failure is diagnosed once, not re-paid on every read.
         """
         path = self.path_for(digest)
         try:
             data = path.read_bytes()
         except (FileNotFoundError, NotADirectoryError):
+            self._stats["misses"] += 1
             return None
+        if chaos.advice("artifact-read", "corrupt", digest=digest):
+            # Simulated bit rot: garble the blob on disk (what a bad
+            # sector hands back) and read the garbled bytes.
+            data = bytes(byte ^ 0xA5 for byte in data[:64]) + data[64:]
+            try:
+                path.write_bytes(data)
+            except OSError:
+                pass
         try:
-            payload = pickle.loads(data)
-            if payload["format"] not in _COMPATIBLE_FORMATS:
-                return None
-            artifacts = payload["artifacts"]
-            # Entries written by older formats predate some fields
-            # (format 2: index rows; formats 2–3: signature and id
-            # sets).  They are valid hits, not corrupt entries — the
-            # missing fields are normalised to ``None`` ("absent,
-            # compute lazily") so consumers never see an attribute
-            # error from an old pickle's narrower ``__dict__``.
-            for lazy_field in ("indexes", "signature", "id_sets"):
-                if getattr(artifacts, lazy_field, None) is None:
-                    setattr(artifacts, lazy_field, None)
+            fmt, artifacts = self._decode(data)
         except Exception:
+            self._stats["corrupt"] += 1
+            self._quarantine_blob(path)
             return None
+        if artifacts is None:
+            self._stats["incompatible"] += 1
+            return None
+        self._stats["hits"] += 1
         # Refresh the entry's mtime so :meth:`evict`'s LRU ordering
         # tracks *use*, not just creation.  Best effort: a read-only
         # store still serves hits.
@@ -255,6 +366,45 @@ class ArtifactStore:
         except OSError:
             pass
         return artifacts
+
+    def verify(self, quarantine: bool = True) -> StoreVerifyReport:
+        """Scan every entry and classify it: ok, corrupt, or
+        format-incompatible.  With ``quarantine`` (the default),
+        corrupt blobs are moved to ``corrupt/`` exactly as an online
+        read would.  Entries that vanish mid-scan (concurrent evictor)
+        are skipped.  The scan is read-only for healthy entries — no
+        mtimes are refreshed, so it never perturbs LRU eviction."""
+        total = ok = 0
+        corrupt: List[str] = []
+        incompatible: List[str] = []
+        quarantined: List[Path] = []
+        for path in sorted(self.root.glob("??/*.pkl")):
+            digest = path.stem
+            try:
+                data = path.read_bytes()
+            except OSError:
+                continue
+            total += 1
+            try:
+                _, artifacts = self._decode(data)
+            except Exception:
+                corrupt.append(digest)
+                if quarantine:
+                    moved = self._quarantine_blob(path)
+                    if moved is not None:
+                        quarantined.append(moved)
+                continue
+            if artifacts is None:
+                incompatible.append(digest)
+            else:
+                ok += 1
+        return StoreVerifyReport(
+            total=total,
+            ok=ok,
+            corrupt=corrupt,
+            incompatible=incompatible,
+            quarantined=quarantined,
+        )
 
     def put(self, digest: str, artifacts: ModelArtifacts) -> Path:
         """Store ``artifacts`` under ``digest`` atomically."""

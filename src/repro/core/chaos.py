@@ -1,0 +1,359 @@
+"""Deterministic fault injection for the sweep stack.
+
+Robustness claims that are only exercised by real crashes are claims
+tested by luck.  This module threads named **injection sites** through
+the sweep machinery — the pair engine, the worker chunk runner, the
+checkpoint journal writer, the artifact store reader — and lets tests
+(and the CI chaos-smoke job) arm precise, reproducible faults at them:
+
+* ``kill``  — SIGKILL the current process (a worker dying mid-chunk),
+* ``raise`` — raise :class:`ChaosError` (a poison pair with a real
+  captured traceback),
+* ``stall`` — sleep through the heartbeat window (a live-but-stuck
+  worker whose lease must be reclaimed),
+* ``torn-write`` — the site writes a truncated file where its atomic
+  write would have gone, then dies (simulated power-loss torn write),
+* ``corrupt`` — the site flips bytes in the blob it is about to read
+  (simulated bit rot under the store).
+
+Faults are **deterministic**: each fault names its site, an optional
+context ``match`` (e.g. exactly pair ``(1, 3)``), and a firing budget
+``times``.  Budgets are enforced with on-disk *tick claims* under the
+spec's ``state_dir`` — ``O_CREAT | O_EXCL`` files, one per firing — so
+a fault fires exactly ``times`` times **across every process of the
+sweep**, surviving the very worker deaths it causes.  A ``rate`` fault
+instead fires pseudo-randomly but reproducibly: the decision is a pure
+hash of ``(seed, fault key, site context)``, so the same seed always
+fails the same pairs.
+
+The active spec is either installed in-process (:func:`install` /
+:func:`active`) or published to child processes through the
+``REPRO_CHAOS`` environment variable (a path to the saved spec JSON):
+:func:`install` sets both, so coordinator workers and process-pool
+workers inherit the armed faults however they were spawned.  With no
+spec armed, every injection site is a near-free no-op.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ChaosError",
+    "ChaosKill",
+    "Fault",
+    "ChaosSpec",
+    "ENV_VAR",
+    "install",
+    "uninstall",
+    "active",
+    "armed",
+    "trip",
+    "advice",
+]
+
+#: Environment variable naming the saved spec JSON; child processes
+#: (coordinator workers, process pools) arm themselves from it.
+ENV_VAR = "REPRO_CHAOS"
+
+#: Actions :func:`trip` executes itself.
+_AUTONOMOUS_ACTIONS = frozenset({"kill", "raise", "stall"})
+#: Actions the injection site must implement (``trip`` never fires
+#: them; the site asks :func:`advice` and acts).
+_ADVISORY_ACTIONS = frozenset({"torn-write", "corrupt"})
+_ACTIONS = _AUTONOMOUS_ACTIONS | _ADVISORY_ACTIONS
+
+
+class ChaosError(ReproError):
+    """The injected *recoverable* failure — what a poison pair raises.
+
+    Derives from :class:`~repro.errors.ReproError` so it carries a real
+    traceback through the worker's exception capture, exactly like an
+    organic compose bug would."""
+
+
+class ChaosKill(BaseException):
+    """Simulated process death for in-process call sites.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so
+    no ``except Exception`` recovery path can swallow it — the
+    "process" is dead, and only the test harness catches it."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One armed fault: *where* (site + context match), *what*
+    (action), and *how often* (times budget or seeded rate)."""
+
+    site: str
+    action: str
+    #: Context filter — every key present must equal the site's
+    #: context value (``{"i": 1, "j": 3}`` arms exactly pair (1, 3));
+    #: an empty match hits every trip of the site.
+    match: Mapping[str, object] = field(default_factory=dict)
+    #: Firing budget across *all* processes (``None`` = unlimited —
+    #: the poison-pair shape: the pair fails every single attempt).
+    times: Optional[int] = 1
+    #: Seeded firing probability in [0, 1] — mutually exclusive with
+    #: ``times``-style determinism; decisions are a pure hash of
+    #: (seed, key, context) so runs replay identically.
+    rate: Optional[float] = None
+    #: Sleep length for ``stall`` faults.
+    stall_seconds: float = 0.0
+    #: Stable identity for tick counting; defaults to the fault's
+    #: position in the spec.
+    key: Optional[str] = None
+
+    def __post_init__(self):
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; "
+                f"expected one of {sorted(_ACTIONS)}"
+            )
+        if self.rate is not None and not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+
+    def matches(self, site: str, context: Mapping[str, object]) -> bool:
+        if site != self.site:
+            return False
+        return all(
+            context.get(name) == value for name, value in self.match.items()
+        )
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "action": self.action,
+            "match": dict(self.match),
+            "times": self.times,
+            "rate": self.rate,
+            "stall_seconds": self.stall_seconds,
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "Fault":
+        return cls(
+            site=str(payload["site"]),
+            action=str(payload["action"]),
+            match=dict(payload.get("match") or {}),
+            times=payload.get("times"),
+            rate=payload.get("rate"),
+            stall_seconds=float(payload.get("stall_seconds") or 0.0),
+            key=payload.get("key"),
+        )
+
+
+class ChaosSpec:
+    """A set of armed faults plus the shared on-disk tick state.
+
+    ``state_dir`` must be a directory every participating process can
+    reach (the sweep's output directory works); tick-claim files land
+    there, which is what makes ``times`` budgets exact across worker
+    respawns and multi-process pools."""
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        faults: Sequence[Fault] = (),
+        seed: int = 0,
+    ):
+        self.state_dir = Path(state_dir)
+        self.faults = list(faults)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    # Persistence (install publishes the spec to child processes)
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        payload = {
+            "state_dir": str(self.state_dir),
+            "seed": self.seed,
+            "faults": [fault.payload() for fault in self.faults],
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ChaosSpec":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(
+            state_dir=payload["state_dir"],
+            faults=[
+                Fault.from_payload(entry) for entry in payload["faults"]
+            ],
+            seed=int(payload.get("seed", 0)),
+        )
+
+    # ------------------------------------------------------------------
+    # Firing decisions
+    # ------------------------------------------------------------------
+
+    def _fault_key(self, fault: Fault) -> str:
+        if fault.key is not None:
+            return fault.key
+        return f"fault-{self.faults.index(fault)}"
+
+    def _claim_tick(self, fault: Fault) -> bool:
+        """Atomically claim the next firing of a budgeted fault.
+
+        One ``O_CREAT | O_EXCL`` file per firing: however many
+        processes race, exactly ``times`` claims ever succeed, and the
+        claims survive the process deaths the fault causes."""
+        if fault.times is None:
+            return True
+        key = self._fault_key(fault)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        for tick in range(fault.times):
+            path = self.state_dir / f".chaos-{key}-tick{tick}"
+            try:
+                fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.write(fd, f"pid {os.getpid()}\n".encode("ascii"))
+            os.close(fd)
+            return True
+        return False
+
+    def _rate_fires(self, fault: Fault, context: Mapping[str, object]) -> bool:
+        digest = hashlib.blake2b(digest_size=8)
+        digest.update(str(self.seed).encode("ascii"))
+        digest.update(self._fault_key(fault).encode("utf-8"))
+        for name in sorted(context):
+            digest.update(f"\x00{name}={context[name]!r}".encode("utf-8"))
+        draw = int.from_bytes(digest.digest(), "big") / float(2**64)
+        return draw < fault.rate
+
+    def should_fire(
+        self, fault: Fault, context: Mapping[str, object]
+    ) -> bool:
+        if fault.rate is not None:
+            return self._rate_fires(fault, context)
+        return self._claim_tick(fault)
+
+
+#: The process-locally installed spec (wins over the environment).
+_INSTALLED: Optional[ChaosSpec] = None
+#: Memoized environment spec, keyed by the path it was parsed from.
+_ENV_CACHE: Optional[tuple] = None
+
+
+def install(spec: Optional[ChaosSpec], publish: bool = True) -> None:
+    """Arm ``spec`` in this process; with ``publish`` (the default)
+    also save it under its state dir and export :data:`ENV_VAR` so
+    child processes arm themselves identically."""
+    global _INSTALLED
+    _INSTALLED = spec
+    if spec is None:
+        os.environ.pop(ENV_VAR, None)
+        return
+    if publish:
+        path = spec.save(spec.state_dir / "chaos.json")
+        os.environ[ENV_VAR] = str(path)
+
+
+def uninstall() -> None:
+    """Disarm chaos in this process and stop publishing to children."""
+    install(None)
+
+
+@contextmanager
+def active(spec: ChaosSpec, publish: bool = True) -> Iterator[ChaosSpec]:
+    """Context manager form of :func:`install` for tests."""
+    install(spec, publish=publish)
+    try:
+        yield spec
+    finally:
+        uninstall()
+
+
+def _current() -> Optional[ChaosSpec]:
+    global _ENV_CACHE
+    if _INSTALLED is not None:
+        return _INSTALLED
+    path = os.environ.get(ENV_VAR)
+    if not path:
+        return None
+    if _ENV_CACHE is not None and _ENV_CACHE[0] == path:
+        return _ENV_CACHE[1]
+    try:
+        spec = ChaosSpec.load(path)
+    except (OSError, ValueError, KeyError):
+        return None
+    _ENV_CACHE = (path, spec)
+    return spec
+
+
+def armed() -> bool:
+    """Whether any chaos spec is active in this process."""
+    return _INSTALLED is not None or bool(os.environ.get(ENV_VAR))
+
+
+def _fire(fault: Fault, site: str, context: Mapping[str, object]) -> None:
+    if fault.action == "kill":
+        # A real SIGKILL: no atexit, no finally, no flushing — the
+        # same death a crashed or OOM-killed worker dies.
+        os.kill(os.getpid(), signal.SIGKILL)
+    if fault.action == "stall":
+        time.sleep(fault.stall_seconds)
+        return
+    raise ChaosError(
+        f"chaos fault at {site} "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(context.items()))})"
+    )
+
+
+def trip(site: str, **context: object) -> None:
+    """Injection point: fire any armed autonomous fault for ``site``.
+
+    Near-free when nothing is armed (one global + one environ check).
+    ``kill`` never returns, ``raise`` raises :class:`ChaosError`,
+    ``stall`` sleeps then returns.
+    """
+    if _INSTALLED is None and not os.environ.get(ENV_VAR):
+        return
+    spec = _current()
+    if spec is None:
+        return
+    for fault in spec.faults:
+        if fault.action not in _AUTONOMOUS_ACTIONS:
+            continue
+        if not fault.matches(site, context):
+            continue
+        if spec.should_fire(fault, context):
+            _fire(fault, site, context)
+
+
+def advice(site: str, action: str, **context: object) -> bool:
+    """Injection point for site-implemented faults (``torn-write``,
+    ``corrupt``): returns whether the site should sabotage itself now.
+    Consumes a firing tick exactly like :func:`trip`."""
+    if _INSTALLED is None and not os.environ.get(ENV_VAR):
+        return False
+    spec = _current()
+    if spec is None:
+        return False
+    for fault in spec.faults:
+        if fault.action != action:
+            continue
+        if not fault.matches(site, context):
+            continue
+        if spec.should_fire(fault, context):
+            return True
+    return False

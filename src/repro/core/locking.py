@@ -1,0 +1,80 @@
+"""Advisory file locking — one shim over ``fcntl`` and ``msvcrt``.
+
+The sweep journal's read-merge-write (:meth:`~repro.core.shards.SweepCheckpoint.mark_complete`)
+is safe across *hosts* by merging before the atomic rename, but two
+workers on **one** host can still interleave inside the merge window
+and lose an update.  An advisory lock on a sidecar file closes that
+window where the OS can provide one; on platforms with neither
+``fcntl`` nor ``msvcrt`` the lock degrades to the pre-lock behaviour
+(merge-on-write plus deterministic recompute) instead of failing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["FileLock"]
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None
+
+try:  # Windows
+    import msvcrt
+except ImportError:  # pragma: no cover - platform-dependent
+    msvcrt = None
+
+
+class FileLock:
+    """An exclusive advisory lock held for a ``with`` block.
+
+    Blocking, reentrant-unsafe (don't nest one instance), and scoped
+    to the lock *file*, not the data file — lockers must agree on the
+    sidecar path.  The file is created on first use and never removed;
+    its contents are irrelevant.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fd: Optional[int] = None
+
+    def acquire(self) -> None:
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path} is already held")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(self.path), os.O_CREAT | os.O_RDWR)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            elif msvcrt is not None:  # pragma: no cover - windows
+                os.lseek(fd, 0, os.SEEK_SET)
+                msvcrt.locking(fd, msvcrt.LK_LOCK, 1)
+            # Neither module: advisory locking unavailable; hold only
+            # the open fd (callers still have merge-on-write).
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            elif msvcrt is not None:  # pragma: no cover - windows
+                os.lseek(fd, 0, os.SEEK_SET)
+                msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

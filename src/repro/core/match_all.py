@@ -55,6 +55,7 @@ from typing import (
     Union,
 )
 
+from repro.core import chaos
 from repro.core.artifact_store import ArtifactStore, compute_artifacts
 from repro.core.compose import (
     AccumState,
@@ -139,6 +140,12 @@ class MatchMatrix:
     #: :class:`PairOutcome` rows are still present, byte-identical to
     #: what the full matcher would have produced).
     pruned: int = 0
+    #: Pairs a supervised sweep quarantined as poison (they repeatedly
+    #: killed their worker) — their rows are *absent*: the sweep
+    #: degraded gracefully instead of looping or aborting.  See
+    #: :class:`~repro.core.coordinator.SweepCoordinator` and the
+    #: ``quarantine.json`` sidecar for the captured evidence.
+    quarantined: int = 0
 
     @property
     def pair_count(self) -> int:
@@ -169,11 +176,16 @@ class MatchMatrix:
         prescreened = (
             f", {self.pruned} prescreen-synthesized" if self.pruned else ""
         )
+        quarantined = (
+            f", {self.quarantined} pair(s) QUARANTINED"
+            if self.quarantined
+            else ""
+        )
         return (
             f"{self.pair_count} pairs over {self.model_count} models in "
             f"{self.seconds:.2f}s ({self.pairs_per_second:.1f} pairs/s, "
             f"workers={self.workers}, backend={self.backend}{sharded}"
-            f"{prescreened})"
+            f"{prescreened}{quarantined})"
         )
 
     @classmethod
@@ -211,6 +223,7 @@ class MatchMatrix:
             workers=max(part.workers for part in parts),
             backend=parts[0].backend,
             pruned=sum(part.pruned for part in parts),
+            quarantined=sum(part.quarantined for part in parts),
         )
 
 
@@ -430,6 +443,10 @@ class _PairEngine:
         return size
 
     def run_pair(self, i: int, j: int) -> PairOutcome:
+        # Chaos injection site: a "kill" fault here is a worker dying
+        # mid-pair, a "raise" fault is a poison pair, a "stall" fault
+        # is a live-but-stuck worker.  Free when chaos is unarmed.
+        chaos.trip("pair-start", i=i, j=j)
         left = self.models[i]
         right = self.models[j]
         used_ids, registry, initial, id_sets = self._model_artifacts(i)
@@ -514,6 +531,7 @@ def _init_pair_worker(
 
 
 def _run_pair_chunk(pairs: List[Tuple[int, int]]) -> List[PairOutcome]:
+    chaos.trip("chunk-start", pairs=len(pairs))
     return _PAIR_ENGINE.run_pairs(pairs)
 
 

@@ -25,19 +25,31 @@ their outputs is exactly one :func:`~repro.core.match_all.match_all`.
 *resumable*: it records the corpus fingerprint and which shards have
 durably finished, so an interrupted sweep continues from the first
 incomplete shard instead of restarting, and refuses to "resume" onto a
-different corpus or shard layout.
+different corpus or shard layout.  Journal **format 2** additionally
+records shard *leases* (who is computing a shard right now, and until
+when) and per-shard retry/steal counters — the durable state behind
+:class:`~repro.core.coordinator.SweepCoordinator`'s fault tolerance
+and ``sweep-status``'s live reporting.  Format-1 journals (no leases)
+still read fine; every write keeps the previous journal as
+``checkpoint.json.bak``, so even a *torn* journal write (power loss on
+a filesystem without atomic rename) loses at most the final entry —
+``--resume`` falls back to the backup and recomputes the difference.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
+import sys
 import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core import chaos
+from repro.core.locking import FileLock
 from repro.errors import ReproError
 
 __all__ = [
@@ -48,9 +60,17 @@ __all__ = [
     "enumerate_pairs",
     "pair_cost",
     "partition_pairs",
+    "shard_result_filename",
 ]
 
 Pair = Tuple[int, int]
+
+
+def shard_result_filename(shard_id: int, shard_count: int) -> str:
+    """The canonical result-CSV name for one shard of a sweep — the
+    one spelling ``sweep``, the coordinator and ``sweep-merge`` agree
+    on."""
+    return f"shard-{shard_id:04d}-of-{shard_count:04d}.csv"
 
 #: Blocks dealt to each shard.  More blocks balance cost better but
 #: interleave the canonical order more finely; four per shard keeps
@@ -178,9 +198,36 @@ class SweepCheckpoint:
     names.  A shard whose result file was written but never journaled
     is simply recomputed; recomputation is deterministic, so the rerun
     overwrites it with identical content.
+
+    **Format 2** adds two live-state tables a supervised sweep keeps
+    durable alongside the completion records:
+
+    * ``leases`` — shard id -> ``{worker, acquired_at, expires_at}``:
+      who is computing the shard right now, and when their claim
+      lapses.  A coordinator restarted over the directory reclaims
+      expired leases automatically; unexpired foreign leases are
+      honoured until they lapse.
+    * ``retries`` — shard id -> ``{count, steals}``: how many attempts
+      the shard has consumed and how many of those were reassignments
+      away from a dead or stalled worker.  Kept after completion, so
+      ``sweep-status`` still tells the story of a rocky sweep.
+
+    Format-1 journals read back with both tables empty.  Durability
+    hardening over format 1: mutating writes take an advisory file
+    lock (:class:`~repro.core.locking.FileLock` on ``checkpoint.lock``)
+    so two workers on one host cannot interleave the read-merge-write,
+    and each successful write first preserves the previous journal as
+    ``checkpoint.json.bak`` — a torn main journal (simulated by the
+    chaos harness's ``torn-write`` fault) recovers from the backup,
+    losing at most the single entry the torn write carried.
     """
 
     FILENAME = "checkpoint.json"
+    BACKUP_FILENAME = "checkpoint.json.bak"
+    LOCK_FILENAME = "checkpoint.lock"
+    #: Journal format this writer emits.  Format 1 had no ``format``
+    #: key (and no leases/retries); readers treat a missing key as 1.
+    FORMAT = 2
 
     def __init__(
         self,
@@ -194,10 +241,21 @@ class SweepCheckpoint:
         self.shard_count = shard_count
         #: shard id -> {"file": result file name, "pairs": count}
         self.completed: Dict[int, Dict[str, object]] = {}
+        #: shard id -> {"worker", "acquired_at", "expires_at"}
+        self.leases: Dict[int, Dict[str, object]] = {}
+        #: shard id -> {"count": attempts, "steals": reassignments}
+        self.retries: Dict[int, Dict[str, int]] = {}
 
     @property
     def path(self) -> Path:
         return self.out_dir / self.FILENAME
+
+    @property
+    def backup_path(self) -> Path:
+        return self.out_dir / self.BACKUP_FILENAME
+
+    def _lock(self) -> FileLock:
+        return FileLock(self.out_dir / self.LOCK_FILENAME)
 
     # ------------------------------------------------------------------
     # Journal I/O
@@ -215,32 +273,77 @@ class SweepCheckpoint:
             fingerprint=str(journal["fingerprint"]),
             shard_count=int(journal["shard_count"]),
         )
-        checkpoint.completed = {
+        checkpoint._adopt(journal)
+        return checkpoint
+
+    def _adopt(self, journal: Dict[str, object]) -> None:
+        """Take a (normalised) journal dict as this instance's state."""
+        self.completed = {
             int(shard_id): dict(entry)
             for shard_id, entry in journal["completed"].items()
         }
-        return checkpoint
+        self.leases = {
+            int(shard_id): dict(entry)
+            for shard_id, entry in journal["leases"].items()
+        }
+        self.retries = {
+            int(shard_id): dict(entry)
+            for shard_id, entry in journal["retries"].items()
+        }
+
+    @staticmethod
+    def _parse_journal(path: Path) -> Dict[str, object]:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        for key in ("fingerprint", "shard_count", "completed"):
+            if key not in data:
+                raise ValueError(f"missing {key!r}")
+        # Normalise across formats: format 1 predates the format key
+        # and the lease/retry tables.
+        data.setdefault("format", 1)
+        if int(data["format"]) > SweepCheckpoint.FORMAT:
+            raise ValueError(
+                f"journal format {data['format']} is newer than this "
+                f"version understands (max {SweepCheckpoint.FORMAT})"
+            )
+        data.setdefault("leases", {})
+        data.setdefault("retries", {})
+        return data
 
     @staticmethod
     def read_journal(out_dir: Union[str, Path]) -> Dict[str, object]:
-        """Load and validate the raw journal of ``out_dir``."""
+        """Load and validate the raw journal of ``out_dir``.
+
+        A corrupt (torn) main journal falls back to the
+        ``checkpoint.json.bak`` backup the previous write preserved —
+        at most the torn write's one entry is lost, and a resume
+        recomputes it.  Only when both copies are unreadable does the
+        journal raise :class:`SweepStateError`.
+        """
         path = Path(out_dir) / SweepCheckpoint.FILENAME
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            raise SweepStateError(
-                f"no sweep checkpoint at {path}; run `sweep --shards K "
-                f"--out-dir {Path(out_dir)}` first"
-            ) from None
+            return SweepCheckpoint._parse_journal(path)
         except (OSError, ValueError) as exc:
-            raise SweepStateError(
-                f"unreadable sweep checkpoint {path}: {exc}"
-            ) from exc
-        for key in ("fingerprint", "shard_count", "completed"):
-            if key not in data:
+            main_error = exc
+        backup = Path(out_dir) / SweepCheckpoint.BACKUP_FILENAME
+        try:
+            data = SweepCheckpoint._parse_journal(backup)
+        except (OSError, ValueError):
+            if isinstance(main_error, FileNotFoundError):
                 raise SweepStateError(
-                    f"sweep checkpoint {path} is missing {key!r}"
-                )
+                    f"no sweep checkpoint at {path}; run `sweep "
+                    f"--shards K --out-dir {Path(out_dir)}` first"
+                ) from None
+            raise SweepStateError(
+                f"unreadable sweep checkpoint {path}: {main_error} "
+                f"(and no readable {SweepCheckpoint.BACKUP_FILENAME} "
+                f"backup)"
+            ) from main_error
+        print(
+            f"warning: {path} is unreadable ({main_error}); recovered "
+            f"from {backup} — completions since its last good write "
+            f"will be recomputed",
+            file=sys.stderr,
+        )
         return data
 
     def begin(self, resume: bool = False) -> Dict[int, str]:
@@ -252,11 +355,14 @@ class SweepCheckpoint:
         sweep's fingerprint and shard count — resuming onto a changed
         corpus or layout raises :class:`SweepStateError` instead of
         silently unioning incompatible shards — and the map of
-        completed shard id -> result file name is returned.
+        completed shard id -> result file name is returned.  Leases
+        and retry counters are adopted as-is on resume; *expired*
+        leases are dropped (their holders are gone), unexpired ones
+        are kept for the coordinator to honour until they lapse.
         """
         self.out_dir.mkdir(parents=True, exist_ok=True)
         existing: Optional[Dict[str, object]] = None
-        if self.path.is_file():
+        if self.path.is_file() or self.backup_path.is_file():
             existing = self.read_journal(self.out_dir)
         if resume and existing is not None:
             if existing["fingerprint"] != self.fingerprint:
@@ -270,17 +376,85 @@ class SweepCheckpoint:
                     f"{existing['shard_count']}-way, not "
                     f"{self.shard_count}-way"
                 )
-            self.completed = {
-                int(shard_id): dict(entry)
-                for shard_id, entry in existing["completed"].items()
-            }
+            self._adopt(existing)
+            reclaimed = self.reclaim_expired_leases(write=False)
+            if reclaimed:
+                self._write(reason="lease")
         else:
             self.completed = {}
-            self._write()
+            self.leases = {}
+            self.retries = {}
+            self._write(reason="begin")
         return {
             shard_id: str(entry["file"])
             for shard_id, entry in sorted(self.completed.items())
         }
+
+    # ------------------------------------------------------------------
+    # Leases and retry counters (journal format 2)
+    # ------------------------------------------------------------------
+
+    def acquire_lease(
+        self, shard_id: int, worker: str, ttl: float
+    ) -> Dict[str, object]:
+        """Record that ``worker`` owns ``shard_id`` until now + ``ttl``
+        seconds.  The lease is observability *and* restart safety: a
+        coordinator opening this journal later treats an unexpired
+        lease as "someone may still be computing this" and an expired
+        one as reclaimable."""
+        now = time.time()
+        lease = {
+            "worker": worker,
+            "acquired_at": now,
+            "expires_at": now + float(ttl),
+        }
+        with self._lock():
+            self.leases[shard_id] = lease
+            self._write(reason="lease")
+        return lease
+
+    def release_lease(
+        self,
+        shard_id: int,
+        *,
+        retried: bool = False,
+        stolen: bool = False,
+    ) -> None:
+        """Drop ``shard_id``'s lease; with ``retried``/``stolen`` also
+        bump the shard's durable retry/steal counters (a dead or
+        reclaimed worker's attempt)."""
+        with self._lock():
+            self.leases.pop(shard_id, None)
+            if retried or stolen:
+                entry = self.retries.setdefault(
+                    shard_id, {"count": 0, "steals": 0}
+                )
+                if retried:
+                    entry["count"] = int(entry["count"]) + 1
+                if stolen:
+                    entry["steals"] = int(entry["steals"]) + 1
+            self._write(reason="lease")
+
+    def reclaim_expired_leases(self, write: bool = True) -> List[int]:
+        """Drop every lease whose ``expires_at`` has passed; returns
+        the shard ids reclaimed."""
+        now = time.time()
+        reclaimed = [
+            shard_id
+            for shard_id, lease in self.leases.items()
+            if float(lease.get("expires_at", 0.0)) <= now
+        ]
+        for shard_id in reclaimed:
+            del self.leases[shard_id]
+        if reclaimed and write:
+            with self._lock():
+                self._write(reason="lease")
+        return reclaimed
+
+    def retry_counts(self, shard_id: int) -> Tuple[int, int]:
+        """``(attempt retries, steals)`` recorded for ``shard_id``."""
+        entry = self.retries.get(shard_id, {})
+        return int(entry.get("count", 0)), int(entry.get("steals", 0))
 
     def mark_complete(
         self, shard_id: int, result_file: str, pair_count: int
@@ -293,28 +467,40 @@ class SweepCheckpoint:
         The journal is re-read and merged before the atomic rewrite,
         so concurrent shard runs sharing one output directory (one
         machine per shard) do not erase each other's completion
-        records.  Entries are deterministic, so the merge is
-        idempotent; a write race lost despite the merge window is
-        recovered by ``--resume`` recomputing that shard.
+        records; on one host the advisory file lock additionally
+        serialises the whole read-merge-write, so two local workers
+        cannot interleave a lost update at all.  Entries are
+        deterministic, so the merge is idempotent; a multi-host write
+        race lost despite the merge window is recovered by
+        ``--resume`` recomputing that shard.
         """
-        if self.path.is_file():
-            try:
-                existing = self.read_journal(self.out_dir)
-            except SweepStateError:
-                existing = None
-            if (
-                existing is not None
-                and existing["fingerprint"] == self.fingerprint
-                and int(existing["shard_count"]) == self.shard_count
-            ):
-                for done_id, entry in existing["completed"].items():
-                    self.completed.setdefault(int(done_id), dict(entry))
-        self.completed[shard_id] = {
-            "file": result_file,
-            "pairs": pair_count,
-            "completed_at": time.time(),
-        }
-        self._write()
+        with self._lock():
+            if self.path.is_file() or self.backup_path.is_file():
+                try:
+                    existing = self.read_journal(self.out_dir)
+                except SweepStateError:
+                    existing = None
+                if (
+                    existing is not None
+                    and existing["fingerprint"] == self.fingerprint
+                    and int(existing["shard_count"]) == self.shard_count
+                ):
+                    for done_id, entry in existing["completed"].items():
+                        self.completed.setdefault(int(done_id), dict(entry))
+                    for sid, entry in existing["retries"].items():
+                        self.retries.setdefault(int(sid), dict(entry))
+                    for sid, entry in existing["leases"].items():
+                        sid = int(sid)
+                        if sid != shard_id and sid not in self.completed:
+                            self.leases.setdefault(sid, dict(entry))
+            self.completed[shard_id] = {
+                "file": result_file,
+                "pairs": pair_count,
+                "completed_at": time.time(),
+            }
+            # Completion subsumes the lease.
+            self.leases.pop(shard_id, None)
+            self._write(reason="complete")
 
     def missing_shards(self) -> List[int]:
         return [
@@ -323,15 +509,44 @@ class SweepCheckpoint:
             if shard_id not in self.completed
         ]
 
-    def _write(self) -> None:
+    def _write(self, reason: str = "update") -> None:
         payload = {
+            "format": self.FORMAT,
             "fingerprint": self.fingerprint,
             "shard_count": self.shard_count,
             "completed": {
                 str(shard_id): entry
                 for shard_id, entry in sorted(self.completed.items())
             },
+            "leases": {
+                str(shard_id): entry
+                for shard_id, entry in sorted(self.leases.items())
+            },
+            "retries": {
+                str(shard_id): entry
+                for shard_id, entry in sorted(self.retries.items())
+            },
         }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        # Preserve the previous good journal before any mutation of
+        # the main file: the recovery point a torn main journal falls
+        # back to.
+        if self.path.is_file():
+            backup_tmp = self.path.with_suffix(".bak-tmp")
+            try:
+                shutil.copy2(self.path, backup_tmp)
+                os.replace(backup_tmp, self.backup_path)
+            except OSError:
+                pass
+        if chaos.advice("checkpoint-write", "torn-write", reason=reason):
+            # Simulated power loss on a non-atomic filesystem: half the
+            # new journal lands over the old one, then the process
+            # dies.  Recovery reads checkpoint.json.bak (preserved
+            # above, exactly as on the real write path).
+            self.path.write_text(text[: len(text) // 2], encoding="utf-8")
+            raise chaos.ChaosKill(
+                f"torn checkpoint write ({reason}) at {self.path}"
+            )
         handle = tempfile.NamedTemporaryFile(
             "w",
             dir=self.out_dir,
@@ -341,8 +556,7 @@ class SweepCheckpoint:
             encoding="utf-8",
         )
         try:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+            handle.write(text)
             handle.close()
             os.replace(handle.name, self.path)
         except BaseException:

@@ -363,3 +363,109 @@ class TestSessionSpillTier:
         session.invalidate()
         assert session._digests == {}
         assert session._pinned == {}
+
+
+class TestStoreStatsAndQuarantine:
+    """Corrupt/incompatible read counters and the corrupt/ sidecar."""
+
+    def test_fresh_store_counts_nothing(self, tmp_path):
+        assert ArtifactStore(tmp_path).stats() == {
+            "hits": 0,
+            "misses": 0,
+            "corrupt": 0,
+            "incompatible": 0,
+        }
+
+    def test_hit_and_miss_counters(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = model_digest(model)
+        assert store.get(digest) is None
+        store.put(digest, compute_artifacts(model))
+        assert store.get(digest) is not None
+        stats = store.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_corrupt_read_is_counted_and_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = model_digest(model)
+        path = store.put(digest, compute_artifacts(model))
+        path.write_bytes(b"bit rot")
+        assert store.get(digest) is None
+        assert store.stats()["corrupt"] == 1
+        # The bad blob moved to corrupt/ — diagnosed once, not re-paid.
+        assert not path.exists()
+        moved = tmp_path / ArtifactStore.CORRUPT_DIR / path.name
+        assert moved.read_bytes() == b"bit rot"
+        # The slot is free again: recompute self-heals it.
+        assert store.get_or_compute(model) is not None
+        assert store.get(digest) is not None
+
+    def test_incompatible_read_is_counted_not_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = model_digest(_model())
+        path = store.path_for(digest)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"format": 99, "artifacts": None}))
+        assert store.get(digest) is None
+        assert store.stats()["incompatible"] == 1
+        assert path.exists()  # a newer writer may still want it
+
+
+class TestStoreVerify:
+    def test_clean_store(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.get_or_compute(_model("a"))
+        store.get_or_compute(_model("b", species=("B", "C")))
+        report = store.verify()
+        assert report.clean
+        assert (report.total, report.ok) == (2, 2)
+        assert report.summary() == "2 entries, 2 ok"
+
+    def test_verify_quarantines_corrupt_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        good = _model("other", species=("X", "Y"))
+        store.get_or_compute(good)
+        path = store.put(model_digest(model), compute_artifacts(model))
+        path.write_bytes(b"garbage")
+        report = store.verify()
+        assert not report.clean
+        assert report.corrupt == [model_digest(model)]
+        assert report.ok == 1
+        assert [p.parent.name for p in report.quarantined] == [
+            ArtifactStore.CORRUPT_DIR
+        ]
+        assert not path.exists()
+        assert "1 corrupt (1 quarantined)" in report.summary()
+
+    def test_verify_keep_corrupt_leaves_blob_in_place(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        path = store.put(model_digest(model), compute_artifacts(model))
+        path.write_bytes(b"garbage")
+        report = store.verify(quarantine=False)
+        assert report.corrupt and not report.quarantined
+        assert path.exists()
+
+    def test_verify_counts_incompatible_in_place(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        digest = model_digest(_model())
+        path = store.path_for(digest)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"format": 99, "artifacts": None}))
+        report = store.verify()
+        assert report.incompatible == [digest]
+        assert "format-incompatible" in report.summary()
+        assert path.exists()
+
+    def test_verify_never_refreshes_mtimes(self, tmp_path):
+        import os
+
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        path = store.put(model_digest(model), compute_artifacts(model))
+        os.utime(path, (1_000_000, 1_000_000))
+        store.verify()
+        assert path.stat().st_mtime == 1_000_000

@@ -1,0 +1,209 @@
+"""The deterministic fault-injection harness itself.
+
+Chaos faults must be exact (budgets), reproducible (seeded rates) and
+process-safe (on-disk tick claims) — otherwise the robustness tests
+built on them prove nothing.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core import chaos
+from repro.errors import ReproError
+
+
+class TestFault:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            chaos.Fault(site="s", action="explode")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            chaos.Fault(site="s", action="raise", rate=1.5)
+
+    def test_match_is_subset_equality(self):
+        fault = chaos.Fault(
+            site="pair-start", action="raise", match={"i": 1, "j": 3}
+        )
+        assert fault.matches("pair-start", {"i": 1, "j": 3, "worker": "w1"})
+        assert not fault.matches("pair-start", {"i": 1, "j": 4})
+        assert not fault.matches("chunk-start", {"i": 1, "j": 3})
+
+    def test_empty_match_hits_every_trip(self):
+        fault = chaos.Fault(site="s", action="raise")
+        assert fault.matches("s", {"anything": 42})
+
+    def test_payload_round_trip(self):
+        fault = chaos.Fault(
+            site="s",
+            action="stall",
+            match={"k": 1},
+            times=None,
+            stall_seconds=0.5,
+            key="mine",
+        )
+        assert chaos.Fault.from_payload(fault.payload()) == fault
+
+
+class TestChaosSpec:
+    def test_save_load_round_trip(self, tmp_path):
+        spec = chaos.ChaosSpec(
+            tmp_path,
+            faults=[chaos.Fault(site="s", action="raise", times=2)],
+            seed=7,
+        )
+        path = spec.save(tmp_path / "chaos.json")
+        loaded = chaos.ChaosSpec.load(path)
+        assert loaded.seed == 7
+        assert loaded.faults == spec.faults
+        assert loaded.state_dir == tmp_path
+
+    def test_times_budget_is_exact(self, tmp_path):
+        fault = chaos.Fault(site="s", action="raise", times=3)
+        spec = chaos.ChaosSpec(tmp_path, faults=[fault])
+        fires = [spec.should_fire(fault, {}) for _ in range(10)]
+        assert fires.count(True) == 3
+        # The first three claims won, the rest found every tick taken.
+        assert fires[:3] == [True, True, True]
+
+    def test_times_budget_shared_across_instances(self, tmp_path):
+        # Two spec instances over one state_dir model two processes:
+        # the on-disk tick claims are the shared truth.
+        fault = chaos.Fault(site="s", action="raise", times=1, key="k")
+        first = chaos.ChaosSpec(tmp_path, faults=[fault])
+        second = chaos.ChaosSpec(tmp_path, faults=[fault])
+        assert first.should_fire(fault, {})
+        assert not second.should_fire(fault, {})
+
+    def test_unlimited_times(self, tmp_path):
+        fault = chaos.Fault(site="s", action="raise", times=None)
+        spec = chaos.ChaosSpec(tmp_path, faults=[fault])
+        assert all(spec.should_fire(fault, {}) for _ in range(5))
+
+    def test_rate_is_deterministic_per_seed(self, tmp_path):
+        fault = chaos.Fault(site="s", action="raise", rate=0.5, key="r")
+        contexts = [{"i": i} for i in range(64)]
+        one = chaos.ChaosSpec(tmp_path, faults=[fault], seed=1)
+        two = chaos.ChaosSpec(tmp_path, faults=[fault], seed=1)
+        other = chaos.ChaosSpec(tmp_path, faults=[fault], seed=2)
+        draws_one = [one.should_fire(fault, ctx) for ctx in contexts]
+        assert draws_one == [two.should_fire(fault, ctx) for ctx in contexts]
+        assert draws_one != [
+            other.should_fire(fault, ctx) for ctx in contexts
+        ]
+        # A fair-ish rate actually fires sometimes and skips sometimes.
+        assert 0 < draws_one.count(True) < len(contexts)
+
+
+class TestTripAndAdvice:
+    def test_unarmed_is_noop(self):
+        chaos.trip("anywhere", i=1)
+        assert not chaos.advice("anywhere", "corrupt")
+        assert not chaos.armed()
+
+    def test_raise_fault_raises_chaos_error(self, tmp_path):
+        spec = chaos.ChaosSpec(
+            tmp_path,
+            faults=[
+                chaos.Fault(
+                    site="pair-start", action="raise", match={"i": 1}
+                )
+            ],
+        )
+        with chaos.active(spec, publish=False):
+            assert chaos.armed()
+            chaos.trip("pair-start", i=0)  # no match: silent
+            with pytest.raises(chaos.ChaosError):
+                chaos.trip("pair-start", i=1)
+        assert not chaos.armed()
+
+    def test_chaos_error_is_repro_error(self):
+        # Poison pairs must be catchable like any organic engine bug.
+        assert issubclass(chaos.ChaosError, ReproError)
+
+    def test_chaos_kill_is_uncatchable_by_except_exception(self):
+        assert issubclass(chaos.ChaosKill, BaseException)
+        assert not issubclass(chaos.ChaosKill, Exception)
+
+    def test_stall_fault_sleeps(self, tmp_path):
+        spec = chaos.ChaosSpec(
+            tmp_path,
+            faults=[
+                chaos.Fault(
+                    site="heartbeat", action="stall", stall_seconds=0.05
+                )
+            ],
+        )
+        with chaos.active(spec, publish=False):
+            started = time.perf_counter()
+            chaos.trip("heartbeat")
+            assert time.perf_counter() - started >= 0.04
+
+    def test_advice_consumes_budget(self, tmp_path):
+        spec = chaos.ChaosSpec(
+            tmp_path,
+            faults=[
+                chaos.Fault(site="checkpoint-write", action="torn-write")
+            ],
+        )
+        with chaos.active(spec, publish=False):
+            assert chaos.advice("checkpoint-write", "torn-write")
+            assert not chaos.advice("checkpoint-write", "torn-write")
+
+    def test_advice_filters_by_action(self, tmp_path):
+        spec = chaos.ChaosSpec(
+            tmp_path,
+            faults=[chaos.Fault(site="artifact-read", action="corrupt")],
+        )
+        with chaos.active(spec, publish=False):
+            assert not chaos.advice("artifact-read", "torn-write")
+            assert chaos.advice("artifact-read", "corrupt")
+
+
+def _child_probe(path, queue):
+    from repro.core import chaos as child_chaos
+
+    queue.put(child_chaos.armed())
+    try:
+        child_chaos.trip("site")
+        queue.put("survived")
+    except child_chaos.ChaosError:
+        queue.put("raised")
+
+
+class TestEnvironmentPublish:
+    def test_install_publishes_and_uninstall_clears(self, tmp_path):
+        spec = chaos.ChaosSpec(
+            tmp_path, faults=[chaos.Fault(site="site", action="raise")]
+        )
+        chaos.install(spec)
+        try:
+            published = os.environ.get(chaos.ENV_VAR)
+            assert published is not None
+            payload = json.loads(open(published).read())
+            assert payload["faults"][0]["site"] == "site"
+        finally:
+            chaos.uninstall()
+        assert os.environ.get(chaos.ENV_VAR) is None
+
+    def test_child_process_arms_from_environment(self, tmp_path):
+        spec = chaos.ChaosSpec(
+            tmp_path,
+            faults=[chaos.Fault(site="site", action="raise", times=1)],
+        )
+        chaos.install(spec)
+        try:
+            queue = multiprocessing.Queue()
+            process = multiprocessing.Process(
+                target=_child_probe, args=(str(tmp_path), queue)
+            )
+            process.start()
+            process.join(timeout=30)
+            assert queue.get(timeout=5) is True
+            assert queue.get(timeout=5) == "raised"
+        finally:
+            chaos.uninstall()

@@ -1,0 +1,60 @@
+"""The advisory file-lock shim guarding the sweep journal."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core.locking import FileLock
+
+
+def _hold_then_bump(lock_path, counter_path, hold_seconds):
+    with FileLock(lock_path):
+        value = int(open(counter_path).read())
+        time.sleep(hold_seconds)
+        with open(counter_path, "w") as handle:
+            handle.write(str(value + 1))
+
+
+class TestFileLock:
+    def test_context_manager_creates_lock_file(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path) as lock:
+            assert path.is_file()
+            assert lock._fd is not None
+        assert path.is_file()  # never removed; contents irrelevant
+
+    def test_reacquire_same_instance_rejected(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        lock.acquire()
+        try:
+            with pytest.raises(RuntimeError):
+                lock.acquire()
+        finally:
+            lock.release()
+
+    def test_release_without_acquire_is_noop(self, tmp_path):
+        FileLock(tmp_path / "x.lock").release()
+
+    def test_creates_missing_parent(self, tmp_path):
+        with FileLock(tmp_path / "deep" / "dir" / "x.lock"):
+            pass
+
+    def test_serialises_read_modify_write_across_processes(self, tmp_path):
+        # Without the lock, both holders read 0 and one increment is
+        # lost; with it, the counter always lands on the hold count.
+        lock_path = str(tmp_path / "x.lock")
+        counter = str(tmp_path / "counter")
+        with open(counter, "w") as handle:
+            handle.write("0")
+        workers = [
+            multiprocessing.Process(
+                target=_hold_then_bump, args=(lock_path, counter, 0.05)
+            )
+            for _ in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30)
+        assert int(open(counter).read()) == 4

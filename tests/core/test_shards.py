@@ -1,5 +1,7 @@
 """Deterministic pair-matrix sharding + the sweep checkpoint journal."""
 
+import json
+
 import pytest
 
 from repro.core.shards import (
@@ -9,6 +11,7 @@ from repro.core.shards import (
     enumerate_pairs,
     pair_cost,
     partition_pairs,
+    shard_result_filename,
 )
 
 
@@ -159,3 +162,132 @@ class TestSweepCheckpoint:
             p for p in tmp_path.iterdir() if p.name.startswith(".checkpoint-")
         ]
         assert leftovers == []
+
+
+class TestShardResultFilename:
+    def test_zero_padded_and_sortable(self):
+        assert shard_result_filename(0, 3) == "shard-0000-of-0003.csv"
+        assert shard_result_filename(12, 128) == "shard-0012-of-0128.csv"
+        names = [shard_result_filename(i, 11) for i in range(11)]
+        assert names == sorted(names)
+
+
+class TestJournalFormat2:
+    """Leases, retry counters, the format version, and the backup."""
+
+    def _checkpoint(self, tmp_path, fingerprint="f1", shard_count=3):
+        return SweepCheckpoint(
+            tmp_path, fingerprint=fingerprint, shard_count=shard_count
+        )
+
+    def test_writer_stamps_format(self, tmp_path):
+        checkpoint = self._checkpoint(tmp_path)
+        checkpoint.begin()
+        data = json.loads(checkpoint.path.read_text())
+        assert data["format"] == SweepCheckpoint.FORMAT == 2
+
+    def test_format1_journal_reads_with_empty_tables(self, tmp_path):
+        # Format 1 predates the ``format`` key and both live-state
+        # tables: old journals written before the coordinator existed
+        # must keep resuming.
+        (tmp_path / SweepCheckpoint.FILENAME).write_text(
+            json.dumps(
+                {
+                    "fingerprint": "f1",
+                    "shard_count": 3,
+                    "completed": {"1": {"file": "s1.csv", "pairs": 4}},
+                }
+            )
+        )
+        journal = SweepCheckpoint.read_journal(tmp_path)
+        assert journal["format"] == 1
+        assert journal["leases"] == {} and journal["retries"] == {}
+        checkpoint = SweepCheckpoint.open(tmp_path)
+        assert checkpoint.completed == {1: {"file": "s1.csv", "pairs": 4}}
+        assert checkpoint.leases == {} and checkpoint.retries == {}
+
+    def test_newer_format_rejected(self, tmp_path):
+        (tmp_path / SweepCheckpoint.FILENAME).write_text(
+            json.dumps(
+                {
+                    "format": SweepCheckpoint.FORMAT + 1,
+                    "fingerprint": "f1",
+                    "shard_count": 3,
+                    "completed": {},
+                }
+            )
+        )
+        with pytest.raises(SweepStateError) as excinfo:
+            SweepCheckpoint.read_journal(tmp_path)
+        assert "newer" in str(excinfo.value)
+
+    def test_lease_round_trips_through_journal(self, tmp_path):
+        checkpoint = self._checkpoint(tmp_path)
+        checkpoint.begin()
+        lease = checkpoint.acquire_lease(1, "worker-0", ttl=60.0)
+        assert lease["expires_at"] > lease["acquired_at"]
+        reopened = SweepCheckpoint.open(tmp_path)
+        assert reopened.leases[1]["worker"] == "worker-0"
+        checkpoint.release_lease(1)
+        assert SweepCheckpoint.open(tmp_path).leases == {}
+
+    def test_release_bumps_durable_retry_and_steal_counters(self, tmp_path):
+        checkpoint = self._checkpoint(tmp_path)
+        checkpoint.begin()
+        checkpoint.acquire_lease(2, "worker-0", ttl=60.0)
+        checkpoint.release_lease(2, retried=True, stolen=True)
+        checkpoint.acquire_lease(2, "worker-1", ttl=60.0)
+        checkpoint.release_lease(2, retried=True)
+        assert checkpoint.retry_counts(2) == (2, 1)
+        assert checkpoint.retry_counts(0) == (0, 0)
+        # Counters are durable: a fresh reader sees the same story.
+        assert SweepCheckpoint.open(tmp_path).retry_counts(2) == (2, 1)
+
+    def test_reclaim_drops_only_expired_leases(self, tmp_path):
+        checkpoint = self._checkpoint(tmp_path)
+        checkpoint.begin()
+        checkpoint.acquire_lease(0, "dead", ttl=-1.0)  # already lapsed
+        checkpoint.acquire_lease(1, "alive", ttl=600.0)
+        assert checkpoint.reclaim_expired_leases() == [0]
+        assert set(checkpoint.leases) == {1}
+        assert SweepCheckpoint.open(tmp_path).leases.keys() == {1}
+
+    def test_resume_drops_expired_keeps_live_leases(self, tmp_path):
+        first = self._checkpoint(tmp_path)
+        first.begin()
+        first.acquire_lease(0, "dead", ttl=-1.0)
+        first.acquire_lease(1, "alive", ttl=600.0)
+        resumed = self._checkpoint(tmp_path)
+        resumed.begin(resume=True)
+        assert set(resumed.leases) == {1}
+        assert resumed.leases[1]["worker"] == "alive"
+
+    def test_successful_write_preserves_previous_journal(self, tmp_path):
+        checkpoint = self._checkpoint(tmp_path)
+        checkpoint.begin()
+        before = checkpoint.path.read_bytes()
+        checkpoint.mark_complete(0, "s0.csv", 2)
+        assert checkpoint.backup_path.read_bytes() == before
+
+    def test_corrupt_main_recovers_from_backup(self, tmp_path, capsys):
+        checkpoint = self._checkpoint(tmp_path)
+        checkpoint.begin()
+        checkpoint.mark_complete(0, "s0.csv", 2)
+        checkpoint.mark_complete(1, "s1.csv", 3)
+        # Tear the main journal: recovery loses at most the last entry.
+        checkpoint.path.write_text(
+            checkpoint.path.read_text()[:40], encoding="utf-8"
+        )
+        journal = SweepCheckpoint.read_journal(tmp_path)
+        assert "recovered" in capsys.readouterr().err
+        assert set(journal["completed"]) == {"0"}
+        resumed = self._checkpoint(tmp_path)
+        assert resumed.begin(resume=True) == {0: "s0.csv"}
+        assert resumed.missing_shards() == [1, 2]
+
+    def test_both_copies_corrupt_raises_cleanly(self, tmp_path):
+        (tmp_path / SweepCheckpoint.FILENAME).write_text("{torn")
+        (tmp_path / SweepCheckpoint.BACKUP_FILENAME).write_text("{also torn")
+        with pytest.raises(SweepStateError) as excinfo:
+            SweepCheckpoint.read_journal(tmp_path)
+        assert SweepCheckpoint.BACKUP_FILENAME in str(excinfo.value)

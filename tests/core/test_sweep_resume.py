@@ -202,3 +202,163 @@ def test_sweep_merge_reports_missing_shards(model_files, tmp_path):
                  "--out-dir", str(out_dir)]) == 0
     code = main(["sweep-merge", "--out-dir", str(out_dir)])
     assert code == 2
+
+
+# ---------------------------------------------------------------------------
+# Chaos-driven robustness (journal format 2, supervision, quarantine)
+# ---------------------------------------------------------------------------
+
+
+def _chaos_spec_file(out_dir, faults):
+    """Write a chaos spec JSON the CLI's --chaos flag can arm."""
+    from repro.core import chaos
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    spec = chaos.ChaosSpec(out_dir, faults=faults)
+    return str(spec.save(out_dir / "faults.json"))
+
+
+def test_torn_checkpoint_write_recovers_on_resume(
+    model_files, tmp_path, capsys
+):
+    """Simulated power loss mid-journal-write: half the new journal
+    lands over the old one, the process dies.  --resume must recover
+    from checkpoint.json.bak, losing at most the torn entry, and the
+    finished sweep must still merge byte-identically."""
+    from repro.core import chaos
+
+    out_dir = tmp_path / "sweep"
+    spec_file = _chaos_spec_file(
+        out_dir,
+        [
+            # Skip the 'begin' write; tear the first completion commit.
+            chaos.Fault(
+                site="checkpoint-write",
+                action="torn-write",
+                match={"reason": "complete"},
+                times=1,
+                key="tear-commit",
+            )
+        ],
+    )
+    with pytest.raises(chaos.ChaosKill):
+        main(["sweep", *model_files, "--shards", str(SHARDS),
+              "--out-dir", str(out_dir), "--chaos", spec_file])
+    capsys.readouterr()
+
+    # The main journal is torn JSON; the backup is the last good write.
+    raw = (out_dir / SweepCheckpoint.FILENAME).read_text()
+    with pytest.raises(ValueError):
+        import json
+
+        json.loads(raw)
+    assert (out_dir / SweepCheckpoint.BACKUP_FILENAME).is_file()
+
+    # Resume recovers (with a warning) and completes the sweep.
+    assert main(["sweep", *model_files, "--shards", str(SHARDS),
+                 "--out-dir", str(out_dir), "--resume"]) == 0
+    err = capsys.readouterr().err
+    assert "recovered" in err
+
+    merged = tmp_path / "merged.csv"
+    assert main(["sweep-merge", "--out-dir", str(out_dir),
+                 "-o", str(merged)]) == 0
+    unsharded = tmp_path / "unsharded.csv"
+    assert main(["sweep", *model_files, "--deterministic",
+                 "-o", str(unsharded)]) == 0
+    assert merged.read_bytes() == unsharded.read_bytes()
+
+
+def test_supervised_sweep_survives_kill_and_poison(
+    model_files, tmp_path, capsys
+):
+    """The acceptance scenario: a supervised 4-worker sweep with one
+    worker SIGKILLed mid-shard and one poison pair completes without
+    intervention; the merged CSV is byte-identical to the unsharded
+    sweep minus the quarantined pair; sweep-status reports the steal,
+    the retries and the quarantine and exits 3."""
+    from repro.core import chaos
+
+    out_dir = tmp_path / "sweep"
+    spec_file = _chaos_spec_file(
+        out_dir,
+        [
+            chaos.Fault(
+                site="pair-start",
+                action="kill",
+                match={"i": 0, "j": 1},
+                times=1,
+                key="kill-once",
+            ),
+            chaos.Fault(
+                site="pair-start",
+                action="raise",
+                match={"i": 1, "j": 3},
+                times=None,
+                key="poison",
+            ),
+        ],
+    )
+    merged = tmp_path / "merged.csv"
+    code = main(
+        ["sweep", *model_files, "--shards", str(SHARDS),
+         "--out-dir", str(out_dir), "--supervise", "--workers", "4",
+         "--worker-timeout", "20", "--chaos", spec_file,
+         "--deterministic", "-o", str(merged)]
+    )
+    assert code == 3  # complete, but degraded by quarantine
+    err = capsys.readouterr().err
+    assert "QUARANTINED" in err
+
+    # Merged CSV == unsharded sweep minus exactly the poison pair.
+    unsharded = tmp_path / "unsharded.csv"
+    assert main(["sweep", *model_files, "--deterministic",
+                 "-o", str(unsharded)]) == 0
+    capsys.readouterr()
+    expected = [
+        line
+        for line in unsharded.read_text().splitlines(keepends=True)
+        if not line.startswith("1,3,")
+    ]
+    assert merged.read_text().splitlines(keepends=True) == expected
+
+    # sweep-status tells the whole story and exits 3.
+    assert main(["sweep-status", "--out-dir", str(out_dir)]) == 3
+    status = capsys.readouterr().out
+    assert "quarantined: pair (1, 3)" in status
+    assert "stolen" in status
+    assert "retr" in status
+
+
+def test_supervised_resume_completes_partial_sweep(model_files, tmp_path):
+    """--supervise --resume over a partially complete unsupervised
+    sweep finishes only the missing shards (formats interoperate)."""
+    out_dir = tmp_path / "sweep"
+    assert main(["sweep", *model_files, "--shards", str(SHARDS),
+                 "--shard-id", "0", "--out-dir", str(out_dir)]) == 0
+    assert main(
+        ["sweep", *model_files, "--shards", str(SHARDS),
+         "--out-dir", str(out_dir), "--supervise", "--resume",
+         "--workers", "2"]
+    ) == 0
+    journal = SweepCheckpoint.read_journal(out_dir)
+    assert sorted(int(k) for k in journal["completed"]) == list(range(SHARDS))
+
+    merged = tmp_path / "merged.csv"
+    assert main(["sweep-merge", "--out-dir", str(out_dir),
+                 "-o", str(merged)]) == 0
+    unsharded = tmp_path / "unsharded.csv"
+    assert main(["sweep", *model_files, "--deterministic",
+                 "-o", str(unsharded)]) == 0
+    assert merged.read_bytes() == unsharded.read_bytes()
+
+
+def test_supervise_rejects_incompatible_flags(model_files, tmp_path):
+    out_dir = tmp_path / "sweep"
+    assert main(["sweep", *model_files, "--shards", "2",
+                 "--out-dir", str(out_dir), "--supervise",
+                 "--shard-id", "0"]) == 2
+    assert main(["sweep", *model_files, "--shards", "2",
+                 "--out-dir", str(out_dir), "--supervise",
+                 "--prescreen"]) == 2
+    assert main(["sweep", *model_files, "--supervise"]) == 2  # no out-dir

@@ -207,3 +207,66 @@ class TestUnicodeAndNaming:
         )
         merged, _ = compose(first, second)
         assert len(merged.species) == 1
+
+
+class TestChaosFaultInjection:
+    """The chaos harness drives the same clean-failure contract: an
+    injected fault must surface as the specific error (or counter)
+    the real fault would — never as an unrelated traceback."""
+
+    def _model(self):
+        return (
+            ModelBuilder("m").compartment("c")
+            .species("A", 1.0).species("B", 0.0)
+            .parameter("k", 0.5)
+            .mass_action("r", ["A"], ["B"], "k")
+            .build()
+        )
+
+    def test_corrupt_artifact_read_quarantines_and_recomputes(
+        self, tmp_path
+    ):
+        from repro.core import chaos
+        from repro.core.artifact_store import (
+            ArtifactStore,
+            compute_artifacts,
+            model_digest,
+        )
+
+        store = ArtifactStore(tmp_path / "store")
+        model = self._model()
+        digest = model_digest(model)
+        path = store.put(digest, compute_artifacts(model))
+        spec = chaos.ChaosSpec(
+            tmp_path,
+            faults=[
+                chaos.Fault(site="artifact-read", action="corrupt", times=1)
+            ],
+        )
+        with chaos.active(spec, publish=False):
+            assert store.get(digest) is None  # bit rot = miss, no raise
+        assert store.stats()["corrupt"] == 1
+        assert not path.exists()  # garbled blob quarantined
+        assert (
+            tmp_path / "store" / ArtifactStore.CORRUPT_DIR / path.name
+        ).is_file()
+        # Self-heal: the next compute rewrites a good entry.
+        assert store.get_or_compute(model) is not None
+        assert store.get(digest) is not None
+
+    def test_unreadable_journal_and_backup_fail_cleanly(self, tmp_path):
+        from repro.core.shards import SweepCheckpoint, SweepStateError
+
+        (tmp_path / SweepCheckpoint.FILENAME).write_bytes(b"\x00\xff torn")
+        (tmp_path / SweepCheckpoint.BACKUP_FILENAME).write_bytes(b"{nope")
+        with pytest.raises(SweepStateError) as excinfo:
+            SweepCheckpoint.read_journal(tmp_path)
+        message = str(excinfo.value)
+        assert "unreadable" in message and "backup" in message
+
+    def test_chaos_error_is_catchable_chaos_kill_is_not(self):
+        from repro.core import chaos
+
+        assert issubclass(chaos.ChaosError, ReproError)
+        assert issubclass(chaos.ChaosKill, BaseException)
+        assert not issubclass(chaos.ChaosKill, Exception)
