@@ -239,9 +239,9 @@ def write_bench_json(
     """Record the run in BENCH_compose.json (pairs/sec, fold vs tree
     vs parallel-tree wall time) for cross-PR tracking.
 
-    Read-modify-write: sections other benchmarks own (currently
-    ``corpus_query``, written by ``bench_corpus_query``) are carried
-    over from the committed file, not dropped."""
+    Read-modify-write: sections other benchmarks own (``corpus_query``
+    from ``bench_corpus_query``, ``scaling`` from ``bench_scaling``)
+    are carried over from the committed file, not dropped."""
     committed = _read_committed_baseline()
     by_label = {label: (seconds, speedup) for label, seconds, speedup in rows}
     tree_serial = by_label.get("session-tree", (None, None))[0]
@@ -274,11 +274,11 @@ def write_bench_json(
             else None
         ),
         "allpairs": allpairs,
-        **(
-            {"corpus_query": committed["corpus_query"]}
-            if "corpus_query" in committed
-            else {}
-        ),
+        **{
+            section: committed[section]
+            for section in ("corpus_query", "scaling")
+            if section in committed
+        },
         "notes": (
             "tree_parallel_vs_serial takes the best parallel backend. "
             "Thread rows are GIL-bound on standard CPython; process "

@@ -9,7 +9,7 @@ Subcommands::
         [--shards K [--shard-id I] --out-dir DIR [--resume]] \
         [--supervise [--worker-timeout S] [--max-retries N] \
          [--poison-threshold K] [--chaos FILE]] \
-        [--deterministic] [--store-max-entries N]
+        [--deterministic] [--store-max-entries N] [--no-digest-shipping]
     sbmlcompose sweep-status --out-dir DIR
     sbmlcompose sweep-merge --out-dir DIR [-o merged.csv]
     sbmlcompose store verify DIR [--keep-corrupt]
@@ -58,7 +58,16 @@ hold journal *leases* on their shards, heartbeat while idle, are
 killed and their shards stolen when silent past ``--worker-timeout``,
 and pairs that repeatedly kill their worker are quarantined to
 ``quarantine.json`` so the sweep completes without them (exit status
-3 distinguishes that degraded completion).  ``sweep-status`` reports
+3 distinguishes that degraded completion).  Multi-worker process
+sweeps (plain pool and supervised alike) are **digest-shipped** by
+default: the corpus is spilled to the artifact store once and workers
+receive only a :class:`~repro.core.artifact_store.CorpusManifest` of
+``(label, digest)`` pairs, rehydrating each model from its format-5
+store entry on first touch instead of unpickling the whole corpus at
+spawn; ``--no-digest-shipping`` restores the old boundary.  With
+``--store-max-entries`` the active corpus's digests are pinned, so
+post-run eviction can never drop an entry a worker still rehydrates
+from.  ``sweep-status`` reports
 leases, retry/steal counters and the quarantine alongside per-shard
 completion; ``store verify`` audits the artifact store, moving
 corrupt blobs into its ``corrupt/`` subdirectory.  ``--chaos FILE``
@@ -241,7 +250,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--store-max-entries", type=int, default=None, metavar="N",
         help="after the run, evict the least-recently-used artifact "
              "store entries beyond N (the store grows one entry per "
-             "distinct model otherwise)",
+             "distinct model otherwise); this sweep's corpus entries "
+             "are pinned — digest-shipped workers rehydrate from them",
+    )
+    sweep.add_argument(
+        "--no-digest-shipping", action="store_true",
+        help="ship the full pickled corpus to process workers instead "
+             "of a (label, digest) manifest they rehydrate from the "
+             "artifact store (the pre-format-5 worker boundary; "
+             "outcomes are identical either way)",
     )
     sweep.add_argument(
         "--prescreen", action="store_true",
@@ -526,11 +543,22 @@ def _cmd_sweep_supervised(args, models, options) -> int:
         include_self=not args.no_self,
         resume=args.resume,
         prebuilt_indexes=not args.fresh_indexes,
+        digest_shipping=not args.no_digest_shipping,
     )
     report = coordinator.run()
     if args.store_max_entries is not None:
         store = ArtifactStore(args.out_dir / "artifacts")
-        evicted = store.evict(max_entries=args.store_max_entries)
+        # Pin the corpus: a digest-shipped worker of a concurrent (or
+        # resumed) run over this directory rehydrates models from
+        # exactly these entries, so LRU pressure must not drop them.
+        pinned = (
+            coordinator.manifest.digests
+            if coordinator.manifest is not None
+            else [model_digest(model) for model in models]
+        )
+        evicted = store.evict(
+            max_entries=args.store_max_entries, pinned=pinned
+        )
         if evicted:
             print(
                 f"evicted {evicted} artifact store entr"
@@ -607,6 +635,7 @@ def _cmd_sweep_sharded(args, models, options) -> int:
             store=store,
             prebuilt_indexes=not args.fresh_indexes,
             prescreen=args.prescreen or None,
+            digest_shipping=not args.no_digest_shipping,
         )
         name = _shard_file(shard_id, args.shards)
         write_outcomes_csv(args.out_dir / name, matrix.outcomes)
@@ -614,7 +643,13 @@ def _cmd_sweep_sharded(args, models, options) -> int:
         print(f"wrote {args.out_dir / name}")
         print(matrix.summary(), file=sys.stderr)
     if args.store_max_entries is not None:
-        evicted = store.evict(max_entries=args.store_max_entries)
+        # Pin this sweep's corpus entries (see the supervised path) —
+        # a later shard run or digest-shipped worker over the same
+        # out-dir still rehydrates from them.
+        evicted = store.evict(
+            max_entries=args.store_max_entries,
+            pinned=[model_digest(model) for model in models],
+        )
         if evicted:
             print(
                 f"evicted {evicted} artifact store entr"
@@ -694,6 +729,7 @@ def _cmd_sweep_unsharded(args, models, options) -> int:
         include_self=not args.no_self,
         prebuilt_indexes=not args.fresh_indexes,
         prescreen=args.prescreen or None,
+        digest_shipping=not args.no_digest_shipping,
     )
     if args.output is not None:
         write_outcomes_csv(

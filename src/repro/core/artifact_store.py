@@ -35,7 +35,16 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.core import chaos
 from repro.core.compose import ModelIndexSet, _collect_initial_values
@@ -47,6 +56,7 @@ from repro.units.registry import UnitRegistry
 __all__ = [
     "ModelArtifacts",
     "ArtifactStore",
+    "CorpusManifest",
     "StoreVerifyReport",
     "model_digest",
     "corpus_fingerprint",
@@ -64,12 +74,17 @@ __all__ = [
 #: (:class:`~repro.core.signature.ModelSignature`) and the
 #: per-collection id sets — pure additions again, so format-2/3
 #: entries rehydrate with those fields ``None`` and consumers
-#: recompute lazily.
-_FORMAT = 4
+#: recompute lazily.  Format 5 added the model's canonical SBML text
+#: itself (the exact bytes :func:`model_digest` hashes), which is what
+#: lets digest-shipped process workers rehydrate the *model* — not
+#: just its artifacts — from the store; older entries rehydrate with
+#: ``sbml`` ``None`` and are upgraded in place the next time a
+#: manifest build sees them.
+_FORMAT = 5
 
 #: Older formats the reader still accepts (fields added since are
 #: normalised to "absent, compute lazily").
-_COMPATIBLE_FORMATS = frozenset((2, 3, _FORMAT))
+_COMPATIBLE_FORMATS = frozenset((2, 3, 4, _FORMAT))
 
 
 def model_digest(model: Model) -> str:
@@ -93,9 +108,21 @@ def corpus_fingerprint(
     policy...).  Model order participates: pair indexes ``(i, j)``
     are positional.
     """
+    return _fingerprint_digests(
+        [model_digest(model) for model in models], extra
+    )
+
+
+def _fingerprint_digests(
+    digests: Sequence[str], extra: Iterable[object] = ()
+) -> str:
+    """:func:`corpus_fingerprint` from already-computed model digests —
+    the shared definition, so a :class:`CorpusManifest` built from a
+    corpus whose digests were just paid for agrees byte-for-byte with
+    the fingerprint a checkpoint journal computed from the models."""
     digest = hashlib.sha256()
-    for model in models:
-        digest.update(model_digest(model).encode("ascii"))
+    for model_hash in digests:
+        digest.update(model_hash.encode("ascii"))
         digest.update(b"\x00")
     for item in extra:
         digest.update(repr(item).encode("utf-8"))
@@ -139,6 +166,13 @@ class ModelArtifacts:
     #: copies, or ``None`` from older entries — consumers recompute
     #: from the model then.
     id_sets: Optional[Dict[str, frozenset]] = None
+    #: The model's canonical SBML text (store format 5) — the exact
+    #: string :func:`model_digest` hashes, so ``sha256(sbml) ==
+    #: digest`` for a healthy entry.  Digest-shipped sweep workers
+    #: parse the model back out of this blob instead of receiving it
+    #: pickled; ``None`` from pre-format-5 entries (a manifest build
+    #: upgrades those in place when the parent still holds the model).
+    sbml: Optional[str] = None
 
 
 def compute_artifacts(
@@ -146,6 +180,7 @@ def compute_artifacts(
     with_patterns: bool = True,
     with_indexes: bool = True,
     with_signature: bool = True,
+    with_sbml: bool = True,
 ) -> ModelArtifacts:
     """Derive a model's artifacts from scratch (the store's miss path,
     and the single source of truth for what gets spilled).
@@ -158,9 +193,13 @@ def compute_artifacts(
     phase-index rows, which are computed under the paper-default heavy
     options (the fingerprint travels with them; a consumer running
     other semantics rebuilds in memory), and implies skipping the
-    signature, which is derived from those rows.  The per-collection
-    id sets are always computed — they are option-independent and
-    cost one pass over the component lists."""
+    signature, which is derived from those rows.
+    ``with_sbml=False`` skips the canonical SBML blob — for callers
+    who already serialised the model (a manifest build pays
+    :func:`write_sbml` once for the digest and attaches that same
+    text) or whose entries never feed digest-shipped workers.  The
+    per-collection id sets are always computed — they are
+    option-independent and cost one pass over the component lists."""
     used_ids = set(model.global_ids()) | {
         ud.id for ud in model.unit_definitions if ud.id
     }
@@ -195,6 +234,7 @@ def compute_artifacts(
         indexes=indexes,
         signature=signature,
         id_sets=model.id_set_table(),
+        sbml=write_sbml(model) if with_sbml else None,
     )
 
 
@@ -211,6 +251,88 @@ def _artifact_options():
 
         _ARTIFACT_OPTIONS = ComposeOptions()
     return _ARTIFACT_OPTIONS
+
+
+@dataclass(frozen=True)
+class CorpusManifest:
+    """What a digest-shipped sweep worker receives instead of models.
+
+    An ordered ``(label, digest)`` list plus the corpus fingerprint —
+    a flat, corpus-size-independent-per-entry description whose pickle
+    is a few dozen bytes per model, versus the full serialised corpus
+    the pre-format-5 worker boundary shipped through ``initargs``.
+    Workers resolve each digest against a shared :class:`ArtifactStore`
+    on first touch: the format-5 entry carries the model's canonical
+    SBML text (parse once per worker) *and* the pattern table, index
+    rows, signature and id sets derived from it, so a rehydrated model
+    is seeded exactly like an in-memory one.
+
+    Build with :meth:`build`, which also guarantees the store side of
+    the contract: after it returns, every manifest digest resolves to
+    a format-5 entry with a non-``None`` ``sbml`` blob (pre-existing
+    blob-less entries are upgraded in place).  Entry order is corpus
+    order — pair indexes ``(i, j)`` are positional on it.
+    """
+
+    #: ``(label, digest)`` per model, in corpus order.
+    entries: Tuple[Tuple[str, str], ...]
+    #: :func:`corpus_fingerprint` of the corpus (no extras).
+    fingerprint: str
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(label for label, _ in self.entries)
+
+    @property
+    def digests(self) -> Tuple[str, ...]:
+        """Corpus digests in order — also the ``pinned=`` set that
+        keeps :meth:`ArtifactStore.evict` from dropping an entry a
+        live worker could still rehydrate-miss."""
+        return tuple(digest for _, digest in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def build(
+        cls,
+        models: Sequence[Model],
+        labels: Sequence[str],
+        store: ArtifactStore,
+    ) -> "CorpusManifest":
+        """Manifest for ``models``, populating ``store`` so every
+        entry is worker-rehydratable (format 5, SBML blob present).
+
+        Serialises each model once — that text is both the digest
+        input and the stored blob — and writes only on a miss or on a
+        pre-format-5 entry missing the blob (upgraded in place, other
+        artifact fields kept).  Raises ``OSError`` if the store cannot
+        be written; callers treat that as "digest shipping
+        unavailable" and fall back to pickled models.
+        """
+        if len(models) != len(labels):
+            raise ValueError(
+                f"{len(models)} models but {len(labels)} labels"
+            )
+        entries = []
+        for model, label in zip(models, labels):
+            text = write_sbml(model)
+            digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            artifacts = store.get(digest)
+            if artifacts is None:
+                artifacts = compute_artifacts(model, with_sbml=False)
+                artifacts.sbml = text
+                store.put(digest, artifacts)
+            elif artifacts.sbml is None:
+                artifacts.sbml = text
+                store.put(digest, artifacts)
+            entries.append((label, digest))
+        return cls(
+            entries=tuple(entries),
+            fingerprint=_fingerprint_digests(
+                [digest for _, digest in entries]
+            ),
+        )
 
 
 @dataclass
@@ -317,11 +439,12 @@ class ArtifactStore:
         artifacts = payload["artifacts"]
         # Entries written by older formats predate some fields
         # (format 2: index rows; formats 2–3: signature and id
-        # sets).  They are valid hits, not corrupt entries — the
-        # missing fields are normalised to ``None`` ("absent,
-        # compute lazily") so consumers never see an attribute
-        # error from an old pickle's narrower ``__dict__``.
-        for lazy_field in ("indexes", "signature", "id_sets"):
+        # sets; formats 2–4: the SBML blob).  They are valid hits,
+        # not corrupt entries — the missing fields are normalised to
+        # ``None`` ("absent, compute lazily") so consumers never see
+        # an attribute error from an old pickle's narrower
+        # ``__dict__``.
+        for lazy_field in ("indexes", "signature", "id_sets", "sbml"):
             if getattr(artifacts, lazy_field, None) is None:
                 setattr(artifacts, lazy_field, None)
         return fmt, artifacts

@@ -67,10 +67,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core import chaos
+from repro.core.artifact_store import CorpusManifest
 from repro.core.match_all import (
     MatchMatrix,
     PairOutcome,
     _PairEngine,
+    _build_manifest,
     write_outcomes_csv,
 )
 from repro.core.options import ComposeOptions
@@ -293,18 +295,27 @@ def _worker_main(
     conn,
     worker_name: str,
     options: Optional[ComposeOptions],
-    models: List[Model],
-    labels: List[str],
+    models: Optional[List[Model]],
+    labels: Optional[List[str]],
     store_root: Optional[str],
     prebuilt_indexes: bool,
     heartbeat_interval: float,
+    manifest: Optional[CorpusManifest] = None,
 ) -> None:
     """One supervised worker: build the shared-artifact engine, then
     loop — compute assigned shards pair by pair, announce each pair
     *before* computing it (so a death is attributable), heartbeat when
     idle.  Every ``send`` is synchronous; a SIGKILL one instruction
-    later cannot retract a message the coordinator already has."""
-    engine = _PairEngine(options, models, labels, store_root, prebuilt_indexes)
+    later cannot retract a message the coordinator already has.
+
+    Digest-shipped workers get ``manifest`` and ``models=None``,
+    rehydrating each model from the out-dir artifact store on first
+    touch; a rehydrate miss inside a pair surfaces as an ordinary
+    pair error, so the coordinator's strike/quarantine machinery —
+    not a silent crash loop — absorbs a store that lost entries."""
+    engine = _PairEngine(
+        options, models, labels, store_root, prebuilt_indexes, manifest
+    )
     try:
         conn.send(("ready", worker_name))
         while True:
@@ -437,6 +448,7 @@ class SweepCoordinator:
         resume: bool = False,
         prebuilt_indexes: bool = True,
         progress: bool = True,
+        digest_shipping: bool = True,
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -450,6 +462,11 @@ class SweepCoordinator:
         self.resume = resume
         self.prebuilt_indexes = prebuilt_indexes
         self.progress = progress
+        self.digest_shipping = digest_shipping
+        #: Built at the top of :meth:`run` (when digest shipping is on
+        #: and there is work); ``None`` means workers receive the
+        #: pickled corpus, the pre-format-5 boundary.
+        self.manifest: Optional[CorpusManifest] = None
         self.labels = stable_labels(self.models)
         self.checkpoint = SweepCheckpoint(
             self.out_dir,
@@ -509,6 +526,15 @@ class SweepCoordinator:
             self._log(
                 f"resuming: {len(completed)} shard(s) already complete, "
                 f"{len(self._states)} to go"
+            )
+        if self.digest_shipping and self._states:
+            # Populate the out-dir store up front so every worker —
+            # including respawns after a kill — rehydrates the corpus
+            # from format-5 entries instead of unpickling it through
+            # its spawn args.  A store failure logs and degrades to
+            # the pickled-corpus boundary (manifest stays None).
+            self.manifest = _build_manifest(
+                self.models, self.labels, self._store_root()
             )
         try:
             while any(
@@ -578,11 +604,12 @@ class SweepCoordinator:
                 child_conn,
                 name,
                 self.options,
-                self.models,
-                self.labels,
+                None if self.manifest is not None else self.models,
+                None if self.manifest is not None else self.labels,
                 self._store_root(),
                 self.prebuilt_indexes,
                 self.config.effective_heartbeat,
+                self.manifest,
             ),
             name=f"sweep-{name}",
             daemon=True,

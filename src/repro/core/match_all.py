@@ -40,9 +40,13 @@ Compose the few pairs you care about through a session afterwards.
 
 from __future__ import annotations
 
+import logging
+import shutil
+import tempfile
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -56,7 +60,12 @@ from typing import (
 )
 
 from repro.core import chaos
-from repro.core.artifact_store import ArtifactStore, compute_artifacts
+from repro.core.artifact_store import (
+    ArtifactStore,
+    CorpusManifest,
+    ModelArtifacts,
+    compute_artifacts,
+)
 from repro.core.compose import (
     AccumState,
     BoundIndexSet,
@@ -73,12 +82,15 @@ from repro.core.pattern_cache import PatternCache
 from repro.core.session import stable_labels
 from repro.core.shards import Shard, partition_pairs
 from repro.core.signature import Prescreen
+from repro.errors import ReproError
 from repro.sbml.model import Model
+from repro.sbml.reader import read_sbml
 from repro.units.registry import UnitRegistry
 
 __all__ = [
     "PairOutcome",
     "MatchMatrix",
+    "WorkerPoolError",
     "match_all",
     "match_all_sharded",
     "match_query",
@@ -86,6 +98,20 @@ __all__ = [
     "write_outcomes_csv",
     "read_outcomes_csv",
 ]
+
+_LOGGER = logging.getLogger(__name__)
+
+
+class WorkerPoolError(ReproError):
+    """An unsupervised process pool lost a worker mid-sweep.
+
+    Raised in place of the bare ``BrokenProcessPool`` the executor
+    surfaces, carrying which chunk of pairs the pool was working
+    through when it broke.  The unsupervised backend has no leases or
+    retries — for a sweep that must survive worker deaths, run
+    ``sbmlcompose sweep --supervise``
+    (:class:`~repro.core.coordinator.SweepCoordinator`).
+    """
 
 
 @dataclass(frozen=True)
@@ -310,19 +336,48 @@ class _PairEngine:
     content-addressed :class:`~repro.core.artifact_store.ArtifactStore`
     and computed-then-spilled only on a true miss, so shard runs and
     resumed sweeps share each model's preprocessing across processes.
+
+    With ``manifest`` set (and ``models=None``), the engine is
+    **digest-shipped**: it holds no corpus at all.  Each model is
+    rehydrated from the store on first touch — the format-5 entry's
+    canonical SBML text is parsed once per worker, and the same entry
+    seeds the pattern table and phase-index rows, so a rehydrated
+    model composes exactly like an in-memory one.  A manifest digest
+    the store cannot resolve (evicted mid-sweep, or a pre-format-5
+    entry without the blob) raises :class:`~repro.errors.ReproError`.
     """
 
     def __init__(
         self,
         options: Optional[ComposeOptions],
-        models: Sequence[Model],
-        labels: Sequence[str],
+        models: Optional[Sequence[Model]],
+        labels: Optional[Sequence[str]],
         store_root: Optional[str] = None,
         prebuilt_indexes: bool = True,
+        manifest: Optional[CorpusManifest] = None,
     ):
         self.options = options or ComposeOptions()
-        self.models = list(models)
-        self.labels = list(labels)
+        self.manifest = manifest
+        if manifest is not None:
+            if store_root is None:
+                raise ValueError(
+                    "a digest-shipped engine needs a store_root to "
+                    "rehydrate models from"
+                )
+            if models is not None:
+                raise ValueError(
+                    "pass models or a manifest, not both — a "
+                    "digest-shipped engine rehydrates its corpus"
+                )
+            self.models = None
+            self.labels = (
+                list(labels) if labels is not None else list(manifest.labels)
+            )
+        else:
+            if models is None:
+                raise ValueError("models are required without a manifest")
+            self.models = list(models)
+            self.labels = list(labels)
         #: With prebuilt indexes on (the default), each model's twelve
         #: phase indexes are materialised once (from stored rows when
         #: a compatible store entry exists, built otherwise) and every
@@ -363,7 +418,58 @@ class _PairEngine:
         #: target.
         self._index_rows: Dict[int, Optional[ModelIndexSet]] = {}
         self._sizes: Dict[int, int] = {}
-        self._lock = threading.Lock()
+        #: Digest-shipped mode only: models parsed back out of store
+        #: entries, and the entries themselves (one store read serves
+        #: both the model and its artifacts — "parse once per worker").
+        self._rehydrated: Dict[int, Model] = {}
+        self._entries: Dict[int, ModelArtifacts] = {}
+        # Re-entrant: rehydrating a model inside ``_model_artifacts``'s
+        # critical section re-takes the lock through ``_model``.
+        self._lock = threading.RLock()
+
+    def _manifest_entry(self, index: int) -> ModelArtifacts:
+        """The store entry behind manifest position ``index``, read
+        once per worker.  Raises when the digest no longer resolves to
+        a rehydratable (format-5, blob-carrying) entry."""
+        entry = self._entries.get(index)
+        if entry is not None:
+            return entry
+        with self._lock:
+            entry = self._entries.get(index)
+            if entry is None:
+                label, digest = self.manifest.entries[index]
+                entry = self.store.get(digest)
+                if entry is None or entry.sbml is None:
+                    problem = (
+                        "has no entry for it"
+                        if entry is None
+                        else "entry predates format 5 (no SBML blob)"
+                    )
+                    raise ReproError(
+                        f"digest-shipped worker cannot rehydrate model "
+                        f"{label!r} (digest {digest[:12]}...): store at "
+                        f"{self.store.root} {problem}.  If an eviction "
+                        f"removed it mid-sweep, pin the corpus "
+                        f"(evict(pinned=manifest.digests)); or rerun "
+                        f"with --no-digest-shipping."
+                    )
+                self._entries[index] = entry
+        return entry
+
+    def _model(self, index: int) -> Model:
+        """The corpus model at ``index`` — directly in in-memory mode,
+        parsed (once) from its store entry in digest-shipped mode."""
+        if self.models is not None:
+            return self.models[index]
+        model = self._rehydrated.get(index)
+        if model is not None:
+            return model
+        with self._lock:
+            model = self._rehydrated.get(index)
+            if model is None:
+                model = read_sbml(self._manifest_entry(index).sbml).model
+                self._rehydrated[index] = model
+        return model
 
     def _model_artifacts(
         self, index: int
@@ -379,24 +485,30 @@ class _PairEngine:
         with self._lock:
             hit = self._artifacts.get(index)
             if hit is None:
-                model = self.models[index]
-                # Without a store, the pattern table is only worth
-                # computing when this sweep's options will consult
-                # patterns; store-backed artifacts stay complete
-                # regardless, because other runs (with other
-                # semantics) rehydrate the same entry.  The index rows
-                # are likewise only taken from compute_artifacts when
-                # spilling to a store — a locally built set routes
-                # its math keys through the sweep's own seeded cache.
-                artifacts = (
-                    self.store.get_or_compute(model)
-                    if self.store is not None
-                    else compute_artifacts(
-                        model,
+                # Digest-shipped mode reads the manifest entry — the
+                # same store read that rehydrated (or will rehydrate)
+                # the model itself.  Without a store, the pattern
+                # table is only worth computing when this sweep's
+                # options will consult patterns; store-backed
+                # artifacts stay complete regardless, because other
+                # runs (with other semantics) rehydrate the same
+                # entry.  The index rows are likewise only taken from
+                # compute_artifacts when spilling to a store — a
+                # locally built set routes its math keys through the
+                # sweep's own seeded cache.
+                if self.manifest is not None:
+                    artifacts = self._manifest_entry(index)
+                elif self.store is not None:
+                    artifacts = self.store.get_or_compute(
+                        self._model(index)
+                    )
+                else:
+                    artifacts = compute_artifacts(
+                        self._model(index),
                         with_patterns=self.options.use_math_patterns,
                         with_indexes=False,
+                        with_sbml=False,
                     )
-                )
                 if artifacts.patterns:
                     self.pattern_cache.seed(artifacts.patterns)
                 if self.prebuilt_indexes:
@@ -422,7 +534,7 @@ class _PairEngine:
         with self._lock:
             bound = self._indexes.get(index)
             if bound is None:
-                model = self.models[index]
+                model = self._model(index)
                 index_set = self._index_rows.get(index)
                 if index_set is None or not index_set.matches(self.options):
                     # Stored rows absent (format-2 entry, no store) or
@@ -438,7 +550,7 @@ class _PairEngine:
     def _model_size(self, index: int) -> int:
         size = self._sizes.get(index)
         if size is None:
-            size = self.models[index].network_size()
+            size = self._model(index).network_size()
             self._sizes[index] = size
         return size
 
@@ -447,8 +559,8 @@ class _PairEngine:
         # mid-pair, a "raise" fault is a poison pair, a "stall" fault
         # is a live-but-stuck worker.  Free when chaos is unarmed.
         chaos.trip("pair-start", i=i, j=j)
-        left = self.models[i]
-        right = self.models[j]
+        left = self._model(i)
+        right = self._model(j)
         used_ids, registry, initial, id_sets = self._model_artifacts(i)
         _, source_registry, source_initial, _ = self._model_artifacts(j)
         indexes = self._target_indexes(i)
@@ -517,16 +629,20 @@ _PAIR_ENGINE: Optional[_PairEngine] = None
 
 def _init_pair_worker(
     options: ComposeOptions,
-    models: List[Model],
-    labels: List[str],
+    models: Optional[List[Model]],
+    labels: Optional[List[str]],
     store_root: Optional[str],
     prebuilt_indexes: bool,
+    manifest: Optional[CorpusManifest] = None,
 ) -> None:
-    """Pool initializer: ship options + corpus once per worker and
-    build the shared-artifact engine there."""
+    """Pool initializer: build the shared-artifact engine in the
+    worker.  Digest-shipped pools send ``manifest`` (a flat
+    ``(label, digest)`` list) and ``models=None`` — the worker
+    rehydrates each model from the store on first touch — while the
+    fallback path ships the pickled corpus as before."""
     global _PAIR_ENGINE
     _PAIR_ENGINE = _PairEngine(
-        options, models, labels, store_root, prebuilt_indexes
+        options, models, labels, store_root, prebuilt_indexes, manifest
     )
 
 
@@ -571,12 +687,16 @@ def _run_pairs(
     backend: str,
     store_root: Optional[str],
     prebuilt_indexes: bool = True,
+    manifest: Optional[CorpusManifest] = None,
 ) -> List[PairOutcome]:
     """Execute one batch of pairs on the configured fanout.
 
     The unsharded sweep calls this once per shard of its partition;
     a sharded run calls it for exactly one shard.  Outcomes come back
-    in the order of ``pairs`` regardless of scheduling.
+    in the order of ``pairs`` regardless of scheduling.  With
+    ``manifest`` set, process workers are digest-shipped: their
+    ``initargs`` carry the manifest instead of the corpus (the parent
+    path still runs on the in-memory models).
     """
     if workers == 1:
         engine = _PairEngine(
@@ -587,22 +707,51 @@ def _run_pairs(
         # ~4 chunks per worker amortises pickling while keeping the
         # pool balanced when chunk costs differ.
         chunks = _chunked(pairs, workers * 4)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_pair_worker,
-            initargs=(
+        if manifest is not None:
+            initargs = (
+                options or ComposeOptions(),
+                None,
+                None,
+                store_root,
+                prebuilt_indexes,
+                manifest,
+            )
+        else:
+            initargs = (
                 options or ComposeOptions(),
                 models,
                 labels,
                 store_root,
                 prebuilt_indexes,
-            ),
+                None,
+            )
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_pair_worker,
+            initargs=initargs,
         ) as pool:
-            return [
-                outcome
-                for chunk in pool.map(_run_pair_chunk, chunks)
-                for outcome in chunk
-            ]
+            futures = [pool.submit(_run_pair_chunk, chunk) for chunk in chunks]
+            outcomes: List[PairOutcome] = []
+            for index, future in enumerate(futures):
+                try:
+                    outcomes.extend(future.result())
+                except BrokenProcessPool as exc:
+                    # The executor cannot say *which* task killed the
+                    # worker — every pending future breaks at once.
+                    # Name the earliest unfinished chunk (in
+                    # submission order) so the failure at least lands
+                    # in a pair range instead of a bare pool error.
+                    first, last = chunks[index][0], chunks[index][-1]
+                    raise WorkerPoolError(
+                        f"a process worker died while the pool was "
+                        f"computing chunk {index + 1}/{len(chunks)} "
+                        f"(pairs {first}..{last}); the unsupervised "
+                        f"process backend cannot retry or attribute "
+                        f"worker deaths — rerun under `sbmlcompose "
+                        f"sweep --supervise` for leases, retries and "
+                        f"poison-pair quarantine"
+                    ) from exc
+            return outcomes
     engine = _PairEngine(options, models, labels, store_root, prebuilt_indexes)
     with ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="match-worker"
@@ -619,6 +768,64 @@ def _store_root(
     if isinstance(store, ArtifactStore):
         return str(store.root)
     return str(store)
+
+
+def _build_manifest(
+    models: Sequence[Model],
+    labels: Sequence[str],
+    store_root: str,
+) -> Optional[CorpusManifest]:
+    """Build (and store-populate) the corpus manifest, or ``None``
+    when the store cannot hold it — an unwritable store degrades to
+    the pickled-corpus worker boundary with a warning, never a crash.
+    Also the coordinator's manifest entry point."""
+    try:
+        return CorpusManifest.build(
+            models, labels, ArtifactStore(store_root)
+        )
+    except (OSError, ReproError) as exc:
+        _LOGGER.warning(
+            "digest shipping disabled: could not populate the artifact "
+            "store at %s (%s); process workers will receive pickled "
+            "models instead",
+            store_root,
+            exc,
+        )
+        return None
+
+
+def _prepare_manifest(
+    models: Sequence[Model],
+    labels: Sequence[str],
+    store_root: Optional[str],
+    digest_shipping: bool,
+    workers: int,
+    backend: str,
+) -> Tuple[Optional[CorpusManifest], Optional[str], Optional[str]]:
+    """``(manifest, store_root, temp_root)`` for one sweep.
+
+    Digest shipping engages only where it changes anything — a
+    multi-worker process fanout.  A sweep without a store gets a
+    temporary one (returned as ``temp_root``; the caller removes it
+    when the sweep ends).  On a store failure the manifest is ``None``
+    and the sweep falls back to shipping pickled models, with the
+    caller's original ``store_root`` intact.
+    """
+    if (
+        not digest_shipping
+        or workers <= 1
+        or backend != BACKEND_PROCESS
+    ):
+        return None, store_root, None
+    temp_root = None
+    if store_root is None:
+        temp_root = tempfile.mkdtemp(prefix="sbmlcompose-manifest-")
+        store_root = temp_root
+    manifest = _build_manifest(models, labels, store_root)
+    if manifest is None and temp_root is not None:
+        shutil.rmtree(temp_root, ignore_errors=True)
+        return None, None, None
+    return manifest, store_root, temp_root
 
 
 def _resolve_prescreen(
@@ -717,6 +924,7 @@ def _run_screened(
     backend: str,
     store_root: Optional[str],
     prebuilt_indexes: bool,
+    manifest: Optional[CorpusManifest] = None,
 ) -> Tuple[List[PairOutcome], int]:
     """Run one batch of pairs through the prescreen gate.
 
@@ -735,6 +943,7 @@ def _run_screened(
             backend,
             store_root,
             prebuilt_indexes,
+            manifest,
         )
     )
     if screen is None:
@@ -763,6 +972,7 @@ def match_all(
     store: Optional[Union[ArtifactStore, str, Path]] = None,
     prebuilt_indexes: bool = True,
     prescreen: Union[None, bool, Prescreen] = None,
+    digest_shipping: bool = True,
 ) -> MatchMatrix:
     """Compose every unordered pair of ``models``, batched.
 
@@ -777,8 +987,15 @@ def match_all(
     does (``None`` falls back to ``options.workers``/``options.backend``,
     exactly like :meth:`~repro.core.session.ComposeSession.compose_all`):
     threads share one engine (artifact memo + pattern cache),
-    processes each build their own from the corpus shipped once per
-    worker.  ``store`` (an
+    processes each build their own — by default **digest-shipped**:
+    the sweep populates the artifact store up front (``store``, or a
+    temporary store when none was given) and workers receive only a
+    :class:`~repro.core.artifact_store.CorpusManifest` plus the store
+    root, rehydrating each model from its format-5 entry on first
+    touch instead of unpickling the whole corpus through
+    ``initargs``.  ``digest_shipping=False`` restores the
+    pickled-corpus boundary (also the automatic fallback when the
+    store cannot be written).  ``store`` (an
     :class:`~repro.core.artifact_store.ArtifactStore` or a directory
     path) adds the on-disk artifact tier.  Outcomes are returned in
     pair order regardless of scheduling.
@@ -811,23 +1028,31 @@ def match_all(
     shards = partition_pairs(sizes, 1, include_self=include_self)
     started = time.perf_counter()
     screen = _resolve_prescreen(prescreen, models, options, store)
+    manifest, store_root, temp_root = _prepare_manifest(
+        models, labels, _store_root(store), digest_shipping, workers, backend
+    )
     outcomes: List[PairOutcome] = []
     pruned = 0
-    for shard in shards:
-        shard_outcomes, shard_pruned = _run_screened(
-            shard.pairs,
-            screen,
-            labels,
-            sizes,
-            options,
-            models,
-            workers,
-            backend,
-            _store_root(store),
-            prebuilt_indexes,
-        )
-        outcomes.extend(shard_outcomes)
-        pruned += shard_pruned
+    try:
+        for shard in shards:
+            shard_outcomes, shard_pruned = _run_screened(
+                shard.pairs,
+                screen,
+                labels,
+                sizes,
+                options,
+                models,
+                workers,
+                backend,
+                store_root,
+                prebuilt_indexes,
+                manifest,
+            )
+            outcomes.extend(shard_outcomes)
+            pruned += shard_pruned
+    finally:
+        if temp_root is not None:
+            shutil.rmtree(temp_root, ignore_errors=True)
     return MatchMatrix(
         outcomes=outcomes,
         seconds=time.perf_counter() - started,
@@ -850,6 +1075,7 @@ def match_all_sharded(
     store: Optional[Union[ArtifactStore, str, Path]] = None,
     prebuilt_indexes: bool = True,
     prescreen: Union[None, bool, Prescreen] = None,
+    digest_shipping: bool = True,
 ) -> MatchMatrix:
     """Compute one shard of the all-pairs sweep.
 
@@ -871,6 +1097,9 @@ def match_all_sharded(
     :func:`match_all` — the prescreen's synthesis is deterministic and
     per-pair, so every shard prunes the same pairs the unsharded
     screened sweep would and shard unions stay byte-identical.
+    ``digest_shipping`` likewise: a multi-worker process shard ships
+    the manifest, not the corpus, and the entries the first shard
+    spilled serve every later shard's rehydration.
     """
     models = list(models)
     workers, backend = _resolve_fanout(options, workers, backend)
@@ -887,18 +1116,26 @@ def match_all_sharded(
     ]
     started = time.perf_counter()
     screen = _resolve_prescreen(prescreen, models, options, store)
-    outcomes, pruned = _run_screened(
-        shard.pairs,
-        screen,
-        labels,
-        sizes,
-        options,
-        models,
-        workers,
-        backend,
-        _store_root(store),
-        prebuilt_indexes,
+    manifest, store_root, temp_root = _prepare_manifest(
+        models, labels, _store_root(store), digest_shipping, workers, backend
     )
+    try:
+        outcomes, pruned = _run_screened(
+            shard.pairs,
+            screen,
+            labels,
+            sizes,
+            options,
+            models,
+            workers,
+            backend,
+            store_root,
+            prebuilt_indexes,
+            manifest,
+        )
+    finally:
+        if temp_root is not None:
+            shutil.rmtree(temp_root, ignore_errors=True)
     return MatchMatrix(
         outcomes=outcomes,
         seconds=time.perf_counter() - started,
@@ -921,6 +1158,7 @@ def match_query(
     store: Optional[Union[ArtifactStore, str, Path]] = None,
     prebuilt_indexes: bool = True,
     prescreen: Union[None, bool, Prescreen] = None,
+    digest_shipping: bool = True,
 ) -> MatchMatrix:
     """Compose one query model (as target) against each source model.
 
@@ -942,18 +1180,26 @@ def match_query(
     pairs = [(0, j) for j in range(1, len(models))]
     started = time.perf_counter()
     screen = _resolve_prescreen(prescreen, models, options, store)
-    outcomes, pruned = _run_screened(
-        pairs,
-        screen,
-        labels,
-        sizes,
-        options,
-        models,
-        workers,
-        backend,
-        _store_root(store),
-        prebuilt_indexes,
+    manifest, store_root, temp_root = _prepare_manifest(
+        models, labels, _store_root(store), digest_shipping, workers, backend
     )
+    try:
+        outcomes, pruned = _run_screened(
+            pairs,
+            screen,
+            labels,
+            sizes,
+            options,
+            models,
+            workers,
+            backend,
+            store_root,
+            prebuilt_indexes,
+            manifest,
+        )
+    finally:
+        if temp_root is not None:
+            shutil.rmtree(temp_root, ignore_errors=True)
     return MatchMatrix(
         outcomes=outcomes,
         seconds=time.perf_counter() - started,

@@ -158,6 +158,12 @@ class ComposeResult:
         """Per-phase seconds, summed across every merge step."""
         return self.report.timings
 
+    def pair(self) -> Tuple[Model, MergeReport]:
+        """``(model, report)`` — the tuple the deprecated
+        ``compose(a, b)`` shim returned, so legacy call sites migrate
+        in place: ``compose_all([a, b]).pair()``."""
+        return self.model, self.report
+
     def provenance_log(self) -> str:
         """One ``PROVENANCE`` line per composed component."""
         return "\n".join(

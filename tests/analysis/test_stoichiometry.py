@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import ModelBuilder, compose
+from repro import ModelBuilder, compose_all
 from repro.analysis import (
     conservation_laws,
     conserved_totals,
@@ -136,7 +136,7 @@ def test_simulation_respects_discovered_laws():
 def test_composition_preserves_conservation_laws():
     # Figure 1: self-composition must not create or destroy laws.
     model = conversion_model()
-    merged, _ = compose(model, model.copy())
+    merged = compose_all([model, model.copy()]).model
     assert conservation_laws(merged) == conservation_laws(model)
 
 
@@ -149,7 +149,7 @@ def test_composition_extends_laws_on_disjoint_union():
         .reversible_mass_action("r2", ["X"], ["Y"], "k", "k")
         .build()
     )
-    merged, _ = compose(first, second)
+    merged = compose_all([first, second]).model
     laws = conservation_laws(merged)
     assert {"A": 1.0, "B": 1.0} in laws
     assert {"X": 1.0, "Y": 1.0} in laws

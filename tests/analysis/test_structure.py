@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ModelBuilder, compose
+from repro import ModelBuilder, compose_all
 from repro.analysis import (
     degree_table,
     hub_species,
@@ -77,7 +77,7 @@ class TestReachability:
 class TestMergeImpact:
     def test_self_merge_impact(self):
         model = chain_model()
-        merged, _ = compose(model, model.copy())
+        merged = compose_all([model, model.copy()]).model
         impact = merge_impact(model, model.copy(), merged)
         assert impact.nodes_shared == 4
         assert impact.edges_shared == 3
@@ -86,7 +86,7 @@ class TestMergeImpact:
     def test_drug_overlay_creates_crossings(self):
         pathway = glycolysis_upper()
         overlay = drug_inhibition()
-        merged, _ = compose(pathway, overlay)
+        merged = compose_all([pathway, overlay]).model
         impact = merge_impact(pathway, overlay, merged)
         # The drug (overlay-only) now connects to pathway species
         # through the shared glucose pool.
@@ -104,7 +104,7 @@ class TestMergeImpact:
             .species("S").species("Z").mass_action("r2", ["S"], ["Z"], "k")
             .build()
         )
-        merged, _ = compose(first, second)
+        merged = compose_all([first, second]).model
         impact = merge_impact(first, second, merged)
         # The merged network now flows A -> S -> Z, but A->Z direct
         # edges don't exist; crossings are edges touching both sides.

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ModelBuilder, compose
+from repro import ModelBuilder, compose_all
 from repro.baselines import SemanticSBMLMerge, generate_database
 from repro.sbml import validate_model
 
@@ -118,7 +118,7 @@ class TestBaselineMerge:
         _, report = engine.merge(a, b)
         assert report.user_interactions >= 1
         # SBMLCompose decides it automatically.
-        _, compose_report = compose(a, b)
+        compose_report = compose_all([a, b]).report
         assert not compose_report.has_conflicts()
 
     def test_commutative_math_not_matched(self, engine):
@@ -144,7 +144,7 @@ class TestBaselineMerge:
         )
         merged, _ = engine.merge(a, b)
         assert len(merged.reactions) == 2
-        merged_compose, _ = compose(a, b)
+        merged_compose = compose_all([a, b]).model
         assert len(merged_compose.reactions) == 1
 
     def test_unannotated_fallback_counts_interaction(self, engine):

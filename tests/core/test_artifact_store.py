@@ -1,12 +1,14 @@
 """The content-addressed artifact store + the session spill tier."""
 
+import hashlib
 import pickle
 
 import pytest
 
-from repro import ComposeSession, ModelBuilder, write_sbml
+from repro import ComposeSession, ModelBuilder, read_sbml, write_sbml
 from repro.core.artifact_store import (
     ArtifactStore,
+    CorpusManifest,
     ModelArtifacts,
     compute_artifacts,
     corpus_fingerprint,
@@ -228,6 +230,132 @@ class TestFormat4Rehydration:
             computed.signature.key_hashes
         )
         assert rehydrated.id_sets == model.id_set_table()
+
+
+class TestFormat5Rehydration:
+    """Store format 5 added the canonical SBML blob — once more a pure
+    addition: format-2/3/4 entries must rehydrate as hits with
+    ``sbml=None`` (the digest-shipped worker boundary then falls back
+    to pickled models), never as misses that would rewrite an existing
+    store on upgrade."""
+
+    def _write_old_format(self, store, model, version):
+        artifacts = compute_artifacts(
+            model,
+            with_indexes=version >= 3,
+            with_signature=version >= 4,
+            with_sbml=False,
+        )
+        del artifacts.sbml  # the field did not exist before format 5
+        if version < 4:
+            del artifacts.signature
+            del artifacts.id_sets
+        if version < 3:
+            del artifacts.indexes
+        digest = model_digest(model)
+        path = store.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(
+            pickle.dumps({"format": version, "artifacts": artifacts})
+        )
+        return digest
+
+    @pytest.mark.parametrize("version", [2, 3, 4])
+    def test_old_entry_rehydrates_without_sbml_blob(self, tmp_path, version):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = self._write_old_format(store, model, version)
+        payload_before = store.path_for(digest).read_bytes()
+        rehydrated = store.get(digest)
+        assert rehydrated is not None, f"format-{version} entry must hit"
+        assert rehydrated.sbml is None
+        assert rehydrated.used_ids == compute_artifacts(model).used_ids
+        # Served, not recomputed/overwritten.
+        store.get_or_compute(model, digest)
+        assert store.path_for(digest).read_bytes() == payload_before
+
+    def test_format5_round_trip_carries_canonical_sbml(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = model_digest(model)
+        computed = compute_artifacts(model)
+        assert computed.sbml is not None
+        store.put(digest, computed)
+        rehydrated = store.get(digest)
+        # The blob is the exact text the digest hashes...
+        assert (
+            hashlib.sha256(rehydrated.sbml.encode("utf-8")).hexdigest()
+            == digest
+        )
+        # ...and re-parsing it reproduces the model, digest-stable.
+        reparsed = read_sbml(rehydrated.sbml).model
+        assert model_digest(reparsed) == digest
+
+
+class TestCorpusManifest:
+    def _corpus(self):
+        return [
+            _model("a"),
+            _model("b", species=("B", "C")),
+            _model("c", species=("C", "D")),
+        ]
+
+    def test_build_populates_store_and_orders_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        models = self._corpus()
+        labels = ["a", "b", "c"]
+        manifest = CorpusManifest.build(models, labels, store)
+        assert len(manifest) == 3
+        assert manifest.labels == ("a", "b", "c")
+        assert manifest.digests == tuple(
+            model_digest(model) for model in models
+        )
+        # Fingerprint agrees byte-for-byte with the model-side one the
+        # checkpoint journal computes.
+        assert manifest.fingerprint == corpus_fingerprint(models)
+        # Every entry is worker-rehydratable: a format-5 blob carrier.
+        for model, digest in zip(models, manifest.digests):
+            entry = store.get(digest)
+            assert entry is not None and entry.sbml is not None
+            assert model_digest(read_sbml(entry.sbml).model) == digest
+
+    def test_build_upgrades_blobless_entries_in_place(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        digest = model_digest(model)
+        store.put(digest, compute_artifacts(model, with_sbml=False))
+        assert store.get(digest).sbml is None
+        CorpusManifest.build([model], ["m"], store)
+        assert store.get(digest).sbml is not None
+
+    def test_build_does_not_rewrite_complete_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _model()
+        manifest = CorpusManifest.build([model], ["m"], store)
+        payload = store.path_for(manifest.digests[0]).read_bytes()
+        CorpusManifest.build([model.copy()], ["m"], store)
+        assert store.path_for(manifest.digests[0]).read_bytes() == payload
+
+    def test_build_rejects_mismatched_labels(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            CorpusManifest.build(self._corpus(), ["only-one"], store)
+
+    def test_evict_pinned_on_manifest_keeps_corpus(self, tmp_path):
+        """``--store-max-entries`` eviction during an active sweep must
+        never drop a corpus entry a digest-shipped worker is about to
+        rehydrate: pinning on ``manifest.digests`` exempts them."""
+        store = ArtifactStore(tmp_path)
+        manifest = CorpusManifest.build(
+            self._corpus(), ["a", "b", "c"], store
+        )
+        stray = _model("stray", species=("X", "Y"))
+        store.get_or_compute(stray)
+        evicted = store.evict(max_entries=0, pinned=manifest.digests)
+        assert evicted == 1
+        assert model_digest(stray) not in store
+        for digest in manifest.digests:
+            assert store.get(digest) is not None
 
 
 class TestIdSetSeeding:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ModelBuilder, compose, ComposeOptions
+from repro import ModelBuilder, ComposeOptions, compose_all
 from repro.errors import ConflictError
 from repro.mathml import parse_infix
 from repro.sbml import validate_model
@@ -17,7 +17,7 @@ class TestSpeciesMatching:
     def test_same_id_united(self):
         a = base_builder("a").species("glc", 1.0).build()
         b = base_builder("b").species("glc", 1.0).build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.species) == 1
         assert ("species", "glc", "glc") in [
             (d.component_type, d.first_id, d.second_id)
@@ -33,7 +33,7 @@ class TestSpeciesMatching:
             .species("s42", 1.0, name="adenosine triphosphate")
             .build()
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.species) == 1
         assert report.mappings.get("s42") == "atp"
 
@@ -41,13 +41,13 @@ class TestSpeciesMatching:
         table = SynonymTable([["foo", "bar"]])
         a = base_builder("a").species("foo", 1.0).build()
         b = base_builder("b").species("bar", 1.0).build()
-        merged, _ = compose(a, b, ComposeOptions(synonyms=table))
+        merged = compose_all([a, b], options=ComposeOptions(synonyms=table)).model
         assert len(merged.species) == 1
 
     def test_different_species_both_kept(self):
         a = base_builder("a").species("X", 1.0).build()
         b = base_builder("b").species("Y", 1.0).build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert sorted(s.id for s in merged.species) == ["X", "Y"]
 
     def test_same_name_different_compartment_not_united(self):
@@ -63,7 +63,7 @@ class TestSpeciesMatching:
             .species("P", 1.0)
             .build()
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.species) == 2
         assert len(merged.compartments) == 2
         # The colliding id from model 2 was renamed.
@@ -72,7 +72,7 @@ class TestSpeciesMatching:
     def test_initial_value_conflict_logged_first_wins(self):
         a = base_builder("a").species("X", 1.0).build()
         b = base_builder("b").species("X", 2.0).build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert merged.get_species("X").initial_concentration == 1.0
         assert report.has_conflicts()
         assert report.conflicts[0].attribute == "initial value"
@@ -81,7 +81,7 @@ class TestSpeciesMatching:
         a = base_builder("a").species("X", 1.0).build()
         b = base_builder("b").species("X", 2.0).build()
         with pytest.raises(ConflictError):
-            compose(a, b, ComposeOptions(conflicts="error"))
+            compose_all([a, b], options=ComposeOptions(conflicts="error"))
 
     def test_amount_vs_concentration_reconciled_via_figure6(self):
         # 1e-6 M in 1e-15 l is ~6.022e2 molecules (Fig 6: x = nA[X]V).
@@ -99,7 +99,7 @@ class TestSpeciesMatching:
             .species("X", molecules, amount=True)
             .build()
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert not report.has_conflicts()
         assert any("Figure 6" in w.message for w in report.warnings)
 
@@ -116,13 +116,13 @@ class TestSpeciesMatching:
             .species("X", 42.0, amount=True)
             .build()
         )
-        _, report = compose(a, b)
+        report = compose_all([a, b]).report
         assert report.has_conflicts()
 
     def test_boundary_condition_conflict(self):
         a = base_builder("a").species("X", 1.0).build()
         b = base_builder("b").species("X", 1.0, boundary=True).build()
-        _, report = compose(a, b)
+        report = compose_all([a, b]).report
         assert any(
             c.attribute == "boundaryCondition" for c in report.conflicts
         )
@@ -132,13 +132,13 @@ class TestCompartmentMatching:
     def test_synonymous_compartments_united(self):
         a = ModelBuilder("a").compartment("cytosol", size=1.0).build()
         b = ModelBuilder("b").compartment("cytoplasm", size=1.0).build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.compartments) == 1
 
     def test_size_conflict(self):
         a = ModelBuilder("a").compartment("cell", size=1.0).build()
         b = ModelBuilder("b").compartment("cell", size=2.0).build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert merged.get_compartment("cell").size == 1.0
         assert report.has_conflicts()
 
@@ -151,7 +151,7 @@ class TestCompartmentMatching:
             .compartment("cell", size=1000.0, units="ml")
             .build()
         )
-        _, report = compose(a, b)
+        report = compose_all([a, b]).report
         assert not report.has_conflicts()
         assert any(w.code == "unit-conversion" for w in report.warnings)
 
@@ -163,7 +163,7 @@ class TestCompartmentMatching:
             .compartment("nucleus", size=0.1, outside="cytosol")
             .build()
         )
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         # cytosol unified with cell (builtin synonyms); nucleus points
         # at the united compartment.
         nucleus = merged.get_compartment("nucleus")
@@ -175,7 +175,7 @@ class TestParameterPolicy:
     def test_equal_valued_parameters_united(self):
         a = base_builder("a").parameter("k", 1.0).build()
         b = base_builder("b").parameter("k", 1.0).build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.parameters) == 1
 
     def test_same_name_different_value_both_kept_renamed(self):
@@ -184,7 +184,7 @@ class TestParameterPolicy:
         # is renamed to avoid conflicts."
         a = base_builder("a").parameter("k", 1.0).build()
         b = base_builder("b").parameter("k", 2.0).build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.parameters) == 2
         values = sorted(p.value for p in merged.parameters)
         assert values == [1.0, 2.0]
@@ -194,7 +194,7 @@ class TestParameterPolicy:
     def test_valueless_parameters_not_united(self):
         a = base_builder("a").parameter("k").build()
         b = base_builder("b").parameter("k").build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.parameters) == 2
 
     def test_unit_converted_parameters_united(self):
@@ -212,7 +212,7 @@ class TestParameterPolicy:
             .parameter("Km", 0.001, units="M")
             .build()
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.parameters) == 1
         assert any(w.code == "unit-conversion" for w in report.warnings)
 
@@ -226,7 +226,7 @@ class TestParameterPolicy:
             .mass_action("r", ["B"], [], "k")
             .build()
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         new_name = report.renamed["k"]
         law = merged.get_reaction("r").kinetic_law
         assert law.math == parse_infix(f"{new_name} * B")
@@ -237,20 +237,20 @@ class TestUnitDefinitionMatching:
     def test_same_canonical_unit_united(self):
         a = ModelBuilder("a").unit("per_sec", [("second", -1, 0, 1.0)]).build()
         b = ModelBuilder("b").unit("hz", [("second", -1, 0, 1.0)]).build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.unit_definitions) == 1
         assert report.mappings.get("hz") == "per_sec"
 
     def test_scale_vs_multiplier_united(self):
         a = ModelBuilder("a").unit("mmol", [("mole", 1, -3, 1.0)]).build()
         b = ModelBuilder("b").unit("mmol2", [("mole", 1, 0, 1e-3)]).build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.unit_definitions) == 1
 
     def test_id_collision_different_unit_renamed(self):
         a = ModelBuilder("a").unit("u", [("second", -1, 0, 1.0)]).build()
         b = ModelBuilder("b").unit("u", [("mole", 1, 0, 1.0)]).build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.unit_definitions) == 2
         assert "u" in report.renamed
 
@@ -268,7 +268,7 @@ class TestUnitDefinitionMatching:
             .species("X", 1.0, substance_units="millimole")
             .build()
         )
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert merged.get_species("X").substance_units == "mmol"
 
 
@@ -276,20 +276,20 @@ class TestFunctionDefinitions:
     def test_alpha_equivalent_functions_united(self):
         a = ModelBuilder("a").function("f", ["x"], "2 * x").build()
         b = ModelBuilder("b").function("g", ["y"], "2 * y").build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.function_definitions) == 1
         assert report.mappings.get("g") == "f"
 
     def test_commutative_bodies_united(self):
         a = ModelBuilder("a").function("f", ["x", "y"], "x * y + 1").build()
         b = ModelBuilder("b").function("h", ["a", "b"], "1 + b * a").build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.function_definitions) == 1
 
     def test_id_collision_different_math_renamed(self):
         a = ModelBuilder("a").function("f", ["x"], "2 * x").build()
         b = ModelBuilder("b").function("f", ["x"], "3 * x").build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.function_definitions) == 2
         assert "f" in report.renamed
 
@@ -308,7 +308,7 @@ class TestFunctionDefinitions:
             .reaction("r2", ["B"], [], formula="twice(B)")
             .build()
         )
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         law = merged.get_reaction("r2").kinetic_law
         assert law.math == parse_infix("dbl(B)")
         assert validate_model(merged) == []

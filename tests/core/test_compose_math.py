@@ -4,7 +4,7 @@ constraints, initial assignments, events (paper §3, Figures 7, 10-12).
 
 import pytest
 
-from repro import ModelBuilder, compose, ComposeOptions
+from repro import ModelBuilder, ComposeOptions, compose_all
 from repro.mathml import parse_infix
 from repro.sbml import validate_model
 
@@ -35,7 +35,7 @@ class TestReactionMatching:
         a, b = self.two_models_with_reaction(
             "k1 * A * B", "B * k1 * A", A=1.0, B=2.0
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.reactions) == 1
         assert report.mappings.get("rB") == "rA"
 
@@ -43,7 +43,7 @@ class TestReactionMatching:
         a, b = self.two_models_with_reaction(
             "k1 * A", "k2 * A", A=1.0, B=0.0
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.reactions) == 1
         assert merged.reactions[0].kinetic_law.math == parse_infix("k1 * A")
         assert any(c.attribute == "kineticLaw" for c in report.conflicts)
@@ -65,7 +65,7 @@ class TestReactionMatching:
             .mass_action("r2", ["B"], ["A"], "k")  # reversed direction
             .build()
         )
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.reactions) == 2
 
     def test_stoichiometry_participates_in_identity(self):
@@ -85,7 +85,7 @@ class TestReactionMatching:
             .mass_action("r2", ["A"], ["B"], "k")
             .build()
         )
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.reactions) == 2
 
     def test_modifiers_participate_in_identity(self):
@@ -108,7 +108,7 @@ class TestReactionMatching:
             .michaelis_menten("r2", "S", "P", "Vmax", "Km")
             .build()
         )
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.reactions) == 2
 
     def test_michaelis_menten_laws_united_commutatively(self):
@@ -131,7 +131,7 @@ class TestReactionMatching:
             .reaction("r2", ["S"], ["P"], formula="S*Vmax/(S+Km)")
             .build()
         )
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.reactions) == 1
 
     def test_local_parameters_compared_by_value(self):
@@ -149,7 +149,7 @@ class TestReactionMatching:
             )
             .build()
         )
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.reactions) == 1
 
     def test_local_parameters_different_value_conflict(self):
@@ -165,7 +165,7 @@ class TestReactionMatching:
             .reaction("r2", ["A"], [], formula="k*A", local_parameters={"k": 3.0})
             .build()
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.reactions) == 1  # same structure: united
         assert report.has_conflicts()
 
@@ -189,7 +189,7 @@ class TestReactionMatching:
             .reaction("r2", ["A"], [], formula="c_stoch * A")
             .build()
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.reactions) == 1
         assert not any(
             c.attribute == "kineticLaw" for c in report.conflicts
@@ -221,7 +221,7 @@ class TestReactionMatching:
             .mass_action("r2", ["A", "B"], ["AB"], "c")
             .build()
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.reactions) == 1
         assert any("conversion" in w.message for w in report.warnings)
         assert not any(c.attribute == "kineticLaw" for c in report.conflicts)
@@ -243,7 +243,7 @@ class TestRules:
             .assignment_rule("total", "2 * A")
             .build()
         )
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.rules) == 1
 
     def test_conflicting_rules_first_wins(self):
@@ -261,7 +261,7 @@ class TestRules:
             .assignment_rule("t", "A * 3")
             .build()
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.rules) == 1
         assert merged.rules[0].math == parse_infix("A * 2")
         assert report.has_conflicts()
@@ -281,13 +281,13 @@ class TestRules:
             .assignment_rule("p", "B + 1")
             .build()
         )
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.rules) == 2
 
     def test_algebraic_rules_united_by_pattern(self):
         a = base("a").species("A", 1.0).algebraic_rule("A - 1").build()
         b = base("b").species("A", 1.0).algebraic_rule("A - 1").build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.rules) == 1
 
     def test_rule_variables_follow_species_mapping(self):
@@ -298,7 +298,7 @@ class TestRules:
             .rate_rule("s1", "-0.1 * s1")
             .build()
         )
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert merged.rules[0].variable == "atp"
         assert merged.rules[0].math == parse_infix("-0.1 * atp")
 
@@ -307,7 +307,7 @@ class TestInitialAssignments:
     def test_identical_united(self):
         a = base("a").species("A", 1.0).initial_assignment("A", "2 + 1").build()
         b = base("b").species("A", 1.0).initial_assignment("A", "1 + 2").build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.initial_assignments) == 1
 
     def test_evaluated_equality(self):
@@ -315,7 +315,7 @@ class TestInitialAssignments:
         # syntactically different initial assignments by evaluation.
         a = base("a").species("A", 1.0).initial_assignment("A", "2 * 3").build()
         b = base("b").species("A", 1.0).initial_assignment("A", "6").build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.initial_assignments) == 1
         assert not report.has_conflicts()
         assert any(w.code == "math-evaluated" for w in report.warnings)
@@ -323,7 +323,7 @@ class TestInitialAssignments:
     def test_unequal_values_conflict_first_wins(self):
         a = base("a").species("A", 1.0).initial_assignment("A", "6").build()
         b = base("b").species("A", 1.0).initial_assignment("A", "7").build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.initial_assignments) == 1
         assert report.has_conflicts()
 
@@ -331,13 +331,13 @@ class TestInitialAssignments:
         options = ComposeOptions(evaluate_initial_assignments=False)
         a = base("a").species("A", 1.0).initial_assignment("A", "2 * 3").build()
         b = base("b").species("A", 1.0).initial_assignment("A", "6").build()
-        _, report = compose(a, b, options)
+        report = compose_all([a, b], options=options).report
         assert report.has_conflicts()
 
     def test_distinct_symbols_union(self):
         a = base("a").species("A", 1.0).initial_assignment("A", "1").build()
         b = base("b").species("B", 1.0).initial_assignment("B", "2").build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.initial_assignments) == 2
 
 
@@ -345,7 +345,7 @@ class TestConstraints:
     def test_identical_constraints_united(self):
         a = base("a").species("A", 1.0).constraint("A >= 0").build()
         b = base("b").species("A", 1.0).constraint("0 <= A").build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         # Note: `A >= 0` and `0 <= A` are NOT pattern-equal (different
         # operators); only commutativity is free. Expect 2.
         assert len(merged.constraints) == 2
@@ -357,13 +357,13 @@ class TestConstraints:
         b = base("b").species("A", 1.0).species("B", 1.0).constraint(
             "B + A <= 10"
         ).build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.constraints) == 1
 
     def test_different_constraints_union(self):
         a = base("a").species("A", 1.0).constraint("A >= 0").build()
         b = base("b").species("A", 1.0).constraint("A <= 100").build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.constraints) == 2
 
 
@@ -375,14 +375,14 @@ class TestEvents:
         b = base("b").species("A", 1.0).event(
             "e2", "A < 0.5", {"A": "10"}
         ).build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.events) == 1
         assert report.mappings.get("e2") == "e1"
 
     def test_different_trigger_union(self):
         a = base("a").species("A", 1.0).event("e1", "A < 0.5", {"A": "10"}).build()
         b = base("b").species("A", 1.0).event("e2", "A < 0.1", {"A": "10"}).build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.events) == 2
 
     def test_different_delay_union(self):
@@ -390,13 +390,13 @@ class TestEvents:
         b = base("b").species("A", 1.0).event(
             "e2", "A < 0.5", {"A": "10"}, delay="3"
         ).build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         assert len(merged.events) == 2
 
     def test_id_collision_renamed(self):
         a = base("a").species("A", 1.0).event("e", "A < 0.5", {"A": "10"}).build()
         b = base("b").species("A", 1.0).event("e", "A < 0.1", {"A": "10"}).build()
-        merged, report = compose(a, b)
+        merged, report = compose_all([a, b]).pair()
         assert len(merged.events) == 2
         assert "e" in report.renamed
         assert validate_model(merged) == []
@@ -406,7 +406,7 @@ class TestEvents:
         b = base("b").species("s9", 1.0, name="Adenosine Triphosphate").event(
             "refill", "s9 < 0.1", {"s9": "s9 + 1"}
         ).build()
-        merged, _ = compose(a, b)
+        merged = compose_all([a, b]).model
         event = merged.get_event("refill")
         assert event.trigger.math == parse_infix("atp < 0.1")
         assert event.assignments[0].variable == "atp"

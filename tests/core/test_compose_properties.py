@@ -13,7 +13,7 @@ The algebra of composition the paper's Figures 1-3 sketch:
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import ModelBuilder, compose
+from repro import ModelBuilder, compose_all
 from repro.eval import models_equivalent
 from repro.sbml import validate_model
 
@@ -73,7 +73,7 @@ def models(draw, pool=None, model_id="m"):
 @given(models())
 @settings(max_examples=60, deadline=None)
 def test_idempotence(model):
-    merged, report = compose(model, model.copy())
+    merged, report = compose_all([model, model.copy()]).pair()
     merged.id = model.id
     assert models_equivalent(model, merged)
     assert report.total_added == 0
@@ -82,7 +82,7 @@ def test_idempotence(model):
 @given(models(), models(model_id="m2"))
 @settings(max_examples=60, deadline=None)
 def test_size_bounds(first, second):
-    merged, _ = compose(first, second)
+    merged = compose_all([first, second]).model
     assert merged.num_nodes() <= first.num_nodes() + second.num_nodes()
     assert merged.num_nodes() >= max(first.num_nodes(), second.num_nodes())
     assert len(merged.reactions) <= (
@@ -93,7 +93,7 @@ def test_size_bounds(first, second):
 @given(models(), models(model_id="m2"))
 @settings(max_examples=60, deadline=None)
 def test_result_always_valid(first, second):
-    merged, _ = compose(first, second)
+    merged = compose_all([first, second]).model
     errors = [
         issue
         for issue in validate_model(merged)
@@ -105,8 +105,8 @@ def test_result_always_valid(first, second):
 @given(models(), models(model_id="m2"))
 @settings(max_examples=60, deadline=None)
 def test_commutative_species_sets(first, second):
-    forward, _ = compose(first, second)
-    backward, _ = compose(second, first)
+    forward = compose_all([first, second]).model
+    backward = compose_all([second, first]).model
     assert forward.num_nodes() == backward.num_nodes()
     assert len(forward.reactions) == len(backward.reactions)
     # Species names (before renames, names carry identity) agree.
@@ -121,7 +121,7 @@ def test_commutative_species_sets(first, second):
 )
 @settings(max_examples=60, deadline=None)
 def test_disjoint_union(first, second):
-    merged, report = compose(first, second)
+    merged, report = compose_all([first, second]).pair()
     assert merged.num_nodes() == first.num_nodes() + second.num_nodes()
     assert len(merged.reactions) == (
         len(first.reactions) + len(second.reactions)
@@ -135,8 +135,8 @@ def test_disjoint_union(first, second):
 @given(models(), models(model_id="m2"))
 @settings(max_examples=40, deadline=None)
 def test_compose_deterministic(first, second):
-    once, report_once = compose(first, second)
-    twice, report_twice = compose(first, second)
+    once, report_once = compose_all([first, second]).pair()
+    twice, report_twice = compose_all([first, second]).pair()
     assert models_equivalent(once, twice)
     assert report_once.mappings == report_twice.mappings
 
@@ -144,9 +144,10 @@ def test_compose_deterministic(first, second):
 @given(models(), models(model_id="m2"), models(model_id="m3"))
 @settings(max_examples=30, deadline=None)
 def test_associative_in_size(first, second, third):
-    left, _ = compose(*[compose(first, second)[0], third][0:1] + [third])
-    right_inner, _ = compose(second, third)
-    right, _ = compose(first, right_inner)
+    left_inner = compose_all([first, second]).model
+    left = compose_all([left_inner, third]).model
+    right_inner = compose_all([second, third]).model
+    right = compose_all([first, right_inner]).model
     assert left.num_nodes() == right.num_nodes()
 
 
@@ -154,8 +155,8 @@ def test_associative_in_size(first, second, third):
 @settings(max_examples=40, deadline=None)
 def test_empty_identity(model):
     empty = ModelBuilder("empty").build()
-    left, _ = compose(empty, model)
-    right, _ = compose(model, empty)
+    left = compose_all([empty, model]).model
+    right = compose_all([model, empty]).model
     left.id = model.id
     right.id = model.id
     assert models_equivalent(model, left)

@@ -45,7 +45,15 @@ Equality strength per path:
   predate the signature artifact), and shared across shards.  A
   hypothesis property states the safety side directly: a pruned pair
   is always one the full matcher composes with zero renames and zero
-  conflicts.
+  conflicts;
+* the **digest-shipped sweep** (the ninth path) — process workers
+  receive a ``(label, digest)`` manifest instead of the pickled
+  corpus and rehydrate each model from the store's format-5 canonical
+  SBML blob on first touch; the resulting matrix is byte-identical to
+  the in-memory sweep on the deterministic CSV — plain pool and
+  supervised coordinator, populating the store and rehydrating from
+  it, through the escape hatch and the automatic temp store, and (a
+  hypothesis property) for any shard layout and worker count.
 """
 
 import io
@@ -61,6 +69,7 @@ from repro import compose, compose_all, match_all, match_all_sharded, write_sbml
 from repro.core.artifact_store import (
     ArtifactStore,
     compute_artifacts,
+    corpus_fingerprint,
     model_digest,
 )
 from repro.core.compose import ModelIndexSet
@@ -422,6 +431,135 @@ def test_prescreen_never_prunes_a_matching_pair(seed):
         o.key() for o in full.outcomes
     ]
     assert screened.pruned == len(pruned_pairs)
+
+
+# ---------------------------------------------------------------------------
+# Ninth path: the digest-shipped worker boundary
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("corpus_name", ["chain", "curated"])
+def test_digest_shipped_sweep_conformance(corpus_name, corpora, tmp_path):
+    """The digest-shipped process pool — workers receive a ``(label,
+    digest)`` manifest and rehydrate each model from the artifact
+    store's format-5 SBML blob — must be byte-identical to the
+    in-memory sweep on the deterministic CSV: populating the store,
+    rehydrating from it, through the ``digest_shipping=False`` escape
+    hatch, through the automatic temp store, and as a sharded union."""
+    models = corpora[corpus_name]
+    reference = _deterministic_csv(match_all(models))
+    store_dir = tmp_path / "artifacts"
+
+    # Plain pool over the manifest boundary, populating the store...
+    assert (
+        _deterministic_csv(
+            match_all(models, workers=2, backend="process", store=store_dir)
+        )
+        == reference
+    )
+    # ...and a second pass rehydrating every artifact from it.
+    assert (
+        _deterministic_csv(
+            match_all(models, workers=2, backend="process", store=store_dir)
+        )
+        == reference
+    )
+    # The escape hatch (--no-digest-shipping): the pickled-corpus
+    # boundary must agree with the manifest boundary.
+    assert (
+        _deterministic_csv(
+            match_all(
+                models,
+                workers=2,
+                backend="process",
+                store=store_dir,
+                digest_shipping=False,
+            )
+        )
+        == reference
+    )
+    # No explicit store: the sweep ships digests through a transient
+    # temp store it cleans up afterwards.
+    assert (
+        _deterministic_csv(match_all(models, workers=2, backend="process"))
+        == reference
+    )
+    # Sharded digest-shipped union.
+    parts = [
+        match_all_sharded(
+            models,
+            shards=2,
+            shard_id=shard_id,
+            workers=2,
+            backend="process",
+            store=store_dir,
+        )
+        for shard_id in range(2)
+    ]
+    assert _deterministic_csv(MatchMatrix.union(parts)) == reference
+
+
+def test_digest_shipped_supervised_sweep_conformance(corpora, tmp_path):
+    """The supervised half of the ninth path: the coordinator builds
+    the manifest once, workers rehydrate from the sweep's own store,
+    and the shard-CSV union is byte-identical to the in-memory
+    unsharded sweep."""
+    from repro.core.coordinator import CoordinatorConfig, SweepCoordinator
+
+    models = corpora["curated"]
+    reference = _deterministic_csv(match_all(models))
+    coordinator = SweepCoordinator(
+        models,
+        None,
+        shards=2,
+        out_dir=tmp_path / "sweep",
+        fingerprint=corpus_fingerprint(models, extra=("shards", 2)),
+        config=CoordinatorConfig(
+            workers=2, worker_timeout=15.0, poll_interval=0.05
+        ),
+        progress=False,
+    )
+    report = coordinator.run()
+    assert report.exit_code == 0
+    # The manifest boundary was live — workers got digests, not models.
+    assert coordinator.manifest is not None
+    assert coordinator.manifest.fingerprint == corpus_fingerprint(models)
+    merged = MatchMatrix.union(report.matrices)
+    assert _deterministic_csv(merged) == reference
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    shards=st.integers(min_value=1, max_value=3),
+    workers=st.integers(min_value=2, max_value=3),
+)
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_digest_shipped_invariant_over_shards_and_workers(
+    seed, shards, workers, tmp_path_factory
+):
+    """Shard layout and worker count must not leak into the
+    digest-shipped sweep: for any BioModels-like corpus, the union of
+    any sharded digest-shipped process sweep is byte-identical to the
+    serial in-memory sweep."""
+    models = generate_corpus(count=4, seed=seed)
+    reference = _deterministic_csv(match_all(models))
+    store_dir = tmp_path_factory.mktemp("digest-shipped-store")
+    parts = [
+        match_all_sharded(
+            models,
+            shards=shards,
+            shard_id=shard_id,
+            workers=workers,
+            backend="process",
+            store=store_dir,
+        )
+        for shard_id in range(shards)
+    ]
+    assert _deterministic_csv(MatchMatrix.union(parts)) == reference
 
 
 # ---------------------------------------------------------------------------

@@ -145,6 +145,170 @@ class TestMatchAll:
         assert len(ArtifactStore(tmp_path / "artifacts")) == len(corpus)
 
 
+class TestDigestShipping:
+    """The format-5 worker boundary: process workers receive a
+    ``(label, digest)`` manifest and rehydrate each model from the
+    shared artifact store on first touch."""
+
+    def test_digest_shipped_matches_pickled_corpus(self, corpus, tmp_path):
+        from repro.core.artifact_store import ArtifactStore
+
+        serial = match_all(corpus)
+        shipped = match_all(
+            corpus,
+            workers=2,
+            backend="process",
+            store=tmp_path / "store",
+        )
+        pickled = match_all(
+            corpus,
+            workers=2,
+            backend="process",
+            store=tmp_path / "store2",
+            digest_shipping=False,
+        )
+        reference = [
+            (o.i, o.j, o.united, o.added, o.renamed, o.conflicts)
+            for o in serial.outcomes
+        ]
+        for matrix in (shipped, pickled):
+            assert [
+                (o.i, o.j, o.united, o.added, o.renamed, o.conflicts)
+                for o in matrix.outcomes
+            ] == reference
+        # The shipped run populated the store with blob-carrying
+        # (worker-rehydratable) entries, one per model.
+        store = ArtifactStore(tmp_path / "store")
+        assert len(store) == len(corpus)
+
+    def test_manifest_payload_does_not_grow_with_corpus(self, tmp_path):
+        """The acceptance number: the initargs payload is a few dozen
+        bytes per manifest entry, versus the full serialised corpus."""
+        import pickle
+
+        from repro.core.artifact_store import ArtifactStore, CorpusManifest
+
+        store = ArtifactStore(tmp_path / "store")
+        small = [
+            _module_model(f"m{i}", ["A", "B", "C"], f"k{i}")
+            for i in range(4)
+        ]
+        large = small + [
+            _module_model(f"m{i}", ["A", "B", "C"], f"k{i}")
+            for i in range(4, 16)
+        ]
+        manifest_small = CorpusManifest.build(
+            small, [m.id for m in small], store
+        )
+        manifest_large = CorpusManifest.build(
+            large, [m.id for m in large], store
+        )
+        per_entry = (
+            len(pickle.dumps(manifest_large)) - len(pickle.dumps(manifest_small))
+        ) / (len(large) - len(small))
+        per_model = (
+            len(pickle.dumps(large)) - len(pickle.dumps(small))
+        ) / (len(large) - len(small))
+        assert per_entry < 200  # a label + a hex digest, flat
+        assert per_entry < per_model / 5
+
+    def test_unwritable_store_falls_back_to_pickled_models(
+        self, corpus, monkeypatch, caplog
+    ):
+        import logging
+
+        from repro.core.artifact_store import ArtifactStore
+
+        def refuse(self, digest, artifacts):
+            raise OSError("read-only store")
+
+        monkeypatch.setattr(ArtifactStore, "put", refuse)
+        serial = match_all(corpus)
+        with caplog.at_level(logging.WARNING, logger="repro.core.match_all"):
+            matrix = match_all(corpus, workers=2, backend="process")
+        assert "digest shipping disabled" in caplog.text
+        assert [o.key() for o in matrix.outcomes] == [
+            o.key() for o in serial.outcomes
+        ]
+
+    def test_rehydrate_miss_is_a_repro_error(self, corpus, tmp_path):
+        from repro.core.artifact_store import ArtifactStore, CorpusManifest
+        from repro.core.match_all import _PairEngine
+        from repro.errors import ReproError
+
+        store = ArtifactStore(tmp_path / "store")
+        manifest = CorpusManifest.build(
+            corpus, [m.id for m in corpus], store
+        )
+        store.clear()  # eviction raced the sweep
+        engine = _PairEngine(
+            ComposeOptions(),
+            None,
+            None,
+            str(tmp_path / "store"),
+            manifest=manifest,
+        )
+        with pytest.raises(ReproError, match="cannot rehydrate"):
+            engine.run_pair(0, 1)
+
+    def test_blobless_entry_is_a_repro_error(self, corpus, tmp_path):
+        from repro.core.artifact_store import (
+            ArtifactStore,
+            CorpusManifest,
+            compute_artifacts,
+            model_digest,
+        )
+        from repro.core.match_all import _PairEngine
+        from repro.errors import ReproError
+
+        store = ArtifactStore(tmp_path / "store")
+        manifest = CorpusManifest.build(
+            corpus, [m.id for m in corpus], store
+        )
+        # Overwrite one entry with a pre-format-5 (blob-less) payload.
+        store.put(
+            model_digest(corpus[0]),
+            compute_artifacts(corpus[0], with_sbml=False),
+        )
+        engine = _PairEngine(
+            ComposeOptions(),
+            None,
+            None,
+            str(tmp_path / "store"),
+            manifest=manifest,
+        )
+        with pytest.raises(ReproError, match="no SBML blob"):
+            engine.run_pair(0, 1)
+
+
+class TestWorkerPoolError:
+    def test_worker_death_names_chunk_and_supervise(self, corpus, tmp_path):
+        """Chaos regression for the bare-``BrokenProcessPool`` bug: an
+        unsupervised process worker death must surface as a
+        :class:`WorkerPoolError` naming the pair range and pointing at
+        the supervised path."""
+        from repro.core import chaos
+        from repro.core.match_all import WorkerPoolError
+
+        spec = chaos.ChaosSpec(
+            tmp_path,
+            faults=[
+                chaos.Fault(
+                    site="pair-start",
+                    action="kill",
+                    times=1,
+                    key="pool-kill",
+                )
+            ],
+        )
+        with chaos.active(spec):
+            with pytest.raises(WorkerPoolError) as excinfo:
+                match_all(corpus, workers=2, backend="process")
+        message = str(excinfo.value)
+        assert "pairs" in message
+        assert "sweep --supervise" in message
+
+
 class TestMatchAllSharded:
     def test_invalid_shard_arguments(self, corpus):
         with pytest.raises(ValueError):

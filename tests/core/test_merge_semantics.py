@@ -12,7 +12,7 @@
 
 import pytest
 
-from repro import ModelBuilder, compose
+from repro import ModelBuilder, compose_all
 from repro.sbml import validate_model
 
 
@@ -36,34 +36,34 @@ def figure1_model(model_id="fig1"):
 
 class TestFigure1Identical:
     def test_species_unchanged(self):
-        merged, report = compose(figure1_model(), figure1_model("fig1b"))
+        merged, report = compose_all([figure1_model(), figure1_model("fig1b")]).pair()
         assert sorted(s.id for s in merged.species) == ["A", "B", "C"]
 
     def test_reactions_unchanged(self):
-        merged, _ = compose(figure1_model(), figure1_model("fig1b"))
+        merged = compose_all([figure1_model(), figure1_model("fig1b")]).model
         assert sorted(r.id for r in merged.reactions) == ["r1", "r2", "r3"]
 
     def test_parameters_unchanged(self):
-        merged, _ = compose(figure1_model(), figure1_model("fig1b"))
+        merged = compose_all([figure1_model(), figure1_model("fig1b")]).model
         assert sorted(p.id for p in merged.parameters) == ["k1", "k2", "k3"]
 
     def test_network_size_unchanged(self):
         base = figure1_model()
-        merged, _ = compose(base, figure1_model("fig1b"))
+        merged = compose_all([base, figure1_model("fig1b")]).model
         assert merged.network_size() == base.network_size()
 
     def test_no_conflicts(self):
-        _, report = compose(figure1_model(), figure1_model("fig1b"))
+        report = compose_all([figure1_model(), figure1_model("fig1b")]).report
         assert not report.has_conflicts()
 
     def test_everything_united(self):
-        _, report = compose(figure1_model(), figure1_model("fig1b"))
+        report = compose_all([figure1_model(), figure1_model("fig1b")]).report
         # compartment + 3 species + 3 params + 3 reactions = 10 duplicates
         assert len(report.duplicates) == 10
         assert report.total_added == 0
 
     def test_result_valid(self):
-        merged, _ = compose(figure1_model(), figure1_model("fig1b"))
+        merged = compose_all([figure1_model(), figure1_model("fig1b")]).model
         assert validate_model(merged) == []
 
 
@@ -96,29 +96,29 @@ class TestFigure2Disjoint:
         )
 
     def test_union_of_species(self):
-        merged, _ = compose(self.model_abc(), self.model_de())
+        merged = compose_all([self.model_abc(), self.model_de()]).model
         assert sorted(s.id for s in merged.species) == [
             "A", "B", "C", "D", "E",
         ]
 
     def test_union_of_reactions(self):
-        merged, _ = compose(self.model_abc(), self.model_de())
+        merged = compose_all([self.model_abc(), self.model_de()]).model
         assert sorted(r.id for r in merged.reactions) == ["r1", "r2", "r3"]
 
     def test_sizes_add(self):
         first, second = self.model_abc(), self.model_de()
-        merged, _ = compose(first, second)
+        merged = compose_all([first, second]).model
         # Shared compartment is united; species/reactions add up.
         assert merged.num_nodes() == first.num_nodes() + second.num_nodes()
         assert merged.num_edges() == first.num_edges() + second.num_edges()
 
     def test_compartment_united(self):
-        merged, report = compose(self.model_abc(), self.model_de())
+        merged, report = compose_all([self.model_abc(), self.model_de()]).pair()
         assert len(merged.compartments) == 1
         assert not report.has_conflicts()
 
     def test_result_valid(self):
-        merged, _ = compose(self.model_abc(), self.model_de())
+        merged = compose_all([self.model_abc(), self.model_de()]).model
         assert validate_model(merged) == []
 
 
@@ -159,7 +159,7 @@ class TestFigure3SharedSubnetwork:
         )
 
     def test_result_is_superset_model(self):
-        merged, _ = compose(self.model_with_d(), self.model_without_d())
+        merged = compose_all([self.model_with_d(), self.model_without_d()]).model
         assert sorted(s.id for s in merged.species) == ["A", "B", "C", "D"]
         assert sorted(r.id for r in merged.reactions) == [
             "r1", "r2", "r3", "r4",
@@ -168,11 +168,11 @@ class TestFigure3SharedSubnetwork:
     def test_matches_figure3c_size(self):
         # Figure 3(c) == Figure 3(a): the smaller model adds nothing.
         expected = self.model_with_d()
-        merged, _ = compose(self.model_with_d(), self.model_without_d())
+        merged = compose_all([self.model_with_d(), self.model_without_d()]).model
         assert merged.network_size() == expected.network_size()
 
     def test_shared_components_united(self):
-        _, report = compose(self.model_with_d(), self.model_without_d())
+        report = compose_all([self.model_with_d(), self.model_without_d()]).report
         united_species = {
             d.first_id
             for d in report.duplicates
@@ -187,15 +187,15 @@ class TestFigure3SharedSubnetwork:
         assert united_reactions == {"r1", "r2"}
 
     def test_order_insensitive_size(self):
-        forward, _ = compose(self.model_with_d(), self.model_without_d())
-        backward, _ = compose(self.model_without_d(), self.model_with_d())
+        forward = compose_all([self.model_with_d(), self.model_without_d()]).model
+        backward = compose_all([self.model_without_d(), self.model_with_d()]).model
         assert forward.network_size() == backward.network_size()
         assert {s.id for s in forward.species} == {
             s.id for s in backward.species
         }
 
     def test_result_valid(self):
-        merged, _ = compose(self.model_with_d(), self.model_without_d())
+        merged = compose_all([self.model_with_d(), self.model_without_d()]).model
         assert validate_model(merged) == []
 
 
@@ -206,23 +206,23 @@ class TestEmptyModelShortcut:
     def test_first_empty(self):
         empty = ModelBuilder("empty").build()
         full = figure1_model()
-        merged, report = compose(empty, full)
+        merged, report = compose_all([empty, full]).pair()
         assert merged.network_size() == full.network_size()
         assert not report.duplicates
 
     def test_second_empty(self):
         empty = ModelBuilder("empty").build()
         full = figure1_model()
-        merged, _ = compose(full, empty)
+        merged = compose_all([full, empty]).model
         assert merged.network_size() == full.network_size()
 
     def test_both_empty(self):
-        merged, _ = compose(ModelBuilder("e1").build(), ModelBuilder("e2").build())
+        merged = compose_all([ModelBuilder("e1").build(), ModelBuilder("e2").build()]).model
         assert merged.is_empty()
 
     def test_inputs_not_mutated(self):
         first = figure1_model()
         second = figure1_model("other")
         before = first.component_count(), second.component_count()
-        compose(first, second)
+        compose_all([first, second])
         assert (first.component_count(), second.component_count()) == before

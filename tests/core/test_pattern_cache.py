@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Composer, ComposeOptions, ModelBuilder, compose
+from repro import Composer, ComposeOptions, ModelBuilder, compose_all
 from repro.core.pattern_cache import PatternCache
 from repro.eval import models_equivalent
 from repro.mathml import canonical_pattern, parse_infix
@@ -88,8 +88,8 @@ def _pair():
 class TestMemoizedComposition:
     def test_same_result_with_and_without_cache(self):
         a, b = _pair()
-        cached, _ = compose(a, b, ComposeOptions(memoize_patterns=True))
-        plain, _ = compose(a, b, ComposeOptions(memoize_patterns=False))
+        cached = compose_all([a, b], options=ComposeOptions(memoize_patterns=True)).model
+        plain = compose_all([a, b], options=ComposeOptions(memoize_patterns=False)).model
         assert models_equivalent(cached, plain)
 
     def test_shared_composer_reuses_cache_across_runs(self):
@@ -118,9 +118,9 @@ class TestMemoizedComposition:
             .reaction("r2", ["s9"], [], formula="k * s9")
             .build()
         )
-        merged, report = compose(
-            a, b, ComposeOptions(memoize_patterns=True)
-        )
+        merged, report = compose_all(
+            [a, b], options=ComposeOptions(memoize_patterns=True)
+        ).pair()
         # s9 united with atp, and r2's law (over s9) matched r1's law
         # (over atp) through the mapping.
         assert len(merged.reactions) == 1

@@ -7,7 +7,7 @@ down what each mode may and may not match.
 
 import pytest
 
-from repro import ModelBuilder, compose, ComposeOptions
+from repro import ModelBuilder, ComposeOptions, compose_all
 
 
 def model_atp(model_id, species_id, species_name):
@@ -21,11 +21,13 @@ def model_atp(model_id, species_id, species_name):
 
 class TestHeavySemantics:
     def test_synonyms_matched(self):
-        merged, _ = compose(
-            model_atp("a", "atp", "ATP"),
-            model_atp("b", "x1", "adenosine triphosphate"),
-            ComposeOptions(semantics="heavy"),
-        )
+        merged = compose_all(
+            [
+                model_atp("a", "atp", "ATP"),
+                model_atp("b", "x1", "adenosine triphosphate"),
+            ],
+            options=ComposeOptions(semantics="heavy"),
+        ).model
         assert len(merged.species) == 1
 
     def test_commutative_math_matched(self):
@@ -39,33 +41,39 @@ class TestHeavySemantics:
             .parameter("k", 1.0).reaction("r2", ["A"], [], formula="A*k")
             .build()
         )
-        merged, _ = compose(a, b, ComposeOptions(semantics="heavy"))
+        merged = compose_all([a, b], options=ComposeOptions(semantics="heavy")).model
         assert len(merged.reactions) == 1
 
 
 class TestLightSemantics:
     def test_exact_ids_still_match(self):
-        merged, _ = compose(
-            model_atp("a", "atp", None),
-            model_atp("b", "atp", None),
-            ComposeOptions(semantics="light"),
-        )
+        merged = compose_all(
+            [
+                model_atp("a", "atp", None),
+                model_atp("b", "atp", None),
+            ],
+            options=ComposeOptions(semantics="light"),
+        ).model
         assert len(merged.species) == 1
 
     def test_synonyms_not_matched(self):
-        merged, _ = compose(
-            model_atp("a", "atp", "ATP"),
-            model_atp("b", "x1", "adenosine triphosphate"),
-            ComposeOptions(semantics="light"),
-        )
+        merged = compose_all(
+            [
+                model_atp("a", "atp", "ATP"),
+                model_atp("b", "x1", "adenosine triphosphate"),
+            ],
+            options=ComposeOptions(semantics="light"),
+        ).model
         assert len(merged.species) == 2
 
     def test_case_differences_not_matched(self):
-        merged, _ = compose(
-            model_atp("a", "s1", "ATP"),
-            model_atp("b", "s2", "atp"),
-            ComposeOptions(semantics="light"),
-        )
+        merged = compose_all(
+            [
+                model_atp("a", "s1", "ATP"),
+                model_atp("b", "s2", "atp"),
+            ],
+            options=ComposeOptions(semantics="light"),
+        ).model
         assert len(merged.species) == 2
 
     def test_unit_conversion_disabled(self):
@@ -80,7 +88,7 @@ class TestLightSemantics:
             .build()
         )
         options = ComposeOptions(semantics="light", convert_units=False)
-        _, report = compose(a, b, options)
+        report = compose_all([a, b], options=options).report
         assert report.has_conflicts()  # no conversion: sizes conflict
 
     def test_commutative_math_not_matched_without_patterns(self):
@@ -97,7 +105,7 @@ class TestLightSemantics:
             .build()
         )
         options = ComposeOptions(semantics="light", use_math_patterns=False)
-        merged, report = compose(a, b, options)
+        merged, report = compose_all([a, b], options=options).pair()
         # Same structure so the reaction is united, but the laws are
         # *not* recognised as equal: a conflict is logged.
         assert len(merged.reactions) == 1
@@ -106,11 +114,13 @@ class TestLightSemantics:
 
 class TestNoSemantics:
     def test_nothing_matched(self):
-        merged, report = compose(
-            model_atp("a", "atp", None),
-            model_atp("b", "atp", None),
-            ComposeOptions(semantics="none"),
-        )
+        merged, report = compose_all(
+            [
+                model_atp("a", "atp", None),
+                model_atp("b", "atp", None),
+            ],
+            options=ComposeOptions(semantics="none"),
+        ).pair()
         # Pure structural union: even identical ids are kept apart.
         assert len(merged.species) == 2
         assert "atp" in report.renamed
@@ -121,7 +131,7 @@ class TestNoSemantics:
             .parameter("k", 1.0).mass_action("r", ["A"], [], "k")
             .build()
         )
-        merged, _ = compose(a, a.copy(), ComposeOptions(semantics="none"))
+        merged = compose_all([a, a.copy()], options=ComposeOptions(semantics="none")).model
         assert merged.num_nodes() == 2 * a.num_nodes()
         assert len(merged.reactions) == 2 * len(a.reactions)
 
@@ -143,7 +153,7 @@ class TestIndexStrategiesProduceSameResult:
             .mass_action("r2", ["B"], ["C"], "k2")
             .build()
         )
-        merged, report = compose(a, b, ComposeOptions(index=index))
+        merged, report = compose_all([a, b], options=ComposeOptions(index=index)).pair()
         assert sorted(s.id for s in merged.species) == ["A", "B", "C"]
         assert sorted(r.id for r in merged.reactions) == ["r1", "r2"]
         assert len(merged.compartments) == 1

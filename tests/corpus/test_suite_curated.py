@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import compose
+from repro import compose_all
 from repro.corpus import (
     SUITE_SIZE,
     drug_inhibition,
@@ -109,7 +109,7 @@ class TestCuratedModels:
         assert "ATP" in shared
 
     def test_glycolysis_composes_into_full_pathway(self):
-        merged, report = compose(glycolysis_upper(), glycolysis_lower())
+        merged, report = compose_all([glycolysis_upper(), glycolysis_lower()]).pair()
         # Shared: g3p, atp, adp (+ compartment).
         united_species = {
             d.first_id
@@ -130,7 +130,7 @@ class TestCuratedModels:
         # The drug-interaction scenario: composing the inhibitor
         # overlay slows glucose consumption into the pathway.
         plain = simulate(glycolysis_upper(), t_end=5.0, steps=500)
-        merged, _ = compose(glycolysis_upper(), drug_inhibition())
+        merged = compose_all([glycolysis_upper(), drug_inhibition()]).model
         assert validate_model(merged) == []
         dosed = simulate(merged, t_end=5.0, steps=500)
         assert dosed.final()["glc"] < plain.final()["glc"]

@@ -3,7 +3,7 @@ comparison (§4.1.2)."""
 
 import pytest
 
-from repro import ModelBuilder, compose
+from repro import ModelBuilder, compose_all
 from repro.eval import (
     MonteCarloModelChecker,
     check_deterministic,
@@ -76,7 +76,7 @@ class TestMonteCarloChecker:
     def test_composed_model_preserves_properties(self):
         # §4.1.4 workflow: composed model satisfies the same
         # properties as the expected model.
-        merged, _ = compose(decay_model("x"), decay_model("y"))
+        merged = compose_all([decay_model("x"), decay_model("y")]).model
         checker_expected = MonteCarloModelChecker(
             decay_model(), runs=20, t_end=10.0, seed=5
         )
@@ -145,9 +145,9 @@ class TestCompareSimulations:
     def test_composed_model_simulates_like_original(self):
         # §4.1.2 end-to-end: merge two overlapping models, the shared
         # part behaves like the original.
-        merged, _ = compose(
-            decay_model("x", k=0.5), decay_model("y", k=0.5)
-        )
+        merged = compose_all(
+            [decay_model("x", k=0.5), decay_model("y", k=0.5)]
+        ).model
         comparison = compare_simulations(
             decay_model("expected", k=0.5), merged, t_end=5.0
         )

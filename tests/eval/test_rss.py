@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import ModelBuilder, compose
+from repro import ModelBuilder, compose_all
 from repro.errors import SimulationError
 from repro.eval import residual_sum_of_squares, rss_report, traces_equivalent
 from repro.sim import Trace, simulate
@@ -90,7 +90,7 @@ def test_composed_model_rss_near_zero():
         )
 
     original = build("original")
-    merged, _ = compose(build("x"), build("y"))
+    merged = compose_all([build("x"), build("y")]).model
     trace_original = simulate(original, 5.0, 200)
     trace_merged = simulate(merged, 5.0, 200)
     assert traces_equivalent(trace_original, trace_merged)

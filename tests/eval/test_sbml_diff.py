@@ -1,6 +1,6 @@
 """Unit tests for the SBML-aware diff (paper §4.1.1)."""
 
-from repro import ModelBuilder, compose
+from repro import ModelBuilder, compose_all
 from repro.eval import diff_models, models_equivalent
 
 
@@ -160,7 +160,7 @@ def test_composition_verified_by_diff():
     # The paper's §4.1.1 workflow: merged model vs expected model.
     a = simple_model("a")
     expected = simple_model("expected")
-    merged, _ = compose(a, simple_model("b"))
+    merged = compose_all([a, simple_model("b")]).model
     merged.id = "expected"
     assert models_equivalent(expected, merged)
 

@@ -3,7 +3,7 @@
 import networkx as nx
 import pytest
 
-from repro import ModelBuilder, compose
+from repro import ModelBuilder, compose_all
 from repro.eval import models_equivalent
 from repro.graph import (
     compose_graphs,
@@ -171,7 +171,7 @@ class TestSplitComposeRoundTrip:
         model = two_part_model()
         parts = split_by_species(model, [{"A", "B"}, {"X", "Y"}])
         assert len(parts) == 2
-        recombined, _ = compose(parts[0], parts[1])
+        recombined = compose_all([parts[0], parts[1]]).model
         recombined.id = model.id
         assert models_equivalent(model, recombined)
 
@@ -202,7 +202,7 @@ class TestSplitComposeRoundTrip:
             .build()
         )
         parts = split_by_species(model, [{"A", "B"}, {"C"}])
-        recombined, _ = compose(parts[0], parts[1])
+        recombined = compose_all([parts[0], parts[1]]).model
         recombined.id = model.id
         assert models_equivalent(model, recombined)
 

@@ -329,18 +329,37 @@ def test_sweep_status_missing_journal(tmp_path, capsys):
     assert "error" in capsys.readouterr().err
 
 
-def test_sweep_store_max_entries(three_model_files, tmp_path, capsys):
+def test_sweep_store_max_entries_pins_corpus(
+    three_model_files, tmp_path, capsys
+):
+    """Post-run eviction never drops this sweep's corpus entries —
+    digest-shipped workers of a concurrent or resumed run over the
+    same out-dir rehydrate models from exactly those entries."""
+    from repro.core.artifact_store import ArtifactStore, model_digest
+    from repro import read_sbml_file
+
     path_a, path_b, path_c = three_model_files
     out_dir = tmp_path / "sweepdir"
+    # Plant a non-corpus entry: it is evictable, the corpus is not.
+    store = ArtifactStore(out_dir / "artifacts")
+    stray = "ab" + "0" * 62
+    from repro.core.artifact_store import ModelArtifacts
+    store.put(stray, ModelArtifacts(used_ids=set(), registry=None, initial={}))
     assert main([
         "sweep", str(path_a), str(path_b), str(path_c),
         "--shards", "2", "--out-dir", str(out_dir),
-        "--store-max-entries", "1",
+        "--store-max-entries", "0",
     ]) == 0
     err = capsys.readouterr().err
-    assert "evicted 2 artifact store entries" in err
-    from repro.core.artifact_store import ArtifactStore
-    assert len(ArtifactStore(out_dir / "artifacts")) == 1
+    assert "evicted 1 artifact store entry" in err
+    assert stray not in store
+    digests = {
+        model_digest(read_sbml_file(path).model)
+        for path in (path_a, path_b, path_c)
+    }
+    for digest in digests:
+        assert digest in store
+    assert len(store) == 3
 
 
 def test_sweep_store_max_entries_needs_out_dir(three_model_files, capsys):

@@ -7,7 +7,7 @@ with an unrelated traceback, an infinite loop or silent corruption.
 
 import pytest
 
-from repro import ModelBuilder, compose, read_sbml
+from repro import ModelBuilder, read_sbml, compose_all
 from repro.errors import (
     MathEvalError,
     MathParseError,
@@ -100,7 +100,7 @@ class TestCompositionEdgeCases:
             .build()
         )
         before = model.component_count()
-        merged, _ = compose(model, model)
+        merged = compose_all([model, model]).model
         assert model.component_count() == before
         assert merged.component_count() == before
 
@@ -110,7 +110,7 @@ class TestCompositionEdgeCases:
             ModelBuilder("a").compartment("c").parameter("x", 1.0).build()
         )
         second = ModelBuilder("b").compartment("c").species("x", 1.0).build()
-        merged, report = compose(first, second)
+        merged, report = compose_all([first, second]).pair()
         from repro.sbml import validate_model
 
         assert validate_model(merged) == []
@@ -126,7 +126,7 @@ class TestCompositionEdgeCases:
             .build()
         )
         second = ModelBuilder("b").compartment("c").species("x", 1.0).build()
-        merged, report = compose(first, second)
+        merged, report = compose_all([first, second]).pair()
         assert len(merged.global_ids()) == 5  # c + 3 params + renamed x
         from repro.sbml import validate_model
 
@@ -143,7 +143,7 @@ class TestCompositionEdgeCases:
             .initial_assignment("A", "3")
             .build()
         )
-        merged, report = compose(first, second)
+        merged, report = compose_all([first, second]).pair()
         # Cannot evaluate the first: falls back to conflict, keeps it.
         assert report.has_conflicts()
         assert len(merged.initial_assignments) == 1
@@ -153,7 +153,7 @@ class TestCompositionEdgeCases:
         second = ModelBuilder("b").compartment("c").build()
         first.compartments[0].name = ""
         second.compartments[0].name = ""
-        merged, _ = compose(first, second)
+        merged = compose_all([first, second]).model
         assert len(merged.compartments) == 1  # matched by id "c"
 
 
@@ -205,7 +205,7 @@ class TestUnicodeAndNaming:
             ModelBuilder("b").compartment("c")
             .species("akg2", 1.0, name="alpha-ketoglutarate").build()
         )
-        merged, _ = compose(first, second)
+        merged = compose_all([first, second]).model
         assert len(merged.species) == 1
 
 

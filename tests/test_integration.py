@@ -8,7 +8,7 @@ would chain the public API.
 import numpy as np
 import pytest
 
-from repro import ModelBuilder, compose, read_sbml, write_sbml
+from repro import ModelBuilder, read_sbml, write_sbml, compose_all
 from repro.analysis import conservation_laws, is_conserved, merge_impact
 from repro.baselines import SemanticSBMLMerge, generate_database
 from repro.corpus import (
@@ -37,7 +37,7 @@ def small_corpus():
 class TestCorpusPipeline:
     def test_corpus_pairs_compose_to_valid_models(self, small_corpus):
         for first, second in zip(small_corpus[::5], small_corpus[1::5]):
-            merged, _ = compose(first, second)
+            merged = compose_all([first, second]).model
             errors = [
                 issue
                 for issue in validate_model(merged)
@@ -47,24 +47,25 @@ class TestCorpusPipeline:
 
     def test_composed_corpus_models_round_trip_xml(self, small_corpus):
         first, second = small_corpus[10], small_corpus[12]
-        merged, _ = compose(first, second)
+        merged = compose_all([first, second]).model
         restored = read_sbml(write_sbml(merged)).model
         restored.id = merged.id
         assert models_equivalent(merged, restored)
 
     def test_serialised_then_composed_equals_composed(self, small_corpus):
-        # compose(read(write(a)), read(write(b))) == compose(a, b)
+        # compose_all over round-tripped inputs == compose_all over
+        # the originals
         first, second = small_corpus[8], small_corpus[14]
-        direct, _ = compose(first, second)
-        via_xml, _ = compose(
+        direct = compose_all([first, second]).model
+        via_xml = compose_all([
             read_sbml(write_sbml(first)).model,
             read_sbml(write_sbml(second)).model,
-        )
+        ]).model
         assert models_equivalent(direct, via_xml)
 
     def test_merge_is_size_monotone_over_corpus(self, small_corpus):
         for first, second in zip(small_corpus[::7], small_corpus[2::7]):
-            merged, _ = compose(first, second)
+            merged = compose_all([first, second]).model
             assert merged.network_size() <= (
                 first.network_size() + second.network_size()
             )
@@ -76,7 +77,7 @@ class TestCorpusPipeline:
 class TestGlycolysisEndToEnd:
     def test_full_pathway_pipeline(self):
         upper, lower = glycolysis_upper(), glycolysis_lower()
-        merged, report = compose(upper, lower)
+        merged, report = compose_all([upper, lower]).pair()
 
         # 1. Valid.
         assert validate_model(merged) == []
@@ -90,13 +91,13 @@ class TestGlycolysisEndToEnd:
         assert trace.final()["glc"] < 5.0
         assert trace.final()["pyr"] > 0.0
         # 5. Deterministic: the same merge again is identical.
-        again, _ = compose(glycolysis_upper(), glycolysis_lower())
+        again = compose_all([glycolysis_upper(), glycolysis_lower()]).model
         assert models_equivalent(merged, again)
         trace_again = simulate(again, 10.0, 1000)
         assert traces_equivalent(trace, trace_again)
 
     def test_zoom_over_composed_pathway(self):
-        merged, _ = compose(glycolysis_upper(), glycolysis_lower())
+        merged = compose_all([glycolysis_upper(), glycolysis_lower()]).model
         index = ZoomIndex(merged)
         root = list(index.graph_at(index.depth - 1).nodes)[0]
         assert index.leaves(index.depth - 1, root) == {
@@ -104,7 +105,7 @@ class TestGlycolysisEndToEnd:
         }
 
     def test_decompose_compose_simulate(self):
-        merged, _ = compose(glycolysis_upper(), glycolysis_lower())
+        merged = compose_all([glycolysis_upper(), glycolysis_lower()]).model
         parts = connected_components(merged)
         assert len(parts) == 1  # glycolysis is one connected network
 
@@ -116,7 +117,7 @@ class TestEnginesAgree:
         baseline = SemanticSBMLMerge(database_path=path)
         suite = semantic_suite()
         for first, second in zip(suite[::4], suite[1::4]):
-            ours, _ = compose(first, second)
+            ours = compose_all([first, second]).model
             theirs, _ = baseline.merge(first, second)
             assert len(ours.species) == len(theirs.species), (
                 f"{first.id}+{second.id}"

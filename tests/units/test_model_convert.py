@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ModelBuilder, compose
+from repro import ModelBuilder, compose_all
 from repro.errors import UnitError
 from repro.units import AVOGADRO
 from repro.units.model_convert import to_deterministic, to_stochastic
@@ -167,7 +167,7 @@ class TestConvertThenCompose:
         law.math = law.math.rename({"k2": "c2"})
         stochastic.get_reaction("bind").id = "bind_stoch"
 
-        merged, report = compose(deterministic, stochastic)
+        merged, report = compose_all([deterministic, stochastic]).pair()
         assert len(merged.reactions) == 1
         assert not any(
             c.attribute == "kineticLaw" for c in report.conflicts
