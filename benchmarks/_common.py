@@ -41,6 +41,59 @@ def _under_pytest() -> bool:
     return "PYTEST_CURRENT_TEST" in os.environ
 
 
+#: Where :func:`cached_corpus` spills generated libraries.
+CORPUS_CACHE_DIR = Path(__file__).parent / ".corpus_cache"
+
+
+def cached_corpus(count: int, seed: int = 42) -> List[Model]:
+    """``generate_corpus`` with an on-disk cache.
+
+    Generating the 1000-model benchmark library costs ~11.6 s — more
+    than the measurements some benches wrap around it — and the 10k
+    library an order of magnitude more.  The generated corpus is a
+    pure function of ``(count, seed, generator code)``, so it is
+    pickled once under a key that includes a hash of the generator's
+    source: editing ``biomodels_like.py`` invalidates the cache
+    automatically, and every bench run (and the corpus-query and
+    corpus-scale benches between them) reuses the same library.  A
+    corrupt or unreadable cache entry regenerates silently.
+    """
+    import hashlib
+    import os
+    import pickle
+    import tempfile
+
+    from repro.corpus import biomodels_like
+
+    version = hashlib.sha256(
+        Path(biomodels_like.__file__).read_bytes()
+    ).hexdigest()[:12]
+    path = CORPUS_CACHE_DIR / f"corpus-{count}-{seed}-{version}.pkl"
+    if path.is_file():
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            pass
+    models = biomodels_like.generate_corpus(count=count, seed=seed)
+    CORPUS_CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        dir=CORPUS_CACHE_DIR, prefix=f".{path.name}-", delete=False
+    )
+    try:
+        pickle.dump(models, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.close()
+        os.replace(handle.name, path)
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return models
+
+
 def write_csv(name: str, header: Sequence[str], rows: Sequence[Sequence]) -> Path:
     """Persist a result table under benchmarks/results/."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

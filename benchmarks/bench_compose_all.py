@@ -240,8 +240,9 @@ def write_bench_json(
     vs parallel-tree wall time) for cross-PR tracking.
 
     Read-modify-write: sections other benchmarks own (``corpus_query``
-    from ``bench_corpus_query``, ``scaling`` from ``bench_scaling``)
-    are carried over from the committed file, not dropped."""
+    from ``bench_corpus_query``, ``corpus_scale`` from
+    ``bench_corpus_scale``, ``scaling`` from ``bench_scaling``) are
+    carried over from the committed file, not dropped."""
     committed = _read_committed_baseline()
     by_label = {label: (seconds, speedup) for label, seconds, speedup in rows}
     tree_serial = by_label.get("session-tree", (None, None))[0]
@@ -276,7 +277,7 @@ def write_bench_json(
         "allpairs": allpairs,
         **{
             section: committed[section]
-            for section in ("corpus_query", "scaling")
+            for section in ("corpus_query", "corpus_scale", "scaling")
             if section in committed
         },
         "notes": (

@@ -14,7 +14,8 @@ Subcommands::
     sbmlcompose sweep-merge --out-dir DIR [-o merged.csv]
     sbmlcompose store verify DIR [--keep-corrupt]
     sbmlcompose corpus index model.xml [...] --index corpus.idx \
-        [--store DIR [--store-max-entries N]] [--evict-to N]
+        [--store DIR [--store-max-entries N]] [--evict-to N] \
+        [--workers N] [--compact]
     sbmlcompose corpus query query.xml --index corpus.idx \
         [--top-k K] [--with-pruned] [--deterministic] [-o results.csv]
     sbmlcompose corpus query query.xml --linear model.xml [...]
@@ -76,15 +77,18 @@ arms the deterministic fault-injection harness
 crashes, stalls and torn journal writes reproducibly.
 
 ``corpus`` is the search subsystem: ``corpus index`` builds (or
-incrementally updates) a persistent
-:class:`~repro.core.corpus_index.CorpusIndex` over model signatures,
-and ``corpus query`` answers "find matches for this model" by walking
-the index's posting lists, running the full matcher only on the
+incrementally updates) a persistent, segmented
+:class:`~repro.core.corpus_index.CorpusIndex` over model signatures —
+``--workers N`` fans the signature computation for unindexed models
+over a process pool, ``--compact`` merges the accumulated segments
+and tombstones (the LSM maintenance pass) — and ``corpus query``
+answers "find matches for this model" by walking the index's
+memory-mapped posting lists, running the full matcher only on the
 candidates the prescreen logic cannot synthesize (capped at
 ``--top-k``) — sublinear retrieval instead of a linear scan.  With
 ``--top-k 0 --with-pruned --deterministic`` the result CSV is
 byte-identical to ``corpus query --linear`` over the same corpus
-files, which is exactly what the CI corpus smoke job diffs.
+files, which is exactly what the CI corpus smoke jobs diff.
 """
 
 from __future__ import annotations
@@ -310,12 +314,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="build or incrementally update a persistent corpus index",
     )
     corpus_index.add_argument(
-        "models", type=Path, nargs="+", metavar="model",
-        help="SBML files to (re-)index",
+        "models", type=Path, nargs="*", metavar="model",
+        help="SBML files to (re-)index (may be empty for a "
+             "maintenance-only run, e.g. --compact)",
     )
     corpus_index.add_argument(
-        "--index", type=Path, required=True, metavar="FILE",
-        help="the index file to create or update",
+        "--index", type=Path, required=True, metavar="DIR",
+        help="the index directory to create or update",
+    )
+    corpus_index.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan signature computation for unindexed models over N "
+             "processes (needs the models spilled to a store; a "
+             "temporary one is used unless --store is given)",
+    )
+    corpus_index.add_argument(
+        "--compact", action="store_true",
+        help="after indexing, merge all segments and tombstones into "
+             "one fresh segment (LSM maintenance)",
     )
     corpus_index.add_argument(
         "--semantics", choices=["heavy", "light", "none"], default="heavy",
@@ -959,32 +975,46 @@ def _cmd_corpus_index(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers < 1:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
     if args.index.exists():
-        index = CorpusIndex.load(args.index)
+        try:
+            index = CorpusIndex.load(args.index)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         if index.options_key != index_options_key(options):
             print(
                 f"error: {args.index} was built under different key "
                 f"options than --semantics {args.semantics}; use a "
-                "separate index file per option set",
+                "separate index directory per option set",
                 file=sys.stderr,
             )
             return 2
     else:
         index = CorpusIndex(options)
     store = ArtifactStore(args.store) if args.store is not None else None
-    added = refreshed = 0
-    for path in args.models:
-        model = read_sbml_file(path).model
-        fresh = model_digest(model) not in index
-        index.add(model, label=path.stem, path=path, store=store)
-        if fresh:
-            added += 1
-        else:
-            refreshed += 1
+    models = [read_sbml_file(path).model for path in args.models]
+    added, refreshed = index.add_all(
+        models,
+        labels=[path.stem for path in args.models],
+        paths=args.models,
+        store=store,
+        workers=args.workers,
+    )
     dropped = []
     if args.evict_to is not None:
         dropped = index.evict(args.evict_to)
     index.save(args.index)
+    if args.compact:
+        report = index.compact()
+        print(
+            f"compacted {report['segments_merged']} segment(s) into "
+            f"one ({report['models']} model(s), "
+            f"{report['tombstones_cleared']} tombstone(s) cleared)",
+            file=sys.stderr,
+        )
     if args.store_max_entries is not None:
         evicted = store.evict(
             max_entries=args.store_max_entries, pinned=index.digests()
@@ -996,11 +1026,13 @@ def _cmd_corpus_index(args) -> int:
                 f"(LRU beyond {args.store_max_entries})",
                 file=sys.stderr,
             )
+    shape = index.stats()
     print(
         f"wrote {args.index}: {len(index)} model(s) "
         f"({added} new, {refreshed} refreshed"
         + (f", {len(dropped)} evicted" if dropped else "")
-        + f"), {len(index.postings)} posting list(s)"
+        + f"), {shape['segments']} segment(s), "
+        f"{shape['posting_keys']} posting key(s)"
     )
     return 0
 
@@ -1042,7 +1074,11 @@ def _cmd_corpus_query(args) -> int:
             f"{len(candidates)} model(s)"
         )
     else:
-        index = CorpusIndex.load(args.index)
+        try:
+            index = CorpusIndex.load(args.index)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         if index.options_key != index_options_key(options):
             print(
                 f"error: {args.index} was built under different key "

@@ -299,6 +299,7 @@ class CorpusManifest:
         models: Sequence[Model],
         labels: Sequence[str],
         store: ArtifactStore,
+        with_artifacts: bool = True,
     ) -> "CorpusManifest":
         """Manifest for ``models``, populating ``store`` so every
         entry is worker-rehydratable (format 5, SBML blob present).
@@ -309,6 +310,14 @@ class CorpusManifest:
         artifact fields kept).  Raises ``OSError`` if the store cannot
         be written; callers treat that as "digest shipping
         unavailable" and fall back to pickled models.
+
+        ``with_artifacts=False`` writes *light* entries on a miss —
+        the SBML blob plus only the cheap option-independent fields,
+        skipping the pattern table, index rows and signature.  That is
+        the parallel-build shape: the expensive derivations are
+        exactly what the pool workers exist to fan out, so the parent
+        must not pay them serially here.  Pre-existing full entries
+        are never stripped.
         """
         if len(models) != len(labels):
             raise ValueError(
@@ -320,7 +329,15 @@ class CorpusManifest:
             digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
             artifacts = store.get(digest)
             if artifacts is None:
-                artifacts = compute_artifacts(model, with_sbml=False)
+                if with_artifacts:
+                    artifacts = compute_artifacts(model, with_sbml=False)
+                else:
+                    artifacts = compute_artifacts(
+                        model,
+                        with_patterns=False,
+                        with_indexes=False,
+                        with_sbml=False,
+                    )
                 artifacts.sbml = text
                 store.put(digest, artifacts)
             elif artifacts.sbml is None:
@@ -549,6 +566,39 @@ class ArtifactStore:
                 pass
             raise
         return path
+
+    def signatures(
+        self,
+        digests: Iterable[str],
+        options_key: Optional[Tuple] = None,
+    ) -> Dict["str", "ModelSignature"]:
+        """Batch signature read: every stored, non-``None`` signature
+        among ``digests``, keyed by digest.  With ``options_key``,
+        signatures built under a different key-affecting options
+        fingerprint are silently skipped (the caller rebuilds those) —
+        the corpus index's parallel build prefetches through this
+        before fanning the misses out to workers.  Absent, corrupt and
+        signature-less entries are ordinary misses."""
+        found: Dict[str, "ModelSignature"] = {}
+        for digest in digests:
+            if digest in found:
+                continue
+            artifacts = self.get(digest)
+            if artifacts is None:
+                continue
+            signature = artifacts.signature
+            if (
+                signature is None
+                or getattr(signature, "key_fingerprints", None) is None
+            ):
+                continue
+            if (
+                options_key is not None
+                and signature.options_key != options_key
+            ):
+                continue
+            found[digest] = signature
+        return found
 
     def get_or_compute(
         self, model: Model, digest: Optional[str] = None

@@ -1,72 +1,97 @@
-"""Persistent inverted index over model signatures — corpus search.
+"""Segmented, memory-mapped corpus search index.
 
 The all-pairs :class:`~repro.core.signature.Prescreen` answers "which
 pairs of *this in-memory corpus* are worth matching".  A corpus
-*service* (ROADMAP: "Corpus search service") needs the same answer
-for one query model against a **library that outlives the process**:
-thousands of models, indexed once, queried many times, updated
-incrementally as models arrive and leave.  A linear scan — even a
-prescreened one — rebuilds every signature per query; the
-:class:`CorpusIndex` instead persists one global **inverted index**
+*service* needs the same answer for one query model against a
+**library that outlives the process**: thousands of models, indexed
+once, queried many times, updated incrementally as models arrive and
+leave.  The :class:`CorpusIndex` persists one global inverted index
 over the corpus's tagged key hashes (component keys, math-pattern
-digests via the rule/constraint/ia math keys, used ids) plus coarse
-signature buckets, semanticSBML-style: annotation-like evidence is
-precomputed at index time, so a query touches only the posting lists
-its own keys hit.
+digests, used ids) plus coarse signature buckets, semanticSBML-style:
+annotation-like evidence is precomputed at index time, so a query
+touches only the posting lists its own keys hit.
 
-Layout:
+Format 2 replaces the monolithic pickle (format 1: the whole index —
+156k posting lists at just 1000 models — unpickled on every open)
+with an **LSM-shaped directory**:
 
-* ``entries`` — one :class:`IndexedModel` per corpus model, keyed by
-  the model's content digest
-  (:func:`~repro.core.artifact_store.model_digest`), carrying its
-  full :class:`~repro.core.signature.ModelSignature`, a display
-  label, an optional source path (the stale-digest recovery handle)
-  and an LRU sequence number.
-* ``postings`` — ``key hash -> {digests}`` for every signature key
-  hash.  A query's candidate set is the union of the posting lists
-  its own hashes hit — work proportional to shared keys, not to
-  corpus size.
-* ``bucket_postings`` — the same for the coarse log-scale signature
-  buckets (:meth:`~repro.core.signature.ModelSignature.bucket_hashes`).
-  Kept strictly separate: bucket overlap ranks "structurally nearest"
-  lookups but must never suppress pruning or suggest a semantic match.
+* ``manifest.json`` (+ ``manifest.json.bak``) — the commit point: the
+  segment list, tombstones, entry overrides and the LRU/insertion
+  clocks.  Written with the sweep journal's torn-write discipline
+  (previous manifest preserved as ``.bak`` *before* the write, chaos
+  hook ``checkpoint-write``/``torn-write`` with
+  ``reason="corpus-manifest"``, recovery falls back to the backup) —
+  at most the torn write's delta is lost, and the index stays
+  loadable.
+* ``options.pkl`` — the exact :class:`ComposeOptions` the index keys
+  under, written once; the manifest stores the options fingerprint
+  and load cross-checks the two.
+* ``seg-NNNNNN/`` — immutable **segments**: per-model metadata
+  (``meta.json``) plus the packed signature arrays
+  (:class:`~repro.core.signature.PackedSignatures` columns) and the
+  segment-local inverted postings (sorted distinct key array +
+  offsets + member ordinals), each an ``.npy`` file opened with
+  ``np.load(mmap_mode="r")``.  A query binary-searches the sorted key
+  array and faults in only the posting pages its own hashes hit —
+  cold-open cost is proportional to hits, not index size.
 
-:meth:`query` classifies every indexed model exactly as the
-prescreen's pair logic would — candidates surfaced by the posting
-walk get the full congruence check against the stored signature,
+New models land in a small **mutable tail** (plain in-memory dicts,
+exactly the format-1 layout); :meth:`save` seals the tail into a new
+segment.  :meth:`remove`/:meth:`evict` of sealed entries write
+**tombstones**; label/path/LRU refreshes of sealed entries write
+**overrides**; :meth:`compact` merges every live entry into one fresh
+segment and clears both — the LSM merge, surfaced as ``corpus index
+--compact``.
+
+:meth:`query` classifies every live model exactly as the prescreen's
+pair logic would — candidates surfaced by the posting walk get the
+full congruence check against the (mmap-backed) stored signature,
 everything else is disjoint by construction — so running the full
 matcher on the surviving candidates (``sbmlcompose corpus query``)
-reproduces the linear scan's rows byte for byte.
+reproduces the linear scan's rows byte for byte, whatever mix of
+segments, tail entries, tombstones and overrides the index holds.
 
 The index is tied to one key-affecting options fingerprint
 (:func:`~repro.core.compose.index_options_key`): signatures built
 under other options are rejected at :meth:`add` and :meth:`query`
-time, exactly like stale artifact-store entries.
-
-Persistence is a single atomic pickle (temp file + ``os.replace``,
-the artifact store's discipline) with an explicit format version.
-The index stores *signatures*, not artifacts: evicting a model's
-entry from the :class:`~repro.core.artifact_store.ArtifactStore`
-never breaks queries (the signature lives here), and
-``ArtifactStore.evict(pinned=index.digests())`` keeps the heavier
-artifacts of indexed models from churning out from under a live
-service; if an entry's artifacts *were* evicted, the entry's ``path``
-is the recovery handle — reload the model and recompute.
+time.  Old format-1 single-file indexes are rejected at load with an
+explicit error — an index is cheap to rebuild from its corpus, and
+:meth:`add_all` rebuilds it in parallel: signature computation for
+unindexed models fans out over a process pool via the digest-shipping
+:class:`~repro.core.artifact_store.CorpusManifest` (workers rehydrate
+each model from the shared store's SBML blob and ship back only the
+signature).
 """
 
 from __future__ import annotations
 
+import json
+import math
 import os
 import pickle
+import shutil
+import sys
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
-from repro.core.artifact_store import model_digest
+import numpy as np
+
+from repro.core import chaos
 from repro.core.compose import index_options_key
 from repro.core.options import ComposeOptions
-from repro.core.signature import ModelSignature
+from repro.core.signature import ModelSignature, PackedSignatures
+from repro.errors import ReproError
 from repro.sbml.model import Model
 
 __all__ = [
@@ -75,10 +100,16 @@ __all__ = [
     "QueryHit",
 ]
 
-#: On-disk format version.  Bump on layout changes; old formats are
-#: rejected at load (an index is cheap to rebuild from its corpus,
-#: unlike the artifact store there is no partial-rehydration tier).
-_FORMAT = 1
+#: On-disk format version.  Format 1 was the monolithic single-file
+#: pickle; format 2 is the segmented directory.  Old formats are
+#: rejected at load with a rebuild hint (an index is cheap to rebuild
+#: from its corpus — unlike the artifact store there is no
+#: partial-rehydration tier).
+_FORMAT = 2
+
+_MANIFEST = "manifest.json"
+_MANIFEST_BAK = "manifest.json.bak"
+_OPTIONS_FILE = "options.pkl"
 
 
 @dataclass
@@ -95,6 +126,9 @@ class IndexedModel:
     #: drops the smallest.
     sequence: int
     signature: ModelSignature
+    #: Insertion clock value — the global query/ranking position order
+    #: across segments and the tail.
+    insert_order: int = 0
 
 
 @dataclass
@@ -127,37 +161,366 @@ class QueryHit:
         return (self.united, self.component_count - self.united, 0, 0)
 
 
+def _build_postings(
+    key_arrays: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(keys, offsets, members)`` inverted postings over per-model
+    key arrays: sorted distinct keys, slice bounds per key, and the
+    owning model ordinals grouped by key."""
+    total = sum(array.size for array in key_arrays)
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.uint64),
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.int32),
+        )
+    flat = np.concatenate(key_arrays).astype(np.uint64, copy=False)
+    owners = np.repeat(
+        np.arange(len(key_arrays), dtype=np.int32),
+        [array.size for array in key_arrays],
+    )
+    order = np.argsort(flat, kind="stable")
+    flat = flat[order]
+    owners = owners[order]
+    keys, starts = np.unique(flat, return_index=True)
+    offsets = np.append(starts, flat.size).astype(np.int64)
+    return keys, offsets, owners
+
+
+class _Segment:
+    """One immutable on-disk segment.
+
+    Per-model metadata (digest, label, path, clocks) and the small
+    fixed-width columns are loaded eagerly — they are what every query
+    touches for every live entry.  The packed signature arrays and the
+    inverted postings are ``np.load(mmap_mode="r")`` on first use and
+    faulted in page by page: a query that hits ``k`` posting lists
+    reads O(k) pages, not the segment.
+    """
+
+    #: Lazily mmap'ed array files (attribute name -> file name).
+    _ARRAYS = {
+        "counts": "criteria_counts.npy",
+        "sig_hashes": "sig_key_hashes.npy",
+        "sig_fingerprints": "sig_key_fingerprints.npy",
+        "sig_primary": "sig_key_primary.npy",
+        "post_keys": "post_keys.npy",
+        "post_offsets": "post_offsets.npy",
+        "post_members": "post_members.npy",
+        "bucket_keys": "bucket_keys.npy",
+        "bucket_offsets": "bucket_offsets.npy",
+        "bucket_members": "bucket_members.npy",
+    }
+
+    def __init__(self, path: Path, options_key: Tuple):
+        self.path = path
+        self.name = path.name
+        self.options_key = options_key
+        meta = json.loads((path / "meta.json").read_text(encoding="utf-8"))
+        models = meta["models"]
+        self.digests: List[str] = [row["digest"] for row in models]
+        self.labels: List[str] = [row["label"] for row in models]
+        self.paths: List[Optional[str]] = [row["path"] for row in models]
+        self.sequences: List[int] = [row["sequence"] for row in models]
+        self.insert_orders: List[int] = [
+            row["insert_order"] for row in models
+        ]
+        self.component_counts = np.load(path / "component_counts.npy")
+        self.self_clean = np.load(path / "self_clean.npy")
+        self.sig_offsets = np.load(path / "sig_key_offsets.npy")
+        self._mmaps: Dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.digests)
+
+    def _array(self, attr: str) -> np.ndarray:
+        array = self._mmaps.get(attr)
+        if array is None:
+            array = np.load(
+                self.path / self._ARRAYS[attr], mmap_mode="r"
+            )
+            self._mmaps[attr] = array
+        return array
+
+    @property
+    def posting_key_count(self) -> int:
+        return int(self._array("post_keys").shape[0])
+
+    def signature(self, ordinal: int) -> ModelSignature:
+        """Model ``ordinal``'s signature as mmap-backed slices."""
+        low = int(self.sig_offsets[ordinal])
+        high = int(self.sig_offsets[ordinal + 1])
+        return ModelSignature(
+            options_key=self.options_key,
+            component_count=int(self.component_counts[ordinal]),
+            counts=self._array("counts")[ordinal],
+            key_hashes=self._array("sig_hashes")[low:high],
+            key_fingerprints=self._array("sig_fingerprints")[low:high],
+            key_primary=self._array("sig_primary")[low:high],
+            self_clean=bool(self.self_clean[ordinal]),
+        )
+
+    def _walk(
+        self, prefix: str, query_hashes: np.ndarray
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(key index, member ordinals)`` for every query hash
+        present in this segment's ``prefix`` postings — one binary
+        search over the sorted key array, then only the hit ranges."""
+        keys = self._array(f"{prefix}_keys")
+        if keys.shape[0] == 0 or query_hashes.size == 0:
+            return
+        positions = np.searchsorted(keys, query_hashes)
+        valid = positions < keys.shape[0]
+        positions = positions[valid]
+        matched = positions[keys[positions] == query_hashes[valid]]
+        offsets = self._array(f"{prefix}_offsets")
+        members = self._array(f"{prefix}_members")
+        for key_index in matched:
+            low, high = int(offsets[key_index]), int(offsets[key_index + 1])
+            yield int(key_index), members[low:high]
+
+    def candidates(self, query_hashes: np.ndarray) -> Set[int]:
+        """Ordinals of models sharing at least one key with the query."""
+        found: Set[int] = set()
+        for _, member_ordinals in self._walk("post", query_hashes):
+            found.update(int(o) for o in member_ordinals)
+        return found
+
+    def bucket_counts(self, bucket_hashes: np.ndarray) -> Dict[int, int]:
+        """Per-ordinal shared coarse-bucket counts."""
+        counts: Dict[int, int] = {}
+        for _, member_ordinals in self._walk("bucket", bucket_hashes):
+            for ordinal in member_ordinals:
+                ordinal = int(ordinal)
+                counts[ordinal] = counts.get(ordinal, 0) + 1
+        return counts
+
+    @staticmethod
+    def write(
+        path: Path,
+        entries: Sequence[IndexedModel],
+        options_key: Tuple,
+    ) -> None:
+        """Materialize one segment directory from resolved entries.
+
+        Not atomic, and does not need to be: a segment becomes live
+        only when a manifest write commits its name, so a half-written
+        directory is an invisible orphan — and a pre-existing orphan
+        with the same name (a torn manifest write rolled the segment
+        counter back) is removed first.
+        """
+        if path.exists():
+            shutil.rmtree(path)
+        path.mkdir(parents=True)
+        signatures = [entry.signature for entry in entries]
+        packed = PackedSignatures.pack(options_key, signatures)
+        np.save(path / "component_counts.npy", packed.component_counts)
+        np.save(path / "criteria_counts.npy", packed.counts)
+        np.save(path / "self_clean.npy", packed.self_clean)
+        np.save(path / "sig_key_hashes.npy", packed.key_hashes)
+        np.save(path / "sig_key_fingerprints.npy", packed.key_fingerprints)
+        np.save(path / "sig_key_primary.npy", packed.key_primary)
+        np.save(path / "sig_key_offsets.npy", packed.key_offsets)
+        keys, offsets, members = _build_postings(
+            [signature.key_hashes for signature in signatures]
+        )
+        np.save(path / "post_keys.npy", keys)
+        np.save(path / "post_offsets.npy", offsets)
+        np.save(path / "post_members.npy", members)
+        keys, offsets, members = _build_postings(
+            [signature.bucket_hashes() for signature in signatures]
+        )
+        np.save(path / "bucket_keys.npy", keys)
+        np.save(path / "bucket_offsets.npy", offsets)
+        np.save(path / "bucket_members.npy", members)
+        meta = {
+            "models": [
+                {
+                    "digest": entry.digest,
+                    "label": entry.label,
+                    "path": entry.path,
+                    "sequence": entry.sequence,
+                    "insert_order": entry.insert_order,
+                }
+                for entry in entries
+            ]
+        }
+        (path / "meta.json").write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Parallel-build worker (top-level for pickling into the process pool)
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_signature_worker(store_root: str, options: ComposeOptions) -> None:
+    from repro.core.artifact_store import ArtifactStore
+
+    _WORKER_STATE["store"] = ArtifactStore(store_root)
+    _WORKER_STATE["options"] = options
+    _WORKER_STATE["options_key"] = index_options_key(options)
+
+
+def _compute_signatures(
+    digests: Sequence[str],
+) -> List[Tuple[str, ModelSignature]]:
+    """One worker batch: rehydrate each digest's model from the shared
+    store's SBML blob and build (or adopt) its signature.  A stored
+    signature built under the paper-default options is written back so
+    later builds hit the batch read path instead of recomputing."""
+    from repro.core.artifact_store import _artifact_options
+    from repro.sbml.reader import read_sbml
+
+    store = _WORKER_STATE["store"]
+    options = _WORKER_STATE["options"]
+    options_key = _WORKER_STATE["options_key"]
+    results: List[Tuple[str, ModelSignature]] = []
+    for digest in digests:
+        artifacts = store.get(digest)
+        if artifacts is None or artifacts.sbml is None:
+            raise ReproError(
+                f"artifact store entry for model {digest[:12]} is "
+                f"missing its SBML blob; the manifest build did not "
+                f"reach this store (remedy: rerun `corpus index` "
+                f"against the same --store)"
+            )
+        candidate = artifacts.signature
+        if (
+            candidate is not None
+            and getattr(candidate, "key_fingerprints", None) is not None
+            and candidate.options_key == options_key
+        ):
+            results.append((digest, candidate))
+            continue
+        model = read_sbml(artifacts.sbml).model
+        signature = ModelSignature.build(model, options)
+        if artifacts.signature is None and signature.options_key == (
+            index_options_key(_artifact_options())
+        ):
+            artifacts.signature = signature
+            store.put(digest, artifacts)
+        results.append((digest, signature))
+    return results
+
+
 class CorpusIndex:
-    """Incrementally maintained, persistent corpus search index."""
+    """Incrementally maintained, persistent, segmented corpus index."""
 
     def __init__(self, options: Optional[ComposeOptions] = None):
         self.options = options or ComposeOptions()
         self.options_key = index_options_key(self.options)
-        self.entries: Dict[str, IndexedModel] = {}
-        self.postings: Dict[int, Set[str]] = {}
-        self.bucket_postings: Dict[int, Set[str]] = {}
+        #: Directory this index is attached to (``None`` until the
+        #: first :meth:`save` / a :meth:`load`).
+        self._root: Optional[Path] = None
+        self._segments: List[_Segment] = []
+        #: digest -> (segment index, ordinal) for every sealed entry,
+        #: tombstoned or not (a tombstoned digest resurrects from here
+        #: without recomputing its signature — content-addressed means
+        #: same digest, same signature).
+        self._sealed: Dict[str, Tuple[int, int]] = {}
+        #: Sealed digests removed since the last compact.
+        self._tombstones: Set[str] = set()
+        #: Sealed-entry mutations that don't touch postings: digest ->
+        #: {label/path/sequence/insert_order}; absent keys inherit the
+        #: segment's values.
+        self._overrides: Dict[str, Dict[str, object]] = {}
+        # Mutable tail — the format-1 in-memory layout, sealed into a
+        # segment by save().
+        self._tail_entries: Dict[str, IndexedModel] = {}
+        self._tail_postings: Dict[int, Set[str]] = {}
+        self._tail_bucket_postings: Dict[int, Set[str]] = {}
         self._sequence = 0
+        self._insert_clock = 0
+        self._next_segment = 0
+        self._order_cache: Optional[List[Tuple[int, str, int, int]]] = None
 
-    # -- maintenance ---------------------------------------------------
-
-    def __len__(self) -> int:
-        return len(self.entries)
-
-    def __contains__(self, digest: str) -> bool:
-        return digest in self.entries
-
-    def get(self, digest: str) -> Optional[IndexedModel]:
-        return self.entries.get(digest)
-
-    def digests(self) -> frozenset:
-        """Digests of every indexed model — hand to
-        ``ArtifactStore.evict(pinned=...)`` so LRU artifact eviction
-        skips models a live index still serves."""
-        return frozenset(self.entries)
+    # -- clocks and order ----------------------------------------------
 
     def _next_sequence(self) -> int:
         self._sequence += 1
         return self._sequence
+
+    def _next_insert_order(self) -> int:
+        self._insert_clock += 1
+        return self._insert_clock
+
+    def _live_order(self) -> List[Tuple[int, str, int, int]]:
+        """Every live entry as ``(insert_order, digest, segment index,
+        ordinal)`` — segment index ``-1`` for tail entries — sorted by
+        insertion order: the global query/ranking position order."""
+        if self._order_cache is None:
+            refs: List[Tuple[int, str, int, int]] = []
+            for segment_index, segment in enumerate(self._segments):
+                for ordinal, digest in enumerate(segment.digests):
+                    if digest in self._tombstones:
+                        continue
+                    override = self._overrides.get(digest)
+                    order = (
+                        override["insert_order"]
+                        if override and "insert_order" in override
+                        else segment.insert_orders[ordinal]
+                    )
+                    refs.append((order, digest, segment_index, ordinal))
+            for entry in self._tail_entries.values():
+                refs.append((entry.insert_order, entry.digest, -1, -1))
+            refs.sort()
+            self._order_cache = refs
+        return self._order_cache
+
+    def _invalidate_order(self) -> None:
+        self._order_cache = None
+
+    # -- lookups -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return (
+            len(self._tail_entries)
+            + len(self._sealed)
+            - len(self._tombstones)
+        )
+
+    def __contains__(self, digest: str) -> bool:
+        if digest in self._tail_entries:
+            return True
+        return digest in self._sealed and digest not in self._tombstones
+
+    def get(self, digest: str) -> Optional[IndexedModel]:
+        """The live entry for ``digest`` (sealed entries materialize
+        with an mmap-backed signature view), or ``None``."""
+        entry = self._tail_entries.get(digest)
+        if entry is not None:
+            return entry
+        location = self._sealed.get(digest)
+        if location is None or digest in self._tombstones:
+            return None
+        segment_index, ordinal = location
+        segment = self._segments[segment_index]
+        override = self._overrides.get(digest, {})
+        return IndexedModel(
+            digest=digest,
+            label=override.get("label", segment.labels[ordinal]),
+            path=override.get("path", segment.paths[ordinal]),
+            sequence=override.get("sequence", segment.sequences[ordinal]),
+            signature=segment.signature(ordinal),
+            insert_order=override.get(
+                "insert_order", segment.insert_orders[ordinal]
+            ),
+        )
+
+    def digests(self) -> frozenset:
+        """Digests of every live model — hand to
+        ``ArtifactStore.evict(pinned=...)`` so LRU artifact eviction
+        skips models a live index still serves."""
+        return frozenset(
+            digest for _, digest, _, _ in self._live_order()
+        )
+
+    # -- maintenance ---------------------------------------------------
 
     def add(
         self,
@@ -174,16 +537,60 @@ class CorpusIndex:
         and LRU position without touching the postings (the digest is
         content-addressed, so same digest means same signature).  With
         ``store`` (an :class:`~repro.core.artifact_store.ArtifactStore`)
-        the signature is rehydrated from the model's format-4 artifact
+        the signature is rehydrated from the model's stored artifact
         entry when it matches this index's options.
         """
-        digest = model_digest(model)
-        existing = self.entries.get(digest)
-        if existing is not None:
-            existing.label = label or existing.label
+        from repro.core.artifact_store import model_digest
+
+        return self._add_with_digest(
+            model_digest(model),
+            model,
+            label,
+            path,
+            store=store,
+            signature=signature,
+        )
+
+    def _add_with_digest(
+        self,
+        digest: str,
+        model: Model,
+        label: Optional[str],
+        path: Optional[Union[str, Path]],
+        *,
+        store=None,
+        signature: Optional[ModelSignature] = None,
+    ) -> str:
+        tail = self._tail_entries.get(digest)
+        if tail is not None:
+            tail.label = label or tail.label
             if path is not None:
-                existing.path = str(path)
-            existing.sequence = self._next_sequence()
+                tail.path = str(path)
+            tail.sequence = self._next_sequence()
+            return digest
+        if digest in self._sealed and digest not in self._tombstones:
+            override = self._overrides.setdefault(digest, {})
+            if label:
+                override["label"] = label
+            if path is not None:
+                override["path"] = str(path)
+            override["sequence"] = self._next_sequence()
+            return digest
+        display = label or model.name or model.id or digest[:12]
+        if digest in self._sealed:
+            # Resurrect a tombstoned sealed entry: the signature is
+            # already on disk (content-addressed: same digest, same
+            # signature) — only the metadata and the clocks are new.
+            # Like a remove-then-add on the monolithic index, the
+            # entry re-enters at the *end* of the insertion order.
+            self._tombstones.discard(digest)
+            self._overrides[digest] = {
+                "label": display,
+                "path": str(path) if path is not None else None,
+                "sequence": self._next_sequence(),
+                "insert_order": self._next_insert_order(),
+            }
+            self._invalidate_order()
             return digest
         if signature is None and store is not None:
             artifacts = store.get_or_compute(model)
@@ -203,72 +610,205 @@ class CorpusIndex:
             )
         entry = IndexedModel(
             digest=digest,
-            label=label or model.name or model.id or digest[:12],
+            label=display,
             path=str(path) if path is not None else None,
             sequence=self._next_sequence(),
             signature=signature,
+            insert_order=self._next_insert_order(),
         )
-        self.entries[digest] = entry
+        self._tail_entries[digest] = entry
         for hash_value in signature.key_hashes:
-            self.postings.setdefault(int(hash_value), set()).add(digest)
-        for hash_value in signature.bucket_hashes():
-            self.bucket_postings.setdefault(int(hash_value), set()).add(
+            self._tail_postings.setdefault(int(hash_value), set()).add(
                 digest
             )
+        for hash_value in signature.bucket_hashes():
+            self._tail_bucket_postings.setdefault(
+                int(hash_value), set()
+            ).add(digest)
+        self._invalidate_order()
         return digest
 
+    def add_all(
+        self,
+        models: Sequence[Model],
+        labels: Optional[Sequence[Optional[str]]] = None,
+        paths: Optional[Sequence[Optional[Union[str, Path]]]] = None,
+        *,
+        store=None,
+        workers: int = 1,
+    ) -> Tuple[int, int]:
+        """Index a batch of models; returns ``(added, refreshed)``.
+
+        With ``workers > 1`` the signature computation for unindexed
+        models fans out over a process pool: the models are spilled to
+        ``store`` once via the digest-shipping
+        :class:`~repro.core.artifact_store.CorpusManifest` (a
+        temporary store when none is given), already-stored signatures
+        are adopted through the store's batch read path, and workers
+        rehydrate only the missing models from their SBML blobs and
+        ship back ``(digest, signature)`` pairs.  Insertion order and
+        results are identical to the serial path.
+        """
+        from repro.core.artifact_store import model_digest
+
+        count = len(models)
+        labels = list(labels) if labels is not None else [None] * count
+        paths = list(paths) if paths is not None else [None] * count
+        if len(labels) != count or len(paths) != count:
+            raise ValueError(
+                f"{count} models but {len(labels)} labels / "
+                f"{len(paths)} paths"
+            )
+        added = refreshed = 0
+        if workers <= 1:
+            for model, label, path in zip(models, labels, paths):
+                digest = model_digest(model)
+                fresh = digest not in self
+                self._add_with_digest(
+                    digest, model, label, path, store=store
+                )
+                added += fresh
+                refreshed += not fresh
+            return added, refreshed
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.core.artifact_store import ArtifactStore, CorpusManifest
+
+        with tempfile.TemporaryDirectory(
+            prefix="corpus-index-store-"
+        ) as scratch:
+            if store is None:
+                store = ArtifactStore(scratch)
+            manifest = CorpusManifest.build(
+                models,
+                [
+                    label or model.name or model.id or "model"
+                    for model, label in zip(models, labels)
+                ],
+                store,
+                with_artifacts=False,
+            )
+            digests = list(manifest.digests)
+            needed: List[str] = []
+            seen: Set[str] = set()
+            for digest in digests:
+                if digest in seen or digest in self or digest in self._sealed:
+                    continue
+                seen.add(digest)
+                needed.append(digest)
+            known = store.signatures(needed, self.options_key)
+            missing = [d for d in needed if d not in known]
+            if missing:
+                chunk = max(1, math.ceil(len(missing) / (workers * 4)))
+                batches = [
+                    missing[low : low + chunk]
+                    for low in range(0, len(missing), chunk)
+                ]
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_signature_worker,
+                    initargs=(str(store.root), self.options),
+                ) as pool:
+                    for results in pool.map(_compute_signatures, batches):
+                        known.update(results)
+            for model, label, path, digest in zip(
+                models, labels, paths, digests
+            ):
+                fresh = digest not in self
+                self._add_with_digest(
+                    digest,
+                    model,
+                    label,
+                    path,
+                    signature=known.get(digest),
+                )
+                added += fresh
+                refreshed += not fresh
+        return added, refreshed
+
     def remove(self, digest: str) -> bool:
-        """Drop one model and its posting memberships; ``False`` when
-        the digest was not indexed."""
-        entry = self.entries.pop(digest, None)
-        if entry is None:
-            return False
-        for hash_value in entry.signature.key_hashes:
-            postings = self.postings.get(int(hash_value))
-            if postings is not None:
-                postings.discard(digest)
-                if not postings:
-                    del self.postings[int(hash_value)]
-        for hash_value in entry.signature.bucket_hashes():
-            postings = self.bucket_postings.get(int(hash_value))
-            if postings is not None:
-                postings.discard(digest)
-                if not postings:
-                    del self.bucket_postings[int(hash_value)]
-        return True
+        """Drop one model; ``False`` when the digest was not live.
+
+        Tail entries clean their posting memberships immediately;
+        sealed entries write a tombstone that :meth:`compact` clears.
+        """
+        entry = self._tail_entries.pop(digest, None)
+        if entry is not None:
+            for hash_value in entry.signature.key_hashes:
+                postings = self._tail_postings.get(int(hash_value))
+                if postings is not None:
+                    postings.discard(digest)
+                    if not postings:
+                        del self._tail_postings[int(hash_value)]
+            for hash_value in entry.signature.bucket_hashes():
+                postings = self._tail_bucket_postings.get(int(hash_value))
+                if postings is not None:
+                    postings.discard(digest)
+                    if not postings:
+                        del self._tail_bucket_postings[int(hash_value)]
+            self._invalidate_order()
+            return True
+        if digest in self._sealed and digest not in self._tombstones:
+            self._tombstones.add(digest)
+            self._overrides.pop(digest, None)
+            self._invalidate_order()
+            return True
+        return False
 
     def touch(self, digest: str) -> None:
         """Bump a model's LRU position (a query serving it counts as
         use)."""
-        entry = self.entries.get(digest)
+        entry = self._tail_entries.get(digest)
         if entry is not None:
             entry.sequence = self._next_sequence()
+            return
+        if digest in self._sealed and digest not in self._tombstones:
+            self._overrides.setdefault(digest, {})[
+                "sequence"
+            ] = self._next_sequence()
 
     def evict(self, max_entries: int) -> List[str]:
         """Drop least-recently-used entries down to ``max_entries``;
         returns the removed digests (oldest first)."""
         if max_entries < 0:
             raise ValueError("max_entries must be non-negative")
-        removed: List[str] = []
-        while len(self.entries) > max_entries:
-            oldest = min(
-                self.entries.values(), key=lambda entry: entry.sequence
-            )
-            self.remove(oldest.digest)
-            removed.append(oldest.digest)
+        excess = len(self) - max_entries
+        if excess <= 0:
+            return []
+        by_age = sorted(
+            self._live_order(),
+            key=lambda ref: self._sequence_of(ref[1], ref[2], ref[3]),
+        )
+        removed = []
+        for _, digest, _, _ in by_age[:excess]:
+            self.remove(digest)
+            removed.append(digest)
         return removed
+
+    def _sequence_of(
+        self, digest: str, segment_index: int, ordinal: int
+    ) -> int:
+        if segment_index < 0:
+            return self._tail_entries[digest].sequence
+        override = self._overrides.get(digest)
+        if override and "sequence" in override:
+            return override["sequence"]
+        return self._segments[segment_index].sequences[ordinal]
 
     # -- queries -------------------------------------------------------
 
     def query(self, signature: ModelSignature) -> List[QueryHit]:
-        """Classify every indexed model against one query signature.
+        """Classify every live model against one query signature.
 
-        The posting walk surfaces only models sharing at least one key
-        with the query; those get the exact congruence check.  All
-        other models are disjoint *by construction of the index* —
-        their hits carry ``score=0`` and block only when the indexed
-        model is not self-clean.  Hits come back in insertion order;
-        rank with :meth:`rank` (or slice survivors yourself).
+        The posting walk (binary search per segment plus the tail
+        dicts) surfaces only models sharing at least one key with the
+        query; those get the exact congruence check against their
+        mmap-backed stored signature.  All other models are disjoint
+        *by construction of the index* — their hits carry ``score=0``,
+        block only when the indexed model is not self-clean, and never
+        touch the signature arrays at all.  Hits come back in
+        insertion order; rank with :meth:`rank`.
         """
         if signature.options_key != self.options_key:
             raise ValueError(
@@ -276,34 +816,58 @@ class CorpusIndex:
                 "than this index's"
             )
         allow_twins = self.options.match_anything
+        query_hashes = np.asarray(signature.key_hashes, dtype=np.uint64)
         candidates: Set[str] = set()
+        for segment in self._segments:
+            for ordinal in segment.candidates(query_hashes):
+                digest = segment.digests[ordinal]
+                if digest not in self._tombstones:
+                    candidates.add(digest)
         for hash_value in signature.key_hashes:
-            candidates.update(self.postings.get(int(hash_value), ()))
+            candidates.update(self._tail_postings.get(int(hash_value), ()))
         hits: List[QueryHit] = []
-        for position, entry in enumerate(self.entries.values()):
-            source = entry.signature
-            if entry.digest in candidates:
+        for position, (_, digest, segment_index, ordinal) in enumerate(
+            self._live_order()
+        ):
+            if segment_index < 0:
+                entry = self._tail_entries[digest]
+                label = entry.label
+                source_clean = entry.signature.self_clean
+                source_count = entry.signature.component_count
+                source = entry.signature
+            else:
+                segment = self._segments[segment_index]
+                override = self._overrides.get(digest, {})
+                label = override.get("label", segment.labels[ordinal])
+                source_clean = bool(segment.self_clean[ordinal])
+                source_count = int(segment.component_counts[ordinal])
+                source = None
+            if digest in candidates:
+                if source is None:
+                    source = self._segments[segment_index].signature(
+                        ordinal
+                    )
                 score, blocked, united = signature.congruence(source)
                 if not allow_twins:
                     blocked, united = score > 0, 0
             else:
                 score, blocked, united = 0, False, 0
-            if not source.self_clean:
+            if not source_clean:
                 blocked = True
-            if signature.component_count == 0 or source.component_count == 0:
+            if signature.component_count == 0 or source_count == 0:
                 # Figure 5 line 1–2 short-circuit: trivially
                 # synthesizable whatever the overlap.
                 blocked = False
                 united = 0
             hits.append(
                 QueryHit(
-                    digest=entry.digest,
-                    label=entry.label,
+                    digest=digest,
+                    label=label,
                     position=position,
                     score=score,
                     blocked=blocked,
                     united=united,
-                    component_count=source.component_count,
+                    component_count=source_count,
                 )
             )
         return hits
@@ -326,13 +890,28 @@ class CorpusIndex:
         """"Structurally nearest" models by coarse bucket overlap —
         a scale lookup, *not* semantic evidence (bucket hits never
         feed pruning decisions)."""
+        bucket_hashes = np.asarray(
+            signature.bucket_hashes(), dtype=np.uint64
+        )
         counts: Dict[str, int] = {}
-        for hash_value in signature.bucket_hashes():
-            for digest in self.bucket_postings.get(int(hash_value), ()):
+        for segment in self._segments:
+            for ordinal, shared in segment.bucket_counts(
+                bucket_hashes
+            ).items():
+                digest = segment.digests[ordinal]
+                if digest in self._tombstones:
+                    continue
+                counts[digest] = counts.get(digest, 0) + shared
+        for hash_value in bucket_hashes:
+            for digest in self._tail_bucket_postings.get(
+                int(hash_value), ()
+            ):
                 counts[digest] = counts.get(digest, 0) + 1
         positions = {
             digest: position
-            for position, digest in enumerate(self.entries)
+            for position, (_, digest, _, _) in enumerate(
+                self._live_order()
+            )
         }
         ranked = sorted(
             counts.items(),
@@ -341,62 +920,258 @@ class CorpusIndex:
         return [
             QueryHit(
                 digest=digest,
-                label=self.entries[digest].label,
+                label=self.get(digest).label,
                 position=positions[digest],
                 score=score,
                 blocked=False,
                 united=0,
-                component_count=self.entries[digest].signature.component_count,
+                component_count=self.get(digest).signature.component_count,
             )
             for digest, score in ranked
         ]
 
     # -- persistence ---------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Atomically persist the index (temp file + rename)."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "format": _FORMAT,
-            "options_key": self.options_key,
-            "options": self.options,
-            "entries": self.entries,
-            "postings": self.postings,
-            "bucket_postings": self.bucket_postings,
-            "sequence": self._sequence,
+    def stats(self) -> Dict[str, int]:
+        """Shape counters: live models, segments, tail size,
+        tombstones, overrides, and distinct posting keys."""
+        return {
+            "models": len(self),
+            "segments": len(self._segments),
+            "tail_models": len(self._tail_entries),
+            "tombstones": len(self._tombstones),
+            "overrides": len(self._overrides),
+            "posting_keys": sum(
+                segment.posting_key_count for segment in self._segments
+            )
+            + len(self._tail_postings),
         }
-        handle, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the index at directory ``path``: seal the tail into
+        a new immutable segment, then commit the manifest (torn-write
+        safe — see the module docstring).
+
+        An index loaded from (or previously saved to) one directory
+        saves in place; pass the same path.
+        """
+        path = Path(path)
+        if self._root is not None and path.resolve() != self._root.resolve():
+            raise ValueError(
+                f"this index is attached to {self._root}; a segmented "
+                f"index saves in place (copy the directory to relocate)"
+            )
+        if path.is_file():
+            raise ValueError(
+                f"{path} is a file — a pre-segment (format-1) index or "
+                f"something else entirely; remove it and rebuild (an "
+                f"index is cheap to rebuild from its corpus)"
+            )
+        path.mkdir(parents=True, exist_ok=True)
+        self._root = path
+        options_path = path / _OPTIONS_FILE
+        if not options_path.exists():
+            self._write_atomic(
+                options_path,
+                pickle.dumps(
+                    self.options, protocol=pickle.HIGHEST_PROTOCOL
+                ),
+            )
+        if self._tail_entries:
+            name = f"seg-{self._next_segment:06d}"
+            self._next_segment += 1
+            entries = sorted(
+                self._tail_entries.values(),
+                key=lambda entry: entry.insert_order,
+            )
+            _Segment.write(path / name, entries, self.options_key)
+            segment = _Segment(path / name, self.options_key)
+            segment_index = len(self._segments)
+            self._segments.append(segment)
+            for ordinal, digest in enumerate(segment.digests):
+                self._sealed[digest] = (segment_index, ordinal)
+            self._tail_entries.clear()
+            self._tail_postings.clear()
+            self._tail_bucket_postings.clear()
+            self._invalidate_order()
+        self._write_manifest()
+
+    @staticmethod
+    def _write_atomic(path: Path, payload: bytes) -> None:
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=f".{path.name}-", delete=False
         )
         try:
-            with os.fdopen(handle, "wb") as stream:
-                pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp_name, path)
+            handle.write(payload)
+            handle.close()
+            os.replace(handle.name, path)
         except BaseException:
+            handle.close()
             try:
-                os.unlink(temp_name)
+                os.unlink(handle.name)
             except OSError:
                 pass
             raise
 
+    def _write_manifest(self) -> None:
+        """Commit the index state — the journal's torn-write
+        discipline: previous manifest preserved as ``.bak`` first,
+        then an atomic replace (or, under chaos, a torn half-write
+        plus a simulated kill)."""
+        payload = {
+            "format": _FORMAT,
+            "options_key": repr(self.options_key),
+            "segments": [segment.name for segment in self._segments],
+            "tombstones": sorted(self._tombstones),
+            "overrides": self._overrides,
+            "sequence": self._sequence,
+            "insert_clock": self._insert_clock,
+            "next_segment": self._next_segment,
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        target = self._root / _MANIFEST
+        if target.is_file():
+            backup_tmp = self._root / (_MANIFEST_BAK + "-tmp")
+            try:
+                shutil.copy2(target, backup_tmp)
+                os.replace(backup_tmp, self._root / _MANIFEST_BAK)
+            except OSError:
+                pass
+        if chaos.advice(
+            "checkpoint-write", "torn-write", reason="corpus-manifest"
+        ):
+            # Simulated power loss on a non-atomic filesystem: half
+            # the new manifest lands over the old one, then the
+            # process dies.  Recovery reads manifest.json.bak.
+            target.write_text(text[: len(text) // 2], encoding="utf-8")
+            raise chaos.ChaosKill(
+                f"torn corpus manifest write at {target}"
+            )
+        self._write_atomic(target, text.encode("utf-8"))
+
+    def compact(self) -> Dict[str, int]:
+        """LSM merge: rewrite every live entry (segments + tail, in
+        insertion order) into one fresh segment, clear tombstones and
+        overrides, and delete the old segment directories.  Returns
+        ``{"models", "segments_merged", "tombstones_cleared"}``.
+        """
+        if self._root is None:
+            raise ValueError(
+                "compact() needs an on-disk index; call save() first"
+            )
+        merged = [self.get(digest) for digest in self.digests()]
+        merged.sort(key=lambda entry: entry.insert_order)
+        old_segments = [segment.path for segment in self._segments]
+        report = {
+            "models": len(merged),
+            "segments_merged": len(self._segments)
+            + bool(self._tail_entries),
+            "tombstones_cleared": len(self._tombstones),
+        }
+        if merged:
+            name = f"seg-{self._next_segment:06d}"
+            self._next_segment += 1
+            # Materialize the mmap-backed signature views before their
+            # source segments are deleted.
+            for entry in merged:
+                entry.signature = ModelSignature(
+                    options_key=entry.signature.options_key,
+                    component_count=entry.signature.component_count,
+                    counts=np.array(entry.signature.counts),
+                    key_hashes=np.array(entry.signature.key_hashes),
+                    key_fingerprints=np.array(
+                        entry.signature.key_fingerprints
+                    ),
+                    key_primary=np.array(entry.signature.key_primary),
+                    self_clean=entry.signature.self_clean,
+                )
+            _Segment.write(self._root / name, merged, self.options_key)
+            segment = _Segment(self._root / name, self.options_key)
+            self._segments = [segment]
+            self._sealed = {
+                digest: (0, ordinal)
+                for ordinal, digest in enumerate(segment.digests)
+            }
+        else:
+            self._segments = []
+            self._sealed = {}
+        self._tombstones.clear()
+        self._overrides.clear()
+        self._tail_entries.clear()
+        self._tail_postings.clear()
+        self._tail_bucket_postings.clear()
+        self._invalidate_order()
+        self._write_manifest()
+        for old in old_segments:
+            shutil.rmtree(old, ignore_errors=True)
+        return report
+
+    @staticmethod
+    def _read_manifest(root: Path) -> Dict[str, object]:
+        """The manifest, falling back to ``manifest.json.bak`` when the
+        main copy is torn (with a stderr warning) — only when both are
+        unreadable does the load fail."""
+        target = root / _MANIFEST
+        try:
+            return json.loads(target.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"no corpus index manifest at {target}"
+            ) from None
+        except (OSError, ValueError) as exc:
+            main_error = exc
+        backup = root / _MANIFEST_BAK
+        try:
+            payload = json.loads(backup.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            raise ValueError(
+                f"unreadable corpus index manifest {target}: "
+                f"{main_error} (and no readable {_MANIFEST_BAK} "
+                f"backup); rebuild the index"
+            ) from main_error
+        print(
+            f"warning: {target} is unreadable ({main_error}); "
+            f"recovered from {backup} — updates since its last good "
+            f"write are lost and must be re-indexed",
+            file=sys.stderr,
+        )
+        return payload
+
     @classmethod
     def load(cls, path: Union[str, Path]) -> "CorpusIndex":
         path = Path(path)
-        with open(path, "rb") as stream:
-            payload = pickle.load(stream)
-        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        if path.is_file():
+            raise ValueError(
+                f"{path}: pre-segment (format-1) monolithic corpus "
+                f"index; this version reads only the format-{_FORMAT} "
+                f"segmented layout — delete the file and rebuild with "
+                f"`corpus index` (an index is cheap to rebuild)"
+            )
+        payload = cls._read_manifest(path)
+        if payload.get("format") != _FORMAT:
             raise ValueError(
                 f"{path}: not a format-{_FORMAT} corpus index"
             )
-        index = cls(payload["options"])
-        if index.options_key != payload["options_key"]:
+        with open(path / _OPTIONS_FILE, "rb") as stream:
+            options = pickle.load(stream)
+        index = cls(options)
+        if repr(index.options_key) != payload["options_key"]:
             raise ValueError(
-                f"{path}: stored options fingerprint disagrees with its "
-                f"options object"
+                f"{path}: stored options fingerprint disagrees with "
+                f"its options object"
             )
-        index.entries = payload["entries"]
-        index.postings = payload["postings"]
-        index.bucket_postings = payload["bucket_postings"]
+        index._root = path
+        for segment_index, name in enumerate(payload["segments"]):
+            segment = _Segment(path / name, index.options_key)
+            index._segments.append(segment)
+            for ordinal, digest in enumerate(segment.digests):
+                index._sealed[digest] = (segment_index, ordinal)
+        index._tombstones = set(payload["tombstones"])
+        index._overrides = {
+            digest: dict(override)
+            for digest, override in payload["overrides"].items()
+        }
         index._sequence = payload["sequence"]
+        index._insert_clock = payload["insert_clock"]
+        index._next_segment = payload["next_segment"]
         return index

@@ -91,6 +91,7 @@ from repro.sbml.model import Model
 __all__ = [
     "COUNTS_LENGTH",
     "ModelSignature",
+    "PackedSignatures",
     "Prescreen",
     "key_hash",
 ]
@@ -463,6 +464,115 @@ class ModelSignature:
             for name, value in pairs
         ]
         return np.array(sorted(hashes), dtype=np.uint64)
+
+
+@dataclass
+class PackedSignatures:
+    """Many :class:`ModelSignature`\\ s packed into flat arrays.
+
+    The segmented corpus index's serialization unit: the per-model
+    ragged ``key_hashes`` / ``key_fingerprints`` / ``key_primary``
+    arrays concatenated back to back with an offsets table, plus the
+    fixed-width per-model columns (component count, criteria counts,
+    self-clean flag).  Every array round-trips through ``np.save`` /
+    ``np.load(mmap_mode="r")`` unchanged, so a segment's signatures
+    can be memory-mapped and sliced without ever materializing the
+    whole pack; :meth:`view` reconstructs one model's signature as
+    zero-copy slices of the (possibly mmap-backed) arrays.
+    """
+
+    #: The one options fingerprint every packed signature shares.
+    options_key: Tuple
+    #: ``int64 (n,)`` — per-model component counts.
+    component_counts: np.ndarray
+    #: ``int64 (n, COUNTS_LENGTH)`` — per-model criteria-count rows.
+    counts: np.ndarray
+    #: ``bool (n,)`` — per-model self-clean flags.
+    self_clean: np.ndarray
+    #: ``uint64`` — every model's sorted-distinct key hashes, back to
+    #: back; model ``i`` owns ``[key_offsets[i], key_offsets[i + 1])``.
+    key_hashes: np.ndarray
+    #: ``uint64`` — aligned with :attr:`key_hashes`.
+    key_fingerprints: np.ndarray
+    #: ``bool`` — aligned with :attr:`key_hashes`.
+    key_primary: np.ndarray
+    #: ``int64 (n + 1,)`` — per-model slice bounds into the key arrays.
+    key_offsets: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.component_counts.shape[0])
+
+    @classmethod
+    def pack(
+        cls, options_key: Tuple, signatures: Sequence[ModelSignature]
+    ) -> "PackedSignatures":
+        """Concatenate ``signatures`` (all built under ``options_key``;
+        a mismatch raises ``ValueError`` — packing must never launder a
+        signature into a foreign index)."""
+        for signature in signatures:
+            if signature.options_key != options_key:
+                raise ValueError(
+                    "signature was built under different key options "
+                    "than this pack's"
+                )
+        count = len(signatures)
+        component_counts = np.array(
+            [signature.component_count for signature in signatures],
+            dtype=np.int64,
+        )
+        counts = np.zeros((count, COUNTS_LENGTH), dtype=np.int64)
+        for position, signature in enumerate(signatures):
+            counts[position] = signature.counts
+        self_clean = np.array(
+            [signature.self_clean for signature in signatures], dtype=bool
+        )
+        key_offsets = np.zeros(count + 1, dtype=np.int64)
+        for position, signature in enumerate(signatures):
+            key_offsets[position + 1] = (
+                key_offsets[position] + signature.key_hashes.size
+            )
+        if count and int(key_offsets[-1]):
+            key_hashes = np.concatenate(
+                [signature.key_hashes for signature in signatures]
+            ).astype(np.uint64, copy=False)
+            key_fingerprints = np.concatenate(
+                [signature.key_fingerprints for signature in signatures]
+            ).astype(np.uint64, copy=False)
+            key_primary = np.concatenate(
+                [signature.key_primary for signature in signatures]
+            ).astype(bool, copy=False)
+        else:
+            key_hashes = np.empty(0, dtype=np.uint64)
+            key_fingerprints = np.empty(0, dtype=np.uint64)
+            key_primary = np.empty(0, dtype=bool)
+        return cls(
+            options_key=options_key,
+            component_counts=component_counts,
+            counts=counts,
+            self_clean=self_clean,
+            key_hashes=key_hashes,
+            key_fingerprints=key_fingerprints,
+            key_primary=key_primary,
+            key_offsets=key_offsets,
+        )
+
+    def view(self, position: int) -> ModelSignature:
+        """Model ``position``'s signature as zero-copy array slices.
+
+        The slices keep their backing (an mmap-backed pack hands out
+        mmap-backed signatures — pages are faulted in only when the
+        congruence check actually reads them)."""
+        low = int(self.key_offsets[position])
+        high = int(self.key_offsets[position + 1])
+        return ModelSignature(
+            options_key=self.options_key,
+            component_count=int(self.component_counts[position]),
+            counts=self.counts[position],
+            key_hashes=self.key_hashes[low:high],
+            key_fingerprints=self.key_fingerprints[low:high],
+            key_primary=self.key_primary[low:high],
+            self_clean=bool(self.self_clean[position]),
+        )
 
 
 class Prescreen:

@@ -1,11 +1,13 @@
 """The persistent corpus search index.
 
-The index is the on-disk face of the prescreen: posting lists over
-signature key hashes, incremental add/remove/evict, and a query path
-whose classifications must agree with the in-memory
-:class:`~repro.core.signature.Prescreen` — and, through it, with the
-full matcher (pinned byte-for-byte in the conformance matrix and the
-CLI tests).
+The index is the on-disk face of the prescreen: segmented,
+memory-mapped posting lists over signature key hashes, incremental
+add/remove/evict, and a query path whose classifications must agree
+with the in-memory :class:`~repro.core.signature.Prescreen` — and,
+through it, with the full matcher (pinned byte-for-byte in the
+conformance matrix and the CLI tests).  Segment/tail mixing,
+tombstones, compaction and crash recovery live in
+``test_corpus_segments.py``.
 """
 
 import pickle
@@ -64,19 +66,22 @@ class TestMaintenance:
         assert entry.path == "/tmp/x.xml"
         # The refresh bumped the LRU clock: this entry is now newest.
         assert entry.sequence == max(
-            other.sequence for other in index.entries.values()
+            index.get(other).sequence for other in index.digests()
         )
 
-    def test_remove_cleans_postings(self, corpus):
+    def test_remove_drops_from_queries(self, corpus):
         index = CorpusIndex()
         digests = [index.add(model) for model in corpus]
         assert index.remove(digests[0])
         assert not index.remove(digests[0])
         assert digests[0] not in index
-        for postings in index.postings.values():
-            assert digests[0] not in postings
-        for postings in index.bucket_postings.values():
-            assert digests[0] not in postings
+        hits = index.query(ModelSignature.build(corpus[0]))
+        assert digests[0] not in {hit.digest for hit in hits}
+        assert [hit.position for hit in hits] == list(
+            range(len(corpus) - 1)
+        )
+        near = index.nearest(ModelSignature.build(corpus[0]))
+        assert digests[0] not in {hit.digest for hit in near}
 
     def test_evict_is_lru(self, corpus):
         index = CorpusIndex()
@@ -87,6 +92,10 @@ class TestMaintenance:
         assert removed == digests[1:4]
         assert len(index) == len(corpus) - 3
         assert digests[0] in index
+
+    def test_evict_rejects_negative(self, index):
+        with pytest.raises(ValueError):
+            index.evict(-1)
 
     def test_signature_options_mismatch_rejected(self):
         index = CorpusIndex()
@@ -104,7 +113,7 @@ class TestMaintenance:
         digest = index.add(corpus[0], store=store)
         adopted = index.get(digest).signature
         # The stored (pickle round-tripped) signature was adopted, not
-        # rebuilt: identical vectors, straight from the format-4 entry.
+        # rebuilt: identical vectors, straight from the stored entry.
         assert adopted.options_key == artifacts.signature.options_key
         assert np.array_equal(
             adopted.key_hashes, artifacts.signature.key_hashes
@@ -112,6 +121,20 @@ class TestMaintenance:
         assert np.array_equal(
             adopted.key_fingerprints, artifacts.signature.key_fingerprints
         )
+
+    def test_add_all_counts(self, corpus):
+        index = CorpusIndex()
+        added, refreshed = index.add_all(
+            corpus, labels=[f"m{i:02d}" for i in range(len(corpus))]
+        )
+        assert (added, refreshed) == (len(corpus), 0)
+        added, refreshed = index.add_all(corpus[:4])
+        assert (added, refreshed) == (0, 4)
+
+    def test_add_all_validates_lengths(self, corpus):
+        index = CorpusIndex()
+        with pytest.raises(ValueError):
+            index.add_all(corpus, labels=["just-one"])
 
 
 class TestQuery:
@@ -218,15 +241,43 @@ class TestPersistence:
         removed = again.evict(len(again) - 1)
         assert digest not in removed
 
-    def test_foreign_format_rejected(self, tmp_path):
+    def test_old_monolithic_format_rejected(self, tmp_path):
         path = tmp_path / "corpus.idx"
-        path.write_bytes(pickle.dumps({"format": 99}))
-        with pytest.raises(ValueError):
+        path.write_bytes(pickle.dumps({"format": 1}))
+        with pytest.raises(ValueError, match="rebuild"):
             CorpusIndex.load(path)
 
-    def test_save_is_atomic(self, index, tmp_path):
+    def test_foreign_manifest_format_rejected(self, tmp_path):
+        path = tmp_path / "corpus.idx"
+        path.mkdir()
+        (path / "manifest.json").write_text('{"format": 99}\n')
+        with pytest.raises(ValueError, match="format-2"):
+            CorpusIndex.load(path)
+
+    def test_save_layout_has_no_stragglers(self, index, tmp_path):
         path = tmp_path / "corpus.idx"
         index.save(path)
-        assert path.exists()
-        # No temp file left behind.
-        assert list(tmp_path.iterdir()) == [path]
+        assert sorted(entry.name for entry in path.iterdir()) == [
+            "manifest.json",
+            "options.pkl",
+            "seg-000000",
+        ]
+        # A second save with an unchanged tail adds only the backup.
+        index.save(path)
+        assert sorted(entry.name for entry in path.iterdir()) == [
+            "manifest.json",
+            "manifest.json.bak",
+            "options.pkl",
+            "seg-000000",
+        ]
+
+    def test_save_refuses_relocation(self, index, tmp_path):
+        index.save(tmp_path / "a.idx")
+        with pytest.raises(ValueError, match="saves in place"):
+            index.save(tmp_path / "b.idx")
+
+    def test_save_onto_plain_file_rejected(self, index, tmp_path):
+        path = tmp_path / "corpus.idx"
+        path.write_bytes(b"not an index directory")
+        with pytest.raises(ValueError):
+            index.save(path)
