@@ -12,7 +12,11 @@ This benchmark records what that buys:
 * **the initargs payload**: the pickled manifest vs the pickled
   corpus the pre-format-5 boundary shipped — the acceptance number
   showing the per-worker data volume no longer grows with corpus
-  *content*, only with its length.
+  *content*, only with its length;
+* **the remote boundary** (the ``loopback`` row): bytes per framed
+  ``pair-done`` message and the round-trip latency of the socket
+  transport on loopback TCP vs a ``multiprocessing`` pipe — the
+  per-message cost a sweep pays to move a worker off-host.
 
 Results land in the ``scaling`` section of ``BENCH_compose.json``
 (read-modify-write: sections owned by other benchmarks are carried
@@ -35,15 +39,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import pickle
 import platform
 import shutil
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
+from repro.core import transport
 from repro.core.artifact_store import ArtifactStore, CorpusManifest
 from repro.core.match_all import match_all
 from repro.corpus import generate_corpus
@@ -82,6 +89,65 @@ def payload_numbers(models, store_root) -> dict:
             "pickled_corpus": round(corpus_bytes / len(models), 1),
         },
         "ratio": round(corpus_bytes / manifest_bytes, 1),
+    }
+
+
+def _round_trip_seconds(client, server, message, messages) -> float:
+    """Mean round-trip time of ``message`` over one already-connected
+    channel pair, echoed by a thread — transport cost only, no process
+    scheduling noise."""
+
+    def echo():
+        for _ in range(messages):
+            server.send(server.recv())
+
+    thread = threading.Thread(target=echo)
+    thread.start()
+    started = time.perf_counter()
+    for _ in range(messages):
+        client.send(message)
+        client.recv()
+    elapsed = time.perf_counter() - started
+    thread.join()
+    return elapsed / messages
+
+
+def loopback_numbers(models, messages=500) -> dict:
+    """The remote-worker boundary's per-message cost: bytes on the
+    wire for one framed ``pair-done``, and its round-trip latency over
+    loopback TCP vs the ``multiprocessing`` pipe local workers use."""
+    matrix = match_all(models[:2])
+    outcome = matrix.outcomes[0]
+    message = ("pair-done", 0, outcome, (0, 1))
+    frame_bytes = transport._HEADER.size + len(
+        pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+    parent, child = multiprocessing.Pipe()
+    try:
+        pipe_rtt = _round_trip_seconds(parent, child, message, messages)
+    finally:
+        parent.close()
+        child.close()
+
+    listener = transport.Listener("127.0.0.1", 0)
+    try:
+        client = transport.connect(*listener.address)
+        server, _ = listener.accept()
+    finally:
+        listener.close()
+    try:
+        tcp_rtt = _round_trip_seconds(client, server, message, messages)
+    finally:
+        client.close()
+        server.close()
+
+    return {
+        "messages": messages,
+        "pair_done_frame_bytes": frame_bytes,
+        "pipe_round_trip_us": round(pipe_rtt * 1e6, 1),
+        "tcp_round_trip_us": round(tcp_rtt * 1e6, 1),
+        "tcp_over_pipe": round(tcp_rtt / pipe_rtt, 2),
     }
 
 
@@ -188,8 +254,10 @@ def main(argv=None) -> int:
     section["rounds"] = args.rounds
     section["cpu_count"] = os.cpu_count()
     section["python"] = platform.python_version()
+    section["loopback"] = loopback_numbers(models)
 
     payload = section["payload"]
+    loopback = section["loopback"]
     emit("")
     emit("Digest-shipped sweep scaling")
     emit(
@@ -197,6 +265,14 @@ def main(argv=None) -> int:
         f"pickled corpus {payload['pickled_corpus_bytes']} B "
         f"({payload['ratio']}x smaller, "
         f"{payload['bytes_per_model']['manifest']} B/model)"
+    )
+    emit(
+        f"remote boundary: pair-done frame "
+        f"{loopback['pair_done_frame_bytes']} B; round trip "
+        f"{loopback['tcp_round_trip_us']} us over loopback TCP vs "
+        f"{loopback['pipe_round_trip_us']} us over a pipe "
+        f"({loopback['tcp_over_pipe']}x, "
+        f"mean of {loopback['messages']} round trips)"
     )
     emit(f"{'workers':>8} {'seconds':>9} {'pairs/s':>9} {'efficiency':>11}")
     for workers in worker_ladder:

@@ -8,8 +8,9 @@ Subcommands::
     sbmlcompose sweep a.xml b.xml c.xml [...] [--workers N] [-o pairs.csv] \
         [--shards K [--shard-id I] --out-dir DIR [--resume]] \
         [--supervise [--worker-timeout S] [--max-retries N] \
-         [--poison-threshold K] [--chaos FILE]] \
+         [--poison-threshold K] [--chaos FILE] [--listen HOST:PORT]] \
         [--deterministic] [--store-max-entries N] [--no-digest-shipping]
+    sbmlcompose worker --connect HOST:PORT [--store DIR] [--chaos FILE]
     sbmlcompose sweep-status --out-dir DIR
     sbmlcompose sweep-merge --out-dir DIR [-o merged.csv]
     sbmlcompose store verify DIR [--keep-corrupt]
@@ -76,6 +77,18 @@ arms the deterministic fault-injection harness
 (:mod:`repro.core.chaos`) — how CI's chaos smoke drives worker
 crashes, stalls and torn journal writes reproducibly.
 
+``sweep --supervise --listen HOST:PORT`` additionally accepts
+**remote workers** — ``sbmlcompose worker --connect HOST:PORT`` run
+on any machine — over the framed socket transport
+(:mod:`repro.core.transport`).  Remote workers speak the same
+announce-before-compute protocol as local ones and join the same
+lease/steal/quarantine machinery; a worker without the shared
+filesystem rehydrates store entries through the in-protocol
+digest-fetch request and caches them in its ``--store`` directory (a
+private temporary store by default).  ``--workers 0 --listen ...``
+runs a listen-only coordinator that supervises remote workers
+exclusively.
+
 ``corpus`` is the search subsystem: ``corpus index`` builds (or
 incrementally updates) a persistent, segmented
 :class:`~repro.core.corpus_index.CorpusIndex` over model signatures —
@@ -129,7 +142,9 @@ from repro.core.coordinator import (
     CoordinatorConfig,
     Quarantine,
     SweepCoordinator,
+    run_remote_worker,
 )
+from repro.core.transport import parse_address
 from repro.core.shards import (
     SweepCheckpoint,
     SweepStateError,
@@ -300,6 +315,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arm the deterministic fault-injection spec in FILE "
              "(JSON, see repro.core.chaos) for this run — the chaos "
              "harness behind the robustness tests and CI smoke",
+    )
+    sweep.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="supervised mode: also accept remote socket workers "
+             "(`sbmlcompose worker --connect HOST:PORT`) on this "
+             "address; they join the same lease/steal/quarantine "
+             "machinery as local workers.  With --workers 0 the "
+             "coordinator supervises remote workers exclusively.  "
+             "Port 0 binds an ephemeral port (printed at startup).  "
+             "The protocol is pickle-based — bind loopback or a "
+             "trusted network only",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="remote sweep worker: connect to a supervising "
+             "coordinator and compute shards it assigns",
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator's sweep --supervise --listen address",
+    )
+    worker.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="local artifact store: point at the shared store when "
+             "there is one; default is a private temporary store "
+             "filled on demand through the digest-fetch protocol "
+             "(and removed at exit)",
+    )
+    worker.add_argument(
+        "--chaos", type=Path, default=None, metavar="FILE",
+        help="arm the deterministic fault-injection spec in FILE for "
+             "this worker (the spec's state_dir must be reachable)",
     )
 
     corpus = sub.add_parser(
@@ -544,6 +592,13 @@ def _cmd_sweep_supervised(args, models, options) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers == 0 and args.listen is None:
+        print(
+            "error: --workers 0 needs --listen (someone must do the "
+            "work)",
+            file=sys.stderr,
+        )
+        return 2
     coordinator = SweepCoordinator(
         models,
         options,
@@ -551,7 +606,10 @@ def _cmd_sweep_supervised(args, models, options) -> int:
         out_dir=args.out_dir,
         fingerprint=_sweep_fingerprint(models, args),
         config=CoordinatorConfig(
-            workers=args.workers,
+            # The config floor is 1 (it doubles as the report's worker
+            # count); a listen-only coordinator passes local_workers=0
+            # below and spawns nothing.
+            workers=max(1, args.workers),
             worker_timeout=args.worker_timeout,
             max_retries=args.max_retries,
             poison_threshold=args.poison_threshold,
@@ -560,7 +618,15 @@ def _cmd_sweep_supervised(args, models, options) -> int:
         resume=args.resume,
         prebuilt_indexes=not args.fresh_indexes,
         digest_shipping=not args.no_digest_shipping,
+        listen=args.listen,
+        local_workers=args.workers if args.listen is not None else None,
     )
+    if coordinator.listen_address is not None:
+        host, port = coordinator.listen_address
+        print(
+            f"listening for remote workers on {host}:{port}",
+            file=sys.stderr,
+        )
     report = coordinator.run()
     if args.store_max_entries is not None:
         store = ArtifactStore(args.out_dir / "artifacts")
@@ -706,6 +772,17 @@ def _cmd_sweep_sharded(args, models, options) -> int:
 def _cmd_sweep(args) -> int:
     if len(args.models) < 2:
         print("error: sweep needs at least two models", file=sys.stderr)
+        return 2
+    if args.listen is not None and not args.supervise:
+        print("error: --listen needs --supervise", file=sys.stderr)
+        return 2
+    if args.listen is not None and args.no_digest_shipping:
+        print(
+            "error: --listen needs digest shipping (remote workers "
+            "rehydrate the corpus from the manifest); drop "
+            "--no-digest-shipping",
+            file=sys.stderr,
+        )
         return 2
     models = [read_sbml_file(path).model for path in args.models]
     options = ComposeOptions(semantics=args.semantics)
@@ -1200,9 +1277,26 @@ def _cmd_store(args) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_worker(args) -> int:
+    """The ``worker`` command: one remote sweep worker process."""
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.chaos is not None:
+        chaos.install(chaos.ChaosSpec.load(args.chaos))
+    try:
+        return run_remote_worker(host, port, store_dir=args.store)
+    finally:
+        if args.chaos is not None:
+            chaos.uninstall()
+
+
 _COMMANDS = {
     "merge": _cmd_merge,
     "sweep": _cmd_sweep,
+    "worker": _cmd_worker,
     "sweep-status": _cmd_sweep_status,
     "sweep-merge": _cmd_sweep_merge,
     "corpus": _cmd_corpus,

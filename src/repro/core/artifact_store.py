@@ -546,6 +546,42 @@ class ArtifactStore:
             quarantined=quarantined,
         )
 
+    def get_blob(self, digest: str) -> Optional[bytes]:
+        """The raw on-disk bytes of an entry, or ``None`` when absent.
+
+        The coordinator's digest-fetch server reads through this: the
+        entry travels to a remote worker verbatim (no decode/re-encode
+        round trip), and the worker's own :meth:`get` performs the
+        usual corrupt/format screening after :meth:`put_blob` lands
+        the bytes in its local store."""
+        try:
+            return self.path_for(digest).read_bytes()
+        except OSError:
+            return None
+
+    def put_blob(self, digest: str, data: bytes) -> Path:
+        """Store raw entry bytes under ``digest`` atomically — the
+        receiving half of digest-fetch.  The bytes are trusted to be a
+        store entry; a lying peer degrades into an ordinary corrupt
+        entry (quarantined on first read), never an import error."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=f".{digest[:8]}-", delete=False
+        )
+        try:
+            handle.write(data)
+            handle.close()
+            os.replace(handle.name, path)
+        except BaseException:
+            handle.close()
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
     def put(self, digest: str, artifacts: ModelArtifacts) -> Path:
         """Store ``artifacts`` under ``digest`` atomically."""
         path = self.path_for(digest)

@@ -12,9 +12,20 @@ checkpoint journal writer, the artifact store reader — and lets tests
 * ``stall`` — sleep through the heartbeat window (a live-but-stuck
   worker whose lease must be reclaimed),
 * ``torn-write`` — the site writes a truncated file where its atomic
-  write would have gone, then dies (simulated power-loss torn write),
+  write would have gone, then dies (simulated power-loss torn write;
+  at the ``net-send`` site: half a frame hits the wire, then the
+  sender dies),
 * ``corrupt`` — the site flips bytes in the blob it is about to read
-  (simulated bit rot under the store).
+  (simulated bit rot under the store),
+* ``drop`` — the site discards what it just received (the ``net-accept``
+  site closes a freshly accepted worker connection, simulating an
+  accept-time network failure the worker must survive).
+
+The network path (:mod:`repro.core.transport`) adds three sites:
+``net-stall`` (autonomous ``stall`` before a send — a frozen link that
+starves the liveness window), ``net-send`` (advisory ``torn-write`` —
+the torn-frame sender death above) and ``net-accept`` (advisory
+``drop``).
 
 Faults are **deterministic**: each fault names its site, an optional
 context ``match`` (e.g. exactly pair ``(1, 3)``), and a firing budget
@@ -70,7 +81,7 @@ ENV_VAR = "REPRO_CHAOS"
 _AUTONOMOUS_ACTIONS = frozenset({"kill", "raise", "stall"})
 #: Actions the injection site must implement (``trip`` never fires
 #: them; the site asks :func:`advice` and acts).
-_ADVISORY_ACTIONS = frozenset({"torn-write", "corrupt"})
+_ADVISORY_ACTIONS = frozenset({"torn-write", "corrupt", "drop"})
 _ACTIONS = _AUTONOMOUS_ACTIONS | _ADVISORY_ACTIONS
 
 

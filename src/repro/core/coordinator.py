@@ -50,6 +50,25 @@ with :func:`multiprocessing.connection.wait` — deliberately *not* a
 message when its process is SIGKILLed right after ``put``; a pipe
 ``send`` is synchronous, so every message the coordinator acts on was
 fully written before the worker could die.
+
+Workers need not be local: with ``listen=(host, port)`` the
+coordinator also accepts **remote workers** (``sbmlcompose worker
+--connect HOST:PORT``) over the framed socket transport
+(:mod:`repro.core.transport`).  A socket worker speaks the *same*
+announce-before-compute tuples as a pipe worker and sits behind the
+same :class:`_WorkerHandle`, so leases, heartbeat timeouts, work
+stealing, retry budgets and quarantine apply unchanged — a vanished
+TCP peer reads as EOF exactly like a dead child process.  A remote
+worker without the shared filesystem rehydrates missing store entries
+through the in-protocol **digest-fetch** request (``("fetch",
+digest)`` answered by ``("artifact", digest, bytes)``), caching them
+in its own local store.
+
+Liveness and backoff clocks are **monotonic** (``time.monotonic``):
+an NTP step on the coordinator host can neither spuriously kill a
+healthy worker nor mask a real stall.  Wall-clock time appears only
+where it must cross hosts — the journal lease ``expires_at`` and the
+quarantine ledger's ``quarantined_at``.
 """
 
 from __future__ import annotations
@@ -58,16 +77,18 @@ import hashlib
 import json
 import multiprocessing as mp
 import os
+import socket as _socket
 import sys
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.core import chaos
-from repro.core.artifact_store import CorpusManifest
+from repro.core import chaos, transport
+from repro.core.artifact_store import ArtifactStore, CorpusManifest
 from repro.core.match_all import (
     MatchMatrix,
     PairOutcome,
@@ -94,6 +115,7 @@ __all__ = [
     "Quarantine",
     "SweepCoordinator",
     "SweepReport",
+    "run_remote_worker",
 ]
 
 #: Process exit status for "the sweep completed, but only by
@@ -316,6 +338,15 @@ def _worker_main(
     engine = _PairEngine(
         options, models, labels, store_root, prebuilt_indexes, manifest
     )
+    _worker_loop(conn, worker_name, engine, heartbeat_interval)
+
+
+def _worker_loop(conn, worker_name, engine, heartbeat_interval) -> bool:
+    """The announce-before-compute protocol loop, shared verbatim by
+    local pipe workers and remote socket workers — ``conn`` only needs
+    the pipe surface (``send`` / ``recv`` / ``poll``), which the
+    framed socket connection provides.  Returns ``True`` after a clean
+    ``stop``, ``False`` when the coordinator vanished."""
     try:
         conn.send(("ready", worker_name))
         while True:
@@ -328,7 +359,12 @@ def _worker_main(
                 continue
             message = conn.recv()
             if message[0] == "stop":
-                return
+                # Chaos site: a "stall" fault here is the worker that
+                # ignores its first shutdown — the coordinator must
+                # escalate (terminate, then kill) instead of leaking
+                # a zombie.
+                chaos.trip("worker-stop", worker=worker_name)
+                return True
             _, shard_id, pairs = message
             chaos.trip(
                 "chunk-start",
@@ -362,9 +398,127 @@ def _worker_main(
                 else:
                     conn.send(("pair-done", shard_id, outcome, nxt))
             conn.send(("shard-done", shard_id))
-    except (EOFError, BrokenPipeError, KeyboardInterrupt):
-        # The coordinator is gone; nothing useful left to do.
-        return
+    except (EOFError, OSError, KeyboardInterrupt):
+        # The coordinator is gone (pipe EOF, broken pipe, or any
+        # socket-transport failure); nothing useful left to do.
+        return False
+
+
+class _FetchChannel:
+    """A remote worker's view of its coordinator connection.
+
+    Presents the pipe surface to :func:`_worker_loop` while also
+    serving the engine's digest-fetch callback: a fetch sends
+    ``("fetch", digest)`` and reads until the matching ``artifact``
+    reply, parking any interleaved coordinator messages (a ``stop``,
+    say) in a queue the main loop drains first.
+    """
+
+    def __init__(self, conn: transport.FramedConnection):
+        self._conn = conn
+        self._parked: deque = deque()
+
+    def send(self, obj) -> None:
+        self._conn.send(obj)
+
+    def recv(self):
+        if self._parked:
+            return self._parked.popleft()
+        return self._conn.recv()
+
+    def poll(self, timeout: Optional[float] = 0.0) -> bool:
+        if self._parked:
+            return True
+        return self._conn.poll(timeout)
+
+    def fetch(self, digest: str) -> Optional[bytes]:
+        self._conn.send(("fetch", digest))
+        while True:
+            message = self._conn.recv()
+            if (
+                isinstance(message, tuple)
+                and message
+                and message[0] == "artifact"
+                and message[1] == digest
+            ):
+                return message[2]
+            self._parked.append(message)
+
+
+def run_remote_worker(
+    host: str,
+    port: int,
+    store_dir: Optional[Union[str, Path]] = None,
+    progress: bool = True,
+) -> int:
+    """One remote sweep worker: dial the coordinator, handshake, run
+    the standard worker loop until stopped or disconnected.
+
+    ``store_dir`` is the worker's *local* artifact store — point it at
+    the shared filesystem when there is one, or leave it ``None`` for
+    a private temporary store filled on demand through digest-fetch.
+    Returns a process exit code: 0 after a clean ``stop``, 2 when the
+    handshake failed or the connection was lost mid-sweep.
+    """
+
+    def log(message: str) -> None:
+        if progress:
+            print(f"worker: {message}", file=sys.stderr)
+
+    cleanup: Optional[Path] = None
+    if store_dir is None:
+        import tempfile
+
+        cleanup = Path(tempfile.mkdtemp(prefix="repro-worker-store-"))
+        store_dir = cleanup
+    try:
+        conn = transport.connect(host, port)
+    except transport.TransportError as exc:
+        log(str(exc))
+        return 2
+    try:
+        try:
+            welcome = transport.client_handshake(
+                conn,
+                host=_socket.gethostname(),
+                pid=os.getpid(),
+                has_store=cleanup is None,
+            )
+        except transport.HandshakeError as exc:
+            log(f"handshake failed: {exc}")
+            return 2
+        name = welcome["name"]
+        manifest = welcome.get("manifest")
+        if manifest is None:
+            log("coordinator offered no corpus manifest; cannot work")
+            return 2
+        channel = _FetchChannel(conn)
+        engine = _PairEngine(
+            welcome.get("options"),
+            None,
+            None,
+            str(store_dir),
+            welcome.get("prebuilt_indexes", True),
+            manifest,
+            fetch=channel.fetch,
+        )
+        log(
+            f"connected to {host}:{port} as {name} "
+            f"({len(manifest)} manifest entr"
+            f"{'y' if len(manifest) == 1 else 'ies'}, "
+            f"local store {store_dir})"
+        )
+        clean = _worker_loop(
+            channel, name, engine, welcome.get("heartbeat_interval", 5.0)
+        )
+        log("stopped" if clean else "connection to coordinator lost")
+        return 0 if clean else 2
+    finally:
+        conn.close()
+        if cleanup is not None:
+            import shutil
+
+            shutil.rmtree(cleanup, ignore_errors=True)
 
 
 # ---------------------------------------------------------------------------
@@ -373,13 +527,23 @@ def _worker_main(
 
 
 class _WorkerHandle:
-    """Coordinator-side view of one worker process."""
+    """Coordinator-side view of one worker — a local child process
+    (``process`` set, ``remote`` False) or a socket worker (``process``
+    ``None``, ``remote`` True).  Everything above this class treats
+    the two uniformly: liveness is :meth:`is_alive`, reclamation is
+    :meth:`kill`, and death shows up as ``eof`` either way."""
 
-    def __init__(self, name: str, process, conn):
+    def __init__(self, name: str, process, conn, *, remote=False, host=""):
         self.name = name
         self.process = process
         self.conn = conn
-        self.last_seen = time.time()
+        self.remote = remote
+        #: Host component for the journal lease holder (local workers
+        #: record the coordinator's own hostname; remote workers the
+        #: hostname they announced in the handshake).
+        self.host = host
+        #: Monotonic — liveness must not move with the wall clock.
+        self.last_seen = time.monotonic()
         #: Shard currently assigned, or None when idle.
         self.assignment: Optional[int] = None
         #: Pair announced started but not yet finished — the strike
@@ -389,6 +553,30 @@ class _WorkerHandle:
         self.eof = False
         #: Why the coordinator killed it, if it did.
         self.kill_reason: Optional[str] = None
+
+    @property
+    def lease_holder(self) -> str:
+        """Journal lease holder name: ``worker@host``, so a journal
+        read from any machine shows *where* each shard is running."""
+        return f"{self.name}@{self.host}" if self.host else self.name
+
+    def is_alive(self) -> bool:
+        if self.remote:
+            return not self.eof
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """Reclaim the worker now.  Local: SIGKILL.  Remote: close the
+        socket — the worker's next send/recv fails and it exits; from
+        this side the channel is immediately EOF."""
+        if self.remote:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.eof = True
+        elif self.process.is_alive():
+            self.process.kill()
 
 
 class _ShardState:
@@ -405,9 +593,13 @@ class _ShardState:
         #: All failures, for backoff growth (quarantine-progress
         #: failures back off too, they just don't burn budget).
         self.failures = 0
-        #: Earliest time the shard may be (re)assigned.
+        #: Earliest time the shard may be (re)assigned — on the
+        #: coordinator's monotonic clock (backoff must not move with
+        #: wall-clock steps).
         self.next_eligible = 0.0
-        #: Local copy of the lease expiry, for half-life renewal.
+        #: Local copy of the lease expiry, for half-life renewal —
+        #: monotonic too; the cross-host wall-clock expiry lives only
+        #: in the journal.
         self.lease_expires = 0.0
         self.first_started: Optional[float] = None
         #: A quarantine happened during the current attempt — the
@@ -449,6 +641,8 @@ class SweepCoordinator:
         prebuilt_indexes: bool = True,
         progress: bool = True,
         digest_shipping: bool = True,
+        listen: Optional[Union[str, Tuple[str, int]]] = None,
+        local_workers: Optional[int] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -480,7 +674,35 @@ class SweepCoordinator:
         self._matrices: List[MatchMatrix] = []
         self._next_maintenance = 0.0
         self._serial = 0
+        self._remote_serial = 0
         self._mp = mp.get_context()
+        self._hostname = _socket.gethostname()
+        self._store: Optional[ArtifactStore] = None
+        #: Local pipe workers to keep alive; defaults to the config's
+        #: worker count.  Zero is valid only in listen mode — a
+        #: coordinator that supervises remote workers exclusively.
+        self.local_workers = (
+            self.config.workers if local_workers is None else int(local_workers)
+        )
+        if self.local_workers < 0:
+            raise ValueError("local_workers must be non-negative")
+        if self.local_workers == 0 and listen is None:
+            raise ValueError(
+                "local_workers=0 needs listen= (someone must do the work)"
+            )
+        #: Bound immediately (not in :meth:`run`) so callers that bind
+        #: port 0 can read the real port, start remote workers, then
+        #: run.
+        self._listener: Optional[transport.Listener] = None
+        self.listen_address: Optional[Tuple[str, int]] = None
+        if listen is not None:
+            host, port = (
+                transport.parse_address(listen)
+                if isinstance(listen, str)
+                else listen
+            )
+            self._listener = transport.Listener(host, port)
+            self.listen_address = self._listener.address
 
     # ------------------------------------------------------------------
     # Logging
@@ -506,7 +728,8 @@ class SweepCoordinator:
         partition = partition_pairs(
             sizes, self.shard_count, include_self=self.include_self
         )
-        now = time.time()
+        now = time.monotonic()
+        wall_now = time.time()
         for shard in partition:
             if shard.shard_id in completed:
                 continue
@@ -515,8 +738,12 @@ class SweepCoordinator:
             if lease is not None:
                 # An unexpired foreign lease: someone may still be
                 # computing this shard — honour the claim until it
-                # lapses (begin() already dropped expired ones).
-                state.next_eligible = float(lease.get("expires_at", now))
+                # lapses (begin() already dropped expired ones).  The
+                # journal's expires_at is wall clock (it crosses
+                # hosts); convert the *remaining* interval onto this
+                # process's monotonic eligibility clock.
+                remaining = float(lease.get("expires_at", wall_now)) - wall_now
+                state.next_eligible = now + max(0.0, remaining)
                 self._log(
                     f"shard {shard.shard_id}: leased to "
                     f"{lease.get('worker')} until its lease lapses"
@@ -540,7 +767,7 @@ class SweepCoordinator:
             while any(
                 state.status != "done" for state in self._states.values()
             ):
-                now = time.time()
+                now = time.monotonic()
                 self._finalize_empty(now)
                 self._ensure_workers()
                 # Timeout scans and lease renewal are time-gated: the
@@ -560,6 +787,8 @@ class SweepCoordinator:
                 self._reap()
         finally:
             self._shutdown_workers()
+            if self._listener is not None:
+                self._listener.close()
         retries = steals = 0
         for shard_id in range(self.shard_count):
             count, stolen = self.checkpoint.retry_counts(shard_id)
@@ -586,6 +815,11 @@ class SweepCoordinator:
 
     def _store_root(self) -> str:
         return str(self.out_dir / "artifacts")
+
+    def _artifact_store(self) -> ArtifactStore:
+        if self._store is None:
+            self._store = ArtifactStore(self._store_root())
+        return self._store
 
     def _unfinished(self) -> List[_ShardState]:
         return [
@@ -618,15 +852,23 @@ class SweepCoordinator:
         # Close our copy of the child end so the pipe reaches EOF the
         # instant the worker dies.
         child_conn.close()
-        handle = _WorkerHandle(name, process, parent_conn)
+        handle = _WorkerHandle(
+            name, process, parent_conn, host=self._hostname
+        )
         self._workers[name] = handle
         return handle
 
     def _ensure_workers(self) -> None:
-        needed = min(self.config.workers, max(1, len(self._unfinished())))
-        while len(self._workers) < needed:
+        needed = (
+            min(self.local_workers, max(1, len(self._unfinished())))
+            if self.local_workers
+            else 0
+        )
+        local = sum(1 for w in self._workers.values() if not w.remote)
+        while local < needed:
             handle = self._spawn_worker()
             self._log(f"worker {handle.name}: spawned")
+            local += 1
 
     def _shutdown_workers(self) -> None:
         for worker in self._workers.values():
@@ -635,10 +877,31 @@ class SweepCoordinator:
             except (OSError, BrokenPipeError):
                 pass
         for worker in self._workers.values():
+            if worker.remote:
+                continue
+            # Escalate: polite stop, then SIGTERM, then SIGKILL — and
+            # *re-join after the kill*, because a kill without a final
+            # join leaves the worker a zombie holding its store
+            # handles until the coordinator itself exits.
             worker.process.join(timeout=2.0)
             if worker.process.is_alive():
+                self._log(
+                    f"worker {worker.name}: ignored stop; terminating"
+                )
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                self._log(
+                    f"worker {worker.name}: survived terminate; killing"
+                )
                 worker.process.kill()
                 worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                self._log(
+                    f"worker {worker.name}: UNREAPED after kill "
+                    f"(pid {worker.process.pid}) — possible zombie"
+                )
+        for worker in self._workers.values():
             try:
                 worker.conn.close()
             except OSError:
@@ -673,8 +936,7 @@ class SweepCoordinator:
                 f"worker {worker.name}: stalled — {worker.kill_reason}; "
                 f"killing"
             )
-            if worker.process.is_alive():
-                worker.process.kill()
+            worker.kill()
 
     def _assign(self, now: float) -> None:
         quarantined = self.quarantine.pairs()
@@ -684,7 +946,7 @@ class SweepCoordinator:
             if worker.assignment is None
             and not worker.eof
             and worker.kill_reason is None
-            and worker.process.is_alive()
+            and worker.is_alive()
         ]
         if not idle:
             return
@@ -703,7 +965,7 @@ class SweepCoordinator:
                 continue
             shard_id = state.shard.shard_id
             ttl = self.config.effective_lease_ttl
-            self.checkpoint.acquire_lease(shard_id, worker.name, ttl)
+            self.checkpoint.acquire_lease(shard_id, worker.lease_holder, ttl)
             state.lease_expires = now + ttl
             state.status = "running"
             state.fresh_quarantine = False
@@ -731,7 +993,9 @@ class SweepCoordinator:
             if state is None or state.status != "running":
                 continue
             if now >= state.lease_expires - ttl / 2.0:
-                self.checkpoint.acquire_lease(shard_id, worker.name, ttl)
+                self.checkpoint.acquire_lease(
+                    shard_id, worker.lease_holder, ttl
+                )
                 state.lease_expires = now + ttl
 
     def _wait_and_drain(self) -> None:
@@ -739,7 +1003,10 @@ class SweepCoordinator:
         for worker in self._workers.values():
             if not worker.eof:
                 waitables.append(worker.conn)
-            waitables.append(worker.process.sentinel)
+            if not worker.remote:
+                waitables.append(worker.process.sentinel)
+        if self._listener is not None:
+            waitables.append(self._listener)
         if not waitables:
             time.sleep(self.config.poll_interval)
             return
@@ -747,9 +1014,78 @@ class SweepCoordinator:
             waitables, timeout=self.config.poll_interval
         )
         ready_set = set(ready)
+        if self._listener is not None and self._listener in ready_set:
+            self._accept_remote()
         for worker in list(self._workers.values()):
             if worker.conn in ready_set and not worker.eof:
                 self._drain(worker)
+
+    def _accept_remote(self) -> None:
+        """One pending remote-worker connection: accept, handshake,
+        enroll.  A worker that fails the handshake (or is chaos-dropped
+        at the ``net-accept`` site) is closed and forgotten — from its
+        side that is an ordinary connection loss to retry against."""
+        try:
+            conn, addr = self._listener.accept()
+        except OSError:
+            return
+        if chaos.advice("net-accept", "drop", peer=addr[0]):
+            self._log(
+                f"chaos: dropped incoming worker connection from "
+                f"{addr[0]}:{addr[1]}"
+            )
+            conn.close()
+            return
+        if self.manifest is None:
+            # Remote workers have no pickled-corpus fallback: without
+            # a digest manifest there is nothing to hand them.
+            try:
+                if conn.poll(5.0):
+                    conn.recv()  # consume the hello
+                conn.send(
+                    (
+                        "reject",
+                        "digest shipping unavailable on this "
+                        "coordinator (no corpus manifest)",
+                    )
+                )
+            except (transport.TransportError, EOFError, OSError):
+                pass
+            self._log(
+                f"worker connection from {addr[0]}:{addr[1]} refused: "
+                f"digest shipping unavailable (no manifest)"
+            )
+            conn.close()
+            return
+        # The serial is burned only on a *successful* handshake, so
+        # probes and failed dials don't shift later workers' names
+        # (chaos specs match on them).
+        name = f"r{self._remote_serial + 1}"
+        try:
+            hello = transport.server_handshake(
+                conn,
+                name=name,
+                options=self.options,
+                manifest=self.manifest,
+                heartbeat_interval=self.config.effective_heartbeat,
+                prebuilt_indexes=self.prebuilt_indexes,
+            )
+        except (transport.TransportError, EOFError, OSError) as exc:
+            self._log(
+                f"worker connection from {addr[0]}:{addr[1]} failed "
+                f"handshake: {exc}"
+            )
+            conn.close()
+            return
+        self._remote_serial += 1
+        host = str(hello.get("host") or addr[0])
+        handle = _WorkerHandle(name, None, conn, remote=True, host=host)
+        self._workers[name] = handle
+        self._log(
+            f"worker {name}: connected from {host} "
+            f"(pid {hello.get('pid')}, "
+            f"{'own store' if hello.get('has_store') else 'digest-fetch'})"
+        )
 
     def _drain(self, worker: _WorkerHandle) -> None:
         """Pull every buffered message off one worker's pipe.  A dead
@@ -767,19 +1103,23 @@ class SweepCoordinator:
 
     def _reap(self) -> None:
         for worker in list(self._workers.values()):
-            if not worker.eof and worker.process.is_alive():
+            if not worker.eof and worker.is_alive():
                 continue
             # Drain any straggler messages, then account for the death.
             self._drain(worker)
-            worker.process.join(timeout=1.0)
+            if not worker.remote:
+                worker.process.join(timeout=1.0)
             del self._workers[worker.name]
             try:
                 worker.conn.close()
             except OSError:
                 pass
-            reason = worker.kill_reason or (
-                f"process died (exit {worker.process.exitcode})"
-            )
+            if worker.remote:
+                reason = worker.kill_reason or "connection lost"
+            else:
+                reason = worker.kill_reason or (
+                    f"process died (exit {worker.process.exitcode})"
+                )
             self._handle_worker_death(worker, reason)
 
     # ------------------------------------------------------------------
@@ -787,9 +1127,27 @@ class SweepCoordinator:
     # ------------------------------------------------------------------
 
     def _on_message(self, worker: _WorkerHandle, message: Tuple) -> None:
-        worker.last_seen = time.time()
+        worker.last_seen = time.monotonic()
         kind = message[0]
         if kind in ("ready", "heartbeat"):
+            return
+        if kind == "fetch":
+            # Digest-fetch: a remote worker without the shared
+            # filesystem asks for a store entry's raw bytes.  Served
+            # inline (the event loop is already draining this worker),
+            # restricted to manifest digests — the only entries a
+            # worker has any business rehydrating.
+            _, digest = message
+            data = (
+                self._artifact_store().get_blob(digest)
+                if self.manifest is not None
+                and digest in self.manifest.digests
+                else None
+            )
+            try:
+                worker.conn.send(("artifact", digest, data))
+            except (OSError, BrokenPipeError):
+                worker.eof = True
             return
         if kind == "pair-start":
             _, shard_id, i, j = message
@@ -850,7 +1208,7 @@ class SweepCoordinator:
         state = self._states.get(shard_id)
         if state is None or state.status != "running":
             return
-        now = time.time()
+        now = time.monotonic()
         if state.remaining(self.quarantine.pairs()):
             self._attempt_failed(state, stolen=False, now=now)
             return
@@ -875,7 +1233,7 @@ class SweepCoordinator:
                 f"worker {worker.name} died while computing pair "
                 f"({i}, {j}): {reason}",
             )
-        self._attempt_failed(state, stolen=True, now=time.time())
+        self._attempt_failed(state, stolen=True, now=time.monotonic())
 
     def _attempt_failed(
         self, state: _ShardState, *, stolen: bool, now: float

@@ -12,6 +12,7 @@ window where the OS can provide one; on platforms with neither
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from typing import Optional, Union
 
@@ -37,6 +38,11 @@ class FileLock:
     its contents are irrelevant.
     """
 
+    #: Pause between ``msvcrt`` lock attempts once its internal ~10s
+    #: polling budget is exhausted (LK_LOCK already sleeps ~1s/attempt
+    #: internally, so this only paces the outer retry loop).
+    _MSVCRT_RETRY_DELAY = 0.1
+
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         self._fd: Optional[int] = None
@@ -49,9 +55,20 @@ class FileLock:
         try:
             if fcntl is not None:
                 fcntl.flock(fd, fcntl.LOCK_EX)
-            elif msvcrt is not None:  # pragma: no cover - windows
+            elif msvcrt is not None:
+                # LK_LOCK is not a real blocking lock: it polls about
+                # once a second and raises OSError after ~10 failed
+                # attempts, so a journal write contended for >10s
+                # would crash where the flock path simply waits.
+                # Retry until acquired to present one blocking
+                # contract on both platforms.
                 os.lseek(fd, 0, os.SEEK_SET)
-                msvcrt.locking(fd, msvcrt.LK_LOCK, 1)
+                while True:
+                    try:
+                        msvcrt.locking(fd, msvcrt.LK_LOCK, 1)
+                        break
+                    except OSError:
+                        time.sleep(self._MSVCRT_RETRY_DELAY)
             # Neither module: advisory locking unavailable; hold only
             # the open fd (callers still have merge-on-write).
         except BaseException:
@@ -66,7 +83,7 @@ class FileLock:
         try:
             if fcntl is not None:
                 fcntl.flock(fd, fcntl.LOCK_UN)
-            elif msvcrt is not None:  # pragma: no cover - windows
+            elif msvcrt is not None:
                 os.lseek(fd, 0, os.SEEK_SET)
                 msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
         finally:

@@ -355,9 +355,16 @@ class _PairEngine:
         store_root: Optional[str] = None,
         prebuilt_indexes: bool = True,
         manifest: Optional[CorpusManifest] = None,
+        fetch=None,
     ):
         self.options = options or ComposeOptions()
         self.manifest = manifest
+        #: Digest-fetch escape hatch for remote workers without the
+        #: shared filesystem: ``fetch(digest) -> Optional[bytes]``
+        #: (raw store-entry bytes, or ``None``), consulted only when
+        #: the local store misses.  Fetched bytes are cached into the
+        #: local store, so each entry crosses the wire at most once.
+        self._fetch = fetch
         if manifest is not None:
             if store_root is None:
                 raise ValueError(
@@ -439,6 +446,19 @@ class _PairEngine:
             if entry is None:
                 label, digest = self.manifest.entries[index]
                 entry = self.store.get(digest)
+                if (
+                    (entry is None or entry.sbml is None)
+                    and self._fetch is not None
+                ):
+                    # Remote rehydration: pull the raw entry bytes
+                    # from the coordinator, land them in the local
+                    # store (so every later pair — and every later
+                    # sweep against this store — hits locally), then
+                    # re-read through the normal screening path.
+                    data = self._fetch(digest)
+                    if data:
+                        self.store.put_blob(digest, data)
+                        entry = self.store.get(digest)
                 if entry is None or entry.sbml is None:
                     problem = (
                         "has no entry for it"
@@ -730,7 +750,24 @@ def _run_pairs(
             initializer=_init_pair_worker,
             initargs=initargs,
         ) as pool:
-            futures = [pool.submit(_run_pair_chunk, chunk) for chunk in chunks]
+            try:
+                futures = [
+                    pool.submit(_run_pair_chunk, chunk) for chunk in chunks
+                ]
+            except BrokenProcessPool as exc:
+                # A worker can die while chunks are still being
+                # submitted (the first workers start computing
+                # immediately); submit then raises the bare pool
+                # error, so it needs the same translation as result().
+                raise WorkerPoolError(
+                    f"a process worker died while chunks were still "
+                    f"being submitted ({len(chunks)} chunks, pairs "
+                    f"{chunks[0][0]}..{chunks[-1][-1]}); the "
+                    f"unsupervised process backend cannot retry or "
+                    f"attribute worker deaths — rerun under "
+                    f"`sbmlcompose sweep --supervise` for leases, "
+                    f"retries and poison-pair quarantine"
+                ) from exc
             outcomes: List[PairOutcome] = []
             for index, future in enumerate(futures):
                 try:

@@ -206,7 +206,10 @@ class SweepCheckpoint:
       who is computing the shard right now, and when their claim
       lapses.  A coordinator restarted over the directory reclaims
       expired leases automatically; unexpired foreign leases are
-      honoured until they lapse.
+      honoured until they lapse.  Holder names are ``worker@host``
+      (``w1@box-a`` for a local pipe worker, ``r1@box-b`` for a
+      remote socket worker), so a journal read from any machine of a
+      multi-host sweep shows *where* each shard is running.
     * ``retries`` — shard id -> ``{count, steals}``: how many attempts
       the shard has consumed and how many of those were reassignments
       away from a dead or stalled worker.  Kept after completion, so
@@ -397,11 +400,14 @@ class SweepCheckpoint:
     def acquire_lease(
         self, shard_id: int, worker: str, ttl: float
     ) -> Dict[str, object]:
-        """Record that ``worker`` owns ``shard_id`` until now + ``ttl``
-        seconds.  The lease is observability *and* restart safety: a
-        coordinator opening this journal later treats an unexpired
-        lease as "someone may still be computing this" and an expired
-        one as reclaimable."""
+        """Record that ``worker`` (a ``name@host`` holder string) owns
+        ``shard_id`` until now + ``ttl`` seconds.  The lease is
+        observability *and* restart safety: a coordinator opening this
+        journal later treats an unexpired lease as "someone may still
+        be computing this" and an expired one as reclaimable.
+        Timestamps are **wall clock** on purpose — they must compare
+        meaningfully across hosts; the coordinator's in-process
+        liveness and backoff clocks are monotonic instead."""
         now = time.time()
         lease = {
             "worker": worker,

@@ -53,7 +53,14 @@ Equality strength per path:
   the in-memory sweep on the deterministic CSV — plain pool and
   supervised coordinator, populating the store and rehydrating from
   it, through the escape hatch and the automatic temp store, and (a
-  hypothesis property) for any shard layout and worker count.
+  hypothesis property) for any shard layout and worker count;
+* the **remote supervised sweep** (the tenth path) — workers joined
+  over loopback TCP (``sbmlcompose worker``) compute shards through
+  the framed socket transport and the digest-fetch protocol, mixed
+  with a local pipe worker, with one remote chaos-killed mid-shard
+  and one pair quarantined as poison; the merged CSV is byte-identical
+  to the unsharded in-memory sweep minus exactly the quarantined
+  pair.
 """
 
 import io
@@ -526,6 +533,125 @@ def test_digest_shipped_supervised_sweep_conformance(corpora, tmp_path):
     assert coordinator.manifest.fingerprint == corpus_fingerprint(models)
     merged = MatchMatrix.union(report.matrices)
     assert _deterministic_csv(merged) == reference
+
+
+def test_remote_supervised_sweep_conformance(corpora, tmp_path):
+    """The tenth path: a mixed local + remote supervised sweep — one
+    local pipe worker plus two loopback socket workers, one remote
+    chaos-killed mid-shard (its shard stolen and retried) and one pair
+    quarantined as poison — must still merge to a CSV byte-identical
+    to the unsharded in-memory sweep minus exactly the quarantined
+    pair.  Socket framing, the handshake, digest-fetch rehydration and
+    steal/retry/quarantine are all on the wire here; none of them may
+    leak into the answer."""
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    from repro.core import chaos
+    from repro.core.coordinator import (
+        EXIT_QUARANTINED,
+        CoordinatorConfig,
+        SweepCoordinator,
+    )
+
+    models = corpora["curated"]
+    poison = (1, 2)
+    reference = match_all(models)
+    expected = io.StringIO()
+    write_outcomes(
+        expected,
+        [o for o in reference.outcomes if (o.i, o.j) != poison],
+        deterministic=True,
+    )
+
+    out = tmp_path / "sweep"
+    out.mkdir()
+    spec = chaos.ChaosSpec(
+        out,
+        faults=[
+            # Hold the local worker on its first shard so the remote
+            # workers are guaranteed a share of the sweep.
+            chaos.Fault(
+                site="chunk-start",
+                action="stall",
+                match={"worker": "w1"},
+                stall_seconds=4.0,
+                times=1,
+                key="hold-local",
+            ),
+            # SIGKILL the first remote worker as it starts a shard.
+            chaos.Fault(
+                site="chunk-start",
+                action="kill",
+                match={"worker": "r1"},
+                times=1,
+                key="kill-remote",
+            ),
+            # And one poison pair: fails on every attempt, every
+            # worker, until quarantined.
+            chaos.Fault(
+                site="pair-start",
+                action="raise",
+                match={"i": poison[0], "j": poison[1]},
+                times=None,
+                key="poison",
+            ),
+        ],
+    )
+    coordinator = SweepCoordinator(
+        models,
+        None,
+        shards=3,
+        out_dir=out,
+        fingerprint=corpus_fingerprint(models, extra=("shards", 3)),
+        config=CoordinatorConfig(
+            workers=1,
+            worker_timeout=15.0,
+            poll_interval=0.05,
+            backoff_base=0.05,
+            backoff_cap=0.2,
+        ),
+        progress=False,
+        listen=("127.0.0.1", 0),
+        local_workers=1,
+    )
+    _, port = coordinator.listen_address
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "worker",
+        "--connect",
+        f"127.0.0.1:{port}",
+    ]
+    with chaos.active(spec):
+        # Snapshot the environment *inside* the armed block: active()
+        # published REPRO_CHAOS, which arms the remote workers too.
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(__file__).resolve().parents[2] / "src"),
+        )
+        procs = [subprocess.Popen(argv, env=env) for _ in range(2)]
+        try:
+            report = coordinator.run()
+        finally:
+            codes = []
+            for proc in procs:
+                try:
+                    codes.append(proc.wait(timeout=60))
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    codes.append(proc.wait())
+    assert report.exit_code == EXIT_QUARANTINED
+    # The killed remote had a shard leased — it was stolen and retried.
+    assert report.steals >= 1
+    assert [(e["i"], e["j"]) for e in report.quarantined] == [poison]
+    # One remote died by SIGKILL, the other stopped cleanly.
+    assert sorted(codes) == [-9, 0]
+    merged = MatchMatrix.union(report.matrices)
+    assert _deterministic_csv(merged) == expected.getvalue()
 
 
 @given(

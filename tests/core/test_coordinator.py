@@ -315,3 +315,167 @@ class TestQuarantineSidecar:
         (tmp_path / Quarantine.FILENAME).write_text("{not json")
         with pytest.raises(SweepStateError):
             Quarantine.load(tmp_path)
+
+
+class TestMonotonicLiveness:
+    def test_wall_clock_jump_neither_kills_nor_revives(
+        self, corpus, fingerprint, tmp_path, monkeypatch
+    ):
+        """Worker liveness rides the monotonic clock: stepping the
+        wall clock (NTP correction, VM resume, DST misconfig) by hours
+        in either direction must not change which workers look alive.
+        The two clocks are patched independently to prove liveness
+        never reads ``time.time``."""
+        import time as _time
+
+        from repro.core import coordinator as coord_mod
+
+        class _Conn:
+            def close(self):
+                pass
+
+        coordinator = _coordinator(corpus, fingerprint, tmp_path / "sweep")
+        worker = coord_mod._WorkerHandle(
+            "r1", None, _Conn(), remote=True, host="box-b"
+        )
+        coordinator._workers["r1"] = worker
+
+        real_time = _time.time
+        # Forward wall jump of ~3 hours: a worker heartbeating
+        # normally must NOT be declared stalled and killed.
+        monkeypatch.setattr(
+            coord_mod.time, "time", lambda: real_time() + 10_800.0
+        )
+        coordinator._check_timeouts(coord_mod.time.monotonic())
+        assert worker.kill_reason is None
+        assert not worker.eof
+
+        # Backward wall jump: a genuinely stale worker (no heartbeat
+        # for longer than the timeout, on the monotonic clock) must
+        # NOT be revived by the clock running "earlier" again.
+        monkeypatch.setattr(
+            coord_mod.time, "time", lambda: real_time() - 10_800.0
+        )
+        worker.last_seen = (
+            _time.monotonic() - coordinator.config.worker_timeout - 1.0
+        )
+        coordinator._check_timeouts(coord_mod.time.monotonic())
+        assert worker.kill_reason is not None
+        assert "no heartbeat" in worker.kill_reason
+        assert worker.eof  # remote reclamation = closed channel
+
+
+class _RecordingConn:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, obj):
+        self.sent.append(obj)
+
+    def close(self):
+        pass
+
+
+class _StubbornProcess:
+    """A worker process that ignores escalation steps until ``dies_on``
+    (one of "stop", "terminate", "kill", or None for unkillable)."""
+
+    def __init__(self, dies_on):
+        self.dies_on = dies_on
+        self.calls = []
+        self.pid = 4242
+        self._alive = True
+
+    def is_alive(self):
+        return self._alive
+
+    def join(self, timeout=None):
+        self.calls.append("join")
+
+    def terminate(self):
+        self.calls.append("terminate")
+        if self.dies_on == "terminate":
+            self._alive = False
+
+    def kill(self):
+        self.calls.append("kill")
+        if self.dies_on == "kill":
+            self._alive = False
+
+
+class TestShutdownEscalation:
+    def _with_worker(self, corpus, fingerprint, tmp_path, process):
+        from repro.core import coordinator as coord_mod
+
+        coordinator = _coordinator(corpus, fingerprint, tmp_path / "sweep")
+        coordinator.progress = True
+        conn = _RecordingConn()
+        handle = coord_mod._WorkerHandle("w1", process, conn)
+        coordinator._workers["w1"] = handle
+        return coordinator, conn
+
+    def test_escalates_and_rejoins_after_kill(
+        self, corpus, fingerprint, tmp_path, capsys
+    ):
+        # The worker shrugs off stop AND terminate; only kill lands.
+        # The coordinator must re-join after the kill (a kill without
+        # a final join leaves a zombie) and not cry zombie here.
+        process = _StubbornProcess(dies_on="kill")
+        coordinator, conn = self._with_worker(
+            corpus, fingerprint, tmp_path, process
+        )
+        coordinator._shutdown_workers()
+        assert ("stop",) in conn.sent
+        assert process.calls == [
+            "join", "terminate", "join", "kill", "join"
+        ]
+        err = capsys.readouterr().err
+        assert "ignored stop; terminating" in err
+        assert "survived terminate; killing" in err
+        assert "UNREAPED" not in err
+        assert coordinator._workers == {}
+
+    def test_unkillable_worker_is_reported_with_pid(
+        self, corpus, fingerprint, tmp_path, capsys
+    ):
+        process = _StubbornProcess(dies_on=None)
+        coordinator, _ = self._with_worker(
+            corpus, fingerprint, tmp_path, process
+        )
+        coordinator._shutdown_workers()
+        assert process.calls == [
+            "join", "terminate", "join", "kill", "join"
+        ]
+        err = capsys.readouterr().err
+        assert "UNREAPED" in err
+        assert "4242" in err
+
+    def test_chaos_worker_ignoring_stop_is_terminated(
+        self, corpus, fingerprint, reference_keys, tmp_path, capsys
+    ):
+        # Integration: a real worker stalls inside its stop handler
+        # (the chaos "worker-stop" site).  The sweep itself finished,
+        # so this must cost one escalation, not a hang or a zombie.
+        out = tmp_path / "sweep"
+        out.mkdir()
+        spec = chaos.ChaosSpec(
+            out,
+            faults=[
+                chaos.Fault(
+                    site="worker-stop",
+                    action="stall",
+                    stall_seconds=30.0,
+                    times=1,
+                    key="ignore-stop",
+                )
+            ],
+        )
+        with chaos.active(spec):
+            coordinator = _coordinator(corpus, fingerprint, out, workers=1)
+            coordinator.progress = True
+            report = coordinator.run()
+        assert report.exit_code == 0
+        assert _computed_keys(report) == reference_keys
+        err = capsys.readouterr().err
+        assert "ignored stop; terminating" in err
+        assert coordinator._workers == {}

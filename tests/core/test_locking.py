@@ -58,3 +58,59 @@ class TestFileLock:
         for worker in workers:
             worker.join(timeout=30)
         assert int(open(counter).read()) == 4
+
+
+class _FakeMsvcrt:
+    """A stub of the Windows ``msvcrt`` module whose ``LK_LOCK`` fails
+    like the real one does under contention: ``OSError`` after its
+    internal ~10s polling budget, instead of blocking."""
+
+    LK_LOCK = 0
+    LK_UNLCK = 1
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = []
+
+    def locking(self, fd, mode, nbytes):
+        self.calls.append((mode, nbytes))
+        if mode == self.LK_LOCK and self.failures > 0:
+            self.failures -= 1
+            raise OSError(36, "Resource deadlock avoided")
+
+
+class TestMsvcrtFallback:
+    """The Windows path must present the same *blocking* contract the
+    flock path does — ``LK_LOCK``'s budget exhaustion is retried, not
+    surfaced as a crash mid-journal-write."""
+
+    @pytest.fixture()
+    def windowsish(self, monkeypatch):
+        from repro.core import locking as locking_mod
+
+        monkeypatch.setattr(locking_mod, "fcntl", None)
+        monkeypatch.setattr(
+            locking_mod.FileLock, "_MSVCRT_RETRY_DELAY", 0.001
+        )
+        return locking_mod
+
+    def test_acquire_retries_past_lk_lock_budget(
+        self, tmp_path, monkeypatch, windowsish
+    ):
+        fake = _FakeMsvcrt(failures=2)
+        monkeypatch.setattr(windowsish, "msvcrt", fake)
+        with FileLock(tmp_path / "x.lock"):
+            # Two budget exhaustions were absorbed; the third attempt
+            # held the lock.
+            assert fake.calls == [(fake.LK_LOCK, 1)] * 3
+        # Release unlocked the same byte range.
+        assert fake.calls[-1] == (fake.LK_UNLCK, 1)
+
+    def test_uncontended_acquire_locks_once(
+        self, tmp_path, monkeypatch, windowsish
+    ):
+        fake = _FakeMsvcrt(failures=0)
+        monkeypatch.setattr(windowsish, "msvcrt", fake)
+        with FileLock(tmp_path / "x.lock"):
+            assert fake.calls == [(fake.LK_LOCK, 1)]
+        assert fake.calls == [(fake.LK_LOCK, 1), (fake.LK_UNLCK, 1)]
